@@ -1,0 +1,129 @@
+// Micro-benchmarks of the exploration core (google-benchmark), including the
+// Section IV-A cost model: computing the enabled *sets* of messages for a
+// quorum transition is exponential in the pending pool in the worst case —
+// the time price paid for the quorum model's space savings.
+#include <benchmark/benchmark.h>
+
+#include "core/enabled.hpp"
+#include "core/execute.hpp"
+#include "mp/builder.hpp"
+#include "por/spor.hpp"
+#include "protocols/paxos/paxos.hpp"
+
+namespace {
+
+using namespace mpb;
+using protocols::make_paxos;
+using protocols::PaxosConfig;
+
+State mid_paxos_state(const Protocol& proto) {
+  // Drive a few steps in: both proposers started, some acceptor replies out.
+  State s = proto.initial();
+  for (int i = 0; i < 5; ++i) {
+    auto evs = enumerate_events(proto, s);
+    if (evs.empty()) break;
+    s = execute(proto, s, evs.front());
+  }
+  return s;
+}
+
+void BM_StateHash(benchmark::State& bench) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  const State s = mid_paxos_state(proto);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(s.hash());
+  }
+}
+BENCHMARK(BM_StateHash);
+
+void BM_StateFingerprint(benchmark::State& bench) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  const State s = mid_paxos_state(proto);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(s.fingerprint());
+  }
+}
+BENCHMARK(BM_StateFingerprint);
+
+void BM_EnumerateEventsQuorum(benchmark::State& bench) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  const State s = mid_paxos_state(proto);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(enumerate_events(proto, s));
+  }
+}
+BENCHMARK(BM_EnumerateEventsQuorum);
+
+void BM_EnumerateEventsSingleMsg(benchmark::State& bench) {
+  Protocol proto = make_paxos(
+      {.proposers = 2, .acceptors = 3, .learners = 1, .quorum_model = false});
+  const State s = mid_paxos_state(proto);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(enumerate_events(proto, s));
+  }
+}
+BENCHMARK(BM_EnumerateEventsSingleMsg);
+
+void BM_ExecuteEvent(benchmark::State& bench) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  const State s = mid_paxos_state(proto);
+  const auto evs = enumerate_events(proto, s);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(execute(proto, s, evs.front()));
+  }
+}
+BENCHMARK(BM_ExecuteEvent);
+
+// Section IV-A: powerset enumeration cost as the pending pool grows.
+void BM_PowersetEnabledSets(benchmark::State& bench) {
+  const auto pool = static_cast<unsigned>(bench.range(0));
+  mp::ProtocolBuilder b("powerset");
+  const ProcessId g = b.process("g", "G", {{"x", 0}});
+  for (unsigned i = 0; i < pool; ++i) {
+    b.process("s" + std::to_string(i), "S", {});
+  }
+  b.transition(g, "V").consumes("V", kPowersetArity);
+  const MsgType mV = b.msg("V");
+  for (unsigned i = 0; i < pool; ++i) {
+    b.initial_message(Message(mV, static_cast<ProcessId>(i + 1), g,
+                              {static_cast<Value>(i)}));
+  }
+  Protocol proto = b.build();
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(enumerate_events(proto, proto.initial()));
+  }
+  bench.SetComplexityN(pool);
+}
+BENCHMARK(BM_PowersetEnabledSets)->DenseRange(2, 12, 2)->Complexity();
+
+void BM_StubbornSetComputation(benchmark::State& bench) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  const State s = mid_paxos_state(proto);
+  SporStrategy strategy(proto);
+  const auto evs = enumerate_events(proto, s);
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(strategy.stubborn_set(s, evs));
+  }
+}
+BENCHMARK(BM_StubbornSetComputation);
+
+void BM_StaticRelationsPrecompute(benchmark::State& bench) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  for (auto _ : bench) {
+    StaticRelations rel(proto);
+    benchmark::DoNotOptimize(rel.n_transitions());
+  }
+}
+BENCHMARK(BM_StaticRelationsPrecompute);
+
+void BM_ExploreSmallPaxos(benchmark::State& bench) {
+  Protocol proto = make_paxos({.proposers = 1, .acceptors = 3, .learners = 1});
+  for (auto _ : bench) {
+    benchmark::DoNotOptimize(explore_full(proto).stats.states_stored);
+  }
+}
+BENCHMARK(BM_ExploreSmallPaxos)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

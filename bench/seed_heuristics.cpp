@@ -1,0 +1,98 @@
+// Section V-B ablations:
+//  (1) seed-transition heuristics — the paper's "opposite transaction
+//      heuristic" (prefer transitions that start/continue an instance)
+//      against the [5]-style transaction heuristic (prefer finishing) and an
+//      uninformed first-enabled baseline; the paper reports the transaction
+//      heuristic achieved "very little reduction (not shown)".
+//  (2) the LPOR vs LPOR-NET distinction of the user guide: necessary
+//      enabling sets chosen by inspecting the current state (NET) vs the
+//      conservative state-independent union.
+#include <iostream>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "protocols/echo/echo.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+
+namespace {
+
+using namespace mpb;
+using namespace mpb::protocols;
+
+std::vector<std::pair<std::string, Protocol>> make_cases() {
+  std::vector<std::pair<std::string, Protocol>> cases;
+  cases.emplace_back("Paxos (2,3,1)",
+                     make_paxos({.proposers = 2, .acceptors = 3, .learners = 1}));
+  cases.emplace_back("Echo Multicast (3,1,1,1)",
+                     make_echo_multicast({.honest_receivers = 3,
+                                          .honest_initiators = 1,
+                                          .byz_receivers = 1,
+                                          .byz_initiators = 1}));
+  cases.emplace_back(
+      "Regular storage (3,1)",
+      make_regular_storage({.bases = 3, .readers = 1, .writes = 2}));
+  cases.emplace_back(
+      "Regular storage (3,2)",
+      make_regular_storage({.bases = 3, .readers = 2, .writes = 2}));
+  return cases;
+}
+
+std::string run_cell(const Protocol& proto, const SporOptions& opts,
+                     const ExploreConfig& budget) {
+  SporStrategy strategy(proto, opts);
+  ExploreConfig cfg = budget;
+  return harness::format_cell(explore(proto, cfg, &strategy));
+}
+
+}  // namespace
+
+int main() {
+  const ExploreConfig budget = harness::budget_from_env();
+
+  std::cout << "Seed-transition heuristics (cf. paper Section V-B)\n\n";
+  {
+    // Single-seed mode (faithful MP-LPOR: one stubborn set per state, so the
+    // heuristic's choice is decisive) across the three heuristics, plus this
+    // implementation's defaults (seed retry / exhaustive minimisation).
+    harness::Table table({"Protocol", "opposite-transaction (paper)",
+                          "transaction [5]", "first-enabled",
+                          "seed-retry (default)", "best-seed (exhaustive)"});
+    for (auto& [label, proto] : make_cases()) {
+      SporOptions opposite, transaction, first, retry, exhaustive;
+      opposite.seed_retry = false;
+      transaction.seed_retry = false;
+      transaction.seed = SeedHeuristic::kTransaction;
+      first.seed_retry = false;
+      first.seed = SeedHeuristic::kFirst;
+      exhaustive.exhaustive_seed = true;
+      table.add_row({label, run_cell(proto, opposite, budget),
+                     run_cell(proto, transaction, budget),
+                     run_cell(proto, first, budget),
+                     run_cell(proto, retry, budget),
+                     run_cell(proto, exhaustive, budget)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nNES selection: LPOR-NET (state-dependent) vs plain LPOR\n\n";
+  {
+    harness::Table table({"Protocol", "LPOR-NET", "plain LPOR", "unreduced"});
+    for (auto& [label, proto] : make_cases()) {
+      SporOptions net, plain;
+      plain.state_dependent_nes = false;
+      ExploreConfig cfg = budget;
+      const ExploreResult full = explore(proto, cfg, nullptr);
+      table.add_row({label, run_cell(proto, net, budget),
+                     run_cell(proto, plain, budget), harness::format_cell(full)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: the opposite-transaction heuristic dominates\n"
+               "or ties the alternatives; NET never selects more events than\n"
+               "plain LPOR. All cells agree on the verdict. (Exhaustive seed\n"
+               "minimisation is greedy per state and can lose globally — an\n"
+               "instructive non-result.)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Combination of the paper's techniques with role-based symmetry reduction —
+// the paper's related-work claim ("These and similar techniques are
+// orthogonal to ours and can be used in combination", Section VI, citing its
+// companion work [7]).
+//
+// For every quorum-model protocol setting: unreduced / SPOR only / symmetry
+// only / SPOR + symmetry, states and time per cell.
+#include <iostream>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "por/spor.hpp"
+#include "por/symmetry.hpp"
+#include "protocols/echo/echo.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+
+namespace {
+
+using namespace mpb;
+using namespace mpb::protocols;
+
+struct Row {
+  std::string label;
+  Protocol proto;
+  std::vector<std::vector<ProcessId>> roles;
+};
+
+std::vector<Row> make_rows() {
+  std::vector<Row> rows;
+  {
+    PaxosConfig c{.proposers = 2, .acceptors = 3, .learners = 1};
+    rows.push_back({"Paxos (2,3,1)", make_paxos(c), paxos_symmetric_roles(c)});
+  }
+  {
+    PaxosConfig c{.proposers = 1, .acceptors = 5, .learners = 1};
+    rows.push_back({"Paxos (1,5,1)", make_paxos(c), paxos_symmetric_roles(c)});
+  }
+  {
+    StorageConfig c{.bases = 3, .readers = 2, .writes = 2};
+    rows.push_back(
+        {"Regular storage (3,2)", make_regular_storage(c), storage_symmetric_roles(c)});
+  }
+  {
+    EchoConfig c{.honest_receivers = 3, .honest_initiators = 1,
+                 .byz_receivers = 0, .byz_initiators = 0};
+    rows.push_back(
+        {"Echo Multicast (3,1,0,0)", make_echo_multicast(c), echo_symmetric_roles(c)});
+  }
+  return rows;
+}
+
+std::string cell(const Protocol& proto, const ExploreConfig& budget,
+                 bool spor, const SymmetryReducer* sym) {
+  ExploreConfig cfg = budget;
+  if (sym != nullptr) {
+    cfg.canonicalize = [sym](const State& s) { return sym->canonicalize(s); };
+  }
+  if (spor) {
+    SporStrategy strategy(proto);
+    return harness::format_cell(explore(proto, cfg, &strategy));
+  }
+  return harness::format_cell(explore(proto, cfg, nullptr));
+}
+
+}  // namespace
+
+int main() {
+  const ExploreConfig budget = harness::budget_from_env();
+
+  std::cout << "Symmetry x POR combination (cf. paper Section VI and [7])\n\n";
+  harness::Table table({"Protocol", "Orbit bound", "Unreduced", "SPOR",
+                        "Symmetry", "SPOR + Symmetry"});
+  for (Row& row : make_rows()) {
+    SymmetryReducer sym(row.proto, row.roles);
+    std::cerr << "running " << row.label << " ...\n";
+    table.add_row({row.label, std::to_string(sym.orbit_bound()),
+                   cell(row.proto, budget, false, nullptr),
+                   cell(row.proto, budget, true, nullptr),
+                   cell(row.proto, budget, false, &sym),
+                   cell(row.proto, budget, true, &sym)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: symmetry divides state counts by up to the\n"
+               "orbit bound; the combination dominates either technique alone\n"
+               "and all verdicts agree.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Regular storage audit: check the ABD-style single-writer register against
+// (a) regularity — holds — and (b) the deliberately too-strong specification
+// from the paper ("a read concurrent with a write must already return it"),
+// which yields a counterexample showing the racy schedule.
+#include <iostream>
+
+#include "core/trace.hpp"
+#include "harness/runner.hpp"
+#include "protocols/storage/storage.hpp"
+#include "refine/refine.hpp"
+
+using namespace mpb;
+using protocols::make_regular_storage;
+using protocols::StorageConfig;
+
+int main() {
+  std::cout << "Regular storage over 3 base objects (majority quorums)\n\n";
+
+  {
+    StorageConfig cfg{.bases = 3, .readers = 1, .writes = 2};
+    Protocol proto = make_regular_storage(cfg);
+    harness::RunSpec spec;
+    spec.strategy = harness::Strategy::kSpor;
+    spec.explore = harness::budget_from_env();
+    const ExploreResult r = harness::run(proto, spec);
+    std::cout << "[1] regularity, setting " << cfg.setting() << ": "
+              << to_string(r.verdict) << "  ("
+              << harness::format_count(r.stats.states_stored) << " states, "
+              << harness::format_time(r.stats.seconds) << ")\n";
+  }
+
+  {
+    StorageConfig cfg{.bases = 3, .readers = 1, .writes = 2,
+                      .wrong_regularity = true};
+    Protocol proto = make_regular_storage(cfg);
+    harness::RunSpec spec;
+    spec.strategy = harness::Strategy::kSpor;
+    spec.explore = harness::budget_from_env();
+    const ExploreResult r = harness::run(proto, spec);
+    std::cout << "[2] wrong regularity (too strong), setting " << cfg.setting()
+              << ": " << to_string(r.verdict) << "\n\n";
+    if (r.verdict == Verdict::kViolated) {
+      std::cout << "The spec demands a concurrent write be visible before it\n"
+                   "completes; the checker found this racy schedule:\n\n";
+      print_counterexample(std::cout, proto, r);
+      std::cout << "replay check: "
+                << (replay_counterexample(proto, r) ? "valid" : "INVALID")
+                << "\n\n";
+    }
+  }
+
+  {
+    // Bonus: the refinement machinery on the storage model — reply-split is
+    // a no-op here (single effective reader per base, matching the paper's
+    // observation for storage (3,1)) while quorum-split still helps.
+    StorageConfig cfg{.bases = 3, .readers = 1, .writes = 2};
+    Protocol proto = make_regular_storage(cfg);
+    Protocol split = refine::combined_split(proto);
+    harness::RunSpec spec;
+    spec.strategy = harness::Strategy::kSpor;
+    spec.explore = harness::budget_from_env();
+    const ExploreResult a = harness::run(proto, spec);
+    const ExploreResult b = harness::run(split, spec);
+    std::cout << "[3] refinement on storage (3,1): unsplit "
+              << harness::format_count(a.stats.states_stored) << " states vs "
+              << "combined-split " << harness::format_count(b.stats.states_stored)
+              << " states (reply-split alone is a no-op, as the paper notes "
+                 "for this setting)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Enumeration of enabled events (Section IV-A: "enabled sets of messages").
+//
+// For a quorum transition with exact threshold q, the candidate sets X are all
+// ways to pick q *distinct* senders among the pending messages (restricted to
+// the transition's allowed_senders mask) and one pending message per chosen
+// sender. For powerset-arity transitions every subset of the pending pool is a
+// candidate — the exponential general case the paper describes; callers keep
+// those pools small.
+//
+// Identical pending messages (same type/sender/receiver/payload) are deduped:
+// consuming either copy yields the same successor state, i.e. the same
+// state-graph edge, so only one event is emitted.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/state.hpp"
+#include "core/transition.hpp"
+
+namespace mpb {
+
+// Append every enabled event of transition `tid` in state `s` to `out`.
+void enumerate_events_of(const Protocol& proto, const State& s, TransitionId tid,
+                         std::vector<Event>& out);
+
+// All enabled events in `s`, grouped by transition id (ascending).
+[[nodiscard]] std::vector<Event> enumerate_events(const Protocol& proto, const State& s);
+
+// True iff transition `tid` has at least one enabled event in `s`.
+[[nodiscard]] bool transition_enabled(const Protocol& proto, const State& s,
+                                      TransitionId tid);
+
+// True iff the pending-message pool of `tid` in `s` could never satisfy its
+// arity regardless of guards (used by the NES selection in SPOR: a transition
+// disabled for lack of messages needs producers; one disabled only by its
+// guard needs a local-state change).
+[[nodiscard]] bool pool_insufficient(const Protocol& proto, const State& s,
+                                     TransitionId tid);
+
+}  // namespace mpb

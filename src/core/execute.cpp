@@ -1,0 +1,94 @@
+#include "core/execute.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpb {
+
+namespace {
+
+void check_annotations(const Protocol& proto, const Transition& t, const Event& e,
+                       const EffectCtx& ctx) {
+  for (const PeekDecl& got : ctx.peeked()) {
+    bool declared = false;
+    for (const PeekDecl& d : t.peek_decls) {
+      if (d.proc == got.proc && (got.vars & ~d.vars) == 0) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) {
+      throw AnnotationError("transition " + t.name +
+                            " ghost-read an undeclared variable of " +
+                            proto.proc(got.proc).name +
+                            " (missing peeks annotation; POR would be unsound)");
+    }
+  }
+  if (t.writes_local && (ctx.written() & ~t.writes_vars) != 0) {
+    throw AnnotationError("transition " + t.name +
+                          " wrote a local variable outside its writes_vars "
+                          "annotation");
+  }
+  for (const Message& m : ctx.sends()) {
+    if (std::find(t.out_types.begin(), t.out_types.end(), m.type()) ==
+        t.out_types.end()) {
+      throw AnnotationError("transition " + t.name + " sent undeclared type " +
+                            proto.msg_type_name(m.type()));
+    }
+    if (!mask_contains(t.send_to, m.receiver())) {
+      throw AnnotationError("transition " + t.name + " sent to undeclared recipient " +
+                            proto.proc(m.receiver()).name);
+    }
+    if (t.is_reply) {
+      const bool to_sender =
+          std::any_of(e.consumed.begin(), e.consumed.end(),
+                      [&](const Message& c) { return c.sender() == m.receiver(); });
+      if (!to_sender) {
+        throw AnnotationError("reply transition " + t.name +
+                              " sent to a non-sender of X (violates Def. 4)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+State execute(const Protocol& proto, const State& s, const Event& e,
+              const ExecuteOptions& opts, std::string* failed_assertion) {
+  const Transition& t = proto.transition(e.tid);
+  State succ = s;
+
+  for (const Message& m : e.consumed) {
+    const bool removed = succ.remove_message(m);
+    assert(removed && "event consumed a message absent from the state");
+    (void)removed;
+  }
+
+  const ProcessInfo& pi = proto.proc(t.proc);
+  std::vector<Value> locals_before;
+  if (opts.validate_annotations && !t.writes_local) {
+    auto slice = succ.local_slice(pi.local_offset, pi.local_len);
+    locals_before.assign(slice.begin(), slice.end());
+  }
+
+  EffectCtx ctx(proto, succ, t.proc, e.consumed);
+  if (t.effect) t.effect(ctx);
+
+  if (opts.validate_annotations) {
+    check_annotations(proto, t, e, ctx);
+    if (!t.writes_local) {
+      auto after = succ.local_slice(pi.local_offset, pi.local_len);
+      if (!std::equal(after.begin(), after.end(), locals_before.begin(),
+                      locals_before.end())) {
+        throw AnnotationError("transition " + t.name +
+                              " wrote local state but is annotated isWrite=false");
+      }
+    }
+  }
+
+  for (const Message& m : ctx.sends()) succ.add_message(m);
+  if (failed_assertion != nullptr) *failed_assertion = ctx.failed_assertion();
+  return succ;
+}
+
+}  // namespace mpb

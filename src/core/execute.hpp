@@ -1,0 +1,39 @@
+// Successor computation: s --t(X)--> s' (Section II-A semantics).
+//
+// Executing event e in state s (1) removes the consumed messages X from the
+// network, (2) applies the transition's local-state effect, and (3) inserts
+// the sent messages. The result is a fresh canonical State.
+//
+// When `validate_annotations` is set, execution cross-checks the run against
+// the transition's static POR annotations (declared out-types / recipients,
+// reply discipline, isWrite). POR soundness rests on those annotations, so a
+// violated annotation is a modelling bug worth failing loudly on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "core/state.hpp"
+#include "core/transition.hpp"
+
+namespace mpb {
+
+// Thrown when an effect contradicts its transition's static annotations.
+class AnnotationError : public std::runtime_error {
+ public:
+  explicit AnnotationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct ExecuteOptions {
+  bool validate_annotations = true;
+};
+
+// Execute event `e` in `s`. If `failed_assertion` is non-null, it receives
+// the label of the first in-transition assertion that failed (empty when the
+// event executed cleanly).
+[[nodiscard]] State execute(const Protocol& proto, const State& s, const Event& e,
+                            const ExecuteOptions& opts = {},
+                            std::string* failed_assertion = nullptr);
+
+}  // namespace mpb

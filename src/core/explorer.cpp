@@ -1,0 +1,289 @@
+#include "core/explorer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mpb {
+
+std::string_view to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kHolds: return "Verified";
+    case Verdict::kViolated: return "CE";
+    case Verdict::kBudgetExceeded: return ">budget";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> FullExpansion::select(const State&,
+                                               std::span<const Event> events,
+                                               const StrategyContext&) {
+  std::vector<std::size_t> all(events.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return all;
+}
+
+namespace {
+
+// Visited-set abstraction over exact states vs fingerprints.
+class VisitedSet {
+ public:
+  explicit VisitedSet(VisitedMode mode) : mode_(mode) {}
+
+  // Returns true if `s` was newly inserted.
+  bool insert(const State& s) {
+    if (mode_ == VisitedMode::kExact) return exact_.insert(s).second;
+    return fp_.insert(s.fingerprint()).second;
+  }
+
+  [[nodiscard]] bool contains(const State& s) const {
+    if (mode_ == VisitedMode::kExact) return exact_.contains(s);
+    return fp_.contains(s.fingerprint());
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return mode_ == VisitedMode::kExact ? exact_.size() : fp_.size();
+  }
+
+ private:
+  VisitedMode mode_;
+  std::unordered_set<State, StateHash> exact_;
+  std::unordered_set<Fingerprint, FingerprintHash> fp_;
+};
+
+// Multiset of states on the current DFS stack, for the cycle proviso and for
+// stateless cycle cut-off. Fingerprint-based: a collision can only cause a
+// conservative (sound) full expansion or an early path cut.
+class StackSet {
+ public:
+  void push(const State& s) { ++counts_[s.fingerprint()]; }
+  void pop(const State& s) {
+    auto it = counts_.find(s.fingerprint());
+    if (it != counts_.end() && --it->second == 0) counts_.erase(it);
+  }
+  [[nodiscard]] bool contains(const State& s) const {
+    return counts_.contains(s.fingerprint());
+  }
+
+ private:
+  std::unordered_map<Fingerprint, std::uint32_t, FingerprintHash> counts_;
+};
+
+struct Frame {
+  State s;
+  std::vector<Event> chosen;
+  std::size_t next = 0;
+};
+
+class Search {
+ public:
+  Search(const Protocol& proto, const ExploreConfig& cfg, ReductionStrategy* strategy)
+      : proto_(proto), cfg_(cfg), strategy_(strategy), visited_(cfg.visited) {
+    exec_opts_.validate_annotations = cfg.validate_annotations;
+  }
+
+  ExploreResult run() {
+    start_ = std::chrono::steady_clock::now();
+    State init = proto_.initial();
+    if (check_violation(init)) {
+      finish();
+      return std::move(result_);
+    }
+    if (cfg_.mode == SearchMode::kStateful) {
+      visited_.insert(cfg_.canonicalize ? cfg_.canonicalize(init) : init);
+    }
+    push_frame(std::move(init));
+
+    while (!frames_.empty() && !done_) {
+      if (over_budget()) {
+        truncated_ = true;
+        break;
+      }
+      Frame& f = frames_.back();
+      if (f.next >= f.chosen.size()) {
+        stack_set_.pop(f.s);
+        frames_.pop_back();
+        continue;
+      }
+      const Event& e = f.chosen[f.next++];
+      std::string failed;
+      State succ = execute(proto_, f.s, e, exec_opts_, &failed);
+      ++result_.stats.events_executed;
+      if (!failed.empty()) {
+        result_.verdict = Verdict::kViolated;
+        result_.violated_property = failed;
+        record_counterexample(e, succ);
+        if (cfg_.stop_at_first_violation) break;
+      }
+
+      if (cfg_.mode == SearchMode::kStateful) {
+        if (!visited_.insert(cfg_.canonicalize ? cfg_.canonicalize(succ) : succ)) {
+          continue;
+        }
+      } else {
+        if (stack_set_.contains(succ)) continue;  // cut cycles in stateless mode
+        if (frames_.size() >= cfg_.max_depth) {
+          truncated_ = true;
+          continue;
+        }
+      }
+
+      if (check_violation(succ)) {
+        record_counterexample(e, succ);
+        if (cfg_.stop_at_first_violation) break;
+        continue;
+      }
+      push_frame(std::move(succ));
+    }
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  void push_frame(State s) {
+    ++result_.stats.states_visited;
+    result_.stats.max_depth_seen =
+        std::max(result_.stats.max_depth_seen, static_cast<unsigned>(frames_.size()) + 1);
+
+    std::vector<Event> enabled = enumerate_events(proto_, s);
+    result_.stats.events_enabled += enabled.size();
+    if (enabled.empty()) {
+      ++result_.stats.terminal_states;
+      if (cfg_.collect_terminals) {
+        result_.terminal_fingerprints.push_back(
+            cfg_.canonicalize ? cfg_.canonicalize(s).fingerprint() : s.fingerprint());
+      }
+      stack_set_.push(s);
+      frames_.push_back(Frame{std::move(s), {}, 0});
+      return;
+    }
+
+    std::vector<Event> chosen;
+    if (strategy_ == nullptr) {
+      chosen = std::move(enabled);
+    } else {
+      StrategyContext ctx{
+          [&](const Event& e) { return execute(proto_, s, e, exec_opts_); },
+          [&](const State& st) { return stack_set_.contains(st); }};
+      std::vector<std::size_t> idx = strategy_->select(s, enabled, ctx);
+      if (idx.size() >= enabled.size()) ++result_.stats.full_expansions;
+      chosen.reserve(idx.size());
+      for (std::size_t i : idx) chosen.push_back(std::move(enabled[i]));
+    }
+    result_.stats.events_selected += chosen.size();
+    stack_set_.push(s);
+    frames_.push_back(Frame{std::move(s), std::move(chosen), 0});
+  }
+
+  // Returns true (and records) if a property is violated in `s`.
+  bool check_violation(const State& s) {
+    const Property* p = proto_.violated_property(s);
+    if (p == nullptr) return false;
+    result_.verdict = Verdict::kViolated;
+    result_.violated_property = p->name;
+    if (cfg_.stop_at_first_violation) done_ = true;
+    return true;
+  }
+
+  void record_counterexample(const Event& last, const State& violating) {
+    result_.counterexample.clear();
+    for (std::size_t i = 0; i + 1 < frames_.size(); ++i) {
+      const Frame& f = frames_[i];
+      result_.counterexample.push_back(
+          TraceStep{f.chosen[f.next - 1], frames_[i + 1].s});
+    }
+    result_.counterexample.push_back(TraceStep{last, violating});
+  }
+
+  [[nodiscard]] bool over_budget() {
+    if (result_.stats.events_executed > cfg_.max_events) return true;
+    const std::uint64_t stored = cfg_.mode == SearchMode::kStateful
+                                     ? visited_.size()
+                                     : result_.stats.states_visited;
+    if (stored > cfg_.max_states) return true;
+    if (++budget_tick_ % 1024 == 0) {
+      if (elapsed() > cfg_.max_seconds) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void finish() {
+    result_.stats.seconds = elapsed();
+    result_.stats.states_stored = cfg_.mode == SearchMode::kStateful
+                                      ? visited_.size()
+                                      : result_.stats.states_visited;
+    if (result_.verdict != Verdict::kViolated && truncated_) {
+      result_.verdict = Verdict::kBudgetExceeded;
+    }
+    auto& tf = result_.terminal_fingerprints;
+    std::sort(tf.begin(), tf.end());
+    tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
+  }
+
+  const Protocol& proto_;
+  const ExploreConfig& cfg_;
+  ReductionStrategy* strategy_;
+  ExecuteOptions exec_opts_;
+  VisitedSet visited_;
+  StackSet stack_set_;
+  std::vector<Frame> frames_;
+  ExploreResult result_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t budget_tick_ = 0;
+  bool truncated_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
+                      ReductionStrategy* strategy) {
+  return Search(proto, cfg, strategy).run();
+}
+
+ExploreResult explore_full(const Protocol& proto) {
+  return explore(proto, ExploreConfig{});
+}
+
+std::vector<State> reachable_states(const Protocol& proto, std::uint64_t max_states) {
+  std::unordered_set<State, StateHash> seen;
+  std::vector<State> frontier{proto.initial()};
+  seen.insert(proto.initial());
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    if (seen.size() > max_states) return {};
+    const State s = frontier[head++];  // copy: frontier may reallocate below
+    for (const Event& e : enumerate_events(proto, s)) {
+      State succ = execute(proto, s, e);
+      if (seen.insert(succ).second) frontier.push_back(std::move(succ));
+    }
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const State& a, const State& b) { return a < b; });
+  return frontier;
+}
+
+std::vector<Edge> reachable_edges(const Protocol& proto, std::uint64_t max_states) {
+  std::unordered_set<State, StateHash> seen;
+  std::vector<State> frontier{proto.initial()};
+  seen.insert(proto.initial());
+  std::vector<Edge> edges;
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    if (seen.size() > max_states) return {};
+    const State s = frontier[head++];
+    for (const Event& e : enumerate_events(proto, s)) {
+      State succ = execute(proto, s, e);
+      edges.push_back(Edge{s, proto.transition(e.tid).name, e.consumed, succ});
+      if (seen.insert(succ).second) frontier.push_back(std::move(succ));
+    }
+  }
+  return edges;
+}
+
+}  // namespace mpb

@@ -1,0 +1,141 @@
+// The state-space explorer: depth-first search over the state graph generated
+// by a Protocol, with pluggable partial-order reduction.
+//
+// Two search modes mirror the paper's experimental setup:
+//  * Stateful  — a visited set prunes revisits (exact states, or 128-bit
+//                fingerprints for memory-bound runs);
+//  * Stateless — no visited set; every path is walked (the mode Basset's DPOR
+//                requires, Section III-A).
+//
+// A ReductionStrategy selects, in each newly reached state, the subset of
+// enabled events to explore. FullExpansion is the unreduced baseline; the SPOR
+// stubborn-set strategy lives in src/por/spor.hpp.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/enabled.hpp"
+#include "core/execute.hpp"
+#include "core/protocol.hpp"
+
+namespace mpb {
+
+enum class SearchMode { kStateful, kStateless };
+enum class VisitedMode { kExact, kFingerprint };
+
+enum class Verdict {
+  kHolds,           // every reachable state satisfies every property
+  kViolated,        // a counterexample was found
+  kBudgetExceeded,  // search stopped on a state/time/depth budget
+};
+
+[[nodiscard]] std::string_view to_string(Verdict v) noexcept;
+
+struct ExploreConfig {
+  SearchMode mode = SearchMode::kStateful;
+  VisitedMode visited = VisitedMode::kExact;
+  std::uint64_t max_states = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
+  double max_seconds = std::numeric_limits<double>::infinity();
+  unsigned max_depth = 1u << 20;  // stateless safety net
+  bool stop_at_first_violation = true;
+  bool validate_annotations = true;
+  // Record the fingerprint of every terminal (deadlock) state reached; used
+  // by the deadlock-preservation tests (stubborn sets must find all of them).
+  bool collect_terminals = false;
+  // Optional state canonicalizer applied before visited-set lookups (and to
+  // terminal fingerprints): the symmetry-reduction hook (por/symmetry.hpp).
+  // The search itself still walks concrete states, so counterexamples remain
+  // genuine paths.
+  std::function<State(const State&)> canonicalize;
+};
+
+// One step of a counterexample path: the event taken and the state reached.
+struct TraceStep {
+  Event event;
+  State after;
+};
+
+struct ExploreStats {
+  std::uint64_t states_stored = 0;    // unique states (stateful mode)
+  std::uint64_t states_visited = 0;   // nodes expanded (counts revisits when stateless)
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_selected = 0;  // events chosen by the strategy
+  std::uint64_t events_enabled = 0;   // events enabled before reduction
+  std::uint64_t terminal_states = 0;  // states with no enabled event
+  std::uint64_t full_expansions = 0;  // states where reduction fell back to all
+  unsigned max_depth_seen = 0;
+  double seconds = 0.0;
+};
+
+struct ExploreResult {
+  Verdict verdict = Verdict::kHolds;
+  std::string violated_property;
+  std::vector<TraceStep> counterexample;  // empty unless verdict == kViolated
+  ExploreStats stats;
+  // Sorted, deduplicated; filled only when cfg.collect_terminals is set.
+  std::vector<Fingerprint> terminal_fingerprints;
+};
+
+// Callbacks a strategy may use to evaluate provisos.
+struct StrategyContext {
+  // Successor of the current state through `e`.
+  std::function<State(const Event& e)> successor;
+  // Whether a state lies on the current DFS stack (cycle proviso).
+  std::function<bool(const State& s)> on_stack;
+};
+
+class ReductionStrategy {
+ public:
+  virtual ~ReductionStrategy() = default;
+
+  // Indices into `events` of the subset to explore from `s`. Must be non-empty
+  // whenever `events` is non-empty.
+  virtual std::vector<std::size_t> select(const State& s,
+                                          std::span<const Event> events,
+                                          const StrategyContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+// The unreduced baseline: explore every enabled event.
+class FullExpansion final : public ReductionStrategy {
+ public:
+  std::vector<std::size_t> select(const State&, std::span<const Event> events,
+                                  const StrategyContext&) override;
+  [[nodiscard]] std::string_view name() const override { return "full"; }
+};
+
+// Run the search. `strategy` may be nullptr (full expansion).
+[[nodiscard]] ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
+                                    ReductionStrategy* strategy = nullptr);
+
+// Convenience: unreduced stateful search with default budgets.
+[[nodiscard]] ExploreResult explore_full(const Protocol& proto);
+
+// Enumerate the full reachable state graph (unreduced, stateful, exact) and
+// return all reachable states; used by tests to check refinement equivalence
+// (Thm. 2). Aborts (returns empty) if more than `max_states` are reachable.
+[[nodiscard]] std::vector<State> reachable_states(const Protocol& proto,
+                                                  std::uint64_t max_states = 1u << 22);
+
+// All labelled edges of the reachable state graph: (state, event, successor)
+// triples in a canonical order; used by state-graph equivalence tests.
+struct Edge {
+  State from;
+  std::string transition_name;  // identity up to refinement provenance
+  std::vector<Message> consumed;
+  State to;
+};
+[[nodiscard]] std::vector<Edge> reachable_edges(const Protocol& proto,
+                                                std::uint64_t max_states = 1u << 20);
+
+}  // namespace mpb

@@ -1,0 +1,16 @@
+#include "core/message.hpp"
+
+#include <cassert>
+
+namespace mpb {
+
+Message::Message(MsgType type, ProcessId sender, ProcessId receiver,
+                 std::initializer_list<Value> payload)
+    : type_(type), sender_(sender), receiver_(receiver),
+      size_(static_cast<std::uint8_t>(payload.size())) {
+  assert(payload.size() <= kMaxPayload);
+  unsigned i = 0;
+  for (Value v : payload) payload_[i++] = v;
+}
+
+}  // namespace mpb

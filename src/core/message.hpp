@@ -1,0 +1,95 @@
+// Messages of the message-passing computation model (Section II-A).
+//
+// A channel c_{i,j} is an *unordered* set of messages. We represent the union
+// of all channels as one sorted multiset (see state.hpp); a message therefore
+// carries its sender and receiver explicitly.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace mpb {
+
+using ProcessId = std::uint8_t;
+using MsgType = std::uint16_t;
+using Value = std::int32_t;
+
+inline constexpr MsgType kNoMsgType = 0xffff;
+
+// A message: type tag, sender, receiver and a short payload of values.
+// Fixed-capacity payload keeps Message a cheap value type; every protocol in
+// the paper needs at most 3 payload slots.
+class Message {
+ public:
+  static constexpr unsigned kMaxPayload = 4;
+
+  Message() = default;
+  Message(MsgType type, ProcessId sender, ProcessId receiver,
+          std::initializer_list<Value> payload);
+
+  [[nodiscard]] MsgType type() const noexcept { return type_; }
+  [[nodiscard]] ProcessId sender() const noexcept { return sender_; }
+  [[nodiscard]] ProcessId receiver() const noexcept { return receiver_; }
+  [[nodiscard]] unsigned payload_size() const noexcept { return size_; }
+  [[nodiscard]] std::span<const Value> payload() const noexcept {
+    return {payload_.data(), size_};
+  }
+
+  // Payload accessor; index must be < payload_size().
+  [[nodiscard]] Value operator[](unsigned i) const noexcept { return payload_[i]; }
+
+  // Copy with renamed endpoints; payload untouched (symmetry reduction).
+  [[nodiscard]] Message with_endpoints(ProcessId sender, ProcessId receiver) const noexcept {
+    Message m = *this;
+    m.sender_ = sender;
+    m.receiver_ = receiver;
+    return m;
+  }
+
+  void feed(Hasher64& h) const noexcept {
+    h.add_int(type_);
+    h.add_int(sender_);
+    h.add_int(receiver_);
+    h.add_int(size_);
+    for (unsigned i = 0; i < size_; ++i) h.add_int(payload_[i]);
+  }
+
+  friend bool operator==(const Message& a, const Message& b) noexcept {
+    if (a.type_ != b.type_ || a.sender_ != b.sender_ || a.receiver_ != b.receiver_ ||
+        a.size_ != b.size_) {
+      return false;
+    }
+    for (unsigned i = 0; i < a.size_; ++i) {
+      if (a.payload_[i] != b.payload_[i]) return false;
+    }
+    return true;
+  }
+
+  // Total order used to keep the network multiset canonical. Sorting first by
+  // receiver then type groups each transition's candidate pool contiguously.
+  friend std::strong_ordering operator<=>(const Message& a, const Message& b) noexcept {
+    if (auto c = a.receiver_ <=> b.receiver_; c != 0) return c;
+    if (auto c = a.type_ <=> b.type_; c != 0) return c;
+    if (auto c = a.sender_ <=> b.sender_; c != 0) return c;
+    if (auto c = a.size_ <=> b.size_; c != 0) return c;
+    for (unsigned i = 0; i < a.size_; ++i) {
+      if (auto c = a.payload_[i] <=> b.payload_[i]; c != 0) return c;
+    }
+    return std::strong_ordering::equal;
+  }
+
+ private:
+  MsgType type_ = kNoMsgType;
+  ProcessId sender_ = 0;
+  ProcessId receiver_ = 0;
+  std::uint8_t size_ = 0;
+  std::array<Value, kMaxPayload> payload_{};
+};
+
+}  // namespace mpb

@@ -1,0 +1,132 @@
+#include "core/protocol.hpp"
+
+#include <sstream>
+
+namespace mpb {
+
+ProcessId Protocol::add_process(ProcessInfo info) {
+  const auto id = static_cast<ProcessId>(procs_.size());
+  procs_.push_back(std::move(info));
+  return id;
+}
+
+ProcessMask Protocol::role_mask(std::string_view type_name) const noexcept {
+  ProcessMask m = 0;
+  for (unsigned p = 0; p < procs_.size(); ++p) {
+    if (procs_[p].type_name == type_name) m |= mask_of(p);
+  }
+  return m;
+}
+
+MsgType Protocol::intern_msg_type(std::string_view name) {
+  if (auto existing = find_msg_type(name)) return *existing;
+  msg_type_names_.emplace_back(name);
+  return static_cast<MsgType>(msg_type_names_.size() - 1);
+}
+
+std::optional<MsgType> Protocol::find_msg_type(std::string_view name) const noexcept {
+  for (unsigned i = 0; i < msg_type_names_.size(); ++i) {
+    if (msg_type_names_[i] == name) return static_cast<MsgType>(i);
+  }
+  return std::nullopt;
+}
+
+TransitionId Protocol::add_transition(Transition t) {
+  const auto id = static_cast<TransitionId>(transitions_.size());
+  transitions_.push_back(std::move(t));
+  return id;
+}
+
+const Property* Protocol::find_property(std::string_view name) const noexcept {
+  for (const Property& p : properties_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const Property* Protocol::violated_property(const State& s) const {
+  for (const Property& p : properties_) {
+    if (!p.holds(s, *this)) return &p;
+  }
+  return nullptr;
+}
+
+std::string Protocol::validate() const {
+  std::ostringstream err;
+  if (procs_.empty()) err << "protocol has no processes; ";
+  if (procs_.size() > kMaxProcesses) err << "too many processes; ";
+
+  std::size_t expected_offset = 0;
+  for (unsigned p = 0; p < procs_.size(); ++p) {
+    const ProcessInfo& pi = procs_[p];
+    if (pi.local_offset != expected_offset) {
+      err << "process " << pi.name << ": local_offset mismatch; ";
+    }
+    if (pi.var_names.size() != pi.local_len) {
+      err << "process " << pi.name << ": var_names/local_len mismatch; ";
+    }
+    expected_offset += pi.local_len;
+  }
+  if (initial_.locals().size() != expected_offset) {
+    err << "initial state locals size " << initial_.locals().size()
+        << " != schema size " << expected_offset << "; ";
+  }
+
+  const ProcessMask valid_procs =
+      procs_.size() >= kMaxProcesses ? kAllProcesses
+                                     : (mask_of(static_cast<unsigned>(procs_.size())) - 1);
+  for (unsigned i = 0; i < transitions_.size(); ++i) {
+    const Transition& t = transitions_[i];
+    const std::string where = "transition " + t.name + ": ";
+    if (t.proc >= procs_.size()) err << where << "bad proc id; ";
+    if (t.arity != kSpontaneous && t.arity != kPowersetArity && t.arity < 1) {
+      err << where << "bad arity; ";
+    }
+    if (t.arity == kSpontaneous && t.in_type != kNoMsgType) {
+      err << where << "spontaneous transitions consume no message type; ";
+    }
+    if (t.arity != kSpontaneous && t.in_type == kNoMsgType) {
+      err << where << "missing in_type; ";
+    }
+    if (t.arity != kSpontaneous && t.in_type != kNoMsgType &&
+        t.in_type >= msg_type_names_.size()) {
+      err << where << "in_type not interned; ";
+    }
+    for (MsgType out : t.out_types) {
+      if (out >= msg_type_names_.size()) err << where << "out_type not interned; ";
+    }
+    if (t.is_reply && t.arity != 1) {
+      err << where << "reply transitions must be single-message (Def. 4 split support); ";
+    }
+    if ((t.allowed_senders & valid_procs) == 0 && t.arity != kSpontaneous) {
+      err << where << "allowed_senders empty; ";
+    }
+    if (!t.out_types.empty() && (t.send_to & valid_procs) == 0) {
+      err << where << "send_to empty but out_types declared; ";
+    }
+  }
+  return err.str();
+}
+
+// --- EffectCtx (declared in transition.hpp; needs Protocol's layout) ---
+
+EffectCtx::EffectCtx(const Protocol& proto, State& working, ProcessId self,
+                     std::span<const Message> consumed)
+    : proto_(proto), working_(working), self_(self), consumed_(consumed) {
+  const ProcessInfo& pi = proto.proc(self);
+  local_ = working.local_slice_mut(pi.local_offset, pi.local_len);
+}
+
+Value EffectCtx::peek(ProcessId other, unsigned var) {
+  const ProcessInfo& pi = proto_.proc(other);
+  if (other != self_) {
+    peeked_.push_back(PeekDecl{other, VarMask{1} << var});
+  }
+  return working_.local_slice(pi.local_offset, pi.local_len)[var];
+}
+
+void EffectCtx::send(ProcessId to, MsgType type, std::initializer_list<Value> payload) {
+  sends_.emplace_back(type, self_, to, payload);
+}
+
+}  // namespace mpb

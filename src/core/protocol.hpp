@@ -1,0 +1,111 @@
+// A Protocol bundles everything the checker needs about one concrete protocol
+// instance: the process table (with local-variable schemas), the transition
+// table, the initial state, the interned message-type names, and the named
+// invariant properties to verify.
+//
+// Protocols are plain values: the refinement pass copies a protocol and
+// rewrites its transition table (guards/effects are shared through
+// std::function), leaving the original untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/transition.hpp"
+#include "util/bitmask.hpp"
+
+namespace mpb {
+
+struct ProcessInfo {
+  std::string name;             // instance name, e.g. "acceptor2"
+  std::string type_name;        // role, e.g. "Acceptor"
+  std::size_t local_offset = 0; // slice of State::locals
+  std::size_t local_len = 0;
+  std::vector<std::string> var_names;  // for trace printing
+  bool byzantine = false;       // informational (fault modelling)
+};
+
+// An invariant: a predicate that must hold in every reachable state
+// (Section II-A, "Properties"). A state where `holds` returns false is a
+// violation; the path to it is a counterexample.
+struct Property {
+  std::string name;
+  std::function<bool(const State&, const Protocol&)> holds;
+};
+
+class Protocol {
+ public:
+  explicit Protocol(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // --- processes ---
+  [[nodiscard]] unsigned n_procs() const noexcept {
+    return static_cast<unsigned>(procs_.size());
+  }
+  [[nodiscard]] const ProcessInfo& proc(ProcessId p) const noexcept { return procs_[p]; }
+  [[nodiscard]] const std::vector<ProcessInfo>& procs() const noexcept { return procs_; }
+  ProcessId add_process(ProcessInfo info);
+
+  // Mask of all processes whose role equals `type_name`.
+  [[nodiscard]] ProcessMask role_mask(std::string_view type_name) const noexcept;
+
+  // --- message types ---
+  MsgType intern_msg_type(std::string_view name);
+  [[nodiscard]] std::optional<MsgType> find_msg_type(std::string_view name) const noexcept;
+  [[nodiscard]] const std::string& msg_type_name(MsgType t) const noexcept {
+    return msg_type_names_[t];
+  }
+  [[nodiscard]] unsigned n_msg_types() const noexcept {
+    return static_cast<unsigned>(msg_type_names_.size());
+  }
+
+  // --- transitions ---
+  TransitionId add_transition(Transition t);
+  [[nodiscard]] const Transition& transition(TransitionId id) const noexcept {
+    return transitions_[id];
+  }
+  [[nodiscard]] const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] unsigned n_transitions() const noexcept {
+    return static_cast<unsigned>(transitions_.size());
+  }
+  // Replace the whole transition table (used by src/refine).
+  void set_transitions(std::vector<Transition> ts) { transitions_ = std::move(ts); }
+
+  // --- initial state / properties ---
+  void set_initial(State s) { initial_ = std::move(s); }
+  [[nodiscard]] const State& initial() const noexcept { return initial_; }
+
+  void add_property(Property p) { properties_.push_back(std::move(p)); }
+  [[nodiscard]] const std::vector<Property>& properties() const noexcept {
+    return properties_;
+  }
+  [[nodiscard]] const Property* find_property(std::string_view name) const noexcept;
+
+  // First property violated in `s`, or nullptr.
+  [[nodiscard]] const Property* violated_property(const State& s) const;
+
+  // Structural sanity checks (masks within range, offsets consistent,
+  // declared out-types interned, reply transitions single-message).
+  // Returns an error description, or empty string if valid.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ProcessInfo> procs_;
+  std::vector<Transition> transitions_;
+  std::vector<std::string> msg_type_names_;
+  State initial_;
+  std::vector<Property> properties_;
+};
+
+}  // namespace mpb

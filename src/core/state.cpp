@@ -1,0 +1,19 @@
+#include "core/state.hpp"
+
+namespace mpb {
+
+std::pair<std::size_t, std::size_t> State::pending_range(ProcessId receiver,
+                                                         MsgType type) const noexcept {
+  // Messages sort by (receiver, type, ...), so the pool is one contiguous run.
+  auto lo = std::lower_bound(net_.begin(), net_.end(), std::pair{receiver, type},
+                             [](const Message& m, const std::pair<ProcessId, MsgType>& key) {
+                               if (m.receiver() != key.first) return m.receiver() < key.first;
+                               return m.type() < key.second;
+                             });
+  auto hi = lo;
+  while (hi != net_.end() && hi->receiver() == receiver && hi->type() == type) ++hi;
+  return {static_cast<std::size_t>(lo - net_.begin()),
+          static_cast<std::size_t>(hi - net_.begin())};
+}
+
+}  // namespace mpb

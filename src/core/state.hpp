@@ -1,0 +1,107 @@
+// Global states of the message-passing computation model (Section II-A).
+//
+// A state s is the vector of every process's local state plus the contents of
+// every channel. We store the channels as one sorted multiset of messages
+// (each message knows its endpoints) and the local states as one flat vector
+// of Values with per-process offsets held by the Protocol. Both components are
+// kept canonical so that equality and hashing are structural.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/message.hpp"
+#include "util/hash.hpp"
+
+namespace mpb {
+
+class State {
+ public:
+  State() = default;
+  State(std::vector<Value> locals, std::vector<Message> network)
+      : locals_(std::move(locals)), net_(std::move(network)) {
+    std::sort(net_.begin(), net_.end());
+  }
+
+  [[nodiscard]] std::span<const Value> locals() const noexcept { return locals_; }
+  [[nodiscard]] std::span<Value> locals_mut() noexcept { return locals_; }
+  [[nodiscard]] const std::vector<Message>& network() const noexcept { return net_; }
+  [[nodiscard]] std::size_t network_size() const noexcept { return net_.size(); }
+
+  // Local-variable slice of one process; offsets come from the Protocol.
+  [[nodiscard]] std::span<const Value> local_slice(std::size_t offset,
+                                                   std::size_t len) const noexcept {
+    return {locals_.data() + offset, len};
+  }
+  [[nodiscard]] std::span<Value> local_slice_mut(std::size_t offset,
+                                                 std::size_t len) noexcept {
+    return {locals_.data() + offset, len};
+  }
+
+  // Insert a message, keeping the multiset sorted.
+  void add_message(const Message& m) {
+    net_.insert(std::upper_bound(net_.begin(), net_.end(), m), m);
+  }
+
+  // Remove exactly one occurrence of `m`. Returns false if absent.
+  bool remove_message(const Message& m) {
+    auto it = std::lower_bound(net_.begin(), net_.end(), m);
+    if (it == net_.end() || !(*it == m)) return false;
+    net_.erase(it);
+    return true;
+  }
+
+  // Indices into network() of pending messages addressed to `receiver` with
+  // type `type`. The sort order makes this a contiguous range.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> pending_range(
+      ProcessId receiver, MsgType type) const noexcept;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    Hasher64 h;
+    feed(h);
+    return h.digest();
+  }
+
+  [[nodiscard]] Fingerprint fingerprint() const noexcept {
+    Hasher64 a(0x243f6a8885a308d3ULL);
+    Hasher64 b(0x13198a2e03707344ULL);
+    feed(a);
+    feed(b);
+    return {a.digest(), b.digest()};
+  }
+
+  friend bool operator==(const State& a, const State& b) noexcept {
+    return a.locals_ == b.locals_ && a.net_ == b.net_;
+  }
+
+  // Lexicographic order; used only by tests that compare reachable-state sets.
+  friend bool operator<(const State& a, const State& b) noexcept {
+    if (a.locals_ != b.locals_) return a.locals_ < b.locals_;
+    return std::lexicographical_compare(a.net_.begin(), a.net_.end(),
+                                        b.net_.begin(), b.net_.end(),
+                                        [](const Message& x, const Message& y) {
+                                          return x < y;
+                                        });
+  }
+
+ private:
+  void feed(Hasher64& h) const noexcept {
+    h.add(locals_.size());
+    for (Value v : locals_) h.add_int(v);
+    h.add(net_.size());
+    for (const Message& m : net_) m.feed(h);
+  }
+
+  std::vector<Value> locals_;
+  std::vector<Message> net_;  // sorted multiset of all in-flight messages
+};
+
+struct StateHash {
+  [[nodiscard]] std::size_t operator()(const State& s) const noexcept {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+}  // namespace mpb

@@ -1,0 +1,98 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+namespace mpb {
+
+std::string format_message(const Protocol& proto, const Message& m) {
+  std::ostringstream os;
+  os << proto.msg_type_name(m.type()) << "(";
+  for (unsigned i = 0; i < m.payload_size(); ++i) {
+    if (i > 0) os << ", ";
+    os << m[i];
+  }
+  os << ") " << proto.proc(m.sender()).name << " -> " << proto.proc(m.receiver()).name;
+  return os.str();
+}
+
+std::string format_event(const Protocol& proto, const Event& e) {
+  const Transition& t = proto.transition(e.tid);
+  std::ostringstream os;
+  os << proto.proc(t.proc).name << "." << t.name;
+  if (!e.consumed.empty()) {
+    os << " consuming {";
+    for (std::size_t i = 0; i < e.consumed.size(); ++i) {
+      if (i > 0) os << "; ";
+      os << format_message(proto, e.consumed[i]);
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+void print_state(std::ostream& os, const Protocol& proto, const State& s) {
+  for (unsigned p = 0; p < proto.n_procs(); ++p) {
+    const ProcessInfo& pi = proto.proc(p);
+    os << "  " << pi.name << ":";
+    auto slice = s.local_slice(pi.local_offset, pi.local_len);
+    for (std::size_t v = 0; v < slice.size(); ++v) {
+      os << " " << pi.var_names[v] << "=" << slice[v];
+    }
+    os << "\n";
+  }
+  if (s.network().empty()) {
+    os << "  network: (empty)\n";
+  } else {
+    os << "  network:\n";
+    for (const Message& m : s.network()) {
+      os << "    " << format_message(proto, m) << "\n";
+    }
+  }
+}
+
+void print_counterexample(std::ostream& os, const Protocol& proto,
+                          const ExploreResult& result) {
+  if (result.verdict != Verdict::kViolated) {
+    os << "(no counterexample: verdict is " << to_string(result.verdict) << ")\n";
+    return;
+  }
+  os << "Counterexample for property '" << result.violated_property << "' ("
+     << result.counterexample.size() << " steps)\n";
+  os << "Initial state:\n";
+  print_state(os, proto, proto.initial());
+  for (std::size_t i = 0; i < result.counterexample.size(); ++i) {
+    const TraceStep& step = result.counterexample[i];
+    os << "Step " << (i + 1) << ": " << format_event(proto, step.event) << "\n";
+    print_state(os, proto, step.after);
+  }
+}
+
+bool replay_counterexample(const Protocol& proto, const ExploreResult& result) {
+  if (result.verdict != Verdict::kViolated) return false;
+  State s = proto.initial();
+  std::string failed;
+  for (const TraceStep& step : result.counterexample) {
+    // The recorded event must actually be enabled in the current state.
+    std::vector<Event> enabled;
+    enumerate_events_of(proto, s, step.event.tid, enabled);
+    bool found = false;
+    for (const Event& e : enabled) {
+      if (e == step.event) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+    failed.clear();
+    s = execute(proto, s, step.event, {}, &failed);
+    if (!(s == step.after)) return false;
+  }
+  // The final step must re-establish the violation: either the recorded
+  // in-transition assertion fails again, or the named state predicate is
+  // false in the reached state.
+  if (failed == result.violated_property && !failed.empty()) return true;
+  const Property* p = proto.find_property(result.violated_property);
+  return p != nullptr && !p->holds(s, proto);
+}
+
+}  // namespace mpb

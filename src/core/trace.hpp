@@ -1,0 +1,31 @@
+// Human-readable rendering and replay of states, events and counterexamples.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/explorer.hpp"
+#include "core/protocol.hpp"
+
+namespace mpb {
+
+// "READ_REPL(prop#=1, val=7) from acceptor0" style one-liner.
+[[nodiscard]] std::string format_message(const Protocol& proto, const Message& m);
+
+// "proposer0.READ_REPL consuming {...}" style one-liner.
+[[nodiscard]] std::string format_event(const Protocol& proto, const Event& e);
+
+// Multi-line dump: each process's local variables plus the in-flight messages.
+void print_state(std::ostream& os, const Protocol& proto, const State& s);
+
+// Full counterexample: numbered steps, each with the event and resulting state.
+void print_counterexample(std::ostream& os, const Protocol& proto,
+                          const ExploreResult& result);
+
+// Re-execute a counterexample from the initial state. Returns true iff every
+// step's reached state matches the recorded one and the final state violates
+// the named property. Used to certify that reported bugs are real.
+[[nodiscard]] bool replay_counterexample(const Protocol& proto,
+                                         const ExploreResult& result);
+
+}  // namespace mpb

@@ -1,0 +1,189 @@
+// Transition descriptors of the MP protocol language (Sections II-B, IV and
+// Appendix Tables III/IV of the paper).
+//
+// A transition t of process i consumes a set X of messages from i's incoming
+// channels (|X| constrained by the transition's arity), may change i's local
+// state via its effect, and may send messages. A guard g_t decides, from i's
+// local state and a candidate set X, whether t is enabled for X.
+//
+// Each descriptor also carries the static POR annotations of Table IV
+// (message-out types, sender/recipient masks, isReply, visibility, seed
+// priority). The refinement pass (src/refine) produces new descriptors that
+// share guard/effect but narrow `allowed_senders` (quorum-split, reply-split).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/state.hpp"
+#include "util/bitmask.hpp"
+
+namespace mpb {
+
+class Protocol;
+
+using TransitionId = std::uint16_t;
+inline constexpr TransitionId kNoTransition = 0xffff;
+
+// Bitmask over one process's local variables (index i -> bit i).
+using VarMask = std::uint32_t;
+inline constexpr VarMask kAllVars = ~VarMask{0};
+
+// A declared ghost read: which variables of which process an effect may
+// inspect via EffectCtx::peek.
+struct PeekDecl {
+  ProcessId proc = 0;
+  VarMask vars = kAllVars;
+};
+
+// Transition arities. kSpontaneous transitions consume no messages (they model
+// the paper's driver-sent "fake messages" that trigger a protocol instance);
+// kPowersetArity transitions may consume any subset of pending messages and
+// leave enabledness entirely to the guard (the general Section IV-A case).
+inline constexpr int kSpontaneous = 0;
+inline constexpr int kPowersetArity = -1;
+
+// Read-only view handed to guards: the local variables of the executing
+// process and the candidate message set X (sorted).
+struct GuardView {
+  std::span<const Value> local;
+  std::span<const Message> consumed;
+};
+
+using Guard = std::function<bool(const GuardView&)>;
+
+// Mutable context handed to effects. Effects may update the executing
+// process's local variables and send messages; they must not touch anything
+// else. `peek` grants read-only access to another process's variables for
+// *specification ghost reads only* (the paper uses the same escape hatch for
+// the storage regularity assertion, cf. its footnote 7).
+class EffectCtx {
+ public:
+  EffectCtx(const Protocol& proto, State& working, ProcessId self,
+            std::span<const Message> consumed);
+
+  [[nodiscard]] ProcessId self() const noexcept { return self_; }
+  [[nodiscard]] std::span<const Message> consumed() const noexcept { return consumed_; }
+  [[nodiscard]] const Protocol& protocol() const noexcept { return proto_; }
+
+  [[nodiscard]] Value local(unsigned var) const noexcept { return local_[var]; }
+  void set_local(unsigned var, Value v) noexcept {
+    written_ |= VarMask{1} << var;
+    local_[var] = v;
+  }
+  [[nodiscard]] std::span<Value> locals() noexcept { return local_; }
+
+  // Ghost read of another process's variable. Specification-only; every
+  // peeked process must be declared in the transition's `peeks` annotation or
+  // execution (with validation on) fails — undeclared remote reads would make
+  // partial-order reduction unsound.
+  [[nodiscard]] Value peek(ProcessId other, unsigned var);
+
+  // Peeks recorded so far during this effect (for annotation validation).
+  [[nodiscard]] const std::vector<PeekDecl>& peeked() const noexcept {
+    return peeked_;
+  }
+  // Own variables written so far (for annotation validation).
+  [[nodiscard]] VarMask written() const noexcept { return written_; }
+
+  void send(ProcessId to, MsgType type, std::initializer_list<Value> payload);
+
+  // In-transition specification assertion — the paper's mechanism ("the
+  // specification is a set of Java assertions defined within transitions").
+  // A failed assertion marks this *event* as a violation; because assertion
+  // inputs (own locals, consumed messages, declared peeks) are all covered by
+  // the POR dependence relation, stubborn-set reduction preserves assertion
+  // violations without any visibility proviso.
+  void assert_that(bool ok, std::string_view label) {
+    if (!ok && failed_assertion_.empty()) failed_assertion_ = std::string(label);
+  }
+  [[nodiscard]] const std::string& failed_assertion() const noexcept {
+    return failed_assertion_;
+  }
+
+  [[nodiscard]] const std::vector<Message>& sends() const noexcept { return sends_; }
+
+ private:
+  const Protocol& proto_;
+  State& working_;
+  ProcessId self_;
+  std::span<const Message> consumed_;
+  std::span<Value> local_;
+  std::vector<Message> sends_;
+  std::vector<PeekDecl> peeked_;
+  VarMask written_ = 0;
+  std::string failed_assertion_;
+};
+
+using Effect = std::function<void(EffectCtx&)>;
+
+struct Transition {
+  std::string name;
+  ProcessId proc = 0;              // executing process
+  MsgType in_type = kNoMsgType;    // consumed message type (unless spontaneous)
+  int arity = 1;                   // kSpontaneous | 1 | exact quorum q>1 | kPowersetArity
+  ProcessMask allowed_senders = kAllProcesses;  // senders X may draw from
+  Guard guard;                     // empty => always true
+  Effect effect;                   // empty => no-op
+
+  // --- static POR annotations (Table IV) ---
+  std::vector<MsgType> out_types;  // message types this transition may send
+  ProcessMask send_to = kAllProcesses;  // recipients it may send to
+  bool reads_local = true;         // guard reads local state (isStateSensitive)
+  bool writes_local = true;        // effect writes local state (isWrite)
+  // Which own variables the guard reads (meaningful when reads_local);
+  // variable-level precision keeps same-process enabling sharp: a disabled
+  // guard can only be flipped by writers of the variables it actually reads.
+  VarMask reads_vars = kAllVars;
+  bool is_reply = false;           // sends only to senders(X) (Def. 4)
+  bool visible = false;            // may change the truth of a property
+  int priority = 0;                // seed heuristic weight (higher = preferred)
+  // Which of the executing process's variables the effect may write
+  // (meaningful only when writes_local); variable-level precision keeps the
+  // peek-conflict relation sharp.
+  VarMask writes_vars = kAllVars;
+  // Ghost reads via EffectCtx::peek. A real cross-process dependence the POR
+  // relations must know about; `peeks` is the process-level union.
+  std::vector<PeekDecl> peek_decls;
+  ProcessMask peeks = 0;
+
+  // Provenance: the unrefined transition this one was split from, or
+  // kNoTransition for original transitions. Set by src/refine.
+  TransitionId split_of = kNoTransition;
+
+  [[nodiscard]] bool is_quorum() const noexcept { return arity > 1 || arity == kPowersetArity; }
+  [[nodiscard]] bool is_spontaneous() const noexcept { return arity == kSpontaneous; }
+
+  [[nodiscard]] bool guard_holds(const GuardView& v) const {
+    return !guard || guard(v);
+  }
+};
+
+// True iff a ghost read of `a` may observe a variable that `b` writes — a
+// genuine cross-process conflict the POR relations must respect.
+[[nodiscard]] inline bool peek_conflict(const Transition& a,
+                                        const Transition& b) noexcept {
+  if (!b.writes_local) return false;
+  for (const PeekDecl& d : a.peek_decls) {
+    if (d.proc == b.proc && (d.vars & b.writes_vars) != 0) return true;
+  }
+  return false;
+}
+
+// An *event* is a concrete occurrence of a transition: the transition id plus
+// the exact message multiset X it consumes (sorted, canonical). Two events are
+// equal iff they denote the same state-graph edge label.
+struct Event {
+  TransitionId tid = kNoTransition;
+  std::vector<Message> consumed;  // sorted
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.tid == b.tid && a.consumed == b.consumed;
+  }
+};
+
+}  // namespace mpb

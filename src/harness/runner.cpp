@@ -1,0 +1,101 @@
+#include "harness/runner.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mpb::harness {
+
+std::string_view to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kUnreducedStateful: return "unreduced";
+    case Strategy::kUnreducedStateless: return "unreduced-stateless";
+    case Strategy::kSpor: return "SPOR";
+    case Strategy::kDpor: return "DPOR";
+  }
+  return "?";
+}
+
+ExploreConfig budget_from_env() {
+  ExploreConfig cfg;
+  cfg.max_states = 3'000'000;
+  cfg.max_seconds = 120.0;
+  if (const char* s = std::getenv("MPB_BUDGET_STATES")) {
+    cfg.max_states = std::strtoull(s, nullptr, 10);
+  }
+  if (const char* s = std::getenv("MPB_BUDGET_SECONDS")) {
+    cfg.max_seconds = std::strtod(s, nullptr);
+  }
+  // Benchmarks run big instances: fingerprinted visited set keeps memory flat.
+  cfg.visited = VisitedMode::kFingerprint;
+  return cfg;
+}
+
+ExploreResult run(const Protocol& proto, const RunSpec& spec) {
+  ExploreConfig cfg = spec.explore;
+  switch (spec.strategy) {
+    case Strategy::kUnreducedStateful: {
+      cfg.mode = SearchMode::kStateful;
+      return explore(proto, cfg, nullptr);
+    }
+    case Strategy::kUnreducedStateless: {
+      cfg.mode = SearchMode::kStateless;
+      return explore_dpor(proto, cfg, DporOptions{.reduce = false});
+    }
+    case Strategy::kSpor: {
+      cfg.mode = SearchMode::kStateful;
+      SporStrategy strategy(proto, spec.spor);
+      return explore(proto, cfg, &strategy);
+    }
+    case Strategy::kDpor: {
+      cfg.mode = SearchMode::kStateless;
+      return explore_dpor(proto, cfg, DporOptions{.reduce = true});
+    }
+  }
+  return {};
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string format_time(double seconds) {
+  std::ostringstream os;
+  if (seconds >= 3600.0) {
+    const auto h = static_cast<unsigned>(seconds / 3600.0);
+    const auto m = static_cast<unsigned>((seconds - h * 3600.0) / 60.0);
+    os << h << "h" << m << "m";
+  } else if (seconds >= 60.0) {
+    const auto m = static_cast<unsigned>(seconds / 60.0);
+    const auto s = static_cast<unsigned>(seconds - m * 60.0);
+    os << m << "m" << s << "s";
+  } else if (seconds >= 1.0) {
+    os.precision(1);
+    os << std::fixed << seconds << "s";
+  } else {
+    os.precision(2);
+    os << std::fixed << seconds << "s";
+  }
+  return os.str();
+}
+
+std::string format_cell(const ExploreResult& r) {
+  std::ostringstream os;
+  if (r.verdict == Verdict::kBudgetExceeded) {
+    os << ">" << format_count(r.stats.states_stored) << " " << format_time(r.stats.seconds)
+       << " (budget)";
+  } else {
+    os << to_string(r.verdict) << " " << format_count(r.stats.states_stored) << " "
+       << format_time(r.stats.seconds);
+  }
+  return os.str();
+}
+
+}  // namespace mpb::harness

@@ -1,0 +1,44 @@
+// Experiment harness: runs one (protocol, search strategy) cell of the
+// paper's evaluation matrix and reports verdict, state count and time — the
+// quantities Tables I and II tabulate.
+#pragma once
+
+#include <string>
+
+#include "core/explorer.hpp"
+#include "por/dpor.hpp"
+#include "por/spor.hpp"
+
+namespace mpb::harness {
+
+enum class Strategy {
+  kUnreducedStateful,   // plain DFS + visited set
+  kUnreducedStateless,  // plain DFS, no visited set
+  kSpor,                // stubborn-set SPOR, stateful (MP-LPOR stand-in)
+  kDpor,                // Flanagan-Godefroid DPOR, stateless (Basset's [13])
+};
+
+[[nodiscard]] std::string_view to_string(Strategy s) noexcept;
+
+struct RunSpec {
+  Strategy strategy = Strategy::kSpor;
+  SporOptions spor;        // applies to kSpor
+  ExploreConfig explore;   // budgets; mode/visited are set by the strategy
+};
+
+// Per-cell budgets read from the environment:
+//   MPB_BUDGET_STATES  (default 3,000,000 stored/visited states)
+//   MPB_BUDGET_SECONDS (default 120 s)
+// mirroring the paper's 48-hour time-out discipline at laptop scale.
+[[nodiscard]] ExploreConfig budget_from_env();
+
+[[nodiscard]] ExploreResult run(const Protocol& proto, const RunSpec& spec);
+
+// "2,822,764" style thousands separators, as printed in the paper's tables.
+[[nodiscard]] std::string format_count(std::uint64_t n);
+// "9h37m", "3m4s", "12s", "0.45s".
+[[nodiscard]] std::string format_time(double seconds);
+// A Table I/II cell: "Verified  2,822,764  9.2s" or ">3,000,000 (budget)".
+[[nodiscard]] std::string format_cell(const ExploreResult& r);
+
+}  // namespace mpb::harness

@@ -1,0 +1,28 @@
+// Plain-text table rendering for the bench binaries, in the layout of the
+// paper's Tables I/II: one row per protocol setting, one column group per
+// search strategy, each cell showing result / states / time.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mpb::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+
+  // Also emit machine-readable CSV (same cells, comma-separated, quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpb::harness

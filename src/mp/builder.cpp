@@ -1,0 +1,146 @@
+#include "mp/builder.hpp"
+
+#include <stdexcept>
+
+namespace mpb::mp {
+
+TransitionBuilder& TransitionBuilder::consumes(std::string_view msg_type, int arity) {
+  t_.in_type = owner_.msg(msg_type);
+  t_.arity = arity;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::spontaneous() {
+  t_.in_type = kNoMsgType;
+  t_.arity = kSpontaneous;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::from(ProcessMask senders) {
+  t_.allowed_senders = senders;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::guard(Guard g) {
+  t_.guard = std::move(g);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::effect(Effect e) {
+  t_.effect = std::move(e);
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::sends(std::string_view msg_type, ProcessMask to) {
+  const MsgType mt = owner_.msg(msg_type);
+  if (t_.out_types.empty()) t_.send_to = 0;  // replace the conservative default
+  t_.out_types.push_back(mt);
+  t_.send_to |= to;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::reply() {
+  t_.is_reply = true;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::visible() {
+  t_.visible = true;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::peeks(ProcessMask procs) {
+  t_.peeks |= procs;
+  mask_for_each(procs, [&](unsigned pid) {
+    t_.peek_decls.push_back(PeekDecl{static_cast<ProcessId>(pid), kAllVars});
+  });
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::peeks(ProcessId proc, VarMask vars) {
+  t_.peeks |= mask_of(proc);
+  t_.peek_decls.push_back(PeekDecl{proc, vars});
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::writes(VarMask vars) {
+  t_.writes_local = true;
+  t_.writes_vars = vars;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::reads(VarMask vars) {
+  t_.reads_local = true;
+  t_.reads_vars = vars;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::priority(int p) {
+  t_.priority = p;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::reads_local(bool b) {
+  t_.reads_local = b;
+  return *this;
+}
+
+TransitionBuilder& TransitionBuilder::writes_local(bool b) {
+  t_.writes_local = b;
+  return *this;
+}
+
+ProtocolBuilder::ProtocolBuilder(std::string name) : proto_(std::move(name)) {}
+
+ProcessId ProtocolBuilder::process(std::string name, std::string type_name,
+                                   std::vector<std::pair<std::string, Value>> vars,
+                                   bool byzantine) {
+  ProcessInfo info;
+  info.name = std::move(name);
+  info.type_name = std::move(type_name);
+  info.local_offset = initial_locals_.size();
+  info.local_len = vars.size();
+  info.byzantine = byzantine;
+  for (auto& [vname, init] : vars) {
+    info.var_names.push_back(std::move(vname));
+    initial_locals_.push_back(init);
+  }
+  return proto_.add_process(std::move(info));
+}
+
+MsgType ProtocolBuilder::msg(std::string_view name) {
+  return proto_.intern_msg_type(name);
+}
+
+TransitionBuilder& ProtocolBuilder::transition(ProcessId proc, std::string name) {
+  Transition t;
+  t.name = std::move(name);
+  t.proc = proc;
+  t.out_types.clear();
+  t.send_to = 0;  // nothing sent unless sends() is called
+  pending_.emplace_back(TransitionBuilder(*this, std::move(t)));
+  return pending_.back();
+}
+
+void ProtocolBuilder::property(
+    std::string name, std::function<bool(const State&, const Protocol&)> holds) {
+  proto_.add_property(Property{std::move(name), std::move(holds)});
+}
+
+void ProtocolBuilder::initial_message(const Message& m) {
+  initial_msgs_.push_back(m);
+}
+
+Protocol ProtocolBuilder::build() {
+  for (TransitionBuilder& tb : pending_) {
+    proto_.add_transition(std::move(tb.t_));
+  }
+  pending_.clear();
+  proto_.set_initial(State(std::move(initial_locals_), std::move(initial_msgs_)));
+  if (std::string err = proto_.validate(); !err.empty()) {
+    throw std::invalid_argument("protocol '" + proto_.name() + "' invalid: " + err);
+  }
+  return std::move(proto_);
+}
+
+}  // namespace mpb::mp

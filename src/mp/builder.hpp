@@ -1,0 +1,102 @@
+// Fluent construction of Protocol values — the C++ counterpart of the MP
+// language (Section II-B and the Appendix user guide).
+//
+//   mp::ProtocolBuilder b("paxos");
+//   auto p0 = b.process("proposer0", "Proposer", {{"started", 0}, {"phase", 0}});
+//   b.transition(p0, "START")
+//       .spontaneous()
+//       .guard([](const GuardView& g) { return g.local[0] == 0; })
+//       .effect([=](EffectCtx& c) { ... })
+//       .sends("READ", acceptor_mask)
+//       .priority(3);
+//   Protocol proto = b.build();
+//
+// build() validates the protocol (see Protocol::validate) and throws
+// std::invalid_argument on any inconsistency, so malformed models fail at
+// construction rather than as unsound POR at exploration time.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace mpb::mp {
+
+class ProtocolBuilder;
+
+class TransitionBuilder {
+ public:
+  // Message consumption. Default arity is a single message.
+  TransitionBuilder& consumes(std::string_view msg_type, int arity = 1);
+  TransitionBuilder& spontaneous();
+  // Restrict the senders X may draw from (defaults to every process).
+  TransitionBuilder& from(ProcessMask senders);
+
+  TransitionBuilder& guard(Guard g);
+  TransitionBuilder& effect(Effect e);
+
+  // Declare a message type this transition may send and to whom; may be
+  // called multiple times. Feeds the static POR annotations.
+  TransitionBuilder& sends(std::string_view msg_type, ProcessMask to);
+
+  TransitionBuilder& reply();            // Def. 4 reply transition
+  TransitionBuilder& visible();          // may affect a property's truth
+  // Ghost-read declarations: whole processes, or specific variables of one.
+  TransitionBuilder& peeks(ProcessMask procs);
+  TransitionBuilder& peeks(ProcessId proc, VarMask vars);
+  // Restrict the effect's own-variable writes (sharper peek conflicts).
+  TransitionBuilder& writes(VarMask vars);
+  // Restrict the guard's own-variable reads (sharper enabling relations).
+  TransitionBuilder& reads(VarMask vars);
+  TransitionBuilder& priority(int p);    // seed-heuristic weight
+  TransitionBuilder& reads_local(bool b);
+  TransitionBuilder& writes_local(bool b);
+
+ private:
+  friend class ProtocolBuilder;
+  TransitionBuilder(ProtocolBuilder& owner, Transition t)
+      : owner_(owner), t_(std::move(t)) {}
+
+  ProtocolBuilder& owner_;
+  Transition t_;
+};
+
+class ProtocolBuilder {
+ public:
+  explicit ProtocolBuilder(std::string name);
+
+  // Add a process with its local-variable schema (name, initial value).
+  ProcessId process(std::string name, std::string type_name,
+                    std::vector<std::pair<std::string, Value>> vars,
+                    bool byzantine = false);
+
+  MsgType msg(std::string_view name);
+
+  // Start a transition of `proc`; finish by configuring the returned builder.
+  TransitionBuilder& transition(ProcessId proc, std::string name);
+
+  void property(std::string name,
+                std::function<bool(const State&, const Protocol&)> holds);
+
+  // Seed the initial network (rarely needed; drivers usually use spontaneous
+  // transitions instead).
+  void initial_message(const Message& m);
+
+  // Validate and produce the protocol. Throws std::invalid_argument on error.
+  [[nodiscard]] Protocol build();
+
+  [[nodiscard]] const Protocol& peek() const noexcept { return proto_; }
+
+ private:
+  friend class TransitionBuilder;
+  Protocol proto_;
+  std::vector<Value> initial_locals_;
+  std::vector<Message> initial_msgs_;
+  std::deque<TransitionBuilder> pending_;  // deque: stable references
+};
+
+}  // namespace mpb::mp

@@ -1,0 +1,44 @@
+// Dynamic partial-order reduction (Flanagan–Godefroid, POPL'05 [13]) adapted
+// to the actor/message-passing setting, as used by Basset for the paper's
+// "No quorum (DPOR)" baseline (Table I).
+//
+// The search is *stateless* (Section III-A: DPOR is unsound with stateful
+// search), depth-first, and tracks the causal happens-before relation with
+// exact per-event causal-past sets: an event's past is the union of the pasts
+// of the events that sent the messages it consumes. Two events *race* when
+// they target the same process (or ghost-peek each other's process) and are
+// causally unordered; a detected race between an executed event and a
+// currently enabled one adds a backtrack point at the earlier frame.
+//
+// Two deviations from plain Flanagan-Godefroid keep the algorithm sound in
+// the guarded message-set setting:
+//  * whenever an event of a process is selected for exploration, every
+//    co-enabled event of that same process is scheduled at the same frame.
+//    Alternatives of one process (different message choices, guard-gated
+//    transitions) need not stay enabled after one of them runs — a quorum
+//    event consumes the pool, a guard may lock out a sibling — so the usual
+//    "the race partner is still enabled later" assumption does not hold and
+//    per-process choices are expanded eagerly instead;
+//  * when a racing event was not enabled at the backtrack frame, the whole
+//    frame is re-expanded (the conservative fallback of [13]).
+//
+// Like the paper's experiments, the intended use is single-message models
+// (Table I's "No quorum (DPOR)" column); quorum models are handled soundly
+// but reduce little because quorum alternatives are eagerly expanded.
+#pragma once
+
+#include "core/explorer.hpp"
+
+namespace mpb {
+
+struct DporOptions {
+  // When false the search is plain stateless DFS without reduction —
+  // the unreduced stateless baseline.
+  bool reduce = true;
+};
+
+[[nodiscard]] ExploreResult explore_dpor(const Protocol& proto,
+                                         const ExploreConfig& cfg,
+                                         const DporOptions& opts = {});
+
+}  // namespace mpb

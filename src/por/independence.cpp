@@ -1,0 +1,62 @@
+#include "por/independence.hpp"
+
+#include <algorithm>
+
+namespace mpb {
+
+namespace {
+
+bool may_produce_for(const Transition& a, const Transition& b) {
+  if (b.arity == kSpontaneous) return false;  // consumes nothing
+  if (std::find(a.out_types.begin(), a.out_types.end(), b.in_type) ==
+      a.out_types.end()) {
+    return false;
+  }
+  if (!mask_contains(a.send_to, b.proc)) return false;
+  // b only consumes from its allowed senders (narrowed by quorum-split).
+  if (!mask_contains(b.allowed_senders, a.proc)) return false;
+  // A reply transition sends only to senders of its own X (Def. 4), i.e. only
+  // to processes it is allowed to consume from (narrowed by reply-split).
+  if (a.is_reply && !mask_contains(a.allowed_senders, b.proc)) return false;
+  return true;
+}
+
+}  // namespace
+
+StaticRelations::StaticRelations(const Protocol& proto)
+    : n_(proto.n_transitions()),
+      dep_(static_cast<std::size_t>(n_) * n_, 0),
+      enable_(static_cast<std::size_t>(n_) * n_, 0),
+      enable_local_(static_cast<std::size_t>(n_) * n_, 0),
+      producers_(n_),
+      local_enablers_(n_),
+      dependents_(n_) {
+  const auto& ts = proto.transitions();
+  for (TransitionId a = 0; a < n_; ++a) {
+    for (TransitionId b = 0; b < n_; ++b) {
+      const Transition& ta = ts[a];
+      const Transition& tb = ts[b];
+      const bool enables = may_produce_for(ta, tb);
+      const bool enables_local = a != b && ta.proc == tb.proc &&
+                                 ta.writes_local && tb.reads_local &&
+                                 (ta.writes_vars & tb.reads_vars) != 0;
+      enable_[index(a, b)] = enables ? 1 : 0;
+      enable_local_[index(a, b)] = enables_local ? 1 : 0;
+      // Ghost peeks are real cross-process reads: a transition peeking
+      // variables of process P conflicts with their writers.
+      const bool peeking = peek_conflict(ta, tb) || peek_conflict(tb, ta);
+      const bool dep = ta.proc == tb.proc || enables || may_produce_for(tb, ta) ||
+                       peeking;
+      dep_[index(a, b)] = dep ? 1 : 0;
+    }
+  }
+  for (TransitionId b = 0; b < n_; ++b) {
+    for (TransitionId a = 0; a < n_; ++a) {
+      if (enable_[index(a, b)]) producers_[b].push_back(a);
+      if (enable_local_[index(a, b)]) local_enablers_[b].push_back(a);
+      if (dep_[index(b, a)]) dependents_[b].push_back(a);
+    }
+  }
+}
+
+}  // namespace mpb

@@ -1,0 +1,71 @@
+// Precomputed static (state-unconditional) relations between transitions,
+// mirroring MP-LPOR's pre-computation design (Section IV-B): the dependence
+// and can-enable relations are functions of the transition table only, so they
+// are computed once before the search and queried during it.
+//
+// For the message-passing computation model the relations are:
+//
+//  * can_enable(a, b)   — a may produce a message b consumes: b's input type
+//    is among a's out-types, b's process among a's recipients, and a's process
+//    among b's allowed senders. If a is a *reply* transition it only sends to
+//    senders of its own input (Def. 4), which further restricts the relation —
+//    this is precisely why reply-split sharpens POR (Section III-D).
+//  * can_enable_local(a, b) — a and b share a process, a writes local state
+//    and b's guard reads it (a may flip b's guard).
+//  * dependent(a, b)    — a and b share a process (they contend on local state
+//    and on the process's message pools), or one can enable the other.
+//    Transitions of distinct processes never share a message pool (a message
+//    has a single receiver) and sends into a channel multiset commute, so
+//    nothing else can conflict.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace mpb {
+
+class StaticRelations {
+ public:
+  explicit StaticRelations(const Protocol& proto);
+
+  [[nodiscard]] bool dependent(TransitionId a, TransitionId b) const noexcept {
+    return dep_[index(a, b)];
+  }
+  [[nodiscard]] bool can_enable(TransitionId a, TransitionId b) const noexcept {
+    return enable_[index(a, b)];
+  }
+  [[nodiscard]] bool can_enable_local(TransitionId a, TransitionId b) const noexcept {
+    return enable_local_[index(a, b)];
+  }
+
+  [[nodiscard]] unsigned n_transitions() const noexcept { return n_; }
+
+  // Transitions that may furnish messages to `t` (its message-producers NES).
+  [[nodiscard]] const std::vector<TransitionId>& producers_of(TransitionId t) const noexcept {
+    return producers_[t];
+  }
+  // Same-process writers that may flip `t`'s guard (its local-state NES).
+  [[nodiscard]] const std::vector<TransitionId>& local_enablers_of(TransitionId t) const noexcept {
+    return local_enablers_[t];
+  }
+  // All transitions dependent on `t`.
+  [[nodiscard]] const std::vector<TransitionId>& dependents_of(TransitionId t) const noexcept {
+    return dependents_[t];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(TransitionId a, TransitionId b) const noexcept {
+    return static_cast<std::size_t>(a) * n_ + b;
+  }
+
+  unsigned n_;
+  std::vector<char> dep_;
+  std::vector<char> enable_;
+  std::vector<char> enable_local_;
+  std::vector<std::vector<TransitionId>> producers_;
+  std::vector<std::vector<TransitionId>> local_enablers_;
+  std::vector<std::vector<TransitionId>> dependents_;
+};
+
+}  // namespace mpb

@@ -1,0 +1,191 @@
+#include "por/spor.hpp"
+
+#include <algorithm>
+
+namespace mpb {
+
+std::string_view to_string(SeedHeuristic h) noexcept {
+  switch (h) {
+    case SeedHeuristic::kOppositeTransaction: return "opposite-transaction";
+    case SeedHeuristic::kTransaction: return "transaction";
+    case SeedHeuristic::kFirst: return "first";
+  }
+  return "?";
+}
+
+SporStrategy::SporStrategy(const Protocol& proto, SporOptions opts)
+    : proto_(proto), opts_(opts), rel_(proto) {}
+
+namespace {
+
+// Deterministic seed order for a heuristic: the preferred seed first.
+std::vector<TransitionId> seed_order(const Protocol& proto,
+                                     std::vector<TransitionId> enabled,
+                                     SeedHeuristic h) {
+  switch (h) {
+    case SeedHeuristic::kOppositeTransaction:
+      std::stable_sort(enabled.begin(), enabled.end(),
+                       [&](TransitionId a, TransitionId b) {
+                         return proto.transition(a).priority >
+                                proto.transition(b).priority;
+                       });
+      break;
+    case SeedHeuristic::kTransaction:
+      std::stable_sort(enabled.begin(), enabled.end(),
+                       [&](TransitionId a, TransitionId b) {
+                         return proto.transition(a).priority <
+                                proto.transition(b).priority;
+                       });
+      break;
+    case SeedHeuristic::kFirst:
+      break;  // ascending tid, as enumerated
+  }
+  return enabled;
+}
+
+}  // namespace
+
+void SporStrategy::close_over(const State& s, std::span<const char> is_enabled,
+                              std::vector<char>& in_set,
+                              std::vector<TransitionId>& work) const {
+  auto push = [&](TransitionId t) {
+    if (!in_set[t]) {
+      in_set[t] = 1;
+      work.push_back(t);
+    }
+  };
+  while (!work.empty()) {
+    const TransitionId t = work.back();
+    work.pop_back();
+    if (is_enabled[t]) {
+      // Enabled member: everything dependent on it must be inside, so that t
+      // stays a key transition and the commutation arguments apply.
+      for (TransitionId d : rel_.dependents_of(t)) push(d);
+    } else {
+      // Disabled member: one necessary enabling set (NES) must be inside.
+      // If the pending pool cannot satisfy the arity, any enabling path must
+      // first run a producer — producers alone are a valid NES. Otherwise the
+      // guard rejected every candidate set, and it could be flipped either by
+      // a same-process local write *or* by additional messages (a quorum
+      // guard inspecting contents), so the union of both sets is required.
+      const bool producers_suffice =
+          opts_.state_dependent_nes && pool_insufficient(proto_, s, t);
+      for (TransitionId p : rel_.producers_of(t)) push(p);
+      if (!producers_suffice) {
+        for (TransitionId p : rel_.local_enablers_of(t)) push(p);
+      }
+    }
+  }
+}
+
+std::vector<TransitionId> SporStrategy::stubborn_set(
+    const State& s, std::span<const Event> events) const {
+  std::vector<TransitionId> enabled;
+  for (const Event& e : events) {
+    if (enabled.empty() || enabled.back() != e.tid) enabled.push_back(e.tid);
+  }
+  if (enabled.empty()) return {};
+
+  const TransitionId seed = seed_order(proto_, enabled, opts_.seed).front();
+
+  std::vector<char> is_enabled(rel_.n_transitions(), 0);
+  for (TransitionId t : enabled) is_enabled[t] = 1;
+  std::vector<char> in_set(rel_.n_transitions(), 0);
+  std::vector<TransitionId> work{seed};
+  in_set[seed] = 1;
+  close_over(s, is_enabled, in_set, work);
+
+  std::vector<TransitionId> result;
+  for (TransitionId t : enabled) {
+    if (in_set[t]) result.push_back(t);
+  }
+  return result;
+}
+
+std::vector<std::size_t> SporStrategy::select(const State& s,
+                                              std::span<const Event> events,
+                                              const StrategyContext& ctx) {
+  std::vector<std::size_t> all(events.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  if (events.size() <= 1) return all;
+
+  std::vector<TransitionId> enabled;
+  for (const Event& e : events) {
+    if (enabled.empty() || enabled.back() != e.tid) enabled.push_back(e.tid);
+  }
+  if (enabled.size() <= 1 && !proto_.transition(enabled.front()).visible) {
+    // A single enabled transition must be taken in all its variants anyway.
+    return all;
+  }
+
+  std::vector<char> is_enabled(rel_.n_transitions(), 0);
+  for (TransitionId t : enabled) is_enabled[t] = 1;
+
+  // Try seeds in heuristic order; accept the first stubborn set that yields a
+  // genuine reduction and passes both provisos (or, with exhaustive_seed, the
+  // smallest such set). Falling through to the next seed (or to full
+  // expansion) is always sound.
+  std::vector<std::size_t> best;
+  bool have_best = false;
+  for (TransitionId seed : seed_order(proto_, enabled, opts_.seed)) {
+    std::vector<char> in_set(rel_.n_transitions(), 0);
+    std::vector<TransitionId> work{seed};
+    in_set[seed] = 1;
+    close_over(s, is_enabled, in_set, work);
+
+    // Visibility (Valmari's V-condition): if the set executes a visible
+    // transition, *every* visible transition — enabled or not — must be in
+    // the set, so its enablers are explored before orderings are committed.
+    if (opts_.visibility_proviso) {
+      bool executes_visible = false;
+      for (TransitionId t : enabled) {
+        if (in_set[t] && proto_.transition(t).visible) {
+          executes_visible = true;
+          break;
+        }
+      }
+      if (executes_visible) {
+        for (TransitionId t = 0; t < rel_.n_transitions(); ++t) {
+          if (proto_.transition(t).visible && !in_set[t]) {
+            in_set[t] = 1;
+            work.push_back(t);
+          }
+        }
+        close_over(s, is_enabled, in_set, work);
+      }
+    }
+
+    std::vector<std::size_t> chosen;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (in_set[events[i].tid]) chosen.push_back(i);
+    }
+    if (chosen.size() >= events.size()) {
+      if (!opts_.seed_retry) break;  // single-seed mode: give up, expand fully
+      continue;  // no reduction; next seed
+    }
+
+    // Cycle proviso: no chosen event may close a cycle on the DFS stack,
+    // otherwise outside transitions could be ignored forever.
+    if (opts_.cycle_proviso) {
+      bool closes_cycle = false;
+      for (std::size_t i : chosen) {
+        if (ctx.on_stack(ctx.successor(events[i]))) {
+          closes_cycle = true;
+          break;
+        }
+      }
+      if (closes_cycle) {
+        if (!opts_.seed_retry) break;
+        continue;
+      }
+    }
+    if (!opts_.exhaustive_seed) return chosen;
+    if (!have_best || chosen.size() < best.size()) {
+      best = std::move(chosen);
+      have_best = true;
+    }
+  }
+  return have_best ? best : all;
+}
+
+}  // namespace mpb

@@ -1,0 +1,89 @@
+// Static partial-order reduction via stubborn sets — the MP-LPOR stand-in
+// (Sections III-A, IV; tech report [9] describes the original).
+//
+// In every visited state the strategy:
+//   1. picks a *seed transition* among the enabled ones using a heuristic
+//      (the paper's "opposite transaction heuristic" prefers transitions that
+//      start/continue a protocol instance — encoded as the `priority`
+//      annotation);
+//   2. closes the set: an enabled member pulls in everything dependent on it;
+//      a disabled member pulls in one of its *necessary enabling sets* (NES):
+//      the transitions that could furnish its missing messages, or the
+//      same-process writers that could flip its guard. With
+//      `state_dependent_nes` (the LPOR-NET mode of the user guide) the NES is
+//      chosen by inspecting why the transition is disabled in this very state;
+//      otherwise the conservative union of both sets is used (plain LPOR);
+//   3. applies two provisos. Visibility (Valmari's V-condition): if the set
+//      would execute a *visible* transition, every visible transition —
+//      enabled or not — is added and the closure re-run, so no
+//      property-relevant ordering is committed before its enablers are in
+//      scope. Cycle: no chosen successor may close a DFS-stack cycle (the
+//      ignoring problem; the paper assumes acyclic graphs, we enforce it).
+//      A seed whose set fails a proviso or yields no reduction is abandoned
+//      and the next-best seed is tried; full expansion is the sound fallback.
+//
+// Every enabled transition of the closure is a key transition: all of its
+// dependents are inside the set, so no outside transition can disable it —
+// giving Valmari-style deadlock preservation.
+#pragma once
+
+#include <string>
+
+#include "core/explorer.hpp"
+#include "por/independence.hpp"
+
+namespace mpb {
+
+enum class SeedHeuristic {
+  kOppositeTransaction,  // highest priority first (the paper's heuristic)
+  kTransaction,          // lowest priority first ([5]-style, for the ablation)
+  kFirst,                // lowest transition id (uninformed baseline)
+};
+
+[[nodiscard]] std::string_view to_string(SeedHeuristic h) noexcept;
+
+struct SporOptions {
+  SeedHeuristic seed = SeedHeuristic::kOppositeTransaction;
+  bool state_dependent_nes = true;  // LPOR-NET when true, plain LPOR when false
+  bool visibility_proviso = true;
+  bool cycle_proviso = true;
+  // Try further seeds when the preferred seed's stubborn set yields no
+  // reduction or fails a proviso (an improvement over MP-LPOR, which computes
+  // a single stubborn set per state; disable for the faithful single-seed
+  // behaviour, where the heuristic's choice is decisive).
+  bool seed_retry = true;
+  // Evaluate every enabled seed and keep the smallest admissible stubborn set
+  // instead of accepting the heuristic's first reducing seed. More stubborn-
+  // set computations per state, often fewer states; the heuristic becomes the
+  // tie-break. Used by the seed-heuristics ablation bench.
+  bool exhaustive_seed = false;
+};
+
+class SporStrategy final : public ReductionStrategy {
+ public:
+  explicit SporStrategy(const Protocol& proto, SporOptions opts = {});
+
+  std::vector<std::size_t> select(const State& s, std::span<const Event> events,
+                                  const StrategyContext& ctx) override;
+
+  [[nodiscard]] std::string_view name() const override { return "spor"; }
+
+  [[nodiscard]] const StaticRelations& relations() const noexcept { return rel_; }
+
+  // Stubborn transition set computed for the given enabled events; exposed for
+  // tests and the Fig. 4 demo. Returns transition ids.
+  [[nodiscard]] std::vector<TransitionId> stubborn_set(
+      const State& s, std::span<const Event> events) const;
+
+ private:
+  // Saturate `in_set`/`work` under the stubborn-set closure rules.
+  void close_over(const State& s, std::span<const char> is_enabled,
+                  std::vector<char>& in_set,
+                  std::vector<TransitionId>& work) const;
+
+  const Protocol& proto_;
+  SporOptions opts_;
+  StaticRelations rel_;
+};
+
+}  // namespace mpb

@@ -1,0 +1,148 @@
+#include "por/symmetry.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mpb {
+
+namespace {
+
+// Structural equality of two transitions up to the executing process.
+bool structurally_equal(const Transition& a, const Transition& b) {
+  if (a.name != b.name) return false;
+  if (a.in_type != b.in_type || a.arity != b.arity) return false;
+  if (a.out_types != b.out_types) return false;
+  if (a.reads_local != b.reads_local || a.writes_local != b.writes_local) return false;
+  if (a.reads_vars != b.reads_vars || a.writes_vars != b.writes_vars) return false;
+  if (a.is_reply != b.is_reply || a.visible != b.visible) return false;
+  if (a.priority != b.priority) return false;
+  return true;
+}
+
+// All transitions executed by process p, sorted by name for comparison.
+std::vector<const Transition*> transitions_of(const Protocol& proto, ProcessId p) {
+  std::vector<const Transition*> out;
+  for (const Transition& t : proto.transitions()) {
+    if (t.proc == p) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(), [](const Transition* a, const Transition* b) {
+    return a->name < b->name;
+  });
+  return out;
+}
+
+bool processes_structurally_symmetric(const Protocol& proto, ProcessId p,
+                                      ProcessId q) {
+  const ProcessInfo& pi = proto.proc(p);
+  const ProcessInfo& qi = proto.proc(q);
+  if (pi.type_name != qi.type_name || pi.local_len != qi.local_len ||
+      pi.var_names != qi.var_names || pi.byzantine != qi.byzantine) {
+    return false;
+  }
+  const State& init = proto.initial();
+  auto ip = init.local_slice(pi.local_offset, pi.local_len);
+  auto iq = init.local_slice(qi.local_offset, qi.local_len);
+  if (!std::equal(ip.begin(), ip.end(), iq.begin(), iq.end())) return false;
+
+  const auto tp = transitions_of(proto, p);
+  const auto tq = transitions_of(proto, q);
+  if (tp.size() != tq.size()) return false;
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    if (!structurally_equal(*tp[i], *tq[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SymmetryReducer::SymmetryReducer(const Protocol& proto,
+                                 std::vector<std::vector<ProcessId>> groups)
+    : proto_(proto) {
+  for (auto& g : groups) {
+    if (g.size() < 2) continue;
+    std::sort(g.begin(), g.end());
+    for (std::size_t i = 1; i < g.size(); ++i) {
+      if (!processes_structurally_symmetric(proto, g[0], g[i])) {
+        throw std::invalid_argument(
+            "symmetry group containing " + proto.proc(g[0]).name + " and " +
+            proto.proc(g[i]).name + " fails the structural symmetry check");
+      }
+    }
+    groups_.push_back(std::move(g));
+  }
+
+  // Precompute the combined permutations: the cartesian product of every
+  // group's permutations, materialized as full process maps.
+  std::vector<ProcessId> identity(proto.n_procs());
+  std::iota(identity.begin(), identity.end(), ProcessId{0});
+  perms_.push_back(identity);
+  for (const auto& group : groups_) {
+    std::vector<ProcessId> arrangement = group;  // sorted = first permutation
+    std::vector<std::vector<ProcessId>> extended;
+    do {
+      for (const auto& base : perms_) {
+        std::vector<ProcessId> combined = base;
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          combined[group[i]] = arrangement[i];
+        }
+        extended.push_back(std::move(combined));
+      }
+    } while (std::next_permutation(arrangement.begin(), arrangement.end()));
+    perms_ = std::move(extended);
+  }
+  n_permutations_ = perms_.size();
+}
+
+State SymmetryReducer::canonicalize(const State& s) const {
+  if (perms_.size() <= 1) return s;
+
+  State best = s;
+  for (std::size_t k = 1; k < perms_.size(); ++k) {
+    const auto& perm = perms_[k];
+
+    // Permute locals: process p's slice moves to slot perm[p]. Symmetric
+    // processes share a schema, so offsets line up.
+    std::vector<Value> locals(s.locals().size());
+    for (ProcessId p = 0; p < proto_.n_procs(); ++p) {
+      const ProcessInfo& src = proto_.proc(p);
+      const ProcessInfo& dst = proto_.proc(perm[p]);
+      auto slice = s.local_slice(src.local_offset, src.local_len);
+      std::copy(slice.begin(), slice.end(),
+                locals.begin() + static_cast<std::ptrdiff_t>(dst.local_offset));
+    }
+
+    // Permute message endpoints; payloads must be identity-free (see header).
+    std::vector<Message> net;
+    net.reserve(s.network().size());
+    for (const Message& m : s.network()) {
+      net.push_back(m.with_endpoints(perm[m.sender()], perm[m.receiver()]));
+    }
+
+    State candidate(std::move(locals), std::move(net));
+    if (candidate < best) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::vector<std::vector<ProcessId>> SymmetryReducer::detect_roles(
+    const Protocol& proto) {
+  std::vector<std::vector<ProcessId>> groups;
+  std::vector<bool> grouped(proto.n_procs(), false);
+  for (ProcessId p = 0; p < proto.n_procs(); ++p) {
+    if (grouped[p]) continue;
+    std::vector<ProcessId> group{p};
+    for (ProcessId q = p + 1; q < proto.n_procs(); ++q) {
+      if (grouped[q]) continue;
+      if (processes_structurally_symmetric(proto, p, q)) {
+        group.push_back(q);
+        grouped[q] = true;
+      }
+    }
+    grouped[p] = true;
+    if (group.size() >= 2) groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace mpb

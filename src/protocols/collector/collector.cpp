@@ -1,0 +1,117 @@
+#include "protocols/collector/collector.hpp"
+
+#include "mp/builder.hpp"
+
+namespace mpb::protocols {
+
+namespace {
+
+constexpr unsigned kCollCnt = 1;  // single-message model tally
+
+}  // namespace
+
+std::string CollectorConfig::setting() const {
+  return "(n=" + std::to_string(senders) + ",l=" + std::to_string(quorum) +
+         (noise > 0 ? ",k=" + std::to_string(noise) : "") + ")";
+}
+
+Protocol make_collector(const CollectorConfig& cfg) {
+  mp::ProtocolBuilder b(std::string(cfg.quorum_model ? "collector-quorum"
+                                                     : "collector-1msg") +
+                        cfg.setting());
+
+  const MsgType mPING = b.msg("PING");
+
+  std::vector<std::pair<std::string, Value>> coll_vars{{"done", 0}};
+  if (!cfg.quorum_model) coll_vars.push_back({"cnt", 0});
+  const ProcessId collector = b.process("collector", "Collector", coll_vars);
+
+  std::vector<ProcessId> senders;
+  ProcessMask sender_mask = 0;
+  for (unsigned i = 0; i < cfg.senders; ++i) {
+    const ProcessId s =
+        b.process("sender" + std::to_string(i), "Sender", {{"sent", 0}});
+    senders.push_back(s);
+    sender_mask |= mask_of(s);
+  }
+
+  for (ProcessId s : senders) {
+    b.transition(s, "SEND")
+        .spontaneous()
+        .guard([](const GuardView& g) { return g.local[0] == 0; })
+        .effect([collector, mPING](EffectCtx& c) {
+          c.set_local(0, 1);
+          c.send(collector, mPING, {});
+        })
+        .sends("PING", mask_of(collector))
+        .priority(5);
+  }
+
+  if (cfg.quorum_model) {
+    b.transition(collector, "COLLECT")
+        .consumes("PING", static_cast<int>(cfg.quorum))
+        .from(sender_mask)
+        .guard([](const GuardView& g) { return g.local[kCollDone] == 0; })
+        .effect([](EffectCtx& c) { c.set_local(kCollDone, 1); })
+        .priority(1);
+  } else {
+    b.transition(collector, "COLLECT")
+        .consumes("PING", 1)
+        .from(sender_mask)
+        .effect([q = static_cast<Value>(cfg.quorum)](EffectCtx& c) {
+          if (c.local(kCollDone) == 1) return;
+          const Value cnt = c.local(kCollCnt) + 1;
+          c.set_local(kCollCnt, cnt);
+          if (cnt >= q) c.set_local(kCollDone, 1);
+        })
+        .priority(1);
+  }
+
+  // Independent noise processes: one local step each.
+  for (unsigned i = 0; i < cfg.noise; ++i) {
+    const ProcessId p =
+        b.process("noise" + std::to_string(i), "Noise", {{"stepped", 0}});
+    b.transition(p, "STEP")
+        .spontaneous()
+        .guard([](const GuardView& g) { return g.local[0] == 0; })
+        .effect([](EffectCtx& c) { c.set_local(0, 1); })
+        .priority(3);
+  }
+
+  // Sanity invariant: the collector can only be done once at least `quorum`
+  // senders have actually fired.
+  b.property("collector_done_implies_quorum",
+             [collector, senders, q = cfg.quorum](const State& s,
+                                                  const Protocol& proto) {
+               const ProcessInfo& pi = proto.proc(collector);
+               if (s.local_slice(pi.local_offset, pi.local_len)[kCollDone] == 0) {
+                 return true;
+               }
+               unsigned fired = 0;
+               for (ProcessId snd : senders) {
+                 const ProcessInfo& si = proto.proc(snd);
+                 fired += s.local_slice(si.local_offset, si.local_len)[0] == 1;
+               }
+               return fired >= q;
+             });
+
+  return b.build();
+}
+
+
+std::vector<std::vector<ProcessId>> collector_symmetric_roles(
+    const CollectorConfig& cfg) {
+  std::vector<std::vector<ProcessId>> roles;
+  std::vector<ProcessId> senders, noise;
+  for (unsigned i = 0; i < cfg.senders; ++i) {
+    senders.push_back(static_cast<ProcessId>(1 + i));  // collector is process 0
+  }
+  for (unsigned i = 0; i < cfg.noise; ++i) {
+    noise.push_back(static_cast<ProcessId>(1 + cfg.senders + i));
+  }
+  if (senders.size() >= 2) roles.push_back(std::move(senders));
+  if (noise.size() >= 2) roles.push_back(std::move(noise));
+  return roles;
+}
+
+}  // namespace mpb::protocols

@@ -1,0 +1,36 @@
+// A minimal synthetic protocol for the Section II-C state-inflation
+// experiment: n sender processes each fire one PING at a collector; the
+// collector consumes a quorum of l pings in one step (quorum model) or counts
+// them one by one (single-message model).
+//
+// The paper argues that expressing an l-message quorum transition through
+// single-message transitions inflates the state count from at most k!k to
+// (k+l)!(k+l); sweeping l with this protocol makes the gap measurable.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace mpb::protocols {
+
+struct CollectorConfig {
+  unsigned senders = 4;
+  unsigned quorum = 3;        // l: messages the collector needs
+  bool quorum_model = true;
+  // Extra independent "noise" processes, each firing one local event; they
+  // model the k concurrently enabled transitions of the paper's bound.
+  unsigned noise = 0;
+
+  [[nodiscard]] std::string setting() const;
+};
+
+[[nodiscard]] Protocol make_collector(const CollectorConfig& cfg);
+
+// Symmetric process groups of make_collector(cfg): the senders and the noise
+// processes.
+[[nodiscard]] std::vector<std::vector<ProcessId>> collector_symmetric_roles(
+    const CollectorConfig& cfg);
+
+// Collector local-variable indices.
+inline constexpr unsigned kCollDone = 0;
+
+}  // namespace mpb::protocols

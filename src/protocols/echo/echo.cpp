@@ -1,0 +1,300 @@
+#include "protocols/echo/echo.hpp"
+
+#include <algorithm>
+
+#include "mp/builder.hpp"
+
+namespace mpb::protocols {
+
+namespace {
+
+// Honest receiver locals: per-initiator slots [echoed_0.., accepted_0..].
+// Initiator slot i occupies echoed at index i and accepted at n_initiators+i.
+
+// Honest / Byzantine initiator locals.
+constexpr unsigned kInitStarted = 0;
+constexpr unsigned kInitCnt = 1;      // single-message model: tally for my value
+constexpr unsigned kInitCntB = 2;     // Byz single-message model: tally for value B
+
+}  // namespace
+
+std::string EchoConfig::setting() const {
+  return "(" + std::to_string(honest_receivers) + "," +
+         std::to_string(honest_initiators) + "," + std::to_string(byz_receivers) +
+         "," + std::to_string(byz_initiators) + ")";
+}
+
+Protocol make_echo_multicast(const EchoConfig& cfg) {
+  std::string name = cfg.quorum_model ? "echo-quorum" : "echo-1msg";
+  if (cfg.tolerance >= 0 &&
+      static_cast<unsigned>(cfg.tolerance) < cfg.byz_receivers) {
+    name += "-wrong";
+  }
+  mp::ProtocolBuilder b(name + cfg.setting());
+
+  const unsigned n_init = cfg.honest_initiators + cfg.byz_initiators;
+  const Value q = static_cast<Value>(cfg.threshold());
+
+  const MsgType mINIT = b.msg("INIT");
+  const MsgType mECHO = b.msg("ECHO");
+  const MsgType mDELIVER = b.msg("DELIVER");
+
+  // --- processes: initiators (honest then Byzantine), then receivers
+  // (honest then Byzantine) ---
+  std::vector<ProcessId> initiators, receivers;
+  for (unsigned i = 0; i < cfg.honest_initiators; ++i) {
+    std::vector<std::pair<std::string, Value>> vars{{"started", 0}};
+    if (!cfg.quorum_model) vars.push_back({"cnt", 0});
+    initiators.push_back(b.process("initiator" + std::to_string(i), "Initiator", vars));
+  }
+  for (unsigned i = 0; i < cfg.byz_initiators; ++i) {
+    std::vector<std::pair<std::string, Value>> vars{{"started", 0}};
+    if (!cfg.quorum_model) vars.insert(vars.end(), {{"cntA", 0}, {"cntB", 0}});
+    initiators.push_back(b.process("byz_initiator" + std::to_string(i),
+                                   "ByzInitiator", vars, /*byzantine=*/true));
+  }
+  for (unsigned i = 0; i < cfg.honest_receivers; ++i) {
+    std::vector<std::pair<std::string, Value>> vars;
+    for (unsigned s = 0; s < n_init; ++s) vars.push_back({"echoed" + std::to_string(s), 0});
+    for (unsigned s = 0; s < n_init; ++s) vars.push_back({"accepted" + std::to_string(s), 0});
+    receivers.push_back(b.process("receiver" + std::to_string(i), "Receiver", vars));
+  }
+  for (unsigned i = 0; i < cfg.byz_receivers; ++i) {
+    std::vector<std::pair<std::string, Value>> vars;
+    if (cfg.honest_initiators > 0) vars.push_back({"bogusSent", 0});
+    receivers.push_back(b.process("byz_receiver" + std::to_string(i), "ByzReceiver",
+                                  vars, /*byzantine=*/true));
+  }
+
+  ProcessMask init_mask = 0, recv_mask = 0, honest_init_mask = 0;
+  for (ProcessId p : initiators) init_mask |= mask_of(p);
+  for (ProcessId p : receivers) recv_mask |= mask_of(p);
+  for (unsigned i = 0; i < cfg.honest_initiators; ++i) {
+    honest_init_mask |= mask_of(initiators[i]);
+  }
+
+  // Map process id -> initiator slot (for per-initiator receiver state).
+  std::vector<int> init_slot(kMaxProcesses, -1);
+  for (unsigned i = 0; i < n_init; ++i) init_slot[initiators[i]] = static_cast<int>(i);
+
+  // --- initiator transitions ---
+  auto add_collect = [&](ProcessId p, const std::string& tname, Value value) {
+    // Certificate assembly: q echoes for `value` from distinct receivers.
+    if (cfg.quorum_model) {
+      b.transition(p, tname)
+          .consumes("ECHO", static_cast<int>(q))
+          .from(recv_mask)
+          .guard([value](const GuardView& g) {
+            return std::all_of(g.consumed.begin(), g.consumed.end(),
+                               [value](const Message& m) { return m[0] == value; });
+          })
+          .effect([=, recv = receivers](EffectCtx& c) {
+            for (ProcessId r : recv) c.send(r, mDELIVER, {value});
+          })
+          .sends("DELIVER", recv_mask)
+          .reads_local(false)
+          .writes_local(false)
+          .priority(3);
+    } else {
+      const unsigned cnt_var = value == kByzValueB ? kInitCntB : kInitCnt;
+      b.transition(p, tname)
+          .consumes("ECHO", 1)
+          .from(recv_mask)
+          .guard([value](const GuardView& g) { return g.consumed[0][0] == value; })
+          .effect([=, recv = receivers](EffectCtx& c) {
+            const Value cnt = c.local(cnt_var) + 1;
+            c.set_local(cnt_var, cnt);
+            if (cnt == q) {
+              for (ProcessId r : recv) c.send(r, mDELIVER, {value});
+            }
+          })
+          .sends("DELIVER", recv_mask)
+          .reads_local(false)
+          .priority(3);
+    }
+  };
+
+  for (unsigned i = 0; i < cfg.honest_initiators; ++i) {
+    const ProcessId p = initiators[i];
+    const Value v = echo_honest_value(i);
+    b.transition(p, "MCAST")
+        .spontaneous()
+        .guard([](const GuardView& g) { return g.local[kInitStarted] == 0; })
+        .effect([=, recv = receivers](EffectCtx& c) {
+          c.set_local(kInitStarted, 1);
+          for (ProcessId r : recv) c.send(r, mINIT, {v});
+        })
+        .sends("INIT", recv_mask)
+        .reads(VarMask{1} << kInitStarted)
+        .writes(VarMask{1} << kInitStarted)
+        .priority(5);
+    add_collect(p, "COLLECT", v);
+  }
+
+  for (unsigned i = 0; i < cfg.byz_initiators; ++i) {
+    const ProcessId p = initiators[cfg.honest_initiators + i];
+    // Equivocation: value A to the first half of the honest receivers, value
+    // B to the rest, both to every Byzantine receiver (they cooperate).
+    b.transition(p, "EQUIVOCATE")
+        .spontaneous()
+        .guard([](const GuardView& g) { return g.local[kInitStarted] == 0; })
+        .effect([=, recv = receivers, hr = cfg.honest_receivers](EffectCtx& c) {
+          c.set_local(kInitStarted, 1);
+          const unsigned half = (hr + 1) / 2;
+          for (unsigned r = 0; r < recv.size(); ++r) {
+            if (r < half) {
+              c.send(recv[r], mINIT, {kByzValueA});
+            } else if (r < hr) {
+              c.send(recv[r], mINIT, {kByzValueB});
+            } else {  // Byzantine receivers get both
+              c.send(recv[r], mINIT, {kByzValueA});
+              c.send(recv[r], mINIT, {kByzValueB});
+            }
+          }
+        })
+        .sends("INIT", recv_mask)
+        .reads(VarMask{1} << kInitStarted)
+        .writes(VarMask{1} << kInitStarted)
+        .priority(5);
+    add_collect(p, "COLLECT_A", kByzValueA);
+    add_collect(p, "COLLECT_B", kByzValueB);
+  }
+
+  // --- receiver transitions ---
+  for (unsigned i = 0; i < cfg.honest_receivers; ++i) {
+    const ProcessId r = receivers[i];
+    // Peers for the agreement assertion (other honest receivers).
+    std::vector<ProcessId> peers;
+    for (unsigned j = 0; j < cfg.honest_receivers; ++j) {
+      if (j != i) peers.push_back(receivers[j]);
+    }
+    VarMask echoed_vars = 0, accepted_vars = 0;
+    for (unsigned slot = 0; slot < n_init; ++slot) {
+      echoed_vars |= VarMask{1} << slot;
+      accepted_vars |= VarMask{1} << (n_init + slot);
+    }
+    // Echo the first INIT per initiator (honest receivers never back two
+    // values of the same initiator — the heart of agreement).
+    b.transition(r, "ECHO")
+        .consumes("INIT", 1)
+        .from(init_mask)
+        .guard([init_slot](const GuardView& g) {
+          return g.local[static_cast<unsigned>(init_slot[g.consumed[0].sender()])] == 0;
+        })
+        .effect([init_slot, mECHO](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          c.set_local(static_cast<unsigned>(init_slot[m.sender()]), m[0]);
+          c.send(m.sender(), mECHO, {m[0]});
+        })
+        .sends("ECHO", init_mask)
+        .reply()
+        .reads(echoed_vars)
+        .writes(echoed_vars)
+        .priority(4);
+
+    // Accept the first delivery per initiator; assert agreement against the
+    // other honest receivers at that moment (in-transition specification).
+    auto& tb = b.transition(r, "ACCEPT")
+        .consumes("DELIVER", 1)
+        .from(init_mask)
+        .guard([init_slot, n_init](const GuardView& g) {
+          const unsigned slot =
+              n_init + static_cast<unsigned>(init_slot[g.consumed[0].sender()]);
+          return g.local[slot] == 0;
+        })
+        .effect([init_slot, n_init, peers](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          const unsigned slot =
+              n_init + static_cast<unsigned>(init_slot[m.sender()]);
+          for (ProcessId peer : peers) {
+            const Value v = c.peek(peer, slot);
+            c.assert_that(v == 0 || v == m[0], "agreement");
+          }
+          c.set_local(slot, m[0]);
+        })
+        .reads(accepted_vars)
+        .writes(accepted_vars)
+        .priority(1);
+    for (ProcessId peer : peers) tb.peeks(peer, accepted_vars);
+  }
+
+  for (unsigned i = 0; i < cfg.byz_receivers; ++i) {
+    const ProcessId r = receivers[cfg.honest_receivers + i];
+    // A Byzantine receiver confirms everything it is sent — including both
+    // values of an equivocating initiator.
+    b.transition(r, "ECHO_ANY")
+        .consumes("INIT", 1)
+        .from(init_mask)
+        .effect([mECHO](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          c.send(m.sender(), mECHO, {m[0]});
+        })
+        .sends("ECHO", init_mask)
+        .reply()
+        .reads_local(false)
+        .writes_local(false)
+        .priority(4);
+
+    if (cfg.honest_initiators > 0) {
+      // ... and sends an invalid confirmation to honest initiators.
+      b.transition(r, "BOGUS_ECHO")
+          .spontaneous()
+          .guard([](const GuardView& g) { return g.local[0] == 0; })
+          .effect([=, hi = cfg.honest_initiators, init = initiators](EffectCtx& c) {
+            c.set_local(0, 1);
+            for (unsigned h = 0; h < hi; ++h) {
+              c.send(init[h], mECHO, {kBogusEchoValue});
+            }
+          })
+          .sends("ECHO", honest_init_mask)
+          .priority(4);
+    }
+  }
+
+  // --- agreement property ---
+  // No two honest receivers accept different values from the same initiator.
+  std::vector<ProcessId> honest_recv(receivers.begin(),
+                                     receivers.begin() + cfg.honest_receivers);
+  b.property("agreement", [honest_recv, n_init](const State& s, const Protocol& proto) {
+    for (unsigned slot = 0; slot < n_init; ++slot) {
+      Value accepted = 0;
+      for (ProcessId r : honest_recv) {
+        const ProcessInfo& pi = proto.proc(r);
+        const Value v = s.local_slice(pi.local_offset, pi.local_len)[n_init + slot];
+        if (v == 0) continue;
+        if (accepted == 0) {
+          accepted = v;
+        } else if (accepted != v) {
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+
+  return b.build();
+}
+
+
+std::vector<std::vector<ProcessId>> echo_symmetric_roles(const EchoConfig& cfg) {
+  const unsigned n_init = cfg.honest_initiators + cfg.byz_initiators;
+  std::vector<std::vector<ProcessId>> roles;
+  if (cfg.byz_initiators == 0 && cfg.honest_receivers >= 2) {
+    // No equivocator: every honest receiver is treated identically.
+    std::vector<ProcessId> honest;
+    for (unsigned i = 0; i < cfg.honest_receivers; ++i) {
+      honest.push_back(static_cast<ProcessId>(n_init + i));
+    }
+    roles.push_back(std::move(honest));
+  }
+  if (cfg.byz_receivers >= 2) {
+    std::vector<ProcessId> byz;
+    for (unsigned i = 0; i < cfg.byz_receivers; ++i) {
+      byz.push_back(static_cast<ProcessId>(n_init + cfg.honest_receivers + i));
+    }
+    roles.push_back(std::move(byz));
+  }
+  return roles;
+}
+
+}  // namespace mpb::protocols

@@ -1,0 +1,74 @@
+// Echo Multicast (Reiter's Rampart consistent multicast [26]) — the paper's
+// Byzantine-tolerant target system (Section V-A).
+//
+// An initiator multicasts a value by sending INIT to every receiver; each
+// receiver *echoes* the first INIT it sees from that initiator back to it; the
+// initiator assembles an echo certificate — ⌈(N+t+1)/2⌉ echoes for the same
+// value, N receivers, t tolerated Byzantine receivers — and sends DELIVER to
+// every receiver, which accepts the first delivery per initiator.
+//
+// Agreement: no two honest receivers accept different values from the same
+// initiator. It holds because two certificates for different values would
+// need 2⌈(N+t+1)/2⌉ - t > N honest-receiver echoes, i.e. an honest receiver
+// echoing both values — which honest receivers never do.
+//
+// Fault modelling (Section V-A): signatures are modelled by authenticated
+// channels (a message's sender cannot be forged); certificate validity is the
+// guard of the collect quorum transition. A *Byzantine initiator* equivocates:
+// INIT(1) to one half of the honest receivers, INIT(2) to the other half and
+// both to every Byzantine receiver, then tries to assemble certificates for
+// both values. A *Byzantine receiver* echoes every INIT it receives (so it
+// backs both of an equivocator's values) and sends an invalid confirmation to
+// honest initiators. The "wrong agreement" variant (Table I/II) sets the
+// protocol's tolerance t below the actual number of Byzantine receivers, so
+// the threshold is too low and equivocation succeeds.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace mpb::protocols {
+
+struct EchoConfig {
+  unsigned honest_receivers = 3;
+  unsigned honest_initiators = 0;
+  unsigned byz_receivers = 1;
+  unsigned byz_initiators = 1;
+  // Tolerated Byzantine receivers used to size the echo threshold. -1 means
+  // "match byz_receivers" (a correct deployment); setting it lower injects
+  // the paper's "wrong agreement" specification bug.
+  int tolerance = -1;
+  bool quorum_model = true;  // false: counting single-message model
+
+  [[nodiscard]] unsigned n_receivers() const noexcept {
+    return honest_receivers + byz_receivers;
+  }
+  [[nodiscard]] unsigned effective_tolerance() const noexcept {
+    return tolerance < 0 ? byz_receivers : static_cast<unsigned>(tolerance);
+  }
+  // ⌈(N + t + 1) / 2⌉ echoes form a certificate.
+  [[nodiscard]] unsigned threshold() const noexcept {
+    return (n_receivers() + effective_tolerance() + 2) / 2;
+  }
+  // "(HR,HI,BR,BI)" — the paper's setting notation.
+  [[nodiscard]] std::string setting() const;
+};
+
+[[nodiscard]] Protocol make_echo_multicast(const EchoConfig& cfg);
+
+// Symmetric process groups of make_echo_multicast(cfg): Byzantine receivers
+// always; honest receivers only when no Byzantine initiator splits them into
+// equivocation halves.
+[[nodiscard]] std::vector<std::vector<ProcessId>> echo_symmetric_roles(
+    const EchoConfig& cfg);
+
+// Values used by initiators: Byzantine initiators equivocate between
+// kByzValueA/kByzValueB; honest initiator i multicasts honest_value(i).
+inline constexpr Value kByzValueA = 1;
+inline constexpr Value kByzValueB = 2;
+[[nodiscard]] constexpr Value echo_honest_value(unsigned initiator_index) noexcept {
+  return static_cast<Value>(10 + initiator_index);
+}
+// The junk confirmation a Byzantine receiver sends to honest initiators.
+inline constexpr Value kBogusEchoValue = 99;
+
+}  // namespace mpb::protocols

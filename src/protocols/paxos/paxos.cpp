@@ -1,0 +1,328 @@
+#include "protocols/paxos/paxos.hpp"
+
+#include <algorithm>
+
+#include "mp/builder.hpp"
+
+namespace mpb::protocols {
+
+namespace {
+
+// Proposer locals.
+constexpr unsigned kPropStarted = 0;
+// Single-message model adds counting state (Fig. 3).
+constexpr unsigned kPropCnt = 1;
+constexpr unsigned kPropHighBal = 2;
+constexpr unsigned kPropHighVal = 3;
+
+// Acceptor locals.
+constexpr unsigned kAccPromised = 0;
+constexpr unsigned kAccAcceptedBal = 1;
+constexpr unsigned kAccAcceptedVal = 2;
+
+// Learner counting state (single-message model).
+constexpr unsigned kLearnerCnt = 3;
+constexpr unsigned kLearnerCurBal = 4;
+constexpr unsigned kLearnerCurVal = 5;
+
+}  // namespace
+
+std::string PaxosConfig::setting() const {
+  return "(" + std::to_string(proposers) + "," + std::to_string(acceptors) + "," +
+         std::to_string(learners) + ")";
+}
+
+Protocol make_paxos(const PaxosConfig& cfg) {
+  std::string name = cfg.quorum_model ? "paxos-quorum" : "paxos-1msg";
+  if (cfg.faulty_learner) name = "faulty-" + name;
+  mp::ProtocolBuilder b(name + cfg.setting());
+
+  const Value maj = static_cast<Value>(cfg.majority());
+
+  const MsgType mREAD = b.msg("READ");
+  const MsgType mREAD_REPL = b.msg("READ_REPL");
+  const MsgType mWRITE = b.msg("WRITE");
+  const MsgType mACCEPT = b.msg("ACCEPT");
+
+  // --- processes ---
+  std::vector<ProcessId> proposers, acceptors, learners;
+  for (unsigned i = 0; i < cfg.proposers; ++i) {
+    std::vector<std::pair<std::string, Value>> vars{{"started", 0}};
+    if (!cfg.quorum_model) {
+      vars.insert(vars.end(), {{"cnt", 0}, {"highBal", 0}, {"highVal", 0}});
+    }
+    proposers.push_back(b.process("proposer" + std::to_string(i), "Proposer", vars));
+  }
+  for (unsigned i = 0; i < cfg.acceptors; ++i) {
+    acceptors.push_back(b.process("acceptor" + std::to_string(i), "Acceptor",
+                                  {{"promised", 0}, {"accBal", 0}, {"accVal", 0}}));
+  }
+  for (unsigned i = 0; i < cfg.learners; ++i) {
+    std::vector<std::pair<std::string, Value>> vars{
+        {"learnedBal", 0}, {"learnedVal", 0}, {"conflict", 0}};
+    if (!cfg.quorum_model) {
+      vars.insert(vars.end(), {{"cnt", 0}, {"curBal", 0}, {"curVal", 0}});
+    }
+    learners.push_back(b.process("learner" + std::to_string(i), "Learner", vars));
+  }
+
+  ProcessMask acc_mask = 0, learner_mask = 0;
+  for (ProcessId a : acceptors) acc_mask |= mask_of(a);
+  for (ProcessId l : learners) learner_mask |= mask_of(l);
+
+  // --- proposer transitions ---
+  for (unsigned i = 0; i < cfg.proposers; ++i) {
+    const ProcessId p = proposers[i];
+    const Value bal = paxos_ballot(i);
+    const Value myval = paxos_proposal_value(i);
+
+    // Phase 1a: ask every acceptor what it has seen (the paper's READ).
+    b.transition(p, "START")
+        .spontaneous()
+        .guard([](const GuardView& g) { return g.local[kPropStarted] == 0; })
+        .effect([=, acc = acceptors](EffectCtx& c) {
+          c.set_local(kPropStarted, 1);
+          for (ProcessId a : acc) c.send(a, mREAD, {bal});
+        })
+        .sends("READ", acc_mask)
+        .reads(VarMask{1} << kPropStarted)
+        .writes(VarMask{1} << kPropStarted)
+        .priority(5);
+
+    if (cfg.quorum_model) {
+      // Phase 1b->2a: one atomic quorum transition over a majority of
+      // READ_REPL messages (Fig. 2). The proposer adopts the value of the
+      // highest-ballot accepted proposal it sees, or its own value.
+      b.transition(p, "READ_REPL")
+          .consumes("READ_REPL", static_cast<int>(maj))
+          .from(acc_mask)
+          .guard([bal](const GuardView& g) {
+            return std::all_of(g.consumed.begin(), g.consumed.end(),
+                               [bal](const Message& m) { return m[0] == bal; });
+          })
+          .effect([=, acc = acceptors](EffectCtx& c) {
+            Value hbal = 0, hval = myval;
+            for (const Message& m : c.consumed()) {
+              if (m[1] > hbal) {
+                hbal = m[1];
+                hval = m[2];
+              }
+            }
+            for (ProcessId a : acc) {
+              c.send(a, mWRITE, {bal, hval});
+            }
+          })
+          .sends("WRITE", acc_mask)
+          .reads_local(false)
+          .writes_local(false)
+          .priority(3);
+    } else {
+      // Fig. 3: count READ_REPL messages one by one; remember the highest
+      // accepted proposal; once a majority has replied, issue the WRITEs.
+      b.transition(p, "READ_REPL")
+          .consumes("READ_REPL", 1)
+          .from(acc_mask)
+          .guard([bal](const GuardView& g) { return g.consumed[0][0] == bal; })
+          .effect([=, acc = acceptors](EffectCtx& c) {
+            const Message& m = c.consumed()[0];
+            if (m[1] > c.local(kPropHighBal)) {
+              c.set_local(kPropHighBal, m[1]);
+              c.set_local(kPropHighVal, m[2]);
+            }
+            const Value cnt = c.local(kPropCnt) + 1;
+            if (cnt >= maj) {
+              c.set_local(kPropCnt, 0);
+              const Value hval =
+                  c.local(kPropHighBal) > 0 ? c.local(kPropHighVal) : myval;
+              for (ProcessId a : acc) {
+                c.send(a, mWRITE, {bal, hval});
+              }
+            } else {
+              c.set_local(kPropCnt, cnt);
+            }
+          })
+          .sends("WRITE", acc_mask)
+          .reads_local(false)
+          .writes((VarMask{1} << kPropCnt) | (VarMask{1} << kPropHighBal) |
+                  (VarMask{1} << kPropHighVal))
+          .priority(3);
+    }
+  }
+
+  // --- acceptor transitions ---
+  ProcessMask prop_mask = 0;
+  for (ProcessId p : proposers) prop_mask |= mask_of(p);
+  for (unsigned i = 0; i < cfg.acceptors; ++i) {
+    const ProcessId a = acceptors[i];
+
+    // Phase 1b: promise and report the last accepted proposal. A reply
+    // transition in the sense of Def. 4 (answers only the asking proposer).
+    b.transition(a, "READ")
+        .consumes("READ", 1)
+        .from(prop_mask)
+        .guard([](const GuardView& g) {
+          return g.consumed[0][0] > g.local[kAccPromised];
+        })
+        .effect([mREAD_REPL](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          c.set_local(kAccPromised, m[0]);
+          c.send(m.sender(), mREAD_REPL,
+                 {m[0], c.local(kAccAcceptedBal), c.local(kAccAcceptedVal)});
+        })
+        .sends("READ_REPL", prop_mask)
+        .reply()
+        .reads(VarMask{1} << kAccPromised)
+        .writes(VarMask{1} << kAccPromised)
+        .priority(4);
+
+    // Phase 2b: accept unless a higher promise was made; announce to learners.
+    b.transition(a, "WRITE")
+        .consumes("WRITE", 1)
+        .from(prop_mask)
+        .guard([](const GuardView& g) {
+          return g.consumed[0][0] >= g.local[kAccPromised];
+        })
+        .effect([=, lrn = learners](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          c.set_local(kAccPromised, m[0]);
+          c.set_local(kAccAcceptedBal, m[0]);
+          c.set_local(kAccAcceptedVal, m[1]);
+          for (ProcessId l : lrn) {
+            c.send(l, mACCEPT, {m[0], m[1]});
+          }
+        })
+        .sends("ACCEPT", learner_mask)
+        .reads(VarMask{1} << kAccPromised)
+        .writes((VarMask{1} << kAccPromised) | (VarMask{1} << kAccAcceptedBal) |
+                (VarMask{1} << kAccAcceptedVal))
+        .priority(2);
+  }
+
+  // --- learner transitions ---
+  for (unsigned i = 0; i < cfg.learners; ++i) {
+    const ProcessId l = learners[i];
+
+    // Peers this learner compares itself against in the agreement assertion.
+    std::vector<ProcessId> other_learners;
+    for (ProcessId ol : learners) {
+      if (ol != l) other_learners.push_back(ol);
+    }
+
+    // The consensus specification, asserted at the moment of learning (the
+    // paper's in-transition assertion style): a learner never changes its
+    // mind, and never disagrees with a value another learner already chose.
+    auto learn = [others = other_learners](EffectCtx& c, Value bal, Value val) {
+      if (c.local(kLearnerVal) != 0 && c.local(kLearnerVal) != val) {
+        c.set_local(kLearnerConflict, 1);
+      }
+      c.assert_that(c.local(kLearnerVal) == 0 || c.local(kLearnerVal) == val,
+                    "consensus");
+      for (ProcessId ol : others) {
+        const Value v = c.peek(ol, kLearnerVal);
+        c.assert_that(v == 0 || v == val, "consensus");
+      }
+      c.set_local(kLearnerBal, bal);
+      c.set_local(kLearnerVal, val);
+    };
+
+    if (cfg.quorum_model) {
+      // A value is chosen once a majority of acceptors accepted the same
+      // proposal. Faulty Paxos skips the same-(ballot,value) comparison.
+      auto& tb = b.transition(l, "ACCEPT")
+          .consumes("ACCEPT", static_cast<int>(maj))
+          .from(acc_mask)
+          .guard([faulty = cfg.faulty_learner](const GuardView& g) {
+            if (faulty) return true;  // no comparison: the injected bug
+            const Message& first = g.consumed[0];
+            return std::all_of(g.consumed.begin(), g.consumed.end(),
+                               [&](const Message& m) {
+                                 return m[0] == first[0] && m[1] == first[1];
+                               });
+          })
+          .effect([learn](EffectCtx& c) {
+            const Message& first = c.consumed()[0];
+            learn(c, first[0], first[1]);
+          })
+          .reads_local(false)
+          .priority(1);
+      for (ProcessId ol : other_learners) {
+        // the agreement assertion ghost-reads the peer's learned value
+        tb.peeks(ol, VarMask{1} << kLearnerVal);
+      }
+    } else {
+      // Counting learner: track the current ballot's tally; a higher ballot
+      // restarts the count. Faulty variant counts without any comparison.
+      auto& tb = b.transition(l, "ACCEPT")
+          .consumes("ACCEPT", 1)
+          .from(acc_mask)
+          .effect([=, faulty = cfg.faulty_learner](EffectCtx& c) {
+            const Message& m = c.consumed()[0];
+            Value cnt;
+            if (faulty) {
+              // Injected bug: never compare; count every ACCEPT toward the
+              // current tally and remember the last seen proposal.
+              cnt = c.local(kLearnerCnt) + 1;
+              c.set_local(kLearnerCurBal, m[0]);
+              c.set_local(kLearnerCurVal, m[1]);
+            } else if (m[0] == c.local(kLearnerCurBal)) {
+              cnt = c.local(kLearnerCnt) + 1;
+            } else if (m[0] > c.local(kLearnerCurBal)) {
+              c.set_local(kLearnerCurBal, m[0]);
+              c.set_local(kLearnerCurVal, m[1]);
+              cnt = 1;
+            } else {
+              return;  // stale ballot: consume and ignore
+            }
+            if (cnt >= maj) {
+              c.set_local(kLearnerCnt, 0);
+              learn(c, c.local(kLearnerCurBal), c.local(kLearnerCurVal));
+            } else {
+              c.set_local(kLearnerCnt, cnt);
+            }
+          })
+          .priority(1);
+      for (ProcessId ol : other_learners) {
+        tb.peeks(ol, VarMask{1} << kLearnerVal);
+      }
+    }
+  }
+
+  // --- consensus property ---
+  // Agreement: no learner ever observes two different chosen values, and no
+  // two learners learn different values.
+  b.property("consensus", [learners](const State& s, const Protocol& proto) {
+    Value chosen = 0;
+    for (ProcessId l : learners) {
+      const ProcessInfo& pi = proto.proc(l);
+      auto loc = s.local_slice(pi.local_offset, pi.local_len);
+      if (loc[kLearnerConflict] != 0) return false;
+      const Value v = loc[kLearnerVal];
+      if (v == 0) continue;
+      if (chosen == 0) {
+        chosen = v;
+      } else if (chosen != v) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  return b.build();
+}
+
+
+std::vector<std::vector<ProcessId>> paxos_symmetric_roles(const PaxosConfig& cfg) {
+  std::vector<std::vector<ProcessId>> roles;
+  std::vector<ProcessId> acceptors, learners;
+  for (unsigned i = 0; i < cfg.acceptors; ++i) {
+    acceptors.push_back(static_cast<ProcessId>(cfg.proposers + i));
+  }
+  for (unsigned i = 0; i < cfg.learners; ++i) {
+    learners.push_back(static_cast<ProcessId>(cfg.proposers + cfg.acceptors + i));
+  }
+  if (acceptors.size() >= 2) roles.push_back(std::move(acceptors));
+  if (learners.size() >= 2) roles.push_back(std::move(learners));
+  return roles;
+}
+
+}  // namespace mpb::protocols

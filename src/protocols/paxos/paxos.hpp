@@ -1,0 +1,59 @@
+// Single-decree Paxos [20], [21] — the paper's first target system
+// (Sections II-B and V-A).
+//
+// Roles: proposers initiate a consensus instance with a fixed, distinct ballot
+// (READ, phase 1a), acceptors promise and accept (READ_REPL / WRITE / ACCEPT),
+// learners output a chosen value when a majority of acceptors accepted the
+// same proposal. The verified invariant is consensus/agreement: no learner
+// observes two different chosen values and no two learners learn differently.
+//
+// Two model flavours, as evaluated in Table I:
+//  * quorum model     — the proposer's READ_REPL and the learner's ACCEPT are
+//    exact quorum transitions over a majority of acceptors (Fig. 2);
+//  * single-message model — the same protocol written with per-message
+//    counting transitions (Fig. 3): cnt++, fire when cnt reaches a majority.
+//
+// "Faulty Paxos" (Section V-A, fault injection): the learner does not compare
+// the (ballot, value) pairs received from the acceptors, so mixed ACCEPT sets
+// can be mistaken for a chosen value — consensus then has a counterexample.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace mpb::protocols {
+
+struct PaxosConfig {
+  unsigned proposers = 2;
+  unsigned acceptors = 3;
+  unsigned learners = 1;
+  bool quorum_model = true;    // false: Fig. 3 single-message counting model
+  bool faulty_learner = false; // "Faulty Paxos"
+
+  [[nodiscard]] unsigned majority() const noexcept { return acceptors / 2 + 1; }
+  // "(2,3,1)" — the paper's setting notation.
+  [[nodiscard]] std::string setting() const;
+};
+
+[[nodiscard]] Protocol make_paxos(const PaxosConfig& cfg);
+
+// Process groups of make_paxos(cfg) that are symmetric by construction
+// (acceptors; learners): input for SymmetryReducer. Proposers are *not*
+// symmetric — they carry distinct ballots and values.
+[[nodiscard]] std::vector<std::vector<ProcessId>> paxos_symmetric_roles(
+    const PaxosConfig& cfg);
+
+// Value a proposer proposes (distinct per proposer); exposed for tests.
+[[nodiscard]] constexpr Value paxos_proposal_value(unsigned proposer_index) noexcept {
+  return static_cast<Value>(100 + proposer_index);
+}
+// Ballot number of a proposer (distinct, nonzero).
+[[nodiscard]] constexpr Value paxos_ballot(unsigned proposer_index) noexcept {
+  return static_cast<Value>(proposer_index + 1);
+}
+
+// Learner local-variable indices; exposed for tests and properties.
+inline constexpr unsigned kLearnerBal = 0;
+inline constexpr unsigned kLearnerVal = 1;
+inline constexpr unsigned kLearnerConflict = 2;
+
+}  // namespace mpb::protocols

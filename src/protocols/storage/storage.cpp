@@ -1,0 +1,290 @@
+#include "protocols/storage/storage.hpp"
+
+#include <algorithm>
+
+#include "mp/builder.hpp"
+
+namespace mpb::protocols {
+
+namespace {
+
+// Additional writer local for the single-message model.
+constexpr unsigned kWrAckCnt = 3;
+
+// Base-object locals.
+constexpr unsigned kBaseTs = 0;
+constexpr unsigned kBaseVal = 1;
+
+// Additional reader locals for the single-message model.
+constexpr unsigned kRdCnt = 4;
+constexpr unsigned kRdMaxTs = 5;
+
+}  // namespace
+
+std::string StorageConfig::setting() const {
+  return "(" + std::to_string(bases) + "," + std::to_string(readers) + ")";
+}
+
+Protocol make_regular_storage(const StorageConfig& cfg) {
+  std::string name = cfg.quorum_model ? "storage-quorum" : "storage-1msg";
+  if (cfg.wrong_regularity) name += "-wrong";
+  mp::ProtocolBuilder b(name + cfg.setting());
+
+  const Value maj = static_cast<Value>(cfg.majority());
+  const Value total_writes = static_cast<Value>(cfg.writes);
+
+  const MsgType mSTORE = b.msg("STORE");
+  const MsgType mSTORE_ACK = b.msg("STORE_ACK");
+  const MsgType mREAD_REQ = b.msg("READ_REQ");
+  const MsgType mREAD_ACK = b.msg("READ_ACK");
+
+  // --- processes: writer, base objects, readers ---
+  std::vector<std::pair<std::string, Value>> writer_vars{
+      {"wts", 0}, {"inFlight", 0}, {"completedTs", 0}};
+  if (!cfg.quorum_model) writer_vars.push_back({"ackCnt", 0});
+  const ProcessId writer = b.process("writer", "Writer", writer_vars);
+
+  std::vector<ProcessId> bases, readers;
+  for (unsigned i = 0; i < cfg.bases; ++i) {
+    bases.push_back(
+        b.process("base" + std::to_string(i), "Base", {{"ts", 0}, {"val", 0}}));
+  }
+  for (unsigned i = 0; i < cfg.readers; ++i) {
+    std::vector<std::pair<std::string, Value>> vars{
+        {"started", 0}, {"snapTs", 0}, {"retTs", -1}, {"endSnap", -1}};
+    if (!cfg.quorum_model) vars.insert(vars.end(), {{"cnt", 0}, {"maxTs", 0}});
+    readers.push_back(b.process("reader" + std::to_string(i), "Reader", vars));
+  }
+
+  ProcessMask base_mask = 0, reader_mask = 0;
+  for (ProcessId p : bases) base_mask |= mask_of(p);
+  for (ProcessId p : readers) reader_mask |= mask_of(p);
+  const ProcessMask writer_mask = mask_of(writer);
+
+  // --- writer transitions ---
+  // Start the next sequential write: new timestamp, STORE to every base.
+  b.transition(writer, "W_START")
+      .spontaneous()
+      .guard([total_writes](const GuardView& g) {
+        return g.local[kWrInFlight] == 0 && g.local[kWrWts] < total_writes;
+      })
+      .effect([=, bs = bases](EffectCtx& c) {
+        const Value ts = c.local(kWrWts) + 1;
+        c.set_local(kWrWts, ts);
+        c.set_local(kWrInFlight, 1);
+        for (ProcessId base : bs) {
+          c.send(base, mSTORE, {ts, storage_value_for(ts)});
+        }
+      })
+      .sends("STORE", base_mask)
+      .reads((VarMask{1} << kWrInFlight) | (VarMask{1} << kWrWts))
+      .writes((VarMask{1} << kWrWts) | (VarMask{1} << kWrInFlight))
+      .priority(5);
+
+  if (cfg.quorum_model) {
+    // The write completes atomically on a majority of matching acks.
+    b.transition(writer, "W_ACK")
+        .consumes("STORE_ACK", static_cast<int>(maj))
+        .from(base_mask)
+        .guard([](const GuardView& g) {
+          return g.local[kWrInFlight] == 1 &&
+                 std::all_of(g.consumed.begin(), g.consumed.end(),
+                             [&](const Message& m) { return m[0] == g.local[kWrWts]; });
+        })
+        .effect([](EffectCtx& c) {
+          c.set_local(kWrInFlight, 0);
+          c.set_local(kWrCompletedTs, c.local(kWrWts));
+        })
+        .reads((VarMask{1} << kWrInFlight) | (VarMask{1} << kWrWts))
+        .writes((VarMask{1} << kWrInFlight) | (VarMask{1} << kWrCompletedTs))
+        .priority(2);
+  } else {
+    // Counting variant: tally matching acks one by one.
+    b.transition(writer, "W_ACK")
+        .consumes("STORE_ACK", 1)
+        .from(base_mask)
+        .effect([maj](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          if (c.local(kWrInFlight) != 1 || m[0] != c.local(kWrWts)) return;
+          const Value cnt = c.local(kWrAckCnt) + 1;
+          if (cnt >= maj) {
+            c.set_local(kWrAckCnt, 0);
+            c.set_local(kWrInFlight, 0);
+            c.set_local(kWrCompletedTs, c.local(kWrWts));
+          } else {
+            c.set_local(kWrAckCnt, cnt);
+          }
+        })
+        .reads_local(false)
+        .writes((VarMask{1} << kWrInFlight) | (VarMask{1} << kWrCompletedTs) |
+                (VarMask{1} << kWrAckCnt))
+        .priority(2);
+  }
+
+  // --- base-object transitions ---
+  for (unsigned i = 0; i < cfg.bases; ++i) {
+    const ProcessId base = bases[i];
+    // Store monotonically; always acknowledge (needed for write completion).
+    b.transition(base, "STORE")
+        .consumes("STORE", 1)
+        .from(writer_mask)
+        .effect([mSTORE_ACK](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          if (m[0] > c.local(kBaseTs)) {
+            c.set_local(kBaseTs, m[0]);
+            c.set_local(kBaseVal, m[1]);
+          }
+          c.send(m.sender(), mSTORE_ACK, {m[0]});
+        })
+        .sends("STORE_ACK", writer_mask)
+        .reply()
+        .reads_local(false)
+        .writes((VarMask{1} << kBaseTs) | (VarMask{1} << kBaseVal))
+        .priority(4);
+
+    if (readers.empty()) continue;  // no readers: READB would be dead code
+    // Answer a read query with the current (ts, val).
+    b.transition(base, "READB")
+        .consumes("READ_REQ", 1)
+        .from(reader_mask)
+        .effect([mREAD_ACK](EffectCtx& c) {
+          const Message& m = c.consumed()[0];
+          c.send(m.sender(), mREAD_ACK, {c.local(kBaseTs), c.local(kBaseVal)});
+        })
+        .sends("READ_ACK", reader_mask)
+        .reply()
+        .reads_local(false)
+        .writes_local(false)
+        .priority(4);
+  }
+
+  // --- reader transitions ---
+  for (unsigned i = 0; i < cfg.readers; ++i) {
+    const ProcessId r = readers[i];
+    // Start the read; ghost-snapshot the writer's last *completed* write.
+    b.transition(r, "R_START")
+        .spontaneous()
+        .guard([](const GuardView& g) { return g.local[kRdStarted] == 0; })
+        .effect([=, bs = bases](EffectCtx& c) {
+          c.set_local(kRdStarted, 1);
+          c.set_local(kRdSnapTs, c.peek(writer, kWrCompletedTs));
+          for (ProcessId base : bs) c.send(base, mREAD_REQ, {});
+        })
+        .sends("READ_REQ", base_mask)
+        .reads(VarMask{1} << kRdStarted)
+        .writes((VarMask{1} << kRdStarted) | (VarMask{1} << kRdSnapTs))
+        .peeks(writer, VarMask{1} << kWrCompletedTs)
+        .priority(5);
+
+    // The completion snapshot of the writer's latest started write is only
+    // needed by the (deliberately wrong) strong specification; the correct
+    // regularity bound retTs <= wts is a plain state predicate. Peeking only
+    // in the wrong variant keeps the correct model free of the
+    // R_COLLECT x W_START cross-process dependence, which is what lets the
+    // stubborn sets actually reduce it.
+    const bool snap_end = cfg.wrong_regularity;
+    if (cfg.quorum_model) {
+      // Return the highest timestamp among a majority of answers.
+      auto& t = b.transition(r, "R_COLLECT")
+          .consumes("READ_ACK", static_cast<int>(maj))
+          .from(base_mask)
+          .guard([](const GuardView& g) { return g.local[kRdRetTs] < 0; })
+          .effect([writer, snap_end](EffectCtx& c) {
+            Value ts = 0;
+            for (const Message& m : c.consumed()) ts = std::max(ts, m[0]);
+            c.set_local(kRdRetTs, ts);
+            if (snap_end) {
+              const Value wts = c.peek(writer, kWrWts);
+              c.set_local(kRdEndSnap, wts);
+              c.assert_that(ts == wts, "wrong_regularity");
+            } else {
+              c.assert_that(ts >= c.local(kRdSnapTs), "regularity");
+            }
+          })
+          .reads(VarMask{1} << kRdRetTs)
+          .writes((VarMask{1} << kRdRetTs) | (VarMask{1} << kRdEndSnap))
+          .priority(1);
+      if (snap_end) t.peeks(writer, VarMask{1} << kWrWts);
+    } else {
+      auto& t = b.transition(r, "R_COLLECT")
+          .consumes("READ_ACK", 1)
+          .from(base_mask)
+          .effect([writer, maj, snap_end](EffectCtx& c) {
+            const Message& m = c.consumed()[0];
+            c.set_local(kRdMaxTs, std::max(c.local(kRdMaxTs), m[0]));
+            const Value cnt = c.local(kRdCnt) + 1;
+            c.set_local(kRdCnt, cnt);
+            if (cnt == maj) {
+              const Value ts = c.local(kRdMaxTs);
+              c.set_local(kRdRetTs, ts);
+              if (snap_end) {
+                const Value wts = c.peek(writer, kWrWts);
+                c.set_local(kRdEndSnap, wts);
+                c.assert_that(ts == wts, "wrong_regularity");
+              } else {
+                c.assert_that(ts >= c.local(kRdSnapTs), "regularity");
+              }
+            }
+          })
+          .reads_local(false)
+          .writes((VarMask{1} << kRdRetTs) | (VarMask{1} << kRdEndSnap) |
+                  (VarMask{1} << kRdCnt) | (VarMask{1} << kRdMaxTs))
+          .priority(1);
+      if (snap_end) t.peeks(writer, VarMask{1} << kWrWts);
+    }
+  }
+
+  // --- properties ---
+  auto reader_slice = [](const State& s, const Protocol& proto, ProcessId r) {
+    const ProcessInfo& pi = proto.proc(r);
+    return s.local_slice(pi.local_offset, pi.local_len);
+  };
+
+  if (cfg.wrong_regularity) {
+    // Deliberately too strong: a completed read must return the latest
+    // *started* write even when the two are concurrent.
+    b.property("wrong_regularity",
+               [readers, reader_slice](const State& s, const Protocol& proto) {
+                 for (ProcessId r : readers) {
+                   auto loc = reader_slice(s, proto, r);
+                   if (loc[kRdRetTs] < 0) continue;
+                   if (loc[kRdRetTs] != loc[kRdEndSnap]) return false;
+                 }
+                 return true;
+               });
+  } else {
+    // Regularity: between the last write completed before the read started
+    // and the latest started write.
+    b.property("regularity",
+               [readers, writer, reader_slice](const State& s, const Protocol& proto) {
+                 const ProcessInfo& wi = proto.proc(writer);
+                 const Value wts = s.local_slice(wi.local_offset, wi.local_len)[kWrWts];
+                 for (ProcessId r : readers) {
+                   auto loc = reader_slice(s, proto, r);
+                   if (loc[kRdRetTs] < 0) continue;
+                   if (loc[kRdRetTs] < loc[kRdSnapTs]) return false;
+                   if (loc[kRdRetTs] > wts) return false;
+                 }
+                 return true;
+               });
+  }
+
+  return b.build();
+}
+
+
+std::vector<std::vector<ProcessId>> storage_symmetric_roles(const StorageConfig& cfg) {
+  std::vector<std::vector<ProcessId>> roles;
+  std::vector<ProcessId> bases, readers;
+  for (unsigned i = 0; i < cfg.bases; ++i) {
+    bases.push_back(static_cast<ProcessId>(1 + i));  // writer is process 0
+  }
+  for (unsigned i = 0; i < cfg.readers; ++i) {
+    readers.push_back(static_cast<ProcessId>(1 + cfg.bases + i));
+  }
+  if (bases.size() >= 2) roles.push_back(std::move(bases));
+  if (readers.size() >= 2) roles.push_back(std::move(readers));
+  return roles;
+}
+
+}  // namespace mpb::protocols

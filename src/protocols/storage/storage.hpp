@@ -1,0 +1,59 @@
+// Single-writer regular storage over crash-prone base objects, in the style
+// of Attiya–Bar-Noy–Dolev [3] — the paper's third target system (Section V-A).
+//
+// A write sends STORE(ts, val) to every base object and completes on
+// acknowledgements from a majority; a read queries every base object and
+// returns the highest-timestamped value among a majority of answers.
+// Base objects store monotonically: an older STORE never overwrites a newer
+// one, but is still acknowledged.
+//
+// Regularity: a read returns a value at least as fresh as the last write that
+// *completed* before the read started, and never fresher than the latest
+// started write. The invariant uses ghost snapshots of the writer's state
+// taken at read start/completion (the same specification escape hatch the
+// paper uses, cf. its footnote 7).
+//
+// The "wrong regularity" variant (Section V-A) instead demands that a read
+// return the *latest started* write even when the two operations are
+// concurrent — deliberately too strong; its counterexample is a read
+// overlapping an incomplete write.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace mpb::protocols {
+
+struct StorageConfig {
+  unsigned bases = 3;
+  unsigned readers = 1;
+  unsigned writes = 2;          // sequential writes the writer performs
+  bool quorum_model = true;     // false: counting single-message model
+  bool wrong_regularity = false;  // verify the deliberately wrong property
+
+  [[nodiscard]] unsigned majority() const noexcept { return bases / 2 + 1; }
+  // "(B,R)" — the paper's setting notation.
+  [[nodiscard]] std::string setting() const;
+};
+
+[[nodiscard]] Protocol make_regular_storage(const StorageConfig& cfg);
+
+// Symmetric process groups of make_regular_storage(cfg): the base objects
+// and the readers.
+[[nodiscard]] std::vector<std::vector<ProcessId>> storage_symmetric_roles(
+    const StorageConfig& cfg);
+
+// Value stored by the write with timestamp ts.
+[[nodiscard]] constexpr Value storage_value_for(Value ts) noexcept { return ts * 10; }
+
+// Writer local-variable indices (the ghost snapshots peek at these).
+inline constexpr unsigned kWrWts = 0;          // latest started write ts
+inline constexpr unsigned kWrInFlight = 1;
+inline constexpr unsigned kWrCompletedTs = 2;  // latest completed write ts
+
+// Reader local-variable indices.
+inline constexpr unsigned kRdStarted = 0;
+inline constexpr unsigned kRdSnapTs = 1;   // ghost: completedTs at read start
+inline constexpr unsigned kRdRetTs = 2;    // returned timestamp, -1 = none yet
+inline constexpr unsigned kRdEndSnap = 3;  // ghost: wts at read completion
+
+}  // namespace mpb::protocols

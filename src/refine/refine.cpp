@@ -1,0 +1,118 @@
+#include "refine/refine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/combinatorics.hpp"
+
+namespace mpb::refine {
+
+namespace {
+
+// All processes that declare sending `type` to process `to`.
+ProcessMask declared_senders_of(const Protocol& proto, MsgType type, ProcessId to) {
+  ProcessMask m = 0;
+  for (const Transition& t : proto.transitions()) {
+    if (!mask_contains(t.send_to, to)) continue;
+    if (std::find(t.out_types.begin(), t.out_types.end(), type) != t.out_types.end()) {
+      m |= mask_of(t.proc);
+    }
+  }
+  return m;
+}
+
+std::string subset_suffix(ProcessMask subset) {
+  std::string s;
+  mask_for_each(subset, [&](unsigned pid) {
+    if (!s.empty()) s += "_";
+    s += std::to_string(pid);
+  });
+  return s;
+}
+
+// Append to `out` the split copies of transition `tid` of `proto`, one per
+// q-subset of its candidate senders; or the original if no split applies.
+void split_one(const Protocol& proto, TransitionId tid, bool do_quorum,
+               bool do_reply, std::vector<Transition>& out) {
+  const Transition& t = proto.transition(tid);
+  const bool quorum_case = do_quorum && t.arity > 1 && !t.is_reply;
+  const bool reply_case = do_reply && t.is_reply && t.arity == 1;
+  if (!quorum_case && !reply_case) {
+    out.push_back(t);
+    return;
+  }
+
+  const ProcessMask candidates = candidate_senders(proto, tid);
+  const unsigned n = mask_count(candidates);
+  const auto q = static_cast<unsigned>(t.arity);
+  if (n < q) {
+    // The transition can never fire; keep it as-is (it stays disabled).
+    out.push_back(t);
+    return;
+  }
+
+  std::vector<ProcessId> ids;
+  mask_for_each(candidates, [&](unsigned pid) {
+    ids.push_back(static_cast<ProcessId>(pid));
+  });
+
+  for_each_combination(n, q, [&](std::span<const unsigned> subset) {
+    ProcessMask qmask = 0;
+    for (unsigned i : subset) qmask |= mask_of(ids[i]);
+    Transition copy = t;
+    copy.allowed_senders = qmask;
+    copy.name = t.name + "__" + subset_suffix(qmask);
+    copy.split_of = tid;
+    out.push_back(std::move(copy));
+    return true;
+  });
+}
+
+Protocol split(const Protocol& proto, bool do_quorum, bool do_reply,
+               std::string_view only_name, std::string_view suffix) {
+  Protocol result = proto;
+  std::vector<Transition> ts;
+  for (TransitionId tid = 0; tid < proto.n_transitions(); ++tid) {
+    if (!only_name.empty() && proto.transition(tid).name != only_name) {
+      ts.push_back(proto.transition(tid));
+      continue;
+    }
+    split_one(proto, tid, do_quorum, do_reply, ts);
+  }
+  result.set_transitions(std::move(ts));
+  result.set_name(proto.name() + std::string(suffix));
+  if (std::string err = result.validate(); !err.empty()) {
+    throw std::logic_error("refinement produced invalid protocol: " + err);
+  }
+  return result;
+}
+
+}  // namespace
+
+ProcessMask candidate_senders(const Protocol& proto, TransitionId tid) {
+  const Transition& t = proto.transition(tid);
+  if (t.arity == kSpontaneous) return 0;
+  const ProcessMask declared = declared_senders_of(proto, t.in_type, t.proc);
+  // Conservative: if nothing is declared anywhere (e.g. only initial
+  // messages), fall back to the transition's own mask.
+  const ProcessMask base = declared != 0 ? declared : t.allowed_senders;
+  return base & t.allowed_senders;
+}
+
+Protocol quorum_split(const Protocol& proto) {
+  return split(proto, /*do_quorum=*/true, /*do_reply=*/false, {}, "+qsplit");
+}
+
+Protocol reply_split(const Protocol& proto) {
+  return split(proto, /*do_quorum=*/false, /*do_reply=*/true, {}, "+rsplit");
+}
+
+Protocol combined_split(const Protocol& proto) {
+  return split(proto, /*do_quorum=*/true, /*do_reply=*/true, {}, "+csplit");
+}
+
+Protocol split_transition(const Protocol& proto, std::string_view name) {
+  return split(proto, /*do_quorum=*/true, /*do_reply=*/true, name, "+split1");
+}
+
+}  // namespace mpb::refine

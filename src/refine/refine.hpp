@@ -1,0 +1,50 @@
+// Transition refinement (Section III): protocol-to-protocol transformations
+// that split transitions into equivalent finer-grained ones without changing
+// the generated state graph (Def. 1, Thm. 1).
+//
+//  * quorum_split (Def. 3): an exact quorum transition t with threshold q over
+//    candidate senders S is replaced by one transition t_Qk per q-subset
+//    Qk ⊆ S, identical to t except that it may only consume messages whose
+//    senders are exactly drawn from Qk (allowed_senders := Qk). Thm. 2 shows
+//    this is a transition refinement; tests/refinement_test.cpp checks it on
+//    every protocol by state-graph comparison.
+//  * reply_split: the analogous per-sender split of single-message *reply*
+//    transitions (Def. 4). The split copy t_j only consumes from (and hence,
+//    being a reply, only sends to) process j, which shrinks the can-enable
+//    relation POR works with (Section III-D).
+//
+// The paper split its models by hand (Section V-B, "the split models were
+// created by hand"); here the transformation is automatic, driven by the
+// transitions' static annotations, including the sender-exclusion analysis of
+// Section III-C ("a proposer sends no message to another proposer"): the
+// candidate sender set is narrowed to processes that actually declare sending
+// the consumed type to this process before subsets are enumerated.
+#pragma once
+
+#include <string_view>
+
+#include "core/protocol.hpp"
+
+namespace mpb::refine {
+
+// Candidate senders of transition `t` in `proto`: its allowed_senders mask
+// intersected with the processes that declare sending t's input type to
+// t's process (the automatic sender-exclusion analysis).
+[[nodiscard]] ProcessMask candidate_senders(const Protocol& proto, TransitionId t);
+
+// Split every exact quorum transition (arity > 1) that is not a reply
+// transition. Returns a new protocol; the input is untouched.
+[[nodiscard]] Protocol quorum_split(const Protocol& proto);
+
+// Split every single-message reply transition per candidate sender.
+[[nodiscard]] Protocol reply_split(const Protocol& proto);
+
+// Both splits (the paper's "combined-split" column of Table II).
+[[nodiscard]] Protocol combined_split(const Protocol& proto);
+
+// Split only the named transition (all processes' copies of it); used by
+// tests and the ablation benches. Splits it as a quorum- or reply-split
+// depending on its annotations.
+[[nodiscard]] Protocol split_transition(const Protocol& proto, std::string_view name);
+
+}  // namespace mpb::refine

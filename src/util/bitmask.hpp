@@ -1,0 +1,37 @@
+// Fixed-width process-set masks. The checker supports up to 32 processes,
+// which comfortably covers every protocol setting in the paper (max 6).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace mpb {
+
+using ProcessMask = std::uint32_t;
+
+inline constexpr unsigned kMaxProcesses = 32;
+inline constexpr ProcessMask kAllProcesses = ~ProcessMask{0};
+
+[[nodiscard]] constexpr ProcessMask mask_of(unsigned pid) noexcept {
+  return ProcessMask{1} << pid;
+}
+
+[[nodiscard]] constexpr bool mask_contains(ProcessMask m, unsigned pid) noexcept {
+  return (m & mask_of(pid)) != 0;
+}
+
+[[nodiscard]] constexpr unsigned mask_count(ProcessMask m) noexcept {
+  return static_cast<unsigned>(std::popcount(m));
+}
+
+// Visit each process id set in `m`, lowest first.
+template <typename Fn>
+constexpr void mask_for_each(ProcessMask m, Fn&& fn) {
+  while (m != 0) {
+    const unsigned pid = static_cast<unsigned>(std::countr_zero(m));
+    fn(pid);
+    m &= m - 1;
+  }
+}
+
+}  // namespace mpb

@@ -1,0 +1,81 @@
+#include "util/combinatorics.hpp"
+
+#include <limits>
+#include <numeric>
+
+namespace mpb {
+
+std::uint64_t binomial(unsigned n, unsigned k) noexcept {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    const std::uint64_t num = n - k + i;
+    // result * num / i is always integral at this point; guard overflow.
+    if (result > std::numeric_limits<std::uint64_t>::max() / num) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+bool for_each_combination(unsigned n, unsigned k,
+                          const std::function<bool(std::span<const unsigned>)>& visit) {
+  if (k > n) return true;  // nothing to visit
+  std::vector<unsigned> idx(k);
+  std::iota(idx.begin(), idx.end(), 0u);
+  if (k == 0) return visit(std::span<const unsigned>{});
+  while (true) {
+    if (!visit(idx)) return false;
+    // Advance to the next combination in lexicographic order.
+    int pos = static_cast<int>(k) - 1;
+    while (pos >= 0 && idx[static_cast<unsigned>(pos)] == n - k + static_cast<unsigned>(pos)) {
+      --pos;
+    }
+    if (pos < 0) return true;
+    ++idx[static_cast<unsigned>(pos)];
+    for (unsigned j = static_cast<unsigned>(pos) + 1; j < k; ++j) {
+      idx[j] = idx[j - 1] + 1;
+    }
+  }
+}
+
+std::vector<std::vector<unsigned>> combinations(unsigned n, unsigned k) {
+  std::vector<std::vector<unsigned>> out;
+  for_each_combination(n, k, [&](std::span<const unsigned> c) {
+    out.emplace_back(c.begin(), c.end());
+    return true;
+  });
+  return out;
+}
+
+bool for_each_product(std::span<const unsigned> sizes,
+                      const std::function<bool(std::span<const unsigned>)>& visit) {
+  for (unsigned s : sizes) {
+    if (s == 0) return true;  // empty product
+  }
+  std::vector<unsigned> idx(sizes.size(), 0);
+  while (true) {
+    if (!visit(idx)) return false;
+    std::size_t pos = 0;
+    while (pos < sizes.size()) {
+      if (++idx[pos] < sizes[pos]) break;
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == sizes.size()) return true;
+  }
+}
+
+bool for_each_subset(unsigned n,
+                     const std::function<bool(std::span<const unsigned>)>& visit) {
+  // Enumerate by subset size so smaller sets are tried first; quorum guards
+  // typically reject oversized sets quickly.
+  for (unsigned k = 0; k <= n; ++k) {
+    if (!for_each_combination(n, k, visit)) return false;
+  }
+  return true;
+}
+
+}  // namespace mpb

@@ -1,0 +1,39 @@
+// Combination / cartesian-product enumeration used by the enabled-event
+// machinery: a quorum transition with threshold q over a set of candidate
+// senders requires enumerating every q-subset of senders and, per sender,
+// every choice among that sender's pending messages (Section IV-A of the
+// paper: "enabled set of messages").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace mpb {
+
+// Number of k-subsets of an n-set. Saturates at uint64 max on overflow.
+[[nodiscard]] std::uint64_t binomial(unsigned n, unsigned k) noexcept;
+
+// Visit every k-subset of {0, 1, ..., n-1} in lexicographic order.
+// `visit` receives the chosen indices; returning false aborts enumeration.
+// Returns false iff enumeration was aborted.
+bool for_each_combination(unsigned n, unsigned k,
+                          const std::function<bool(std::span<const unsigned>)>& visit);
+
+// Materialize all k-subsets of {0..n-1}.
+[[nodiscard]] std::vector<std::vector<unsigned>> combinations(unsigned n, unsigned k);
+
+// Visit every element of the cartesian product of `sizes` index ranges:
+// all tuples (i_0, ..., i_{m-1}) with 0 <= i_j < sizes[j].
+// Returning false from `visit` aborts. Returns false iff aborted.
+// An empty `sizes` yields exactly one (empty) tuple.
+bool for_each_product(std::span<const unsigned> sizes,
+                      const std::function<bool(std::span<const unsigned>)>& visit);
+
+// Visit every subset of {0..n-1} (the powerset), smallest first.
+// Used only by powerset-arity transitions; callers should cap n.
+bool for_each_subset(unsigned n,
+                     const std::function<bool(std::span<const unsigned>)>& visit);
+
+}  // namespace mpb

@@ -1,0 +1,21 @@
+#include "util/hash.hpp"
+
+namespace mpb {
+
+std::uint64_t hash_string(std::string_view s) noexcept {
+  Hasher64 h(0x7c9a0367d1a4fb13ULL);
+  std::uint64_t word = 0;
+  std::size_t i = 0;
+  for (unsigned char c : s) {
+    word |= static_cast<std::uint64_t>(c) << (8 * (i % 8));
+    if (++i % 8 == 0) {
+      h.add(word);
+      word = 0;
+    }
+  }
+  if (i % 8 != 0) h.add(word);
+  h.add(s.size());
+  return h.digest();
+}
+
+}  // namespace mpb

@@ -1,0 +1,88 @@
+// Streaming hashing utilities for canonical state fingerprints.
+//
+// The explorer stores visited states either exactly (full state in a hash set)
+// or as 128-bit fingerprints. Both paths funnel through the streaming hasher
+// defined here so that a state has exactly one canonical hash, independent of
+// struct padding or container layout.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace mpb {
+
+// splitmix64 finalizer; good avalanche, cheap, dependency-free.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Streaming 64-bit hasher. Feed integral values with `add`; `digest` yields the
+// final value. Two streams fed the same sequence of values produce the same
+// digest regardless of the original container types.
+class Hasher64 {
+ public:
+  constexpr explicit Hasher64(std::uint64_t seed = 0x51ed270b7a03f24bULL) noexcept
+      : state_(seed) {}
+
+  constexpr void add(std::uint64_t v) noexcept {
+    state_ = mix64(state_ ^ v);
+  }
+
+  template <typename T>
+    requires std::is_integral_v<T> || std::is_enum_v<T>
+  constexpr void add_int(T v) noexcept {
+    add(static_cast<std::uint64_t>(v));
+  }
+
+  void add_bytes(std::span<const std::byte> bytes) noexcept {
+    std::uint64_t word = 0;
+    std::size_t i = 0;
+    for (std::byte b : bytes) {
+      word |= static_cast<std::uint64_t>(b) << (8 * (i % 8));
+      if (++i % 8 == 0) {
+        add(word);
+        word = 0;
+      }
+    }
+    if (i % 8 != 0) add(word);
+    add(static_cast<std::uint64_t>(bytes.size()));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const noexcept {
+    return mix64(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// 128-bit fingerprint for the probabilistic visited set. Collision probability
+// across N states is ~ N^2 / 2^129; negligible for explicit-state runs.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  friend constexpr auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+};
+
+struct FingerprintHash {
+  [[nodiscard]] std::size_t operator()(const Fingerprint& f) const noexcept {
+    return static_cast<std::size_t>(f.hi ^ mix64(f.lo));
+  }
+};
+
+// Combine two hash values in an order-dependent way.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Hash a string (used for interning message-type names deterministically).
+[[nodiscard]] std::uint64_t hash_string(std::string_view s) noexcept;
+
+}  // namespace mpb

@@ -1,0 +1,171 @@
+// In-transition specification assertions — the paper's spec mechanism
+// ("the specification is a set of Java assertions defined within
+// transitions"). Violations live on *edges*; stubborn-set POR preserves them
+// without any visibility proviso because assertion inputs (own locals,
+// consumed messages, declared peeks) are all covered by the dependence
+// relation.
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "mp/builder.hpp"
+#include "por/dpor.hpp"
+#include "por/spor.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+
+namespace mpb {
+namespace {
+
+// Two processes incrementing a shared logical step; B asserts it never moves
+// second (violated in exactly one interleaving).
+Protocol make_racy_assert(bool violable) {
+  mp::ProtocolBuilder b("racy-assert");
+  const ProcessId pa = b.process("a", "P", {{"x", 0}});
+  const ProcessId pb = b.process("b", "P", {{"y", 0}});
+  b.transition(pa, "A_STEP")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([](EffectCtx& c) { c.set_local(0, 1); })
+      .reads(1)
+      .writes(1)
+      .priority(2);
+  b.transition(pb, "B_STEP")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([=](EffectCtx& c) {
+        c.set_local(0, 1);
+        c.assert_that(!violable || c.peek(pa, 0) == 0, "b_first");
+      })
+      .reads(1)
+      .writes(1)
+      .peeks(pa, 1)
+      .priority(1);
+  return b.build();
+}
+
+TEST(Assertion, CleanExecutionReportsNoFailure) {
+  Protocol proto = make_racy_assert(false);
+  EXPECT_EQ(explore_full(proto).verdict, Verdict::kHolds);
+}
+
+TEST(Assertion, ViolationDetectedByFullSearch) {
+  Protocol proto = make_racy_assert(true);
+  ExploreResult r = explore_full(proto);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "b_first");
+  EXPECT_FALSE(r.counterexample.empty());
+}
+
+TEST(Assertion, ViolationPreservedBySporWithoutVisibility) {
+  // Neither transition is marked visible; the declared peek dependence alone
+  // must carry the violating interleaving into the reduced graph.
+  Protocol proto = make_racy_assert(true);
+  for (SeedHeuristic h : {SeedHeuristic::kOppositeTransaction,
+                          SeedHeuristic::kTransaction, SeedHeuristic::kFirst}) {
+    SporOptions opts;
+    opts.seed = h;
+    SporStrategy strategy(proto, opts);
+    ExploreConfig cfg;
+    ExploreResult r = explore(proto, cfg, &strategy);
+    EXPECT_EQ(r.verdict, Verdict::kViolated) << to_string(h);
+    EXPECT_EQ(r.violated_property, "b_first") << to_string(h);
+  }
+}
+
+TEST(Assertion, ViolationPreservedByDpor) {
+  Protocol proto = make_racy_assert(true);
+  ExploreConfig cfg;
+  cfg.mode = SearchMode::kStateless;
+  ExploreResult r = explore_dpor(proto, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+}
+
+TEST(Assertion, CounterexampleReplays) {
+  Protocol proto = make_racy_assert(true);
+  ExploreResult r = explore_full(proto);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(Assertion, FirstFailureLabelWins) {
+  mp::ProtocolBuilder b("two-asserts");
+  const ProcessId p = b.process("p", "P", {{"x", 0}});
+  b.transition(p, "GO")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([](EffectCtx& c) {
+        c.set_local(0, 1);
+        c.assert_that(false, "first");
+        c.assert_that(false, "second");
+      });
+  Protocol proto = b.build();
+  ExploreResult r = explore_full(proto);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "first");
+}
+
+TEST(Assertion, ExecuteSurfacesLabel) {
+  Protocol proto = make_racy_assert(true);
+  // Drive the violating order by hand: A_STEP then B_STEP.
+  State s = proto.initial();
+  std::string failed;
+  auto evs = enumerate_events(proto, s);
+  // A_STEP is tid 0.
+  s = execute(proto, s, evs[0], {}, &failed);
+  EXPECT_TRUE(failed.empty());
+  evs = enumerate_events(proto, s);
+  ASSERT_EQ(evs.size(), 1u);
+  s = execute(proto, s, evs[0], {}, &failed);
+  EXPECT_EQ(failed, "b_first");
+}
+
+TEST(Assertion, PaxosConsensusSpecIsAsserted) {
+  // The faulty learner's violation is reported through the in-transition
+  // assertion, with the same label as the state predicate.
+  using protocols::make_paxos;
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                               .faulty_learner = true});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "consensus");
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(Assertion, TwoLearnerDisagreementCaughtByPeekAssertion) {
+  using protocols::make_paxos;
+  // Two faulty learners: the cross-learner peek assertion must catch the
+  // disagreement under reduction.
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 2,
+                               .faulty_learner = true});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  cfg.max_states = 2'000'000;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+}
+
+TEST(Assertion, StorageRegularitySpecIsAsserted) {
+  using protocols::make_regular_storage;
+  Protocol proto = make_regular_storage(
+      {.bases = 3, .readers = 1, .writes = 2, .wrong_regularity = true});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "wrong_regularity");
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(Assertion, ExhaustiveSeedStaysSound) {
+  Protocol proto = make_racy_assert(true);
+  SporOptions opts;
+  opts.exhaustive_seed = true;
+  SporStrategy strategy(proto, opts);
+  ExploreConfig cfg;
+  EXPECT_EQ(explore(proto, cfg, &strategy).verdict, Verdict::kViolated);
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "mp/builder.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+TEST(Builder, ProcessLayoutAndNames) {
+  mp::ProtocolBuilder b("layout");
+  const ProcessId p0 = b.process("a", "TypeA", {{"x", 1}, {"y", 2}});
+  const ProcessId p1 = b.process("b", "TypeB", {{"z", 3}});
+  b.transition(p0, "NOOP")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 99; });
+  Protocol proto = b.build();
+
+  EXPECT_EQ(proto.n_procs(), 2u);
+  EXPECT_EQ(proto.proc(p0).name, "a");
+  EXPECT_EQ(proto.proc(p0).local_offset, 0u);
+  EXPECT_EQ(proto.proc(p0).local_len, 2u);
+  EXPECT_EQ(proto.proc(p1).local_offset, 2u);
+  EXPECT_EQ(proto.proc(p1).local_len, 1u);
+  EXPECT_EQ(proto.proc(p1).var_names[0], "z");
+
+  auto locals = proto.initial().locals();
+  ASSERT_EQ(locals.size(), 3u);
+  EXPECT_EQ(locals[0], 1);
+  EXPECT_EQ(locals[1], 2);
+  EXPECT_EQ(locals[2], 3);
+}
+
+TEST(Builder, RoleMask) {
+  mp::ProtocolBuilder b("roles");
+  b.process("a0", "Acceptor", {});
+  b.process("p0", "Proposer", {});
+  b.process("a1", "Acceptor", {});
+  b.transition(0, "NOOP").spontaneous().guard([](const GuardView&) { return false; });
+  Protocol proto = b.build();
+  EXPECT_EQ(proto.role_mask("Acceptor"), mask_of(0) | mask_of(2));
+  EXPECT_EQ(proto.role_mask("Proposer"), mask_of(1));
+  EXPECT_EQ(proto.role_mask("Nothing"), 0u);
+}
+
+TEST(Builder, MsgTypeInterning) {
+  mp::ProtocolBuilder b("types");
+  const MsgType a = b.msg("A");
+  const MsgType a2 = b.msg("A");
+  const MsgType c = b.msg("C");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, c);
+  b.process("p", "P", {});
+  b.transition(0, "NOOP").spontaneous().guard([](const GuardView&) { return false; });
+  Protocol proto = b.build();
+  EXPECT_EQ(proto.msg_type_name(a), "A");
+  EXPECT_EQ(proto.find_msg_type("C"), c);
+  EXPECT_FALSE(proto.find_msg_type("D").has_value());
+  EXPECT_EQ(proto.n_msg_types(), 2u);
+}
+
+TEST(Builder, RejectsReplyQuorumTransition) {
+  mp::ProtocolBuilder b("bad-reply");
+  b.process("p", "P", {});
+  b.process("q", "Q", {});
+  b.transition(0, "T").consumes("M", 2).reply();
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Builder, RejectsEmptyProtocol) {
+  mp::ProtocolBuilder b("empty");
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Builder, RejectsBadProcId) {
+  mp::ProtocolBuilder b("bad-proc");
+  b.process("p", "P", {});
+  b.transition(7, "T").spontaneous();
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Builder, PropertiesAreRegistered) {
+  Protocol proto = testing::make_ping_pong();
+  ASSERT_EQ(proto.properties().size(), 1u);
+  EXPECT_EQ(proto.properties()[0].name, "pong_is_43");
+  EXPECT_NE(proto.find_property("pong_is_43"), nullptr);
+  EXPECT_EQ(proto.find_property("nope"), nullptr);
+  EXPECT_EQ(proto.violated_property(proto.initial()), nullptr);
+}
+
+TEST(Builder, InitialMessagesLand) {
+  mp::ProtocolBuilder b("init-msgs");
+  const MsgType mA = b.msg("A");
+  const ProcessId p = b.process("p", "P", {});
+  b.transition(p, "A").consumes("A", 1);
+  b.initial_message(Message(mA, p, p, {1}));
+  b.initial_message(Message(mA, p, p, {2}));
+  Protocol proto = b.build();
+  EXPECT_EQ(proto.initial().network_size(), 2u);
+}
+
+TEST(Builder, SendsAccumulate) {
+  mp::ProtocolBuilder b("sends");
+  const ProcessId p = b.process("p", "P", {});
+  const ProcessId q = b.process("q", "Q", {});
+  b.transition(p, "T")
+      .spontaneous()
+      .guard([](const GuardView&) { return false; })
+      .sends("A", mask_of(q))
+      .sends("B", mask_of(p));
+  Protocol proto = b.build();
+  const Transition& t = proto.transition(0);
+  EXPECT_EQ(t.out_types.size(), 2u);
+  EXPECT_EQ(t.send_to, mask_of(p) | mask_of(q));
+}
+
+TEST(Builder, TransitionDefaults) {
+  mp::ProtocolBuilder b("defaults");
+  const ProcessId p = b.process("p", "P", {});
+  b.transition(p, "T").consumes("M", 1);
+  Protocol proto = b.build();
+  const Transition& t = proto.transition(0);
+  EXPECT_EQ(t.arity, 1);
+  EXPECT_TRUE(t.reads_local);
+  EXPECT_TRUE(t.writes_local);
+  EXPECT_FALSE(t.is_reply);
+  EXPECT_FALSE(t.visible);
+  EXPECT_EQ(t.priority, 0);
+  EXPECT_EQ(t.allowed_senders, kAllProcesses);
+  EXPECT_TRUE(t.out_types.empty());
+  EXPECT_EQ(t.split_of, kNoTransition);
+}
+
+TEST(Builder, ValidateCatchesSchemaMismatch) {
+  Protocol proto("manual");
+  ProcessInfo pi;
+  pi.name = "p";
+  pi.type_name = "P";
+  pi.local_offset = 0;
+  pi.local_len = 2;
+  pi.var_names = {"only_one"};  // mismatch
+  proto.add_process(pi);
+  EXPECT_FALSE(proto.validate().empty());
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "protocols/collector/collector.hpp"
+
+namespace mpb {
+namespace {
+
+using protocols::CollectorConfig;
+using protocols::make_collector;
+
+TEST(Collector, PropertyHolds) {
+  for (bool quorum : {true, false}) {
+    Protocol proto = make_collector({.senders = 4, .quorum = 3, .quorum_model = quorum});
+    EXPECT_EQ(explore_full(proto).verdict, Verdict::kHolds) << proto.name();
+  }
+}
+
+TEST(Collector, QuorumModelExactCount) {
+  // With the quorum model the reachable states are: any subset of senders
+  // fired x collector done-or-not (done only once >= l pings existed).
+  Protocol proto = make_collector({.senders = 3, .quorum = 3});
+  ExploreResult r = explore_full(proto);
+  // 2^3 sender subsets; "done" reachable only from the full subset, and the
+  // quorum consumes all three pings: 8 + 1 = 9.
+  EXPECT_EQ(r.stats.states_stored, 9u);
+}
+
+TEST(Collector, SingleMessageModelLargerStateSpace) {
+  for (unsigned l = 2; l <= 4; ++l) {
+    CollectorConfig q{.senders = 4, .quorum = l, .quorum_model = true};
+    CollectorConfig sm = q;
+    sm.quorum_model = false;
+    const auto rq = explore_full(make_collector(q));
+    const auto rs = explore_full(make_collector(sm));
+    EXPECT_LT(rq.stats.states_stored, rs.stats.states_stored) << "l=" << l;
+  }
+}
+
+struct SweepParam {
+  unsigned senders;
+  unsigned quorum;
+};
+
+class CollectorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CollectorSweep, QuorumNeverWorseAndAlwaysSound) {
+  const auto [n, l] = GetParam();
+  CollectorConfig q{.senders = n, .quorum = l, .quorum_model = true};
+  CollectorConfig sm = q;
+  sm.quorum_model = false;
+  const auto rq = explore_full(make_collector(q));
+  const auto rs = explore_full(make_collector(sm));
+  EXPECT_EQ(rq.verdict, Verdict::kHolds);
+  EXPECT_EQ(rs.verdict, Verdict::kHolds);
+  EXPECT_LE(rq.stats.states_stored, rs.stats.states_stored);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSizes, CollectorSweep,
+    ::testing::Values(SweepParam{2, 1}, SweepParam{2, 2}, SweepParam{3, 2},
+                      SweepParam{3, 3}, SweepParam{4, 2}, SweepParam{4, 3},
+                      SweepParam{4, 4}, SweepParam{5, 3}, SweepParam{5, 5},
+                      SweepParam{6, 4}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "n" + std::to_string(info.param.senders) + "_l" +
+             std::to_string(info.param.quorum);
+    });
+
+TEST(Collector, NoiseProcessesMultiplyStates) {
+  CollectorConfig base{.senders = 3, .quorum = 2};
+  CollectorConfig noisy = base;
+  noisy.noise = 2;
+  const auto rb = explore_full(make_collector(base));
+  const auto rn = explore_full(make_collector(noisy));
+  // Each independent noise process doubles the state count.
+  EXPECT_EQ(rn.stats.states_stored, rb.stats.states_stored * 4);
+}
+
+TEST(Collector, SettingString) {
+  EXPECT_EQ((CollectorConfig{.senders = 4, .quorum = 3}).setting(), "(n=4,l=3)");
+  EXPECT_EQ((CollectorConfig{.senders = 4, .quorum = 3, .noise = 2}).setting(),
+            "(n=4,l=3,k=2)");
+}
+
+}  // namespace
+}  // namespace mpb

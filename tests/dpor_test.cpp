@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "por/dpor.hpp"
+#include "protocols/collector/collector.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using protocols::CollectorConfig;
+using protocols::make_collector;
+using protocols::make_paxos;
+using protocols::PaxosConfig;
+using testing::make_ping_pong;
+using testing::make_small_quorum;
+
+ExploreResult run_dpor(const Protocol& proto, bool reduce = true) {
+  ExploreConfig cfg;
+  cfg.mode = SearchMode::kStateless;
+  cfg.collect_terminals = true;
+  return explore_dpor(proto, cfg, DporOptions{.reduce = reduce});
+}
+
+TEST(Dpor, LinearProtocolSingleTrace) {
+  Protocol proto = make_ping_pong();
+  ExploreResult r = run_dpor(proto);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  // No concurrency at all: exactly one maximal trace of 3 events.
+  EXPECT_EQ(r.stats.events_executed, 3u);
+}
+
+TEST(Dpor, ReducesAgainstUnreducedStateless) {
+  Protocol proto = make_collector({.senders = 4, .quorum = 4, .quorum_model = false});
+  ExploreResult reduced = run_dpor(proto, true);
+  ExploreResult full = run_dpor(proto, false);
+  EXPECT_EQ(reduced.verdict, full.verdict);
+  EXPECT_LT(reduced.stats.events_executed, full.stats.events_executed);
+}
+
+TEST(Dpor, PreservesTerminalStates) {
+  for (const Protocol& proto :
+       {make_collector({.senders = 3, .quorum = 2, .quorum_model = false}),
+        make_collector({.senders = 4, .quorum = 4, .quorum_model = false}),
+        make_small_quorum(),
+        make_paxos({.proposers = 1, .acceptors = 2, .learners = 1,
+                    .quorum_model = false})}) {
+    ExploreResult reduced = run_dpor(proto, true);
+    ExploreResult full = run_dpor(proto, false);
+    EXPECT_EQ(reduced.terminal_fingerprints, full.terminal_fingerprints)
+        << proto.name();
+  }
+}
+
+TEST(Dpor, FindsPaxosConsensusVerified) {
+  Protocol proto = make_paxos(
+      {.proposers = 1, .acceptors = 3, .learners = 1, .quorum_model = false});
+  EXPECT_EQ(run_dpor(proto).verdict, Verdict::kHolds);
+}
+
+TEST(Dpor, FindsFaultyPaxosBug) {
+  Protocol proto =
+      make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                  .quorum_model = false, .faulty_learner = true});
+  ExploreResult r = run_dpor(proto);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "consensus");
+  EXPECT_FALSE(r.counterexample.empty());
+}
+
+TEST(Dpor, BudgetStopsSearch) {
+  Protocol proto = make_collector({.senders = 6, .quorum = 6, .quorum_model = false});
+  ExploreConfig cfg;
+  cfg.mode = SearchMode::kStateless;
+  cfg.max_events = 50;
+  ExploreResult r = explore_dpor(proto, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kBudgetExceeded);
+}
+
+TEST(Dpor, DeterministicAcrossRuns) {
+  Protocol proto = make_collector({.senders = 4, .quorum = 3, .quorum_model = false});
+  ExploreResult a = run_dpor(proto);
+  ExploreResult b = run_dpor(proto);
+  EXPECT_EQ(a.stats.events_executed, b.stats.events_executed);
+  EXPECT_EQ(a.stats.states_visited, b.stats.states_visited);
+}
+
+TEST(Dpor, HandlesQuorumEventsSoundly) {
+  // Not the intended use (the paper applies DPOR to single-message models
+  // only) but must stay sound: same terminal states as unreduced.
+  Protocol proto = make_small_quorum();
+  ExploreResult reduced = run_dpor(proto, true);
+  ExploreResult full = run_dpor(proto, false);
+  EXPECT_EQ(reduced.terminal_fingerprints, full.terminal_fingerprints);
+}
+
+TEST(Dpor, UnreducedStatelessCountsAllInterleavings) {
+  // n independent one-shot processes have n! interleavings; the unreduced
+  // stateless search must walk every one, DPOR only a representative.
+  Protocol proto = make_collector({.senders = 4, .quorum = 1, .quorum_model = false,
+                                   .noise = 0});
+  ExploreResult full = run_dpor(proto, false);
+  ExploreResult reduced = run_dpor(proto, true);
+  EXPECT_GT(full.stats.states_visited, reduced.stats.states_visited);
+}
+
+TEST(Dpor, CounterexampleReplayable) {
+  Protocol proto =
+      make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                  .quorum_model = false, .faulty_learner = true});
+  ExploreResult r = run_dpor(proto);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  // Walk the counterexample manually.
+  State s = proto.initial();
+  for (const TraceStep& step : r.counterexample) {
+    s = execute(proto, s, step.event);
+    EXPECT_EQ(s, step.after);
+  }
+  EXPECT_NE(proto.violated_property(s), nullptr);
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/enabled.hpp"
+#include "core/explorer.hpp"
+#include "core/trace.hpp"
+#include "por/spor.hpp"
+#include "protocols/echo/echo.hpp"
+
+namespace mpb {
+namespace {
+
+using protocols::EchoConfig;
+using protocols::kBogusEchoValue;
+using protocols::kByzValueA;
+using protocols::kByzValueB;
+using protocols::echo_honest_value;
+using protocols::make_echo_multicast;
+
+TEST(EchoModel, ThresholdMath) {
+  // q = ceil((N + t + 1) / 2)
+  EXPECT_EQ((EchoConfig{.honest_receivers = 3, .byz_receivers = 1}).threshold(), 3u);
+  EXPECT_EQ((EchoConfig{.honest_receivers = 2, .byz_receivers = 0}).threshold(), 2u);
+  EXPECT_EQ((EchoConfig{.honest_receivers = 2, .byz_receivers = 2, .tolerance = 1})
+                .threshold(),
+            3u);
+  EXPECT_EQ((EchoConfig{.honest_receivers = 3, .byz_receivers = 1, .tolerance = 1})
+                .threshold(),
+            3u);
+}
+
+TEST(EchoModel, SettingString) {
+  EchoConfig cfg{.honest_receivers = 3, .honest_initiators = 0,
+                 .byz_receivers = 1, .byz_initiators = 1};
+  EXPECT_EQ(cfg.setting(), "(3,0,1,1)");
+}
+
+TEST(EchoModel, Inventory) {
+  Protocol proto = make_echo_multicast({.honest_receivers = 3,
+                                        .honest_initiators = 0,
+                                        .byz_receivers = 1,
+                                        .byz_initiators = 1});
+  EXPECT_EQ(proto.n_procs(), 5u);
+  EXPECT_EQ(mask_count(proto.role_mask("Receiver")), 3u);
+  EXPECT_EQ(mask_count(proto.role_mask("ByzReceiver")), 1u);
+  EXPECT_EQ(mask_count(proto.role_mask("ByzInitiator")), 1u);
+  EXPECT_TRUE(proto.validate().empty());
+  unsigned byz = 0;
+  for (const ProcessInfo& pi : proto.procs()) byz += pi.byzantine;
+  EXPECT_EQ(byz, 2u);
+}
+
+TEST(EchoModel, WrongVariantNamed) {
+  Protocol proto = make_echo_multicast({.honest_receivers = 2,
+                                        .honest_initiators = 1,
+                                        .byz_receivers = 2,
+                                        .byz_initiators = 1,
+                                        .tolerance = 1});
+  EXPECT_NE(proto.name().find("wrong"), std::string::npos);
+}
+
+// Directed scenario: the Byzantine receiver backs both equivocated values.
+TEST(EchoScenario, ByzantineReceiverEchoesBoth) {
+  Protocol proto = make_echo_multicast({.honest_receivers = 2,
+                                        .honest_initiators = 0,
+                                        .byz_receivers = 1,
+                                        .byz_initiators = 1});
+  State s = proto.initial();
+  auto step = [&](std::string_view tname) {
+    for (const Event& e : enumerate_events(proto, s)) {
+      if (proto.transition(e.tid).name == tname) {
+        s = execute(proto, s, e);
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(step("EQUIVOCATE"));
+  // Byz receiver got both INITs; echo them both.
+  ASSERT_TRUE(step("ECHO_ANY"));
+  ASSERT_TRUE(step("ECHO_ANY"));
+  unsigned echoes_a = 0, echoes_b = 0;
+  for (const Message& m : s.network()) {
+    if (proto.msg_type_name(m.type()) != "ECHO") continue;
+    if (m[0] == kByzValueA) ++echoes_a;
+    if (m[0] == kByzValueB) ++echoes_b;
+  }
+  EXPECT_EQ(echoes_a, 1u);
+  EXPECT_EQ(echoes_b, 1u);
+}
+
+TEST(EchoScenario, HonestReceiverEchoesOnlyFirstValue) {
+  // Give the honest receiver both INITs by hand and check its guard.
+  Protocol proto = make_echo_multicast({.honest_receivers = 1,
+                                        .honest_initiators = 0,
+                                        .byz_receivers = 2,
+                                        .byz_initiators = 1});
+  State s = proto.initial();
+  auto all = [&] { return enumerate_events(proto, s); };
+  // EQUIVOCATE first.
+  for (const Event& e : all()) {
+    if (proto.transition(e.tid).name == "EQUIVOCATE") {
+      s = execute(proto, s, e);
+      break;
+    }
+  }
+  // The single honest receiver got exactly one INIT (value A: it is in the
+  // first half); fire its ECHO.
+  bool fired = false;
+  for (const Event& e : all()) {
+    if (proto.transition(e.tid).name == "ECHO") {
+      EXPECT_EQ(e.consumed[0][0], kByzValueA);
+      s = execute(proto, s, e);
+      fired = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(fired);
+  // No further ECHO events for this receiver.
+  for (const Event& e : all()) {
+    EXPECT_NE(proto.transition(e.tid).name, "ECHO");
+  }
+}
+
+TEST(EchoVerify, AgreementHolds_3011) {
+  Protocol proto = make_echo_multicast({.honest_receivers = 3,
+                                        .honest_initiators = 0,
+                                        .byz_receivers = 1,
+                                        .byz_initiators = 1});
+  EXPECT_EQ(explore_full(proto).verdict, Verdict::kHolds);
+}
+
+TEST(EchoVerify, AgreementHolds_2101) {
+  Protocol proto = make_echo_multicast({.honest_receivers = 2,
+                                        .honest_initiators = 1,
+                                        .byz_receivers = 0,
+                                        .byz_initiators = 1});
+  EXPECT_EQ(explore_full(proto).verdict, Verdict::kHolds);
+}
+
+TEST(EchoVerify, WrongAgreementViolated_2121) {
+  Protocol proto = make_echo_multicast({.honest_receivers = 2,
+                                        .honest_initiators = 1,
+                                        .byz_receivers = 2,
+                                        .byz_initiators = 1,
+                                        .tolerance = 1});
+  ExploreResult r = explore_full(proto);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "agreement");
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(EchoVerify, SingleMessageModelAgrees) {
+  for (bool wrong : {false, true}) {
+    EchoConfig cfg{.honest_receivers = 2, .honest_initiators = 0,
+                   .byz_receivers = 2, .byz_initiators = 1,
+                   .quorum_model = false};
+    if (wrong) cfg.tolerance = 1;
+    Protocol proto = make_echo_multicast(cfg);
+    ExploreResult r = explore_full(proto);
+    EXPECT_EQ(r.verdict, wrong ? Verdict::kViolated : Verdict::kHolds)
+        << proto.name();
+  }
+}
+
+TEST(EchoVerify, QuorumModelSmallerThanSingleMessage) {
+  EchoConfig q{.honest_receivers = 3, .honest_initiators = 0,
+               .byz_receivers = 1, .byz_initiators = 1};
+  EchoConfig sm = q;
+  sm.quorum_model = false;
+  ExploreResult rq = explore_full(make_echo_multicast(q));
+  ExploreResult rs = explore_full(make_echo_multicast(sm));
+  EXPECT_LT(rq.stats.states_stored, rs.stats.states_stored);
+}
+
+TEST(EchoVerify, SporAgreement) {
+  Protocol proto = make_echo_multicast({.honest_receivers = 3,
+                                        .honest_initiators = 0,
+                                        .byz_receivers = 1,
+                                        .byz_initiators = 1});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  ExploreResult full = explore_full(proto);
+  EXPECT_LE(r.stats.states_stored, full.stats.states_stored);
+}
+
+TEST(EchoVerify, ProperToleranceDefeatsTheSameAttack) {
+  // Identical faults as the wrong-agreement setting but with the threshold
+  // sized for 2 Byzantine receivers: agreement holds.
+  Protocol proto = make_echo_multicast({.honest_receivers = 2,
+                                        .honest_initiators = 1,
+                                        .byz_receivers = 2,
+                                        .byz_initiators = 1});
+  EXPECT_EQ(explore_full(proto).verdict, Verdict::kHolds);
+}
+
+TEST(EchoVerify, BogusEchoNeverForgesCertificate) {
+  // With one honest initiator and Byzantine receivers sending bogus echoes,
+  // honest receivers still only accept the initiator's true value.
+  Protocol proto = make_echo_multicast({.honest_receivers = 2,
+                                        .honest_initiators = 1,
+                                        .byz_receivers = 1,
+                                        .byz_initiators = 0});
+  EXPECT_EQ(explore_full(proto).verdict, Verdict::kHolds);
+  (void)kBogusEchoValue;
+  (void)echo_honest_value(0);
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/enabled.hpp"
+#include "core/execute.hpp"
+#include "mp/builder.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using testing::make_ping_pong;
+
+Event first_event(const Protocol& proto, const State& s) {
+  auto evs = enumerate_events(proto, s);
+  EXPECT_FALSE(evs.empty());
+  return evs.front();
+}
+
+TEST(Execute, ConsumesAndSends) {
+  Protocol proto = make_ping_pong();
+  State s0 = proto.initial();
+
+  // alice.SEND
+  State s1 = execute(proto, s0, first_event(proto, s0));
+  EXPECT_EQ(s1.locals()[0], 1);  // sent flag
+  ASSERT_EQ(s1.network_size(), 1u);
+  EXPECT_EQ(proto.msg_type_name(s1.network()[0].type()), "PING");
+
+  // bob.PING -> PONG reply
+  State s2 = execute(proto, s1, first_event(proto, s1));
+  ASSERT_EQ(s2.network_size(), 1u);
+  EXPECT_EQ(proto.msg_type_name(s2.network()[0].type()), "PONG");
+  EXPECT_EQ(s2.network()[0][0], 43);
+
+  // alice.PONG
+  State s3 = execute(proto, s2, first_event(proto, s2));
+  EXPECT_EQ(s3.network_size(), 0u);
+  EXPECT_EQ(s3.locals()[1], 43);
+  EXPECT_TRUE(enumerate_events(proto, s3).empty());
+}
+
+TEST(Execute, IsDeterministic) {
+  Protocol proto = make_ping_pong();
+  State s0 = proto.initial();
+  const Event e = first_event(proto, s0);
+  EXPECT_EQ(execute(proto, s0, e), execute(proto, s0, e));
+}
+
+TEST(Execute, DoesNotMutateSourceState) {
+  Protocol proto = make_ping_pong();
+  State s0 = proto.initial();
+  State copy = s0;
+  (void)execute(proto, s0, first_event(proto, s0));
+  EXPECT_EQ(s0, copy);
+}
+
+// --- annotation validation ---
+
+Protocol make_bad_protocol(int which) {
+  mp::ProtocolBuilder b("bad");
+  const MsgType mA = b.msg("A");
+  const MsgType mB = b.msg("B");
+  const ProcessId p = b.process("p", "P", {{"x", 0}});
+  const ProcessId q = b.process("q", "Q", {{"y", 0}});
+  (void)mB;
+
+  switch (which) {
+    case 0:  // sends undeclared type
+      b.transition(p, "T")
+          .spontaneous()
+          .guard([](const GuardView& g) { return g.local[0] == 0; })
+          .effect([=](EffectCtx& c) {
+            c.set_local(0, 1);
+            c.send(q, mB, {});  // declared A, sends B
+          })
+          .sends("A", mask_of(q));
+      break;
+    case 1:  // sends to undeclared recipient
+      b.transition(p, "T")
+          .spontaneous()
+          .guard([](const GuardView& g) { return g.local[0] == 0; })
+          .effect([=](EffectCtx& c) {
+            c.set_local(0, 1);
+            c.send(q, mA, {});
+          })
+          .sends("A", mask_of(p));  // only p declared
+      break;
+    case 2:  // writes local despite isWrite=false
+      b.transition(p, "T")
+          .spontaneous()
+          .guard([](const GuardView& g) { return g.local[0] == 0; })
+          .effect([](EffectCtx& c) { c.set_local(0, 1); })
+          .writes_local(false);
+      break;
+    case 3: {  // reply transition sending to a non-sender
+      b.transition(p, "KICK")
+          .spontaneous()
+          .guard([](const GuardView& g) { return g.local[0] == 0; })
+          .effect([=](EffectCtx& c) {
+            c.set_local(0, 1);
+            c.send(q, mA, {});
+          })
+          .sends("A", mask_of(q));
+      b.transition(q, "A")
+          .consumes("A", 1)
+          .effect([=](EffectCtx& c) {
+            c.set_local(0, 1);
+            c.send(q, mA, {});  // "reply" to itself, not to the sender p
+          })
+          .sends("A", mask_of(p) | mask_of(q))
+          .reply();
+      break;
+    }
+    default:
+      break;
+  }
+  return b.build();
+}
+
+TEST(ExecuteValidation, UndeclaredOutTypeThrows) {
+  Protocol proto = make_bad_protocol(0);
+  const Event e = first_event(proto, proto.initial());
+  EXPECT_THROW((void)execute(proto, proto.initial(), e), AnnotationError);
+}
+
+TEST(ExecuteValidation, UndeclaredRecipientThrows) {
+  Protocol proto = make_bad_protocol(1);
+  const Event e = first_event(proto, proto.initial());
+  EXPECT_THROW((void)execute(proto, proto.initial(), e), AnnotationError);
+}
+
+TEST(ExecuteValidation, WriteDespiteIsWriteFalseThrows) {
+  Protocol proto = make_bad_protocol(2);
+  const Event e = first_event(proto, proto.initial());
+  EXPECT_THROW((void)execute(proto, proto.initial(), e), AnnotationError);
+}
+
+TEST(ExecuteValidation, ReplyToNonSenderThrows) {
+  Protocol proto = make_bad_protocol(3);
+  State s = execute(proto, proto.initial(), first_event(proto, proto.initial()));
+  const Event e = first_event(proto, s);  // q.A, the broken reply
+  EXPECT_THROW((void)execute(proto, s, e), AnnotationError);
+}
+
+TEST(ExecuteValidation, CanBeDisabled) {
+  Protocol proto = make_bad_protocol(0);
+  const Event e = first_event(proto, proto.initial());
+  ExecuteOptions opts;
+  opts.validate_annotations = false;
+  EXPECT_NO_THROW((void)execute(proto, proto.initial(), e, opts));
+}
+
+TEST(Execute, GhostPeekReadsOtherProcess) {
+  mp::ProtocolBuilder b("peek");
+  const ProcessId p = b.process("p", "P", {{"x", 0}});
+  const ProcessId q = b.process("q", "Q", {{"y", 77}});
+  b.transition(p, "SNAP")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([=](EffectCtx& c) { c.set_local(0, c.peek(q, 0)); })
+      .peeks(mask_of(q));
+  Protocol proto = b.build();
+  State s = execute(proto, proto.initial(), first_event(proto, proto.initial()));
+  EXPECT_EQ(s.locals()[0], 77);
+}
+
+TEST(ExecuteValidation, UndeclaredPeekThrows) {
+  mp::ProtocolBuilder b("peek-bad");
+  const ProcessId p = b.process("p", "P", {{"x", 0}});
+  const ProcessId q = b.process("q", "Q", {{"y", 77}});
+  b.transition(p, "SNAP")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([=](EffectCtx& c) { c.set_local(0, c.peek(q, 0)); });
+  // No .peeks(mask_of(q)): the ghost read is an undeclared dependence.
+  Protocol proto = b.build();
+  const Event e = first_event(proto, proto.initial());
+  EXPECT_THROW((void)execute(proto, proto.initial(), e), AnnotationError);
+}
+
+TEST(Execute, SelfPeekNeedsNoAnnotation) {
+  mp::ProtocolBuilder b("self-peek");
+  const ProcessId p = b.process("p", "P", {{"x", 5}, {"y", 0}});
+  b.transition(p, "COPY")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[1] == 0; })
+      .effect([=](EffectCtx& c) { c.set_local(1, c.peek(p, 0)); });
+  Protocol proto = b.build();
+  State s = execute(proto, proto.initial(), first_event(proto, proto.initial()));
+  EXPECT_EQ(s.locals()[1], 5);
+}
+
+}  // namespace
+}  // namespace mpb

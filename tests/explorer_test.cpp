@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "protocols/collector/collector.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using protocols::CollectorConfig;
+using protocols::make_collector;
+using testing::make_ping_pong;
+using testing::make_small_quorum;
+
+TEST(Explorer, PingPongFullExploration) {
+  Protocol proto = make_ping_pong();
+  ExploreResult r = explore_full(proto);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  // Linear protocol: init, after SEND, after PING, after PONG.
+  EXPECT_EQ(r.stats.states_stored, 4u);
+  EXPECT_EQ(r.stats.events_executed, 3u);
+  EXPECT_EQ(r.stats.terminal_states, 1u);
+}
+
+TEST(Explorer, SmallQuorumCounts) {
+  Protocol proto = make_small_quorum();
+  ExploreResult r = explore_full(proto);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  // 3 senders fire in any order: 2^3 sender-subsets; plus gatherer fires once
+  // a pair exists. Sanity bounds rather than exact magic numbers:
+  EXPECT_GE(r.stats.states_stored, 8u);
+  EXPECT_GT(r.stats.terminal_states, 0u);
+}
+
+TEST(Explorer, StatefulAndStatelessAgreeOnVerdict) {
+  Protocol proto = make_small_quorum();
+  ExploreConfig stateful;
+  ExploreConfig stateless;
+  stateless.mode = SearchMode::kStateless;
+  ExploreResult a = explore(proto, stateful);
+  ExploreResult b = explore(proto, stateless);
+  EXPECT_EQ(a.verdict, b.verdict);
+  // Stateless revisits states reached by multiple interleavings.
+  EXPECT_GE(b.stats.states_visited, a.stats.states_stored);
+}
+
+TEST(Explorer, FingerprintModeMatchesExactCounts) {
+  Protocol proto = make_small_quorum();
+  ExploreConfig exact;
+  ExploreConfig fp;
+  fp.visited = VisitedMode::kFingerprint;
+  ExploreResult a = explore(proto, exact);
+  ExploreResult b = explore(proto, fp);
+  EXPECT_EQ(a.stats.states_stored, b.stats.states_stored);
+  EXPECT_EQ(a.stats.events_executed, b.stats.events_executed);
+  EXPECT_EQ(a.verdict, b.verdict);
+}
+
+TEST(Explorer, DeterministicAcrossRuns) {
+  Protocol proto = make_small_quorum();
+  ExploreResult a = explore_full(proto);
+  ExploreResult b = explore_full(proto);
+  EXPECT_EQ(a.stats.states_stored, b.stats.states_stored);
+  EXPECT_EQ(a.stats.events_executed, b.stats.events_executed);
+  EXPECT_EQ(a.stats.terminal_states, b.stats.terminal_states);
+}
+
+TEST(Explorer, StateBudgetStopsSearch) {
+  Protocol proto = make_collector({.senders = 6, .quorum = 3});
+  ExploreConfig cfg;
+  cfg.max_states = 10;
+  ExploreResult r = explore(proto, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kBudgetExceeded);
+  EXPECT_LE(r.stats.states_stored, 12u);  // a little slack past the check
+}
+
+TEST(Explorer, EventBudgetStopsSearch) {
+  Protocol proto = make_collector({.senders = 6, .quorum = 3});
+  ExploreConfig cfg;
+  cfg.max_events = 5;
+  ExploreResult r = explore(proto, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kBudgetExceeded);
+}
+
+TEST(Explorer, ViolationProducesCounterexample) {
+  mp::ProtocolBuilder b("violator");
+  const ProcessId p = b.process("p", "P", {{"x", 0}});
+  b.transition(p, "STEP")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] < 3; })
+      .effect([](EffectCtx& c) { c.set_local(0, c.local(0) + 1); });
+  b.property("x_below_2", [p](const State& s, const Protocol& proto) {
+    return s.local_slice(proto.proc(p).local_offset, 1)[0] < 2;
+  });
+  Protocol proto = b.build();
+
+  ExploreResult r = explore_full(proto);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "x_below_2");
+  ASSERT_EQ(r.counterexample.size(), 2u);  // two STEPs reach x==2
+  EXPECT_EQ(r.counterexample.back().after.locals()[0], 2);
+}
+
+TEST(Explorer, ViolationInInitialState) {
+  mp::ProtocolBuilder b("bad-init");
+  const ProcessId p = b.process("p", "P", {{"x", 9}});
+  b.transition(p, "NOOP").spontaneous().guard([](const GuardView&) { return false; });
+  b.property("x_small", [p](const State& s, const Protocol& proto) {
+    return s.local_slice(proto.proc(p).local_offset, 1)[0] < 5;
+  });
+  Protocol proto = b.build();
+  ExploreResult r = explore_full(proto);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_TRUE(r.counterexample.empty());  // violated before any step
+}
+
+TEST(Explorer, TerminalFingerprintCollection) {
+  Protocol proto = make_small_quorum();
+  ExploreConfig cfg;
+  cfg.collect_terminals = true;
+  ExploreResult r = explore(proto, cfg);
+  EXPECT_FALSE(r.terminal_fingerprints.empty());
+  EXPECT_TRUE(std::is_sorted(r.terminal_fingerprints.begin(),
+                             r.terminal_fingerprints.end()));
+  // Stateful search visits each terminal state once.
+  EXPECT_EQ(r.terminal_fingerprints.size(), r.stats.terminal_states);
+}
+
+TEST(Explorer, ReachableStatesSortedUnique) {
+  Protocol proto = make_ping_pong();
+  auto states = reachable_states(proto);
+  EXPECT_EQ(states.size(), 4u);
+  for (std::size_t i = 1; i < states.size(); ++i) {
+    EXPECT_TRUE(states[i - 1] < states[i]);
+  }
+}
+
+TEST(Explorer, ReachableStatesAbortsOverCap) {
+  Protocol proto = make_small_quorum();
+  EXPECT_TRUE(reachable_states(proto, 2).empty());
+}
+
+TEST(Explorer, ReachableEdgesMatchStateCount) {
+  Protocol proto = make_ping_pong();
+  auto edges = reachable_edges(proto);
+  EXPECT_EQ(edges.size(), 3u);  // linear chain
+  for (const Edge& e : edges) {
+    EXPECT_FALSE(e.transition_name.empty());
+  }
+}
+
+TEST(Explorer, FullExpansionSelectsEverything) {
+  Protocol proto = make_small_quorum();
+  FullExpansion full;
+  ExploreConfig cfg;
+  ExploreResult with = explore(proto, cfg, &full);
+  ExploreResult without = explore(proto, cfg, nullptr);
+  EXPECT_EQ(with.stats.states_stored, without.stats.states_stored);
+  EXPECT_EQ(with.stats.events_executed, without.stats.events_executed);
+}
+
+TEST(Explorer, VerdictToString) {
+  EXPECT_EQ(to_string(Verdict::kHolds), "Verified");
+  EXPECT_EQ(to_string(Verdict::kViolated), "CE");
+  EXPECT_EQ(to_string(Verdict::kBudgetExceeded), ">budget");
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include <sstream>
+
+#include "harness/runner.hpp"
+#include "harness/table.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using harness::budget_from_env;
+using harness::format_cell;
+using harness::format_count;
+using harness::format_time;
+using harness::RunSpec;
+using harness::Strategy;
+using protocols::make_paxos;
+
+TEST(Harness, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(7), "7");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(2822764), "2,822,764");
+  EXPECT_EQ(format_count(16087468), "16,087,468");
+}
+
+TEST(Harness, FormatTime) {
+  EXPECT_EQ(format_time(0.5), "0.50s");
+  EXPECT_EQ(format_time(12.0), "12.0s");
+  EXPECT_EQ(format_time(184.0), "3m4s");
+  EXPECT_EQ(format_time(34620.0), "9h37m");
+}
+
+TEST(Harness, StrategyNames) {
+  EXPECT_EQ(harness::to_string(Strategy::kSpor), "SPOR");
+  EXPECT_EQ(harness::to_string(Strategy::kDpor), "DPOR");
+  EXPECT_EQ(harness::to_string(Strategy::kUnreducedStateful), "unreduced");
+  EXPECT_EQ(harness::to_string(Strategy::kUnreducedStateless),
+            "unreduced-stateless");
+}
+
+TEST(Harness, BudgetFromEnv) {
+  setenv("MPB_BUDGET_STATES", "1234", 1);
+  setenv("MPB_BUDGET_SECONDS", "7.5", 1);
+  ExploreConfig cfg = budget_from_env();
+  EXPECT_EQ(cfg.max_states, 1234u);
+  EXPECT_DOUBLE_EQ(cfg.max_seconds, 7.5);
+  unsetenv("MPB_BUDGET_STATES");
+  unsetenv("MPB_BUDGET_SECONDS");
+  cfg = budget_from_env();
+  EXPECT_EQ(cfg.max_states, 3'000'000u);
+  EXPECT_DOUBLE_EQ(cfg.max_seconds, 120.0);
+}
+
+TEST(Harness, RunDispatchesAllStrategies) {
+  Protocol proto = testing::make_small_quorum();
+  for (Strategy s : {Strategy::kUnreducedStateful, Strategy::kUnreducedStateless,
+                     Strategy::kSpor, Strategy::kDpor}) {
+    RunSpec spec;
+    spec.strategy = s;
+    ExploreResult r = harness::run(proto, spec);
+    EXPECT_EQ(r.verdict, Verdict::kHolds) << harness::to_string(s);
+  }
+}
+
+TEST(Harness, StrategiesAgreeOnFaultyPaxos) {
+  Protocol proto =
+      make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                  .quorum_model = false, .faulty_learner = true});
+  for (Strategy s : {Strategy::kUnreducedStateful, Strategy::kUnreducedStateless,
+                     Strategy::kSpor, Strategy::kDpor}) {
+    RunSpec spec;
+    spec.strategy = s;
+    EXPECT_EQ(harness::run(proto, spec).verdict, Verdict::kViolated)
+        << harness::to_string(s);
+  }
+}
+
+TEST(Harness, FormatCellShowsVerdictStatesTime) {
+  Protocol proto = testing::make_ping_pong();
+  RunSpec spec;
+  spec.strategy = Strategy::kUnreducedStateful;
+  ExploreResult r = harness::run(proto, spec);
+  const std::string cell = format_cell(r);
+  EXPECT_NE(cell.find("Verified"), std::string::npos);
+  EXPECT_NE(cell.find("4"), std::string::npos);
+}
+
+TEST(Harness, FormatCellBudget) {
+  ExploreResult r;
+  r.verdict = Verdict::kBudgetExceeded;
+  r.stats.states_stored = 3000000;
+  r.stats.seconds = 12.0;
+  const std::string cell = format_cell(r);
+  EXPECT_NE(cell.find(">3,000,000"), std::string::npos);
+  EXPECT_NE(cell.find("(budget)"), std::string::npos);
+}
+
+TEST(HarnessTable, PrintAligned) {
+  harness::Table t({"Protocol", "States"});
+  t.add_row({"paxos", "123"});
+  t.add_row({"a-much-longer-name", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Protocol"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Rules + header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(HarnessTable, PrintCsv) {
+  harness::Table t({"A", "B"});
+  t.add_row({"x", "y"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "\"A\",\"B\"\n\"x\",\"y\"\n");
+}
+
+TEST(HarnessTable, ShortRowsArePadded) {
+  harness::Table t({"A", "B", "C"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "por/independence.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "refine/refine.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+TransitionId find_transition(const Protocol& p, std::string_view name,
+                             ProcessId proc) {
+  for (TransitionId t = 0; t < p.n_transitions(); ++t) {
+    if (p.transition(t).name == name && p.transition(t).proc == proc) return t;
+  }
+  ADD_FAILURE() << "no transition " << name << " of proc " << int(proc);
+  return kNoTransition;
+}
+
+TEST(Independence, SameProcessIsDependent) {
+  Protocol proto = testing::make_ping_pong();
+  StaticRelations rel(proto);
+  const TransitionId send = find_transition(proto, "SEND", 0);
+  const TransitionId pong = find_transition(proto, "PONG", 0);
+  EXPECT_TRUE(rel.dependent(send, pong));
+  EXPECT_TRUE(rel.dependent(pong, send));
+  EXPECT_TRUE(rel.dependent(send, send));
+}
+
+TEST(Independence, ProducerConsumerIsDependentAndEnabling) {
+  Protocol proto = testing::make_ping_pong();
+  StaticRelations rel(proto);
+  const TransitionId send = find_transition(proto, "SEND", 0);
+  const TransitionId ping = find_transition(proto, "PING", 1);
+  const TransitionId pong = find_transition(proto, "PONG", 0);
+  EXPECT_TRUE(rel.can_enable(send, ping));
+  EXPECT_FALSE(rel.can_enable(ping, send));
+  EXPECT_TRUE(rel.can_enable(ping, pong));
+  EXPECT_TRUE(rel.dependent(send, ping));
+  EXPECT_TRUE(rel.dependent(ping, pong));
+}
+
+TEST(Independence, UnrelatedProcessesIndependent) {
+  Protocol proto = testing::make_fig4_refined();
+  StaticRelations rel(proto);
+  const TransitionId t1 = find_transition(proto, "t1", 0);
+  const TransitionId t2 = find_transition(proto, "t2", 1);
+  const TransitionId t3 = find_transition(proto, "t3", 2);
+  EXPECT_FALSE(rel.dependent(t1, t2));
+  EXPECT_FALSE(rel.dependent(t1, t3));
+  EXPECT_TRUE(rel.dependent(t2, t3));  // t2 produces t3's input
+  EXPECT_TRUE(rel.can_enable(t2, t3));
+  EXPECT_FALSE(rel.can_enable(t1, t3));
+}
+
+TEST(Independence, ProducersListMatchesRelation) {
+  Protocol proto = testing::make_ping_pong();
+  StaticRelations rel(proto);
+  const TransitionId send = find_transition(proto, "SEND", 0);
+  const TransitionId ping = find_transition(proto, "PING", 1);
+  const auto& producers = rel.producers_of(ping);
+  ASSERT_EQ(producers.size(), 1u);
+  EXPECT_EQ(producers[0], send);
+}
+
+TEST(Independence, LocalEnablersOnlyWithinProcess) {
+  Protocol proto = testing::make_ping_pong();
+  StaticRelations rel(proto);
+  const TransitionId send = find_transition(proto, "SEND", 0);
+  const TransitionId pong = find_transition(proto, "PONG", 0);
+  // PONG's consumer-side: same-process writer SEND may flip its guard state.
+  EXPECT_TRUE(rel.can_enable_local(send, pong));
+  EXPECT_FALSE(rel.can_enable_local(pong, pong));  // a != b required
+}
+
+TEST(Independence, PaxosReadReplDependsOnAcceptors) {
+  using protocols::PaxosConfig;
+  Protocol proto = protocols::make_paxos(PaxosConfig{.proposers = 1, .acceptors = 3});
+  StaticRelations rel(proto);
+  // proposer0 is process 0; acceptors 1..3; learner 4.
+  const TransitionId rr = find_transition(proto, "READ_REPL", 0);
+  for (ProcessId a = 1; a <= 3; ++a) {
+    const TransitionId read = find_transition(proto, "READ", a);
+    EXPECT_TRUE(rel.can_enable(read, rr)) << int(a);
+  }
+}
+
+TEST(Independence, QuorumSplitNarrowsProducers) {
+  using protocols::PaxosConfig;
+  Protocol proto = protocols::make_paxos(PaxosConfig{.proposers = 1, .acceptors = 3});
+  Protocol split = refine::quorum_split(proto);
+  StaticRelations rel(split);
+
+  // Find a split READ_REPL copy; its producers must be exactly the READ
+  // transitions of its two quorum peers.
+  for (TransitionId t = 0; t < split.n_transitions(); ++t) {
+    const Transition& tr = split.transition(t);
+    if (tr.split_of == kNoTransition || tr.name.rfind("READ_REPL", 0) != 0) continue;
+    EXPECT_EQ(mask_count(tr.allowed_senders), 2u);
+    for (TransitionId p : rel.producers_of(t)) {
+      EXPECT_TRUE(mask_contains(tr.allowed_senders, split.transition(p).proc));
+    }
+    EXPECT_EQ(rel.producers_of(t).size(), 2u);
+  }
+}
+
+TEST(Independence, ReplyRestrictionLimitsEnabling) {
+  using protocols::PaxosConfig;
+  Protocol proto = protocols::make_paxos(PaxosConfig{.proposers = 2, .acceptors = 3});
+  Protocol split = refine::reply_split(proto);
+  StaticRelations rel(split);
+
+  // A reply-split acceptor READ copy for proposer j can enable only
+  // transitions of process j (Section III-D).
+  for (TransitionId t = 0; t < split.n_transitions(); ++t) {
+    const Transition& tr = split.transition(t);
+    if (tr.split_of == kNoTransition || !tr.is_reply) continue;
+    ASSERT_EQ(mask_count(tr.allowed_senders), 1u);
+    for (TransitionId other = 0; other < split.n_transitions(); ++other) {
+      if (rel.can_enable(t, other)) {
+        EXPECT_TRUE(mask_contains(tr.allowed_senders, split.transition(other).proc));
+      }
+    }
+  }
+}
+
+TEST(Independence, DependenceIsSymmetric) {
+  Protocol proto = protocols::make_paxos(
+      protocols::PaxosConfig{.proposers = 2, .acceptors = 2, .learners = 1});
+  StaticRelations rel(proto);
+  for (TransitionId a = 0; a < rel.n_transitions(); ++a) {
+    for (TransitionId b = 0; b < rel.n_transitions(); ++b) {
+      EXPECT_EQ(rel.dependent(a, b), rel.dependent(b, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/message.hpp"
+#include "core/state.hpp"
+
+namespace mpb {
+namespace {
+
+Message msg(MsgType t, ProcessId from, ProcessId to, std::initializer_list<Value> p = {}) {
+  return Message(t, from, to, p);
+}
+
+TEST(Message, StoresFields) {
+  const Message m(3, 1, 2, {10, 20});
+  EXPECT_EQ(m.type(), 3);
+  EXPECT_EQ(m.sender(), 1);
+  EXPECT_EQ(m.receiver(), 2);
+  EXPECT_EQ(m.payload_size(), 2u);
+  EXPECT_EQ(m[0], 10);
+  EXPECT_EQ(m[1], 20);
+}
+
+TEST(Message, EqualityIncludesPayload) {
+  EXPECT_EQ(msg(1, 0, 1, {5}), msg(1, 0, 1, {5}));
+  EXPECT_NE(msg(1, 0, 1, {5}), msg(1, 0, 1, {6}));
+  EXPECT_NE(msg(1, 0, 1, {5}), msg(1, 0, 1, {5, 0}));
+  EXPECT_NE(msg(1, 0, 1, {5}), msg(2, 0, 1, {5}));
+  EXPECT_NE(msg(1, 0, 1, {5}), msg(1, 2, 1, {5}));
+}
+
+TEST(Message, OrderingGroupsByReceiverThenType) {
+  // receiver dominates
+  EXPECT_LT(msg(5, 0, 1), msg(0, 0, 2));
+  // then type
+  EXPECT_LT(msg(1, 3, 2), msg(2, 0, 2));
+  // then sender
+  EXPECT_LT(msg(1, 0, 2), msg(1, 1, 2));
+  // then payload
+  EXPECT_LT(msg(1, 0, 2, {1}), msg(1, 0, 2, {2}));
+  EXPECT_LT(msg(1, 0, 2, {}), msg(1, 0, 2, {0}));
+}
+
+TEST(Message, HashFeedDistinguishes) {
+  auto h = [](const Message& m) {
+    Hasher64 hh;
+    m.feed(hh);
+    return hh.digest();
+  };
+  EXPECT_EQ(h(msg(1, 0, 1, {5})), h(msg(1, 0, 1, {5})));
+  EXPECT_NE(h(msg(1, 0, 1, {5})), h(msg(1, 0, 1, {6})));
+  EXPECT_NE(h(msg(1, 0, 1)), h(msg(1, 1, 0)));
+}
+
+TEST(State, NetworkIsKeptSorted) {
+  State s({}, {msg(2, 0, 1), msg(1, 0, 1), msg(1, 0, 0)});
+  ASSERT_EQ(s.network_size(), 3u);
+  EXPECT_TRUE(std::is_sorted(s.network().begin(), s.network().end()));
+  s.add_message(msg(0, 0, 0));
+  EXPECT_TRUE(std::is_sorted(s.network().begin(), s.network().end()));
+  EXPECT_EQ(s.network().front(), msg(0, 0, 0));
+}
+
+TEST(State, RemoveMessageRemovesOneCopy) {
+  State s({}, {msg(1, 0, 1), msg(1, 0, 1)});
+  EXPECT_TRUE(s.remove_message(msg(1, 0, 1)));
+  EXPECT_EQ(s.network_size(), 1u);
+  EXPECT_TRUE(s.remove_message(msg(1, 0, 1)));
+  EXPECT_EQ(s.network_size(), 0u);
+  EXPECT_FALSE(s.remove_message(msg(1, 0, 1)));
+}
+
+TEST(State, RemoveAbsentMessageFails) {
+  State s({}, {msg(1, 0, 1)});
+  EXPECT_FALSE(s.remove_message(msg(2, 0, 1)));
+  EXPECT_EQ(s.network_size(), 1u);
+}
+
+TEST(State, PendingRangeFindsContiguousPool) {
+  State s({}, {msg(1, 0, 2), msg(1, 1, 2), msg(2, 0, 2), msg(1, 0, 1)});
+  const auto [lo, hi] = s.pending_range(2, 1);
+  EXPECT_EQ(hi - lo, 2u);
+  for (std::size_t i = lo; i < hi; ++i) {
+    EXPECT_EQ(s.network()[i].receiver(), 2);
+    EXPECT_EQ(s.network()[i].type(), 1);
+  }
+}
+
+TEST(State, PendingRangeEmptyWhenNoMatch) {
+  State s({}, {msg(1, 0, 1)});
+  const auto [lo, hi] = s.pending_range(2, 1);
+  EXPECT_EQ(lo, hi);
+}
+
+TEST(State, EqualityIsStructural) {
+  // Same multiset in different construction order.
+  State a({1, 2}, {msg(1, 0, 1), msg(2, 0, 1)});
+  State b({1, 2}, {msg(2, 0, 1), msg(1, 0, 1)});
+  EXPECT_EQ(a, b);
+  State c({1, 3}, {msg(1, 0, 1), msg(2, 0, 1)});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(State, HashAgreesWithEquality) {
+  State a({1, 2}, {msg(1, 0, 1)});
+  State b({1, 2}, {msg(1, 0, 1)});
+  State c({1, 2}, {msg(1, 0, 1), msg(1, 0, 1)});  // extra copy
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(State, MultisetMultiplicityAffectsEquality) {
+  State a({}, {msg(1, 0, 1)});
+  State b({}, {msg(1, 0, 1), msg(1, 0, 1)});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(State, FingerprintStableAndDiscriminating) {
+  State a({5}, {msg(1, 0, 1)});
+  State b({5}, {msg(1, 0, 1)});
+  State c({6}, {msg(1, 0, 1)});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(State, LocalSlices) {
+  State s({10, 20, 30}, {});
+  auto slice = s.local_slice(1, 2);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0], 20);
+  EXPECT_EQ(slice[1], 30);
+  s.local_slice_mut(0, 1)[0] = 11;
+  EXPECT_EQ(s.locals()[0], 11);
+}
+
+TEST(State, StrictWeakOrderForSetComparison) {
+  State a({1}, {});
+  State b({2}, {});
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+  State c({1}, {msg(1, 0, 0)});
+  EXPECT_TRUE(a < c || c < a);
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "por/spor.hpp"
+#include "protocols/echo/echo.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+#include "refine/refine.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using protocols::EchoConfig;
+using protocols::make_echo_multicast;
+using protocols::make_paxos;
+using protocols::make_regular_storage;
+using protocols::PaxosConfig;
+using protocols::StorageConfig;
+
+// Thm. 2 / Def. 1: a refinement generates the *same state graph* — identical
+// reachable states and identical (source, target) edge pairs.
+void expect_same_state_graph(const Protocol& a, const Protocol& b) {
+  auto sa = reachable_states(a);
+  auto sb = reachable_states(b);
+  ASSERT_FALSE(sa.empty());
+  EXPECT_EQ(sa.size(), sb.size()) << a.name() << " vs " << b.name();
+  EXPECT_TRUE(sa == sb) << a.name() << " vs " << b.name();
+
+  auto edge_pairs = [](const Protocol& p) {
+    std::vector<std::pair<State, State>> pairs;
+    for (Edge& e : reachable_edges(p)) {
+      pairs.emplace_back(std::move(e.from), std::move(e.to));
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const auto& x, const auto& y) {
+      if (!(x.first == y.first)) return x.first < y.first;
+      return x.second < y.second;
+    });
+    pairs.erase(std::unique(pairs.begin(), pairs.end(),
+                            [](const auto& x, const auto& y) {
+                              return x.first == y.first && x.second == y.second;
+                            }),
+                pairs.end());
+    return pairs;
+  };
+  EXPECT_TRUE(edge_pairs(a) == edge_pairs(b)) << a.name() << " vs " << b.name();
+}
+
+TEST(Refine, QuorumSplitCountsPaxos) {
+  Protocol proto = make_paxos({.proposers = 1, .acceptors = 3, .learners = 1});
+  Protocol split = refine::quorum_split(proto);
+  // READ_REPL (maj 2 of 3) -> C(3,2)=3 copies; learner ACCEPT -> 3 copies.
+  // Original: 1 START + 1 READ_REPL + 3 READ + 3 WRITE + 1 ACCEPT = 9.
+  EXPECT_EQ(proto.n_transitions(), 9u);
+  EXPECT_EQ(split.n_transitions(), 9u - 2u + 3u + 3u);
+}
+
+TEST(Refine, ReplySplitCountsPaxos) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  Protocol split = refine::reply_split(proto);
+  // Each acceptor's READ reply splits per proposer (2 copies each).
+  EXPECT_EQ(split.n_transitions(), proto.n_transitions() + 3u);
+}
+
+TEST(Refine, SplitTransitionsCarryProvenance) {
+  Protocol proto = make_paxos({.proposers = 1, .acceptors = 3, .learners = 1});
+  Protocol split = refine::combined_split(proto);
+  bool any = false;
+  for (TransitionId t = 0; t < split.n_transitions(); ++t) {
+    const Transition& tr = split.transition(t);
+    if (tr.split_of != kNoTransition) {
+      any = true;
+      EXPECT_LT(tr.split_of, proto.n_transitions());
+      EXPECT_NE(tr.name.find("__"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Refine, CandidateSendersExcludeNonSenders) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1});
+  // Learner ACCEPT consumes from acceptors only (processes 2,3,4): the
+  // analysis must rule out proposers and learners (Section III-C).
+  for (TransitionId t = 0; t < proto.n_transitions(); ++t) {
+    if (proto.transition(t).name != "ACCEPT") continue;
+    const ProcessMask senders = refine::candidate_senders(proto, t);
+    EXPECT_EQ(mask_count(senders), 3u);
+    for (unsigned a = 0; a < 3; ++a) {
+      EXPECT_TRUE(mask_contains(senders, 2 + a));
+    }
+  }
+}
+
+// --- Thm. 2 state-graph equivalence on every protocol family ---
+
+TEST(RefineGraph, PaxosQuorumSplit) {
+  Protocol proto = make_paxos({.proposers = 1, .acceptors = 3, .learners = 1});
+  expect_same_state_graph(proto, refine::quorum_split(proto));
+}
+
+TEST(RefineGraph, PaxosReplySplit) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 2, .learners = 1});
+  expect_same_state_graph(proto, refine::reply_split(proto));
+}
+
+TEST(RefineGraph, PaxosCombinedSplit) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 2, .learners = 1});
+  expect_same_state_graph(proto, refine::combined_split(proto));
+}
+
+TEST(RefineGraph, EchoCombinedSplit) {
+  Protocol proto = make_echo_multicast(
+      {.honest_receivers = 2, .honest_initiators = 0, .byz_receivers = 1,
+       .byz_initiators = 1});
+  expect_same_state_graph(proto, refine::combined_split(proto));
+}
+
+TEST(RefineGraph, StorageCombinedSplit) {
+  Protocol proto = make_regular_storage({.bases = 3, .readers = 1, .writes = 1});
+  expect_same_state_graph(proto, refine::combined_split(proto));
+}
+
+TEST(RefineGraph, SmallQuorumSplit) {
+  Protocol proto = mpb::testing::make_small_quorum();
+  expect_same_state_graph(proto, refine::quorum_split(proto));
+}
+
+TEST(RefineGraph, SplitIsIdempotentOnSingleMessageModels) {
+  // Quorum-split of a model without non-reply quorum transitions is a no-op
+  // in graph terms (and nearly so in transition count).
+  Protocol proto = make_paxos(
+      {.proposers = 1, .acceptors = 2, .learners = 1, .quorum_model = false});
+  Protocol split = refine::quorum_split(proto);
+  expect_same_state_graph(proto, split);
+  EXPECT_EQ(split.n_transitions(), proto.n_transitions());
+}
+
+// --- Thm. 1: refinement preserves POR verdicts ---
+
+TEST(RefineVerdict, SporVerdictsAgreeAcrossSplits) {
+  struct Case {
+    Protocol proto;
+    Verdict expected;
+  };
+  std::vector<Case> cases;
+  cases.push_back({make_paxos({.proposers = 1, .acceptors = 3, .learners = 1}),
+                   Verdict::kHolds});
+  cases.push_back({make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                               .faulty_learner = true}),
+                   Verdict::kViolated});
+  cases.push_back({make_echo_multicast({.honest_receivers = 2,
+                                        .honest_initiators = 0,
+                                        .byz_receivers = 1,
+                                        .byz_initiators = 1}),
+                   Verdict::kHolds});
+  cases.push_back(
+      {make_regular_storage({.bases = 3, .readers = 1, .writes = 1}),
+       Verdict::kHolds});
+  cases.push_back({make_regular_storage({.bases = 3, .readers = 1, .writes = 2,
+                                         .wrong_regularity = true}),
+                   Verdict::kViolated});
+
+  for (const Case& c : cases) {
+    for (Protocol split : {refine::reply_split(c.proto),
+                           refine::quorum_split(c.proto),
+                           refine::combined_split(c.proto)}) {
+      SporStrategy strategy(split);
+      ExploreConfig cfg;
+      ExploreResult r = explore(split, cfg, &strategy);
+      EXPECT_EQ(r.verdict, c.expected) << split.name();
+    }
+  }
+}
+
+TEST(Refine, SplitSingleNamedTransition) {
+  Protocol proto = make_paxos({.proposers = 1, .acceptors = 3, .learners = 1});
+  Protocol split = refine::split_transition(proto, "READ_REPL");
+  // Only READ_REPL is replaced: 9 - 1 + C(3,2) = 11.
+  EXPECT_EQ(split.n_transitions(), 11u);
+  expect_same_state_graph(proto, split);
+}
+
+TEST(Refine, RefinedProtocolsValidate) {
+  Protocol proto = make_echo_multicast(
+      {.honest_receivers = 3, .honest_initiators = 0, .byz_receivers = 1,
+       .byz_initiators = 1});
+  EXPECT_TRUE(refine::quorum_split(proto).validate().empty());
+  EXPECT_TRUE(refine::reply_split(proto).validate().empty());
+  EXPECT_TRUE(refine::combined_split(proto).validate().empty());
+}
+
+}  // namespace
+}  // namespace mpb

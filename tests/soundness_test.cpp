@@ -1,0 +1,167 @@
+// The central verification-soundness matrix (DESIGN.md section 4): for every
+// protocol family, small setting, model flavour and search strategy, the
+// verdict must be identical, reduced searches must not invent states, and all
+// terminal states must be preserved.
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "por/dpor.hpp"
+#include "por/spor.hpp"
+#include "protocols/collector/collector.hpp"
+#include "protocols/echo/echo.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+#include "refine/refine.hpp"
+
+namespace mpb {
+namespace {
+
+using namespace protocols;
+
+struct NamedCase {
+  std::string label;
+  Protocol proto;
+};
+
+std::vector<NamedCase> small_cases() {
+  std::vector<NamedCase> cases;
+  auto add = [&](std::string label, Protocol p) {
+    cases.push_back({std::move(label), std::move(p)});
+  };
+  add("paxos_q_131", make_paxos({.proposers = 1, .acceptors = 3, .learners = 1}));
+  add("paxos_q_221", make_paxos({.proposers = 2, .acceptors = 2, .learners = 1}));
+  add("paxos_s_131", make_paxos({.proposers = 1, .acceptors = 3, .learners = 1,
+                                 .quorum_model = false}));
+  add("faulty_paxos_q_221",
+      make_paxos({.proposers = 2, .acceptors = 2, .learners = 1,
+                  .faulty_learner = true}));
+  add("faulty_paxos_s_221",
+      make_paxos({.proposers = 2, .acceptors = 2, .learners = 1,
+                  .quorum_model = false, .faulty_learner = true}));
+  add("echo_q_2011", make_echo_multicast({.honest_receivers = 2,
+                                          .honest_initiators = 0,
+                                          .byz_receivers = 1,
+                                          .byz_initiators = 1}));
+  add("echo_s_2011", make_echo_multicast({.honest_receivers = 2,
+                                          .honest_initiators = 0,
+                                          .byz_receivers = 1,
+                                          .byz_initiators = 1,
+                                          .quorum_model = false}));
+  add("echo_q_wrong_1021",
+      make_echo_multicast({.honest_receivers = 1, .honest_initiators = 0,
+                           .byz_receivers = 2, .byz_initiators = 1,
+                           .tolerance = 0}));
+  add("storage_q_31w1", make_regular_storage({.bases = 3, .readers = 1, .writes = 1}));
+  add("storage_s_31w1", make_regular_storage({.bases = 3, .readers = 1, .writes = 1,
+                                              .quorum_model = false}));
+  add("storage_q_wrong_31w2",
+      make_regular_storage({.bases = 3, .readers = 1, .writes = 2,
+                            .wrong_regularity = true}));
+  add("collector_q", make_collector({.senders = 4, .quorum = 3}));
+  add("collector_s", make_collector({.senders = 4, .quorum = 3,
+                                     .quorum_model = false}));
+  return cases;
+}
+
+class SoundnessMatrix : public ::testing::TestWithParam<int> {};
+
+TEST(Soundness, SporMatchesUnreducedEverywhere) {
+  for (const NamedCase& c : small_cases()) {
+    ExploreConfig cfg;
+    cfg.collect_terminals = true;
+    ExploreResult full = explore(c.proto, cfg, nullptr);
+    ASSERT_NE(full.verdict, Verdict::kBudgetExceeded) << c.label;
+
+    for (bool net : {true, false}) {
+      for (SeedHeuristic h :
+           {SeedHeuristic::kOppositeTransaction, SeedHeuristic::kTransaction,
+            SeedHeuristic::kFirst}) {
+        SporOptions opts;
+        opts.state_dependent_nes = net;
+        opts.seed = h;
+        opts.exhaustive_seed = (h == SeedHeuristic::kFirst);   // cover all
+        opts.seed_retry = (h != SeedHeuristic::kTransaction);  // seed modes
+        SporStrategy strategy(c.proto, opts);
+        ExploreResult reduced = explore(c.proto, cfg, &strategy);
+        EXPECT_EQ(reduced.verdict, full.verdict)
+            << c.label << " net=" << net << " seed=" << to_string(h);
+        EXPECT_LE(reduced.stats.states_stored, full.stats.states_stored) << c.label;
+        if (full.verdict == Verdict::kHolds) {
+          EXPECT_EQ(reduced.terminal_fingerprints, full.terminal_fingerprints)
+              << c.label << " net=" << net << " seed=" << to_string(h);
+        }
+      }
+    }
+  }
+}
+
+TEST(Soundness, DporMatchesUnreducedStateless) {
+  for (const NamedCase& c : small_cases()) {
+    // DPOR cells only make sense for finite stateless searches; all small
+    // cases are acyclic so this terminates.
+    ExploreConfig cfg;
+    cfg.mode = SearchMode::kStateless;
+    cfg.collect_terminals = true;
+    cfg.max_events = 40'000'000;
+    ExploreResult full = explore_dpor(c.proto, cfg, DporOptions{.reduce = false});
+    if (full.verdict == Verdict::kBudgetExceeded) continue;  // too big: skip
+    ExploreResult reduced = explore_dpor(c.proto, cfg, DporOptions{.reduce = true});
+    EXPECT_EQ(reduced.verdict, full.verdict) << c.label;
+    EXPECT_LE(reduced.stats.events_executed, full.stats.events_executed) << c.label;
+    if (full.verdict == Verdict::kHolds) {
+      EXPECT_EQ(reduced.terminal_fingerprints, full.terminal_fingerprints) << c.label;
+    }
+  }
+}
+
+TEST(Soundness, RefinementNeverChangesVerdicts) {
+  for (const NamedCase& c : small_cases()) {
+    const Verdict expected = explore_full(c.proto).verdict;
+    for (Protocol split :
+         {refine::reply_split(c.proto), refine::quorum_split(c.proto),
+          refine::combined_split(c.proto)}) {
+      EXPECT_EQ(explore_full(split).verdict, expected) << split.name();
+      SporStrategy strategy(split);
+      ExploreConfig cfg;
+      EXPECT_EQ(explore(split, cfg, &strategy).verdict, expected) << split.name();
+    }
+  }
+}
+
+TEST(Soundness, RefinementPreservesReachableStates) {
+  for (const NamedCase& c : small_cases()) {
+    auto base = reachable_states(c.proto, 1u << 18);
+    if (base.empty()) continue;  // too big for exact graph comparison
+    for (Protocol split :
+         {refine::reply_split(c.proto), refine::quorum_split(c.proto),
+          refine::combined_split(c.proto)}) {
+      auto refined = reachable_states(split, 1u << 18);
+      EXPECT_TRUE(base == refined) << split.name();
+    }
+  }
+}
+
+TEST(Soundness, CounterexamplesAlwaysReplay) {
+  for (const NamedCase& c : small_cases()) {
+    ExploreResult r = explore_full(c.proto);
+    if (r.verdict != Verdict::kViolated) continue;
+    State s = c.proto.initial();
+    for (const TraceStep& step : r.counterexample) {
+      s = execute(c.proto, s, step.event);
+      ASSERT_EQ(s, step.after) << c.label;
+    }
+    EXPECT_NE(c.proto.violated_property(s), nullptr) << c.label;
+  }
+}
+
+TEST(Soundness, AnnotationValidationCleanOnAllModels) {
+  // Full exploration with annotation validation on (the default) must never
+  // throw: every protocol's static POR annotations are consistent with its
+  // dynamic behaviour on the entire reachable graph.
+  for (const NamedCase& c : small_cases()) {
+    EXPECT_NO_THROW((void)explore_full(c.proto)) << c.label;
+  }
+}
+
+}  // namespace
+}  // namespace mpb

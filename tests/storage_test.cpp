@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/enabled.hpp"
+#include "core/explorer.hpp"
+#include "core/trace.hpp"
+#include "por/spor.hpp"
+#include "protocols/storage/storage.hpp"
+
+namespace mpb {
+namespace {
+
+using protocols::kRdEndSnap;
+using protocols::kRdRetTs;
+using protocols::kRdSnapTs;
+using protocols::kWrCompletedTs;
+using protocols::kWrInFlight;
+using protocols::kWrWts;
+using protocols::make_regular_storage;
+using protocols::storage_value_for;
+using protocols::StorageConfig;
+
+TEST(StorageModel, SettingAndMajority) {
+  StorageConfig cfg{.bases = 3, .readers = 2};
+  EXPECT_EQ(cfg.setting(), "(3,2)");
+  EXPECT_EQ(cfg.majority(), 2u);
+  EXPECT_EQ((StorageConfig{.bases = 5}).majority(), 3u);
+}
+
+TEST(StorageModel, Inventory) {
+  Protocol proto = make_regular_storage({.bases = 3, .readers = 2});
+  EXPECT_EQ(proto.n_procs(), 6u);  // writer + 3 bases + 2 readers
+  // W_START, W_ACK, 3x(STORE, READB), 2x(R_START, R_COLLECT)
+  EXPECT_EQ(proto.n_transitions(), 2u + 6u + 4u);
+  EXPECT_TRUE(proto.validate().empty());
+}
+
+TEST(StorageModel, ReplyAnnotations) {
+  Protocol proto = make_regular_storage({});
+  for (const Transition& t : proto.transitions()) {
+    if (t.name == "STORE" || t.name == "READB") {
+      EXPECT_TRUE(t.is_reply);
+    }
+    // The regularity spec is an in-transition assertion (the paper's style):
+    // its ghost inputs are declared, not handled through visibility.
+    if (t.name == "R_START") {
+      EXPECT_NE(t.peeks, 0u);
+    }
+  }
+}
+
+// Directed scenario: a full write round updates the bases monotonically.
+TEST(StorageScenario, WriteRoundAndMonotonicity) {
+  Protocol proto = make_regular_storage({.bases = 3, .readers = 1, .writes = 2});
+  State s = proto.initial();
+  auto step = [&](std::string_view tname) {
+    for (const Event& e : enumerate_events(proto, s)) {
+      if (proto.transition(e.tid).name == tname) {
+        s = execute(proto, s, e);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  ASSERT_TRUE(step("W_START"));
+  EXPECT_EQ(s.locals()[kWrWts], 1);
+  EXPECT_EQ(s.locals()[kWrInFlight], 1);
+  ASSERT_TRUE(step("STORE"));
+  ASSERT_TRUE(step("STORE"));
+  // Majority acked: complete the write.
+  ASSERT_TRUE(step("W_ACK"));
+  EXPECT_EQ(s.locals()[kWrInFlight], 0);
+  EXPECT_EQ(s.locals()[kWrCompletedTs], 1);
+
+  // Second write overwrites with ts 2.
+  ASSERT_TRUE(step("W_START"));
+  ASSERT_TRUE(step("STORE"));
+  const ProcessInfo& b0 = proto.proc(1);
+  auto loc = s.local_slice(b0.local_offset, b0.local_len);
+  EXPECT_EQ(loc[0], 2);
+  EXPECT_EQ(loc[1], storage_value_for(2));
+}
+
+TEST(StorageScenario, StaleStoreDoesNotOverwrite) {
+  // Deliver STORE(2) before the still-pending STORE(1) at base2: its
+  // timestamp must stay 2 (monotone store).
+  Protocol proto = make_regular_storage({.bases = 3, .readers = 0, .writes = 2});
+  State s = proto.initial();
+  const ProcessId base2 = 3;  // writer=0, bases=1..3
+  auto step = [&](std::string_view tname, ProcessId proc, Value ts) {
+    for (const Event& e : enumerate_events(proto, s)) {
+      const Transition& t = proto.transition(e.tid);
+      if (t.name != tname) continue;
+      if (proc != 0xff && t.proc != proc) continue;
+      if (ts >= 0 && !e.consumed.empty() && e.consumed[0][0] != ts) continue;
+      s = execute(proto, s, e);
+      return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(step("W_START", 0xff, -1));
+  ASSERT_TRUE(step("STORE", 1, 1));  // base0 stores ts 1
+  ASSERT_TRUE(step("STORE", 2, 1));  // base1 stores ts 1
+  ASSERT_TRUE(step("W_ACK", 0xff, -1));
+  ASSERT_TRUE(step("W_START", 0xff, -1));
+  ASSERT_TRUE(step("STORE", base2, 2));  // new write reaches base2 first
+  ASSERT_TRUE(step("STORE", base2, 1));  // stale write arrives late
+  const ProcessInfo& bi = proto.proc(base2);
+  auto loc = s.local_slice(bi.local_offset, bi.local_len);
+  EXPECT_EQ(loc[0], 2);
+  EXPECT_EQ(loc[1], storage_value_for(2));
+}
+
+TEST(StorageVerify, RegularityHolds_31) {
+  for (bool quorum : {true, false}) {
+    Protocol proto = make_regular_storage(
+        {.bases = 3, .readers = 1, .writes = 2, .quorum_model = quorum});
+    EXPECT_EQ(explore_full(proto).verdict, Verdict::kHolds) << proto.name();
+  }
+}
+
+TEST(StorageVerify, RegularityHolds_32_Spor) {
+  Protocol proto = make_regular_storage({.bases = 3, .readers = 2, .writes = 1});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  EXPECT_EQ(explore(proto, cfg, &strategy).verdict, Verdict::kHolds);
+}
+
+TEST(StorageVerify, WrongRegularityViolated) {
+  Protocol proto = make_regular_storage(
+      {.bases = 3, .readers = 1, .writes = 2, .wrong_regularity = true});
+  ExploreResult r = explore_full(proto);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "wrong_regularity");
+  EXPECT_TRUE(replay_counterexample(proto, r));
+
+  // The violating state is a read concurrent with an incomplete write.
+  const State& bad = r.counterexample.back().after;
+  const ProcessInfo& ri = proto.proc(4);  // the reader
+  auto loc = bad.local_slice(ri.local_offset, ri.local_len);
+  EXPECT_GE(loc[kRdRetTs], 0);
+  EXPECT_NE(loc[kRdRetTs], loc[kRdEndSnap]);
+}
+
+TEST(StorageVerify, WrongRegularitySingleMessageViolated) {
+  Protocol proto =
+      make_regular_storage({.bases = 3, .readers = 1, .writes = 2,
+                            .quorum_model = false, .wrong_regularity = true});
+  ExploreResult r = explore_full(proto);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(StorageVerify, QuorumModelSmallerThanSingleMessage) {
+  StorageConfig q{.bases = 3, .readers = 1, .writes = 1};
+  StorageConfig sm = q;
+  sm.quorum_model = false;
+  ExploreResult rq = explore_full(make_regular_storage(q));
+  ExploreResult rs = explore_full(make_regular_storage(sm));
+  EXPECT_LT(rq.stats.states_stored, rs.stats.states_stored);
+}
+
+TEST(StorageVerify, ReadBeforeAnyWriteReturnsInitial) {
+  // No writes at all: every read must return ts 0 and satisfy regularity.
+  Protocol proto = make_regular_storage({.bases = 3, .readers = 1, .writes = 0});
+  ExploreConfig cfg;
+  cfg.collect_terminals = true;
+  ExploreResult r = explore(proto, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  // The read consumes a majority of the three identical acks; which base's
+  // ack is left over distinguishes three terminal states.
+  EXPECT_EQ(r.terminal_fingerprints.size(), 3u);
+}
+
+TEST(StorageVerify, SporMatchesUnreducedStateCountsOrFewer) {
+  Protocol proto = make_regular_storage({.bases = 3, .readers = 1, .writes = 2});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult reduced = explore(proto, cfg, &strategy);
+  ExploreResult full = explore_full(proto);
+  EXPECT_EQ(reduced.verdict, full.verdict);
+  EXPECT_LE(reduced.stats.states_stored, full.stats.states_stored);
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,200 @@
+// Parameterized property sweeps across protocol settings: for every setting
+// in each family, (1) the safety property holds (or is violated exactly when
+// the fault/spec injection says so), (2) the quorum model never stores more
+// states than the single-message model, (3) SPOR agrees with the unreduced
+// search and never stores more states.
+#include <gtest/gtest.h>
+
+#include "core/explorer.hpp"
+#include "por/spor.hpp"
+#include "protocols/echo/echo.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+
+namespace mpb {
+namespace {
+
+using namespace protocols;
+
+// ---------------- Paxos sweep ----------------
+
+struct PaxosParam {
+  unsigned proposers, acceptors, learners;
+  bool faulty;
+  Verdict expected;
+};
+
+class PaxosSweep : public ::testing::TestWithParam<PaxosParam> {};
+
+TEST_P(PaxosSweep, VerdictAndModelSizeInvariants) {
+  const auto [p, a, l, faulty, expected] = GetParam();
+  PaxosConfig q{.proposers = p, .acceptors = a, .learners = l,
+                .faulty_learner = faulty};
+  PaxosConfig sm = q;
+  sm.quorum_model = false;
+
+  Protocol quorum = make_paxos(q);
+  Protocol single = make_paxos(sm);
+
+  ExploreResult rq = explore_full(quorum);
+  ExploreResult rs = explore_full(single);
+  EXPECT_EQ(rq.verdict, expected) << quorum.name();
+  EXPECT_EQ(rs.verdict, expected) << single.name();
+
+  if (expected == Verdict::kHolds) {
+    // Section II-C: the quorum model is the smaller protocol-level model.
+    EXPECT_LE(rq.stats.states_stored, rs.stats.states_stored);
+  }
+
+  SporStrategy strategy(quorum);
+  ExploreConfig cfg;
+  ExploreResult reduced = explore(quorum, cfg, &strategy);
+  EXPECT_EQ(reduced.verdict, expected);
+  EXPECT_LE(reduced.stats.states_stored, rq.stats.states_stored);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Settings, PaxosSweep,
+    ::testing::Values(PaxosParam{1, 1, 1, false, Verdict::kHolds},
+                      PaxosParam{1, 2, 1, false, Verdict::kHolds},
+                      PaxosParam{1, 3, 1, false, Verdict::kHolds},
+                      PaxosParam{1, 3, 2, false, Verdict::kHolds},
+                      PaxosParam{2, 2, 1, false, Verdict::kHolds},
+                      PaxosParam{2, 3, 1, false, Verdict::kHolds},
+                      PaxosParam{1, 3, 1, true, Verdict::kHolds},
+                      PaxosParam{2, 2, 1, true, Verdict::kHolds},
+                      PaxosParam{2, 3, 1, true, Verdict::kViolated}),
+    [](const ::testing::TestParamInfo<PaxosParam>& info) {
+      const auto& p = info.param;
+      return (p.faulty ? "faulty_" : "") + std::to_string(p.proposers) + "_" +
+             std::to_string(p.acceptors) + "_" + std::to_string(p.learners);
+    });
+
+// ---------------- Echo Multicast sweep ----------------
+
+struct EchoParam {
+  unsigned hr, hi, br, bi;
+  int tolerance;
+  Verdict expected;
+};
+
+class EchoSweep : public ::testing::TestWithParam<EchoParam> {};
+
+TEST_P(EchoSweep, VerdictAndModelSizeInvariants) {
+  const auto [hr, hi, br, bi, tol, expected] = GetParam();
+  EchoConfig q{.honest_receivers = hr, .honest_initiators = hi,
+               .byz_receivers = br, .byz_initiators = bi, .tolerance = tol};
+  EchoConfig sm = q;
+  sm.quorum_model = false;
+
+  Protocol quorum = make_echo_multicast(q);
+  Protocol single = make_echo_multicast(sm);
+
+  ExploreResult rq = explore_full(quorum);
+  ExploreResult rs = explore_full(single);
+  EXPECT_EQ(rq.verdict, expected) << quorum.name();
+  EXPECT_EQ(rs.verdict, expected) << single.name();
+  if (expected == Verdict::kHolds) {
+    EXPECT_LE(rq.stats.states_stored, rs.stats.states_stored);
+  }
+
+  SporStrategy strategy(quorum);
+  ExploreConfig cfg;
+  EXPECT_EQ(explore(quorum, cfg, &strategy).verdict, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Settings, EchoSweep,
+    ::testing::Values(
+        // correctly provisioned: agreement holds
+        EchoParam{2, 1, 0, 0, -1, Verdict::kHolds},
+        EchoParam{3, 1, 0, 0, -1, Verdict::kHolds},
+        EchoParam{2, 0, 1, 1, -1, Verdict::kHolds},
+        EchoParam{3, 0, 1, 1, -1, Verdict::kHolds},
+        EchoParam{2, 1, 0, 1, -1, Verdict::kHolds},
+        EchoParam{2, 1, 2, 1, -1, Verdict::kHolds},  // t = BR: attack defeated
+        // under-provisioned thresholds: equivocation succeeds
+        EchoParam{2, 0, 2, 1, 1, Verdict::kViolated},
+        EchoParam{2, 1, 2, 1, 1, Verdict::kViolated},
+        EchoParam{2, 0, 2, 1, 0, Verdict::kViolated}),
+    [](const ::testing::TestParamInfo<EchoParam>& info) {
+      const auto& p = info.param;
+      std::string name = std::to_string(p.hr) + "_" + std::to_string(p.hi) + "_" +
+                         std::to_string(p.br) + "_" + std::to_string(p.bi);
+      if (p.tolerance >= 0) name += "_t" + std::to_string(p.tolerance);
+      return name;
+    });
+
+// ---------------- Regular storage sweep ----------------
+
+struct StorageParam {
+  unsigned bases, readers, writes;
+  bool wrong;
+  Verdict expected;
+};
+
+class StorageSweep : public ::testing::TestWithParam<StorageParam> {};
+
+TEST_P(StorageSweep, VerdictAndModelSizeInvariants) {
+  const auto [b, r, w, wrong, expected] = GetParam();
+  StorageConfig q{.bases = b, .readers = r, .writes = w, .wrong_regularity = wrong};
+  StorageConfig sm = q;
+  sm.quorum_model = false;
+
+  Protocol quorum = make_regular_storage(q);
+  Protocol single = make_regular_storage(sm);
+
+  ExploreResult rq = explore_full(quorum);
+  ExploreResult rs = explore_full(single);
+  EXPECT_EQ(rq.verdict, expected) << quorum.name();
+  EXPECT_EQ(rs.verdict, expected) << single.name();
+  if (expected == Verdict::kHolds) {
+    EXPECT_LE(rq.stats.states_stored, rs.stats.states_stored);
+  }
+
+  SporStrategy strategy(quorum);
+  ExploreConfig cfg;
+  EXPECT_EQ(explore(quorum, cfg, &strategy).verdict, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Settings, StorageSweep,
+    ::testing::Values(
+        StorageParam{1, 1, 1, false, Verdict::kHolds},
+        StorageParam{3, 1, 0, false, Verdict::kHolds},
+        StorageParam{3, 1, 1, false, Verdict::kHolds},
+        StorageParam{3, 1, 2, false, Verdict::kHolds},
+        StorageParam{3, 2, 1, false, Verdict::kHolds},
+        StorageParam{5, 1, 1, false, Verdict::kHolds},
+        // a read with no concurrent write cannot violate even the wrong spec
+        StorageParam{3, 1, 0, true, Verdict::kHolds},
+        // concurrency makes the too-strong spec fail
+        StorageParam{3, 1, 1, true, Verdict::kViolated},
+        StorageParam{3, 1, 2, true, Verdict::kViolated},
+        StorageParam{3, 2, 2, true, Verdict::kViolated}),
+    [](const ::testing::TestParamInfo<StorageParam>& info) {
+      const auto& p = info.param;
+      return std::string(p.wrong ? "wrong_" : "") + std::to_string(p.bases) + "_" +
+             std::to_string(p.readers) + "_w" + std::to_string(p.writes);
+    });
+
+// Quorum-size scaling: the quorum-model advantage grows with the majority
+// size (Section II-C: "the larger the quorum the bigger the gain").
+TEST(SweepScaling, QuorumAdvantageGrowsWithAcceptors) {
+  double prev_ratio = 0.0;
+  for (unsigned a : {2u, 3u, 4u}) {
+    PaxosConfig q{.proposers = 1, .acceptors = a, .learners = 1};
+    PaxosConfig sm = q;
+    sm.quorum_model = false;
+    const auto rq = explore_full(make_paxos(q));
+    const auto rs = explore_full(make_paxos(sm));
+    const double ratio = static_cast<double>(rs.stats.states_stored) /
+                         static_cast<double>(rq.stats.states_stored);
+    EXPECT_GE(ratio, 1.0) << "acceptors=" << a;
+    EXPECT_GE(ratio, prev_ratio * 0.9) << "acceptors=" << a;  // monotone-ish
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace.hpp"
+#include "por/spor.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using protocols::make_paxos;
+using testing::make_ping_pong;
+
+TEST(Trace, FormatMessage) {
+  Protocol proto = make_ping_pong();
+  const MsgType ping = proto.find_msg_type("PING").value();
+  const Message m(ping, 0, 1, {42});
+  EXPECT_EQ(format_message(proto, m), "PING(42) alice -> bob");
+}
+
+TEST(Trace, FormatEventSpontaneous) {
+  Protocol proto = make_ping_pong();
+  Event e{0, {}};  // alice.SEND
+  EXPECT_EQ(format_event(proto, e), "alice.SEND");
+}
+
+TEST(Trace, FormatEventWithConsumption) {
+  Protocol proto = make_ping_pong();
+  const MsgType ping = proto.find_msg_type("PING").value();
+  Event e{1, {Message(ping, 0, 1, {42})}};
+  const std::string s = format_event(proto, e);
+  EXPECT_NE(s.find("bob.PING"), std::string::npos);
+  EXPECT_NE(s.find("PING(42)"), std::string::npos);
+}
+
+TEST(Trace, PrintStateListsProcessesAndNetwork) {
+  Protocol proto = make_ping_pong();
+  std::ostringstream os;
+  print_state(os, proto, proto.initial());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alice: sent=0 done=0"), std::string::npos);
+  EXPECT_NE(out.find("bob:"), std::string::npos);
+  EXPECT_NE(out.find("network: (empty)"), std::string::npos);
+}
+
+TEST(Trace, PrintCounterexampleOnViolation) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                               .faulty_learner = true});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  std::ostringstream os;
+  print_counterexample(os, proto, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Counterexample for property 'consensus'"), std::string::npos);
+  EXPECT_NE(out.find("Step 1:"), std::string::npos);
+  EXPECT_NE(out.find("Initial state:"), std::string::npos);
+}
+
+TEST(Trace, PrintCounterexampleWithoutViolation) {
+  Protocol proto = make_ping_pong();
+  ExploreResult r = explore_full(proto);
+  std::ostringstream os;
+  print_counterexample(os, proto, r);
+  EXPECT_NE(os.str().find("no counterexample"), std::string::npos);
+}
+
+TEST(Trace, ReplayAcceptsGenuineCounterexample) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                               .faulty_learner = true});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(Trace, ReplayRejectsTamperedTrace) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                               .faulty_learner = true});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  ASSERT_GE(r.counterexample.size(), 2u);
+
+  // Drop a step: replay must fail.
+  ExploreResult truncated = r;
+  truncated.counterexample.erase(truncated.counterexample.begin());
+  EXPECT_FALSE(replay_counterexample(proto, truncated));
+
+  // Wrong property name: replay must fail.
+  ExploreResult renamed = r;
+  renamed.violated_property = "does_not_exist";
+  EXPECT_FALSE(replay_counterexample(proto, renamed));
+
+  // Non-violating run: replay must fail.
+  ExploreResult not_violated = r;
+  not_violated.verdict = Verdict::kHolds;
+  EXPECT_FALSE(replay_counterexample(proto, not_violated));
+}
+
+TEST(Trace, ReplayRejectsForgedFinalState) {
+  Protocol proto = make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                               .faulty_learner = true});
+  SporStrategy strategy(proto);
+  ExploreConfig cfg;
+  ExploreResult r = explore(proto, cfg, &strategy);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  ExploreResult forged = r;
+  // Swap the recorded final state for the initial one.
+  forged.counterexample.back().after = proto.initial();
+  EXPECT_FALSE(replay_counterexample(proto, forged));
+}
+
+}  // namespace
+}  // namespace mpb

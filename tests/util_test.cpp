@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitmask.hpp"
+#include "util/combinatorics.hpp"
+#include "util/hash.hpp"
+
+namespace mpb {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_EQ(mix64(12345), mix64(12345));
+}
+
+TEST(Mix64, SpreadsNearbyInputs) {
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(0), mix64(1));
+  // Flipping one bit should flip roughly half the output bits.
+  const std::uint64_t d = mix64(7) ^ mix64(6);
+  EXPECT_GE(std::popcount(d), 16);
+}
+
+TEST(Hasher64, SameSequenceSameDigest) {
+  Hasher64 a, b;
+  for (std::uint64_t v : {1ull, 2ull, 3ull}) {
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Hasher64, OrderMatters) {
+  Hasher64 a, b;
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hasher64, SeedMatters) {
+  Hasher64 a(1), b(2);
+  a.add(7);
+  b.add(7);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hasher64, EmptyDiffersFromOneElement) {
+  Hasher64 a, b;
+  b.add(0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashString, DistinguishesStrings) {
+  EXPECT_EQ(hash_string("READ"), hash_string("READ"));
+  EXPECT_NE(hash_string("READ"), hash_string("WRITE"));
+  EXPECT_NE(hash_string(""), hash_string("a"));
+  // Longer than one 8-byte word.
+  EXPECT_NE(hash_string("READ_REPL_LONG_NAME_A"), hash_string("READ_REPL_LONG_NAME_B"));
+}
+
+TEST(HashCombine, NotCommutative) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Fingerprint, EqualityAndOrdering) {
+  Fingerprint a{1, 2}, b{1, 2}, c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(3, 2), 3u);
+  EXPECT_EQ(binomial(6, 3), 20u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+}
+
+TEST(Binomial, SaturatesOnOverflow) {
+  EXPECT_EQ(binomial(200, 100), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Combinations, CountsMatchBinomial) {
+  for (unsigned n = 0; n <= 7; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      EXPECT_EQ(combinations(n, k).size(), binomial(n, k)) << n << " " << k;
+    }
+  }
+}
+
+TEST(Combinations, LexicographicOrderAndDistinct) {
+  auto cs = combinations(5, 3);
+  std::set<std::vector<unsigned>> seen;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_TRUE(std::is_sorted(cs[i].begin(), cs[i].end()));
+    EXPECT_TRUE(seen.insert(cs[i]).second);
+    if (i > 0) {
+      EXPECT_LT(cs[i - 1], cs[i]);
+    }
+  }
+}
+
+TEST(Combinations, ZeroChoosesEmpty) {
+  auto cs = combinations(4, 0);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_TRUE(cs[0].empty());
+}
+
+TEST(ForEachCombination, AbortStopsEnumeration) {
+  int count = 0;
+  const bool finished = for_each_combination(5, 2, [&](std::span<const unsigned>) {
+    return ++count < 3;
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ForEachProduct, EnumeratesAllTuples) {
+  std::vector<unsigned> sizes{2, 3, 2};
+  int count = 0;
+  for_each_product(sizes, [&](std::span<const unsigned> idx) {
+    EXPECT_LT(idx[0], 2u);
+    EXPECT_LT(idx[1], 3u);
+    EXPECT_LT(idx[2], 2u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 12);
+}
+
+TEST(ForEachProduct, EmptySizesYieldsOneTuple) {
+  int count = 0;
+  for_each_product({}, [&](std::span<const unsigned> idx) {
+    EXPECT_TRUE(idx.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForEachProduct, ZeroDimensionYieldsNothing) {
+  std::vector<unsigned> sizes{2, 0, 2};
+  int count = 0;
+  for_each_product(sizes, [&](std::span<const unsigned>) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachSubset, PowersetSize) {
+  for (unsigned n = 0; n <= 6; ++n) {
+    unsigned count = 0;
+    for_each_subset(n, [&](std::span<const unsigned>) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, 1u << n);
+  }
+}
+
+TEST(ForEachSubset, SmallestFirst) {
+  std::vector<std::size_t> sizes;
+  for_each_subset(3, [&](std::span<const unsigned> s) {
+    sizes.push_back(s.size());
+    return true;
+  });
+  EXPECT_TRUE(std::is_sorted(sizes.begin(), sizes.end()));
+}
+
+TEST(Bitmask, BasicOps) {
+  EXPECT_EQ(mask_of(0), 1u);
+  EXPECT_EQ(mask_of(3), 8u);
+  EXPECT_TRUE(mask_contains(0b1010, 1));
+  EXPECT_FALSE(mask_contains(0b1010, 0));
+  EXPECT_EQ(mask_count(0b1011), 3u);
+  EXPECT_EQ(mask_count(0), 0u);
+}
+
+TEST(Bitmask, ForEachVisitsAscending) {
+  std::vector<unsigned> seen;
+  mask_for_each(0b101001, [&](unsigned pid) { seen.push_back(pid); });
+  EXPECT_EQ(seen, (std::vector<unsigned>{0, 3, 5}));
+}
+
+TEST(Bitmask, AllProcessesContainsEverything) {
+  for (unsigned p = 0; p < kMaxProcesses; ++p) {
+    EXPECT_TRUE(mask_contains(kAllProcesses, p));
+  }
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,0 +1,252 @@
+// mpbcheck — command-line front end to every built-in protocol, search
+// strategy, refinement and reduction in the library.
+//
+// Usage:
+//   mpbcheck <protocol> [options]
+//
+// Protocols and their setting options:
+//   paxos      --proposers N --acceptors N --learners N [--faulty]
+//   echo       --honest-receivers N --honest-initiators N
+//              --byz-receivers N --byz-initiators N [--tolerance N]
+//   storage    --bases N --readers N --writes N [--wrong-regularity]
+//   collector  --senders N --quorum N [--noise N]
+//
+// Common options:
+//   --single-message          use the counting model instead of quorum
+//   --strategy full|spor|dpor|stateless   (default spor)
+//   --split none|reply|quorum|combined    (default none)
+//   --seed opposite|transaction|first     (default opposite)
+//   --symmetry                enable role-based symmetry reduction
+//   --no-net                  plain LPOR NES (disable state-dependent NES)
+//   --exhaustive-seed         minimize the stubborn set over all seeds
+//   --max-states N / --max-seconds S      per-run budgets
+//   --trace                   print the counterexample (if any)
+//   --quiet                   only the verdict line
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/trace.hpp"
+#include "harness/runner.hpp"
+#include "por/symmetry.hpp"
+#include "protocols/collector/collector.hpp"
+#include "protocols/echo/echo.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+#include "refine/refine.hpp"
+
+using namespace mpb;
+using namespace mpb::protocols;
+
+namespace {
+
+struct Options {
+  std::string protocol;
+  std::map<std::string, long> nums;  // numeric options by name
+  bool single_message = false;
+  bool faulty = false;
+  bool wrong_regularity = false;
+  bool symmetry = false;
+  bool no_net = false;
+  bool exhaustive_seed = false;
+  bool trace = false;
+  bool quiet = false;
+  std::string strategy = "spor";
+  std::string split = "none";
+  std::string seed = "opposite";
+};
+
+long num_or(const Options& o, const std::string& key, long fallback) {
+  auto it = o.nums.find(key);
+  return it == o.nums.end() ? fallback : it->second;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " paxos|echo|storage|collector [options]\n"
+               "run '"
+            << argv0 << " --help' for the full option list\n";
+  return 2;
+}
+
+void help() {
+  std::cout <<
+      R"(mpbcheck — explicit-state model checking of fault-tolerant protocols
+
+protocols:
+  paxos      --proposers N --acceptors N --learners N [--faulty]
+  echo       --honest-receivers N --honest-initiators N
+             --byz-receivers N --byz-initiators N [--tolerance N]
+  storage    --bases N --readers N --writes N [--wrong-regularity]
+  collector  --senders N --quorum N [--noise N]
+
+common options:
+  --single-message        counting model instead of quorum transitions
+  --strategy S            full | spor | dpor | stateless   (default spor)
+  --split M               none | reply | quorum | combined (default none)
+  --seed H                opposite | transaction | first   (default opposite)
+  --symmetry              role-based symmetry reduction
+  --no-net                disable state-dependent NES (plain LPOR)
+  --exhaustive-seed       minimize the stubborn set over all seeds
+  --max-states N          state budget      (default 3,000,000)
+  --max-seconds S         time budget       (default 120)
+  --trace                 print the counterexample, if any
+  --quiet                 only the verdict line
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  Options opt;
+  opt.protocol = argv[1];
+  if (opt.protocol == "--help" || opt.protocol == "-h") {
+    help();
+    return 0;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_num = [&](const std::string& key) {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        exit(2);
+      }
+      opt.nums[key] = std::stol(argv[++i]);
+    };
+    if (arg == "--single-message") opt.single_message = true;
+    else if (arg == "--faulty") opt.faulty = true;
+    else if (arg == "--wrong-regularity") opt.wrong_regularity = true;
+    else if (arg == "--symmetry") opt.symmetry = true;
+    else if (arg == "--no-net") opt.no_net = true;
+    else if (arg == "--exhaustive-seed") opt.exhaustive_seed = true;
+    else if (arg == "--trace") opt.trace = true;
+    else if (arg == "--quiet") opt.quiet = true;
+    else if (arg == "--strategy") opt.strategy = argv[++i];
+    else if (arg == "--split") opt.split = argv[++i];
+    else if (arg == "--seed") opt.seed = argv[++i];
+    else if (arg.rfind("--", 0) == 0) next_num(arg.substr(2));
+    else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  // --- build the protocol and its symmetry roles ---
+  Protocol proto("unset");
+  std::vector<std::vector<ProcessId>> roles;
+  if (opt.protocol == "paxos") {
+    PaxosConfig cfg{
+        .proposers = static_cast<unsigned>(num_or(opt, "proposers", 2)),
+        .acceptors = static_cast<unsigned>(num_or(opt, "acceptors", 3)),
+        .learners = static_cast<unsigned>(num_or(opt, "learners", 1)),
+        .quorum_model = !opt.single_message,
+        .faulty_learner = opt.faulty};
+    proto = make_paxos(cfg);
+    roles = paxos_symmetric_roles(cfg);
+  } else if (opt.protocol == "echo") {
+    EchoConfig cfg{
+        .honest_receivers = static_cast<unsigned>(num_or(opt, "honest-receivers", 3)),
+        .honest_initiators =
+            static_cast<unsigned>(num_or(opt, "honest-initiators", 0)),
+        .byz_receivers = static_cast<unsigned>(num_or(opt, "byz-receivers", 1)),
+        .byz_initiators = static_cast<unsigned>(num_or(opt, "byz-initiators", 1)),
+        .tolerance = static_cast<int>(num_or(opt, "tolerance", -1)),
+        .quorum_model = !opt.single_message};
+    proto = make_echo_multicast(cfg);
+    roles = echo_symmetric_roles(cfg);
+  } else if (opt.protocol == "storage") {
+    StorageConfig cfg{.bases = static_cast<unsigned>(num_or(opt, "bases", 3)),
+                      .readers = static_cast<unsigned>(num_or(opt, "readers", 1)),
+                      .writes = static_cast<unsigned>(num_or(opt, "writes", 2)),
+                      .quorum_model = !opt.single_message,
+                      .wrong_regularity = opt.wrong_regularity};
+    proto = make_regular_storage(cfg);
+    roles = storage_symmetric_roles(cfg);
+  } else if (opt.protocol == "collector") {
+    CollectorConfig cfg{.senders = static_cast<unsigned>(num_or(opt, "senders", 4)),
+                        .quorum = static_cast<unsigned>(num_or(opt, "quorum", 3)),
+                        .quorum_model = !opt.single_message,
+                        .noise = static_cast<unsigned>(num_or(opt, "noise", 0))};
+    proto = make_collector(cfg);
+    roles = collector_symmetric_roles(cfg);
+  } else {
+    return usage(argv[0]);
+  }
+
+  // --- refinement ---
+  if (opt.split == "reply") proto = refine::reply_split(proto);
+  else if (opt.split == "quorum") proto = refine::quorum_split(proto);
+  else if (opt.split == "combined") proto = refine::combined_split(proto);
+  else if (opt.split != "none") {
+    std::cerr << "unknown split: " << opt.split << "\n";
+    return 2;
+  }
+
+  // --- strategy & budgets ---
+  harness::RunSpec spec;
+  if (opt.strategy == "full") spec.strategy = harness::Strategy::kUnreducedStateful;
+  else if (opt.strategy == "spor") spec.strategy = harness::Strategy::kSpor;
+  else if (opt.strategy == "dpor") spec.strategy = harness::Strategy::kDpor;
+  else if (opt.strategy == "stateless")
+    spec.strategy = harness::Strategy::kUnreducedStateless;
+  else {
+    std::cerr << "unknown strategy: " << opt.strategy << "\n";
+    return 2;
+  }
+  if (opt.seed == "transaction") spec.spor.seed = SeedHeuristic::kTransaction;
+  else if (opt.seed == "first") spec.spor.seed = SeedHeuristic::kFirst;
+  else if (opt.seed != "opposite") {
+    std::cerr << "unknown seed heuristic: " << opt.seed << "\n";
+    return 2;
+  }
+  spec.spor.state_dependent_nes = !opt.no_net;
+  spec.spor.exhaustive_seed = opt.exhaustive_seed;
+  spec.explore = harness::budget_from_env();
+  if (opt.nums.contains("max-states")) {
+    spec.explore.max_states = static_cast<std::uint64_t>(opt.nums["max-states"]);
+  }
+  if (opt.nums.contains("max-seconds")) {
+    spec.explore.max_seconds = static_cast<double>(opt.nums["max-seconds"]);
+  }
+
+  SymmetryReducer sym(proto, opt.symmetry ? roles
+                                          : std::vector<std::vector<ProcessId>>{});
+  if (opt.symmetry) {
+    if (opt.split != "none") {
+      // Split copies break the structural symmetry of the original roles.
+      std::cerr << "note: --symmetry with --split is unsupported; ignoring "
+                   "--symmetry\n";
+    } else {
+      spec.explore.canonicalize = [&sym](const State& s) {
+        return sym.canonicalize(s);
+      };
+    }
+  }
+
+  if (!opt.quiet) {
+    std::cout << "model: " << proto.name() << " (" << proto.n_procs()
+              << " processes, " << proto.n_transitions() << " transitions)\n"
+              << "strategy: " << harness::to_string(spec.strategy)
+              << (opt.symmetry ? " + symmetry" : "") << ", split: " << opt.split
+              << "\n";
+  }
+
+  const ExploreResult r = harness::run(proto, spec);
+
+  std::cout << to_string(r.verdict) << "  states="
+            << harness::format_count(r.stats.states_stored)
+            << "  events=" << harness::format_count(r.stats.events_executed)
+            << "  time=" << harness::format_time(r.stats.seconds);
+  if (r.verdict == Verdict::kViolated) std::cout << "  property=" << r.violated_property;
+  std::cout << "\n";
+
+  if (opt.trace && r.verdict == Verdict::kViolated) {
+    print_counterexample(std::cout, proto, r);
+    std::cout << "replay: " << (replay_counterexample(proto, r) ? "ok" : "FAILED")
+              << "\n";
+  }
+  return r.verdict == Verdict::kViolated ? 1 : 0;
+}
