@@ -1,0 +1,110 @@
+// Exploration-throughput bench: the perf trajectory of the exploration core.
+//
+// Runs the paxos_explore and storage_audit workloads in stateful mode —
+// sequentially (the baseline, with the cached-fingerprint hash counters) and
+// on the parallel work-sharing explorer at increasing thread counts — and
+// writes every cell to a machine-readable JSON file (default
+// BENCH_explore.json) recording states/sec, events/sec, peak RSS and the
+// full-hash-pass counters. tools/bench_compare.py diffs two such files with a
+// regression threshold.
+//
+// Usage: explore_throughput [--out FILE] [--threads LIST] [--visited MODE]
+//   --out FILE      output path                      (default BENCH_explore.json)
+//   --threads LIST  comma-separated thread counts    (default 1,2,8)
+//   --visited MODE  exact | fingerprint | interned   (default interned)
+// Budgets honour MPB_BUDGET_STATES / MPB_BUDGET_SECONDS (defaults 3M / 120s).
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+#include "harness/runner.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+
+using namespace mpb;
+using protocols::make_paxos;
+using protocols::make_regular_storage;
+using protocols::PaxosConfig;
+using protocols::StorageConfig;
+
+namespace {
+
+struct Workload {
+  std::string name;
+  Protocol proto;
+};
+
+std::vector<Workload> make_workloads() {
+  std::vector<Workload> w;
+  // The paper's Table I Paxos setting: big enough that the visited set and
+  // hash path dominate, small enough for a CI-sized budget.
+  w.push_back({"paxos_explore",
+               make_paxos(PaxosConfig{.proposers = 2, .acceptors = 3, .learners = 1})});
+  w.push_back({"storage_audit",
+               make_regular_storage(StorageConfig{.bases = 3, .readers = 1, .writes = 2})});
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_explore.json";
+  std::string threads_list = "1,2,8";
+  VisitedMode visited = VisitedMode::kInterned;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out = argv[++i];
+    else if (arg == "--threads" && i + 1 < argc) threads_list = argv[++i];
+    else if (arg == "--visited" && i + 1 < argc) {
+      const auto mode = visited_mode_from_string(argv[++i]);
+      if (!mode) {
+        std::cerr << "unknown visited mode: " << argv[i] << "\n";
+        return 2;
+      }
+      visited = *mode;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<unsigned> thread_counts;
+  {
+    std::istringstream is(threads_list);
+    for (std::string tok; std::getline(is, tok, ',');) {
+      const unsigned n = static_cast<unsigned>(std::stoul(tok));
+      if (n >= 1) thread_counts.push_back(n);
+    }
+  }
+
+  std::vector<harness::BenchRecord> records;
+  for (Workload& w : make_workloads()) {
+    for (unsigned threads : thread_counts) {
+      ExploreConfig cfg = harness::budget_from_env();
+      cfg.mode = SearchMode::kStateful;
+      cfg.visited = visited;
+      cfg.threads = threads;
+      reset_state_hash_counters();
+      const ExploreResult r = explore(w.proto, cfg, nullptr);
+      const std::string cell = w.name + "/full/t" + std::to_string(threads);
+      harness::BenchRecord rec = harness::make_record(
+          cell, "full", std::string(to_string(visited)), r);
+      records.push_back(rec);
+      std::cout << cell << ": " << to_string(r.verdict) << "  "
+                << harness::format_count(r.stats.states_stored) << " states  "
+                << harness::format_time(r.stats.seconds) << "  "
+                << static_cast<std::uint64_t>(rec.states_per_sec)
+                << " states/s  hash passes/queries " << rec.full_hash_passes
+                << "/" << rec.hash_queries << "\n";
+    }
+  }
+
+  if (!harness::write_bench_json(out, records)) {
+    std::cerr << "failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << " (" << records.size() << " records)\n";
+  return 0;
+}

@@ -1,6 +1,11 @@
 #include "core/explorer.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,35 +30,41 @@ std::vector<std::size_t> FullExpansion::select(const State&,
 
 namespace {
 
-// Visited-set abstraction over exact states vs fingerprints.
+[[nodiscard]] unsigned auto_shards(const ExploreConfig& cfg) {
+  if (cfg.visited_shards != 0) return cfg.visited_shards;
+  return cfg.threads > 1 ? cfg.threads * 4 : 1;
+}
+
+// Visited-set abstraction over the three storage modes. kExact keeps the
+// seed's std::unordered_set of full State copies as the sequential reference
+// implementation; kFingerprint and kInterned share the sharded table.
 class VisitedSet {
  public:
-  explicit VisitedSet(VisitedMode mode) : mode_(mode) {}
+  VisitedSet(VisitedMode mode, unsigned shards)
+      : mode_(mode),
+        sharded_(mode == VisitedMode::kExact ? VisitedMode::kInterned : mode,
+                 shards) {}
 
-  // Returns true if `s` was newly inserted.
-  bool insert(const State& s) {
+  // Returns true if `s` was newly inserted. `fp` must be s.fingerprint().
+  bool insert(const State& s, const Fingerprint& fp) {
     if (mode_ == VisitedMode::kExact) return exact_.insert(s).second;
-    return fp_.insert(s.fingerprint()).second;
-  }
-
-  [[nodiscard]] bool contains(const State& s) const {
-    if (mode_ == VisitedMode::kExact) return exact_.contains(s);
-    return fp_.contains(s.fingerprint());
+    return sharded_.insert(s, fp);
   }
 
   [[nodiscard]] std::uint64_t size() const noexcept {
-    return mode_ == VisitedMode::kExact ? exact_.size() : fp_.size();
+    return mode_ == VisitedMode::kExact ? exact_.size() : sharded_.size();
   }
 
  private:
   VisitedMode mode_;
   std::unordered_set<State, StateHash> exact_;
-  std::unordered_set<Fingerprint, FingerprintHash> fp_;
+  ShardedVisited sharded_;
 };
 
 // Multiset of states on the current DFS stack, for the cycle proviso and for
 // stateless cycle cut-off. Fingerprint-based: a collision can only cause a
-// conservative (sound) full expansion or an early path cut.
+// conservative (sound) full expansion or an early path cut. State fingerprints
+// are cached, so each probe is O(1) hash work.
 class StackSet {
  public:
   void push(const State& s) { ++counts_[s.fingerprint()]; }
@@ -78,21 +89,35 @@ struct Frame {
 class Search {
  public:
   Search(const Protocol& proto, const ExploreConfig& cfg, ReductionStrategy* strategy)
-      : proto_(proto), cfg_(cfg), strategy_(strategy), visited_(cfg.visited) {
+      : proto_(proto),
+        cfg_(cfg),
+        strategy_(strategy),
+        visited_(cfg.visited, auto_shards(cfg)) {
     exec_opts_.validate_annotations = cfg.validate_annotations;
   }
 
   ExploreResult run() {
     start_ = std::chrono::steady_clock::now();
+    hash_passes_at_start_ = state_full_hash_passes();
+    hash_queries_at_start_ = state_hash_queries();
     State init = proto_.initial();
     if (check_violation(init)) {
       finish();
       return std::move(result_);
     }
     if (cfg_.mode == SearchMode::kStateful) {
-      visited_.insert(cfg_.canonicalize ? cfg_.canonicalize(init) : init);
+      // Canonicalize once; the canonical fingerprint doubles as the terminal
+      // fingerprint below.
+      Fingerprint canon_fp;
+      if (cfg_.canonicalize) {
+        canon_fp = visit_canonical(cfg_.canonicalize(init));
+      } else {
+        canon_fp = visit_canonical(init);
+      }
+      push_frame(std::move(init), &canon_fp);
+    } else {
+      push_frame(std::move(init), nullptr);
     }
-    push_frame(std::move(init));
 
     while (!frames_.empty() && !done_) {
       if (over_budget()) {
@@ -116,10 +141,22 @@ class Search {
         if (cfg_.stop_at_first_violation) break;
       }
 
+      Fingerprint canon_fp;
+      const Fingerprint* canon_fp_ptr = nullptr;
       if (cfg_.mode == SearchMode::kStateful) {
-        if (!visited_.insert(cfg_.canonicalize ? cfg_.canonicalize(succ) : succ)) {
-          continue;
+        // One canonicalization per successor, reused for the visited probe
+        // and (below) the terminal fingerprint.
+        bool inserted;
+        if (cfg_.canonicalize) {
+          State canon = cfg_.canonicalize(succ);
+          canon_fp = canon.fingerprint();
+          inserted = visited_.insert(canon, canon_fp);
+        } else {
+          canon_fp = succ.fingerprint();
+          inserted = visited_.insert(succ, canon_fp);
         }
+        if (!inserted) continue;
+        canon_fp_ptr = &canon_fp;
       } else {
         if (stack_set_.contains(succ)) continue;  // cut cycles in stateless mode
         if (frames_.size() >= cfg_.max_depth) {
@@ -133,14 +170,23 @@ class Search {
         if (cfg_.stop_at_first_violation) break;
         continue;
       }
-      push_frame(std::move(succ));
+      push_frame(std::move(succ), canon_fp_ptr);
     }
     finish();
     return std::move(result_);
   }
 
  private:
-  void push_frame(State s) {
+  // Insert a canonical state into the visited set, returning its fingerprint.
+  Fingerprint visit_canonical(const State& canon) {
+    const Fingerprint fp = canon.fingerprint();
+    visited_.insert(canon, fp);
+    return fp;
+  }
+
+  // `canon_fp` is the fingerprint of the canonicalized state when the caller
+  // already computed it (stateful mode); nullptr means compute on demand.
+  void push_frame(State s, const Fingerprint* canon_fp) {
     ++result_.stats.states_visited;
     result_.stats.max_depth_seen =
         std::max(result_.stats.max_depth_seen, static_cast<unsigned>(frames_.size()) + 1);
@@ -150,8 +196,14 @@ class Search {
     if (enabled.empty()) {
       ++result_.stats.terminal_states;
       if (cfg_.collect_terminals) {
-        result_.terminal_fingerprints.push_back(
-            cfg_.canonicalize ? cfg_.canonicalize(s).fingerprint() : s.fingerprint());
+        Fingerprint fp;
+        if (canon_fp != nullptr) {
+          fp = *canon_fp;
+        } else {
+          fp = cfg_.canonicalize ? cfg_.canonicalize(s).fingerprint()
+                                 : s.fingerprint();
+        }
+        result_.terminal_fingerprints.push_back(fp);
       }
       stack_set_.push(s);
       frames_.push_back(Frame{std::move(s), {}, 0});
@@ -217,6 +269,9 @@ class Search {
     result_.stats.states_stored = cfg_.mode == SearchMode::kStateful
                                       ? visited_.size()
                                       : result_.stats.states_visited;
+    result_.stats.full_hash_passes =
+        state_full_hash_passes() - hash_passes_at_start_;
+    result_.stats.hash_queries = state_hash_queries() - hash_queries_at_start_;
     if (result_.verdict != Verdict::kViolated && truncated_) {
       result_.verdict = Verdict::kBudgetExceeded;
     }
@@ -234,15 +289,277 @@ class Search {
   std::vector<Frame> frames_;
   ExploreResult result_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t hash_passes_at_start_ = 0;
+  std::uint64_t hash_queries_at_start_ = 0;
   std::uint64_t budget_tick_ = 0;
   bool truncated_ = false;
   bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Parallel stateful search: a fixed worker pool shares a global frontier of
+// independent DFS root frames. Each worker expands a subtree depth-first from
+// its local stack and donates the shallowest half of that stack whenever the
+// global frontier runs dry, so idle workers always find work while most
+// pushes/pops stay lock-free. The sharded visited table admits each unique
+// state exactly once, which makes states_stored / terminal_states /
+// events_executed independent of the schedule and equal to the sequential
+// search's counts.
+class ParallelSearch {
+ public:
+  ParallelSearch(const Protocol& proto, const ExploreConfig& cfg)
+      : proto_(proto),
+        cfg_(cfg),
+        threads_(std::clamp(cfg.threads, 1u, 256u)),
+        visited_(cfg.visited == VisitedMode::kExact ? VisitedMode::kInterned
+                                                    : cfg.visited,
+                 auto_shards(cfg)) {
+    exec_opts_.validate_annotations = cfg.validate_annotations;
+  }
+
+  ExploreResult run() {
+    start_ = std::chrono::steady_clock::now();
+    const std::uint64_t passes0 = state_full_hash_passes();
+    const std::uint64_t queries0 = state_hash_queries();
+
+    worker_stats_.assign(threads_, ExploreStats{});
+    worker_terminals_.assign(threads_, {});
+
+    State init = proto_.initial();
+    if (const Property* p = proto_.violated_property(init)) {
+      result_.verdict = Verdict::kViolated;
+      result_.violated_property = p->name;
+    } else {
+      Fingerprint canon_fp;
+      if (cfg_.canonicalize) {
+        State canon = cfg_.canonicalize(init);
+        canon_fp = canon.fingerprint();
+        visited_.insert(canon, canon_fp);
+      } else {
+        canon_fp = init.fingerprint();
+        visited_.insert(init, canon_fp);
+      }
+      outstanding_.store(1, std::memory_order_relaxed);
+      queue_.push_back(Item{std::move(init), canon_fp, 0});
+      qsize_.store(1, std::memory_order_relaxed);
+
+      std::vector<std::thread> pool;
+      pool.reserve(threads_);
+      for (unsigned w = 0; w < threads_; ++w) {
+        pool.emplace_back([this, w] { worker(w); });
+      }
+      for (std::thread& t : pool) t.join();
+    }
+
+    // Merge per-worker stats.
+    for (const ExploreStats& st : worker_stats_) {
+      result_.stats.states_visited += st.states_visited;
+      result_.stats.events_executed += st.events_executed;
+      result_.stats.events_selected += st.events_selected;
+      result_.stats.events_enabled += st.events_enabled;
+      result_.stats.terminal_states += st.terminal_states;
+      result_.stats.max_depth_seen =
+          std::max(result_.stats.max_depth_seen, st.max_depth_seen);
+    }
+    auto& tf = result_.terminal_fingerprints;
+    for (auto& v : worker_terminals_) tf.insert(tf.end(), v.begin(), v.end());
+    std::sort(tf.begin(), tf.end());
+    tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
+
+    result_.stats.states_stored = visited_.size();
+    result_.stats.threads_used = threads_;
+    result_.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    result_.stats.full_hash_passes = state_full_hash_passes() - passes0;
+    result_.stats.hash_queries = state_hash_queries() - queries0;
+    if (result_.verdict != Verdict::kViolated &&
+        truncated_.load(std::memory_order_relaxed)) {
+      result_.verdict = Verdict::kBudgetExceeded;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct Item {
+    State s;
+    // Fingerprint of the canonicalized state, computed once at visited-insert
+    // time and reused as the terminal fingerprint.
+    Fingerprint canon_fp;
+    unsigned depth = 0;
+  };
+
+  void worker(unsigned wid) {
+    ExploreStats& st = worker_stats_[wid];
+    std::vector<Item> local;
+    std::uint64_t tick = 0;
+    for (;;) {
+      if (stopped()) return;  // drop remaining local work after a stop
+      Item item;
+      if (!local.empty()) {
+        item = std::move(local.back());
+        local.pop_back();
+      } else {
+        std::unique_lock<std::mutex> lk(qmu_);
+        qcv_.wait(lk, [this] { return !queue_.empty() || done_; });
+        if (queue_.empty()) return;  // done_ set and nothing left to do
+        item = std::move(queue_.front());
+        queue_.pop_front();
+        qsize_.fetch_sub(1, std::memory_order_relaxed);
+      }
+
+      expand(std::move(item), local, st, worker_terminals_[wid]);
+
+      if (++tick % 256 == 0 && over_time()) signal_truncated();
+
+      // Work sharing: when the global frontier is starving, donate the
+      // shallowest (closest-to-root) half of the local DFS stack.
+      if (local.size() > 1 &&
+          qsize_.load(std::memory_order_relaxed) < threads_) {
+        const std::size_t donate = local.size() / 2;
+        {
+          std::lock_guard<std::mutex> lk(qmu_);
+          for (std::size_t i = 0; i < donate; ++i) {
+            queue_.push_back(std::move(local[i]));
+          }
+        }
+        local.erase(local.begin(),
+                    local.begin() + static_cast<std::ptrdiff_t>(donate));
+        qsize_.fetch_add(donate, std::memory_order_relaxed);
+        qcv_.notify_all();
+      }
+
+      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last in-flight item: the search is exhausted.
+        std::lock_guard<std::mutex> lk(qmu_);
+        done_ = true;
+        qcv_.notify_all();
+      }
+      if (done_ && local.empty()) return;
+    }
+  }
+
+  void expand(Item item, std::vector<Item>& local, ExploreStats& st,
+              std::vector<Fingerprint>& terminals) {
+    ++st.states_visited;
+    st.max_depth_seen = std::max(st.max_depth_seen, item.depth + 1);
+
+    const std::vector<Event> enabled = enumerate_events(proto_, item.s);
+    st.events_enabled += enabled.size();
+    st.events_selected += enabled.size();  // unreduced: all events chosen
+    if (enabled.empty()) {
+      ++st.terminal_states;
+      if (cfg_.collect_terminals) terminals.push_back(item.canon_fp);
+      return;
+    }
+
+    for (const Event& e : enabled) {
+      if (stopped()) return;
+      std::string failed;
+      State succ = execute(proto_, item.s, e, exec_opts_, &failed);
+      ++st.events_executed;
+      if (events_budget_.fetch_add(1, std::memory_order_relaxed) + 1 >
+          cfg_.max_events) {
+        signal_truncated();
+        return;
+      }
+      if (!failed.empty()) {
+        record_violation(failed);
+        if (cfg_.stop_at_first_violation) return;
+      }
+
+      // One canonicalization per successor; its cached fingerprint feeds the
+      // visited probe and is carried along as the terminal fingerprint.
+      bool inserted;
+      Fingerprint canon_fp;
+      if (cfg_.canonicalize) {
+        State canon = cfg_.canonicalize(succ);
+        canon_fp = canon.fingerprint();
+        inserted = visited_.insert(canon, canon_fp);
+      } else {
+        canon_fp = succ.fingerprint();
+        inserted = visited_.insert(succ, canon_fp);
+      }
+      if (!inserted) continue;
+      if (visited_.size() > cfg_.max_states) {
+        signal_truncated();
+        return;
+      }
+      if (const Property* p = proto_.violated_property(succ)) {
+        record_violation(p->name);
+        if (cfg_.stop_at_first_violation) return;
+        continue;
+      }
+      outstanding_.fetch_add(1, std::memory_order_acq_rel);
+      local.push_back(Item{std::move(succ), canon_fp, item.depth + 1});
+    }
+  }
+
+  void record_violation(const std::string& property) {
+    {
+      std::lock_guard<std::mutex> lk(result_mu_);
+      if (result_.verdict != Verdict::kViolated) {
+        result_.verdict = Verdict::kViolated;
+        result_.violated_property = property;
+      }
+    }
+    if (cfg_.stop_at_first_violation) stop();
+  }
+
+  void signal_truncated() {
+    truncated_.store(true, std::memory_order_relaxed);
+    stop();
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(qmu_);
+      done_.store(true, std::memory_order_relaxed);
+    }
+    qcv_.notify_all();
+  }
+
+  [[nodiscard]] bool stopped() const {
+    return done_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool over_time() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+               .count() > cfg_.max_seconds;
+  }
+
+  const Protocol& proto_;
+  const ExploreConfig& cfg_;
+  unsigned threads_;
+  ExecuteOptions exec_opts_;
+  ShardedVisited visited_;
+
+  mutable std::mutex qmu_;
+  std::condition_variable qcv_;
+  std::deque<Item> queue_;
+  // Set under qmu_ (so waiters can't miss the wake-up) but readable lock-free.
+  std::atomic<bool> done_{false};
+  std::atomic<std::size_t> qsize_{0};       // approximate, for donation policy
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::uint64_t> events_budget_{0};
+  std::atomic<bool> truncated_{false};
+
+  std::mutex result_mu_;
+  ExploreResult result_;
+  std::vector<ExploreStats> worker_stats_;
+  std::vector<std::vector<Fingerprint>> worker_terminals_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace
 
 ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
                       ReductionStrategy* strategy) {
+  if (cfg.threads > 1 && cfg.mode == SearchMode::kStateful &&
+      strategy == nullptr) {
+    return ParallelSearch(proto, cfg).run();
+  }
   return Search(proto, cfg, strategy).run();
 }
 
@@ -252,31 +569,37 @@ ExploreResult explore_full(const Protocol& proto) {
 
 std::vector<State> reachable_states(const Protocol& proto, std::uint64_t max_states) {
   std::unordered_set<State, StateHash> seen;
-  std::vector<State> frontier{proto.initial()};
+  // A deque keeps references stable across push_back, so each expansion reads
+  // the frontier node in place instead of deep-copying it.
+  std::deque<State> frontier;
+  frontier.push_back(proto.initial());
   seen.insert(proto.initial());
   std::size_t head = 0;
   while (head < frontier.size()) {
     if (seen.size() > max_states) return {};
-    const State s = frontier[head++];  // copy: frontier may reallocate below
+    const State& s = frontier[head++];
     for (const Event& e : enumerate_events(proto, s)) {
       State succ = execute(proto, s, e);
       if (seen.insert(succ).second) frontier.push_back(std::move(succ));
     }
   }
-  std::sort(frontier.begin(), frontier.end(),
+  std::vector<State> out(std::make_move_iterator(frontier.begin()),
+                         std::make_move_iterator(frontier.end()));
+  std::sort(out.begin(), out.end(),
             [](const State& a, const State& b) { return a < b; });
-  return frontier;
+  return out;
 }
 
 std::vector<Edge> reachable_edges(const Protocol& proto, std::uint64_t max_states) {
   std::unordered_set<State, StateHash> seen;
-  std::vector<State> frontier{proto.initial()};
+  std::deque<State> frontier;
+  frontier.push_back(proto.initial());
   seen.insert(proto.initial());
   std::vector<Edge> edges;
   std::size_t head = 0;
   while (head < frontier.size()) {
     if (seen.size() > max_states) return {};
-    const State s = frontier[head++];
+    const State& s = frontier[head++];
     for (const Event& e : enumerate_events(proto, s)) {
       State succ = execute(proto, s, e);
       edges.push_back(Edge{s, proto.transition(e.tid).name, e.consumed, succ});

@@ -2,14 +2,24 @@
 // by a Protocol, with pluggable partial-order reduction.
 //
 // Two search modes mirror the paper's experimental setup:
-//  * Stateful  — a visited set prunes revisits (exact states, or 128-bit
-//                fingerprints for memory-bound runs);
+//  * Stateful  — a visited set prunes revisits (exact states, 128-bit
+//                fingerprints, or arena-interned states for memory-bound runs);
 //  * Stateless — no visited set; every path is walked (the mode Basset's DPOR
 //                requires, Section III-A).
 //
 // A ReductionStrategy selects, in each newly reached state, the subset of
 // enabled events to explore. FullExpansion is the unreduced baseline; the SPOR
 // stubborn-set strategy lives in src/por/spor.hpp.
+//
+// Parallelism: with cfg.threads > 1 the *stateful, unreduced* search runs on
+// a fixed worker pool sharing a global frontier of independent DFS root
+// frames over a sharded visited set (see core/visited.hpp). Reduction
+// strategies (stubborn sets need the DFS-stack cycle proviso) and stateless /
+// DPOR searches are inherently sequential and ignore cfg.threads; see
+// docs/ARCHITECTURE.md for the parallel-safety matrix. Parallel runs report
+// the same verdict and the same states_stored / terminal_states as the
+// sequential search, but do not reconstruct counterexample paths — rerun
+// sequentially to obtain a trace.
 #pragma once
 
 #include <chrono>
@@ -25,11 +35,11 @@
 #include "core/enabled.hpp"
 #include "core/execute.hpp"
 #include "core/protocol.hpp"
+#include "core/visited.hpp"
 
 namespace mpb {
 
 enum class SearchMode { kStateful, kStateless };
-enum class VisitedMode { kExact, kFingerprint };
 
 enum class Verdict {
   kHolds,           // every reachable state satisfies every property
@@ -42,6 +52,12 @@ enum class Verdict {
 struct ExploreConfig {
   SearchMode mode = SearchMode::kStateful;
   VisitedMode visited = VisitedMode::kExact;
+  // Worker threads for the stateful unreduced search; 1 = sequential. The
+  // sequential path is taken (and `threads` ignored) for stateless mode and
+  // for reduced (strategy != nullptr) searches.
+  unsigned threads = 1;
+  // Shard count for the sharded visited table; 0 = auto (4x threads).
+  unsigned visited_shards = 0;
   std::uint64_t max_states = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
@@ -54,7 +70,7 @@ struct ExploreConfig {
   // Optional state canonicalizer applied before visited-set lookups (and to
   // terminal fingerprints): the symmetry-reduction hook (por/symmetry.hpp).
   // The search itself still walks concrete states, so counterexamples remain
-  // genuine paths.
+  // genuine paths. Must be thread-safe (const) when threads > 1.
   std::function<State(const State&)> canonicalize;
 };
 
@@ -72,7 +88,14 @@ struct ExploreStats {
   std::uint64_t events_enabled = 0;   // events enabled before reduction
   std::uint64_t terminal_states = 0;  // states with no enabled event
   std::uint64_t full_expansions = 0;  // states where reduction fell back to all
+  // Whole-state rehash passes / fingerprint queries during this run (delta of
+  // the process-wide counters in core/state.hpp; approximate if explorations
+  // run concurrently in one process). The seed recomputed two passes per
+  // query; the cached scheme keeps passes near states_stored.
+  std::uint64_t full_hash_passes = 0;
+  std::uint64_t hash_queries = 0;
   unsigned max_depth_seen = 0;
+  unsigned threads_used = 1;
   double seconds = 0.0;
 };
 

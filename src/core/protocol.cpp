@@ -114,7 +114,8 @@ EffectCtx::EffectCtx(const Protocol& proto, State& working, ProcessId self,
                      std::span<const Message> consumed)
     : proto_(proto), working_(working), self_(self), consumed_(consumed) {
   const ProcessInfo& pi = proto.proc(self);
-  local_ = working.local_slice_mut(pi.local_offset, pi.local_len);
+  offset_ = pi.local_offset;
+  len_ = pi.local_len;
 }
 
 Value EffectCtx::peek(ProcessId other, unsigned var) {

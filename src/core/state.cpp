@@ -1,6 +1,82 @@
 #include "core/state.hpp"
 
+#include <atomic>
+
 namespace mpb {
+
+namespace {
+
+std::atomic<std::uint64_t> g_full_passes{0};
+std::atomic<std::uint64_t> g_queries{0};
+
+// fingerprint() is the hottest call in a parallel search; bumping a shared
+// atomic there would serialize all workers on one cache line. Counts are
+// tallied in plain thread-locals instead and flushed into the globals when
+// the thread exits — worker threads are joined before a run's stats are
+// read, so the totals observed by the coordinating thread are complete.
+struct HashTally {
+  std::uint64_t full_passes = 0;
+  std::uint64_t queries = 0;
+
+  void flush() noexcept {
+    g_full_passes.fetch_add(full_passes, std::memory_order_relaxed);
+    g_queries.fetch_add(queries, std::memory_order_relaxed);
+    full_passes = 0;
+    queries = 0;
+  }
+  ~HashTally() { flush(); }
+};
+
+thread_local HashTally t_tally;
+
+}  // namespace
+
+std::uint64_t state_full_hash_passes() noexcept {
+  return g_full_passes.load(std::memory_order_relaxed) + t_tally.full_passes;
+}
+
+std::uint64_t state_hash_queries() noexcept {
+  return g_queries.load(std::memory_order_relaxed) + t_tally.queries;
+}
+
+void reset_state_hash_counters() noexcept {
+  t_tally.full_passes = 0;
+  t_tally.queries = 0;
+  g_full_passes.store(0, std::memory_order_relaxed);
+  g_queries.store(0, std::memory_order_relaxed);
+}
+
+void State::recompute_sums() const noexcept {
+  ++t_tally.full_passes;
+  for (int lane = 0; lane < 2; ++lane) {
+    loc_sum_[lane] = 0;
+    net_sum_[lane] = 0;
+  }
+  for (std::size_t i = 0; i < locals_.size(); ++i) {
+    loc_sum_[0] += local_contrib<0>(i, locals_[i]);
+    loc_sum_[1] += local_contrib<1>(i, locals_[i]);
+  }
+  for (const Message& m : net_) {
+    net_sum_[0] += message_contrib<0>(m);
+    net_sum_[1] += message_contrib<1>(m);
+  }
+  sums_valid_ = true;
+}
+
+Fingerprint State::fingerprint() const noexcept {
+  ++t_tally.queries;
+  if (!sums_valid_) recompute_sums();
+  // Fold sizes into the finalization so {locals, net} boundaries matter even
+  // when a contribution sum coincides.
+  const std::uint64_t sizes =
+      (static_cast<std::uint64_t>(locals_.size()) << 32) |
+      static_cast<std::uint64_t>(net_.size());
+  const std::uint64_t hi =
+      mix64(loc_sum_[0] ^ mix64(net_sum_[0] + sizes) ^ kLaneSeed[0]);
+  const std::uint64_t lo =
+      mix64(loc_sum_[1] ^ mix64(net_sum_[1] + sizes) ^ kLaneSeed[1]);
+  return {hi, lo};
+}
 
 std::pair<std::size_t, std::size_t> State::pending_range(ProcessId receiver,
                                                          MsgType type) const noexcept {

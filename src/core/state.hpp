@@ -5,6 +5,18 @@
 // (each message knows its endpoints) and the local states as one flat vector
 // of Values with per-process offsets held by the Protocol. Both components are
 // kept canonical so that equality and hashing are structural.
+//
+// Hashing is *incremental*: each state carries two 64-bit lane sums (one per
+// fingerprint half), each the wrap-around sum of an index-keyed contribution
+// per local variable plus a per-message contribution over the network
+// multiset. A commutative sum is equality-preserving because local
+// contributions are keyed by position and the network is a multiset. Mutating
+// through the typed API (`add_message`, `remove_message`, `set_local`) updates
+// the sums in O(1); successor states therefore rehash only their delta. A raw
+// mutable span (`locals_mut`/`local_slice_mut`) cannot be observed, so handing
+// one out marks the sums stale and the next fingerprint query performs one
+// full pass. Full passes and fingerprint queries are counted in process-wide
+// counters so benchmarks can report how much hashing the cache saved.
 #pragma once
 
 #include <algorithm>
@@ -17,6 +29,15 @@
 
 namespace mpb {
 
+// Process-wide hash-work counters (relaxed atomics; cheap enough to keep on).
+// `full passes` counts whole-state rehashes, `queries` counts fingerprint() /
+// hash() calls. The seed implementation performed two full feeds per
+// fingerprint query; the cached scheme performs one pass per state lifetime
+// plus one per raw-span invalidation.
+[[nodiscard]] std::uint64_t state_full_hash_passes() noexcept;
+[[nodiscard]] std::uint64_t state_hash_queries() noexcept;
+void reset_state_hash_counters() noexcept;
+
 class State {
  public:
   State() = default;
@@ -26,7 +47,6 @@ class State {
   }
 
   [[nodiscard]] std::span<const Value> locals() const noexcept { return locals_; }
-  [[nodiscard]] std::span<Value> locals_mut() noexcept { return locals_; }
   [[nodiscard]] const std::vector<Message>& network() const noexcept { return net_; }
   [[nodiscard]] std::size_t network_size() const noexcept { return net_.size(); }
 
@@ -35,14 +55,38 @@ class State {
                                                    std::size_t len) const noexcept {
     return {locals_.data() + offset, len};
   }
+
+  // Raw mutable views. Writes through these spans cannot be tracked, so the
+  // cached lane sums are invalidated and the next fingerprint query pays one
+  // full rehash. Prefer `set_local` on hot paths.
+  [[nodiscard]] std::span<Value> locals_mut() noexcept {
+    sums_valid_ = false;
+    return locals_;
+  }
   [[nodiscard]] std::span<Value> local_slice_mut(std::size_t offset,
                                                  std::size_t len) noexcept {
+    sums_valid_ = false;
     return {locals_.data() + offset, len};
+  }
+
+  // Tracked single-variable write: O(1) incremental fingerprint update.
+  void set_local(std::size_t idx, Value v) noexcept {
+    const Value old = locals_[idx];
+    if (old == v) return;
+    if (sums_valid_) {
+      loc_sum_[0] += local_contrib<0>(idx, v) - local_contrib<0>(idx, old);
+      loc_sum_[1] += local_contrib<1>(idx, v) - local_contrib<1>(idx, old);
+    }
+    locals_[idx] = v;
   }
 
   // Insert a message, keeping the multiset sorted.
   void add_message(const Message& m) {
     net_.insert(std::upper_bound(net_.begin(), net_.end(), m), m);
+    if (sums_valid_) {
+      net_sum_[0] += message_contrib<0>(m);
+      net_sum_[1] += message_contrib<1>(m);
+    }
   }
 
   // Remove exactly one occurrence of `m`. Returns false if absent.
@@ -50,6 +94,10 @@ class State {
     auto it = std::lower_bound(net_.begin(), net_.end(), m);
     if (it == net_.end() || !(*it == m)) return false;
     net_.erase(it);
+    if (sums_valid_) {
+      net_sum_[0] -= message_contrib<0>(m);
+      net_sum_[1] -= message_contrib<1>(m);
+    }
     return true;
   }
 
@@ -59,18 +107,11 @@ class State {
       ProcessId receiver, MsgType type) const noexcept;
 
   [[nodiscard]] std::uint64_t hash() const noexcept {
-    Hasher64 h;
-    feed(h);
-    return h.digest();
+    const Fingerprint fp = fingerprint();
+    return fp.lo ^ mix64(fp.hi);
   }
 
-  [[nodiscard]] Fingerprint fingerprint() const noexcept {
-    Hasher64 a(0x243f6a8885a308d3ULL);
-    Hasher64 b(0x13198a2e03707344ULL);
-    feed(a);
-    feed(b);
-    return {a.digest(), b.digest()};
-  }
+  [[nodiscard]] Fingerprint fingerprint() const noexcept;
 
   friend bool operator==(const State& a, const State& b) noexcept {
     return a.locals_ == b.locals_ && a.net_ == b.net_;
@@ -87,15 +128,34 @@ class State {
   }
 
  private:
-  void feed(Hasher64& h) const noexcept {
-    h.add(locals_.size());
-    for (Value v : locals_) h.add_int(v);
-    h.add(net_.size());
-    for (const Message& m : net_) m.feed(h);
+  static constexpr std::uint64_t kLaneSeed[2] = {0x243f6a8885a308d3ULL,
+                                                 0x13198a2e03707344ULL};
+
+  template <int Lane>
+  [[nodiscard]] static std::uint64_t local_contrib(std::size_t idx, Value v) noexcept {
+    // Position-keyed so the commutative sum still distinguishes orderings.
+    return mix64(kLaneSeed[Lane] ^ mix64((idx + 1) * 0x9e3779b97f4a7c15ULL) ^
+                 mix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)) +
+                       0xd1b54a32d192ed03ULL));
   }
+
+  template <int Lane>
+  [[nodiscard]] static std::uint64_t message_contrib(const Message& m) noexcept {
+    Hasher64 h(kLaneSeed[Lane]);
+    m.feed(h);
+    return h.digest();
+  }
+
+  void recompute_sums() const noexcept;
 
   std::vector<Value> locals_;
   std::vector<Message> net_;  // sorted multiset of all in-flight messages
+
+  // Lane sums; lazily (re)computed, then maintained incrementally. Mutable so
+  // const queries can fill the cache.
+  mutable std::uint64_t loc_sum_[2] = {0, 0};
+  mutable std::uint64_t net_sum_[2] = {0, 0};
+  mutable bool sums_valid_ = false;
 };
 
 struct StateHash {

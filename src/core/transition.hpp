@@ -70,12 +70,18 @@ class EffectCtx {
   [[nodiscard]] std::span<const Message> consumed() const noexcept { return consumed_; }
   [[nodiscard]] const Protocol& protocol() const noexcept { return proto_; }
 
-  [[nodiscard]] Value local(unsigned var) const noexcept { return local_[var]; }
+  [[nodiscard]] Value local(unsigned var) const noexcept {
+    return working_.locals()[offset_ + var];
+  }
+  // Routed through State::set_local so the state's cached fingerprint is
+  // updated incrementally instead of invalidated.
   void set_local(unsigned var, Value v) noexcept {
     written_ |= VarMask{1} << var;
-    local_[var] = v;
+    working_.set_local(offset_ + var, v);
   }
-  [[nodiscard]] std::span<Value> locals() noexcept { return local_; }
+  [[nodiscard]] std::span<const Value> locals() const noexcept {
+    return working_.local_slice(offset_, len_);
+  }
 
   // Ghost read of another process's variable. Specification-only; every
   // peeked process must be declared in the transition's `peeks` annotation or
@@ -112,7 +118,8 @@ class EffectCtx {
   State& working_;
   ProcessId self_;
   std::span<const Message> consumed_;
-  std::span<Value> local_;
+  std::size_t offset_ = 0;  // executing process's slice of State::locals
+  std::size_t len_ = 0;
   std::vector<Message> sends_;
   std::vector<PeekDecl> peeked_;
   VarMask written_ = 0;

@@ -1,0 +1,99 @@
+#include "core/visited.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mpb {
+
+std::string_view to_string(VisitedMode m) noexcept {
+  switch (m) {
+    case VisitedMode::kExact: return "exact";
+    case VisitedMode::kFingerprint: return "fingerprint";
+    case VisitedMode::kInterned: return "interned";
+  }
+  return "?";
+}
+
+std::optional<VisitedMode> visited_mode_from_string(std::string_view name) noexcept {
+  if (name == "exact") return VisitedMode::kExact;
+  if (name == "fingerprint") return VisitedMode::kFingerprint;
+  if (name == "interned") return VisitedMode::kInterned;
+  return std::nullopt;
+}
+
+namespace {
+constexpr std::size_t kInitialSlots = 64;  // per shard; power of two
+
+// Fingerprint-mode slots store val = fp.hi remapped away from the empty
+// marker 0.
+[[nodiscard]] constexpr std::uint64_t occupied_val(std::uint64_t hi) noexcept {
+  return hi == 0 ? 1 : hi;
+}
+}  // namespace
+
+ShardedVisited::ShardedVisited(VisitedMode mode, unsigned shards)
+    : mode_(mode),
+      shards_(std::bit_ceil(std::min(std::max(shards, 1u), 1024u))) {
+  for (Shard& sh : shards_) sh.slots.resize(kInitialSlots);
+}
+
+std::size_t ShardedVisited::probe(const Shard& sh, const State* s,
+                                  std::uint64_t key, std::uint64_t val) const {
+  const std::size_t mask = sh.slots.size() - 1;
+  std::size_t i = static_cast<std::size_t>(key) & mask;
+  for (;;) {
+    const Entry& e = sh.slots[i];
+    if (e.val == 0) return i;  // empty: not present
+    if (e.key == key) {
+      if (mode_ == VisitedMode::kFingerprint) {
+        if (e.val == val) return i;
+      } else {
+        if (sh.arena[e.val - 1] == *s) return i;
+      }
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void ShardedVisited::grow(Shard& sh) const {
+  std::vector<Entry> old = std::move(sh.slots);
+  sh.slots.assign(old.size() * 2, Entry{});
+  const std::size_t mask = sh.slots.size() - 1;
+  for (const Entry& e : old) {
+    if (e.val == 0) continue;
+    std::size_t i = static_cast<std::size_t>(e.key) & mask;
+    while (sh.slots[i].val != 0) i = (i + 1) & mask;
+    sh.slots[i] = e;
+  }
+}
+
+bool ShardedVisited::insert(const State& s, const Fingerprint& fp) {
+  Shard& sh = shard_for(fp);
+  const std::uint64_t key = fp.lo;
+  const std::uint64_t fp_val = occupied_val(fp.hi);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  std::size_t i = probe(sh, &s, key, fp_val);
+  if (sh.slots[i].val != 0) return false;  // already present
+  if ((sh.count + 1) * 10 >= sh.slots.size() * 7) {
+    grow(sh);
+    i = probe(sh, &s, key, fp_val);
+  }
+  if (mode_ == VisitedMode::kFingerprint) {
+    sh.slots[i] = Entry{key, fp_val};
+  } else {
+    sh.arena.push_back(s);
+    sh.slots[i] = Entry{key, static_cast<std::uint64_t>(sh.arena.size())};
+  }
+  ++sh.count;
+  total_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ShardedVisited::contains(const State& s, const Fingerprint& fp) const {
+  const Shard& sh = shard_for(fp);
+  const std::uint64_t key = fp.lo;
+  std::lock_guard<std::mutex> lock(sh.mu);
+  return sh.slots[probe(sh, &s, key, occupied_val(fp.hi))].val != 0;
+}
+
+}  // namespace mpb

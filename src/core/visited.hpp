@@ -1,0 +1,111 @@
+// Sharded visited set for the stateful explorer.
+//
+// The visited set is the hottest shared structure of a stateful search: one
+// probe+insert per generated successor. This implementation shards the key
+// space over N independent open-addressing tables (power-of-two sized, linear
+// probing, grown at ~70% load), each guarded by its own mutex, so concurrent
+// workers contend only when their states land in the same shard. Sequential
+// searches use a single shard and pay one uncontended lock per probe.
+//
+// Two storage modes:
+//  * kFingerprint — a slot is the state's 128-bit fingerprint (16 bytes).
+//    Probabilistic: a fingerprint collision silently merges two states
+//    (probability ~ N^2/2^129; the mode the paper's big runs use).
+//  * kInterned — exact semantics at near-fingerprint probe cost. Each shard
+//    interns its states in an arena (a deque: stable addresses, chunked
+//    allocation) and a slot holds a 16-byte handle {probe key, arena index}.
+//    A probe compares the full state only on a 64-bit key match, so the arena
+//    is touched at most once per lookup in expectation.
+//
+// VisitedMode::kExact (the seed's std::unordered_set<State> of full copies)
+// is kept in the explorer as the sequential reference implementation for
+// differential testing; parallel searches upgrade it to kInterned, which has
+// identical (exact) semantics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/state.hpp"
+#include "util/hash.hpp"
+
+namespace mpb {
+
+enum class VisitedMode {
+  kExact,        // full State copies, std::unordered_set (sequential reference)
+  kFingerprint,  // 128-bit fingerprints only (probabilistic, memory-flat)
+  kInterned,     // arena-interned states + 16-byte table handles (exact)
+};
+
+[[nodiscard]] std::string_view to_string(VisitedMode m) noexcept;
+// Inverse of to_string; nullopt on an unknown name. The single parser shared
+// by mpbcheck --visited, the MPB_VISITED env knob and the benches.
+[[nodiscard]] std::optional<VisitedMode> visited_mode_from_string(
+    std::string_view name) noexcept;
+
+class ShardedVisited {
+ public:
+  // `shards` is rounded up to a power of two and clamped to [1, 1024].
+  explicit ShardedVisited(VisitedMode mode, unsigned shards = 1);
+
+  ShardedVisited(const ShardedVisited&) = delete;
+  ShardedVisited& operator=(const ShardedVisited&) = delete;
+
+  // Inserts `s` (whose fingerprint is `fp`). Returns true iff newly inserted.
+  // Thread-safe.
+  bool insert(const State& s, const Fingerprint& fp);
+  bool insert(const State& s) { return insert(s, s.fingerprint()); }
+
+  [[nodiscard]] bool contains(const State& s, const Fingerprint& fp) const;
+  [[nodiscard]] bool contains(const State& s) const {
+    return contains(s, s.fingerprint());
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] VisitedMode mode() const noexcept { return mode_; }
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+ private:
+  // 16 bytes. Fingerprint mode: {key, val} = {fp.lo, fp.hi}, with val remapped
+  // 0 -> 1 so val == 0 can mark an empty slot (the remap folds the 2^-64
+  // sliver of fingerprint space onto a neighbour — same failure class, and far
+  // rarer, than a fingerprint collision itself). Interned mode: key = fp.lo
+  // as a 64-bit filter/probe key, val = arena index + 1.
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t val = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Entry> slots;
+    std::size_t count = 0;
+    std::deque<State> arena;  // used in kInterned mode only
+  };
+
+  [[nodiscard]] Shard& shard_for(const Fingerprint& fp) const noexcept {
+    return shards_[fp.hi & (shards_.size() - 1)];
+  }
+
+  // Returns the slot index holding an equal entry, or the empty slot where it
+  // would go. Caller holds the shard lock.
+  [[nodiscard]] std::size_t probe(const Shard& sh, const State* s,
+                                  std::uint64_t key, std::uint64_t val) const;
+  void grow(Shard& sh) const;
+
+  VisitedMode mode_;
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace mpb

@@ -1,0 +1,108 @@
+#include "harness/bench_json.hpp"
+
+#include <sys/resource.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace mpb::harness {
+
+BenchRecord make_record(std::string name, std::string strategy,
+                        std::string visited, const ExploreResult& r) {
+  BenchRecord rec;
+  rec.name = std::move(name);
+  rec.strategy = std::move(strategy);
+  rec.visited = std::move(visited);
+  rec.threads = r.stats.threads_used;
+  rec.verdict = std::string(to_string(r.verdict));
+  rec.states_stored = r.stats.states_stored;
+  rec.events_executed = r.stats.events_executed;
+  rec.full_hash_passes = r.stats.full_hash_passes;
+  rec.hash_queries = r.stats.hash_queries;
+  rec.seconds = r.stats.seconds;
+  const double secs = r.stats.seconds > 0.0 ? r.stats.seconds : 1e-9;
+  rec.states_per_sec = static_cast<double>(r.stats.states_stored) / secs;
+  rec.events_per_sec = static_cast<double>(r.stats.events_executed) / secs;
+  rec.peak_rss_kb = peak_rss_kb();
+  return rec;
+}
+
+long peak_rss_kb() noexcept {
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+bool write_bench_json(const std::string& path,
+                      std::span<const BenchRecord> records) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n  \"schema\": \"mpb-bench-v1\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::string name, strategy, visited, verdict;
+    escape_into(name, r.name);
+    escape_into(strategy, r.strategy);
+    escape_into(visited, r.visited);
+    escape_into(verdict, r.verdict);
+    os << "    {\"name\": \"" << name << "\", \"strategy\": \"" << strategy
+       << "\", \"visited\": \"" << visited << "\", \"threads\": " << r.threads
+       << ", \"verdict\": \"" << verdict << "\",\n"
+       << "     \"states_stored\": " << r.states_stored
+       << ", \"events_executed\": " << r.events_executed
+       << ", \"full_hash_passes\": " << r.full_hash_passes
+       << ", \"hash_queries\": " << r.hash_queries << ",\n"
+       << "     \"seconds\": " << r.seconds
+       << ", \"states_per_sec\": " << r.states_per_sec
+       << ", \"events_per_sec\": " << r.events_per_sec
+       << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+// Process-global sink, flushed to $MPB_BENCH_JSON at exit.
+class Sink {
+ public:
+  void add(BenchRecord r) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(r));
+  }
+
+  ~Sink() {
+    const char* path = std::getenv("MPB_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!records_.empty()) write_bench_json(path, records_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<BenchRecord> records_;
+};
+
+Sink& sink() {
+  static Sink s;
+  return s;
+}
+
+}  // namespace
+
+void record_bench(BenchRecord record) { sink().add(std::move(record)); }
+
+}  // namespace mpb::harness

@@ -1,0 +1,56 @@
+// Machine-readable benchmark records.
+//
+// Every workload cell (one explore() run) can be recorded as a BenchRecord
+// and serialized to a JSON file such as BENCH_explore.json, so the perf
+// trajectory (states/sec, events/sec, peak RSS, hash-cache effectiveness) is
+// tracked across PRs by tools/bench_compare.py.
+//
+// Two entry points:
+//  * write_bench_json(path, records) — explicit, used by bench/explore_throughput;
+//  * record_bench(...) — appends to a process-global sink that harness::run
+//    feeds automatically; the sink flushes at process exit to the path in the
+//    MPB_BENCH_JSON environment variable (no-op when unset), which turns
+//    every existing bench/table binary into a JSON emitter for free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+
+namespace mpb::harness {
+
+struct BenchRecord {
+  std::string name;       // workload id, e.g. "paxos_explore/full/t8"
+  std::string strategy;   // "full", "spor", ...
+  std::string visited;    // visited-set mode
+  unsigned threads = 1;
+  std::string verdict;
+  std::uint64_t states_stored = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t full_hash_passes = 0;
+  std::uint64_t hash_queries = 0;
+  double seconds = 0.0;
+  double states_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  long peak_rss_kb = 0;
+};
+
+// Build a record from an explore result; fills rates and current peak RSS.
+[[nodiscard]] BenchRecord make_record(std::string name, std::string strategy,
+                                      std::string visited,
+                                      const ExploreResult& r);
+
+// Max resident set size of this process so far, in KiB (getrusage).
+[[nodiscard]] long peak_rss_kb() noexcept;
+
+// Serialize records to `path` as a JSON object {"schema", "records": [...]}.
+// Returns false on I/O failure.
+bool write_bench_json(const std::string& path, std::span<const BenchRecord> records);
+
+// Append to the process-global sink (flushed to $MPB_BENCH_JSON at exit).
+void record_bench(BenchRecord record);
+
+}  // namespace mpb::harness

@@ -1,7 +1,10 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+
+#include "harness/bench_json.hpp"
 
 namespace mpb::harness {
 
@@ -27,10 +30,19 @@ ExploreConfig budget_from_env() {
   }
   // Benchmarks run big instances: fingerprinted visited set keeps memory flat.
   cfg.visited = VisitedMode::kFingerprint;
+  if (const char* s = std::getenv("MPB_VISITED")) {
+    if (auto mode = visited_mode_from_string(s)) cfg.visited = *mode;
+  }
+  if (const char* s = std::getenv("MPB_THREADS")) {
+    const long n = std::strtol(s, nullptr, 10);
+    cfg.threads = static_cast<unsigned>(std::clamp(n, 1L, 256L));
+  }
   return cfg;
 }
 
-ExploreResult run(const Protocol& proto, const RunSpec& spec) {
+namespace {
+
+ExploreResult dispatch(const Protocol& proto, const RunSpec& spec) {
   ExploreConfig cfg = spec.explore;
   switch (spec.strategy) {
     case Strategy::kUnreducedStateful: {
@@ -52,6 +64,17 @@ ExploreResult run(const Protocol& proto, const RunSpec& spec) {
     }
   }
   return {};
+}
+
+}  // namespace
+
+ExploreResult run(const Protocol& proto, const RunSpec& spec) {
+  ExploreResult r = dispatch(proto, spec);
+  // Feed the process-global bench sink; flushed to $MPB_BENCH_JSON at exit,
+  // so every table/bench binary doubles as a machine-readable emitter.
+  record_bench(make_record(proto.name(), std::string(to_string(spec.strategy)),
+                           std::string(to_string(spec.explore.visited)), r));
+  return r;
 }
 
 std::string format_count(std::uint64_t n) {

@@ -26,9 +26,11 @@ struct RunSpec {
   ExploreConfig explore;   // budgets; mode/visited are set by the strategy
 };
 
-// Per-cell budgets read from the environment:
+// Per-cell budgets and engine knobs read from the environment:
 //   MPB_BUDGET_STATES  (default 3,000,000 stored/visited states)
 //   MPB_BUDGET_SECONDS (default 120 s)
+//   MPB_THREADS        (default 1; >1 parallelizes unreduced stateful runs)
+//   MPB_VISITED        exact | fingerprint | interned (default fingerprint)
 // mirroring the paper's 48-hour time-out discipline at laptop scale.
 [[nodiscard]] ExploreConfig budget_from_env();
 

@@ -1,0 +1,161 @@
+// Cached/incremental fingerprints and the sharded visited table.
+//
+// The cached-fingerprint invariant: after ANY sequence of tracked mutations
+// (add_message / remove_message / set_local) or untracked span writes, a
+// state's fingerprint must equal the fingerprint of a freshly constructed
+// equal state — the incremental delta updates and the full rehash must be
+// indistinguishable.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/state.hpp"
+#include "core/visited.hpp"
+
+namespace mpb {
+namespace {
+
+Message msg(MsgType t, ProcessId from, ProcessId to, Value payload = 0) {
+  return Message(t, from, to, {payload});
+}
+
+State fresh_copy(const State& s) {
+  std::vector<Value> locals(s.locals().begin(), s.locals().end());
+  std::vector<Message> net(s.network().begin(), s.network().end());
+  return State(std::move(locals), std::move(net));
+}
+
+void expect_fingerprint_matches_fresh(const State& s) {
+  const State f = fresh_copy(s);
+  ASSERT_EQ(s, f);
+  EXPECT_EQ(s.fingerprint(), f.fingerprint());
+  EXPECT_EQ(s.hash(), f.hash());
+}
+
+TEST(FingerprintCache, IncrementalMessageOpsMatchFreshState) {
+  State s({1, 2, 3}, {msg(1, 0, 1), msg(2, 1, 2)});
+  (void)s.fingerprint();  // prime the cache so mutations go incremental
+
+  s.add_message(msg(3, 2, 0, 7));
+  expect_fingerprint_matches_fresh(s);
+
+  s.add_message(msg(1, 0, 1));  // duplicate copy: multiplicity matters
+  expect_fingerprint_matches_fresh(s);
+
+  ASSERT_TRUE(s.remove_message(msg(2, 1, 2)));
+  expect_fingerprint_matches_fresh(s);
+
+  ASSERT_TRUE(s.remove_message(msg(1, 0, 1)));  // one of the two copies
+  expect_fingerprint_matches_fresh(s);
+}
+
+TEST(FingerprintCache, IncrementalLocalWritesMatchFreshState) {
+  State s({10, 20, 30}, {msg(1, 0, 1)});
+  (void)s.fingerprint();
+
+  s.set_local(1, 99);
+  expect_fingerprint_matches_fresh(s);
+  s.set_local(0, -5);
+  s.set_local(2, 0);
+  expect_fingerprint_matches_fresh(s);
+  s.set_local(1, 20);  // restore one variable
+  expect_fingerprint_matches_fresh(s);
+}
+
+TEST(FingerprintCache, RawSpanWritesInvalidateAndRecover) {
+  State s({1, 2, 3, 4}, {msg(1, 0, 1), msg(2, 0, 2)});
+  (void)s.fingerprint();
+  s.local_slice_mut(1, 2)[0] = 42;  // untracked write: cache must invalidate
+  expect_fingerprint_matches_fresh(s);
+  // And incremental updates must work again after the recovery pass.
+  s.add_message(msg(5, 3, 1, 9));
+  s.set_local(3, 77);
+  expect_fingerprint_matches_fresh(s);
+}
+
+TEST(FingerprintCache, MixedSequenceStressMatchesFreshState) {
+  State s({0, 0, 0}, {});
+  (void)s.fingerprint();
+  for (int round = 0; round < 50; ++round) {
+    const auto t = static_cast<MsgType>(round % 5 + 1);
+    s.add_message(msg(t, static_cast<ProcessId>(round % 3),
+                      static_cast<ProcessId>((round + 1) % 3), round));
+    s.set_local(static_cast<std::size_t>(round % 3), round * 13);
+    if (round % 4 == 3) {
+      ASSERT_TRUE(s.remove_message(msg(static_cast<MsgType>(round % 5 + 1),
+                                       static_cast<ProcessId>(round % 3),
+                                       static_cast<ProcessId>((round + 1) % 3),
+                                       round)));
+    }
+    if (round % 7 == 6) s.locals_mut()[0] = -round;  // untracked write
+  }
+  expect_fingerprint_matches_fresh(s);
+}
+
+TEST(FingerprintCache, CachingReducesFullHashPasses) {
+  State s({1, 2, 3}, {msg(1, 0, 1)});
+  reset_state_hash_counters();
+  for (int i = 0; i < 100; ++i) (void)s.fingerprint();
+  EXPECT_EQ(state_full_hash_passes(), 1u);   // one pass, 99 cache hits
+  EXPECT_EQ(state_hash_queries(), 100u);
+}
+
+TEST(ShardedVisited, InsertAndDuplicateDetection) {
+  for (const VisitedMode mode :
+       {VisitedMode::kFingerprint, VisitedMode::kInterned}) {
+    ShardedVisited set(mode, 4);
+    State a({1}, {msg(1, 0, 1)});
+    State b({2}, {msg(1, 0, 1)});
+    EXPECT_TRUE(set.insert(a));
+    EXPECT_FALSE(set.insert(a));
+    EXPECT_TRUE(set.insert(b));
+    EXPECT_TRUE(set.contains(a));
+    EXPECT_TRUE(set.contains(b));
+    EXPECT_FALSE(set.contains(State({3}, {})));
+    EXPECT_EQ(set.size(), 2u);
+  }
+}
+
+TEST(ShardedVisited, GrowsPastInitialCapacityPerShard) {
+  ShardedVisited set(VisitedMode::kInterned, 1);
+  constexpr int kN = 5000;  // far beyond the 64-slot initial table
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_TRUE(set.insert(State({i, i * 7}, {})));
+  }
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_FALSE(set.insert(State({i, i * 7}, {})));
+  }
+  EXPECT_EQ(set.size(), static_cast<std::uint64_t>(kN));
+}
+
+TEST(ShardedVisited, InternedModeIsExactUnderKeyCollisions) {
+  // Interned mode must compare full states, so two distinct states are both
+  // kept even if their 64-bit probe keys ever collided.
+  ShardedVisited set(VisitedMode::kInterned, 1);
+  for (int i = 0; i < 512; ++i) {
+    State s({i}, {msg(static_cast<MsgType>(i % 3 + 1), 0, 1, i)});
+    EXPECT_TRUE(set.insert(s));
+    EXPECT_TRUE(set.contains(s));
+  }
+  EXPECT_EQ(set.size(), 512u);
+}
+
+TEST(ShardedVisited, ConcurrentInsertsCountEachStateOnce) {
+  ShardedVisited set(VisitedMode::kInterned, 16);
+  constexpr int kStates = 2000;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&set] {
+      for (int i = 0; i < kStates; ++i) {
+        set.insert(State({i, i % 17}, {}));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(set.size(), static_cast<std::uint64_t>(kStates));
+}
+
+}  // namespace
+}  // namespace mpb

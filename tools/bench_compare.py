@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_explore.json files and flag throughput regressions.
+
+Usage:
+    bench_compare.py NEW.json [OLD.json] [--threshold 0.15]
+
+NEW.json is the freshly produced bench file (see the `bench-json` cmake
+target or bench/explore_throughput).  When OLD.json is given, every record
+present in both files is compared on states/sec; a drop larger than
+--threshold (default 15%) is a regression and the script exits 1.  Without
+OLD.json the script just pretty-prints NEW.json, so the first PR in a
+trajectory can bootstrap the baseline with
+
+    cp build/BENCH_explore.json bench/baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def key_of(record):
+    # Records produced via harness::run share the protocol name across
+    # strategies/modes, so the comparison key includes every knob.
+    return (f"{record['name']}|{record.get('strategy', '?')}|"
+            f"{record.get('visited', '?')}|t{record.get('threads', 1)}")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("schema") != "mpb-bench-v1":
+        raise SystemExit(f"{path}: unexpected schema {data.get('schema')!r}")
+    out = {}
+    for r in data["records"]:
+        k = key_of(r)
+        if k in out:
+            print(f"warning: {path}: duplicate record {k}; keeping the last",
+                  file=sys.stderr)
+        out[k] = r
+    return out
+
+
+def fmt_rate(rate):
+    return f"{rate:,.0f}/s"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("new", help="fresh BENCH_explore.json")
+    ap.add_argument("old", nargs="?", help="baseline BENCH_explore.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional states/sec drop (default 0.15)")
+    args = ap.parse_args()
+
+    new = load(args.new)
+    width = max((len(n) for n in new), default=10)
+
+    if args.old is None:
+        print(f"{'workload':<{width}}  {'verdict':>8}  {'states':>12}  "
+              f"{'states/s':>14}  {'events/s':>14}  {'rss_kb':>10}")
+        for name, r in new.items():
+            print(f"{name:<{width}}  {r['verdict']:>8}  {r['states_stored']:>12,}  "
+                  f"{fmt_rate(r['states_per_sec']):>14}  "
+                  f"{fmt_rate(r['events_per_sec']):>14}  {r['peak_rss_kb']:>10,}")
+        return 0
+
+    old = load(args.old)
+    regressions = []
+    print(f"{'workload':<{width}}  {'old states/s':>14}  {'new states/s':>14}  {'delta':>8}")
+    for name, r in new.items():
+        if name not in old:
+            print(f"{name:<{width}}  {'(new)':>14}  {fmt_rate(r['states_per_sec']):>14}")
+            continue
+        o, n = old[name]["states_per_sec"], r["states_per_sec"]
+        delta = (n - o) / o if o > 0 else 0.0
+        marker = ""
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+            marker = "  << REGRESSION"
+        print(f"{name:<{width}}  {fmt_rate(o):>14}  {fmt_rate(n):>14}  "
+              f"{delta:>+7.1%}{marker}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} threshold", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

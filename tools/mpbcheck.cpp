@@ -13,6 +13,8 @@
 //
 // Common options:
 //   --single-message          use the counting model instead of quorum
+//   --threads N               worker threads (full stateful strategy only)
+//   --visited exact|fingerprint|interned  visited-set storage (default env/fingerprint)
 //   --strategy full|spor|dpor|stateless   (default spor)
 //   --split none|reply|quorum|combined    (default none)
 //   --seed opposite|transaction|first     (default opposite)
@@ -22,6 +24,7 @@
 //   --max-states N / --max-seconds S      per-run budgets
 //   --trace                   print the counterexample (if any)
 //   --quiet                   only the verdict line
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -55,6 +58,7 @@ struct Options {
   std::string strategy = "spor";
   std::string split = "none";
   std::string seed = "opposite";
+  std::string visited;  // empty = keep the env/benchmark default
 };
 
 long num_or(const Options& o, const std::string& key, long fallback) {
@@ -83,6 +87,9 @@ protocols:
 
 common options:
   --single-message        counting model instead of quorum transitions
+  --threads N             worker threads; parallelizes the unreduced stateful
+                          search (strategy full), sequential otherwise
+  --visited V             exact | fingerprint | interned visited-set storage
   --strategy S            full | spor | dpor | stateless   (default spor)
   --split M               none | reply | quorum | combined (default none)
   --seed H                opposite | transaction | first   (default opposite)
@@ -109,12 +116,15 @@ int main(int argc, char** argv) {
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next_num = [&](const std::string& key) {
+    auto next_str = [&]() -> std::string {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
         exit(2);
       }
-      opt.nums[key] = std::stol(argv[++i]);
+      return argv[++i];
+    };
+    auto next_num = [&](const std::string& key) {
+      opt.nums[key] = std::stol(next_str());
     };
     if (arg == "--single-message") opt.single_message = true;
     else if (arg == "--faulty") opt.faulty = true;
@@ -124,9 +134,10 @@ int main(int argc, char** argv) {
     else if (arg == "--exhaustive-seed") opt.exhaustive_seed = true;
     else if (arg == "--trace") opt.trace = true;
     else if (arg == "--quiet") opt.quiet = true;
-    else if (arg == "--strategy") opt.strategy = argv[++i];
-    else if (arg == "--split") opt.split = argv[++i];
-    else if (arg == "--seed") opt.seed = argv[++i];
+    else if (arg == "--strategy") opt.strategy = next_str();
+    else if (arg == "--split") opt.split = next_str();
+    else if (arg == "--seed") opt.seed = next_str();
+    else if (arg == "--visited") opt.visited = next_str();
     else if (arg.rfind("--", 0) == 0) next_num(arg.substr(2));
     else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -211,6 +222,23 @@ int main(int argc, char** argv) {
   if (opt.nums.contains("max-seconds")) {
     spec.explore.max_seconds = static_cast<double>(opt.nums["max-seconds"]);
   }
+  if (opt.nums.contains("threads")) {
+    spec.explore.threads =
+        static_cast<unsigned>(std::clamp(opt.nums["threads"], 1L, 256L));
+  }
+  if (!opt.visited.empty()) {
+    if (auto mode = visited_mode_from_string(opt.visited)) {
+      spec.explore.visited = *mode;
+    } else {
+      std::cerr << "unknown visited mode: " << opt.visited << "\n";
+      return 2;
+    }
+  }
+  if (spec.explore.threads > 1 &&
+      spec.strategy != harness::Strategy::kUnreducedStateful && !opt.quiet) {
+    std::cerr << "note: --threads applies to the unreduced stateful search "
+                 "only; running sequentially\n";
+  }
 
   SymmetryReducer sym(proto, opt.symmetry ? roles
                                           : std::vector<std::vector<ProcessId>>{});
@@ -244,9 +272,14 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   if (opt.trace && r.verdict == Verdict::kViolated) {
-    print_counterexample(std::cout, proto, r);
-    std::cout << "replay: " << (replay_counterexample(proto, r) ? "ok" : "FAILED")
-              << "\n";
+    if (r.counterexample.empty()) {
+      std::cout << "(no trace: the parallel search does not reconstruct "
+                   "counterexample paths; rerun with --threads 1)\n";
+    } else {
+      print_counterexample(std::cout, proto, r);
+      std::cout << "replay: "
+                << (replay_counterexample(proto, r) ? "ok" : "FAILED") << "\n";
+    }
   }
   return r.verdict == Verdict::kViolated ? 1 : 0;
 }
