@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_refinement_demo.dir/bench/fig4_refinement_demo.cpp.o"
+  "CMakeFiles/bench_fig4_refinement_demo.dir/bench/fig4_refinement_demo.cpp.o.d"
+  "bench_fig4_refinement_demo"
+  "bench_fig4_refinement_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_refinement_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

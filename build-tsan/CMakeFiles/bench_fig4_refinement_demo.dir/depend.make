@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_refinement_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seed_heuristics.dir/bench/seed_heuristics.cpp.o"
+  "CMakeFiles/bench_seed_heuristics.dir/bench/seed_heuristics.cpp.o.d"
+  "bench_seed_heuristics"
+  "bench_seed_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seed_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_seed_heuristics.
+# This may be replaced when dependencies are built.

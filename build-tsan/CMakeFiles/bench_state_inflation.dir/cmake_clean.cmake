@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_inflation.dir/bench/state_inflation.cpp.o"
+  "CMakeFiles/bench_state_inflation.dir/bench/state_inflation.cpp.o.d"
+  "bench_state_inflation"
+  "bench_state_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symmetry_combination.dir/bench/symmetry_combination.cpp.o"
+  "CMakeFiles/bench_symmetry_combination.dir/bench/symmetry_combination.cpp.o.d"
+  "bench_symmetry_combination"
+  "bench_symmetry_combination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetry_combination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_quorum_semantics.dir/bench/table1_quorum_semantics.cpp.o"
+  "CMakeFiles/bench_table1_quorum_semantics.dir/bench/table1_quorum_semantics.cpp.o.d"
+  "bench_table1_quorum_semantics"
+  "bench_table1_quorum_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_quorum_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

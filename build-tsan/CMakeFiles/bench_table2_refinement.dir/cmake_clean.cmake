@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_refinement.dir/bench/table2_refinement.cpp.o"
+  "CMakeFiles/bench_table2_refinement.dir/bench/table2_refinement.cpp.o.d"
+  "bench_table2_refinement"
+  "bench_table2_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_multicast.dir/examples/byzantine_multicast.cpp.o"
+  "CMakeFiles/byzantine_multicast.dir/examples/byzantine_multicast.cpp.o.d"
+  "byzantine_multicast"
+  "byzantine_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_throughput.dir/bench/explore_throughput.cpp.o"
+  "CMakeFiles/explore_throughput.dir/bench/explore_throughput.cpp.o.d"
+  "explore_throughput"
+  "explore_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

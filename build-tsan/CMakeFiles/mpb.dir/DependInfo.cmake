@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/enabled.cpp" "CMakeFiles/mpb.dir/src/core/enabled.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/enabled.cpp.o.d"
+  "/root/repo/src/core/execute.cpp" "CMakeFiles/mpb.dir/src/core/execute.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/execute.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "CMakeFiles/mpb.dir/src/core/explorer.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/explorer.cpp.o.d"
+  "/root/repo/src/core/message.cpp" "CMakeFiles/mpb.dir/src/core/message.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/message.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "CMakeFiles/mpb.dir/src/core/protocol.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/protocol.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "CMakeFiles/mpb.dir/src/core/state.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/state.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "CMakeFiles/mpb.dir/src/core/trace.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/trace.cpp.o.d"
+  "/root/repo/src/core/visited.cpp" "CMakeFiles/mpb.dir/src/core/visited.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/core/visited.cpp.o.d"
+  "/root/repo/src/harness/bench_json.cpp" "CMakeFiles/mpb.dir/src/harness/bench_json.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/harness/bench_json.cpp.o.d"
+  "/root/repo/src/harness/runner.cpp" "CMakeFiles/mpb.dir/src/harness/runner.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/harness/runner.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "CMakeFiles/mpb.dir/src/harness/table.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/harness/table.cpp.o.d"
+  "/root/repo/src/mp/builder.cpp" "CMakeFiles/mpb.dir/src/mp/builder.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/mp/builder.cpp.o.d"
+  "/root/repo/src/por/dpor.cpp" "CMakeFiles/mpb.dir/src/por/dpor.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/por/dpor.cpp.o.d"
+  "/root/repo/src/por/independence.cpp" "CMakeFiles/mpb.dir/src/por/independence.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/por/independence.cpp.o.d"
+  "/root/repo/src/por/spor.cpp" "CMakeFiles/mpb.dir/src/por/spor.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/por/spor.cpp.o.d"
+  "/root/repo/src/por/symmetry.cpp" "CMakeFiles/mpb.dir/src/por/symmetry.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/por/symmetry.cpp.o.d"
+  "/root/repo/src/protocols/collector/collector.cpp" "CMakeFiles/mpb.dir/src/protocols/collector/collector.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/protocols/collector/collector.cpp.o.d"
+  "/root/repo/src/protocols/echo/echo.cpp" "CMakeFiles/mpb.dir/src/protocols/echo/echo.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/protocols/echo/echo.cpp.o.d"
+  "/root/repo/src/protocols/paxos/paxos.cpp" "CMakeFiles/mpb.dir/src/protocols/paxos/paxos.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/protocols/paxos/paxos.cpp.o.d"
+  "/root/repo/src/protocols/storage/storage.cpp" "CMakeFiles/mpb.dir/src/protocols/storage/storage.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/protocols/storage/storage.cpp.o.d"
+  "/root/repo/src/refine/refine.cpp" "CMakeFiles/mpb.dir/src/refine/refine.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/refine/refine.cpp.o.d"
+  "/root/repo/src/util/combinatorics.cpp" "CMakeFiles/mpb.dir/src/util/combinatorics.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/util/combinatorics.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "CMakeFiles/mpb.dir/src/util/hash.cpp.o" "gcc" "CMakeFiles/mpb.dir/src/util/hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

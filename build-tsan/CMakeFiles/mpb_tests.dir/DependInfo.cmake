@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assertion_test.cpp" "CMakeFiles/mpb_tests.dir/tests/assertion_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/assertion_test.cpp.o.d"
+  "/root/repo/tests/builder_test.cpp" "CMakeFiles/mpb_tests.dir/tests/builder_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/builder_test.cpp.o.d"
+  "/root/repo/tests/collector_test.cpp" "CMakeFiles/mpb_tests.dir/tests/collector_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/collector_test.cpp.o.d"
+  "/root/repo/tests/dpor_test.cpp" "CMakeFiles/mpb_tests.dir/tests/dpor_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/dpor_test.cpp.o.d"
+  "/root/repo/tests/echo_test.cpp" "CMakeFiles/mpb_tests.dir/tests/echo_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/echo_test.cpp.o.d"
+  "/root/repo/tests/enabled_test.cpp" "CMakeFiles/mpb_tests.dir/tests/enabled_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/enabled_test.cpp.o.d"
+  "/root/repo/tests/execute_test.cpp" "CMakeFiles/mpb_tests.dir/tests/execute_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/execute_test.cpp.o.d"
+  "/root/repo/tests/explorer_test.cpp" "CMakeFiles/mpb_tests.dir/tests/explorer_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/explorer_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "CMakeFiles/mpb_tests.dir/tests/harness_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/harness_test.cpp.o.d"
+  "/root/repo/tests/independence_test.cpp" "CMakeFiles/mpb_tests.dir/tests/independence_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/independence_test.cpp.o.d"
+  "/root/repo/tests/message_state_test.cpp" "CMakeFiles/mpb_tests.dir/tests/message_state_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/message_state_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "CMakeFiles/mpb_tests.dir/tests/parallel_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/parallel_test.cpp.o.d"
+  "/root/repo/tests/paxos_test.cpp" "CMakeFiles/mpb_tests.dir/tests/paxos_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/paxos_test.cpp.o.d"
+  "/root/repo/tests/refine_test.cpp" "CMakeFiles/mpb_tests.dir/tests/refine_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/refine_test.cpp.o.d"
+  "/root/repo/tests/soundness_test.cpp" "CMakeFiles/mpb_tests.dir/tests/soundness_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/soundness_test.cpp.o.d"
+  "/root/repo/tests/spor_test.cpp" "CMakeFiles/mpb_tests.dir/tests/spor_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/spor_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "CMakeFiles/mpb_tests.dir/tests/storage_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/storage_test.cpp.o.d"
+  "/root/repo/tests/sweep_test.cpp" "CMakeFiles/mpb_tests.dir/tests/sweep_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/sweep_test.cpp.o.d"
+  "/root/repo/tests/symmetry_test.cpp" "CMakeFiles/mpb_tests.dir/tests/symmetry_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/symmetry_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "CMakeFiles/mpb_tests.dir/tests/trace_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "CMakeFiles/mpb_tests.dir/tests/util_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/util_test.cpp.o.d"
+  "/root/repo/tests/visited_test.cpp" "CMakeFiles/mpb_tests.dir/tests/visited_test.cpp.o" "gcc" "CMakeFiles/mpb_tests.dir/tests/visited_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/mpb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpbcheck.dir/tools/mpbcheck.cpp.o"
+  "CMakeFiles/mpbcheck.dir/tools/mpbcheck.cpp.o.d"
+  "mpbcheck"
+  "mpbcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpbcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpbcheck.
+# This may be replaced when dependencies are built.

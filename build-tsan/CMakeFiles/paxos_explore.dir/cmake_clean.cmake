@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_explore.dir/examples/paxos_explore.cpp.o"
+  "CMakeFiles/paxos_explore.dir/examples/paxos_explore.cpp.o.d"
+  "paxos_explore"
+  "paxos_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
