@@ -18,33 +18,31 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "harness/bench_json.hpp"
 #include "harness/runner.hpp"
-#include "protocols/paxos/paxos.hpp"
-#include "protocols/storage/storage.hpp"
 
 using namespace mpb;
-using protocols::make_paxos;
-using protocols::make_regular_storage;
-using protocols::PaxosConfig;
-using protocols::StorageConfig;
 
 namespace {
 
 struct Workload {
   std::string name;
-  Protocol proto;
+  std::string model;       // registry name (check/registry.hpp)
+  check::RawParams params;
 };
 
 std::vector<Workload> make_workloads() {
-  std::vector<Workload> w;
   // The paper's Table I Paxos setting: big enough that the visited set and
   // hash path dominate, small enough for a CI-sized budget.
-  w.push_back({"paxos_explore",
-               make_paxos(PaxosConfig{.proposers = 2, .acceptors = 3, .learners = 1})});
-  w.push_back({"storage_audit",
-               make_regular_storage(StorageConfig{.bases = 3, .readers = 1, .writes = 2})});
-  return w;
+  return {
+      {"paxos_explore",
+       "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
+      {"storage_audit",
+       "storage",
+       {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}}},
+  };
 }
 
 }  // namespace
@@ -82,19 +80,24 @@ int main(int argc, char** argv) {
   std::vector<harness::BenchRecord> records;
   for (Workload& w : make_workloads()) {
     for (unsigned threads : thread_counts) {
-      ExploreConfig cfg = harness::budget_from_env();
-      cfg.mode = SearchMode::kStateful;
-      cfg.visited = visited;
-      cfg.threads = threads;
+      check::CheckRequest req;
+      req.model = w.model;
+      req.params = w.params;
+      req.strategy = "full";
+      req.explore = harness::budget_from_env();
+      req.explore.visited = visited;
+      req.explore.threads = threads;
+      // This bench writes its own JSON with cell-level names below; keep the
+      // $MPB_BENCH_JSON at-exit flush from overwriting that file.
+      req.record = false;
       reset_state_hash_counters();
-      const ExploreResult r = explore(w.proto, cfg, nullptr);
       const std::string cell = w.name + "/full/t" + std::to_string(threads);
-      harness::BenchRecord rec = harness::make_record(
-          cell, "full", std::string(to_string(visited)), r);
+      const check::CheckResult r = check::run_check(std::move(req));
+      harness::BenchRecord rec = check::to_record(r, cell);
       records.push_back(rec);
-      std::cout << cell << ": " << to_string(r.verdict) << "  "
-                << harness::format_count(r.stats.states_stored) << " states  "
-                << harness::format_time(r.stats.seconds) << "  "
+      std::cout << cell << ": " << to_string(r.verdict()) << "  "
+                << harness::format_count(r.stats().states_stored) << " states  "
+                << harness::format_time(r.stats().seconds) << "  "
                 << static_cast<std::uint64_t>(rec.states_per_sec)
                 << " states/s  hash passes/queries " << rec.full_hash_passes
                 << "/" << rec.hash_queries << "\n";

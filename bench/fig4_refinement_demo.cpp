@@ -13,9 +13,9 @@
 //                     impossible again — the paper's caveat.
 #include <iostream>
 
+#include "check/check.hpp"
 #include "harness/table.hpp"
 #include "mp/builder.hpp"
-#include "por/spor.hpp"
 
 namespace {
 
@@ -118,15 +118,18 @@ Protocol make_c() {
 }
 
 void report(harness::Table& table, const Protocol& proto) {
-  ExploreConfig cfg;
-  const ExploreResult full = explore(proto, cfg, nullptr);
-  SporStrategy spor(proto);
-  const ExploreResult reduced = explore(proto, cfg, &spor);
+  // Builder-made toy protocols plug into the facade as prebuilt protocols.
+  check::CheckRequest req;
+  req.protocol = proto;
+  req.strategy = "full";
+  const check::CheckResult full = check::run_check(req);
+  req.strategy = "spor";
+  const check::CheckResult reduced = check::run_check(std::move(req));
   table.add_row({proto.name(), std::to_string(proto.n_transitions()),
-                 std::to_string(full.stats.states_stored),
-                 std::to_string(reduced.stats.states_stored),
-                 std::to_string(reduced.stats.events_selected) + "/" +
-                     std::to_string(reduced.stats.events_enabled)});
+                 std::to_string(full.stats().states_stored),
+                 std::to_string(reduced.stats().states_stored),
+                 std::to_string(reduced.stats().events_selected) + "/" +
+                     std::to_string(reduced.stats().events_enabled)});
 }
 
 }  // namespace

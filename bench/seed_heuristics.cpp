@@ -7,42 +7,48 @@
 //  (2) the LPOR vs LPOR-NET distinction of the user guide: necessary
 //      enabling sets chosen by inspecting the current state (NET) vs the
 //      conservative state-independent union.
+// Every cell is a check-facade request with a different SporOptions payload.
 #include <iostream>
+#include <utility>
+#include <vector>
 
+#include "check/check.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
-#include "protocols/echo/echo.hpp"
-#include "protocols/paxos/paxos.hpp"
-#include "protocols/storage/storage.hpp"
 
 namespace {
 
 using namespace mpb;
-using namespace mpb::protocols;
 
-std::vector<std::pair<std::string, Protocol>> make_cases() {
-  std::vector<std::pair<std::string, Protocol>> cases;
-  cases.emplace_back("Paxos (2,3,1)",
-                     make_paxos({.proposers = 2, .acceptors = 3, .learners = 1}));
-  cases.emplace_back("Echo Multicast (3,1,1,1)",
-                     make_echo_multicast({.honest_receivers = 3,
-                                          .honest_initiators = 1,
-                                          .byz_receivers = 1,
-                                          .byz_initiators = 1}));
-  cases.emplace_back(
-      "Regular storage (3,1)",
-      make_regular_storage({.bases = 3, .readers = 1, .writes = 2}));
-  cases.emplace_back(
-      "Regular storage (3,2)",
-      make_regular_storage({.bases = 3, .readers = 2, .writes = 2}));
-  return cases;
+struct Case {
+  std::string label;
+  std::string model;
+  check::RawParams params;
+};
+
+std::vector<Case> make_cases() {
+  return {
+      {"Paxos (2,3,1)", "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
+      {"Echo Multicast (3,1,1,1)", "echo",
+       {{"honest-receivers", "3"}, {"honest-initiators", "1"},
+        {"byz-receivers", "1"}, {"byz-initiators", "1"}}},
+      {"Regular storage (3,1)", "storage",
+       {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}}},
+      {"Regular storage (3,2)", "storage",
+       {{"bases", "3"}, {"readers", "2"}, {"writes", "2"}}},
+  };
 }
 
-std::string run_cell(const Protocol& proto, const SporOptions& opts,
-                     const ExploreConfig& budget) {
-  SporStrategy strategy(proto, opts);
-  ExploreConfig cfg = budget;
-  return harness::format_cell(explore(proto, cfg, &strategy));
+std::string run_cell(const Case& c, const std::string& strategy,
+                     const SporOptions& opts, const ExploreConfig& budget) {
+  check::CheckRequest req;
+  req.model = c.model;
+  req.params = c.params;
+  req.strategy = strategy;
+  req.spor = opts;
+  req.explore = budget;
+  return harness::format_cell(check::run_check(std::move(req)).result);
 }
 
 }  // namespace
@@ -58,7 +64,7 @@ int main() {
     harness::Table table({"Protocol", "opposite-transaction (paper)",
                           "transaction [5]", "first-enabled",
                           "seed-retry (default)", "best-seed (exhaustive)"});
-    for (auto& [label, proto] : make_cases()) {
+    for (const Case& c : make_cases()) {
       SporOptions opposite, transaction, first, retry, exhaustive;
       opposite.seed_retry = false;
       transaction.seed_retry = false;
@@ -66,11 +72,11 @@ int main() {
       first.seed_retry = false;
       first.seed = SeedHeuristic::kFirst;
       exhaustive.exhaustive_seed = true;
-      table.add_row({label, run_cell(proto, opposite, budget),
-                     run_cell(proto, transaction, budget),
-                     run_cell(proto, first, budget),
-                     run_cell(proto, retry, budget),
-                     run_cell(proto, exhaustive, budget)});
+      table.add_row({c.label, run_cell(c, "spor", opposite, budget),
+                     run_cell(c, "spor", transaction, budget),
+                     run_cell(c, "spor", first, budget),
+                     run_cell(c, "spor", retry, budget),
+                     run_cell(c, "spor", exhaustive, budget)});
     }
     table.print(std::cout);
   }
@@ -78,13 +84,12 @@ int main() {
   std::cout << "\nNES selection: LPOR-NET (state-dependent) vs plain LPOR\n\n";
   {
     harness::Table table({"Protocol", "LPOR-NET", "plain LPOR", "unreduced"});
-    for (auto& [label, proto] : make_cases()) {
+    for (const Case& c : make_cases()) {
       SporOptions net, plain;
       plain.state_dependent_nes = false;
-      ExploreConfig cfg = budget;
-      const ExploreResult full = explore(proto, cfg, nullptr);
-      table.add_row({label, run_cell(proto, net, budget),
-                     run_cell(proto, plain, budget), harness::format_cell(full)});
+      table.add_row({c.label, run_cell(c, "spor", net, budget),
+                     run_cell(c, "spor", plain, budget),
+                     run_cell(c, "full", {}, budget)});
     }
     table.print(std::cout);
   }

@@ -9,31 +9,44 @@
 // their ratio.
 #include <iostream>
 
-#include "core/explorer.hpp"
+#include "check/check.hpp"
 #include "harness/table.hpp"
-#include "protocols/collector/collector.hpp"
 
 namespace {
 
 using namespace mpb;
-using protocols::CollectorConfig;
-using protocols::make_collector;
 
-std::uint64_t states_of(const CollectorConfig& cfg) {
-  ExploreConfig ec;
-  ec.max_states = 20'000'000;
-  ec.max_seconds = 120;
-  return explore(make_collector(cfg), ec).stats.states_stored;
+// Collector parameters: n senders, quorum l, k noise processes, and the
+// single-message vs quorum flavour — all resolved through the model registry.
+check::RawParams collector_params(unsigned senders, unsigned quorum,
+                                  unsigned noise, bool quorum_model) {
+  check::RawParams p{{"senders", std::to_string(senders)},
+                     {"quorum", std::to_string(quorum)},
+                     {"noise", std::to_string(noise)}};
+  if (!quorum_model) p["single-message"] = "true";
+  return p;
+}
+
+std::uint64_t states_of(check::RawParams params) {
+  check::CheckRequest req;
+  req.model = "collector";
+  req.params = std::move(params);
+  req.strategy = "full";
+  req.explore.max_states = 20'000'000;
+  req.explore.max_seconds = 120;
+  return check::run_check(std::move(req)).stats().states_stored;
 }
 
 // Path prefixes walked by a stateless unreduced search — a proxy for the
 // number of interleavings, where the paper's factorial bound lives.
-std::uint64_t stateless_visits_of(const CollectorConfig& cfg) {
-  ExploreConfig ec;
-  ec.mode = SearchMode::kStateless;
-  ec.max_states = 50'000'000;
-  ec.max_seconds = 120;
-  return explore(make_collector(cfg), ec).stats.states_visited;
+std::uint64_t stateless_visits_of(check::RawParams params) {
+  check::CheckRequest req;
+  req.model = "collector";
+  req.params = std::move(params);
+  req.strategy = "stateless";
+  req.explore.max_states = 50'000'000;
+  req.explore.max_seconds = 120;
+  return check::run_check(std::move(req)).stats().states_visited;
 }
 
 }  // namespace
@@ -47,11 +60,8 @@ int main() {
         {"n senders", "quorum l", "States (quorum)", "States (1-msg)", "Ratio"});
     for (unsigned n = 2; n <= 7; ++n) {
       const unsigned l = n / 2 + 1;  // majority, the common protocol choice
-      CollectorConfig q{.senders = n, .quorum = l, .quorum_model = true};
-      CollectorConfig sm = q;
-      sm.quorum_model = false;
-      const auto sq = states_of(q);
-      const auto ss = states_of(sm);
+      const auto sq = states_of(collector_params(n, l, 0, true));
+      const auto ss = states_of(collector_params(n, l, 0, false));
       char ratio[32];
       std::snprintf(ratio, sizeof ratio, "%.2fx", double(ss) / double(sq));
       table.add_row({std::to_string(n), std::to_string(l), std::to_string(sq),
@@ -65,11 +75,8 @@ int main() {
     harness::Table table(
         {"quorum l (n=6)", "States (quorum)", "States (1-msg)", "Ratio"});
     for (unsigned l = 1; l <= 6; ++l) {
-      CollectorConfig q{.senders = 6, .quorum = l, .quorum_model = true};
-      CollectorConfig sm = q;
-      sm.quorum_model = false;
-      const auto sq = states_of(q);
-      const auto ss = states_of(sm);
+      const auto sq = states_of(collector_params(6, l, 0, true));
+      const auto ss = states_of(collector_params(6, l, 0, false));
       char ratio[32];
       std::snprintf(ratio, sizeof ratio, "%.2fx", double(ss) / double(sq));
       table.add_row({std::to_string(l), std::to_string(sq), std::to_string(ss), ratio});
@@ -85,11 +92,8 @@ int main() {
     harness::Table table({"noise k (n=3,l=3)", "Interleavings (quorum)",
                           "Interleavings (1-msg)", "Ratio"});
     for (unsigned k = 0; k <= 3; ++k) {
-      CollectorConfig q{.senders = 3, .quorum = 3, .quorum_model = true, .noise = k};
-      CollectorConfig sm = q;
-      sm.quorum_model = false;
-      const auto sq = stateless_visits_of(q);
-      const auto ss = stateless_visits_of(sm);
+      const auto sq = stateless_visits_of(collector_params(3, 3, k, true));
+      const auto ss = stateless_visits_of(collector_params(3, 3, k, false));
       char ratio[32];
       std::snprintf(ratio, sizeof ratio, "%.2fx", double(ss) / double(sq));
       table.add_row({std::to_string(k), std::to_string(sq), std::to_string(ss), ratio});

@@ -4,63 +4,50 @@
 // companion work [7]).
 //
 // For every quorum-model protocol setting: unreduced / SPOR only / symmetry
-// only / SPOR + symmetry, states and time per cell.
+// only / SPOR + symmetry, states and time per cell. Symmetry is the check
+// facade's `symmetry` knob: the registry models carry their symmetric roles,
+// so this bench never touches SymmetryReducer directly.
 #include <iostream>
+#include <utility>
+#include <vector>
 
+#include "check/check.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
-#include "por/spor.hpp"
-#include "por/symmetry.hpp"
-#include "protocols/echo/echo.hpp"
-#include "protocols/paxos/paxos.hpp"
-#include "protocols/storage/storage.hpp"
 
 namespace {
 
 using namespace mpb;
-using namespace mpb::protocols;
 
 struct Row {
   std::string label;
-  Protocol proto;
-  std::vector<std::vector<ProcessId>> roles;
+  std::string model;
+  check::RawParams params;
 };
 
 std::vector<Row> make_rows() {
-  std::vector<Row> rows;
-  {
-    PaxosConfig c{.proposers = 2, .acceptors = 3, .learners = 1};
-    rows.push_back({"Paxos (2,3,1)", make_paxos(c), paxos_symmetric_roles(c)});
-  }
-  {
-    PaxosConfig c{.proposers = 1, .acceptors = 5, .learners = 1};
-    rows.push_back({"Paxos (1,5,1)", make_paxos(c), paxos_symmetric_roles(c)});
-  }
-  {
-    StorageConfig c{.bases = 3, .readers = 2, .writes = 2};
-    rows.push_back(
-        {"Regular storage (3,2)", make_regular_storage(c), storage_symmetric_roles(c)});
-  }
-  {
-    EchoConfig c{.honest_receivers = 3, .honest_initiators = 1,
-                 .byz_receivers = 0, .byz_initiators = 0};
-    rows.push_back(
-        {"Echo Multicast (3,1,0,0)", make_echo_multicast(c), echo_symmetric_roles(c)});
-  }
-  return rows;
+  return {
+      {"Paxos (2,3,1)", "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
+      {"Paxos (1,5,1)", "paxos",
+       {{"proposers", "1"}, {"acceptors", "5"}, {"learners", "1"}}},
+      {"Regular storage (3,2)", "storage",
+       {{"bases", "3"}, {"readers", "2"}, {"writes", "2"}}},
+      {"Echo Multicast (3,1,0,0)", "echo",
+       {{"honest-receivers", "3"}, {"honest-initiators", "1"},
+        {"byz-receivers", "0"}, {"byz-initiators", "0"}}},
+  };
 }
 
-std::string cell(const Protocol& proto, const ExploreConfig& budget,
-                 bool spor, const SymmetryReducer* sym) {
-  ExploreConfig cfg = budget;
-  if (sym != nullptr) {
-    cfg.canonicalize = [sym](const State& s) { return sym->canonicalize(s); };
-  }
-  if (spor) {
-    SporStrategy strategy(proto);
-    return harness::format_cell(explore(proto, cfg, &strategy));
-  }
-  return harness::format_cell(explore(proto, cfg, nullptr));
+check::CheckResult run_cell(const Row& row, bool spor, bool symmetry,
+                            const ExploreConfig& budget) {
+  check::CheckRequest req;
+  req.model = row.model;
+  req.params = row.params;
+  req.strategy = spor ? "spor" : "full";
+  req.symmetry = symmetry;
+  req.explore = budget;
+  return check::run_check(std::move(req));
 }
 
 }  // namespace
@@ -71,14 +58,17 @@ int main() {
   std::cout << "Symmetry x POR combination (cf. paper Section VI and [7])\n\n";
   harness::Table table({"Protocol", "Orbit bound", "Unreduced", "SPOR",
                         "Symmetry", "SPOR + Symmetry"});
-  for (Row& row : make_rows()) {
-    SymmetryReducer sym(row.proto, row.roles);
+  for (const Row& row : make_rows()) {
     std::cerr << "running " << row.label << " ...\n";
-    table.add_row({row.label, std::to_string(sym.orbit_bound()),
-                   cell(row.proto, budget, false, nullptr),
-                   cell(row.proto, budget, true, nullptr),
-                   cell(row.proto, budget, false, &sym),
-                   cell(row.proto, budget, true, &sym)});
+    const check::CheckResult unreduced = run_cell(row, false, false, budget);
+    const check::CheckResult spor = run_cell(row, true, false, budget);
+    const check::CheckResult sym = run_cell(row, false, true, budget);
+    const check::CheckResult both = run_cell(row, true, true, budget);
+    table.add_row({row.label, std::to_string(sym.symmetry_orbit_bound),
+                   harness::format_cell(unreduced.result),
+                   harness::format_cell(spor.result),
+                   harness::format_cell(sym.result),
+                   harness::format_cell(both.result)});
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: symmetry divides state counts by up to the\n"

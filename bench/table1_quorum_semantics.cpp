@@ -5,95 +5,69 @@
 //   (2) the single-message model under stateful SPOR,
 //   (3) the quorum model under stateful SPOR            [the paper's point],
 // and print result / states / time per cell, exactly the quantities the
-// paper's Table I reports. For the regular-storage rows the DPOR column falls
-// back to an unreduced stateful search, mirroring the paper's footnote 3
-// (the DPOR implementation does not preserve that property).
+// paper's Table I reports. Every cell is a check-facade request: the models
+// are named registry entries, never #include-d. For the regular-storage rows
+// the DPOR column falls back to an unreduced stateful search, mirroring the
+// paper's footnote 3 (the DPOR implementation does not preserve that
+// property).
 //
 // Budgets: MPB_BUDGET_STATES (default 3,000,000) and MPB_BUDGET_SECONDS
 // (default 120) per cell; cells that exceed them print ">N (budget)" the way
 // the paper prints ">16,087,468 / >48h".
 #include <iostream>
+#include <vector>
 
+#include "check/check.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
-#include "protocols/echo/echo.hpp"
-#include "protocols/paxos/paxos.hpp"
-#include "protocols/storage/storage.hpp"
 
 namespace {
 
 using namespace mpb;
-using namespace mpb::protocols;
-using harness::RunSpec;
-using harness::Strategy;
 
 struct Row {
   std::string protocol;
   std::string property;
-  Protocol single_msg;
-  Protocol quorum;
-  bool dpor_supported;  // false: storage rows use unreduced stateful search
+  std::string model;        // registry name
+  check::RawParams params;  // quorum-model parameters
+  bool dpor_supported;      // false: storage rows use unreduced stateful search
 };
 
 std::vector<Row> make_rows() {
-  std::vector<Row> rows;
-  auto paxos = [](bool faulty) {
-    PaxosConfig cfg{.proposers = 2, .acceptors = 3, .learners = 1,
-                    .faulty_learner = faulty};
-    PaxosConfig sm = cfg;
-    sm.quorum_model = false;
-    return std::pair{make_paxos(sm), make_paxos(cfg)};
+  return {
+      {"Paxos (2,3,1)", "Consensus", "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}, true},
+      {"Faulty Paxos (2,3,1)", "Consensus", "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"},
+        {"faulty", "true"}}, true},
+      {"Echo Multicast (3,0,1,1)", "Agreement", "echo",
+       {{"honest-receivers", "3"}, {"honest-initiators", "0"},
+        {"byz-receivers", "1"}, {"byz-initiators", "1"}}, true},
+      {"Echo Multicast (2,1,0,1)", "Agreement", "echo",
+       {{"honest-receivers", "2"}, {"honest-initiators", "1"},
+        {"byz-receivers", "0"}, {"byz-initiators", "1"}}, true},
+      {"Echo Multicast (2,1,2,1)", "Wrong agreement", "echo",
+       {{"honest-receivers", "2"}, {"honest-initiators", "1"},
+        {"byz-receivers", "2"}, {"byz-initiators", "1"},
+        {"tolerance", "1"}}, true},
+      {"Regular storage (3,1)", "Regularity", "storage",
+       {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}}, false},
+      {"Regular storage (3,2)", "Wrong regularity", "storage",
+       {{"bases", "3"}, {"readers", "2"}, {"writes", "2"},
+        {"wrong-regularity", "true"}}, false},
   };
-  auto echo = [](EchoConfig cfg) {
-    EchoConfig sm = cfg;
-    sm.quorum_model = false;
-    return std::pair{make_echo_multicast(sm), make_echo_multicast(cfg)};
-  };
-  auto storage = [](StorageConfig cfg) {
-    StorageConfig sm = cfg;
-    sm.quorum_model = false;
-    return std::pair{make_regular_storage(sm), make_regular_storage(cfg)};
-  };
+}
 
-  {
-    auto [sm, q] = paxos(false);
-    rows.push_back({"Paxos (2,3,1)", "Consensus", std::move(sm), std::move(q), true});
-  }
-  {
-    auto [sm, q] = paxos(true);
-    rows.push_back(
-        {"Faulty Paxos (2,3,1)", "Consensus", std::move(sm), std::move(q), true});
-  }
-  {
-    auto [sm, q] = echo({.honest_receivers = 3, .honest_initiators = 0,
-                         .byz_receivers = 1, .byz_initiators = 1});
-    rows.push_back(
-        {"Echo Multicast (3,0,1,1)", "Agreement", std::move(sm), std::move(q), true});
-  }
-  {
-    auto [sm, q] = echo({.honest_receivers = 2, .honest_initiators = 1,
-                         .byz_receivers = 0, .byz_initiators = 1});
-    rows.push_back(
-        {"Echo Multicast (2,1,0,1)", "Agreement", std::move(sm), std::move(q), true});
-  }
-  {
-    auto [sm, q] = echo({.honest_receivers = 2, .honest_initiators = 1,
-                         .byz_receivers = 2, .byz_initiators = 1, .tolerance = 1});
-    rows.push_back({"Echo Multicast (2,1,2,1)", "Wrong agreement", std::move(sm),
-                    std::move(q), true});
-  }
-  {
-    auto [sm, q] = storage({.bases = 3, .readers = 1, .writes = 2});
-    rows.push_back(
-        {"Regular storage (3,1)", "Regularity", std::move(sm), std::move(q), false});
-  }
-  {
-    auto [sm, q] = storage({.bases = 3, .readers = 2, .writes = 2,
-                            .wrong_regularity = true});
-    rows.push_back({"Regular storage (3,2)", "Wrong regularity", std::move(sm),
-                    std::move(q), false});
-  }
-  return rows;
+check::CheckResult run_cell(const Row& row, bool single_message,
+                            const std::string& strategy,
+                            const ExploreConfig& budget) {
+  check::CheckRequest req;
+  req.model = row.model;
+  req.params = row.params;
+  if (single_message) req.params["single-message"] = "true";
+  req.strategy = strategy;
+  req.explore = budget;
+  return check::run_check(std::move(req));
 }
 
 }  // namespace
@@ -109,27 +83,20 @@ int main() {
             << "budget per cell: " << harness::format_count(budget.max_states)
             << " states / " << budget.max_seconds << "s\n\n";
 
-  for (Row& row : make_rows()) {
-    RunSpec dpor_spec;
-    dpor_spec.strategy =
-        row.dpor_supported ? Strategy::kDpor : Strategy::kUnreducedStateful;
-    dpor_spec.explore = budget;
-
-    RunSpec spor_spec;
-    spor_spec.strategy = Strategy::kSpor;
-    spor_spec.explore = budget;
-
+  for (const Row& row : make_rows()) {
     std::cerr << "running " << row.protocol << " ...\n";
-    const ExploreResult r_dpor = harness::run(row.single_msg, dpor_spec);
-    const ExploreResult r_spor_sm = harness::run(row.single_msg, spor_spec);
-    const ExploreResult r_spor_q = harness::run(row.quorum, spor_spec);
+    const check::CheckResult r_dpor =
+        run_cell(row, true, row.dpor_supported ? "dpor" : "full", budget);
+    const check::CheckResult r_spor_sm = run_cell(row, true, "spor", budget);
+    const check::CheckResult r_spor_q = run_cell(row, false, "spor", budget);
 
-    std::string verdict{to_string(r_spor_q.verdict)};
-    std::string dpor_cell = harness::format_cell(r_dpor);
+    std::string verdict{to_string(r_spor_q.verdict())};
+    std::string dpor_cell = harness::format_cell(r_dpor.result);
     if (!row.dpor_supported) dpor_cell += " [unreduced: footnote 3]";
 
     table.add_row({row.protocol, row.property, verdict, dpor_cell,
-                   harness::format_cell(r_spor_sm), harness::format_cell(r_spor_q)});
+                   harness::format_cell(r_spor_sm.result),
+                   harness::format_cell(r_spor_q.result)});
   }
 
   table.print(std::cout);

@@ -2,64 +2,64 @@
 //
 // Every protocol is modelled with quorum transitions and searched with the
 // stateful SPOR strategy in four variants: unsplit, reply-split, quorum-split
-// and combined-split (all splits generated automatically by src/refine —
-// the paper built these models by hand). Cells print result / states / time.
+// and combined-split — the splits are the check facade's `split` knob (all
+// generated automatically by src/refine; the paper built these models by
+// hand). Cells print result / states / time.
 #include <iostream>
+#include <vector>
 
+#include "check/check.hpp"
 #include "harness/runner.hpp"
 #include "harness/table.hpp"
-#include "protocols/echo/echo.hpp"
-#include "protocols/paxos/paxos.hpp"
-#include "protocols/storage/storage.hpp"
-#include "refine/refine.hpp"
 
 namespace {
 
 using namespace mpb;
-using namespace mpb::protocols;
-using harness::RunSpec;
-using harness::Strategy;
 
 struct Row {
   std::string protocol;
   std::string property;
-  Protocol quorum;
+  std::string model;
+  check::RawParams params;
 };
 
 std::vector<Row> make_rows() {
-  std::vector<Row> rows;
-  rows.push_back({"Paxos (2,3,1)", "Consensus",
-                  make_paxos({.proposers = 2, .acceptors = 3, .learners = 1})});
-  rows.push_back({"Faulty Paxos (2,3,1)", "Consensus",
-                  make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
-                              .faulty_learner = true})});
-  rows.push_back({"Echo Multicast (3,0,1,1)", "Agreement",
-                  make_echo_multicast({.honest_receivers = 3,
-                                       .honest_initiators = 0,
-                                       .byz_receivers = 1,
-                                       .byz_initiators = 1})});
-  rows.push_back({"Echo Multicast (2,1,0,1)", "Agreement",
-                  make_echo_multicast({.honest_receivers = 2,
-                                       .honest_initiators = 1,
-                                       .byz_receivers = 0,
-                                       .byz_initiators = 1})});
-  rows.push_back({"Echo Multicast (3,1,1,1)", "Agreement",
-                  make_echo_multicast({.honest_receivers = 3,
-                                       .honest_initiators = 1,
-                                       .byz_receivers = 1,
-                                       .byz_initiators = 1})});
-  rows.push_back({"Echo Multicast (2,1,2,1)", "Wrong agreement",
-                  make_echo_multicast({.honest_receivers = 2,
-                                       .honest_initiators = 1,
-                                       .byz_receivers = 2,
-                                       .byz_initiators = 1,
-                                       .tolerance = 1})});
-  rows.push_back({"Regular storage (3,1)", "Regularity",
-                  make_regular_storage({.bases = 3, .readers = 1, .writes = 2})});
-  rows.push_back({"Regular storage (3,2)", "Wrong regularity",
-                  make_regular_storage({.bases = 3, .readers = 2, .writes = 2,
-                                        .wrong_regularity = true})});
-  return rows;
+  return {
+      {"Paxos (2,3,1)", "Consensus", "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
+      {"Faulty Paxos (2,3,1)", "Consensus", "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"},
+        {"faulty", "true"}}},
+      {"Echo Multicast (3,0,1,1)", "Agreement", "echo",
+       {{"honest-receivers", "3"}, {"honest-initiators", "0"},
+        {"byz-receivers", "1"}, {"byz-initiators", "1"}}},
+      {"Echo Multicast (2,1,0,1)", "Agreement", "echo",
+       {{"honest-receivers", "2"}, {"honest-initiators", "1"},
+        {"byz-receivers", "0"}, {"byz-initiators", "1"}}},
+      {"Echo Multicast (3,1,1,1)", "Agreement", "echo",
+       {{"honest-receivers", "3"}, {"honest-initiators", "1"},
+        {"byz-receivers", "1"}, {"byz-initiators", "1"}}},
+      {"Echo Multicast (2,1,2,1)", "Wrong agreement", "echo",
+       {{"honest-receivers", "2"}, {"honest-initiators", "1"},
+        {"byz-receivers", "2"}, {"byz-initiators", "1"},
+        {"tolerance", "1"}}},
+      {"Regular storage (3,1)", "Regularity", "storage",
+       {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}}},
+      {"Regular storage (3,2)", "Wrong regularity", "storage",
+       {{"bases", "3"}, {"readers", "2"}, {"writes", "2"},
+        {"wrong-regularity", "true"}}},
+  };
+}
+
+std::string cell(const Row& row, const std::string& split,
+                 const ExploreConfig& budget) {
+  check::CheckRequest req;
+  req.model = row.model;
+  req.params = row.params;
+  req.strategy = "spor";
+  req.split = split;
+  req.explore = budget;
+  return harness::format_cell(check::run_check(std::move(req)).result);
 }
 
 }  // namespace
@@ -74,22 +74,20 @@ int main() {
             << "budget per cell: " << harness::format_count(budget.max_states)
             << " states / " << budget.max_seconds << "s\n\n";
 
-  for (Row& row : make_rows()) {
-    RunSpec spec;
-    spec.strategy = Strategy::kSpor;
-    spec.explore = budget;
-
+  for (const Row& row : make_rows()) {
     std::cerr << "running " << row.protocol << " ...\n";
-    const ExploreResult unsplit = harness::run(row.quorum, spec);
-    const ExploreResult rsplit = harness::run(refine::reply_split(row.quorum), spec);
-    const ExploreResult qsplit = harness::run(refine::quorum_split(row.quorum), spec);
-    const ExploreResult csplit =
-        harness::run(refine::combined_split(row.quorum), spec);
+    check::CheckRequest unsplit_req;
+    unsplit_req.model = row.model;
+    unsplit_req.params = row.params;
+    unsplit_req.strategy = "spor";
+    unsplit_req.explore = budget;
+    const check::CheckResult unsplit = check::run_check(std::move(unsplit_req));
 
     table.add_row({row.protocol, row.property,
-                   std::string{to_string(unsplit.verdict)},
-                   harness::format_cell(unsplit), harness::format_cell(rsplit),
-                   harness::format_cell(qsplit), harness::format_cell(csplit)});
+                   std::string{to_string(unsplit.verdict())},
+                   harness::format_cell(unsplit.result),
+                   cell(row, "reply", budget), cell(row, "quorum", budget),
+                   cell(row, "combined", budget)});
   }
 
   table.print(std::cout);

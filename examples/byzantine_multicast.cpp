@@ -2,51 +2,73 @@
 // colluding double-echoing receiver try to make honest receivers accept
 // different values.
 //
-// The example runs two deployments of the same attack:
+// The example runs two deployments of the same attack through the check
+// facade (the model is resolved by name from the registry):
 //  1. correctly provisioned (threshold sized for the real number of
 //     Byzantine receivers)  -> agreement verified;
 //  2. under-provisioned (the paper's "wrong agreement" setting: tolerance
 //     below the actual faults) -> counterexample, printed as a step-by-step
 //     attack trace.
 #include <iostream>
+#include <string>
 
+#include "check/check.hpp"
 #include "core/trace.hpp"
 #include "harness/runner.hpp"
 #include "protocols/echo/echo.hpp"
 
 using namespace mpb;
-using protocols::EchoConfig;
-using protocols::make_echo_multicast;
 
 namespace {
 
-void run_case(const EchoConfig& cfg, bool expect_attack_succeeds) {
-  Protocol proto = make_echo_multicast(cfg);
-  std::cout << "=== " << proto.name() << " ===\n"
+// Same fault load in both cases; only the provisioned tolerance differs.
+constexpr unsigned kHonestReceivers = 2;
+constexpr unsigned kByzReceivers = 2;
+
+void run_case(int tolerance, bool expect_attack_succeeds) {
+  // The checking itself goes through the registry; the config struct is used
+  // only as the single source of truth for the derived threshold we print.
+  const protocols::EchoConfig cfg{.honest_receivers = kHonestReceivers,
+                                  .honest_initiators = 1,
+                                  .byz_receivers = kByzReceivers,
+                                  .byz_initiators = 1,
+                                  .tolerance = tolerance};
+
+  check::CheckRequest req;
+  req.model = "echo";
+  req.params = {{"honest-receivers", std::to_string(cfg.honest_receivers)},
+                {"honest-initiators", std::to_string(cfg.honest_initiators)},
+                {"byz-receivers", std::to_string(cfg.byz_receivers)},
+                {"byz-initiators", std::to_string(cfg.byz_initiators)},
+                {"tolerance", std::to_string(cfg.tolerance)}};
+  req.strategy = "spor";
+  req.explore = harness::budget_from_env();
+
+  check::Checker checker(std::move(req));
+  std::cout << "=== " << checker.protocol().name() << " ===\n"
             << "receivers: " << cfg.n_receivers() << " (" << cfg.byz_receivers
             << " Byzantine), echo threshold: " << cfg.threshold()
             << " (sized for t=" << cfg.effective_tolerance() << ")\n";
 
-  harness::RunSpec spec;
-  spec.strategy = harness::Strategy::kSpor;
-  spec.explore = harness::budget_from_env();
-  const ExploreResult r = harness::run(proto, spec);
+  const check::CheckResult r = checker.run();
 
-  std::cout << "verdict: " << to_string(r.verdict) << "  states "
-            << harness::format_count(r.stats.states_stored) << "  time "
-            << harness::format_time(r.stats.seconds) << "\n";
+  std::cout << "verdict: " << to_string(r.verdict()) << "  states "
+            << harness::format_count(r.stats().states_stored) << "  time "
+            << harness::format_time(r.stats().seconds) << "\n";
 
-  if (r.verdict == Verdict::kViolated) {
+  if (r.verdict() == Verdict::kViolated) {
     std::cout << "\nThe equivocation attack succeeded; trace:\n\n";
-    print_counterexample(std::cout, proto, r);
+    print_counterexample(std::cout, r.protocol, r.result);
     std::cout << "replay check: "
-              << (replay_counterexample(proto, r) ? "valid" : "INVALID") << "\n";
+              << (replay_counterexample(r.protocol, r.result) ? "valid"
+                                                              : "INVALID")
+              << "\n";
   }
   std::cout << (expect_attack_succeeds
-                    ? (r.verdict == Verdict::kViolated
+                    ? (r.verdict() == Verdict::kViolated
                            ? "[as expected: the threshold is too low]\n\n"
                            : "[UNEXPECTED: attack should have succeeded]\n\n")
-                    : (r.verdict == Verdict::kHolds
+                    : (r.verdict() == Verdict::kHolds
                            ? "[as expected: quorum intersection defeats the attack]\n\n"
                            : "[UNEXPECTED: agreement should hold]\n\n"));
 }
@@ -56,14 +78,8 @@ void run_case(const EchoConfig& cfg, bool expect_attack_succeeds) {
 int main() {
   std::cout << "Echo Multicast (Reiter '94) under an equivocation attack\n\n";
 
-  // Same fault load (2 honest receivers, 2 Byzantine receivers, 1 Byzantine
-  // initiator, 1 honest initiator) — only the threshold differs.
-  EchoConfig correct{.honest_receivers = 2, .honest_initiators = 1,
-                     .byz_receivers = 2, .byz_initiators = 1};
-  EchoConfig wrong = correct;
-  wrong.tolerance = 1;  // provisioned for one Byzantine receiver; there are two
-
-  run_case(correct, /*expect_attack_succeeds=*/false);
-  run_case(wrong, /*expect_attack_succeeds=*/true);
+  run_case(/*tolerance=*/-1, /*expect_attack_succeeds=*/false);
+  // Provisioned for one Byzantine receiver; there are two.
+  run_case(/*tolerance=*/1, /*expect_attack_succeeds=*/true);
   return 0;
 }

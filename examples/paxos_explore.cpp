@@ -1,5 +1,6 @@
 // Model check single-decree Paxos in every flavour the paper evaluates:
-// quorum vs single-message model, unsplit vs refined, correct vs faulty.
+// quorum vs single-message model, unsplit vs refined, correct vs faulty —
+// entirely through the check facade: the model is named, not #include-d.
 //
 // Usage: paxos_explore [P A L] [--single-message] [--faulty] [--split MODE]
 //                      [--strategy S]
@@ -8,100 +9,86 @@
 //   --faulty          inject the paper's learner bug ("Faulty Paxos")
 //   --split MODE      none | reply | quorum | combined   (default none)
 //   --strategy S      full | spor | dpor                 (default spor)
-#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "check/check.hpp"
 #include "core/trace.hpp"
 #include "harness/runner.hpp"
-#include "protocols/paxos/paxos.hpp"
-#include "refine/refine.hpp"
 
 using namespace mpb;
-using protocols::make_paxos;
-using protocols::PaxosConfig;
 
 int main(int argc, char** argv) {
-  PaxosConfig cfg{.proposers = 1, .acceptors = 3, .learners = 1};
-  std::string split = "none";
-  std::string strategy = "spor";
+  check::CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"proposers", "1"}, {"acceptors", "3"}, {"learners", "1"}};
+  req.explore = harness::budget_from_env();
 
+  bool single_message = false;
+  unsigned acceptors = 3;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--single-message") {
-      cfg.quorum_model = false;
+      single_message = true;
+      req.params["single-message"] = "true";
     } else if (arg == "--faulty") {
-      cfg.faulty_learner = true;
+      req.params["faulty"] = "true";
     } else if (arg == "--split" && i + 1 < argc) {
-      split = argv[++i];
+      req.split = argv[++i];
     } else if (arg == "--strategy" && i + 1 < argc) {
-      strategy = argv[++i];
+      req.strategy = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
-      const unsigned v = static_cast<unsigned>(std::stoul(arg));
-      if (positional == 0) cfg.proposers = v;
-      if (positional == 1) cfg.acceptors = v;
-      if (positional == 2) cfg.learners = v;
+      if (positional == 0) req.params["proposers"] = arg;
+      if (positional == 1) {
+        req.params["acceptors"] = arg;
+        acceptors = static_cast<unsigned>(std::stoul(arg));
+      }
+      if (positional == 2) req.params["learners"] = arg;
       ++positional;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
     }
   }
-
-  Protocol proto = make_paxos(cfg);
-  if (split == "reply") {
-    proto = refine::reply_split(proto);
-  } else if (split == "quorum") {
-    proto = refine::quorum_split(proto);
-  } else if (split == "combined") {
-    proto = refine::combined_split(proto);
-  } else if (split != "none") {
-    std::cerr << "unknown split mode: " << split << "\n";
-    return 2;
+  if (req.strategy == "dpor" && !single_message) {
+    std::cerr << "note: the paper pairs DPOR with single-message models; "
+                 "pass --single-message for a faithful run\n";
   }
 
-  harness::RunSpec spec;
-  if (strategy == "full") {
-    spec.strategy = harness::Strategy::kUnreducedStateful;
-  } else if (strategy == "spor") {
-    spec.strategy = harness::Strategy::kSpor;
-  } else if (strategy == "dpor") {
-    if (cfg.quorum_model) {
-      std::cerr << "note: the paper pairs DPOR with single-message models; "
-                   "pass --single-message for a faithful run\n";
-    }
-    spec.strategy = harness::Strategy::kDpor;
-  } else {
-    std::cerr << "unknown strategy: " << strategy << "\n";
-    return 2;
-  }
-  spec.explore = harness::budget_from_env();
+  try {
+    check::Checker checker(std::move(req));
+    const Protocol& proto = checker.protocol();
+    std::cout << "Model: " << proto.name() << "  (" << proto.n_procs()
+              << " processes, " << proto.n_transitions()
+              << " transitions, quorum=" << acceptors / 2 + 1 << ")\n";
 
-  std::cout << "Model: " << proto.name() << "  (" << proto.n_procs()
-            << " processes, " << proto.n_transitions() << " transitions, quorum="
-            << cfg.majority() << ")\n";
-  std::cout << "Strategy: " << harness::to_string(spec.strategy) << "\n\n";
+    const check::CheckResult r = checker.run();
+    std::cout << "Strategy: " << r.strategy << "\n\n";
 
-  const ExploreResult r = harness::run(proto, spec);
-
-  std::cout << "Verdict:          " << to_string(r.verdict) << "\n"
-            << "States stored:    " << harness::format_count(r.stats.states_stored)
-            << "\n"
-            << "Events executed:  "
-            << harness::format_count(r.stats.events_executed) << "\n"
-            << "Terminal states:  "
-            << harness::format_count(r.stats.terminal_states) << "\n"
-            << "Max depth:        " << r.stats.max_depth_seen << "\n"
-            << "Time:             " << harness::format_time(r.stats.seconds) << "\n";
-
-  if (r.verdict == Verdict::kViolated) {
-    std::cout << "\nThe consensus property is violated; counterexample:\n\n";
-    print_counterexample(std::cout, proto, r);
-    std::cout << "\nReplay check: "
-              << (replay_counterexample(proto, r) ? "counterexample is valid"
-                                                  : "REPLAY FAILED (bug!)")
+    std::cout << "Verdict:          " << to_string(r.verdict()) << "\n"
+              << "States stored:    "
+              << harness::format_count(r.stats().states_stored) << "\n"
+              << "Events executed:  "
+              << harness::format_count(r.stats().events_executed) << "\n"
+              << "Terminal states:  "
+              << harness::format_count(r.stats().terminal_states) << "\n"
+              << "Max depth:        " << r.stats().max_depth_seen << "\n"
+              << "Time:             " << harness::format_time(r.stats().seconds)
               << "\n";
+
+    if (r.verdict() == Verdict::kViolated) {
+      std::cout << "\nThe consensus property is violated; counterexample:\n\n";
+      print_counterexample(std::cout, r.protocol, r.result);
+      std::cout << "\nReplay check: "
+                << (replay_counterexample(r.protocol, r.result)
+                        ? "counterexample is valid"
+                        : "REPLAY FAILED (bug!)")
+                << "\n";
+    }
+    return r.verdict() == Verdict::kViolated ? 1 : 0;
+  } catch (const check::CheckError& e) {
+    std::cerr << "paxos_explore: " << e.what() << "\n";
+    return 2;
   }
-  return r.verdict == Verdict::kViolated ? 1 : 0;
 }

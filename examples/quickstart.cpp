@@ -9,10 +9,9 @@
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/explorer.hpp"
+#include "check/check.hpp"
 #include "core/trace.hpp"
 #include "mp/builder.hpp"
-#include "por/spor.hpp"
 
 using namespace mpb;
 
@@ -92,24 +91,30 @@ int main() {
   std::cout << "Initial state:\n";
   print_state(std::cout, proto, proto.initial());
 
+  // The check facade runs a request end to end; a bespoke builder-made
+  // protocol plugs in through CheckRequest::protocol (registry models would
+  // use the (model, params) pair instead).
+  check::CheckRequest req;
+  req.protocol = proto;
+
   // 1. Plain exhaustive search.
-  ExploreResult full = explore_full(proto);
-  std::cout << "\nUnreduced search:  verdict=" << to_string(full.verdict)
-            << "  states=" << full.stats.states_stored
-            << "  events=" << full.stats.events_executed
-            << "  terminal=" << full.stats.terminal_states << "\n";
+  req.strategy = "full";
+  const check::CheckResult full = check::run_check(req);
+  std::cout << "\nUnreduced search:  verdict=" << to_string(full.verdict())
+            << "  states=" << full.stats().states_stored
+            << "  events=" << full.stats().events_executed
+            << "  terminal=" << full.stats().terminal_states << "\n";
 
   // 2. The same search under stubborn-set partial-order reduction.
-  SporStrategy spor(proto);
-  ExploreConfig cfg;
-  ExploreResult reduced = explore(proto, cfg, &spor);
-  std::cout << "SPOR search:       verdict=" << to_string(reduced.verdict)
-            << "  states=" << reduced.stats.states_stored
-            << "  events=" << reduced.stats.events_executed << "\n";
+  req.strategy = "spor";
+  const check::CheckResult reduced = check::run_check(req);
+  std::cout << "SPOR search:       verdict=" << to_string(reduced.verdict())
+            << "  states=" << reduced.stats().states_stored
+            << "  events=" << reduced.stats().events_executed << "\n";
 
   std::cout << "\nBoth verdicts agree and the property '"
             << proto.properties()[0].name << "' "
-            << (full.verdict == Verdict::kHolds ? "holds" : "is violated")
+            << (full.verdict() == Verdict::kHolds ? "holds" : "is violated")
             << " in every reachable state.\n";
-  return full.verdict == Verdict::kHolds ? 0 : 1;
+  return full.verdict() == Verdict::kHolds ? 0 : 1;
 }

@@ -1,50 +1,52 @@
 // Regular storage audit: check the ABD-style single-writer register against
 // (a) regularity — holds — and (b) the deliberately too-strong specification
 // from the paper ("a read concurrent with a write must already return it"),
-// which yields a counterexample showing the racy schedule.
+// which yields a counterexample showing the racy schedule. All runs go
+// through the check facade; the third case exercises its refinement splits.
 #include <iostream>
 
+#include "check/check.hpp"
 #include "core/trace.hpp"
 #include "harness/runner.hpp"
-#include "protocols/storage/storage.hpp"
-#include "refine/refine.hpp"
 
 using namespace mpb;
-using protocols::make_regular_storage;
-using protocols::StorageConfig;
+
+namespace {
+
+check::CheckRequest storage_request(bool wrong_regularity) {
+  check::CheckRequest req;
+  req.model = "storage";
+  req.params = {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}};
+  if (wrong_regularity) req.params["wrong-regularity"] = "true";
+  req.strategy = "spor";
+  req.explore = harness::budget_from_env();
+  return req;
+}
+
+}  // namespace
 
 int main() {
   std::cout << "Regular storage over 3 base objects (majority quorums)\n\n";
 
   {
-    StorageConfig cfg{.bases = 3, .readers = 1, .writes = 2};
-    Protocol proto = make_regular_storage(cfg);
-    harness::RunSpec spec;
-    spec.strategy = harness::Strategy::kSpor;
-    spec.explore = harness::budget_from_env();
-    const ExploreResult r = harness::run(proto, spec);
-    std::cout << "[1] regularity, setting " << cfg.setting() << ": "
-              << to_string(r.verdict) << "  ("
-              << harness::format_count(r.stats.states_stored) << " states, "
-              << harness::format_time(r.stats.seconds) << ")\n";
+    const check::CheckResult r = check::run_check(storage_request(false));
+    std::cout << "[1] regularity, setting (3,1): " << to_string(r.verdict())
+              << "  (" << harness::format_count(r.stats().states_stored)
+              << " states, " << harness::format_time(r.stats().seconds)
+              << ")\n";
   }
 
   {
-    StorageConfig cfg{.bases = 3, .readers = 1, .writes = 2,
-                      .wrong_regularity = true};
-    Protocol proto = make_regular_storage(cfg);
-    harness::RunSpec spec;
-    spec.strategy = harness::Strategy::kSpor;
-    spec.explore = harness::budget_from_env();
-    const ExploreResult r = harness::run(proto, spec);
-    std::cout << "[2] wrong regularity (too strong), setting " << cfg.setting()
-              << ": " << to_string(r.verdict) << "\n\n";
-    if (r.verdict == Verdict::kViolated) {
+    const check::CheckResult r = check::run_check(storage_request(true));
+    std::cout << "[2] wrong regularity (too strong), setting (3,1): "
+              << to_string(r.verdict()) << "\n\n";
+    if (r.verdict() == Verdict::kViolated) {
       std::cout << "The spec demands a concurrent write be visible before it\n"
                    "completes; the checker found this racy schedule:\n\n";
-      print_counterexample(std::cout, proto, r);
+      print_counterexample(std::cout, r.protocol, r.result);
       std::cout << "replay check: "
-                << (replay_counterexample(proto, r) ? "valid" : "INVALID")
+                << (replay_counterexample(r.protocol, r.result) ? "valid"
+                                                                : "INVALID")
                 << "\n\n";
     }
   }
@@ -53,17 +55,14 @@ int main() {
     // Bonus: the refinement machinery on the storage model — reply-split is
     // a no-op here (single effective reader per base, matching the paper's
     // observation for storage (3,1)) while quorum-split still helps.
-    StorageConfig cfg{.bases = 3, .readers = 1, .writes = 2};
-    Protocol proto = make_regular_storage(cfg);
-    Protocol split = refine::combined_split(proto);
-    harness::RunSpec spec;
-    spec.strategy = harness::Strategy::kSpor;
-    spec.explore = harness::budget_from_env();
-    const ExploreResult a = harness::run(proto, spec);
-    const ExploreResult b = harness::run(split, spec);
+    const check::CheckResult a = check::run_check(storage_request(false));
+    check::CheckRequest split_req = storage_request(false);
+    split_req.split = "combined";
+    const check::CheckResult b = check::run_check(std::move(split_req));
     std::cout << "[3] refinement on storage (3,1): unsplit "
-              << harness::format_count(a.stats.states_stored) << " states vs "
-              << "combined-split " << harness::format_count(b.stats.states_stored)
+              << harness::format_count(a.stats().states_stored) << " states vs "
+              << "combined-split "
+              << harness::format_count(b.stats().states_stored)
               << " states (reply-split alone is a no-op, as the paper notes "
                  "for this setting)\n";
   }

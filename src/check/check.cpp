@@ -1,0 +1,165 @@
+#include "check/check.hpp"
+
+#include <array>
+#include <sstream>
+#include <utility>
+
+#include "por/dpor.hpp"
+#include "refine/refine.hpp"
+
+namespace mpb::check {
+
+namespace {
+
+std::unique_ptr<ReductionStrategy> make_spor(const Protocol& proto,
+                                             const SporOptions& opts) {
+  return std::make_unique<SporStrategy>(proto, opts);
+}
+
+// "full" and the stateless strategies carry no factory: a null strategy is
+// what routes the stateful search onto the parallel worker pool.
+constexpr std::array<StrategyInfo, 4> kStrategies{{
+    {"full", "unreduced stateful search (parallelizable via --threads)",
+     /*stateful=*/true, /*reduced=*/false, nullptr},
+    {"spor", "stubborn-set static POR, stateful (the paper's MP-LPOR)",
+     /*stateful=*/true, /*reduced=*/true, &make_spor},
+    {"dpor", "Flanagan-Godefroid dynamic POR, stateless (Basset's baseline)",
+     /*stateful=*/false, /*reduced=*/true, nullptr},
+    {"stateless", "unreduced stateless search (every path walked)",
+     /*stateful=*/false, /*reduced=*/false, nullptr},
+}};
+
+}  // namespace
+
+std::span<const StrategyInfo> strategies() noexcept { return kStrategies; }
+
+const StrategyInfo& strategy_info(std::string_view name) {
+  for (const StrategyInfo& s : kStrategies) {
+    if (s.name == name) return s;
+  }
+  std::ostringstream os;
+  os << "unknown strategy '" << name << "'; known strategies:";
+  for (const StrategyInfo& s : kStrategies) os << " " << s.name;
+  throw CheckError(os.str());
+}
+
+std::optional<SeedHeuristic> seed_from_string(std::string_view name) noexcept {
+  if (name == "opposite") return SeedHeuristic::kOppositeTransaction;
+  if (name == "transaction") return SeedHeuristic::kTransaction;
+  if (name == "first") return SeedHeuristic::kFirst;
+  return std::nullopt;
+}
+
+std::optional<Split> split_from_string(std::string_view name) noexcept {
+  if (name == "none") return Split::kNone;
+  if (name == "reply") return Split::kReply;
+  if (name == "quorum") return Split::kQuorum;
+  if (name == "combined") return Split::kCombined;
+  return std::nullopt;
+}
+
+std::string_view to_string(Split s) noexcept {
+  switch (s) {
+    case Split::kNone: return "none";
+    case Split::kReply: return "reply";
+    case Split::kQuorum: return "quorum";
+    case Split::kCombined: return "combined";
+  }
+  return "?";
+}
+
+Protocol apply_split(const Protocol& proto, Split s) {
+  switch (s) {
+    case Split::kNone: return proto;
+    case Split::kReply: return refine::reply_split(proto);
+    case Split::kQuorum: return refine::quorum_split(proto);
+    case Split::kCombined: return refine::combined_split(proto);
+  }
+  return proto;
+}
+
+harness::BenchRecord to_record(const CheckResult& r, std::string workload) {
+  if (workload.empty()) workload = r.protocol.name();
+  return harness::make_record(std::move(workload), r.strategy, r.visited,
+                              r.result);
+}
+
+Checker::Checker(CheckRequest req) : req_(std::move(req)), proto_("unset") {
+  // --- names first: fail fast before the (possibly expensive) model build ---
+  strategy_ = &strategy_info(req_.strategy);
+  const auto split = split_from_string(req_.split);
+  if (!split) {
+    std::ostringstream os;
+    os << "unknown split '" << req_.split
+       << "'; known splits: none reply quorum combined";
+    throw CheckError(os.str());
+  }
+  split_ = *split;
+  if (req_.symmetry && split_ != Split::kNone) {
+    throw CheckError(
+        "symmetry with a refinement split is unsupported: split copies break "
+        "the structural symmetry of the roles");
+  }
+  if (req_.symmetry && !strategy_->stateful) {
+    throw CheckError(
+        "symmetry requires a stateful strategy (full or spor): the stateless "
+        "searches keep no visited set to canonicalize");
+  }
+
+  // --- model ---
+  std::vector<std::vector<ProcessId>> roles;
+  if (req_.protocol.has_value()) {
+    proto_ = *req_.protocol;
+    roles = req_.symmetric_roles;
+  } else {
+    Model m = ModelRegistry::global().build(req_.model, req_.params);
+    proto_ = std::move(m.protocol);
+    roles = std::move(m.symmetric_roles);
+  }
+  if (split_ != Split::kNone) proto_ = apply_split(proto_, split_);
+
+  if (req_.symmetry) {
+    sym_.emplace(proto_, std::move(roles));
+  }
+}
+
+std::uint64_t Checker::orbit_bound() const noexcept {
+  return sym_ ? sym_->orbit_bound() : 1;
+}
+
+CheckResult Checker::run() {
+  ExploreConfig cfg = req_.explore;
+  cfg.mode =
+      strategy_->stateful ? SearchMode::kStateful : SearchMode::kStateless;
+  if (sym_) {
+    cfg.canonicalize = [this](const State& s) { return sym_->canonicalize(s); };
+  }
+
+  ExploreResult r;
+  if (strategy_->stateful) {
+    r = explore(proto_, cfg,
+                strategy_->make ? strategy_->make(proto_, req_.spor) : nullptr);
+  } else {
+    r = explore_dpor(proto_, cfg, DporOptions{.reduce = strategy_->reduced});
+  }
+
+  CheckResult out;
+  out.result = std::move(r);
+  out.protocol = proto_;
+  out.model = req_.protocol.has_value() ? proto_.name() : req_.model;
+  out.strategy = req_.strategy;
+  out.split = std::string(to_string(split_));
+  out.visited = std::string(to_string(cfg.visited));
+  out.symmetry = req_.symmetry;
+  out.symmetry_orbit_bound = orbit_bound();
+  out.threads = out.result.stats.threads_used;
+
+  // Feed the process-global bench sink (flushed to $MPB_BENCH_JSON at exit),
+  // so every facade front end is a machine-readable emitter for free.
+  if (req_.record) harness::record_bench(to_record(out));
+  return out;
+}
+
+CheckResult run_check(CheckRequest req) { return Checker(std::move(req)).run(); }
+
+}  // namespace mpb::check

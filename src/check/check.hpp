@@ -1,0 +1,147 @@
+// The check facade: the one public entry point to the engine.
+//
+// A CheckRequest composes everything one verification run needs — a model
+// (by registry name + parameters, or a prebuilt Protocol), a search strategy
+// by name (with owned strategy factories behind it), a refinement split,
+// symmetry reduction, visited-set mode, thread count and budgets. Checker
+// resolves and validates the request once (throwing CheckError with a precise
+// message on any bad input) and run() executes the search, returning a
+// CheckResult that carries the ExploreResult plus the full run metadata and
+// serializes into the existing bench-JSON records.
+//
+// Front ends — mpbcheck, the examples, the bench binaries, harness::run —
+// all go through this facade; adding a protocol or a strategy touches the
+// registry, never the callers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "check/registry.hpp"
+#include "core/explorer.hpp"
+#include "harness/bench_json.hpp"
+#include "por/spor.hpp"
+#include "por/symmetry.hpp"
+
+namespace mpb::check {
+
+// --- strategies by name ----------------------------------------------------
+
+struct StrategyInfo {
+  std::string_view name;  // "full" | "spor" | "dpor" | "stateless"
+  std::string_view doc;
+  bool stateful;          // visited-set search; false = stateless DFS
+  bool reduced;           // applies a partial-order reduction
+  // Owned factory for the stateful strategies; nullptr `make` (or a returned
+  // nullptr) means full expansion. Stateless strategies dispatch to
+  // explore_dpor and ignore it.
+  std::unique_ptr<ReductionStrategy> (*make)(const Protocol&,
+                                             const SporOptions&);
+};
+
+[[nodiscard]] std::span<const StrategyInfo> strategies() noexcept;
+// Throws CheckError listing the known strategy names.
+[[nodiscard]] const StrategyInfo& strategy_info(std::string_view name);
+
+[[nodiscard]] std::optional<SeedHeuristic> seed_from_string(
+    std::string_view name) noexcept;
+
+// --- refinement splits by name ---------------------------------------------
+
+enum class Split { kNone, kReply, kQuorum, kCombined };
+
+[[nodiscard]] std::optional<Split> split_from_string(
+    std::string_view name) noexcept;
+[[nodiscard]] std::string_view to_string(Split s) noexcept;
+
+// Apply the split to a protocol (kNone returns a copy unchanged).
+[[nodiscard]] Protocol apply_split(const Protocol& proto, Split s);
+
+// --- the request / result pair ---------------------------------------------
+
+struct CheckRequest {
+  // Model selection: a registry (model, params) pair, or a prebuilt protocol
+  // (which takes precedence — for bespoke builder-made models).
+  std::string model;
+  RawParams params;
+  std::optional<Protocol> protocol;
+  // Symmetric process groups of the prebuilt protocol; registry models carry
+  // their own roles and ignore this field.
+  std::vector<std::vector<ProcessId>> symmetric_roles;
+
+  std::string strategy = "spor";  // strategy_info() name
+  SporOptions spor;               // applies to "spor"
+  std::string split = "none";     // split_from_string() name
+  bool symmetry = false;          // canonicalize states by role permutation
+  // Budgets, threads, visited mode and the observer hooks (on_progress /
+  // on_violation, see core/explorer.hpp). `mode` is set by the strategy.
+  ExploreConfig explore;
+  // Feed each run's record to the process-global bench sink (flushed to
+  // $MPB_BENCH_JSON at exit). Front ends that write their own bench file
+  // (bench/explore_throughput) turn this off so the at-exit flush cannot
+  // clobber their explicitly written output.
+  bool record = true;
+};
+
+struct CheckResult {
+  ExploreResult result;
+  // The protocol actually searched (post-split): what trace printing and
+  // counterexample replay need.
+  Protocol protocol{"unset"};
+  // Run metadata, mirrored from the resolved request.
+  std::string model;
+  std::string strategy;
+  std::string split;
+  std::string visited;
+  bool symmetry = false;
+  std::uint64_t symmetry_orbit_bound = 1;
+  unsigned threads = 1;
+
+  [[nodiscard]] Verdict verdict() const noexcept { return result.verdict; }
+  [[nodiscard]] const ExploreStats& stats() const noexcept {
+    return result.stats;
+  }
+};
+
+// Serialize a result into the bench-JSON record shape (harness/bench_json).
+// `workload` overrides the record name; default is the protocol name.
+[[nodiscard]] harness::BenchRecord to_record(const CheckResult& r,
+                                             std::string workload = "");
+
+// --- the checker -----------------------------------------------------------
+
+class Checker {
+ public:
+  // Resolves the model (registry or prebuilt), split, strategy and symmetry
+  // up front; throws CheckError on any invalid or inconsistent input.
+  explicit Checker(CheckRequest req);
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  // The protocol the search will walk (post-split).
+  [[nodiscard]] const Protocol& protocol() const noexcept { return proto_; }
+  // Orbit bound of the symmetry reduction (1 when symmetry is off).
+  [[nodiscard]] std::uint64_t orbit_bound() const noexcept;
+
+  // Run the search. May be called repeatedly (each call is an independent
+  // run); every run also feeds the process-global bench-JSON sink, so any
+  // facade front end doubles as a machine-readable emitter via
+  // $MPB_BENCH_JSON.
+  [[nodiscard]] CheckResult run();
+
+ private:
+  CheckRequest req_;
+  Protocol proto_;
+  const StrategyInfo* strategy_ = nullptr;
+  Split split_ = Split::kNone;
+  std::optional<SymmetryReducer> sym_;  // engaged iff req_.symmetry
+};
+
+// Convenience: construct, run once, return the result.
+[[nodiscard]] CheckResult run_check(CheckRequest req);
+
+}  // namespace mpb::check

@@ -1,0 +1,93 @@
+#include "check/params.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace mpb::check {
+
+namespace {
+
+[[nodiscard]] std::string known_names(std::span<const ParamSpec> schema) {
+  std::string out;
+  for (const ParamSpec& spec : schema) {
+    if (!out.empty()) out += ", ";
+    out += spec.name;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+[[nodiscard]] long parse_int(std::string_view model, const ParamSpec& spec,
+                             std::string_view value) {
+  long parsed = 0;
+  const char* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, parsed);
+  if (ec != std::errc{} || ptr != end) {
+    std::ostringstream os;
+    os << "model '" << model << "': parameter '" << spec.name
+       << "' expects an integer, got '" << value << "'";
+    throw CheckError(os.str());
+  }
+  return parsed;
+}
+
+[[nodiscard]] long parse_bool(std::string_view model, const ParamSpec& spec,
+                              std::string_view value) {
+  // "" is the flag form (--name with no value) and means true.
+  if (value.empty() || value == "1" || value == "true") return 1;
+  if (value == "0" || value == "false") return 0;
+  std::ostringstream os;
+  os << "model '" << model << "': parameter '" << spec.name
+     << "' expects a boolean (true/false/1/0), got '" << value << "'";
+  throw CheckError(os.str());
+}
+
+}  // namespace
+
+long ParamMap::get(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw CheckError("internal: model factory read undeclared parameter '" +
+                     std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool ParamMap::flag(std::string_view name) const { return get(name) != 0; }
+
+ParamMap parse_params(std::string_view model, std::span<const ParamSpec> schema,
+                      const RawParams& raw) {
+  ParamMap out;
+  for (const ParamSpec& spec : schema) out.values_[spec.name] = spec.def;
+
+  for (const auto& [name, value] : raw) {
+    const ParamSpec* spec = nullptr;
+    for (const ParamSpec& candidate : schema) {
+      if (candidate.name == name) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      std::ostringstream os;
+      os << "model '" << model << "' has no parameter '" << name
+         << "'; known parameters: " << known_names(schema);
+      throw CheckError(os.str());
+    }
+    if (spec->type == ParamType::kBool) {
+      out.values_[spec->name] = parse_bool(model, *spec, value);
+      continue;
+    }
+    const long parsed = parse_int(model, *spec, value);
+    if (parsed < spec->min || parsed > spec->max) {
+      std::ostringstream os;
+      os << "model '" << model << "': parameter '" << spec->name
+         << "' must be in [" << spec->min << ", " << spec->max << "], got "
+         << parsed;
+      throw CheckError(os.str());
+    }
+    out.values_[spec->name] = parsed;
+  }
+  return out;
+}
+
+}  // namespace mpb::check

@@ -1,0 +1,67 @@
+// Self-describing model parameters for the check facade (src/check).
+//
+// Every registered model (check/registry.hpp) publishes a schema: a list of
+// ParamSpec entries naming its parameters with type, default, valid range and
+// a one-line doc string. Callers construct models from (model name, raw
+// string values); parse_params validates the raw values against the schema,
+// throwing one precise CheckError per mistake (unknown name, ill-typed value,
+// out-of-range value) and filling defaults for absent parameters. The same
+// schema drives mpbcheck's auto-generated per-model --help, so the CLI
+// surface and the API surface cannot drift apart.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mpb::check {
+
+// Any user error the facade can diagnose: unknown model / parameter /
+// strategy / split, ill-typed or out-of-range values, invalid combinations.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class ParamType { kInt, kBool };
+
+struct ParamSpec {
+  std::string name;                 // CLI spelling without the leading "--"
+  ParamType type = ParamType::kInt;
+  long def = 0;                     // default value (bools: 0 or 1)
+  long min = 0;                     // inclusive range; ints only
+  long max = std::numeric_limits<long>::max();
+  std::string doc;                  // one line for the generated help
+};
+
+// Raw parameter assignments as a caller provides them: name -> unparsed
+// value. Bool parameters accept "", "1", "true", "0", "false"; the empty
+// string is the CLI flag form and means true.
+using RawParams = std::map<std::string, std::string, std::less<>>;
+
+// Typed view of parameters parsed against a schema. Lookups of names absent
+// from the schema throw CheckError — a factory typo, not a user error.
+class ParamMap {
+ public:
+  [[nodiscard]] long get(std::string_view name) const;    // kInt parameters
+  [[nodiscard]] bool flag(std::string_view name) const;   // kBool parameters
+  [[nodiscard]] unsigned get_u(std::string_view name) const {
+    return static_cast<unsigned>(get(name));
+  }
+
+ private:
+  friend ParamMap parse_params(std::string_view, std::span<const ParamSpec>,
+                               const RawParams&);
+  std::map<std::string, long, std::less<>> values_;
+};
+
+// Validate `raw` against `schema` (the schema of model `model`, named in
+// error messages) and return the typed map with defaults filled in.
+[[nodiscard]] ParamMap parse_params(std::string_view model,
+                                    std::span<const ParamSpec> schema,
+                                    const RawParams& raw);
+
+}  // namespace mpb::check

@@ -1,0 +1,101 @@
+#include "check/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpb::check {
+
+ModelRegistry& ModelRegistry::global() {
+  // Leaked singleton: immune to static-destruction order, and the hooks run
+  // exactly once, on first use.
+  static ModelRegistry* reg = [] {
+    auto* r = new ModelRegistry;
+    register_collector_model(*r);
+    register_echo_model(*r);
+    register_paxos_model(*r);
+    register_storage_model(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void ModelRegistry::add(ModelInfo info) {
+  if (info.name.empty() || !info.make) {
+    throw CheckError("model registration requires a name and a factory");
+  }
+  if (models_.contains(info.name)) {
+    throw CheckError("duplicate model registration: '" + info.name + "'");
+  }
+  std::string key = info.name;
+  models_.emplace(std::move(key), std::move(info));
+}
+
+const ModelInfo* ModelRegistry::find(std::string_view name) const noexcept {
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : &it->second;
+}
+
+const ModelInfo& ModelRegistry::at(std::string_view name) const {
+  if (const ModelInfo* info = find(name)) return *info;
+  std::ostringstream os;
+  os << "unknown model '" << name << "'; known models:";
+  for (const auto& [key, info] : models_) os << " " << key;
+  throw CheckError(os.str());
+}
+
+std::vector<std::string_view> ModelRegistry::names() const {
+  std::vector<std::string_view> out;
+  out.reserve(models_.size());
+  for (const auto& [key, info] : models_) out.push_back(key);
+  return out;  // std::map iteration is already sorted
+}
+
+Model ModelRegistry::build(std::string_view name, const RawParams& raw) const {
+  const ModelInfo& info = at(name);
+  return info.make(parse_params(info.name, info.params, raw));
+}
+
+std::string describe_models(const ModelRegistry& r) {
+  std::size_t width = 0;
+  for (std::string_view name : r.names()) width = std::max(width, name.size());
+  std::ostringstream os;
+  os << "models:\n";
+  for (std::string_view name : r.names()) {
+    os << "  " << name << std::string(width - name.size() + 2, ' ')
+       << r.at(name).doc << "\n";
+  }
+  os << "\nrun 'mpbcheck <model> --help' for the model's parameters\n";
+  return os.str();
+}
+
+std::string describe_model(std::string_view name, const ModelRegistry& r) {
+  const ModelInfo& info = r.at(name);
+
+  // First column: "--name N" for ints, "--name" for flags.
+  std::vector<std::string> flags;
+  std::size_t width = 0;
+  for (const ParamSpec& p : info.params) {
+    std::string flag = "--" + p.name;
+    if (p.type == ParamType::kInt) flag += " N";
+    width = std::max(width, flag.size());
+    flags.push_back(std::move(flag));
+  }
+
+  std::ostringstream os;
+  os << "usage: mpbcheck " << info.name
+     << " [parameters] [engine options]\n\n"
+     << info.doc << "\n\nparameters:\n";
+  for (std::size_t i = 0; i < info.params.size(); ++i) {
+    const ParamSpec& p = info.params[i];
+    os << "  " << flags[i] << std::string(width - flags[i].size() + 2, ' ')
+       << p.doc;
+    if (p.type == ParamType::kInt) {
+      os << "  [default " << p.def << ", range " << p.min << ".." << p.max
+         << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpb::check

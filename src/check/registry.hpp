@@ -1,0 +1,77 @@
+// The model registry: every built-in protocol registers a named factory with
+// a self-describing parameter schema, so front ends (mpbcheck, the benches, a
+// future distributed driver) construct models from (name, params) instead of
+// #include-ing protocol headers.
+//
+// Registration lives in the protocol's own translation unit: each protocol
+// defines a register_<name>_model(ModelRegistry&) hook (declared below) that
+// fills in its ModelInfo — schema, doc line, factory, symmetric roles.
+// ModelRegistry::global() calls the hooks by name on first use, which keeps
+// the scheme immune to static-library dead stripping (a static registrar
+// object in an otherwise unreferenced object file would be dropped by the
+// linker; a named function the registry calls cannot be).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/params.hpp"
+#include "core/protocol.hpp"
+
+namespace mpb::check {
+
+// Everything a model factory yields: the protocol instance plus the process
+// groups that are symmetric by construction (input for SymmetryReducer; may
+// be empty).
+struct Model {
+  Protocol protocol;
+  std::vector<std::vector<ProcessId>> symmetric_roles;
+};
+
+struct ModelInfo {
+  std::string name;               // registry key, e.g. "paxos"
+  std::string doc;                // one line for --list
+  std::vector<ParamSpec> params;  // the self-describing schema
+  std::function<Model(const ParamMap&)> make;
+};
+
+class ModelRegistry {
+ public:
+  // The process-wide registry with every built-in protocol registered.
+  static ModelRegistry& global();
+
+  // Throws CheckError on a duplicate name or a missing factory.
+  void add(ModelInfo info);
+
+  [[nodiscard]] const ModelInfo* find(std::string_view name) const noexcept;
+  // Like find, but throws CheckError listing the known models.
+  [[nodiscard]] const ModelInfo& at(std::string_view name) const;
+  // Registered names, sorted.
+  [[nodiscard]] std::vector<std::string_view> names() const;
+
+  // Build a model: validate `raw` against the schema and run the factory.
+  [[nodiscard]] Model build(std::string_view name, const RawParams& raw) const;
+
+ private:
+  std::map<std::string, ModelInfo, std::less<>> models_;
+};
+
+// Registration hooks, one per built-in protocol, defined in the protocol's
+// own translation unit (src/protocols/<p>/<p>.cpp).
+void register_collector_model(ModelRegistry& r);
+void register_echo_model(ModelRegistry& r);
+void register_paxos_model(ModelRegistry& r);
+void register_storage_model(ModelRegistry& r);
+
+// Human-readable renderings of the registry, printed verbatim by
+// `mpbcheck --list` and `mpbcheck <model> --help` and pinned by the golden
+// tests in tests/check_test.cpp.
+[[nodiscard]] std::string describe_models(
+    const ModelRegistry& r = ModelRegistry::global());
+// Throws CheckError on an unknown name.
+[[nodiscard]] std::string describe_model(
+    std::string_view name, const ModelRegistry& r = ModelRegistry::global());
+
+}  // namespace mpb::check

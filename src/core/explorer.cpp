@@ -134,9 +134,11 @@ class Search {
       std::string failed;
       State succ = execute(proto_, f.s, e, exec_opts_, &failed);
       ++result_.stats.events_executed;
+      maybe_progress();
       if (!failed.empty()) {
         result_.verdict = Verdict::kViolated;
         result_.violated_property = failed;
+        if (cfg_.on_violation) cfg_.on_violation(failed);
         record_counterexample(e, succ);
         if (cfg_.stop_at_first_violation) break;
       }
@@ -233,8 +235,22 @@ class Search {
     if (p == nullptr) return false;
     result_.verdict = Verdict::kViolated;
     result_.violated_property = p->name;
+    if (cfg_.on_violation) cfg_.on_violation(p->name);
     if (cfg_.stop_at_first_violation) done_ = true;
     return true;
+  }
+
+  // Progress hook: fires every cfg_.progress_every_events executed events
+  // with a stats snapshot whose states_stored/seconds are current.
+  void maybe_progress() {
+    if (!cfg_.on_progress || cfg_.progress_every_events == 0) return;
+    if (result_.stats.events_executed % cfg_.progress_every_events != 0) return;
+    ExploreStats snap = result_.stats;
+    snap.states_stored = cfg_.mode == SearchMode::kStateful
+                             ? visited_.size()
+                             : snap.states_visited;
+    snap.seconds = elapsed();
+    cfg_.on_progress(snap);
   }
 
   void record_counterexample(const Event& last, const State& violating) {
@@ -458,10 +474,15 @@ class ParallelSearch {
       std::string failed;
       State succ = execute(proto_, item.s, e, exec_opts_, &failed);
       ++st.events_executed;
-      if (events_budget_.fetch_add(1, std::memory_order_relaxed) + 1 >
-          cfg_.max_events) {
+      const std::uint64_t global_events =
+          events_budget_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (global_events > cfg_.max_events) {
         signal_truncated();
         return;
+      }
+      if (cfg_.on_progress && cfg_.progress_every_events != 0 &&
+          global_events % cfg_.progress_every_events == 0) {
+        emit_progress(global_events);
       }
       if (!failed.empty()) {
         record_violation(failed);
@@ -503,7 +524,28 @@ class ParallelSearch {
         result_.violated_property = property;
       }
     }
+    if (cfg_.on_violation) {
+      // hooks_mu_ (not result_mu_) serializes this with emit_progress, as
+      // the hook contract promises.
+      std::lock_guard<std::mutex> lk(hooks_mu_);
+      cfg_.on_violation(property);
+    }
     if (cfg_.stop_at_first_violation) stop();
+  }
+
+  // Parallel progress snapshot: exact visited-set size and global event
+  // count; per-worker stats are not merged mid-run. hooks_mu_ serializes it
+  // against itself and against the violation hook.
+  void emit_progress(std::uint64_t global_events) {
+    std::lock_guard<std::mutex> lk(hooks_mu_);
+    ExploreStats snap;
+    snap.states_stored = visited_.size();
+    snap.events_executed = global_events;
+    snap.threads_used = threads_;
+    snap.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    cfg_.on_progress(snap);
   }
 
   void signal_truncated() {
@@ -546,6 +588,7 @@ class ParallelSearch {
   std::atomic<bool> truncated_{false};
 
   std::mutex result_mu_;
+  std::mutex hooks_mu_;  // serializes on_progress/on_violation invocations
   ExploreResult result_;
   std::vector<ExploreStats> worker_stats_;
   std::vector<std::vector<Fingerprint>> worker_terminals_;
@@ -561,6 +604,11 @@ ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
     return ParallelSearch(proto, cfg).run();
   }
   return Search(proto, cfg, strategy).run();
+}
+
+ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
+                      std::unique_ptr<ReductionStrategy> strategy) {
+  return explore(proto, cfg, strategy.get());
 }
 
 ExploreResult explore_full(const Protocol& proto) {

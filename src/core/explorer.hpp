@@ -49,6 +49,8 @@ enum class Verdict {
 
 [[nodiscard]] std::string_view to_string(Verdict v) noexcept;
 
+struct ExploreStats;  // declared below; the progress hook passes snapshots
+
 struct ExploreConfig {
   SearchMode mode = SearchMode::kStateful;
   VisitedMode visited = VisitedMode::kExact;
@@ -72,6 +74,18 @@ struct ExploreConfig {
   // The search itself still walks concrete states, so counterexamples remain
   // genuine paths. Must be thread-safe (const) when threads > 1.
   std::function<State(const State&)> canonicalize;
+  // --- observer hooks (the check facade's progress reporting) ---
+  // `on_progress` is invoked approximately every `progress_every_events`
+  // executed events with a snapshot of the running stats. Sequential runs
+  // snapshot the full stats; parallel runs report the exact visited-set size,
+  // global event count and elapsed time (per-worker detail is not merged
+  // mid-run). 0 disables the hook. `on_violation` fires for every property
+  // violation observed, with the property name, before any stop-at-first
+  // shutdown propagates. The explorer serializes all hook invocations, but
+  // the callbacks themselves must not re-enter explore().
+  std::uint64_t progress_every_events = 0;
+  std::function<void(const ExploreStats&)> on_progress;
+  std::function<void(std::string_view property)> on_violation;
 };
 
 // One step of a counterexample path: the event taken and the state reached.
@@ -137,7 +151,15 @@ class FullExpansion final : public ReductionStrategy {
   [[nodiscard]] std::string_view name() const override { return "full"; }
 };
 
-// Run the search. `strategy` may be nullptr (full expansion).
+// Run the search, taking ownership of the strategy. A null strategy means
+// full expansion (and is what routes stateful multi-threaded searches onto
+// the parallel worker pool). This is the preferred form — the check facade's
+// strategy factories hand over unique_ptrs, so no caller juggles strategy
+// lifetimes.
+[[nodiscard]] ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
+                                    std::unique_ptr<ReductionStrategy> strategy);
+
+// Non-owning shim for callers that keep the strategy alive themselves.
 [[nodiscard]] ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
                                     ReductionStrategy* strategy = nullptr);
 

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 
-#include "harness/bench_json.hpp"
+#include "check/check.hpp"
 
 namespace mpb::harness {
 
@@ -14,6 +15,16 @@ std::string_view to_string(Strategy s) noexcept {
     case Strategy::kUnreducedStateless: return "unreduced-stateless";
     case Strategy::kSpor: return "SPOR";
     case Strategy::kDpor: return "DPOR";
+  }
+  return "?";
+}
+
+std::string_view strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kUnreducedStateful: return "full";
+    case Strategy::kUnreducedStateless: return "stateless";
+    case Strategy::kSpor: return "spor";
+    case Strategy::kDpor: return "dpor";
   }
   return "?";
 }
@@ -40,41 +51,16 @@ ExploreConfig budget_from_env() {
   return cfg;
 }
 
-namespace {
-
-ExploreResult dispatch(const Protocol& proto, const RunSpec& spec) {
-  ExploreConfig cfg = spec.explore;
-  switch (spec.strategy) {
-    case Strategy::kUnreducedStateful: {
-      cfg.mode = SearchMode::kStateful;
-      return explore(proto, cfg, nullptr);
-    }
-    case Strategy::kUnreducedStateless: {
-      cfg.mode = SearchMode::kStateless;
-      return explore_dpor(proto, cfg, DporOptions{.reduce = false});
-    }
-    case Strategy::kSpor: {
-      cfg.mode = SearchMode::kStateful;
-      SporStrategy strategy(proto, spec.spor);
-      return explore(proto, cfg, &strategy);
-    }
-    case Strategy::kDpor: {
-      cfg.mode = SearchMode::kStateless;
-      return explore_dpor(proto, cfg, DporOptions{.reduce = true});
-    }
-  }
-  return {};
-}
-
-}  // namespace
-
 ExploreResult run(const Protocol& proto, const RunSpec& spec) {
-  ExploreResult r = dispatch(proto, spec);
-  // Feed the process-global bench sink; flushed to $MPB_BENCH_JSON at exit,
-  // so every table/bench binary doubles as a machine-readable emitter.
-  record_bench(make_record(proto.name(), std::string(to_string(spec.strategy)),
-                           std::string(to_string(spec.explore.visited)), r));
-  return r;
+  check::CheckRequest req;
+  req.protocol = proto;
+  req.strategy = std::string(strategy_name(spec.strategy));
+  req.spor = spec.spor;
+  req.explore = spec.explore;
+  // The facade feeds the process-global bench sink itself (flushed to
+  // $MPB_BENCH_JSON at exit), so every harness user stays a machine-readable
+  // emitter.
+  return check::run_check(std::move(req)).result;
 }
 
 std::string format_count(std::uint64_t n) {

@@ -1,24 +1,31 @@
 // Experiment harness: runs one (protocol, search strategy) cell of the
 // paper's evaluation matrix and reports verdict, state count and time — the
 // quantities Tables I and II tabulate.
+//
+// This layer is a thin compatibility shim over the check facade
+// (src/check/check.hpp): RunSpec maps onto a CheckRequest with a prebuilt
+// protocol, and run() delegates to check::run_check. New code should use the
+// facade directly; the table formatting helpers below remain the harness's
+// own surface.
 #pragma once
 
 #include <string>
 
 #include "core/explorer.hpp"
-#include "por/dpor.hpp"
 #include "por/spor.hpp"
 
 namespace mpb::harness {
 
 enum class Strategy {
-  kUnreducedStateful,   // plain DFS + visited set
-  kUnreducedStateless,  // plain DFS, no visited set
-  kSpor,                // stubborn-set SPOR, stateful (MP-LPOR stand-in)
-  kDpor,                // Flanagan-Godefroid DPOR, stateless (Basset's [13])
+  kUnreducedStateful,   // plain DFS + visited set   (facade name: "full")
+  kUnreducedStateless,  // plain DFS, no visited set (facade name: "stateless")
+  kSpor,                // stubborn-set SPOR, stateful        ("spor")
+  kDpor,                // Flanagan-Godefroid DPOR, stateless ("dpor")
 };
 
 [[nodiscard]] std::string_view to_string(Strategy s) noexcept;
+// The check-facade strategy name of `s` ("full", "stateless", "spor", "dpor").
+[[nodiscard]] std::string_view strategy_name(Strategy s) noexcept;
 
 struct RunSpec {
   Strategy strategy = Strategy::kSpor;

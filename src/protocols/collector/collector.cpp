@@ -1,5 +1,6 @@
 #include "protocols/collector/collector.hpp"
 
+#include "check/registry.hpp"
 #include "mp/builder.hpp"
 
 namespace mpb::protocols {
@@ -115,3 +116,47 @@ std::vector<std::vector<ProcessId>> collector_symmetric_roles(
 }
 
 }  // namespace mpb::protocols
+
+namespace mpb::check {
+
+// Check-facade registration: the collector schema and factory, rendered
+// verbatim by mpbcheck's auto-generated per-model --help.
+void register_collector_model(ModelRegistry& r) {
+  r.add(ModelInfo{
+      .name = "collector",
+      .doc = "quorum PING collector, the Section II-C state-inflation toy",
+      .params =
+          {
+              {.name = "senders",
+               .def = 4,
+               .min = 0,
+               .max = 16,
+               .doc = "sender processes, one PING each"},
+              {.name = "quorum",
+               .def = 3,
+               .min = 1,
+               .max = 16,
+               .doc = "pings the collector consumes in one step (l)"},
+              {.name = "noise",
+               .def = 0,
+               .min = 0,
+               .max = 16,
+               .doc = "independent noise processes, one local event each (k)"},
+              {.name = "single-message",
+               .type = ParamType::kBool,
+               .doc = "per-message counting model instead of quorum"},
+          },
+      .make =
+          [](const ParamMap& p) {
+            protocols::CollectorConfig cfg{
+                .senders = p.get_u("senders"),
+                .quorum = p.get_u("quorum"),
+                .quorum_model = !p.flag("single-message"),
+                .noise = p.get_u("noise")};
+            return Model{protocols::make_collector(cfg),
+                         protocols::collector_symmetric_roles(cfg)};
+          },
+  });
+}
+
+}  // namespace mpb::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/registry.hpp"
 #include "mp/builder.hpp"
 
 namespace mpb::protocols {
@@ -298,3 +299,60 @@ std::vector<std::vector<ProcessId>> echo_symmetric_roles(const EchoConfig& cfg) 
 }
 
 }  // namespace mpb::protocols
+
+namespace mpb::check {
+
+// Check-facade registration: the echo schema and factory, rendered verbatim
+// by mpbcheck's auto-generated per-model --help.
+void register_echo_model(ModelRegistry& r) {
+  r.add(ModelInfo{
+      .name = "echo",
+      .doc = "Echo Multicast (Reiter '94) under Byzantine equivocation",
+      .params =
+          {
+              {.name = "honest-receivers",
+               .def = 3,
+               .min = 0,
+               .max = 8,
+               .doc = "honest receivers (echo once, accept once)"},
+              {.name = "honest-initiators",
+               .def = 0,
+               .min = 0,
+               .max = 4,
+               .doc = "honest initiators (multicast one value)"},
+              {.name = "byz-receivers",
+               .def = 1,
+               .min = 0,
+               .max = 8,
+               .doc = "Byzantine receivers (echo every INIT they see)"},
+              {.name = "byz-initiators",
+               .def = 1,
+               .min = 0,
+               .max = 4,
+               .doc = "Byzantine initiators (equivocate two values)"},
+              {.name = "tolerance",
+               .def = -1,
+               .min = -1,
+               .max = 8,
+               .doc = "tolerated Byzantine receivers sizing the echo "
+                      "threshold; -1 = byz-receivers"},
+              {.name = "single-message",
+               .type = ParamType::kBool,
+               .doc = "per-message counting model instead of quorum"},
+          },
+      .make =
+          [](const ParamMap& p) {
+            protocols::EchoConfig cfg{
+                .honest_receivers = p.get_u("honest-receivers"),
+                .honest_initiators = p.get_u("honest-initiators"),
+                .byz_receivers = p.get_u("byz-receivers"),
+                .byz_initiators = p.get_u("byz-initiators"),
+                .tolerance = static_cast<int>(p.get("tolerance")),
+                .quorum_model = !p.flag("single-message")};
+            return Model{protocols::make_echo_multicast(cfg),
+                         protocols::echo_symmetric_roles(cfg)};
+          },
+  });
+}
+
+}  // namespace mpb::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/registry.hpp"
 #include "mp/builder.hpp"
 
 namespace mpb::protocols {
@@ -326,3 +327,53 @@ std::vector<std::vector<ProcessId>> paxos_symmetric_roles(const PaxosConfig& cfg
 }
 
 }  // namespace mpb::protocols
+
+namespace mpb::check {
+
+// Check-facade registration (called from ModelRegistry::global()): the paxos
+// schema and factory live here so adding or changing a parameter never
+// touches the front ends — mpbcheck's --help renders this schema verbatim.
+void register_paxos_model(ModelRegistry& r) {
+  r.add(ModelInfo{
+      .name = "paxos",
+      .doc = "single-decree Paxos checked for consensus (Table I)",
+      .params =
+          {
+              {.name = "proposers",
+               .def = 2,
+               .min = 0,
+               .max = 8,
+               .doc = "proposers, each with a distinct ballot and value"},
+              {.name = "acceptors",
+               .def = 3,
+               .min = 1,
+               .max = 9,
+               .doc = "acceptors; promises/accepts need a majority"},
+              {.name = "learners",
+               .def = 1,
+               .min = 0,
+               .max = 8,
+               .doc = "learners observing chosen values"},
+              {.name = "single-message",
+               .type = ParamType::kBool,
+               .doc = "per-message counting model (Fig. 3) instead of quorum"},
+              {.name = "faulty",
+               .type = ParamType::kBool,
+               .doc = "learner skips the (ballot,value) comparison "
+                      "(\"Faulty Paxos\")"},
+          },
+      .make =
+          [](const ParamMap& p) {
+            protocols::PaxosConfig cfg{
+                .proposers = p.get_u("proposers"),
+                .acceptors = p.get_u("acceptors"),
+                .learners = p.get_u("learners"),
+                .quorum_model = !p.flag("single-message"),
+                .faulty_learner = p.flag("faulty")};
+            return Model{protocols::make_paxos(cfg),
+                         protocols::paxos_symmetric_roles(cfg)};
+          },
+  });
+}
+
+}  // namespace mpb::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/registry.hpp"
 #include "mp/builder.hpp"
 
 namespace mpb::protocols {
@@ -288,3 +289,52 @@ std::vector<std::vector<ProcessId>> storage_symmetric_roles(const StorageConfig&
 }
 
 }  // namespace mpb::protocols
+
+namespace mpb::check {
+
+// Check-facade registration: the storage schema and factory, rendered
+// verbatim by mpbcheck's auto-generated per-model --help.
+void register_storage_model(ModelRegistry& r) {
+  r.add(ModelInfo{
+      .name = "storage",
+      .doc = "ABD-style single-writer regular storage over crashy bases",
+      .params =
+          {
+              {.name = "bases",
+               .def = 3,
+               .min = 1,
+               .max = 9,
+               .doc = "base objects; reads/writes need a majority"},
+              {.name = "readers",
+               .def = 1,
+               .min = 0,
+               .max = 8,
+               .doc = "reader processes, one read each"},
+              {.name = "writes",
+               .def = 2,
+               .min = 0,
+               .max = 8,
+               .doc = "sequential writes the single writer performs"},
+              {.name = "single-message",
+               .type = ParamType::kBool,
+               .doc = "per-message counting model instead of quorum"},
+              {.name = "wrong-regularity",
+               .type = ParamType::kBool,
+               .doc = "verify the deliberately too-strong regularity "
+                      "(Section V-A fault injection)"},
+          },
+      .make =
+          [](const ParamMap& p) {
+            protocols::StorageConfig cfg{
+                .bases = p.get_u("bases"),
+                .readers = p.get_u("readers"),
+                .writes = p.get_u("writes"),
+                .quorum_model = !p.flag("single-message"),
+                .wrong_regularity = p.flag("wrong-regularity")};
+            return Model{protocols::make_regular_storage(cfg),
+                         protocols::storage_symmetric_roles(cfg)};
+          },
+  });
+}
+
+}  // namespace mpb::check

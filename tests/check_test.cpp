@@ -1,0 +1,320 @@
+// The check facade (src/check): model registry, self-describing parameters,
+// strategy-by-name dispatch, observer hooks, and the golden CLI surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/registry.hpp"
+#include "por/spor.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using check::CheckError;
+using check::CheckRequest;
+using check::CheckResult;
+using check::ModelRegistry;
+using check::RawParams;
+
+// Expect `fn` to throw CheckError whose message contains every needle.
+template <typename Fn>
+void expect_check_error(Fn&& fn, std::initializer_list<std::string> needles) {
+  try {
+    fn();
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string msg = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "message '" << msg << "' lacks '" << needle << "'";
+    }
+  }
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(CheckRegistry, ListsEveryBuiltinModel) {
+  const auto names = ModelRegistry::global().names();
+  const std::vector<std::string_view> expected{"collector", "echo", "paxos",
+                                               "storage"};
+  EXPECT_EQ(names, expected);
+}
+
+TEST(CheckRegistry, UnknownModelIsAPreciseError) {
+  expect_check_error(
+      [] { (void)ModelRegistry::global().build("paxoss", {}); },
+      {"unknown model 'paxoss'", "known models:", "paxos"});
+}
+
+TEST(CheckRegistry, UnknownParameterIsAPreciseError) {
+  expect_check_error(
+      [] {
+        (void)ModelRegistry::global().build("paxos", {{"propsers", "2"}});
+      },
+      {"model 'paxos'", "no parameter 'propsers'", "known parameters:",
+       "proposers"});
+}
+
+TEST(CheckRegistry, IllTypedIntParameterIsAPreciseError) {
+  expect_check_error(
+      [] {
+        (void)ModelRegistry::global().build("paxos", {{"proposers", "two"}});
+      },
+      {"parameter 'proposers'", "expects an integer", "'two'"});
+}
+
+TEST(CheckRegistry, IllTypedBoolParameterIsAPreciseError) {
+  expect_check_error(
+      [] {
+        (void)ModelRegistry::global().build("paxos", {{"faulty", "maybe"}});
+      },
+      {"parameter 'faulty'", "expects a boolean", "'maybe'"});
+}
+
+TEST(CheckRegistry, OutOfRangeParameterIsAPreciseError) {
+  expect_check_error(
+      [] {
+        (void)ModelRegistry::global().build("paxos", {{"acceptors", "0"}});
+      },
+      {"parameter 'acceptors'", "must be in [1, 9]", "got 0"});
+}
+
+TEST(CheckRegistry, AbsentParametersTakeTheirDefaults) {
+  const check::Model m = ModelRegistry::global().build("paxos", {});
+  // Defaults are the paper's (2,3,1) setting in the quorum model.
+  EXPECT_EQ(m.protocol.name(), "paxos-quorum(2,3,1)");
+  EXPECT_EQ(m.protocol.n_procs(), 6u);
+  // Acceptors and learners are symmetric roles; one learner collapses to one
+  // declared role group.
+  EXPECT_EQ(m.symmetric_roles.size(), 1u);
+}
+
+TEST(CheckRegistry, ParametersReachTheFactory) {
+  const check::Model m = ModelRegistry::global().build(
+      "paxos", {{"proposers", "1"}, {"single-message", "true"},
+                {"faulty", "1"}});
+  EXPECT_EQ(m.protocol.name(), "faulty-paxos-1msg(1,3,1)");
+  EXPECT_EQ(m.protocol.n_procs(), 5u);
+}
+
+// --- facade dispatch --------------------------------------------------------
+
+TEST(Checker, UnknownStrategyIsAPreciseError) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.strategy = "bogus";
+  expect_check_error([&] { check::Checker c(std::move(req)); },
+                     {"unknown strategy 'bogus'", "full", "spor"});
+}
+
+TEST(Checker, UnknownSplitIsAPreciseError) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.split = "halved";
+  expect_check_error([&] { check::Checker c(std::move(req)); },
+                     {"unknown split 'halved'", "combined"});
+}
+
+TEST(Checker, SymmetryWithStatelessStrategyIsRejected) {
+  for (const std::string strategy : {"dpor", "stateless"}) {
+    CheckRequest req;
+    req.model = "paxos";
+    req.symmetry = true;
+    req.strategy = strategy;
+    expect_check_error([&] { check::Checker c(std::move(req)); },
+                       {"symmetry requires a stateful strategy"});
+  }
+}
+
+TEST(Checker, SymmetryWithSplitIsRejected) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.symmetry = true;
+  req.split = "reply";
+  expect_check_error([&] { check::Checker c(std::move(req)); },
+                     {"symmetry", "split"});
+}
+
+TEST(Checker, FacadeMatchesDirectExploreOnEveryStatefulStrategy) {
+  const check::Model m = ModelRegistry::global().build(
+      "collector", {{"senders", "3"}, {"quorum", "2"}});
+
+  const ExploreResult direct = explore(m.protocol, ExploreConfig{});
+
+  CheckRequest req;
+  req.model = "collector";
+  req.params = {{"senders", "3"}, {"quorum", "2"}};
+  req.strategy = "full";
+  const CheckResult via_facade = check::run_check(req);
+
+  EXPECT_EQ(via_facade.verdict(), direct.verdict);
+  EXPECT_EQ(via_facade.stats().states_stored, direct.stats.states_stored);
+  EXPECT_EQ(via_facade.stats().events_executed, direct.stats.events_executed);
+}
+
+TEST(Checker, PrebuiltProtocolRunsThroughTheFacade) {
+  CheckRequest req;
+  req.protocol = testing::make_small_quorum();
+  req.strategy = "spor";
+  const CheckResult r = check::run_check(std::move(req));
+  EXPECT_EQ(r.verdict(), Verdict::kHolds);
+  EXPECT_EQ(r.model, r.protocol.name());
+  EXPECT_EQ(r.strategy, "spor");
+  EXPECT_GT(r.stats().states_stored, 0u);
+}
+
+TEST(Checker, EveryNamedStrategyAgreesOnTheVerdict) {
+  for (const check::StrategyInfo& s : check::strategies()) {
+    CheckRequest req;
+    req.model = "collector";
+    req.params = {{"senders", "3"}, {"quorum", "2"},
+                  {"single-message", "true"}};
+    req.strategy = std::string(s.name);
+    const CheckResult r = check::run_check(std::move(req));
+    EXPECT_EQ(r.verdict(), Verdict::kHolds) << s.name;
+  }
+}
+
+TEST(Checker, SymmetryOrbitBoundIsExposed) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.symmetry = true;
+  check::Checker checker(std::move(req));
+  // 3 acceptors permute freely: 3! = 6 (the single learner adds no orbit).
+  EXPECT_EQ(checker.orbit_bound(), 6u);
+  const CheckResult r = checker.run();
+  EXPECT_TRUE(r.symmetry);
+  EXPECT_EQ(r.symmetry_orbit_bound, 6u);
+  EXPECT_EQ(r.verdict(), Verdict::kHolds);
+}
+
+TEST(Checker, ResultSerializesIntoBenchRecord) {
+  CheckRequest req;
+  req.model = "collector";
+  req.params = {{"senders", "2"}, {"quorum", "2"}};
+  req.strategy = "full";
+  const CheckResult r = check::run_check(std::move(req));
+  const harness::BenchRecord rec = check::to_record(r, "cell-name");
+  EXPECT_EQ(rec.name, "cell-name");
+  EXPECT_EQ(rec.strategy, "full");
+  EXPECT_EQ(rec.visited, std::string(to_string(VisitedMode::kExact)));
+  EXPECT_EQ(rec.states_stored, r.stats().states_stored);
+  // Default name falls back to the (post-split) protocol name.
+  EXPECT_EQ(check::to_record(r).name, r.protocol.name());
+}
+
+// --- explore() strategy ownership -------------------------------------------
+
+TEST(ExploreOwnership, OwnedAndRawStrategyOverloadsAgree) {
+  const Protocol proto = testing::make_small_quorum();
+  ExploreConfig cfg;
+  SporStrategy raw_strategy(proto);
+  const ExploreResult raw = explore(proto, cfg, &raw_strategy);
+  const ExploreResult owned =
+      explore(proto, cfg, std::make_unique<SporStrategy>(proto));
+  EXPECT_EQ(owned.verdict, raw.verdict);
+  EXPECT_EQ(owned.stats.states_stored, raw.stats.states_stored);
+  EXPECT_EQ(owned.stats.events_executed, raw.stats.events_executed);
+}
+
+// --- observer hooks ---------------------------------------------------------
+
+TEST(ObserverHooks, ProgressFiresAtTheConfiguredInterval) {
+  const Protocol proto = testing::make_small_quorum();
+  ExploreConfig cfg;
+  cfg.progress_every_events = 1;  // every executed event
+  std::uint64_t calls = 0;
+  std::uint64_t last_events = 0;
+  cfg.on_progress = [&](const ExploreStats& st) {
+    ++calls;
+    EXPECT_GE(st.events_executed, last_events);
+    last_events = st.events_executed;
+  };
+  const ExploreResult r = explore(proto, cfg);
+  EXPECT_EQ(calls, r.stats.events_executed);
+  EXPECT_EQ(last_events, r.stats.events_executed);
+}
+
+TEST(ObserverHooks, ProgressFiresInParallelRuns) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"proposers", "1"}, {"acceptors", "3"}, {"learners", "1"}};
+  req.strategy = "full";
+  req.explore.threads = 4;
+  req.explore.visited = VisitedMode::kInterned;
+  req.explore.progress_every_events = 64;
+  std::atomic<std::uint64_t> calls{0};
+  req.explore.on_progress = [&](const ExploreStats& st) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    EXPECT_GT(st.events_executed, 0u);
+    EXPECT_EQ(st.threads_used, 4u);
+  };
+  const CheckResult r = check::run_check(std::move(req));
+  EXPECT_EQ(r.verdict(), Verdict::kHolds);
+  EXPECT_GT(calls.load(), 0u);
+}
+
+TEST(ObserverHooks, ViolationHookReportsThePropertyName) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"faulty", "true"}, {"single-message", "true"}};
+  req.strategy = "spor";
+  std::vector<std::string> seen;
+  req.explore.on_violation = [&](std::string_view property) {
+    seen.emplace_back(property);
+  };
+  const CheckResult r = check::run_check(std::move(req));
+  EXPECT_EQ(r.verdict(), Verdict::kViolated);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front(), r.result.violated_property);
+}
+
+// --- golden CLI surface -----------------------------------------------------
+// mpbcheck prints these strings verbatim; the goldens pin the auto-generated
+// CLI surface so schema edits are conscious decisions.
+
+TEST(CheckGolden, ModelList) {
+  const std::string expected =
+      "models:\n"
+      "  collector  quorum PING collector, the Section II-C state-inflation "
+      "toy\n"
+      "  echo       Echo Multicast (Reiter '94) under Byzantine equivocation\n"
+      "  paxos      single-decree Paxos checked for consensus (Table I)\n"
+      "  storage    ABD-style single-writer regular storage over crashy "
+      "bases\n"
+      "\n"
+      "run 'mpbcheck <model> --help' for the model's parameters\n";
+  EXPECT_EQ(check::describe_models(), expected);
+}
+
+TEST(CheckGolden, PaxosHelp) {
+  const std::string expected =
+      "usage: mpbcheck paxos [parameters] [engine options]\n"
+      "\n"
+      "single-decree Paxos checked for consensus (Table I)\n"
+      "\n"
+      "parameters:\n"
+      "  --proposers N     proposers, each with a distinct ballot and value  "
+      "[default 2, range 0..8]\n"
+      "  --acceptors N     acceptors; promises/accepts need a majority  "
+      "[default 3, range 1..9]\n"
+      "  --learners N      learners observing chosen values  "
+      "[default 1, range 0..8]\n"
+      "  --single-message  per-message counting model (Fig. 3) instead of "
+      "quorum\n"
+      "  --faulty          learner skips the (ballot,value) comparison "
+      "(\"Faulty Paxos\")\n";
+  EXPECT_EQ(check::describe_model("paxos"), expected);
+}
+
+TEST(CheckGolden, HelpForUnknownModelThrows) {
+  EXPECT_THROW((void)check::describe_model("nope"), CheckError);
+}
+
+}  // namespace
+}  // namespace mpb

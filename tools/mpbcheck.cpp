@@ -1,285 +1,247 @@
-// mpbcheck — command-line front end to every built-in protocol, search
-// strategy, refinement and reduction in the library.
+// mpbcheck — registry-driven command-line front end to the check facade.
 //
 // Usage:
-//   mpbcheck <protocol> [options]
+//   mpbcheck --list                          registered models, one line each
+//   mpbcheck <model> --help                  the model's parameters (schema)
+//   mpbcheck <model> [--param value ...] [engine options]
 //
-// Protocols and their setting options:
-//   paxos      --proposers N --acceptors N --learners N [--faulty]
-//   echo       --honest-receivers N --honest-initiators N
-//              --byz-receivers N --byz-initiators N [--tolerance N]
-//   storage    --bases N --readers N --writes N [--wrong-regularity]
-//   collector  --senders N --quorum N [--noise N]
+// Every model, parameter, strategy, split and symmetry option resolves
+// through src/check (ModelRegistry + Checker): this file contains no
+// protocol-specific code, and the per-model help is generated from the same
+// schema the parameter parser validates against — the CLI cannot drift from
+// the API.
 //
-// Common options:
-//   --single-message          use the counting model instead of quorum
-//   --threads N               worker threads (full stateful strategy only)
-//   --visited exact|fingerprint|interned  visited-set storage (default env/fingerprint)
-//   --strategy full|spor|dpor|stateless   (default spor)
-//   --split none|reply|quorum|combined    (default none)
-//   --seed opposite|transaction|first     (default opposite)
-//   --symmetry                enable role-based symmetry reduction
+// Engine options (any model):
+//   --strategy S              full | spor | dpor | stateless   (default spor)
+//   --split M                 none | reply | quorum | combined (default none)
+//   --seed H                  opposite | transaction | first   (default opposite)
+//   --symmetry                role-based symmetry reduction
 //   --no-net                  plain LPOR NES (disable state-dependent NES)
 //   --exhaustive-seed         minimize the stubborn set over all seeds
+//   --threads N               worker threads (full stateful strategy only)
+//   --visited V               exact | fingerprint | interned
 //   --max-states N / --max-seconds S      per-run budgets
+//   --progress                periodic progress lines on stderr
 //   --trace                   print the counterexample (if any)
 //   --quiet                   only the verdict line
 #include <algorithm>
-#include <cstring>
+#include <charconv>
 #include <iostream>
-#include <map>
 #include <string>
+#include <vector>
 
+#include "check/check.hpp"
 #include "core/trace.hpp"
 #include "harness/runner.hpp"
-#include "por/symmetry.hpp"
-#include "protocols/collector/collector.hpp"
-#include "protocols/echo/echo.hpp"
-#include "protocols/paxos/paxos.hpp"
-#include "protocols/storage/storage.hpp"
-#include "refine/refine.hpp"
 
 using namespace mpb;
-using namespace mpb::protocols;
 
 namespace {
 
-struct Options {
-  std::string protocol;
-  std::map<std::string, long> nums;  // numeric options by name
-  bool single_message = false;
-  bool faulty = false;
-  bool wrong_regularity = false;
-  bool symmetry = false;
-  bool no_net = false;
-  bool exhaustive_seed = false;
-  bool trace = false;
-  bool quiet = false;
-  std::string strategy = "spor";
-  std::string split = "none";
-  std::string seed = "opposite";
-  std::string visited;  // empty = keep the env/benchmark default
-};
+constexpr std::string_view kEngineHelp =
+    R"(engine options:
+  --strategy S        full | spor | dpor | stateless   (default spor)
+  --split M           none | reply | quorum | combined (default none)
+  --seed H            opposite | transaction | first   (default opposite)
+  --symmetry          role-based symmetry reduction
+  --no-net            plain LPOR NES (disable state-dependent NES)
+  --exhaustive-seed   minimize the stubborn set over all seeds
+  --threads N         worker threads (full stateful strategy only)
+  --visited V         exact | fingerprint | interned visited-set storage
+  --max-states N      state budget   (default 3,000,000 or MPB_BUDGET_STATES)
+  --max-seconds S     time budget    (default 120 or MPB_BUDGET_SECONDS)
+  --progress          periodic progress lines on stderr
+  --trace             print the counterexample, if any
+  --quiet             only the verdict line
+)";
 
-long num_or(const Options& o, const std::string& key, long fallback) {
-  auto it = o.nums.find(key);
-  return it == o.nums.end() ? fallback : it->second;
-}
-
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " paxos|echo|storage|collector [options]\n"
-               "run '"
-            << argv0 << " --help' for the full option list\n";
+int usage() {
+  std::cerr << "usage: mpbcheck <model> [--param value ...] [engine options]\n"
+               "       mpbcheck --list\n"
+               "       mpbcheck <model> --help\n";
   return 2;
 }
 
-void help() {
-  std::cout <<
-      R"(mpbcheck — explicit-state model checking of fault-tolerant protocols
-
-protocols:
-  paxos      --proposers N --acceptors N --learners N [--faulty]
-  echo       --honest-receivers N --honest-initiators N
-             --byz-receivers N --byz-initiators N [--tolerance N]
-  storage    --bases N --readers N --writes N [--wrong-regularity]
-  collector  --senders N --quorum N [--noise N]
-
-common options:
-  --single-message        counting model instead of quorum transitions
-  --threads N             worker threads; parallelizes the unreduced stateful
-                          search (strategy full), sequential otherwise
-  --visited V             exact | fingerprint | interned visited-set storage
-  --strategy S            full | spor | dpor | stateless   (default spor)
-  --split M               none | reply | quorum | combined (default none)
-  --seed H                opposite | transaction | first   (default opposite)
-  --symmetry              role-based symmetry reduction
-  --no-net                disable state-dependent NES (plain LPOR)
-  --exhaustive-seed       minimize the stubborn set over all seeds
-  --max-states N          state budget      (default 3,000,000)
-  --max-seconds S         time budget       (default 120)
-  --trace                 print the counterexample, if any
-  --quiet                 only the verdict line
-)";
+long parse_long(const std::string& opt, const std::string& value) {
+  long out = 0;
+  const char* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec != std::errc{} || ptr != end) {
+    std::cerr << "mpbcheck: " << opt << " expects an integer, got '" << value
+              << "'\n";
+    exit(2);
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
-  Options opt;
-  opt.protocol = argv[1];
-  if (opt.protocol == "--help" || opt.protocol == "-h") {
-    help();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  if (args[0] == "--list") {
+    std::cout << check::describe_models();
+    return 0;
+  }
+  if (args[0] == "--help" || args[0] == "-h") {
+    std::cout << "usage: mpbcheck <model> [--param value ...] [engine "
+                 "options]\n       mpbcheck --list\n       mpbcheck <model> "
+                 "--help\n\n"
+              << check::describe_models() << "\n"
+              << kEngineHelp;
     return 0;
   }
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_str = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a value\n";
+  const std::string model = args[0];
+  const check::ModelInfo* info = check::ModelRegistry::global().find(model);
+  if (info == nullptr) {
+    std::cerr << "mpbcheck: unknown model '" << model << "'\n\n"
+              << check::describe_models();
+    return 2;
+  }
+
+  check::CheckRequest req;
+  req.model = model;
+  req.explore = harness::budget_from_env();
+  bool trace = false;
+  bool quiet = false;
+  bool progress = false;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "mpbcheck: " << arg << " needs a value\n";
         exit(2);
       }
-      return argv[++i];
+      return args[++i];
     };
-    auto next_num = [&](const std::string& key) {
-      opt.nums[key] = std::stol(next_str());
-    };
-    if (arg == "--single-message") opt.single_message = true;
-    else if (arg == "--faulty") opt.faulty = true;
-    else if (arg == "--wrong-regularity") opt.wrong_regularity = true;
-    else if (arg == "--symmetry") opt.symmetry = true;
-    else if (arg == "--no-net") opt.no_net = true;
-    else if (arg == "--exhaustive-seed") opt.exhaustive_seed = true;
-    else if (arg == "--trace") opt.trace = true;
-    else if (arg == "--quiet") opt.quiet = true;
-    else if (arg == "--strategy") opt.strategy = next_str();
-    else if (arg == "--split") opt.split = next_str();
-    else if (arg == "--seed") opt.seed = next_str();
-    else if (arg == "--visited") opt.visited = next_str();
-    else if (arg.rfind("--", 0) == 0) next_num(arg.substr(2));
-    else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      return 2;
-    }
-  }
-
-  // --- build the protocol and its symmetry roles ---
-  Protocol proto("unset");
-  std::vector<std::vector<ProcessId>> roles;
-  if (opt.protocol == "paxos") {
-    PaxosConfig cfg{
-        .proposers = static_cast<unsigned>(num_or(opt, "proposers", 2)),
-        .acceptors = static_cast<unsigned>(num_or(opt, "acceptors", 3)),
-        .learners = static_cast<unsigned>(num_or(opt, "learners", 1)),
-        .quorum_model = !opt.single_message,
-        .faulty_learner = opt.faulty};
-    proto = make_paxos(cfg);
-    roles = paxos_symmetric_roles(cfg);
-  } else if (opt.protocol == "echo") {
-    EchoConfig cfg{
-        .honest_receivers = static_cast<unsigned>(num_or(opt, "honest-receivers", 3)),
-        .honest_initiators =
-            static_cast<unsigned>(num_or(opt, "honest-initiators", 0)),
-        .byz_receivers = static_cast<unsigned>(num_or(opt, "byz-receivers", 1)),
-        .byz_initiators = static_cast<unsigned>(num_or(opt, "byz-initiators", 1)),
-        .tolerance = static_cast<int>(num_or(opt, "tolerance", -1)),
-        .quorum_model = !opt.single_message};
-    proto = make_echo_multicast(cfg);
-    roles = echo_symmetric_roles(cfg);
-  } else if (opt.protocol == "storage") {
-    StorageConfig cfg{.bases = static_cast<unsigned>(num_or(opt, "bases", 3)),
-                      .readers = static_cast<unsigned>(num_or(opt, "readers", 1)),
-                      .writes = static_cast<unsigned>(num_or(opt, "writes", 2)),
-                      .quorum_model = !opt.single_message,
-                      .wrong_regularity = opt.wrong_regularity};
-    proto = make_regular_storage(cfg);
-    roles = storage_symmetric_roles(cfg);
-  } else if (opt.protocol == "collector") {
-    CollectorConfig cfg{.senders = static_cast<unsigned>(num_or(opt, "senders", 4)),
-                        .quorum = static_cast<unsigned>(num_or(opt, "quorum", 3)),
-                        .quorum_model = !opt.single_message,
-                        .noise = static_cast<unsigned>(num_or(opt, "noise", 0))};
-    proto = make_collector(cfg);
-    roles = collector_symmetric_roles(cfg);
-  } else {
-    return usage(argv[0]);
-  }
-
-  // --- refinement ---
-  if (opt.split == "reply") proto = refine::reply_split(proto);
-  else if (opt.split == "quorum") proto = refine::quorum_split(proto);
-  else if (opt.split == "combined") proto = refine::combined_split(proto);
-  else if (opt.split != "none") {
-    std::cerr << "unknown split: " << opt.split << "\n";
-    return 2;
-  }
-
-  // --- strategy & budgets ---
-  harness::RunSpec spec;
-  if (opt.strategy == "full") spec.strategy = harness::Strategy::kUnreducedStateful;
-  else if (opt.strategy == "spor") spec.strategy = harness::Strategy::kSpor;
-  else if (opt.strategy == "dpor") spec.strategy = harness::Strategy::kDpor;
-  else if (opt.strategy == "stateless")
-    spec.strategy = harness::Strategy::kUnreducedStateless;
-  else {
-    std::cerr << "unknown strategy: " << opt.strategy << "\n";
-    return 2;
-  }
-  if (opt.seed == "transaction") spec.spor.seed = SeedHeuristic::kTransaction;
-  else if (opt.seed == "first") spec.spor.seed = SeedHeuristic::kFirst;
-  else if (opt.seed != "opposite") {
-    std::cerr << "unknown seed heuristic: " << opt.seed << "\n";
-    return 2;
-  }
-  spec.spor.state_dependent_nes = !opt.no_net;
-  spec.spor.exhaustive_seed = opt.exhaustive_seed;
-  spec.explore = harness::budget_from_env();
-  if (opt.nums.contains("max-states")) {
-    spec.explore.max_states = static_cast<std::uint64_t>(opt.nums["max-states"]);
-  }
-  if (opt.nums.contains("max-seconds")) {
-    spec.explore.max_seconds = static_cast<double>(opt.nums["max-seconds"]);
-  }
-  if (opt.nums.contains("threads")) {
-    spec.explore.threads =
-        static_cast<unsigned>(std::clamp(opt.nums["threads"], 1L, 256L));
-  }
-  if (!opt.visited.empty()) {
-    if (auto mode = visited_mode_from_string(opt.visited)) {
-      spec.explore.visited = *mode;
+    if (arg == "--help" || arg == "-h") {
+      std::cout << check::describe_model(model) << "\n" << kEngineHelp;
+      return 0;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--symmetry") {
+      req.symmetry = true;
+    } else if (arg == "--no-net") {
+      req.spor.state_dependent_nes = false;
+    } else if (arg == "--exhaustive-seed") {
+      req.spor.exhaustive_seed = true;
+    } else if (arg == "--strategy") {
+      req.strategy = next();
+    } else if (arg == "--split") {
+      req.split = next();
+    } else if (arg == "--seed") {
+      const std::string& name = next();
+      if (const auto h = check::seed_from_string(name)) {
+        req.spor.seed = *h;
+      } else {
+        std::cerr << "mpbcheck: unknown seed heuristic '" << name
+                  << "'; known: opposite transaction first\n";
+        return 2;
+      }
+    } else if (arg == "--visited") {
+      const std::string& name = next();
+      if (const auto mode = visited_mode_from_string(name)) {
+        req.explore.visited = *mode;
+      } else {
+        std::cerr << "mpbcheck: unknown visited mode '" << name
+                  << "'; known: exact fingerprint interned\n";
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      req.explore.threads = static_cast<unsigned>(
+          std::clamp(parse_long(arg, next()), 1L, 256L));
+    } else if (arg == "--max-states") {
+      req.explore.max_states =
+          static_cast<std::uint64_t>(parse_long(arg, next()));
+    } else if (arg == "--max-seconds") {
+      req.explore.max_seconds = static_cast<double>(parse_long(arg, next()));
+    } else if (arg.rfind("--", 0) == 0) {
+      // Anything else is a model parameter: the schema says whether it is a
+      // value-less flag (bool) or consumes the next argument (int).
+      const std::string key = arg.substr(2);
+      const check::ParamSpec* spec = nullptr;
+      for (const check::ParamSpec& candidate : info->params) {
+        if (candidate.name == key) {
+          spec = &candidate;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        std::cerr << "mpbcheck: model '" << model << "' has no option '" << arg
+                  << "'\n\n"
+                  << check::describe_model(model) << "\n"
+                  << kEngineHelp;
+        return 2;
+      }
+      req.params[key] = spec->type == check::ParamType::kBool ? "" : next();
     } else {
-      std::cerr << "unknown visited mode: " << opt.visited << "\n";
+      std::cerr << "mpbcheck: unknown argument: " << arg << "\n";
       return 2;
     }
   }
-  if (spec.explore.threads > 1 &&
-      spec.strategy != harness::Strategy::kUnreducedStateful && !opt.quiet) {
+
+  if (req.explore.threads > 1 && req.strategy != "full" && !quiet) {
     std::cerr << "note: --threads applies to the unreduced stateful search "
                  "only; running sequentially\n";
   }
 
-  SymmetryReducer sym(proto, opt.symmetry ? roles
-                                          : std::vector<std::vector<ProcessId>>{});
-  if (opt.symmetry) {
-    if (opt.split != "none") {
-      // Split copies break the structural symmetry of the original roles.
-      std::cerr << "note: --symmetry with --split is unsupported; ignoring "
-                   "--symmetry\n";
-    } else {
-      spec.explore.canonicalize = [&sym](const State& s) {
-        return sym.canonicalize(s);
-      };
+  if (progress) {
+    req.explore.progress_every_events = 1u << 16;
+    req.explore.on_progress = [](const ExploreStats& st) {
+      std::cerr << "progress: states=" << harness::format_count(st.states_stored)
+                << "  events=" << harness::format_count(st.events_executed)
+                << "  elapsed=" << harness::format_time(st.seconds) << "\n";
+    };
+  }
+
+  try {
+    const std::string strategy = req.strategy;
+    const std::string split = req.split;
+    const bool symmetry = req.symmetry;
+    check::Checker checker(std::move(req));
+
+    if (!quiet) {
+      std::cout << "model: " << checker.protocol().name() << " ("
+                << checker.protocol().n_procs() << " processes, "
+                << checker.protocol().n_transitions() << " transitions)\n"
+                << "strategy: " << strategy
+                << (symmetry ? " + symmetry" : "") << ", split: " << split
+                << "\n";
     }
-  }
 
-  if (!opt.quiet) {
-    std::cout << "model: " << proto.name() << " (" << proto.n_procs()
-              << " processes, " << proto.n_transitions() << " transitions)\n"
-              << "strategy: " << harness::to_string(spec.strategy)
-              << (opt.symmetry ? " + symmetry" : "") << ", split: " << opt.split
-              << "\n";
-  }
+    const check::CheckResult r = checker.run();
 
-  const ExploreResult r = harness::run(proto, spec);
-
-  std::cout << to_string(r.verdict) << "  states="
-            << harness::format_count(r.stats.states_stored)
-            << "  events=" << harness::format_count(r.stats.events_executed)
-            << "  time=" << harness::format_time(r.stats.seconds);
-  if (r.verdict == Verdict::kViolated) std::cout << "  property=" << r.violated_property;
-  std::cout << "\n";
-
-  if (opt.trace && r.verdict == Verdict::kViolated) {
-    if (r.counterexample.empty()) {
-      std::cout << "(no trace: the parallel search does not reconstruct "
-                   "counterexample paths; rerun with --threads 1)\n";
-    } else {
-      print_counterexample(std::cout, proto, r);
-      std::cout << "replay: "
-                << (replay_counterexample(proto, r) ? "ok" : "FAILED") << "\n";
+    std::cout << to_string(r.verdict())
+              << "  states=" << harness::format_count(r.stats().states_stored)
+              << "  events=" << harness::format_count(r.stats().events_executed)
+              << "  time=" << harness::format_time(r.stats().seconds);
+    if (r.verdict() == Verdict::kViolated) {
+      std::cout << "  property=" << r.result.violated_property;
     }
+    std::cout << "\n";
+
+    if (trace && r.verdict() == Verdict::kViolated) {
+      if (r.result.counterexample.empty()) {
+        std::cout << "(no trace: the parallel search does not reconstruct "
+                     "counterexample paths; rerun with --threads 1)\n";
+      } else {
+        print_counterexample(std::cout, r.protocol, r.result);
+        std::cout << "replay: "
+                  << (replay_counterexample(r.protocol, r.result) ? "ok"
+                                                                  : "FAILED")
+                  << "\n";
+      }
+    }
+    return r.verdict() == Verdict::kViolated ? 1 : 0;
+  } catch (const check::CheckError& e) {
+    std::cerr << "mpbcheck: " << e.what() << "\n";
+    return 2;
   }
-  return r.verdict == Verdict::kViolated ? 1 : 0;
 }
