@@ -1,9 +1,10 @@
 // Exploration-throughput bench: the perf trajectory of the exploration core.
 //
 // Runs the paxos_explore and storage_audit workloads in stateful mode —
-// sequentially (the baseline, with the cached-fingerprint hash counters) and
-// on the parallel work-sharing explorer at increasing thread counts — and
-// writes every cell to a machine-readable JSON file (default
+// unreduced ("full") and SPOR-reduced, sequentially (the baseline, with the
+// cached-fingerprint hash counters) and on the parallel work-sharing explorer
+// at increasing thread counts (SPOR parallelizes under the visited-set cycle
+// proviso) — and writes every cell to a machine-readable JSON file (default
 // BENCH_explore.json) recording states/sec, events/sec, peak RSS and the
 // full-hash-pass counters. tools/bench_compare.py diffs two such files with a
 // regression threshold.
@@ -79,28 +80,35 @@ int main(int argc, char** argv) {
 
   std::vector<harness::BenchRecord> records;
   for (Workload& w : make_workloads()) {
-    for (unsigned threads : thread_counts) {
-      check::CheckRequest req;
-      req.model = w.model;
-      req.params = w.params;
-      req.strategy = "full";
-      req.explore = harness::budget_from_env();
-      req.explore.visited = visited;
-      req.explore.threads = threads;
-      // This bench writes its own JSON with cell-level names below; keep the
-      // $MPB_BENCH_JSON at-exit flush from overwriting that file.
-      req.record = false;
-      reset_state_hash_counters();
-      const std::string cell = w.name + "/full/t" + std::to_string(threads);
-      const check::CheckResult r = check::run_check(std::move(req));
-      harness::BenchRecord rec = check::to_record(r, cell);
-      records.push_back(rec);
-      std::cout << cell << ": " << to_string(r.verdict()) << "  "
-                << harness::format_count(r.stats().states_stored) << " states  "
-                << harness::format_time(r.stats().seconds) << "  "
-                << static_cast<std::uint64_t>(rec.states_per_sec)
-                << " states/s  hash passes/queries " << rec.full_hash_passes
-                << "/" << rec.hash_queries << "\n";
+    for (const std::string strategy : {"full", "spor"}) {
+      for (unsigned threads : thread_counts) {
+        check::CheckRequest req;
+        req.model = w.model;
+        req.params = w.params;
+        req.strategy = strategy;
+        // Pin the visited-set proviso for every spor cell (kAuto would give
+        // t1 the stack proviso), so the thread-scaling row compares runs
+        // with identical reduction semantics.
+        if (strategy == "spor") req.spor.proviso = CycleProviso::kVisited;
+        req.explore = harness::budget_from_env();
+        req.explore.visited = visited;
+        req.explore.threads = threads;
+        // This bench writes its own JSON with cell-level names below; keep
+        // the $MPB_BENCH_JSON at-exit flush from overwriting that file.
+        req.record = false;
+        reset_state_hash_counters();
+        const std::string cell =
+            w.name + "/" + strategy + "/t" + std::to_string(threads);
+        const check::CheckResult r = check::run_check(std::move(req));
+        harness::BenchRecord rec = check::to_record(r, cell);
+        records.push_back(rec);
+        std::cout << cell << ": " << to_string(r.verdict()) << "  "
+                  << harness::format_count(r.stats().states_stored)
+                  << " states  " << harness::format_time(r.stats().seconds)
+                  << "  " << static_cast<std::uint64_t>(rec.states_per_sec)
+                  << " states/s  hash passes/queries " << rec.full_hash_passes
+                  << "/" << rec.hash_queries << "\n";
+      }
     }
   }
 

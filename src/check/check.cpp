@@ -16,12 +16,15 @@ std::unique_ptr<ReductionStrategy> make_spor(const Protocol& proto,
   return std::make_unique<SporStrategy>(proto, opts);
 }
 
-// "full" and the stateless strategies carry no factory: a null strategy is
-// what routes the stateful search onto the parallel worker pool.
+// "full" and the stateless strategies carry no factory: a null strategy (or
+// one whose proviso needs no DFS stack) is what routes the stateful search
+// onto the parallel worker pool.
 constexpr std::array<StrategyInfo, 4> kStrategies{{
     {"full", "unreduced stateful search (parallelizable via --threads)",
      /*stateful=*/true, /*reduced=*/false, nullptr},
-    {"spor", "stubborn-set static POR, stateful (the paper's MP-LPOR)",
+    {"spor",
+     "stubborn-set static POR, stateful (the paper's MP-LPOR; parallelizable "
+     "via --threads under the visited-set cycle proviso)",
      /*stateful=*/true, /*reduced=*/true, &make_spor},
     {"dpor", "Flanagan-Godefroid dynamic POR, stateless (Basset's baseline)",
      /*stateful=*/false, /*reduced=*/true, nullptr},
@@ -47,6 +50,14 @@ std::optional<SeedHeuristic> seed_from_string(std::string_view name) noexcept {
   if (name == "opposite") return SeedHeuristic::kOppositeTransaction;
   if (name == "transaction") return SeedHeuristic::kTransaction;
   if (name == "first") return SeedHeuristic::kFirst;
+  return std::nullopt;
+}
+
+std::optional<CycleProviso> proviso_from_string(std::string_view name) noexcept {
+  if (name == "auto") return CycleProviso::kAuto;
+  if (name == "stack") return CycleProviso::kStack;
+  if (name == "visited") return CycleProviso::kVisited;
+  if (name == "off") return CycleProviso::kOff;
   return std::nullopt;
 }
 
@@ -105,6 +116,12 @@ Checker::Checker(CheckRequest req) : req_(std::move(req)), proto_("unset") {
         "symmetry requires a stateful strategy (full or spor): the stateless "
         "searches keep no visited set to canonicalize");
   }
+  if (strategy_->name == "spor" && req_.explore.threads > 1 &&
+      req_.spor.proviso == CycleProviso::kStack) {
+    throw CheckError(
+        "the stack cycle proviso needs a single sequential DFS; use "
+        "--threads 1 or the visited-set proviso (--proviso visited or auto)");
+  }
 
   // --- model ---
   std::vector<std::vector<ProcessId>> roles;
@@ -135,10 +152,23 @@ CheckResult Checker::run() {
     cfg.canonicalize = [this](const State& s) { return sym_->canonicalize(s); };
   }
 
+  // Resolve the SPOR cycle proviso: sequential runs keep the classic stack
+  // proviso, parallel runs take the visited-set proviso (which is what lets
+  // explore() route a reduced search onto the worker pool).
+  SporOptions spor = req_.spor;
+  std::string proviso = "-";
+  if (strategy_->name == "spor") {
+    if (spor.proviso == CycleProviso::kAuto) {
+      spor.proviso = cfg.threads > 1 ? CycleProviso::kVisited
+                                     : CycleProviso::kStack;
+    }
+    proviso = std::string(to_string(spor.proviso));
+  }
+
   ExploreResult r;
   if (strategy_->stateful) {
     r = explore(proto_, cfg,
-                strategy_->make ? strategy_->make(proto_, req_.spor) : nullptr);
+                strategy_->make ? strategy_->make(proto_, spor) : nullptr);
   } else {
     r = explore_dpor(proto_, cfg, DporOptions{.reduce = strategy_->reduced});
   }
@@ -150,6 +180,7 @@ CheckResult Checker::run() {
   out.strategy = req_.strategy;
   out.split = std::string(to_string(split_));
   out.visited = std::string(to_string(cfg.visited));
+  out.proviso = std::move(proviso);
   out.symmetry = req_.symmetry;
   out.symmetry_orbit_bound = orbit_bound();
   out.threads = out.result.stats.threads_used;

@@ -49,6 +49,11 @@ struct StrategyInfo {
 [[nodiscard]] std::optional<SeedHeuristic> seed_from_string(
     std::string_view name) noexcept;
 
+// Cycle-proviso selector by name ("auto" | "stack" | "visited" | "off"),
+// for mpbcheck --proviso.
+[[nodiscard]] std::optional<CycleProviso> proviso_from_string(
+    std::string_view name) noexcept;
+
 // --- refinement splits by name ---------------------------------------------
 
 enum class Split { kNone, kReply, kQuorum, kCombined };
@@ -96,6 +101,9 @@ struct CheckResult {
   std::string strategy;
   std::string split;
   std::string visited;
+  // Resolved cycle proviso of a SPOR run ("stack" sequentially, "visited" on
+  // the worker pool, or as requested); "-" for the other strategies.
+  std::string proviso = "-";
   bool symmetry = false;
   std::uint64_t symmetry_orbit_bound = 1;
   unsigned threads = 1;

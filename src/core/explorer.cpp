@@ -28,6 +28,19 @@ std::vector<std::size_t> FullExpansion::select(const State&,
   return all;
 }
 
+std::vector<TraceStep> replay_trace(const Protocol& proto,
+                                    std::span<const Event> events,
+                                    const ExecuteOptions& opts) {
+  std::vector<TraceStep> trace;
+  trace.reserve(events.size());
+  State s = proto.initial();
+  for (const Event& e : events) {
+    s = execute(proto, s, e, opts);
+    trace.push_back(TraceStep{e, s});
+  }
+  return trace;
+}
+
 namespace {
 
 [[nodiscard]] unsigned auto_shards(const ExploreConfig& cfg) {
@@ -35,9 +48,42 @@ namespace {
   return cfg.threads > 1 ? cfg.threads * 4 : 1;
 }
 
+// Canonicalize (when configured), fingerprint and insert a state, threading
+// the state-graph parent/via. The single implementation behind the root and
+// successor inserts of both search engines; `fp_out` receives the canonical
+// fingerprint (the visited key, reused as the terminal fingerprint).
+template <typename Set>
+VisitedInsert insert_canonical(Set& visited,
+                               const std::function<State(const State&)>& canonicalize,
+                               const State& s, StateHandle parent,
+                               const Event* via, Fingerprint* fp_out) {
+  if (canonicalize) {
+    const State canon = canonicalize(s);
+    *fp_out = canon.fingerprint();
+    return visited.insert(canon, *fp_out, parent, via);
+  }
+  *fp_out = s.fingerprint();
+  return visited.insert(s, *fp_out, parent, via);
+}
+
+// The matching membership probe (the visited-set cycle proviso's oracle).
+template <typename Set>
+bool contains_canonical(const Set& visited,
+                        const std::function<State(const State&)>& canonicalize,
+                        const State& s) {
+  if (canonicalize) {
+    const State canon = canonicalize(s);
+    return visited.contains(canon, canon.fingerprint());
+  }
+  return visited.contains(s, s.fingerprint());
+}
+
 // Visited-set abstraction over the three storage modes. kExact keeps the
 // seed's std::unordered_set of full State copies as the sequential reference
-// implementation; kFingerprint and kInterned share the sharded table.
+// implementation; kFingerprint and kInterned share the sharded table, and
+// kInterned records the state graph (parent handle + incoming event per
+// entry). All search modes insert through this interface, so whichever mode
+// runs, the graph semantics are identical.
 class VisitedSet {
  public:
   VisitedSet(VisitedMode mode, unsigned shards)
@@ -45,10 +91,18 @@ class VisitedSet {
         sharded_(mode == VisitedMode::kExact ? VisitedMode::kInterned : mode,
                  shards) {}
 
-  // Returns true if `s` was newly inserted. `fp` must be s.fingerprint().
-  bool insert(const State& s, const Fingerprint& fp) {
-    if (mode_ == VisitedMode::kExact) return exact_.insert(s).second;
-    return sharded_.insert(s, fp);
+  // `fp` must be s.fingerprint().
+  VisitedInsert insert(const State& s, const Fingerprint& fp,
+                       StateHandle parent, const Event* via) {
+    if (mode_ == VisitedMode::kExact) {
+      return {exact_.insert(s).second, kNoHandle};
+    }
+    return sharded_.insert(s, fp, parent, via);
+  }
+
+  [[nodiscard]] bool contains(const State& s, const Fingerprint& fp) const {
+    if (mode_ == VisitedMode::kExact) return exact_.contains(s);
+    return sharded_.contains(s, fp);
   }
 
   [[nodiscard]] std::uint64_t size() const noexcept {
@@ -84,6 +138,9 @@ struct Frame {
   State s;
   std::vector<Event> chosen;
   std::size_t next = 0;
+  // This state's entry in the interned state graph (kNoHandle in the exact /
+  // fingerprint modes and in stateless searches).
+  StateHandle handle = kNoHandle;
 };
 
 class Search {
@@ -100,6 +157,7 @@ class Search {
     start_ = std::chrono::steady_clock::now();
     hash_passes_at_start_ = state_full_hash_passes();
     hash_queries_at_start_ = state_hash_queries();
+    fallbacks_at_start_ = strategy_ ? strategy_->proviso_fallbacks() : 0;
     State init = proto_.initial();
     if (check_violation(init)) {
       finish();
@@ -109,14 +167,11 @@ class Search {
       // Canonicalize once; the canonical fingerprint doubles as the terminal
       // fingerprint below.
       Fingerprint canon_fp;
-      if (cfg_.canonicalize) {
-        canon_fp = visit_canonical(cfg_.canonicalize(init));
-      } else {
-        canon_fp = visit_canonical(init);
-      }
-      push_frame(std::move(init), &canon_fp);
+      const VisitedInsert root = insert_canonical(
+          visited_, cfg_.canonicalize, init, kNoHandle, nullptr, &canon_fp);
+      push_frame(std::move(init), &canon_fp, root.handle);
     } else {
-      push_frame(std::move(init), nullptr);
+      push_frame(std::move(init), nullptr, kNoHandle);
     }
 
     while (!frames_.empty() && !done_) {
@@ -145,20 +200,16 @@ class Search {
 
       Fingerprint canon_fp;
       const Fingerprint* canon_fp_ptr = nullptr;
+      StateHandle succ_handle = kNoHandle;
       if (cfg_.mode == SearchMode::kStateful) {
         // One canonicalization per successor, reused for the visited probe
-        // and (below) the terminal fingerprint.
-        bool inserted;
-        if (cfg_.canonicalize) {
-          State canon = cfg_.canonicalize(succ);
-          canon_fp = canon.fingerprint();
-          inserted = visited_.insert(canon, canon_fp);
-        } else {
-          canon_fp = succ.fingerprint();
-          inserted = visited_.insert(succ, canon_fp);
-        }
-        if (!inserted) continue;
+        // and (below) the terminal fingerprint. The insert threads the state
+        // graph: parent = the expanding frame's entry, via = the event taken.
+        const VisitedInsert ins = insert_canonical(
+            visited_, cfg_.canonicalize, succ, f.handle, &e, &canon_fp);
+        if (!ins.inserted) continue;
         canon_fp_ptr = &canon_fp;
+        succ_handle = ins.handle;
       } else {
         if (stack_set_.contains(succ)) continue;  // cut cycles in stateless mode
         if (frames_.size() >= cfg_.max_depth) {
@@ -172,23 +223,16 @@ class Search {
         if (cfg_.stop_at_first_violation) break;
         continue;
       }
-      push_frame(std::move(succ), canon_fp_ptr);
+      push_frame(std::move(succ), canon_fp_ptr, succ_handle);
     }
     finish();
     return std::move(result_);
   }
 
  private:
-  // Insert a canonical state into the visited set, returning its fingerprint.
-  Fingerprint visit_canonical(const State& canon) {
-    const Fingerprint fp = canon.fingerprint();
-    visited_.insert(canon, fp);
-    return fp;
-  }
-
   // `canon_fp` is the fingerprint of the canonicalized state when the caller
   // already computed it (stateful mode); nullptr means compute on demand.
-  void push_frame(State s, const Fingerprint* canon_fp) {
+  void push_frame(State s, const Fingerprint* canon_fp, StateHandle handle) {
     ++result_.stats.states_visited;
     result_.stats.max_depth_seen =
         std::max(result_.stats.max_depth_seen, static_cast<unsigned>(frames_.size()) + 1);
@@ -208,7 +252,7 @@ class Search {
         result_.terminal_fingerprints.push_back(fp);
       }
       stack_set_.push(s);
-      frames_.push_back(Frame{std::move(s), {}, 0});
+      frames_.push_back(Frame{std::move(s), {}, 0, handle});
       return;
     }
 
@@ -218,7 +262,12 @@ class Search {
     } else {
       StrategyContext ctx{
           [&](const Event& e) { return execute(proto_, s, e, exec_opts_); },
-          [&](const State& st) { return stack_set_.contains(st); }};
+          [&](const State& st) { return stack_set_.contains(st); },
+          cfg_.mode == SearchMode::kStateful
+              ? std::function<bool(const State&)>([&](const State& st) {
+                  return contains_canonical(visited_, cfg_.canonicalize, st);
+                })
+              : std::function<bool(const State&)>{}};
       std::vector<std::size_t> idx = strategy_->select(s, enabled, ctx);
       if (idx.size() >= enabled.size()) ++result_.stats.full_expansions;
       chosen.reserve(idx.size());
@@ -226,7 +275,7 @@ class Search {
     }
     result_.stats.events_selected += chosen.size();
     stack_set_.push(s);
-    frames_.push_back(Frame{std::move(s), std::move(chosen), 0});
+    frames_.push_back(Frame{std::move(s), std::move(chosen), 0, handle});
   }
 
   // Returns true (and records) if a property is violated in `s`.
@@ -249,18 +298,23 @@ class Search {
     snap.states_stored = cfg_.mode == SearchMode::kStateful
                              ? visited_.size()
                              : snap.states_visited;
+    snap.frontier = frames_.size();
     snap.seconds = elapsed();
     cfg_.on_progress(snap);
   }
 
-  void record_counterexample(const Event& last, const State& violating) {
-    result_.counterexample.clear();
+  // The DFS stack is the parent chain of the violating state: gather its
+  // event sequence and rebuild the trace through the shared replay helper
+  // (execute() is deterministic, so the replayed states are the ones seen).
+  void record_counterexample(const Event& last, const State&) {
+    std::vector<Event> events;
+    events.reserve(frames_.size());
     for (std::size_t i = 0; i + 1 < frames_.size(); ++i) {
       const Frame& f = frames_[i];
-      result_.counterexample.push_back(
-          TraceStep{f.chosen[f.next - 1], frames_[i + 1].s});
+      events.push_back(f.chosen[f.next - 1]);
     }
-    result_.counterexample.push_back(TraceStep{last, violating});
+    events.push_back(last);
+    result_.counterexample = replay_trace(proto_, events, exec_opts_);
   }
 
   [[nodiscard]] bool over_budget() {
@@ -288,6 +342,10 @@ class Search {
     result_.stats.full_hash_passes =
         state_full_hash_passes() - hash_passes_at_start_;
     result_.stats.hash_queries = state_hash_queries() - hash_queries_at_start_;
+    if (strategy_ != nullptr) {
+      result_.stats.proviso_fallbacks =
+          strategy_->proviso_fallbacks() - fallbacks_at_start_;
+    }
     if (result_.verdict != Verdict::kViolated && truncated_) {
       result_.verdict = Verdict::kBudgetExceeded;
     }
@@ -307,6 +365,7 @@ class Search {
   std::chrono::steady_clock::time_point start_;
   std::uint64_t hash_passes_at_start_ = 0;
   std::uint64_t hash_queries_at_start_ = 0;
+  std::uint64_t fallbacks_at_start_ = 0;
   std::uint64_t budget_tick_ = 0;
   bool truncated_ = false;
   bool done_ = false;
@@ -318,14 +377,30 @@ class Search {
 // its local stack and donates the shallowest half of that stack whenever the
 // global frontier runs dry, so idle workers always find work while most
 // pushes/pops stay lock-free. The sharded visited table admits each unique
-// state exactly once, which makes states_stored / terminal_states /
-// events_executed independent of the schedule and equal to the sequential
-// search's counts.
+// state exactly once, which (for the unreduced search) makes states_stored /
+// terminal_states / events_executed independent of the schedule and equal to
+// the sequential search's counts.
+//
+// With a reduction strategy (SPOR under the visited-set cycle proviso), one
+// shared strategy object serves all workers — its select() must be
+// thread-safe (guaranteed by needs_dfs_stack() == false, see explorer.hpp).
+// The chosen sets then depend on visited-set contents at evaluation time, so
+// the reduced state count varies with the schedule; the verdict does not.
+//
+// Counterexamples: every insert records the successor's parent entry and
+// incoming event in the interned arena. The first violation captures
+// {parent handle, final event, violating state}; after the pool drains, the
+// parent walk (ShardedVisited::path_from_root) plus the final event is
+// replayed through execute() into a TraceStep path. Fingerprint mode stores
+// no states (no trace); a symmetry canonicalizer stores representative
+// states whose recorded events need not form a concrete run (no trace).
 class ParallelSearch {
  public:
-  ParallelSearch(const Protocol& proto, const ExploreConfig& cfg)
+  ParallelSearch(const Protocol& proto, const ExploreConfig& cfg,
+                 ReductionStrategy* strategy)
       : proto_(proto),
         cfg_(cfg),
+        strategy_(strategy),
         threads_(std::clamp(cfg.threads, 1u, 256u)),
         visited_(cfg.visited == VisitedMode::kExact ? VisitedMode::kInterned
                                                     : cfg.visited,
@@ -337,6 +412,8 @@ class ParallelSearch {
     start_ = std::chrono::steady_clock::now();
     const std::uint64_t passes0 = state_full_hash_passes();
     const std::uint64_t queries0 = state_hash_queries();
+    const std::uint64_t fallbacks0 =
+        strategy_ ? strategy_->proviso_fallbacks() : 0;
 
     worker_stats_.assign(threads_, ExploreStats{});
     worker_terminals_.assign(threads_, {});
@@ -347,16 +424,10 @@ class ParallelSearch {
       result_.violated_property = p->name;
     } else {
       Fingerprint canon_fp;
-      if (cfg_.canonicalize) {
-        State canon = cfg_.canonicalize(init);
-        canon_fp = canon.fingerprint();
-        visited_.insert(canon, canon_fp);
-      } else {
-        canon_fp = init.fingerprint();
-        visited_.insert(init, canon_fp);
-      }
+      const VisitedInsert root = insert_canonical(
+          visited_, cfg_.canonicalize, init, kNoHandle, nullptr, &canon_fp);
       outstanding_.store(1, std::memory_order_relaxed);
-      queue_.push_back(Item{std::move(init), canon_fp, 0});
+      queue_.push_back(Item{std::move(init), canon_fp, root.handle, 0});
       qsize_.store(1, std::memory_order_relaxed);
 
       std::vector<std::thread> pool;
@@ -374,6 +445,7 @@ class ParallelSearch {
       result_.stats.events_selected += st.events_selected;
       result_.stats.events_enabled += st.events_enabled;
       result_.stats.terminal_states += st.terminal_states;
+      result_.stats.full_expansions += st.full_expansions;
       result_.stats.max_depth_seen =
           std::max(result_.stats.max_depth_seen, st.max_depth_seen);
     }
@@ -382,6 +454,13 @@ class ParallelSearch {
     std::sort(tf.begin(), tf.end());
     tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
 
+    if (result_.verdict == Verdict::kViolated && pending_.armed &&
+        visited_.mode() == VisitedMode::kInterned && !cfg_.canonicalize) {
+      std::vector<Event> events = visited_.path_from_root(pending_.parent);
+      events.push_back(pending_.last);
+      result_.counterexample = replay_trace(proto_, events, exec_opts_);
+    }
+
     result_.stats.states_stored = visited_.size();
     result_.stats.threads_used = threads_;
     result_.stats.seconds =
@@ -389,6 +468,10 @@ class ParallelSearch {
             .count();
     result_.stats.full_hash_passes = state_full_hash_passes() - passes0;
     result_.stats.hash_queries = state_hash_queries() - queries0;
+    if (strategy_ != nullptr) {
+      result_.stats.proviso_fallbacks =
+          strategy_->proviso_fallbacks() - fallbacks0;
+    }
     if (result_.verdict != Verdict::kViolated &&
         truncated_.load(std::memory_order_relaxed)) {
       result_.verdict = Verdict::kBudgetExceeded;
@@ -402,6 +485,9 @@ class ParallelSearch {
     // Fingerprint of the canonicalized state, computed once at visited-insert
     // time and reused as the terminal fingerprint.
     Fingerprint canon_fp;
+    // This state's entry in the interned state graph (kNoHandle when the
+    // visited set is fingerprint-only).
+    StateHandle handle = kNoHandle;
     unsigned depth = 0;
   };
 
@@ -460,16 +546,35 @@ class ParallelSearch {
     ++st.states_visited;
     st.max_depth_seen = std::max(st.max_depth_seen, item.depth + 1);
 
-    const std::vector<Event> enabled = enumerate_events(proto_, item.s);
+    std::vector<Event> enabled = enumerate_events(proto_, item.s);
     st.events_enabled += enabled.size();
-    st.events_selected += enabled.size();  // unreduced: all events chosen
     if (enabled.empty()) {
       ++st.terminal_states;
       if (cfg_.collect_terminals) terminals.push_back(item.canon_fp);
       return;
     }
 
-    for (const Event& e : enabled) {
+    std::vector<Event> chosen;
+    if (strategy_ == nullptr) {
+      chosen = std::move(enabled);
+    } else {
+      // The shared strategy evaluates its cycle proviso against the global
+      // visited set (no DFS stack exists here); see por/spor.cpp for why
+      // that probe is sound under concurrent inserts.
+      StrategyContext ctx{
+          [&](const Event& e) { return execute(proto_, item.s, e, exec_opts_); },
+          /*on_stack=*/{},
+          [&](const State& s) {
+            return contains_canonical(visited_, cfg_.canonicalize, s);
+          }};
+      std::vector<std::size_t> idx = strategy_->select(item.s, enabled, ctx);
+      if (idx.size() >= enabled.size()) ++st.full_expansions;
+      chosen.reserve(idx.size());
+      for (std::size_t i : idx) chosen.push_back(std::move(enabled[i]));
+    }
+    st.events_selected += chosen.size();
+
+    for (const Event& e : chosen) {
       if (stopped()) return;
       std::string failed;
       State succ = execute(proto_, item.s, e, exec_opts_, &failed);
@@ -485,43 +590,45 @@ class ParallelSearch {
         emit_progress(global_events);
       }
       if (!failed.empty()) {
-        record_violation(failed);
+        record_violation(failed, item.handle, e);
         if (cfg_.stop_at_first_violation) return;
       }
 
       // One canonicalization per successor; its cached fingerprint feeds the
-      // visited probe and is carried along as the terminal fingerprint.
-      bool inserted;
+      // visited probe and is carried along as the terminal fingerprint. The
+      // insert threads the state graph: parent = the expanded item's entry.
       Fingerprint canon_fp;
-      if (cfg_.canonicalize) {
-        State canon = cfg_.canonicalize(succ);
-        canon_fp = canon.fingerprint();
-        inserted = visited_.insert(canon, canon_fp);
-      } else {
-        canon_fp = succ.fingerprint();
-        inserted = visited_.insert(succ, canon_fp);
-      }
-      if (!inserted) continue;
+      const VisitedInsert ins = insert_canonical(
+          visited_, cfg_.canonicalize, succ, item.handle, &e, &canon_fp);
+      if (!ins.inserted) continue;
       if (visited_.size() > cfg_.max_states) {
         signal_truncated();
         return;
       }
       if (const Property* p = proto_.violated_property(succ)) {
-        record_violation(p->name);
+        record_violation(p->name, item.handle, e);
         if (cfg_.stop_at_first_violation) return;
         continue;
       }
       outstanding_.fetch_add(1, std::memory_order_acq_rel);
-      local.push_back(Item{std::move(succ), canon_fp, item.depth + 1});
+      local.push_back(Item{std::move(succ), canon_fp, ins.handle, item.depth + 1});
     }
   }
 
-  void record_violation(const std::string& property) {
+  void record_violation(const std::string& property, StateHandle parent,
+                        const Event& last) {
     {
       std::lock_guard<std::mutex> lk(result_mu_);
       if (result_.verdict != Verdict::kViolated) {
         result_.verdict = Verdict::kViolated;
         result_.violated_property = property;
+        // Trace seed for the winning violation: the parent entry plus the
+        // final event; the violating endpoint is recomputed by the replay
+        // (it may never have been interned — an assertion failure records
+        // before any insert).
+        pending_.parent = parent;
+        pending_.last = last;
+        pending_.armed = true;
       }
     }
     if (cfg_.on_violation) {
@@ -541,6 +648,7 @@ class ParallelSearch {
     ExploreStats snap;
     snap.states_stored = visited_.size();
     snap.events_executed = global_events;
+    snap.frontier = qsize_.load(std::memory_order_relaxed);
     snap.threads_used = threads_;
     snap.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -571,11 +679,21 @@ class ParallelSearch {
                .count() > cfg_.max_seconds;
   }
 
+  // First-violation trace seed; written once under result_mu_, read after
+  // the pool joins.
+  struct PendingTrace {
+    StateHandle parent = kNoHandle;
+    Event last;
+    bool armed = false;
+  };
+
   const Protocol& proto_;
   const ExploreConfig& cfg_;
+  ReductionStrategy* strategy_;
   unsigned threads_;
   ExecuteOptions exec_opts_;
   ShardedVisited visited_;
+  PendingTrace pending_;
 
   mutable std::mutex qmu_;
   std::condition_variable qcv_;
@@ -600,8 +718,8 @@ class ParallelSearch {
 ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
                       ReductionStrategy* strategy) {
   if (cfg.threads > 1 && cfg.mode == SearchMode::kStateful &&
-      strategy == nullptr) {
-    return ParallelSearch(proto, cfg).run();
+      (strategy == nullptr || !strategy->needs_dfs_stack())) {
+    return ParallelSearch(proto, cfg, strategy).run();
   }
   return Search(proto, cfg, strategy).run();
 }

@@ -11,15 +11,21 @@
 // enabled events to explore. FullExpansion is the unreduced baseline; the SPOR
 // stubborn-set strategy lives in src/por/spor.hpp.
 //
-// Parallelism: with cfg.threads > 1 the *stateful, unreduced* search runs on
-// a fixed worker pool sharing a global frontier of independent DFS root
-// frames over a sharded visited set (see core/visited.hpp). Reduction
-// strategies (stubborn sets need the DFS-stack cycle proviso) and stateless /
-// DPOR searches are inherently sequential and ignore cfg.threads; see
-// docs/ARCHITECTURE.md for the parallel-safety matrix. Parallel runs report
-// the same verdict and the same states_stored / terminal_states as the
-// sequential search, but do not reconstruct counterexample paths — rerun
-// sequentially to obtain a trace.
+// Parallelism: with cfg.threads > 1 every *stateful* search whose strategy
+// does not need the DFS stack (full expansion, and SPOR under the visited-set
+// cycle proviso — see por/spor.hpp) runs on a fixed worker pool sharing a
+// global frontier of independent DFS root frames over a sharded visited set
+// (core/visited.hpp). Stateless / DPOR searches are inherently sequential and
+// ignore cfg.threads; see docs/ARCHITECTURE.md for the parallel-safety
+// matrix. Unreduced parallel runs report the same verdict and the same
+// states_stored / terminal_states as the sequential search; reduced parallel
+// runs report the same verdict (the reduction itself is schedule-dependent).
+// Parallel runs reconstruct counterexample traces by walking the interned
+// state graph's parent handles back to the root and replaying the events
+// through execute() — available whenever the visited set is interned (the
+// default `exact` mode upgrades to interned in parallel runs) and no symmetry
+// canonicalizer is installed (canonical entries record representative states,
+// whose events need not be enabled along any concrete path).
 #pragma once
 
 #include <chrono>
@@ -54,9 +60,10 @@ struct ExploreStats;  // declared below; the progress hook passes snapshots
 struct ExploreConfig {
   SearchMode mode = SearchMode::kStateful;
   VisitedMode visited = VisitedMode::kExact;
-  // Worker threads for the stateful unreduced search; 1 = sequential. The
-  // sequential path is taken (and `threads` ignored) for stateless mode and
-  // for reduced (strategy != nullptr) searches.
+  // Worker threads for stateful searches; 1 = sequential. The sequential
+  // path is taken (and `threads` ignored) for stateless mode and for
+  // strategies that need the DFS stack (ReductionStrategy::needs_dfs_stack,
+  // e.g. SPOR under the stack cycle proviso).
   unsigned threads = 1;
   // Shard count for the sharded visited table; 0 = auto (4x threads).
   unsigned visited_shards = 0;
@@ -102,6 +109,12 @@ struct ExploreStats {
   std::uint64_t events_enabled = 0;   // events enabled before reduction
   std::uint64_t terminal_states = 0;  // states with no enabled event
   std::uint64_t full_expansions = 0;  // states where reduction fell back to all
+  // Candidate reduced sets the strategy abandoned because of its cycle
+  // proviso during this run (SPOR; see ReductionStrategy::proviso_fallbacks).
+  std::uint64_t proviso_fallbacks = 0;
+  // Progress snapshots only: open frames (sequential DFS stack) or queued
+  // global-frontier items (parallel pool) at snapshot time. 0 in final stats.
+  std::uint64_t frontier = 0;
   // Whole-state rehash passes / fingerprint queries during this run (delta of
   // the process-wide counters in core/state.hpp; approximate if explorations
   // run concurrently in one process). The seed recomputed two passes per
@@ -122,12 +135,18 @@ struct ExploreResult {
   std::vector<Fingerprint> terminal_fingerprints;
 };
 
-// Callbacks a strategy may use to evaluate provisos.
+// Callbacks a strategy may use to evaluate provisos. Sequential searches
+// provide all three; the parallel worker pool has no per-search DFS stack and
+// leaves `on_stack` empty (strategies must check before calling).
 struct StrategyContext {
   // Successor of the current state through `e`.
   std::function<State(const Event& e)> successor;
-  // Whether a state lies on the current DFS stack (cycle proviso).
+  // Whether a state lies on the current DFS stack (stack cycle proviso).
   std::function<bool(const State& s)> on_stack;
+  // Whether a state is already in the visited set (visited-set cycle
+  // proviso; probes the canonicalized state when symmetry is on). Empty in
+  // stateless searches.
+  std::function<bool(const State& s)> in_visited;
 };
 
 class ReductionStrategy {
@@ -141,6 +160,17 @@ class ReductionStrategy {
                                           const StrategyContext& ctx) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  // Whether select() relies on StrategyContext::on_stack. Strategies
+  // returning false may be driven by the parallel worker pool (which only
+  // provides `in_visited`); their select() must then be safe to call
+  // concurrently from multiple workers. Conservative default: true.
+  [[nodiscard]] virtual bool needs_dfs_stack() const { return true; }
+
+  // Monotone count of candidate reduced sets abandoned because of the cycle
+  // proviso over this strategy object's lifetime; searches report the per-run
+  // delta in ExploreStats::proviso_fallbacks.
+  [[nodiscard]] virtual std::uint64_t proviso_fallbacks() const { return 0; }
 };
 
 // The unreduced baseline: explore every enabled event.
@@ -149,6 +179,7 @@ class FullExpansion final : public ReductionStrategy {
   std::vector<std::size_t> select(const State&, std::span<const Event> events,
                                   const StrategyContext&) override;
   [[nodiscard]] std::string_view name() const override { return "full"; }
+  [[nodiscard]] bool needs_dfs_stack() const override { return false; }
 };
 
 // Run the search, taking ownership of the strategy. A null strategy means
@@ -165,6 +196,16 @@ class FullExpansion final : public ReductionStrategy {
 
 // Convenience: unreduced stateful search with default budgets.
 [[nodiscard]] ExploreResult explore_full(const Protocol& proto);
+
+// Replay `events` from the initial state through execute(), returning one
+// TraceStep per event. The single trace constructor behind every search
+// mode: the sequential and DPOR searches feed it their stack's event chain,
+// the parallel pool the chain recovered by walking interned parent handles
+// (ShardedVisited::path_from_root). Successor computation is deterministic,
+// so the replayed states are exactly the states the search saw.
+[[nodiscard]] std::vector<TraceStep> replay_trace(const Protocol& proto,
+                                                  std::span<const Event> events,
+                                                  const ExecuteOptions& opts = {});
 
 // Enumerate the full reachable state graph (unreduced, stateful, exact) and
 // return all reachable states; used by tests to check refinement equivalence

@@ -24,6 +24,16 @@ std::optional<VisitedMode> visited_mode_from_string(std::string_view name) noexc
 namespace {
 constexpr std::size_t kInitialSlots = 64;  // per shard; power of two
 
+constexpr unsigned kHandleShardBits = 16;
+constexpr unsigned kHandleIndexBits = 64 - kHandleShardBits;
+constexpr std::uint64_t kHandleIndexMask =
+    (std::uint64_t{1} << kHandleIndexBits) - 1;
+
+[[nodiscard]] constexpr StateHandle make_handle(std::size_t shard,
+                                                std::uint64_t index) noexcept {
+  return (static_cast<std::uint64_t>(shard) << kHandleIndexBits) | index;
+}
+
 // Fingerprint-mode slots store val = fp.hi remapped away from the empty
 // marker 0.
 [[nodiscard]] constexpr std::uint64_t occupied_val(std::uint64_t hi) noexcept {
@@ -48,7 +58,7 @@ std::size_t ShardedVisited::probe(const Shard& sh, const State* s,
       if (mode_ == VisitedMode::kFingerprint) {
         if (e.val == val) return i;
       } else {
-        if (sh.arena[e.val - 1] == *s) return i;
+        if (sh.arena[e.val - 1].s == *s) return i;
       }
     }
     i = (i + 1) & mask;
@@ -67,26 +77,37 @@ void ShardedVisited::grow(Shard& sh) const {
   }
 }
 
-bool ShardedVisited::insert(const State& s, const Fingerprint& fp) {
-  Shard& sh = shard_for(fp);
+VisitedInsert ShardedVisited::insert(const State& s, const Fingerprint& fp,
+                                     StateHandle parent, const Event* via) {
+  const std::size_t shard_idx = fp.hi & (shards_.size() - 1);
+  Shard& sh = shards_[shard_idx];
   const std::uint64_t key = fp.lo;
   const std::uint64_t fp_val = occupied_val(fp.hi);
   std::lock_guard<std::mutex> lock(sh.mu);
   std::size_t i = probe(sh, &s, key, fp_val);
-  if (sh.slots[i].val != 0) return false;  // already present
+  if (sh.slots[i].val != 0) {  // already present
+    if (mode_ == VisitedMode::kFingerprint) return {false, kNoHandle};
+    return {false, make_handle(shard_idx, sh.slots[i].val - 1)};
+  }
   if ((sh.count + 1) * 10 >= sh.slots.size() * 7) {
     grow(sh);
     i = probe(sh, &s, key, fp_val);
   }
+  VisitedInsert out{true, kNoHandle};
   if (mode_ == VisitedMode::kFingerprint) {
     sh.slots[i] = Entry{key, fp_val};
   } else {
-    sh.arena.push_back(s);
+    Node node;
+    node.s = s;
+    if (via != nullptr) node.in_event = *via;
+    node.parent = parent;
+    sh.arena.push_back(std::move(node));
     sh.slots[i] = Entry{key, static_cast<std::uint64_t>(sh.arena.size())};
+    out.handle = make_handle(shard_idx, sh.arena.size() - 1);
   }
   ++sh.count;
   total_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return out;
 }
 
 bool ShardedVisited::contains(const State& s, const Fingerprint& fp) const {
@@ -94,6 +115,41 @@ bool ShardedVisited::contains(const State& s, const Fingerprint& fp) const {
   const std::uint64_t key = fp.lo;
   std::lock_guard<std::mutex> lock(sh.mu);
   return sh.slots[probe(sh, &s, key, occupied_val(fp.hi))].val != 0;
+}
+
+const ShardedVisited::Node* ShardedVisited::node_at(StateHandle h) const {
+  if (h == kNoHandle || mode_ == VisitedMode::kFingerprint) return nullptr;
+  const std::size_t shard_idx = static_cast<std::size_t>(h >> kHandleIndexBits);
+  const std::uint64_t index = h & kHandleIndexMask;
+  if (shard_idx >= shards_.size()) return nullptr;
+  const Shard& sh = shards_[shard_idx];
+  // The lock only guards the deque's bookkeeping against concurrent
+  // push_back; the node itself is immutable after insertion, so the returned
+  // pointer (deque addresses are stable) is safe to read unlocked.
+  std::lock_guard<std::mutex> lock(sh.mu);
+  if (index >= sh.arena.size()) return nullptr;
+  return &sh.arena[static_cast<std::size_t>(index)];
+}
+
+std::vector<Event> ShardedVisited::path_from_root(StateHandle h) const {
+  std::vector<Event> events;
+  while (const Node* n = node_at(h)) {
+    if (n->parent == kNoHandle) break;  // the root contributes no event
+    events.push_back(n->in_event);
+    h = n->parent;
+  }
+  std::reverse(events.begin(), events.end());
+  return events;
+}
+
+const State* ShardedVisited::state_at(StateHandle h) const {
+  const Node* n = node_at(h);
+  return n != nullptr ? &n->s : nullptr;
+}
+
+StateHandle ShardedVisited::parent_of(StateHandle h) const {
+  const Node* n = node_at(h);
+  return n != nullptr ? n->parent : kNoHandle;
 }
 
 }  // namespace mpb

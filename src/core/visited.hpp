@@ -1,4 +1,5 @@
-// Sharded visited set for the stateful explorer.
+// Sharded visited set for the stateful explorer — and, in interned mode, the
+// search's *state graph*.
 //
 // The visited set is the hottest shared structure of a stateful search: one
 // probe+insert per generated successor. This implementation shards the key
@@ -17,6 +18,15 @@
 //    A probe compares the full state only on a 64-bit key match, so the arena
 //    is touched at most once per lookup in expectation.
 //
+// Interned entries additionally record how the search first reached them: the
+// handle of the parent entry and the incoming event. That turns the arena
+// into a spanning tree of the explored state graph, and `path_from_root`
+// recovers the event sequence from the initial state to any entry — which is
+// how parallel searches reconstruct counterexample traces without a DFS
+// stack (replay the events through execute()). The cost is one Event (a
+// transition id plus the consumed-message vector) and 8 parent bytes per
+// unique state; fingerprint mode stores neither and cannot reconstruct.
+//
 // VisitedMode::kExact (the seed's std::unordered_set<State> of full copies)
 // is kept in the explorer as the sequential reference implementation for
 // differential testing; parallel searches upgrade it to kInterned, which has
@@ -32,6 +42,7 @@
 #include <vector>
 
 #include "core/state.hpp"
+#include "core/transition.hpp"
 #include "util/hash.hpp"
 
 namespace mpb {
@@ -39,7 +50,7 @@ namespace mpb {
 enum class VisitedMode {
   kExact,        // full State copies, std::unordered_set (sequential reference)
   kFingerprint,  // 128-bit fingerprints only (probabilistic, memory-flat)
-  kInterned,     // arena-interned states + 16-byte table handles (exact)
+  kInterned,     // arena-interned state graph + 16-byte table handles (exact)
 };
 
 [[nodiscard]] std::string_view to_string(VisitedMode m) noexcept;
@@ -47,6 +58,17 @@ enum class VisitedMode {
 // by mpbcheck --visited, the MPB_VISITED env knob and the benches.
 [[nodiscard]] std::optional<VisitedMode> visited_mode_from_string(
     std::string_view name) noexcept;
+
+// Handle of an interned entry: shard index in the top 16 bits, arena index in
+// the low 48. kNoHandle marks "no entry" — the root's parent, and every
+// handle produced by the exact/fingerprint modes (which intern nothing).
+using StateHandle = std::uint64_t;
+inline constexpr StateHandle kNoHandle = ~std::uint64_t{0};
+
+struct VisitedInsert {
+  bool inserted = false;         // true iff the state was newly inserted
+  StateHandle handle = kNoHandle;  // the entry (new or existing); interned only
+};
 
 class ShardedVisited {
  public:
@@ -56,15 +78,32 @@ class ShardedVisited {
   ShardedVisited(const ShardedVisited&) = delete;
   ShardedVisited& operator=(const ShardedVisited&) = delete;
 
-  // Inserts `s` (whose fingerprint is `fp`). Returns true iff newly inserted.
+  // Inserts `s` (whose fingerprint is `fp`), recording `parent` and `*via`
+  // (the event that produced `s` from the parent entry) when the entry is
+  // new. `via` may be null for the root. Returns whether the state was new
+  // and, in interned mode, the handle of its (new or pre-existing) entry.
   // Thread-safe.
-  bool insert(const State& s, const Fingerprint& fp);
+  VisitedInsert insert(const State& s, const Fingerprint& fp,
+                       StateHandle parent, const Event* via);
+  bool insert(const State& s, const Fingerprint& fp) {
+    return insert(s, fp, kNoHandle, nullptr).inserted;
+  }
   bool insert(const State& s) { return insert(s, s.fingerprint()); }
 
   [[nodiscard]] bool contains(const State& s, const Fingerprint& fp) const;
   [[nodiscard]] bool contains(const State& s) const {
     return contains(s, s.fingerprint());
   }
+
+  // --- state-graph queries (kInterned; empty/null otherwise) ---------------
+  // Events along the recorded parent path from the root to `h`, in execution
+  // order. Each entry's parent chain is fixed at insert time, so the walk is
+  // safe while other threads insert.
+  [[nodiscard]] std::vector<Event> path_from_root(StateHandle h) const;
+  // The interned state behind `h` (stable address; entries are immutable once
+  // inserted), or nullptr for kNoHandle / non-interned modes.
+  [[nodiscard]] const State* state_at(StateHandle h) const;
+  [[nodiscard]] StateHandle parent_of(StateHandle h) const;
 
   [[nodiscard]] std::uint64_t size() const noexcept {
     return total_.load(std::memory_order_relaxed);
@@ -86,16 +125,28 @@ class ShardedVisited {
     std::uint64_t val = 0;
   };
 
+  // One interned state-graph node. `in_event` is the event whose execution
+  // first reached this state (from the entry `parent`); both are written once
+  // at insert time and never mutated, so readers only need the shard lock to
+  // locate the node, not to read it.
+  struct Node {
+    State s;
+    Event in_event;
+    StateHandle parent = kNoHandle;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::vector<Entry> slots;
     std::size_t count = 0;
-    std::deque<State> arena;  // used in kInterned mode only
+    std::deque<Node> arena;  // used in kInterned mode only
   };
 
   [[nodiscard]] Shard& shard_for(const Fingerprint& fp) const noexcept {
     return shards_[fp.hi & (shards_.size() - 1)];
   }
+
+  [[nodiscard]] const Node* node_at(StateHandle h) const;
 
   // Returns the slot index holding an equal entry, or the empty slot where it
   // would go. Caller holds the shard lock.

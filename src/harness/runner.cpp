@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -40,15 +42,46 @@ ExploreConfig budget_from_env() {
     cfg.max_seconds = std::strtod(s, nullptr);
   }
   // Benchmarks run big instances: fingerprinted visited set keeps memory flat.
-  cfg.visited = VisitedMode::kFingerprint;
-  if (const char* s = std::getenv("MPB_VISITED")) {
-    if (auto mode = visited_mode_from_string(s)) cfg.visited = *mode;
-  }
+  cfg.visited = visited_mode_from_env().value_or(VisitedMode::kFingerprint);
   if (const char* s = std::getenv("MPB_THREADS")) {
     const long n = std::strtol(s, nullptr, 10);
     cfg.threads = static_cast<unsigned>(std::clamp(n, 1L, 256L));
   }
+  if (const char* s = std::getenv("MPB_PROGRESS");
+      s != nullptr && std::string_view(s) != "0") {
+    cfg.progress_every_events = 1u << 14;
+    cfg.on_progress = make_progress_logger();
+  }
   return cfg;
+}
+
+std::optional<VisitedMode> visited_mode_from_env() {
+  if (const char* s = std::getenv("MPB_VISITED")) {
+    return visited_mode_from_string(s);
+  }
+  return std::nullopt;
+}
+
+std::function<void(const ExploreStats&)> make_progress_logger(
+    double min_interval_seconds) {
+  // Shared mutable limiter state: the returned std::function is copied into
+  // ExploreConfig, and all copies must share one "last printed" clock.
+  auto last_printed = std::make_shared<double>(-1.0);
+  return [last_printed, min_interval_seconds](const ExploreStats& st) {
+    if (*last_printed >= 0.0 &&
+        st.seconds - *last_printed < min_interval_seconds) {
+      return;
+    }
+    *last_printed = st.seconds;
+    const auto rate = static_cast<std::uint64_t>(
+        st.seconds > 0.0 ? static_cast<double>(st.states_stored) / st.seconds
+                         : 0.0);
+    std::cerr << "progress: visited=" << format_count(st.states_stored)
+              << "  states/s=" << format_count(rate)
+              << "  events=" << format_count(st.events_executed)
+              << "  frontier=" << format_count(st.frontier)
+              << "  elapsed=" << format_time(st.seconds) << "\n";
+  };
 }
 
 ExploreResult run(const Protocol& proto, const RunSpec& spec) {

@@ -9,6 +9,8 @@
 // own surface.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 
 #include "core/explorer.hpp"
@@ -36,10 +38,27 @@ struct RunSpec {
 // Per-cell budgets and engine knobs read from the environment:
 //   MPB_BUDGET_STATES  (default 3,000,000 stored/visited states)
 //   MPB_BUDGET_SECONDS (default 120 s)
-//   MPB_THREADS        (default 1; >1 parallelizes unreduced stateful runs)
+//   MPB_THREADS        (default 1; >1 parallelizes stateful runs)
 //   MPB_VISITED        exact | fingerprint | interned (default fingerprint)
+//   MPB_PROGRESS       any value but "0": attach the rate-limited progress
+//                      logger below to on_progress (off by default)
 // mirroring the paper's 48-hour time-out discipline at laptop scale.
 [[nodiscard]] ExploreConfig budget_from_env();
+
+// The MPB_VISITED knob, parsed; nullopt when unset or invalid. The single
+// reader of that variable — budget_from_env applies it, and front ends use
+// it to tell an explicit user choice from the default (mpbcheck's --trace
+// upgrade must not override a deliberate mode).
+[[nodiscard]] std::optional<VisitedMode> visited_mode_from_env();
+
+// A rate-limited on_progress consumer: prints one stderr line (visited size,
+// states/sec, events, frontier depth, elapsed) at most every
+// `min_interval_seconds` of run time, judged by the snapshots' own elapsed
+// clock so the limiter needs no extra timer. The hook the explorer invokes
+// is already serialized, so the logger is safe in parallel runs. Reference
+// consumers: mpbcheck --progress and the MPB_PROGRESS env knob.
+[[nodiscard]] std::function<void(const ExploreStats&)> make_progress_logger(
+    double min_interval_seconds = 0.5);
 
 [[nodiscard]] ExploreResult run(const Protocol& proto, const RunSpec& spec);
 

@@ -13,6 +13,16 @@ std::string_view to_string(SeedHeuristic h) noexcept {
   return "?";
 }
 
+std::string_view to_string(CycleProviso p) noexcept {
+  switch (p) {
+    case CycleProviso::kAuto: return "auto";
+    case CycleProviso::kStack: return "stack";
+    case CycleProviso::kVisited: return "visited";
+    case CycleProviso::kOff: return "off";
+  }
+  return "?";
+}
+
 SporStrategy::SporStrategy(const Protocol& proto, SporOptions opts)
     : proto_(proto), opts_(opts), rel_(proto) {}
 
@@ -164,17 +174,43 @@ std::vector<std::size_t> SporStrategy::select(const State& s,
       continue;  // no reduction; next seed
     }
 
-    // Cycle proviso: no chosen event may close a cycle on the DFS stack,
-    // otherwise outside transitions could be ignored forever.
-    if (opts_.cycle_proviso) {
-      bool closes_cycle = false;
+    // Cycle proviso — the ignoring problem: around a cycle of the reduced
+    // graph, transitions outside every chosen set would be postponed forever.
+    //
+    //  * kStack (sequential DFS): no chosen successor may lie on the DFS
+    //    stack. Sound because any cycle's back edge targets a stack state.
+    //  * kVisited (parallel-safe): no chosen successor may already be in the
+    //    visited set — open *or* closed. Soundness under any schedule: each
+    //    state is expanded once, after being inserted. If every state of a
+    //    reduced-graph cycle kept its reduced set, then each cycle successor
+    //    t of each member s was absent from the visited set when s evaluated
+    //    the proviso (the set is linearizable, so insert(t) > eval(s) >
+    //    insert(s)) — insertion times would increase strictly around the
+    //    cycle, a contradiction. Rejecting only *open* (unfinished) states
+    //    would be unsound: s can close before its fresh successor t expands,
+    //    so a two-state cycle s <-> t would pass (t sees s closed) and both
+    //    stay reduced. Unlike the stack proviso, the visited probe also
+    //    fires on cross edges (diamonds), so it trades reduction strength
+    //    for schedule independence; fallbacks are counted per run in
+    //    ExploreStats::proviso_fallbacks.
+    const CycleProviso proviso =
+        opts_.proviso == CycleProviso::kAuto
+            ? (ctx.on_stack ? CycleProviso::kStack
+               : ctx.in_visited ? CycleProviso::kVisited
+                                : CycleProviso::kOff)
+            : opts_.proviso;
+    if (proviso != CycleProviso::kOff) {
+      const std::function<bool(const State&)>& probe =
+          proviso == CycleProviso::kStack ? ctx.on_stack : ctx.in_visited;
+      // A requested proviso whose probe the search cannot supply degrades to
+      // "always closes": full expansion is the sound fallback.
+      bool closes_cycle = !probe;
       for (std::size_t i : chosen) {
-        if (ctx.on_stack(ctx.successor(events[i]))) {
-          closes_cycle = true;
-          break;
-        }
+        if (closes_cycle) break;
+        closes_cycle = probe(ctx.successor(events[i]));
       }
       if (closes_cycle) {
+        fallbacks_.fetch_add(1, std::memory_order_relaxed);
         if (!opts_.seed_retry) break;
         continue;
       }

@@ -17,8 +17,13 @@
 //      would execute a *visible* transition, every visible transition —
 //      enabled or not — is added and the closure re-run, so no
 //      property-relevant ordering is committed before its enablers are in
-//      scope. Cycle: no chosen successor may close a DFS-stack cycle (the
-//      ignoring problem; the paper assumes acyclic graphs, we enforce it).
+//      scope. Cycle (the ignoring problem; the paper assumes acyclic graphs,
+//      we enforce it): either the classic *stack* proviso — no chosen
+//      successor may close a DFS-stack cycle — or the parallel-safe
+//      *visited-set* proviso — no chosen successor may land on an
+//      already-inserted state (see spor.cpp for the proof of why the visited
+//      set must reject *closed* states too). The visited-set proviso needs
+//      no DFS stack, so SPOR runs on the parallel worker pool with it.
 //      A seed whose set fails a proviso or yields no reduction is abandoned
 //      and the next-best seed is tried; full expansion is the sound fallback.
 //
@@ -27,6 +32,7 @@
 // giving Valmari-style deadlock preservation.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "core/explorer.hpp"
@@ -42,11 +48,21 @@ enum class SeedHeuristic {
 
 [[nodiscard]] std::string_view to_string(SeedHeuristic h) noexcept;
 
+// How the cycle proviso (the ignoring problem) is discharged.
+enum class CycleProviso {
+  kAuto,     // stack when a DFS stack is available, visited-set otherwise
+  kStack,    // classic DFS-stack proviso; sequential searches only
+  kVisited,  // visited-set proviso; parallel-safe (see spor.cpp for soundness)
+  kOff,      // no cycle proviso (unsound on cyclic graphs; ablations only)
+};
+
+[[nodiscard]] std::string_view to_string(CycleProviso p) noexcept;
+
 struct SporOptions {
   SeedHeuristic seed = SeedHeuristic::kOppositeTransaction;
   bool state_dependent_nes = true;  // LPOR-NET when true, plain LPOR when false
   bool visibility_proviso = true;
-  bool cycle_proviso = true;
+  CycleProviso proviso = CycleProviso::kAuto;
   // Try further seeds when the preferred seed's stubborn set yields no
   // reduction or fails a proviso (an improvement over MP-LPOR, which computes
   // a single stubborn set per state; disable for the faithful single-seed
@@ -63,10 +79,22 @@ class SporStrategy final : public ReductionStrategy {
  public:
   explicit SporStrategy(const Protocol& proto, SporOptions opts = {});
 
+  // Reads only the immutable members built at construction; thread-safe, so
+  // one instance may serve every worker of a parallel search.
   std::vector<std::size_t> select(const State& s, std::span<const Event> events,
                                   const StrategyContext& ctx) override;
 
   [[nodiscard]] std::string_view name() const override { return "spor"; }
+
+  // Only the stack proviso pins the search to a single DFS; every other
+  // configuration can be driven by the parallel worker pool.
+  [[nodiscard]] bool needs_dfs_stack() const override {
+    return opts_.proviso == CycleProviso::kStack;
+  }
+
+  [[nodiscard]] std::uint64_t proviso_fallbacks() const override {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] const StaticRelations& relations() const noexcept { return rel_; }
 
@@ -84,6 +112,9 @@ class SporStrategy final : public ReductionStrategy {
   const Protocol& proto_;
   SporOptions opts_;
   StaticRelations rel_;
+  // Candidate sets abandoned because of the cycle proviso (monotone; searches
+  // report per-run deltas in ExploreStats::proviso_fallbacks).
+  std::atomic<std::uint64_t> fallbacks_{0};
 };
 
 }  // namespace mpb

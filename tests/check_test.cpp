@@ -131,6 +131,40 @@ TEST(Checker, SymmetryWithStatelessStrategyIsRejected) {
   }
 }
 
+TEST(Checker, SporProvisoResolvesByThreadCount) {
+  for (const unsigned threads : {1u, 4u}) {
+    CheckRequest req;
+    req.model = "collector";
+    req.params = {{"senders", "3"}, {"quorum", "2"}};
+    req.strategy = "spor";
+    req.explore.threads = threads;
+    req.explore.visited = VisitedMode::kInterned;
+    const CheckResult r = check::run_check(std::move(req));
+    EXPECT_EQ(r.verdict(), Verdict::kHolds);
+    EXPECT_EQ(r.proviso, threads > 1 ? "visited" : "stack");
+    EXPECT_EQ(r.threads, threads);
+  }
+}
+
+TEST(Checker, NonSporStrategiesReportNoProviso) {
+  CheckRequest req;
+  req.model = "collector";
+  req.params = {{"senders", "2"}, {"quorum", "2"}};
+  req.strategy = "full";
+  const CheckResult r = check::run_check(std::move(req));
+  EXPECT_EQ(r.proviso, "-");
+}
+
+TEST(Checker, StackProvisoWithThreadsIsRejected) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.strategy = "spor";
+  req.spor.proviso = CycleProviso::kStack;
+  req.explore.threads = 4;
+  expect_check_error([&] { check::Checker c(std::move(req)); },
+                     {"stack cycle proviso", "--threads 1"});
+}
+
 TEST(Checker, SymmetryWithSplitIsRejected) {
   CheckRequest req;
   req.model = "paxos";

@@ -57,6 +57,42 @@ TEST(Harness, BudgetFromEnv) {
   EXPECT_DOUBLE_EQ(cfg.max_seconds, 120.0);
 }
 
+TEST(Harness, ProgressLoggerAttachesViaEnv) {
+  // Off by default; MPB_PROGRESS enables the rate-limited logger.
+  unsetenv("MPB_PROGRESS");  // shield against an ambient export
+  ExploreConfig off = budget_from_env();
+  EXPECT_EQ(off.progress_every_events, 0u);
+  EXPECT_FALSE(static_cast<bool>(off.on_progress));
+  setenv("MPB_PROGRESS", "1", 1);
+  ExploreConfig on = budget_from_env();
+  unsetenv("MPB_PROGRESS");
+  EXPECT_GT(on.progress_every_events, 0u);
+  EXPECT_TRUE(static_cast<bool>(on.on_progress));
+}
+
+TEST(Harness, ProgressLoggerRateLimitsByElapsedTime) {
+  const auto logger = harness::make_progress_logger(/*min_interval_seconds=*/1.0);
+  auto at = [](double seconds) {
+    ExploreStats st;
+    st.states_stored = 100;
+    st.events_executed = 200;
+    st.frontier = 3;
+    st.seconds = seconds;
+    return st;
+  };
+  ::testing::internal::CaptureStderr();
+  logger(at(0.0));   // first snapshot always prints
+  logger(at(0.2));   // inside the interval: suppressed
+  logger(at(0.9));   // still inside: suppressed
+  logger(at(1.5));   // past the interval: prints
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(out.find("states/s="), std::string::npos);
+  EXPECT_NE(out.find("frontier=3"), std::string::npos);
+}
+
 TEST(Harness, RunDispatchesAllStrategies) {
   Protocol proto = testing::make_small_quorum();
   for (Strategy s : {Strategy::kUnreducedStateful, Strategy::kUnreducedStateless,

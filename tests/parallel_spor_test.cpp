@@ -1,0 +1,219 @@
+// Parallel reduced search and parallel counterexample reconstruction.
+//
+// SPOR on the worker pool (visited-set cycle proviso) must agree with the
+// sequential searches on every verdict and preserve every deadlock; the
+// reduced state count is schedule-dependent and is deliberately not pinned.
+// Parallel counterexamples are rebuilt from the interned state graph's
+// parent handles, so every reported trace must replay step-by-step through
+// execute() into a state violating the reported property.
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "core/trace.hpp"
+#include "por/spor.hpp"
+#include "protocols/collector/collector.hpp"
+#include "protocols/echo/echo.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+
+namespace mpb {
+namespace {
+
+using namespace protocols;
+
+struct NamedCase {
+  std::string label;
+  Protocol proto;
+};
+
+std::vector<NamedCase> spor_cases() {
+  std::vector<NamedCase> cases;
+  auto add = [&](std::string label, Protocol p) {
+    cases.push_back({std::move(label), std::move(p)});
+  };
+  add("paxos_q_131", make_paxos({.proposers = 1, .acceptors = 3, .learners = 1}));
+  add("faulty_paxos_q_221",
+      make_paxos({.proposers = 2, .acceptors = 2, .learners = 1,
+                  .faulty_learner = true}));
+  add("echo_q_2011", make_echo_multicast({.honest_receivers = 2,
+                                          .honest_initiators = 0,
+                                          .byz_receivers = 1,
+                                          .byz_initiators = 1}));
+  add("echo_q_wrong_1021",
+      make_echo_multicast({.honest_receivers = 1, .honest_initiators = 0,
+                           .byz_receivers = 2, .byz_initiators = 1,
+                           .tolerance = 0}));
+  add("storage_q_31w1", make_regular_storage({.bases = 3, .readers = 1, .writes = 1}));
+  add("collector_q", make_collector({.senders = 4, .quorum = 3}));
+  return cases;
+}
+
+// A violating setting of every protocol family that has one.
+std::vector<NamedCase> violating_cases() {
+  std::vector<NamedCase> cases;
+  auto add = [&](std::string label, Protocol p) {
+    cases.push_back({std::move(label), std::move(p)});
+  };
+  add("faulty_paxos_q_231",
+      make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                  .faulty_learner = true}));
+  add("faulty_paxos_s_231",
+      make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                  .quorum_model = false, .faulty_learner = true}));
+  add("echo_q_wrong_2020",
+      make_echo_multicast({.honest_receivers = 2, .honest_initiators = 0,
+                           .byz_receivers = 2, .byz_initiators = 1,
+                           .tolerance = 0}));
+  add("storage_q_wrong_31w2",
+      make_regular_storage({.bases = 3, .readers = 1, .writes = 2,
+                            .wrong_regularity = true}));
+  return cases;
+}
+
+TEST(ParallelSpor, VerdictMatchesSequentialSporEverywhere) {
+  for (const NamedCase& c : spor_cases()) {
+    SporStrategy seq_strategy(c.proto);
+    ExploreConfig seq_cfg;
+    const ExploreResult seq = explore(c.proto, seq_cfg, &seq_strategy);
+    const ExploreResult full = explore(c.proto, ExploreConfig{});
+
+    for (unsigned threads : {2u, 4u}) {
+      SporStrategy par_strategy(c.proto);
+      ExploreConfig cfg;
+      cfg.threads = threads;
+      cfg.visited = VisitedMode::kInterned;
+      const ExploreResult par = explore(c.proto, cfg, &par_strategy);
+      SCOPED_TRACE(c.label + " @ " + std::to_string(threads) + " threads");
+      EXPECT_EQ(par.verdict, seq.verdict);
+      EXPECT_EQ(par.stats.threads_used, threads);
+      // A sound reduction never stores more than the full graph.
+      EXPECT_LE(par.stats.states_stored, full.stats.states_stored);
+    }
+  }
+}
+
+TEST(ParallelSpor, DeadlockPreservationOnTheWorkerPool) {
+  // Stubborn sets keep a key transition in every state, so every terminal
+  // (deadlock) state of the full graph must survive the parallel reduction —
+  // a schedule-independent invariant even though the reduction itself is not.
+  for (const NamedCase& c : spor_cases()) {
+    ExploreConfig full_cfg;
+    full_cfg.collect_terminals = true;
+    const ExploreResult full = explore(c.proto, full_cfg, nullptr);
+    if (full.verdict != Verdict::kHolds) continue;  // terminal sets only match
+                                                    // on completed searches
+    SporStrategy strategy(c.proto);
+    ExploreConfig cfg;
+    cfg.threads = 4;
+    cfg.visited = VisitedMode::kInterned;
+    cfg.collect_terminals = true;
+    const ExploreResult par = explore(c.proto, cfg, &strategy);
+    EXPECT_EQ(par.terminal_fingerprints, full.terminal_fingerprints) << c.label;
+  }
+}
+
+TEST(ParallelSpor, StackProvisoStaysSequential) {
+  const Protocol proto =
+      make_collector(CollectorConfig{.senders = 3, .quorum = 2});
+  SporOptions opts;
+  opts.proviso = CycleProviso::kStack;
+  SporStrategy strategy(proto, opts);
+  EXPECT_TRUE(strategy.needs_dfs_stack());
+  ExploreConfig cfg;
+  cfg.threads = 8;
+  const ExploreResult r = explore(proto, cfg, &strategy);
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_EQ(r.stats.threads_used, 1u);
+}
+
+TEST(ParallelSpor, AutoProvisoIsParallelCapable) {
+  const Protocol proto = make_paxos({.proposers = 1, .acceptors = 3, .learners = 1});
+  SporStrategy strategy(proto);  // default proviso: kAuto
+  EXPECT_FALSE(strategy.needs_dfs_stack());
+  FullExpansion full;
+  EXPECT_FALSE(full.needs_dfs_stack());
+}
+
+TEST(ParallelTrace, ReplaysStepByStepOnEveryViolatingProtocol) {
+  for (const NamedCase& c : violating_cases()) {
+    SCOPED_TRACE(c.label);
+    const ExploreResult seq = explore(c.proto, ExploreConfig{});
+    ASSERT_EQ(seq.verdict, Verdict::kViolated);
+    ASSERT_FALSE(seq.counterexample.empty());
+
+    ExploreConfig cfg;
+    cfg.threads = 4;
+    cfg.visited = VisitedMode::kInterned;
+    const ExploreResult par = explore(c.proto, cfg);
+    ASSERT_EQ(par.verdict, Verdict::kViolated);
+    ASSERT_FALSE(par.counterexample.empty());
+    // The schedule picks which violation wins, but these models violate a
+    // single property, so the parallel run must name the sequential one.
+    EXPECT_EQ(par.violated_property, seq.violated_property);
+
+    // Step-by-step replay through execute(): every recorded state must be
+    // reproduced exactly, and the endpoint must violate the reported
+    // property just as the sequential trace's endpoint does.
+    State s = c.proto.initial();
+    std::string failed;
+    for (const TraceStep& step : par.counterexample) {
+      failed.clear();
+      s = execute(c.proto, s, step.event, {}, &failed);
+      ASSERT_EQ(s, step.after);
+    }
+    const bool assertion_violated = failed == par.violated_property;
+    const Property* p = c.proto.find_property(par.violated_property);
+    const bool property_violated = p != nullptr && !p->holds(s, c.proto);
+    EXPECT_TRUE(assertion_violated || property_violated);
+    const State seq_end = seq.counterexample.back().after;
+    if (p != nullptr) {
+      EXPECT_FALSE(p->holds(seq_end, c.proto));
+    }
+
+    // And the canonical certifier agrees.
+    EXPECT_TRUE(replay_counterexample(c.proto, par));
+  }
+}
+
+TEST(ParallelTrace, SporParallelTraceReplaysThroughTheFacade) {
+  // The acceptance path: reduced parallel search with a replayable --trace.
+  check::CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"faulty", "true"}};
+  req.strategy = "spor";
+  req.explore.threads = 4;
+  req.explore.visited = VisitedMode::kInterned;
+  const check::CheckResult r = check::run_check(std::move(req));
+  EXPECT_EQ(r.verdict(), Verdict::kViolated);
+  EXPECT_EQ(r.proviso, "visited");
+  EXPECT_EQ(r.threads, 4u);
+  ASSERT_FALSE(r.result.counterexample.empty());
+  EXPECT_TRUE(replay_counterexample(r.protocol, r.result));
+}
+
+TEST(ParallelTrace, ExactModeUpgradesToInternedAndStillTraces) {
+  // The default (exact) visited mode upgrades to interned in parallel runs,
+  // so traces come back without any configuration.
+  const Protocol proto = make_paxos(
+      {.proposers = 2, .acceptors = 3, .learners = 1, .faulty_learner = true});
+  ExploreConfig cfg;
+  cfg.threads = 2;  // default visited: kExact
+  const ExploreResult r = explore(proto, cfg);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_FALSE(r.counterexample.empty());
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(ParallelTrace, FingerprintModeRecordsNoTraceByDesign) {
+  const Protocol proto = make_paxos(
+      {.proposers = 2, .acceptors = 3, .learners = 1, .faulty_learner = true});
+  ExploreConfig cfg;
+  cfg.threads = 4;
+  cfg.visited = VisitedMode::kFingerprint;
+  const ExploreResult r = explore(proto, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_TRUE(r.counterexample.empty());
+}
+
+}  // namespace
+}  // namespace mpb

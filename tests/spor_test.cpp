@@ -188,5 +188,83 @@ TEST(Spor, HeuristicNames) {
   EXPECT_EQ(to_string(SeedHeuristic::kFirst), "first");
 }
 
+TEST(Spor, ProvisoNames) {
+  EXPECT_EQ(to_string(CycleProviso::kAuto), "auto");
+  EXPECT_EQ(to_string(CycleProviso::kStack), "stack");
+  EXPECT_EQ(to_string(CycleProviso::kVisited), "visited");
+  EXPECT_EQ(to_string(CycleProviso::kOff), "off");
+}
+
+TEST(Spor, VisitedProvisoIsSoundSequentially) {
+  // The visited-set proviso is strictly more conservative than the stack
+  // proviso in a sequential DFS (the stack is a subset of the visited set),
+  // so verdicts and terminal states must keep matching the full search.
+  for (const Protocol& proto :
+       {make_small_quorum(), make_fig4_refined(), make_visible_race(),
+        protocols::make_collector({.senders = 4, .quorum = 2}),
+        protocols::make_paxos({.proposers = 1, .acceptors = 3, .learners = 1})}) {
+    ExploreConfig cfg;
+    cfg.collect_terminals = true;
+    const ExploreResult full = explore(proto, cfg, nullptr);
+    SporOptions opts;
+    opts.proviso = CycleProviso::kVisited;
+    SporStrategy strategy(proto, opts);
+    const ExploreResult reduced = explore(proto, cfg, &strategy);
+    EXPECT_EQ(reduced.verdict, full.verdict) << proto.name();
+    EXPECT_LE(reduced.stats.states_stored, full.stats.states_stored)
+        << proto.name();
+    if (full.verdict == Verdict::kHolds) {
+      EXPECT_EQ(reduced.terminal_fingerprints, full.terminal_fingerprints)
+          << proto.name();
+    }
+  }
+}
+
+// Three independent single-step processes; PA and QB are visible, so the
+// visibility proviso forces {PA, QB} into one stubborn set at the root and
+// the reduced graph keeps the PA/QB diamond. When the QB-first branch later
+// selects {PA}, its successor is the diamond's already-visited join state —
+// the visited-set cycle proviso must reject that candidate and fall back to
+// the next seed ({RC}, whose successor is fresh).
+Protocol make_diamond_join() {
+  mp::ProtocolBuilder b("diamond-join");
+  const ProcessId p = b.process("p", "P", {{"x", 0}});
+  const ProcessId q = b.process("q", "Q", {{"y", 0}});
+  const ProcessId r = b.process("r", "R", {{"z", 0}});
+  b.transition(p, "PA")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([](EffectCtx& c) { c.set_local(0, 1); })
+      .visible()
+      .priority(3);
+  b.transition(q, "QB")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([](EffectCtx& c) { c.set_local(0, 1); })
+      .visible()
+      .priority(2);
+  b.transition(r, "RC")
+      .spontaneous()
+      .guard([](const GuardView& g) { return g.local[0] == 0; })
+      .effect([](EffectCtx& c) { c.set_local(0, 1); })
+      .priority(1);
+  return b.build();
+}
+
+TEST(Spor, VisitedProvisoCountsFallbacks) {
+  Protocol proto = make_diamond_join();
+  SporOptions opts;
+  opts.proviso = CycleProviso::kVisited;
+  SporStrategy strategy(proto, opts);
+  ExploreConfig cfg;
+  const ExploreResult first = explore(proto, cfg, &strategy);
+  EXPECT_EQ(first.verdict, Verdict::kHolds);
+  EXPECT_GT(first.stats.proviso_fallbacks, 0u);
+  // Re-running with the same strategy object reports the delta, not the
+  // lifetime total.
+  const ExploreResult second = explore(proto, cfg, &strategy);
+  EXPECT_EQ(second.stats.proviso_fallbacks, first.stats.proviso_fallbacks);
+}
+
 }  // namespace
 }  // namespace mpb

@@ -140,6 +140,68 @@ TEST(ShardedVisited, InternedModeIsExactUnderKeyCollisions) {
   EXPECT_EQ(set.size(), 512u);
 }
 
+TEST(StateGraph, RecordsParentsAndReplaysPathFromRoot) {
+  ShardedVisited set(VisitedMode::kInterned, 4);
+  const State root({0}, {});
+  const VisitedInsert r = set.insert(root, root.fingerprint(), kNoHandle, nullptr);
+  ASSERT_TRUE(r.inserted);
+  ASSERT_NE(r.handle, kNoHandle);
+  EXPECT_EQ(set.parent_of(r.handle), kNoHandle);
+  EXPECT_TRUE(set.path_from_root(r.handle).empty());
+
+  // A three-deep chain root -> a -> b with distinct incoming events.
+  Event ea;
+  ea.tid = 1;
+  Event eb;
+  eb.tid = 2;
+  eb.consumed = {msg(1, 0, 1, 42)};
+  const State a({1}, {});
+  const State b({2}, {});
+  const VisitedInsert ia = set.insert(a, a.fingerprint(), r.handle, &ea);
+  const VisitedInsert ib = set.insert(b, b.fingerprint(), ia.handle, &eb);
+  ASSERT_TRUE(ia.inserted);
+  ASSERT_TRUE(ib.inserted);
+
+  ASSERT_NE(set.state_at(ib.handle), nullptr);
+  EXPECT_EQ(*set.state_at(ib.handle), b);
+  EXPECT_EQ(set.parent_of(ib.handle), ia.handle);
+
+  const std::vector<Event> path = set.path_from_root(ib.handle);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], ea);
+  EXPECT_EQ(path[1], eb);
+}
+
+TEST(StateGraph, DuplicateInsertReturnsTheExistingEntry) {
+  ShardedVisited set(VisitedMode::kInterned, 1);
+  const State root({0}, {});
+  const State a({1}, {});
+  Event via_first;
+  via_first.tid = 7;
+  Event via_second;
+  via_second.tid = 9;
+  const VisitedInsert r = set.insert(root, root.fingerprint(), kNoHandle, nullptr);
+  const VisitedInsert first = set.insert(a, a.fingerprint(), r.handle, &via_first);
+  const VisitedInsert again = set.insert(a, a.fingerprint(), r.handle, &via_second);
+  EXPECT_TRUE(first.inserted);
+  EXPECT_FALSE(again.inserted);
+  // The entry (and its recorded incoming event) is first-writer-wins.
+  EXPECT_EQ(again.handle, first.handle);
+  const std::vector<Event> path = set.path_from_root(first.handle);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], via_first);
+}
+
+TEST(StateGraph, FingerprintModeRecordsNoGraph) {
+  ShardedVisited set(VisitedMode::kFingerprint, 1);
+  const State root({0}, {});
+  const VisitedInsert r = set.insert(root, root.fingerprint(), kNoHandle, nullptr);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(r.handle, kNoHandle);
+  EXPECT_EQ(set.state_at(r.handle), nullptr);
+  EXPECT_TRUE(set.path_from_root(r.handle).empty());
+}
+
 TEST(ShardedVisited, ConcurrentInsertsCountEachStateOnce) {
   ShardedVisited set(VisitedMode::kInterned, 16);
   constexpr int kStates = 2000;

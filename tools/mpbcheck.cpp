@@ -18,14 +18,16 @@
 //   --symmetry                role-based symmetry reduction
 //   --no-net                  plain LPOR NES (disable state-dependent NES)
 //   --exhaustive-seed         minimize the stubborn set over all seeds
-//   --threads N               worker threads (full stateful strategy only)
+//   --proviso P               auto | stack | visited | off SPOR cycle proviso
+//   --threads N               worker threads (stateful strategies: full, spor)
 //   --visited V               exact | fingerprint | interned
 //   --max-states N / --max-seconds S      per-run budgets
-//   --progress                periodic progress lines on stderr
+//   --progress                rate-limited progress lines on stderr
 //   --trace                   print the counterexample (if any)
 //   --quiet                   only the verdict line
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -46,11 +48,13 @@ constexpr std::string_view kEngineHelp =
   --symmetry          role-based symmetry reduction
   --no-net            plain LPOR NES (disable state-dependent NES)
   --exhaustive-seed   minimize the stubborn set over all seeds
-  --threads N         worker threads (full stateful strategy only)
+  --proviso P         auto | stack | visited | off SPOR cycle proviso
+                      (auto: stack sequentially, visited with --threads > 1)
+  --threads N         worker threads (stateful strategies: full and spor)
   --visited V         exact | fingerprint | interned visited-set storage
   --max-states N      state budget   (default 3,000,000 or MPB_BUDGET_STATES)
   --max-seconds S     time budget    (default 120 or MPB_BUDGET_SECONDS)
-  --progress          periodic progress lines on stderr
+  --progress          rate-limited progress lines on stderr (or MPB_PROGRESS)
   --trace             print the counterexample, if any
   --quiet             only the verdict line
 )";
@@ -107,6 +111,9 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool quiet = false;
   bool progress = false;
+  // A mode chosen by the user — the --visited flag or a valid MPB_VISITED
+  // env value (already applied by budget_from_env) — is never overridden.
+  bool visited_explicit = harness::visited_mode_from_env().has_value();
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -145,10 +152,20 @@ int main(int argc, char** argv) {
                   << "'; known: opposite transaction first\n";
         return 2;
       }
+    } else if (arg == "--proviso") {
+      const std::string& name = next();
+      if (const auto p = check::proviso_from_string(name)) {
+        req.spor.proviso = *p;
+      } else {
+        std::cerr << "mpbcheck: unknown cycle proviso '" << name
+                  << "'; known: auto stack visited off\n";
+        return 2;
+      }
     } else if (arg == "--visited") {
       const std::string& name = next();
       if (const auto mode = visited_mode_from_string(name)) {
         req.explore.visited = *mode;
+        visited_explicit = true;
       } else {
         std::cerr << "mpbcheck: unknown visited mode '" << name
                   << "'; known: exact fingerprint interned\n";
@@ -187,18 +204,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (req.explore.threads > 1 && req.strategy != "full" && !quiet) {
-    std::cerr << "note: --threads applies to the unreduced stateful search "
-                 "only; running sequentially\n";
+  if (req.explore.threads > 1 && !quiet &&
+      (req.strategy == "dpor" || req.strategy == "stateless")) {
+    std::cerr << "note: --threads applies to the stateful strategies (full, "
+                 "spor) only; running sequentially\n";
+  }
+
+  // Parallel trace reconstruction walks the interned state graph, which the
+  // default (memory-flat fingerprint) visited mode does not record. Honour an
+  // explicit --visited choice; otherwise upgrade so --trace just works. Only
+  // the stateful strategies run on the pool — dpor/stateless reconstruct
+  // traces from their sequential DFS stack whatever the visited mode.
+  if (trace && req.explore.threads > 1 && !visited_explicit &&
+      (req.strategy == "full" || req.strategy == "spor") &&
+      req.explore.visited == VisitedMode::kFingerprint) {
+    req.explore.visited = VisitedMode::kInterned;
+    if (!quiet) {
+      std::cerr << "note: --trace with --threads needs interned states; "
+                   "using --visited interned\n";
+    }
   }
 
   if (progress) {
-    req.explore.progress_every_events = 1u << 16;
-    req.explore.on_progress = [](const ExploreStats& st) {
-      std::cerr << "progress: states=" << harness::format_count(st.states_stored)
-                << "  events=" << harness::format_count(st.events_executed)
-                << "  elapsed=" << harness::format_time(st.seconds) << "\n";
-    };
+    req.explore.progress_every_events = 1u << 14;
+    req.explore.on_progress = harness::make_progress_logger();
   }
 
   try {
@@ -222,15 +251,27 @@ int main(int argc, char** argv) {
               << "  states=" << harness::format_count(r.stats().states_stored)
               << "  events=" << harness::format_count(r.stats().events_executed)
               << "  time=" << harness::format_time(r.stats().seconds);
+    if (r.threads > 1) std::cout << "  threads=" << r.threads;
+    if (r.proviso != "-") std::cout << "  proviso=" << r.proviso;
     if (r.verdict() == Verdict::kViolated) {
       std::cout << "  property=" << r.result.violated_property;
     }
     std::cout << "\n";
 
     if (trace && r.verdict() == Verdict::kViolated) {
-      if (r.result.counterexample.empty()) {
-        std::cout << "(no trace: the parallel search does not reconstruct "
-                     "counterexample paths; rerun with --threads 1)\n";
+      const Property* violated =
+          r.protocol.find_property(r.result.violated_property);
+      if (r.result.counterexample.empty() && violated != nullptr &&
+          !violated->holds(r.protocol.initial(), r.protocol)) {
+        // A zero-step counterexample: no search ran past the root.
+        std::cout << "Counterexample: the initial state already violates '"
+                  << r.result.violated_property << "'\n";
+        print_state(std::cout, r.protocol, r.protocol.initial());
+      } else if (r.result.counterexample.empty()) {
+        std::cout << "(no trace: this run recorded no replayable path — the "
+                     "fingerprint visited mode stores no states and symmetry "
+                     "canonicalization breaks parallel replay; rerun with "
+                     "--visited interned, or with --threads 1)\n";
       } else {
         print_counterexample(std::cout, r.protocol, r.result);
         std::cout << "replay: "

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-command ThreadSanitizer lane: configure + build the TSan tree
+# (build-tsan/, see CMakePresets.json) and run the `parallel`-labeled ctest
+# slice — the worker-pool explorer, parallel SPOR and parallel trace tests.
+#
+# Usage: tools/run_tsan.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+ctest --preset tsan-parallel "$@"
