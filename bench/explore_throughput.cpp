@@ -1,19 +1,33 @@
 // Exploration-throughput bench: the perf trajectory of the exploration core.
 //
-// Runs the paxos_explore and storage_audit workloads in stateful mode —
-// unreduced ("full") and SPOR-reduced, sequentially (the baseline, with the
-// cached-fingerprint hash counters) and on the parallel work-sharing explorer
-// at increasing thread counts (SPOR parallelizes under the visited-set cycle
-// proviso) — and writes every cell to a machine-readable JSON file (default
-// BENCH_explore.json) recording states/sec, events/sec, peak RSS and the
-// full-hash-pass counters. tools/bench_compare.py diffs two such files with a
-// regression threshold.
+// Runs two tiers of workloads in stateful mode — unreduced ("full") and
+// SPOR-reduced, sequentially (the baseline, with the cached-fingerprint hash
+// counters) and on the parallel work-stealing explorer at increasing thread
+// counts (SPOR parallelizes under the visited-set cycle proviso) — and writes
+// every cell to a machine-readable JSON file (default BENCH_explore.json)
+// recording states/sec, events/sec, peak RSS and the full-hash-pass counters.
+//
+//  * small tier (~10k states, tens of ms): the original paxos_explore /
+//    storage_audit cells, kept for continuity of the perf trajectory;
+//  * large tier (~0.3M–1.3M states, seconds): paxos_big(3,3,1),
+//    paxos_wide(2,4,2), storage_scaled(3,2,2) and collector_wide(12,6,3) —
+//    big enough to amortize thread startup, so the tN/t1 speedup columns
+//    (tools/bench_compare.py --speedup) measure the scaling core rather than
+//    pool setup. Skip them with --small for a quick smoke run.
+//
+// tools/bench_compare.py diffs two such files with a regression threshold and
+// computes per-workload parallel speedups.
 //
 // Usage: explore_throughput [--out FILE] [--threads LIST] [--visited MODE]
+//                           [--repeat N] [--small]
 //   --out FILE      output path                      (default BENCH_explore.json)
 //   --threads LIST  comma-separated thread counts    (default 1,2,8)
 //   --visited MODE  exact | fingerprint | interned   (default interned)
+//   --repeat N      best-of-N timing per cell        (default 1 or MPB_REPEAT)
+//   --small         small tier only (CI smoke)
 // Budgets honour MPB_BUDGET_STATES / MPB_BUDGET_SECONDS (defaults 3M / 120s).
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -31,18 +45,37 @@ struct Workload {
   std::string name;
   std::string model;       // registry name (check/registry.hpp)
   check::RawParams params;
+  bool large = false;      // seconds-scale; skipped by --small
 };
 
 std::vector<Workload> make_workloads() {
-  // The paper's Table I Paxos setting: big enough that the visited set and
-  // hash path dominate, small enough for a CI-sized budget.
   return {
+      // The paper's Table I Paxos setting: big enough that the visited set
+      // and hash path dominate, small enough for a CI-sized budget.
       {"paxos_explore",
        "paxos",
        {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
       {"storage_audit",
        "storage",
        {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}}},
+      // The large tier: the workloads the t1/t2/t8 speedup curve is judged
+      // on (each runs for seconds at t1, so per-state costs dominate).
+      {"paxos_big",  // ~1.12M states
+       "paxos",
+       {{"proposers", "3"}, {"acceptors", "3"}, {"learners", "1"}},
+       /*large=*/true},
+      {"paxos_wide",  // ~313k states, wider quorums
+       "paxos",
+       {{"proposers", "2"}, {"acceptors", "4"}, {"learners", "2"}},
+       /*large=*/true},
+      {"storage_scaled",  // ~1.30M states
+       "storage",
+       {{"bases", "3"}, {"readers", "2"}, {"writes", "2"}},
+       /*large=*/true},
+      {"collector_wide",  // ~506k states, quorum-heavy enabled sets
+       "collector",
+       {{"senders", "12"}, {"quorum", "6"}, {"noise", "3"}},
+       /*large=*/true},
   };
 }
 
@@ -52,11 +85,19 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_explore.json";
   std::string threads_list = "1,2,8";
   VisitedMode visited = VisitedMode::kInterned;
+  unsigned repeat = harness::repeat_from_env();
+  bool small_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) out = argv[++i];
     else if (arg == "--threads" && i + 1 < argc) threads_list = argv[++i];
-    else if (arg == "--visited" && i + 1 < argc) {
+    else if (arg == "--repeat" && i + 1 < argc) {
+      // Same [1, 64] clamp as mpbcheck --repeat / MPB_REPEAT.
+      repeat = static_cast<unsigned>(
+          std::clamp(std::strtol(argv[++i], nullptr, 10), 1L, 64L));
+    } else if (arg == "--small") {
+      small_only = true;
+    } else if (arg == "--visited" && i + 1 < argc) {
       const auto mode = visited_mode_from_string(argv[++i]);
       if (!mode) {
         std::cerr << "unknown visited mode: " << argv[i] << "\n";
@@ -80,6 +121,7 @@ int main(int argc, char** argv) {
 
   std::vector<harness::BenchRecord> records;
   for (Workload& w : make_workloads()) {
+    if (small_only && w.large) continue;
     for (const std::string strategy : {"full", "spor"}) {
       for (unsigned threads : thread_counts) {
         check::CheckRequest req;
@@ -93,6 +135,7 @@ int main(int argc, char** argv) {
         req.explore = harness::budget_from_env();
         req.explore.visited = visited;
         req.explore.threads = threads;
+        req.repeat = repeat;
         // This bench writes its own JSON with cell-level names below; keep
         // the $MPB_BENCH_JSON at-exit flush from overwriting that file.
         req.record = false;

@@ -1,5 +1,6 @@
 #include "check/check.hpp"
 
+#include <algorithm>
 #include <array>
 #include <sstream>
 #include <utility>
@@ -165,12 +166,29 @@ CheckResult Checker::run() {
     proviso = std::string(to_string(spor.proviso));
   }
 
+  // Best-of-N timing: repeat the identical search and keep the fastest run —
+  // but a definitive verdict always beats a budget-truncated one, whatever
+  // the clock says: a reduced *parallel* search stores a schedule-dependent
+  // state count, so with a budget right at that boundary one repeat can
+  // truncate (early, hence fast) while another completes.
+  const unsigned repeats = std::max(req_.repeat, 1u);
+  const auto better = [](const ExploreResult& a, const ExploreResult& b) {
+    const bool a_cut = a.verdict == Verdict::kBudgetExceeded;
+    const bool b_cut = b.verdict == Verdict::kBudgetExceeded;
+    if (a_cut != b_cut) return !a_cut;
+    return a.stats.seconds < b.stats.seconds;
+  };
   ExploreResult r;
-  if (strategy_->stateful) {
-    r = explore(proto_, cfg,
-                strategy_->make ? strategy_->make(proto_, spor) : nullptr);
-  } else {
-    r = explore_dpor(proto_, cfg, DporOptions{.reduce = strategy_->reduced});
+  for (unsigned i = 0; i < repeats; ++i) {
+    ExploreResult attempt;
+    if (strategy_->stateful) {
+      attempt = explore(proto_, cfg,
+                        strategy_->make ? strategy_->make(proto_, spor) : nullptr);
+    } else {
+      attempt =
+          explore_dpor(proto_, cfg, DporOptions{.reduce = strategy_->reduced});
+    }
+    if (i == 0 || better(attempt, r)) r = std::move(attempt);
   }
 
   CheckResult out;
@@ -184,6 +202,7 @@ CheckResult Checker::run() {
   out.symmetry = req_.symmetry;
   out.symmetry_orbit_bound = orbit_bound();
   out.threads = out.result.stats.threads_used;
+  out.repeats = repeats;
 
   // Feed the process-global bench sink (flushed to $MPB_BENCH_JSON at exit),
   // so every facade front end is a machine-readable emitter for free.

@@ -84,6 +84,12 @@ struct CheckRequest {
   // Budgets, threads, visited mode and the observer hooks (on_progress /
   // on_violation, see core/explorer.hpp). `mode` is set by the strategy.
   ExploreConfig explore;
+  // Run the search this many times and keep the fastest run (by wall-clock
+  // seconds; a definitive verdict always outranks a budget-truncated one) as
+  // the result — best-of-N timing, so bench-JSON records stop being
+  // single-sample noise. Front ends map mpbcheck --repeat / MPB_REPEAT
+  // (harness::repeat_from_env) onto this.
+  unsigned repeat = 1;
   // Feed each run's record to the process-global bench sink (flushed to
   // $MPB_BENCH_JSON at exit). Front ends that write their own bench file
   // (bench/explore_throughput) turn this off so the at-exit flush cannot
@@ -107,6 +113,8 @@ struct CheckResult {
   bool symmetry = false;
   std::uint64_t symmetry_orbit_bound = 1;
   unsigned threads = 1;
+  // How many runs the best-of-N timing kept (CheckRequest::repeat).
+  unsigned repeats = 1;
 
   [[nodiscard]] Verdict verdict() const noexcept { return result.verdict; }
   [[nodiscard]] const ExploreStats& stats() const noexcept {

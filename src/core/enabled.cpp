@@ -111,10 +111,16 @@ void enumerate_events_of(const Protocol& proto, const State& s, TransitionId tid
 
 std::vector<Event> enumerate_events(const Protocol& proto, const State& s) {
   std::vector<Event> out;
+  enumerate_events(proto, s, out);
+  return out;
+}
+
+void enumerate_events(const Protocol& proto, const State& s,
+                      std::vector<Event>& out) {
+  out.clear();
   for (TransitionId tid = 0; tid < proto.n_transitions(); ++tid) {
     enumerate_events_of(proto, s, tid, out);
   }
-  return out;
 }
 
 bool transition_enabled(const Protocol& proto, const State& s, TransitionId tid) {

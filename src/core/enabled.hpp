@@ -27,6 +27,12 @@ void enumerate_events_of(const Protocol& proto, const State& s, TransitionId tid
 // All enabled events in `s`, grouped by transition id (ascending).
 [[nodiscard]] std::vector<Event> enumerate_events(const Protocol& proto, const State& s);
 
+// Same, refilling `out` (cleared first). Hot loops — the parallel workers —
+// pass a scratch vector so the enabled-set buffer is allocated once per
+// worker instead of once per expansion.
+void enumerate_events(const Protocol& proto, const State& s,
+                      std::vector<Event>& out);
+
 // True iff transition `tid` has at least one enabled event in `s`.
 [[nodiscard]] bool transition_enabled(const Protocol& proto, const State& s,
                                       TransitionId tid);

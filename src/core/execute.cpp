@@ -55,8 +55,17 @@ void check_annotations(const Protocol& proto, const Transition& t, const Event& 
 
 State execute(const Protocol& proto, const State& s, const Event& e,
               const ExecuteOptions& opts, std::string* failed_assertion) {
+  State succ;
+  execute_into(proto, s, e, opts, failed_assertion, succ);
+  return succ;
+}
+
+void execute_into(const Protocol& proto, const State& s, const Event& e,
+                  const ExecuteOptions& opts, std::string* failed_assertion,
+                  State& out) {
   const Transition& t = proto.transition(e.tid);
-  State succ = s;
+  State& succ = out;
+  succ = s;  // copy-assign: a recycled `out` keeps its vector capacity
 
   for (const Message& m : e.consumed) {
     const bool removed = succ.remove_message(m);
@@ -88,7 +97,6 @@ State execute(const Protocol& proto, const State& s, const Event& e,
 
   for (const Message& m : ctx.sends()) succ.add_message(m);
   if (failed_assertion != nullptr) *failed_assertion = ctx.failed_assertion();
-  return succ;
 }
 
 }  // namespace mpb

@@ -36,4 +36,14 @@ struct ExecuteOptions {
                             const ExecuteOptions& opts = {},
                             std::string* failed_assertion = nullptr);
 
+// Execute `e` in `s`, writing the successor into `out` (`&out != &s`). The
+// successor is built by copy-*assigning* `s` into `out` and mutating, so a
+// recycled `out` reuses its locals/network vector capacity — the allocation
+// path the parallel explorer's per-worker state pools lean on: in steady
+// state an expansion touches the global allocator only for genuinely new
+// interned states, not for every generated successor.
+void execute_into(const Protocol& proto, const State& s, const Event& e,
+                  const ExecuteOptions& opts, std::string* failed_assertion,
+                  State& out);
+
 }  // namespace mpb

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "core/work_deque.hpp"
 
 namespace mpb {
 
@@ -372,14 +374,27 @@ class Search {
 };
 
 // ---------------------------------------------------------------------------
-// Parallel stateful search: a fixed worker pool shares a global frontier of
-// independent DFS root frames. Each worker expands a subtree depth-first from
-// its local stack and donates the shallowest half of that stack whenever the
-// global frontier runs dry, so idle workers always find work while most
-// pushes/pops stay lock-free. The sharded visited table admits each unique
-// state exactly once, which (for the unreduced search) makes states_stored /
-// terminal_states / events_executed independent of the schedule and equal to
-// the sequential search's counts.
+// Parallel stateful search: a fixed worker pool over per-worker work-stealing
+// deques. Each worker expands successors off the bottom of its own Chase-Lev
+// deque (LIFO — the search stays depth-first and cache-warm) and, when it
+// runs dry, steals from the top of a random victim's deque (FIFO — a steal
+// grabs the shallowest, i.e. largest, open subtree). A small mutex-guarded
+// global injector seeds the root and absorbs overflow from pathologically
+// wide expansions; it is not on the steady-state path, so expanding a state
+// takes no lock and wakes nobody. Termination is an atomic outstanding-work
+// counter: +1 per queued item, -1 when its expansion completes; a worker
+// that finds no work anywhere and reads 0 is done. The sharded visited
+// table admits each unique state exactly once, which (for the unreduced
+// search) makes states_stored / terminal_states / events_executed
+// independent of the schedule and equal to the sequential search's counts.
+//
+// Allocation: workers recycle Item objects (the State successor buffers)
+// through per-worker free lists, and execute_into() copy-assigns into the
+// recycled state so its locals/network vector capacity is reused. In steady
+// state an expansion touches the global allocator only to intern a genuinely
+// new state, not once per generated successor. Items are handed over by
+// pointer (push/steal transfer ownership); the memory itself is owned by the
+// per-worker backing stores, which outlive the pool.
 //
 // With a reduction strategy (SPOR under the visited-set cycle proviso), one
 // shared strategy object serves all workers — its select() must be
@@ -417,6 +432,11 @@ class ParallelSearch {
 
     worker_stats_.assign(threads_, ExploreStats{});
     worker_terminals_.assign(threads_, {});
+    workers_.clear();
+    workers_.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w) {
+      workers_.push_back(std::make_unique<Worker>(w));
+    }
 
     State init = proto_.initial();
     if (const Property* p = proto_.violated_property(init)) {
@@ -426,9 +446,13 @@ class ParallelSearch {
       Fingerprint canon_fp;
       const VisitedInsert root = insert_canonical(
           visited_, cfg_.canonicalize, init, kNoHandle, nullptr, &canon_fp);
+      Item* root_item = workers_[0]->alloc();
+      root_item->s = std::move(init);
+      root_item->canon_fp = canon_fp;
+      root_item->handle = root.handle;
+      root_item->depth = 0;
+      injector_.push_back(root_item);
       outstanding_.store(1, std::memory_order_relaxed);
-      queue_.push_back(Item{std::move(init), canon_fp, root.handle, 0});
-      qsize_.store(1, std::memory_order_relaxed);
 
       std::vector<std::thread> pool;
       pool.reserve(threads_);
@@ -491,73 +515,127 @@ class ParallelSearch {
     unsigned depth = 0;
   };
 
+  // A deque larger than this donates new items to the global injector instead
+  // of growing without bound; in practice only pathologically wide searches
+  // ever hit it.
+  static constexpr std::size_t kInjectorOverflow = 1u << 16;
+
+  // Per-worker machinery: the stealing deque, the Item pool (free list over a
+  // stable-address backing store — recycling keeps the State vector capacity
+  // hot), and the expansion scratch buffers. Everything here is touched by
+  // its owner only, except `deque` (thieves steal) and item memory itself
+  // (whoever extracts an item expands and then releases it into *their own*
+  // free list; the backing stores outlive the run, so cross-worker recycling
+  // is safe).
+  struct Worker {
+    explicit Worker(unsigned wid) : rng(0x9e3779b97f4a7c15ULL * (wid + 1) + 1) {}
+
+    Item* alloc() {
+      if (!free.empty()) {
+        Item* it = free.back();
+        free.pop_back();
+        return it;
+      }
+      storage.emplace_back();
+      return &storage.back();
+    }
+    void release(Item* it) { free.push_back(it); }
+
+    [[nodiscard]] std::uint64_t next_rand() {  // xorshift64
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    }
+
+    WorkStealingDeque<Item> deque;
+    std::deque<Item> storage;  // stable addresses; owns every Item's memory
+    std::vector<Item*> free;
+    std::vector<Event> enabled;      // enumerate_events scratch
+    std::vector<std::size_t> idx;    // strategy selection scratch
+    std::string failed;              // assertion-label scratch
+    std::uint64_t rng;
+  };
+
   void worker(unsigned wid) {
+    Worker& me = *workers_[wid];
     ExploreStats& st = worker_stats_[wid];
-    std::vector<Item> local;
     std::uint64_t tick = 0;
+    unsigned idle = 0;
     for (;;) {
-      if (stopped()) return;  // drop remaining local work after a stop
-      Item item;
-      if (!local.empty()) {
-        item = std::move(local.back());
-        local.pop_back();
-      } else {
-        std::unique_lock<std::mutex> lk(qmu_);
-        qcv_.wait(lk, [this] { return !queue_.empty() || done_; });
-        if (queue_.empty()) return;  // done_ set and nothing left to do
-        item = std::move(queue_.front());
-        queue_.pop_front();
-        qsize_.fetch_sub(1, std::memory_order_relaxed);
+      if (stopped()) return;  // drop remaining work after a stop
+      Item* item = me.deque.pop();
+      if (item == nullptr) item = acquire_work(me, wid);
+      if (item == nullptr) {
+        if (outstanding_.load(std::memory_order_acquire) == 0) return;
+        backoff(idle);
+        continue;
       }
-
-      expand(std::move(item), local, st, worker_terminals_[wid]);
-
+      idle = 0;
+      expand(*item, me, st, worker_terminals_[wid]);
+      me.release(item);
       if (++tick % 256 == 0 && over_time()) signal_truncated();
-
-      // Work sharing: when the global frontier is starving, donate the
-      // shallowest (closest-to-root) half of the local DFS stack.
-      if (local.size() > 1 &&
-          qsize_.load(std::memory_order_relaxed) < threads_) {
-        const std::size_t donate = local.size() / 2;
-        {
-          std::lock_guard<std::mutex> lk(qmu_);
-          for (std::size_t i = 0; i < donate; ++i) {
-            queue_.push_back(std::move(local[i]));
-          }
-        }
-        local.erase(local.begin(),
-                    local.begin() + static_cast<std::ptrdiff_t>(donate));
-        qsize_.fetch_add(donate, std::memory_order_relaxed);
-        qcv_.notify_all();
-      }
-
       if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        // Last in-flight item: the search is exhausted.
-        std::lock_guard<std::mutex> lk(qmu_);
-        done_ = true;
-        qcv_.notify_all();
+        return;  // last in-flight item: the search is exhausted
       }
-      if (done_ && local.empty()) return;
     }
   }
 
-  void expand(Item item, std::vector<Item>& local, ExploreStats& st,
+  // Steal from random victims, then fall back to the injector.
+  Item* acquire_work(Worker& me, unsigned wid) {
+    if (threads_ > 1) {
+      const auto start = static_cast<unsigned>(me.next_rand() % threads_);
+      for (unsigned k = 0; k < threads_; ++k) {
+        const unsigned v = (start + k) % threads_;
+        if (v == wid) continue;
+        if (Item* it = workers_[v]->deque.steal()) return it;
+      }
+    }
+    std::lock_guard<std::mutex> lk(inj_mu_);
+    if (injector_.empty()) return nullptr;
+    Item* it = injector_.back();
+    injector_.pop_back();
+    return it;
+  }
+
+  // Starvation backoff: yield first, then sleep in growing slices so an idle
+  // worker on an oversubscribed box stops eating the expanding workers'
+  // quanta. Termination latency is bounded by the longest slice (~1 ms).
+  static void backoff(unsigned& idle) {
+    if (++idle < 16) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(std::min(50u * (idle - 15), 1000u)));
+    }
+  }
+
+  void push_work(Worker& me, Item* succ) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    if (me.deque.size_hint() >= kInjectorOverflow) {
+      std::lock_guard<std::mutex> lk(inj_mu_);
+      injector_.push_back(succ);
+    } else {
+      me.deque.push(succ);
+    }
+  }
+
+  void expand(Item& item, Worker& me, ExploreStats& st,
               std::vector<Fingerprint>& terminals) {
     ++st.states_visited;
     st.max_depth_seen = std::max(st.max_depth_seen, item.depth + 1);
 
-    std::vector<Event> enabled = enumerate_events(proto_, item.s);
-    st.events_enabled += enabled.size();
-    if (enabled.empty()) {
+    enumerate_events(proto_, item.s, me.enabled);
+    st.events_enabled += me.enabled.size();
+    if (me.enabled.empty()) {
       ++st.terminal_states;
       if (cfg_.collect_terminals) terminals.push_back(item.canon_fp);
       return;
     }
 
-    std::vector<Event> chosen;
-    if (strategy_ == nullptr) {
-      chosen = std::move(enabled);
-    } else {
+    std::size_t n_selected = me.enabled.size();
+    const bool reduced = strategy_ != nullptr;
+    if (reduced) {
       // The shared strategy evaluates its cycle proviso against the global
       // visited set (no DFS stack exists here); see por/spor.cpp for why
       // that probe is sound under concurrent inserts.
@@ -567,21 +645,22 @@ class ParallelSearch {
           [&](const State& s) {
             return contains_canonical(visited_, cfg_.canonicalize, s);
           }};
-      std::vector<std::size_t> idx = strategy_->select(item.s, enabled, ctx);
-      if (idx.size() >= enabled.size()) ++st.full_expansions;
-      chosen.reserve(idx.size());
-      for (std::size_t i : idx) chosen.push_back(std::move(enabled[i]));
+      me.idx = strategy_->select(item.s, me.enabled, ctx);
+      n_selected = me.idx.size();
+      if (n_selected >= me.enabled.size()) ++st.full_expansions;
     }
-    st.events_selected += chosen.size();
+    st.events_selected += n_selected;
 
-    for (const Event& e : chosen) {
+    for (std::size_t j = 0; j < n_selected; ++j) {
       if (stopped()) return;
-      std::string failed;
-      State succ = execute(proto_, item.s, e, exec_opts_, &failed);
+      const Event& e = me.enabled[reduced ? me.idx[j] : j];
+      Item* succ = me.alloc();
+      execute_into(proto_, item.s, e, exec_opts_, &me.failed, succ->s);
       ++st.events_executed;
       const std::uint64_t global_events =
           events_budget_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (global_events > cfg_.max_events) {
+        me.release(succ);
         signal_truncated();
         return;
       }
@@ -589,9 +668,12 @@ class ParallelSearch {
           global_events % cfg_.progress_every_events == 0) {
         emit_progress(global_events);
       }
-      if (!failed.empty()) {
-        record_violation(failed, item.handle, e);
-        if (cfg_.stop_at_first_violation) return;
+      if (!me.failed.empty()) {
+        record_violation(me.failed, item.handle, e);
+        if (cfg_.stop_at_first_violation) {
+          me.release(succ);
+          return;
+        }
       }
 
       // One canonicalization per successor; its cached fingerprint feeds the
@@ -599,19 +681,26 @@ class ParallelSearch {
       // insert threads the state graph: parent = the expanded item's entry.
       Fingerprint canon_fp;
       const VisitedInsert ins = insert_canonical(
-          visited_, cfg_.canonicalize, succ, item.handle, &e, &canon_fp);
-      if (!ins.inserted) continue;
+          visited_, cfg_.canonicalize, succ->s, item.handle, &e, &canon_fp);
+      if (!ins.inserted) {
+        me.release(succ);
+        continue;
+      }
       if (visited_.size() > cfg_.max_states) {
+        me.release(succ);
         signal_truncated();
         return;
       }
-      if (const Property* p = proto_.violated_property(succ)) {
+      if (const Property* p = proto_.violated_property(succ->s)) {
         record_violation(p->name, item.handle, e);
+        me.release(succ);
         if (cfg_.stop_at_first_violation) return;
         continue;
       }
-      outstanding_.fetch_add(1, std::memory_order_acq_rel);
-      local.push_back(Item{std::move(succ), canon_fp, ins.handle, item.depth + 1});
+      succ->canon_fp = canon_fp;
+      succ->handle = ins.handle;
+      succ->depth = item.depth + 1;
+      push_work(me, succ);
     }
   }
 
@@ -640,6 +729,20 @@ class ParallelSearch {
     if (cfg_.stop_at_first_violation) stop();
   }
 
+  // Open items across the injector and every worker deque, computed on
+  // demand from the deques' own bounds — an approximate but never-negative,
+  // never-stale snapshot (the old maintained counter could drift under
+  // donation races).
+  [[nodiscard]] std::uint64_t frontier_size() const {
+    std::uint64_t n = 0;
+    {
+      std::lock_guard<std::mutex> lk(inj_mu_);
+      n = injector_.size();
+    }
+    for (const auto& w : workers_) n += w->deque.size_hint();
+    return n;
+  }
+
   // Parallel progress snapshot: exact visited-set size and global event
   // count; per-worker stats are not merged mid-run. hooks_mu_ serializes it
   // against itself and against the violation hook.
@@ -648,7 +751,7 @@ class ParallelSearch {
     ExploreStats snap;
     snap.states_stored = visited_.size();
     snap.events_executed = global_events;
-    snap.frontier = qsize_.load(std::memory_order_relaxed);
+    snap.frontier = frontier_size();
     snap.threads_used = threads_;
     snap.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -661,13 +764,7 @@ class ParallelSearch {
     stop();
   }
 
-  void stop() {
-    {
-      std::lock_guard<std::mutex> lk(qmu_);
-      done_.store(true, std::memory_order_relaxed);
-    }
-    qcv_.notify_all();
-  }
+  void stop() { done_.store(true, std::memory_order_release); }
 
   [[nodiscard]] bool stopped() const {
     return done_.load(std::memory_order_relaxed);
@@ -695,13 +792,11 @@ class ParallelSearch {
   ShardedVisited visited_;
   PendingTrace pending_;
 
-  mutable std::mutex qmu_;
-  std::condition_variable qcv_;
-  std::deque<Item> queue_;
-  // Set under qmu_ (so waiters can't miss the wake-up) but readable lock-free.
+  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable std::mutex inj_mu_;
+  std::vector<Item*> injector_;  // root seed + overflow donations only
   std::atomic<bool> done_{false};
-  std::atomic<std::size_t> qsize_{0};       // approximate, for donation policy
-  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::int64_t> outstanding_{0};  // queued or in-expansion items
   std::atomic<std::uint64_t> events_budget_{0};
   std::atomic<bool> truncated_{false};
 

@@ -13,9 +13,10 @@
 //
 // Parallelism: with cfg.threads > 1 every *stateful* search whose strategy
 // does not need the DFS stack (full expansion, and SPOR under the visited-set
-// cycle proviso — see por/spor.hpp) runs on a fixed worker pool sharing a
-// global frontier of independent DFS root frames over a sharded visited set
-// (core/visited.hpp). Stateless / DPOR searches are inherently sequential and
+// cycle proviso — see por/spor.hpp) runs on a fixed worker pool: per-worker
+// work-stealing deques (core/work_deque.hpp) over the lock-free sharded
+// visited set (core/visited.hpp), with per-worker state pools feeding
+// execute_into. Stateless / DPOR searches are inherently sequential and
 // ignore cfg.threads; see docs/ARCHITECTURE.md for the parallel-safety
 // matrix. Unreduced parallel runs report the same verdict and the same
 // states_stored / terminal_states as the sequential search; reduced parallel
@@ -112,8 +113,10 @@ struct ExploreStats {
   // Candidate reduced sets the strategy abandoned because of its cycle
   // proviso during this run (SPOR; see ReductionStrategy::proviso_fallbacks).
   std::uint64_t proviso_fallbacks = 0;
-  // Progress snapshots only: open frames (sequential DFS stack) or queued
-  // global-frontier items (parallel pool) at snapshot time. 0 in final stats.
+  // Progress snapshots only: open frames (sequential DFS stack) or open
+  // items across the injector and all stealing deques (parallel pool) at
+  // snapshot time — computed from the deques' own bounds, so it cannot go
+  // negative or drift stale. 0 in final stats.
   std::uint64_t frontier = 0;
   // Whole-state rehash passes / fingerprint queries during this run (delta of
   // the process-wide counters in core/state.hpp; approximate if explorations

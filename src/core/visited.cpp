@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <thread>
 
 namespace mpb {
 
@@ -29,52 +30,216 @@ constexpr unsigned kHandleIndexBits = 64 - kHandleShardBits;
 constexpr std::uint64_t kHandleIndexMask =
     (std::uint64_t{1} << kHandleIndexBits) - 1;
 
+// Slot-value sentinels (see the Slot comment in the header). Payloads can
+// never collide with them: fingerprint payloads are remapped below, interned
+// payloads are arena indices + 1, far below 2^63.
+constexpr std::uint64_t kClaimed = ~std::uint64_t{0};
+constexpr std::uint64_t kFrozen = ~std::uint64_t{0} - 1;
+
 [[nodiscard]] constexpr StateHandle make_handle(std::size_t shard,
                                                 std::uint64_t index) noexcept {
   return (static_cast<std::uint64_t>(shard) << kHandleIndexBits) | index;
 }
 
 // Fingerprint-mode slots store val = fp.hi remapped away from the empty
-// marker 0.
+// marker 0 and the claim/frozen sentinels (the remap folds a 3/2^64 sliver of
+// fingerprint space onto a neighbour — same failure class, and far rarer,
+// than a fingerprint collision itself).
 [[nodiscard]] constexpr std::uint64_t occupied_val(std::uint64_t hi) noexcept {
-  return hi == 0 ? 1 : hi;
+  return (hi == 0 || hi >= kFrozen) ? 1 : hi;
+}
+
+// Bounded busy-wait while a claimed slot publishes or a migration installs
+// the new table. Publication is a handful of stores (plus one state copy in
+// interned mode), so the x86 pause fast path almost always suffices; yield
+// keeps an oversubscribed box from burning a whole quantum.
+inline void spin_pause(unsigned& spins) noexcept {
+  if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    std::this_thread::yield();
+    spins = 0;
+  }
+}
+
+// Arena geometry: chunk c holds kArenaFirstChunk << c nodes starting at
+// index kArenaFirstChunk * (2^c - 1).
+struct ArenaPos {
+  std::size_t chunk;
+  std::size_t offset;
+};
+
+[[nodiscard]] constexpr ArenaPos arena_pos(std::uint64_t index,
+                                           std::size_t first_chunk) noexcept {
+  const std::uint64_t q = index / first_chunk + 1;
+  const auto chunk = static_cast<std::size_t>(std::bit_width(q) - 1);
+  const std::uint64_t start = first_chunk * ((std::uint64_t{1} << chunk) - 1);
+  return {chunk, static_cast<std::size_t>(index - start)};
 }
 }  // namespace
 
 ShardedVisited::ShardedVisited(VisitedMode mode, unsigned shards)
     : mode_(mode),
       shards_(std::bit_ceil(std::min(std::max(shards, 1u), 1024u))) {
-  for (Shard& sh : shards_) sh.slots.resize(kInitialSlots);
+  for (Shard& sh : shards_) {
+    sh.table.store(new Table(kInitialSlots), std::memory_order_relaxed);
+  }
 }
 
-std::size_t ShardedVisited::probe(const Shard& sh, const State* s,
-                                  std::uint64_t key, std::uint64_t val) const {
-  const std::size_t mask = sh.slots.size() - 1;
+ShardedVisited::~ShardedVisited() {
+  for (Shard& sh : shards_) {
+    delete sh.table.load(std::memory_order_relaxed);
+    for (Table* t : sh.retired) delete t;
+    for (std::atomic<Node*>& c : sh.chunks) {
+      delete[] c.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+ShardedVisited::Node* ShardedVisited::arena_node(const Shard& sh,
+                                                 std::uint64_t index) const {
+  const ArenaPos pos = arena_pos(index, kArenaFirstChunk);
+  Node* base = sh.chunks[pos.chunk].load(std::memory_order_acquire);
+  return base == nullptr ? nullptr : base + pos.offset;
+}
+
+std::uint64_t ShardedVisited::arena_alloc(Shard& sh) {
+  const std::uint64_t index =
+      sh.arena_next.fetch_add(1, std::memory_order_relaxed);
+  const ArenaPos pos = arena_pos(index, kArenaFirstChunk);
+  std::atomic<Node*>& slot = sh.chunks[pos.chunk];
+  if (slot.load(std::memory_order_acquire) == nullptr) {
+    // First visitor of this chunk allocates it; a losing racer frees its copy.
+    Node* fresh = new Node[kArenaFirstChunk << pos.chunk];
+    Node* expected = nullptr;
+    if (!slot.compare_exchange_strong(expected, fresh,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      delete[] fresh;
+    }
+  }
+  return index;
+}
+
+ShardedVisited::TryInsert ShardedVisited::try_insert(
+    Shard& sh, std::size_t shard_idx, Table& t, const State& s,
+    std::uint64_t key, std::uint64_t fp_val, StateHandle parent,
+    const Event* via, VisitedInsert& out) {
+  const std::size_t mask = t.mask;
   std::size_t i = static_cast<std::size_t>(key) & mask;
+  // Every slot this probe visits resolves to published-or-frozen before we
+  // move on, so visiting all capacity slots without a match, an empty or a
+  // frozen one proves the table is completely full of other entries.
+  std::size_t probes = 0;
   for (;;) {
-    const Entry& e = sh.slots[i];
-    if (e.val == 0) return i;  // empty: not present
-    if (e.key == key) {
+    if (probes++ > mask) return TryInsert::kTableFull;
+    Slot& slot = t.slots[i];
+    std::uint64_t v = slot.val.load(std::memory_order_acquire);
+    unsigned spins = 0;
+    // Resolve this slot to frozen / published / ours.
+    for (;;) {
+      if (v == kFrozen) {
+        return TryInsert::kRetryFrozen;  // migration sealed it: new table
+      }
+      if (v == kClaimed) {             // another inserter is publishing
+        spin_pause(spins);
+        v = slot.val.load(std::memory_order_acquire);
+        continue;
+      }
+      if (v == 0) {
+        std::uint64_t expected = 0;
+        if (slot.val.compare_exchange_weak(expected, kClaimed,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+          // Claimed. Write the key (and, interned, the whole node) before the
+          // release-store below makes the slot visible to other probes.
+          slot.key.store(key, std::memory_order_relaxed);
+          if (mode_ == VisitedMode::kFingerprint) {
+            slot.val.store(fp_val, std::memory_order_release);
+            out = {true, kNoHandle};
+          } else {
+            const std::uint64_t index = arena_alloc(sh);
+            Node* n = arena_node(sh, index);
+            n->s = s;
+            if (via != nullptr) n->in_event = *via;
+            n->parent = parent;
+            slot.val.store(index + 1, std::memory_order_release);
+            out = {true, make_handle(shard_idx, index)};
+          }
+          t.count.fetch_add(1, std::memory_order_relaxed);
+          return TryInsert::kDone;
+        }
+        v = expected;  // lost the claim; re-resolve with the fresh value
+        continue;
+      }
+      break;  // a published payload
+    }
+    // Published entry: equal means present (first writer wins).
+    if (slot.key.load(std::memory_order_relaxed) == key) {
       if (mode_ == VisitedMode::kFingerprint) {
-        if (e.val == val) return i;
+        if (v == fp_val) {
+          out = {false, kNoHandle};
+          return TryInsert::kDone;
+        }
       } else {
-        if (sh.arena[e.val - 1].s == *s) return i;
+        const Node* n = arena_node(sh, v - 1);
+        if (n->s == s) {
+          out = {false, make_handle(shard_idx, v - 1)};
+          return TryInsert::kDone;
+        }
       }
     }
     i = (i + 1) & mask;
   }
 }
 
-void ShardedVisited::grow(Shard& sh) const {
-  std::vector<Entry> old = std::move(sh.slots);
-  sh.slots.assign(old.size() * 2, Entry{});
-  const std::size_t mask = sh.slots.size() - 1;
-  for (const Entry& e : old) {
-    if (e.val == 0) continue;
-    std::size_t i = static_cast<std::size_t>(e.key) & mask;
-    while (sh.slots[i].val != 0) i = (i + 1) & mask;
-    sh.slots[i] = e;
+void ShardedVisited::grow(Shard& sh, Table* old) {
+  std::lock_guard<std::mutex> lock(sh.grow_mu);
+  if (sh.table.load(std::memory_order_relaxed) != old) return;  // already done
+
+  const std::size_t old_cap = old->mask + 1;
+  auto* fresh = new Table(old_cap * 2);
+  std::size_t copied = 0;
+  for (std::size_t i = 0; i <= old->mask; ++i) {
+    Slot& slot = old->slots[i];
+    unsigned spins = 0;
+    for (;;) {
+      std::uint64_t v = slot.val.load(std::memory_order_acquire);
+      if (v == kClaimed) {  // wait for the in-flight publish, then migrate it
+        spin_pause(spins);
+        continue;
+      }
+      if (v == 0) {
+        // Seal the empty slot so no new claim can land behind our back; a
+        // racing claim simply wins the CAS and we re-resolve.
+        if (slot.val.compare_exchange_weak(v, kFrozen,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+          break;
+        }
+        continue;
+      }
+      // Published payload: re-slot it in the new table. No other thread can
+      // touch `fresh` until the release-store installs it, so plain relaxed
+      // stores suffice here.
+      const std::uint64_t key = slot.key.load(std::memory_order_relaxed);
+      std::size_t j = static_cast<std::size_t>(key) & fresh->mask;
+      while (fresh->slots[j].val.load(std::memory_order_relaxed) != 0) {
+        j = (j + 1) & fresh->mask;
+      }
+      fresh->slots[j].key.store(key, std::memory_order_relaxed);
+      fresh->slots[j].val.store(v, std::memory_order_relaxed);
+      ++copied;
+      break;
+    }
   }
+  fresh->count.store(copied, std::memory_order_relaxed);
+  // Old tables are retired, not freed: concurrent probes may still be walking
+  // them. Their sizes form a geometric series bounded by the live table.
+  sh.retired.push_back(old);
+  sh.table.store(fresh, std::memory_order_release);
 }
 
 VisitedInsert ShardedVisited::insert(const State& s, const Fingerprint& fp,
@@ -83,38 +248,65 @@ VisitedInsert ShardedVisited::insert(const State& s, const Fingerprint& fp,
   Shard& sh = shards_[shard_idx];
   const std::uint64_t key = fp.lo;
   const std::uint64_t fp_val = occupied_val(fp.hi);
-  std::lock_guard<std::mutex> lock(sh.mu);
-  std::size_t i = probe(sh, &s, key, fp_val);
-  if (sh.slots[i].val != 0) {  // already present
-    if (mode_ == VisitedMode::kFingerprint) return {false, kNoHandle};
-    return {false, make_handle(shard_idx, sh.slots[i].val - 1)};
+  VisitedInsert out;
+  unsigned spins = 0;
+  for (;;) {
+    Table* t = sh.table.load(std::memory_order_acquire);
+    const TryInsert r =
+        try_insert(sh, shard_idx, *t, s, key, fp_val, parent, via, out);
+    if (r == TryInsert::kDone) break;
+    if (r == TryInsert::kTableFull) {
+      // A claim burst outran the grow threshold and filled the table before
+      // any migration froze it. Drive the growth ourselves (grow() is
+      // idempotent per table: the mutex + identity check make extra callers
+      // no-ops) instead of spinning on a table that can never admit us.
+      grow(sh, t);
+      continue;
+    }
+    spin_pause(spins);  // kRetryFrozen: a migration is installing the table
   }
-  if ((sh.count + 1) * 10 >= sh.slots.size() * 7) {
-    grow(sh);
-    i = probe(sh, &s, key, fp_val);
+  if (out.inserted) {
+    total_.fetch_add(1, std::memory_order_relaxed);
+    Table* t = sh.table.load(std::memory_order_acquire);
+    if ((t->count.load(std::memory_order_relaxed) + 1) * 10 >=
+        (t->mask + 1) * 7) {
+      grow(sh, t);
+    }
   }
-  VisitedInsert out{true, kNoHandle};
-  if (mode_ == VisitedMode::kFingerprint) {
-    sh.slots[i] = Entry{key, fp_val};
-  } else {
-    Node node;
-    node.s = s;
-    if (via != nullptr) node.in_event = *via;
-    node.parent = parent;
-    sh.arena.push_back(std::move(node));
-    sh.slots[i] = Entry{key, static_cast<std::uint64_t>(sh.arena.size())};
-    out.handle = make_handle(shard_idx, sh.arena.size() - 1);
-  }
-  ++sh.count;
-  total_.fetch_add(1, std::memory_order_relaxed);
   return out;
 }
 
 bool ShardedVisited::contains(const State& s, const Fingerprint& fp) const {
-  const Shard& sh = shard_for(fp);
+  const Shard& sh = shards_[fp.hi & (shards_.size() - 1)];
   const std::uint64_t key = fp.lo;
-  std::lock_guard<std::mutex> lock(sh.mu);
-  return sh.slots[probe(sh, &s, key, occupied_val(fp.hi))].val != 0;
+  const std::uint64_t fp_val = occupied_val(fp.hi);
+  // Entries are never removed and a probe chain never crosses a slot that was
+  // empty when its entries were inserted, so one table snapshot is enough: a
+  // frozen slot was empty at freeze time and reads as "absent" (any entry
+  // inserted later lives in a newer table, concurrent with this lookup).
+  const Table* t = sh.table.load(std::memory_order_acquire);
+  std::size_t i = static_cast<std::size_t>(key) & t->mask;
+  std::size_t probes = 0;
+  for (;;) {
+    if (probes++ > t->mask) return false;  // wrapped a completely full table
+    const Slot& slot = t->slots[i];
+    std::uint64_t v = slot.val.load(std::memory_order_acquire);
+    unsigned spins = 0;
+    while (v == kClaimed) {  // could be the sought key mid-publish: wait
+      spin_pause(spins);
+      v = slot.val.load(std::memory_order_acquire);
+    }
+    if (v == 0 || v == kFrozen) return false;
+    if (slot.key.load(std::memory_order_relaxed) == key) {
+      if (mode_ == VisitedMode::kFingerprint) {
+        if (v == fp_val) return true;
+      } else {
+        const Node* n = arena_node(sh, v - 1);
+        if (n->s == s) return true;
+      }
+    }
+    i = (i + 1) & t->mask;
+  }
 }
 
 const ShardedVisited::Node* ShardedVisited::node_at(StateHandle h) const {
@@ -123,12 +315,11 @@ const ShardedVisited::Node* ShardedVisited::node_at(StateHandle h) const {
   const std::uint64_t index = h & kHandleIndexMask;
   if (shard_idx >= shards_.size()) return nullptr;
   const Shard& sh = shards_[shard_idx];
-  // The lock only guards the deque's bookkeeping against concurrent
-  // push_back; the node itself is immutable after insertion, so the returned
-  // pointer (deque addresses are stable) is safe to read unlocked.
-  std::lock_guard<std::mutex> lock(sh.mu);
-  if (index >= sh.arena.size()) return nullptr;
-  return &sh.arena[static_cast<std::size_t>(index)];
+  if (index >= sh.arena_next.load(std::memory_order_acquire)) return nullptr;
+  // Handles only escape through published slots or insert results, both of
+  // which happen after the node's fields are fully written; the node is
+  // immutable from then on, so no lock is needed to read it.
+  return arena_node(sh, index);
 }
 
 std::vector<Event> ShardedVisited::path_from_root(StateHandle h) const {

@@ -4,17 +4,24 @@
 // The visited set is the hottest shared structure of a stateful search: one
 // probe+insert per generated successor. This implementation shards the key
 // space over N independent open-addressing tables (power-of-two sized, linear
-// probing, grown at ~70% load), each guarded by its own mutex, so concurrent
-// workers contend only when their states land in the same shard. Sequential
-// searches use a single shard and pay one uncontended lock per probe.
+// probing, grown at ~70% load) and makes every probe and insert *lock-free*:
+// a slot is a pair of atomics and insertion follows a claim/publish protocol
+// (CAS an empty slot's value to a claim sentinel, write the payload, then
+// release-store the real value), so concurrent workers never take a mutex on
+// the hot path — not even when their states land in the same shard. The only
+// mutex left guards table *growth*, which freezes the old table's empty slots
+// (CAS 0 -> frozen), migrates the published entries, and swaps in a table of
+// twice the size; inserts that race with a migration simply retry on the new
+// table. See docs/ARCHITECTURE.md ("The lock-free slot protocol") for the
+// ordering argument.
 //
 // Two storage modes:
 //  * kFingerprint — a slot is the state's 128-bit fingerprint (16 bytes).
 //    Probabilistic: a fingerprint collision silently merges two states
 //    (probability ~ N^2/2^129; the mode the paper's big runs use).
 //  * kInterned — exact semantics at near-fingerprint probe cost. Each shard
-//    interns its states in an arena (a deque: stable addresses, chunked
-//    allocation) and a slot holds a 16-byte handle {probe key, arena index}.
+//    interns its states in a lock-free chunked arena (stable addresses,
+//    geometrically growing chunks) and a slot holds {probe key, arena index}.
 //    A probe compares the full state only on a 64-bit key match, so the arena
 //    is touched at most once per lookup in expectation.
 //
@@ -23,9 +30,12 @@
 // into a spanning tree of the explored state graph, and `path_from_root`
 // recovers the event sequence from the initial state to any entry — which is
 // how parallel searches reconstruct counterexample traces without a DFS
-// stack (replay the events through execute()). The cost is one Event (a
-// transition id plus the consumed-message vector) and 8 parent bytes per
-// unique state; fingerprint mode stores neither and cannot reconstruct.
+// stack (replay the events through execute()). The node (state, parent
+// handle, incoming event) is fully written *before* the slot's release-store
+// publishes its arena index, so a reader can never observe a half-written
+// entry. The cost is one Event (a transition id plus the consumed-message
+// vector) and 8 parent bytes per unique state; fingerprint mode stores
+// neither and cannot reconstruct.
 //
 // VisitedMode::kExact (the seed's std::unordered_set<State> of full copies)
 // is kept in the explorer as the sequential reference implementation for
@@ -33,9 +43,10 @@
 // identical (exact) semantics.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string_view>
@@ -74,6 +85,7 @@ class ShardedVisited {
  public:
   // `shards` is rounded up to a power of two and clamped to [1, 1024].
   explicit ShardedVisited(VisitedMode mode, unsigned shards = 1);
+  ~ShardedVisited();
 
   ShardedVisited(const ShardedVisited&) = delete;
   ShardedVisited& operator=(const ShardedVisited&) = delete;
@@ -82,7 +94,8 @@ class ShardedVisited {
   // (the event that produced `s` from the parent entry) when the entry is
   // new. `via` may be null for the root. Returns whether the state was new
   // and, in interned mode, the handle of its (new or pre-existing) entry.
-  // Thread-safe.
+  // Thread-safe and lock-free (a racing table growth can briefly make an
+  // insert wait for the migrated table).
   VisitedInsert insert(const State& s, const Fingerprint& fp,
                        StateHandle parent, const Event* via);
   bool insert(const State& s, const Fingerprint& fp) {
@@ -97,11 +110,11 @@ class ShardedVisited {
 
   // --- state-graph queries (kInterned; empty/null otherwise) ---------------
   // Events along the recorded parent path from the root to `h`, in execution
-  // order. Each entry's parent chain is fixed at insert time, so the walk is
-  // safe while other threads insert.
+  // order. Each entry's parent chain is fully published before its handle
+  // becomes visible, so the walk is safe while other threads insert.
   [[nodiscard]] std::vector<Event> path_from_root(StateHandle h) const;
   // The interned state behind `h` (stable address; entries are immutable once
-  // inserted), or nullptr for kNoHandle / non-interned modes.
+  // published), or nullptr for kNoHandle / non-interned modes.
   [[nodiscard]] const State* state_at(StateHandle h) const;
   [[nodiscard]] StateHandle parent_of(StateHandle h) const;
 
@@ -115,44 +128,69 @@ class ShardedVisited {
   }
 
  private:
-  // 16 bytes. Fingerprint mode: {key, val} = {fp.lo, fp.hi}, with val remapped
-  // 0 -> 1 so val == 0 can mark an empty slot (the remap folds the 2^-64
-  // sliver of fingerprint space onto a neighbour — same failure class, and far
-  // rarer, than a fingerprint collision itself). Interned mode: key = fp.lo
-  // as a 64-bit filter/probe key, val = arena index + 1.
-  struct Entry {
-    std::uint64_t key = 0;
-    std::uint64_t val = 0;
+  // One 16-byte open-addressing slot. `val` is the slot's state machine:
+  //   0         empty (claimable)
+  //   kClaimed  an inserter won the CAS and is writing key/payload
+  //   kFrozen   a migration sealed this empty slot; inserters retry on the
+  //             new table, readers treat it as empty
+  //   else      published payload: occupied_val(fp.hi) in fingerprint mode,
+  //             arena index + 1 in interned mode
+  // A slot only ever moves 0 -> kClaimed -> payload or 0 -> kFrozen, and
+  // `key` is written exactly once, between claim and publish. Readers load
+  // `val` with acquire before touching `key` or the arena node, so the
+  // publisher's release-store makes both fully visible.
+  struct Slot {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint64_t> val{0};
   };
 
-  // One interned state-graph node. `in_event` is the event whose execution
-  // first reached this state (from the entry `parent`); both are written once
-  // at insert time and never mutated, so readers only need the shard lock to
-  // locate the node, not to read it.
+  struct Table {
+    explicit Table(std::size_t capacity)
+        : mask(capacity - 1), slots(new Slot[capacity]) {}
+    const std::size_t mask;              // capacity - 1 (power of two)
+    std::atomic<std::size_t> count{0};   // published entries (grow trigger)
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  // One interned state-graph node. All fields are written once, between the
+  // slot claim and the publishing release-store; immutable afterwards.
   struct Node {
     State s;
     Event in_event;
     StateHandle parent = kNoHandle;
   };
 
+  // Lock-free chunked arena: chunk c holds kArenaFirstChunk << c nodes, so a
+  // handful of chunk pointers cover the whole 48-bit index space and node
+  // addresses never move. Indices are handed out by fetch_add; a chunk is
+  // allocated by whoever first needs it (CAS-published, losers free theirs).
+  static constexpr std::size_t kArenaFirstChunk = 256;
+  static constexpr std::size_t kArenaMaxChunks = 40;
+
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Entry> slots;
-    std::size_t count = 0;
-    std::deque<Node> arena;  // used in kInterned mode only
+    std::atomic<Table*> table{nullptr};
+    // Growth only: serializes migrations; never taken by insert/contains.
+    std::mutex grow_mu;
+    std::vector<Table*> retired;  // old tables, freed in ~ShardedVisited
+    std::array<std::atomic<Node*>, kArenaMaxChunks> chunks{};
+    std::atomic<std::uint64_t> arena_next{0};
   };
 
-  [[nodiscard]] Shard& shard_for(const Fingerprint& fp) const noexcept {
-    return shards_[fp.hi & (shards_.size() - 1)];
-  }
-
   [[nodiscard]] const Node* node_at(StateHandle h) const;
+  [[nodiscard]] Node* arena_node(const Shard& sh, std::uint64_t index) const;
+  [[nodiscard]] std::uint64_t arena_alloc(Shard& sh);
 
-  // Returns the slot index holding an equal entry, or the empty slot where it
-  // would go. Caller holds the shard lock.
-  [[nodiscard]] std::size_t probe(const Shard& sh, const State* s,
-                                  std::uint64_t key, std::uint64_t val) const;
-  void grow(Shard& sh) const;
+  // Outcome of one table-level insert attempt: done, or retry on the next
+  // table — either because a frozen slot showed a migration in flight, or
+  // because the probe wrapped a completely full table (possible when a burst
+  // of concurrent claims lands between the grow threshold and the freeze;
+  // the caller then drives the growth itself so nobody livelocks).
+  enum class TryInsert { kDone, kRetryFrozen, kTableFull };
+  TryInsert try_insert(Shard& sh, std::size_t shard_idx, Table& t,
+                       const State& s, std::uint64_t key, std::uint64_t fp_val,
+                       StateHandle parent, const Event* via,
+                       VisitedInsert& out);
+  void grow(Shard& sh, Table* old);
 
   VisitedMode mode_;
   mutable std::vector<Shard> shards_;

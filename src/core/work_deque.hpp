@@ -1,0 +1,143 @@
+// Chase-Lev work-stealing deque (lock-free, single owner / many thieves).
+//
+// The parallel explorer gives every worker one of these as its private DFS
+// frontier: the owner pushes and pops pointers at the *bottom* (LIFO, so the
+// search stays depth-first and cache-warm), thieves CAS items off the *top*
+// (FIFO, so a steal grabs the shallowest — largest — subtree, exactly the
+// half the old donation heuristic tried to give away). No operation takes a
+// lock; the only synchronization is one CAS per steal and per the owner's
+// last-element pop.
+//
+// The implementation follows Chase & Lev (SPAA'05) in the C11 mapping of
+// Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13), with one deliberate change:
+// the store-load orderings their version gets from seq_cst *fences* are
+// expressed here as seq_cst *accesses* on `top`/`bottom`. ThreadSanitizer
+// does not model fences (GCC's -Wtsan even rejects them), while seq_cst
+// accesses it checks exactly; on x86 the generated code is the same lone
+// xchg/mfence in pop. Elements are plain pointers: the deque transfers
+// ownership hand-to-hand (each pushed pointer is extracted exactly once, by
+// the owner or by one thief), and the release/acquire pairing on
+// `bottom`/`top` makes the pointee's prior writes visible to whichever
+// thread extracts it.
+//
+// Buffer growth: the owner copies the live window into a buffer of twice the
+// size and publishes it; the old buffer is *retired*, not freed, because a
+// slow thief may still read a slot of it (it will then lose its CAS on `top`
+// and retry). Retired buffers sum to less than the live buffer's size and
+// are freed in the destructor.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mpb {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  // `initial_capacity` is rounded up to a power of two (the ring masks
+  // indices with capacity - 1).
+  explicit WorkStealingDeque(std::size_t initial_capacity = 256)
+      : buf_(new Buffer(std::bit_ceil(std::max<std::size_t>(initial_capacity, 2)))) {}
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  ~WorkStealingDeque() {
+    delete buf_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  // Owner only. Never fails: a full buffer grows (amortized O(1)).
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->mask)) a = grow(a, t, b);
+    a->slot(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only. nullptr when empty.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    // The seq_cst store/load pair orders "reserve the bottom slot" before
+    // "observe the thieves' top": no thief and the owner can both extract
+    // the same last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    T* item = nullptr;
+    if (t <= b) {
+      item = a->slot(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it via top.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief got it
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);  // was already empty
+    }
+    return item;
+  }
+
+  // Any thread. nullptr when empty or when the race for the top item was
+  // lost (callers just try the next victim).
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* a = buf_.load(std::memory_order_acquire);
+    T* item = a->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost to the owner or another thief
+    }
+    return item;
+  }
+
+  // Approximate population, never negative; for progress snapshots and
+  // steal-victim selection only.
+  [[nodiscard]] std::size_t size_hint() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t capacity)
+        : mask(capacity - 1), slots(new std::atomic<T*>[capacity]) {}
+    [[nodiscard]] std::atomic<T*>& slot(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+    const std::size_t mask;  // capacity - 1; capacity is a power of two
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  // Owner only: copy the live window [t, b) into a doubled buffer.
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* fresh = new Buffer((old->mask + 1) * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      fresh->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    retired_.push_back(old);
+    buf_.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buf_;
+  std::vector<Buffer*> retired_;  // owner-only; freed in the destructor
+};
+
+}  // namespace mpb

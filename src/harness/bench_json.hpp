@@ -35,6 +35,10 @@ struct BenchRecord {
   double seconds = 0.0;
   double states_per_sec = 0.0;
   double events_per_sec = 0.0;
+  // Process-lifetime maximum RSS (getrusage ru_maxrss) at record time, NOT a
+  // per-workload footprint: in a multi-workload sweep every record after the
+  // hungriest workload inherits its peak. Compare like-positioned records
+  // across files, not workloads within one file.
   long peak_rss_kb = 0;
 };
 

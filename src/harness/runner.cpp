@@ -62,6 +62,14 @@ std::optional<VisitedMode> visited_mode_from_env() {
   return std::nullopt;
 }
 
+unsigned repeat_from_env() {
+  if (const char* s = std::getenv("MPB_REPEAT")) {
+    const long n = std::strtol(s, nullptr, 10);
+    return static_cast<unsigned>(std::clamp(n, 1L, 64L));
+  }
+  return 1;
+}
+
 std::function<void(const ExploreStats&)> make_progress_logger(
     double min_interval_seconds) {
   // Shared mutable limiter state: the returned std::function is copied into

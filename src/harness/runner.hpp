@@ -51,6 +51,11 @@ struct RunSpec {
 // upgrade must not override a deliberate mode).
 [[nodiscard]] std::optional<VisitedMode> visited_mode_from_env();
 
+// The MPB_REPEAT knob (best-of-N run timing, CheckRequest::repeat), clamped
+// to [1, 64]; 1 when unset or unparsable. Read by mpbcheck (--repeat
+// overrides it) and bench/explore_throughput.
+[[nodiscard]] unsigned repeat_from_env();
+
 // A rate-limited on_progress consumer: prints one stderr line (visited size,
 // states/sec, events, frontier depth, elapsed) at most every
 // `min_interval_seconds` of run time, judged by the snapshots' own elapsed

@@ -99,6 +99,31 @@ TEST(ParallelExplore, FindsViolationAndStops) {
   }
 }
 
+TEST(ParallelExplore, InternedT8CountsAreIdenticalAcrossRuns) {
+  // The acceptance pin for the lock-free core: repeated t8 interned searches
+  // of a fixed workload must agree with each other (and with the committed
+  // sequential count) on every schedule-independent statistic, whatever
+  // schedule the stealing deques produce. paxos(2,3,1) full = 9,945 states.
+  const Protocol proto =
+      make_paxos(PaxosConfig{.proposers = 2, .acceptors = 3, .learners = 1});
+  ExploreConfig cfg;
+  cfg.threads = 8;
+  cfg.visited = VisitedMode::kInterned;
+  cfg.collect_terminals = true;
+  const ExploreResult first = explore(proto, cfg);
+  EXPECT_EQ(first.verdict, Verdict::kHolds);
+  EXPECT_EQ(first.stats.states_stored, 9945u);
+  for (int run = 1; run < 4; ++run) {
+    const ExploreResult again = explore(proto, cfg);
+    SCOPED_TRACE("run " + std::to_string(run));
+    EXPECT_EQ(again.verdict, first.verdict);
+    EXPECT_EQ(again.stats.states_stored, first.stats.states_stored);
+    EXPECT_EQ(again.stats.events_executed, first.stats.events_executed);
+    EXPECT_EQ(again.stats.terminal_states, first.stats.terminal_states);
+    EXPECT_EQ(again.terminal_fingerprints, first.terminal_fingerprints);
+  }
+}
+
 TEST(ParallelExplore, RespectsStateBudget) {
   const Protocol proto =
       make_paxos(PaxosConfig{.proposers = 2, .acceptors = 3, .learners = 1});

@@ -219,5 +219,113 @@ TEST(ShardedVisited, ConcurrentInsertsCountEachStateOnce) {
   EXPECT_EQ(set.size(), static_cast<std::uint64_t>(kStates));
 }
 
+// --- lock-free slot protocol stress (Parallel* => the TSan ctest lane) -----
+//
+// Many threads hammer one ShardedVisited with overlapping chains of states,
+// each insert recording a parent handle and incoming event, while the same
+// threads concurrently probe contains() and walk path_from_root() on handles
+// published moments earlier. With a single shard every thread fights over
+// one table, so the claim/publish CAS protocol and several freeze-and-
+// migrate growths (64 slots -> thousands) are all exercised under maximum
+// contention; the interned-entry invariant under test is that a reader can
+// never observe a half-written node (a torn state compare, a dangling
+// parent, a path that does not terminate).
+TEST(ParallelVisitedStress, ConcurrentInsertLookupAndParentPublish) {
+  for (const unsigned shards : {1u, 16u}) {
+    ShardedVisited set(VisitedMode::kInterned, shards);
+    const State root({-1, -1}, {});
+    const VisitedInsert root_ins =
+        set.insert(root, root.fingerprint(), kNoHandle, nullptr);
+    ASSERT_TRUE(root_ins.inserted);
+
+    constexpr int kChain = 1500;  // states per chain, shared by all threads
+    constexpr int kThreads = 8;
+    std::vector<std::atomic<std::uint64_t>> handles(kChain);
+    std::vector<std::atomic<int>> inserted_count(kChain);  // zero-initialized
+    for (auto& h : handles) h.store(kNoHandle);
+
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int i = 0; i < kChain; ++i) {
+          // All threads insert the same chain state i with parent i-1; the
+          // first publisher wins, the rest must get the identical handle.
+          const State s({i, i * 31}, {msg(1, 0, 1, i)});
+          const StateHandle parent =
+              i == 0 ? root_ins.handle : handles[i - 1].load();
+          Event via;
+          via.tid = static_cast<TransitionId>(i % 7);
+          const VisitedInsert ins =
+              set.insert(s, s.fingerprint(), parent, &via);
+          ASSERT_NE(ins.handle, kNoHandle);
+          if (ins.inserted) inserted_count[i].fetch_add(1);
+          std::uint64_t expected = kNoHandle;
+          if (!handles[i].compare_exchange_strong(expected, ins.handle)) {
+            // Someone published first: every insert of the same state must
+            // resolve to that same entry. (The winner of this CAS need not
+            // be the thread whose insert() was the inserting one.)
+            ASSERT_EQ(ins.handle, expected);
+          }
+          // Concurrent readers: the freshly published entry must be fully
+          // visible (state compare succeeds, parent chain terminates).
+          ASSERT_TRUE(set.contains(s, s.fingerprint()));
+          const State* interned = set.state_at(handles[i].load());
+          ASSERT_NE(interned, nullptr);
+          ASSERT_EQ(*interned, s);
+          // A parent walk mid-insert must terminate and yield exactly the
+          // chain (sampled: the walk is O(i) and the suite runs under TSan).
+          if (i % 64 == 0) {
+            const std::vector<Event> path =
+                set.path_from_root(handles[i].load());
+            ASSERT_EQ(path.size(), static_cast<std::size_t>(i) + 1);
+          }
+          // Thread t also probes states nobody inserts, to race the probe
+          // loop against claims/migrations.
+          const State absent({-2 - t, i}, {});
+          ASSERT_FALSE(set.contains(absent, absent.fingerprint()));
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    EXPECT_EQ(set.size(), static_cast<std::uint64_t>(kChain) + 1);
+    // Quiescent check: the recorded spanning tree is exactly the chain.
+    for (int i = 0; i < kChain; ++i) {
+      const StateHandle h = handles[i].load();
+      ASSERT_EQ(inserted_count[i].load(), 1)  // exactly-once insertion
+          << "state " << i;
+      ASSERT_EQ(set.parent_of(h),
+                i == 0 ? root_ins.handle : handles[i - 1].load());
+    }
+    ASSERT_EQ(set.path_from_root(handles[kChain - 1].load()).size(),
+              static_cast<std::size_t>(kChain));
+  }
+}
+
+// Fingerprint mode shares the claim/publish protocol minus the arena; the
+// stress here is pure slot traffic with concurrent growth.
+TEST(ParallelVisitedStress, FingerprintModeConcurrentInsertAndContains) {
+  ShardedVisited set(VisitedMode::kFingerprint, 1);  // one contended table
+  constexpr int kStates = 4000;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kStates; ++i) {
+        const State s({i, i % 13}, {});
+        set.insert(s, s.fingerprint());
+        ASSERT_TRUE(set.contains(s, s.fingerprint()));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(set.size(), static_cast<std::uint64_t>(kStates));
+  for (int i = 0; i < kStates; ++i) {
+    ASSERT_TRUE(set.contains(State({i, i % 13}, {})));
+  }
+}
+
 }  // namespace
 }  // namespace mpb

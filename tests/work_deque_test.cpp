@@ -1,0 +1,90 @@
+// The Chase-Lev work-stealing deque behind the parallel explorer's
+// per-worker frontiers. The contract under test: the owner sees LIFO order,
+// thieves see FIFO order, buffer growth loses nothing, and under concurrent
+// stealing every pushed pointer is extracted exactly once — the property the
+// explorer's outstanding-work termination counter depends on. The suites are
+// named Parallel* so the TSan ctest lane (-L parallel) races them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/work_deque.hpp"
+
+namespace mpb {
+namespace {
+
+TEST(ParallelWorkDeque, OwnerPopsLifoThiefStealsFifo) {
+  WorkStealingDeque<int> dq;
+  int items[4] = {0, 1, 2, 3};
+  for (int& it : items) dq.push(&it);
+
+  EXPECT_EQ(dq.steal(), &items[0]);  // thieves take the oldest
+  EXPECT_EQ(dq.pop(), &items[3]);    // the owner takes the newest
+  EXPECT_EQ(dq.steal(), &items[1]);
+  EXPECT_EQ(dq.pop(), &items[2]);
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(ParallelWorkDeque, GrowthPreservesEveryItem) {
+  constexpr int kN = 10000;  // far beyond the initial buffer
+  WorkStealingDeque<int> dq(64);
+  std::vector<int> items(kN);
+  std::iota(items.begin(), items.end(), 0);
+  for (int& it : items) dq.push(&it);
+  EXPECT_EQ(dq.size_hint(), static_cast<std::size_t>(kN));
+  for (int i = kN - 1; i >= 0; --i) {
+    ASSERT_EQ(dq.pop(), &items[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(ParallelWorkDeque, ConcurrentStealsExtractEachItemExactlyOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 4;
+  WorkStealingDeque<int> dq(64);
+  std::vector<int> items(kItems);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<std::atomic<int>> taken(kItems);  // zero-initialized
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* it = dq.steal()) {
+          taken[static_cast<std::size_t>(*it)].fetch_add(1);
+        } else {
+          std::this_thread::yield();  // keep the 1-core CI box moving
+        }
+      }
+      while (int* it = dq.steal()) {  // drain what the owner left behind
+        taken[static_cast<std::size_t>(*it)].fetch_add(1);
+      }
+    });
+  }
+
+  // The owner interleaves pushes with occasional pops, like an expansion.
+  for (int i = 0; i < kItems; ++i) {
+    dq.push(&items[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (int* it = dq.pop()) taken[static_cast<std::size_t>(*it)].fetch_add(1);
+    }
+  }
+  while (int* it = dq.pop()) taken[static_cast<std::size_t>(*it)].fetch_add(1);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(taken[static_cast<std::size_t>(i)].load(), 1)
+        << "item " << i << " extracted " << taken[static_cast<std::size_t>(i)]
+        << " times";
+  }
+}
+
+}  // namespace
+}  // namespace mpb

@@ -1,21 +1,35 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_explore.json files and flag throughput regressions.
+"""Compare two BENCH_explore.json files: throughput regressions AND parallel
+scaling (tN vs t1 speedup) regressions.
 
 Usage:
     bench_compare.py NEW.json [OLD.json] [--threshold 0.15]
+                     [--scaling-threshold 0.25]
 
 NEW.json is the freshly produced bench file (see the `bench-json` cmake
-target or bench/explore_throughput).  When OLD.json is given, every record
-present in both files is compared on states/sec; a drop larger than
---threshold (default 15%) is a regression and the script exits 1.  Without
-OLD.json the script just pretty-prints NEW.json, so the first PR in a
-trajectory can bootstrap the baseline with
+target, bench/explore_throughput, or tools/run_bench.sh).  Without OLD.json
+the script pretty-prints NEW.json — per-record throughput plus a per-workload
+parallel-speedup table — so the first PR in a trajectory can bootstrap the
+baseline with
 
     cp build/BENCH_explore.json bench/baseline.json
+
+When OLD.json is given, two checks run and either can fail the script:
+
+  * throughput: every record present in both files is compared on
+    states/sec; a drop larger than --threshold (default 15%) is a
+    regression;
+  * scaling: every (workload, strategy, visited, N) speedup — states/sec at
+    tN divided by states/sec at t1 of the same record group — is compared;
+    an absolute drop larger than --scaling-threshold (default 0.25, i.e. a
+    quarter of one core) is a scaling regression.  This is what catches "t8
+    still verifies but no longer scales" even when raw throughput moved
+    within the noise threshold.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -24,6 +38,15 @@ def key_of(record):
     # strategies/modes, so the comparison key includes every knob.
     return (f"{record['name']}|{record.get('strategy', '?')}|"
             f"{record.get('visited', '?')}|t{record.get('threads', 1)}")
+
+
+def group_of(record):
+    """Record key minus the thread count: the unit speedups are computed in."""
+    base = re.sub(r"/t\d+$", "", record["name"])
+    strategy = record.get("strategy", "?")
+    if not base.endswith("/" + strategy):  # harness records lack the suffix
+        base += "|" + strategy
+    return f"{base}|{record.get('visited', '?')}"
 
 
 def load(path):
@@ -41,8 +64,56 @@ def load(path):
     return out
 
 
+def speedups(records):
+    """{(group, threads): tN states/sec / t1 states/sec} for every group with
+    a t1 record."""
+    t1 = {group_of(r): r["states_per_sec"]
+          for r in records.values() if r.get("threads", 1) == 1}
+    out = {}
+    for r in records.values():
+        n = r.get("threads", 1)
+        g = group_of(r)
+        base = t1.get(g, 0.0)
+        if n > 1 and base > 0:
+            out[(g, n)] = r["states_per_sec"] / base
+    return out
+
+
 def fmt_rate(rate):
     return f"{rate:,.0f}/s"
+
+
+def print_speedup_table(new_speedups, old_speedups=None, threshold=None):
+    """Render the per-workload scaling table; returns the list of scaling
+    regressions (empty when old_speedups is None)."""
+    if not new_speedups:
+        return []
+    regressions = []
+    width = max(len(g) for g, _ in new_speedups)
+    print(f"\nparallel speedup (tN states/s over t1 states/s):")
+    header = f"{'workload':<{width}}"
+    threads = sorted({n for _, n in new_speedups})
+    for n in threads:
+        header += f"  {'t' + str(n):>14}"
+    print(header)
+    for g in sorted({g for g, _ in new_speedups}):
+        line = f"{g:<{width}}"
+        for n in threads:
+            s = new_speedups.get((g, n))
+            if s is None:
+                line += f"  {'-':>14}"
+                continue
+            cell = f"{s:.2f}x"
+            if old_speedups is not None and (g, n) in old_speedups:
+                o = old_speedups[(g, n)]
+                delta = s - o
+                cell += f" ({delta:+.2f})"
+                if threshold is not None and delta < -threshold:
+                    regressions.append((g, n, o, s))
+                    cell += " <<"
+            line += f"  {cell:>14}"
+        print(line)
+    return regressions
 
 
 def main():
@@ -52,6 +123,8 @@ def main():
     ap.add_argument("old", nargs="?", help="baseline BENCH_explore.json")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="allowed fractional states/sec drop (default 0.15)")
+    ap.add_argument("--scaling-threshold", type=float, default=0.25,
+                    help="allowed absolute tN/t1 speedup drop (default 0.25)")
     args = ap.parse_args()
 
     new = load(args.new)
@@ -64,6 +137,7 @@ def main():
             print(f"{name:<{width}}  {r['verdict']:>8}  {r['states_stored']:>12,}  "
                   f"{fmt_rate(r['states_per_sec']):>14}  "
                   f"{fmt_rate(r['events_per_sec']):>14}  {r['peak_rss_kb']:>10,}")
+        print_speedup_table(speedups(new))
         return 0
 
     old = load(args.old)
@@ -82,11 +156,25 @@ def main():
         print(f"{name:<{width}}  {fmt_rate(o):>14}  {fmt_rate(n):>14}  "
               f"{delta:>+7.1%}{marker}")
 
+    scaling_regressions = print_speedup_table(
+        speedups(new), speedups(old), args.scaling_threshold)
+
+    failed = False
     if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond "
+        print(f"\n{len(regressions)} throughput regression(s) beyond "
               f"{args.threshold:.0%} threshold", file=sys.stderr)
+        failed = True
+    if scaling_regressions:
+        for g, n, o, s in scaling_regressions:
+            print(f"scaling regression: {g} t{n} speedup {o:.2f}x -> {s:.2f}x",
+                  file=sys.stderr)
+        print(f"{len(scaling_regressions)} scaling regression(s) beyond "
+              f"-{args.scaling_threshold:.2f} absolute speedup",
+              file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print("\nno regressions beyond threshold")
+    print("\nno regressions beyond thresholds")
     return 0
 
 

@@ -54,6 +54,7 @@ constexpr std::string_view kEngineHelp =
   --visited V         exact | fingerprint | interned visited-set storage
   --max-states N      state budget   (default 3,000,000 or MPB_BUDGET_STATES)
   --max-seconds S     time budget    (default 120 or MPB_BUDGET_SECONDS)
+  --repeat N          run N times, report the fastest (default 1 or MPB_REPEAT)
   --progress          rate-limited progress lines on stderr (or MPB_PROGRESS)
   --trace             print the counterexample, if any
   --quiet             only the verdict line
@@ -108,6 +109,7 @@ int main(int argc, char** argv) {
   check::CheckRequest req;
   req.model = model;
   req.explore = harness::budget_from_env();
+  req.repeat = harness::repeat_from_env();
   bool trace = false;
   bool quiet = false;
   bool progress = false;
@@ -174,6 +176,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       req.explore.threads = static_cast<unsigned>(
           std::clamp(parse_long(arg, next()), 1L, 256L));
+    } else if (arg == "--repeat") {
+      req.repeat = static_cast<unsigned>(
+          std::clamp(parse_long(arg, next()), 1L, 64L));
     } else if (arg == "--max-states") {
       req.explore.max_states =
           static_cast<std::uint64_t>(parse_long(arg, next()));
@@ -252,6 +257,7 @@ int main(int argc, char** argv) {
               << "  events=" << harness::format_count(r.stats().events_executed)
               << "  time=" << harness::format_time(r.stats().seconds);
     if (r.threads > 1) std::cout << "  threads=" << r.threads;
+    if (r.repeats > 1) std::cout << "  best-of=" << r.repeats;
     if (r.proviso != "-") std::cout << "  proviso=" << r.proviso;
     if (r.verdict() == Verdict::kViolated) {
       std::cout << "  property=" << r.result.violated_property;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# One-command bench lane: build the `bench` preset (Release, -O3), run the
+# throughput sweep (small + large tiers, best-of-N timing) and diff the fresh
+# BENCH_explore.json against the committed bench/baseline.json — including
+# the tN/t1 parallel-speedup comparison, so "t8 stopped scaling" fails the
+# lane even when raw throughput stays within the noise threshold.
+#
+# Usage: tools/run_bench.sh [extra explore_throughput args...]
+#   MPB_REPEAT   best-of-N per cell (default 3 here; explore_throughput
+#                alone defaults to 1)
+#   MPB_BENCH_THREADS  thread list for the sweep (default 1,2,8)
+#
+# To re-baseline after an intentional change:
+#   cp build-bench/BENCH_explore.json bench/baseline.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPEAT="${MPB_REPEAT:-3}"
+THREADS="${MPB_BENCH_THREADS:-1,2,8}"
+
+cmake --preset bench
+cmake --build --preset bench -j "$(nproc)"
+
+./build-bench/explore_throughput \
+  --out build-bench/BENCH_explore.json \
+  --threads "$THREADS" --repeat "$REPEAT" "$@"
+
+python3 tools/bench_compare.py build-bench/BENCH_explore.json bench/baseline.json
