@@ -1,11 +1,14 @@
 // Exploration-throughput bench: the perf trajectory of the exploration core.
 //
-// Runs two tiers of workloads in stateful mode — unreduced ("full") and
-// SPOR-reduced, sequentially (the baseline, with the cached-fingerprint hash
-// counters) and on the parallel work-stealing explorer at increasing thread
-// counts (SPOR parallelizes under the visited-set cycle proviso) — and writes
-// every cell to a machine-readable JSON file (default BENCH_explore.json)
-// recording states/sec, events/sec, peak RSS and the full-hash-pass counters.
+// Runs two tiers of workloads in stateful mode — unreduced ("full"),
+// SPOR-reduced under the visited-set cycle proviso ("spor"), and on the
+// paxos/storage families SPOR under the SCC ignoring fix ("spor-scc") —
+// sequentially (the baseline, with the cached-fingerprint hash counters) and
+// on the parallel work-stealing explorer at increasing thread counts — and
+// writes every cell to a machine-readable JSON file (default
+// BENCH_explore.json) recording states/sec, events/sec, peak RSS, the
+// full-hash-pass counters and the reduction counters
+// (proviso_fallbacks / scc_reexpansions).
 //
 //  * small tier (~10k states, tens of ms): the original paxos_explore /
 //    storage_audit cells, kept for continuity of the perf trajectory;
@@ -119,19 +122,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Each workload runs the unreduced series, the spor/visited series and —
+  // on the paxos/storage families — the spor/scc series: same strategy, the
+  // SCC ignoring fix instead of the in-search visited proviso, so the bench
+  // tracks how much reduction the post-pass recovers (states_stored down,
+  // scc_reexpansions/proviso_fallbacks in the JSON; bench_compare.py gates
+  // increases).
+  struct Series {
+    std::string label;     // cell-name segment
+    std::string strategy;  // facade strategy
+    CycleProviso proviso = CycleProviso::kVisited;
+  };
   std::vector<harness::BenchRecord> records;
   for (Workload& w : make_workloads()) {
     if (small_only && w.large) continue;
-    for (const std::string strategy : {"full", "spor"}) {
+    std::vector<Series> series{{"full", "full"},
+                               {"spor", "spor", CycleProviso::kVisited}};
+    if (w.model == "paxos" || w.model == "storage") {
+      series.push_back({"spor-scc", "spor", CycleProviso::kScc});
+    }
+    for (const Series& sr : series) {
+      const std::string& strategy = sr.strategy;
       for (unsigned threads : thread_counts) {
         check::CheckRequest req;
         req.model = w.model;
         req.params = w.params;
         req.strategy = strategy;
-        // Pin the visited-set proviso for every spor cell (kAuto would give
-        // t1 the stack proviso), so the thread-scaling row compares runs
-        // with identical reduction semantics.
-        if (strategy == "spor") req.spor.proviso = CycleProviso::kVisited;
+        // Pin the proviso for every spor cell (kAuto would give t1 the
+        // stack proviso), so the thread-scaling row compares runs with
+        // identical reduction semantics.
+        if (strategy == "spor") req.spor.proviso = sr.proviso;
         req.explore = harness::budget_from_env();
         req.explore.visited = visited;
         req.explore.threads = threads;
@@ -141,7 +161,7 @@ int main(int argc, char** argv) {
         req.record = false;
         reset_state_hash_counters();
         const std::string cell =
-            w.name + "/" + strategy + "/t" + std::to_string(threads);
+            w.name + "/" + sr.label + "/t" + std::to_string(threads);
         const check::CheckResult r = check::run_check(std::move(req));
         harness::BenchRecord rec = check::to_record(r, cell);
         records.push_back(rec);

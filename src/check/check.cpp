@@ -58,6 +58,7 @@ std::optional<CycleProviso> proviso_from_string(std::string_view name) noexcept 
   if (name == "auto") return CycleProviso::kAuto;
   if (name == "stack") return CycleProviso::kStack;
   if (name == "visited") return CycleProviso::kVisited;
+  if (name == "scc") return CycleProviso::kScc;
   if (name == "off") return CycleProviso::kOff;
   return std::nullopt;
 }
@@ -151,6 +152,15 @@ CheckResult Checker::run() {
       strategy_->stateful ? SearchMode::kStateful : SearchMode::kStateless;
   if (sym_) {
     cfg.canonicalize = [this](const State& s) { return sym_->canonicalize(s); };
+    // Permutation-aware hooks: interned entries record the applied
+    // permutation, and the engine's SCC pass can map canonical entries back
+    // to concrete states (core/engine.hpp).
+    cfg.canonicalize_perm = [this](const State& s, std::uint32_t& perm) {
+      return sym_->canonicalize_with_perm(s, &perm);
+    };
+    cfg.decanonicalize = [this](std::uint32_t perm, const State& s) {
+      return sym_->apply_inverse_perm(perm, s);
+    };
   }
 
   // Resolve the SPOR cycle proviso: sequential runs keep the classic stack
@@ -162,6 +172,11 @@ CheckResult Checker::run() {
     if (spor.proviso == CycleProviso::kAuto) {
       spor.proviso = cfg.threads > 1 ? CycleProviso::kVisited
                                      : CycleProviso::kStack;
+    }
+    if (spor.proviso == CycleProviso::kScc) {
+      // The SCC ignoring fix walks the interned state graph; reflect the
+      // engine's visited-mode upgrade in the reported metadata.
+      cfg.visited = VisitedMode::kInterned;
     }
     proviso = std::string(to_string(spor.proviso));
   }

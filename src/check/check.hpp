@@ -49,8 +49,8 @@ struct StrategyInfo {
 [[nodiscard]] std::optional<SeedHeuristic> seed_from_string(
     std::string_view name) noexcept;
 
-// Cycle-proviso selector by name ("auto" | "stack" | "visited" | "off"),
-// for mpbcheck --proviso.
+// Cycle-proviso selector by name ("auto" | "stack" | "visited" | "scc" |
+// "off"), for mpbcheck --proviso.
 [[nodiscard]] std::optional<CycleProviso> proviso_from_string(
     std::string_view name) noexcept;
 

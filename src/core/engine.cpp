@@ -1,0 +1,1009 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace mpb::engine {
+
+namespace {
+
+[[nodiscard]] unsigned auto_shards(const ExploreConfig& cfg) {
+  if (cfg.visited_shards != 0) return cfg.visited_shards;
+  return cfg.threads > 1 ? cfg.threads * 4 : 1;
+}
+
+}  // namespace
+
+// --- ExpansionCore ----------------------------------------------------------
+
+ExpansionCore::ExpansionCore(const Protocol& proto, const ExploreConfig& cfg,
+                             ReductionStrategy* strategy,
+                             VisitedMode visited_mode, unsigned n_workers)
+    : proto_(proto),
+      cfg_(cfg),
+      strategy_(strategy),
+      visited_(visited_mode, auto_shards(cfg)) {
+  exec_opts_.validate_annotations = cfg.validate_annotations;
+  if (cfg.canonicalize_perm) {
+    canon_ = cfg.canonicalize_perm;
+  } else if (cfg.canonicalize) {
+    canon_ = [&cfg](const State& s, std::uint32_t& perm) {
+      perm = 0;  // the plain hook reports no permutation
+      return cfg.canonicalize(s);
+    };
+  }
+  scc_enabled_ = strategy != nullptr && strategy->wants_scc_ignoring_pass() &&
+                 cfg.mode == SearchMode::kStateful &&
+                 visited_mode == VisitedMode::kInterned;
+  workers_.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    workers_.push_back(std::make_unique<WorkerCtx>(w));
+  }
+}
+
+void ExpansionCore::begin_run() {
+  hash_passes_at_start_ = state_full_hash_passes();
+  hash_queries_at_start_ = state_hash_queries();
+  fallbacks_at_start_ = strategy_ != nullptr ? strategy_->proviso_fallbacks() : 0;
+}
+
+void ExpansionCore::finish_stats(ExploreStats& st) const {
+  st.full_hash_passes = state_full_hash_passes() - hash_passes_at_start_;
+  st.hash_queries = state_hash_queries() - hash_queries_at_start_;
+  if (strategy_ != nullptr) {
+    st.proviso_fallbacks = strategy_->proviso_fallbacks() - fallbacks_at_start_;
+  }
+}
+
+VisitedInsert ExpansionCore::insert_canonical(const State& s, StateHandle parent,
+                                              const Event* via,
+                                              Fingerprint* fp_out) {
+  if (canon_) {
+    std::uint32_t perm = 0;
+    const State canon = canon_(s, perm);
+    *fp_out = canon.fingerprint();
+    return visited_.insert(canon, *fp_out, parent, via, perm);
+  }
+  *fp_out = s.fingerprint();
+  return visited_.insert(s, *fp_out, parent, via, 0);
+}
+
+bool ExpansionCore::contains_canonical(const State& s) const {
+  if (canon_) {
+    std::uint32_t perm = 0;
+    const State canon = canon_(s, perm);
+    return visited_.contains(canon, canon.fingerprint());
+  }
+  return visited_.contains(s, s.fingerprint());
+}
+
+Fingerprint ExpansionCore::canonical_fingerprint(const State& s) const {
+  if (canon_) {
+    std::uint32_t perm = 0;
+    return canon_(s, perm).fingerprint();
+  }
+  return s.fingerprint();
+}
+
+std::size_t ExpansionCore::select(const State& s, WorkerCtx& w, ExploreStats& st,
+                                  const std::function<bool(const State&)>& on_stack,
+                                  bool stateless, bool* reduced) {
+  const std::size_t n_enabled = w.enabled.size();
+  if (strategy_ == nullptr) {
+    *reduced = false;
+    st.events_selected += n_enabled;
+    return n_enabled;
+  }
+  StrategyContext ctx{
+      [&](const Event& e) { return execute(proto_, s, e, exec_opts_); },
+      on_stack,
+      stateless ? std::function<bool(const State&)>{}
+                : std::function<bool(const State&)>([this](const State& probe) {
+                    return contains_canonical(probe);
+                  })};
+  w.idx = strategy_->select(s, w.enabled, ctx);
+  if (w.idx.size() >= n_enabled) ++st.full_expansions;
+  st.events_selected += w.idx.size();
+  *reduced = true;
+  return w.idx.size();
+}
+
+// --- the SCC-based ignoring fix ---------------------------------------------
+//
+// After a reduced search that applied no in-search cycle proviso
+// (CycleProviso::kScc), transitions enabled somewhere around a cycle of the
+// reduced graph may have been postponed at every state of that cycle — the
+// ignoring problem. The classic repair (Valmari) is to make sure every cycle
+// contains at least one fully expanded state. This pass computes the SCCs of
+// the recorded reduced graph (Tarjan over the edges the drivers logged),
+// finds each SCC that contains a cycle but no fully expanded member, and
+// re-expands one representative with its *whole* enabled set. States that
+// re-expansion discovers are explored on with the normal reduced selection
+// (edges recorded), and the SCC check re-runs until no ignored SCC remains —
+// each round marks at least one previously-unexpanded state full, so the
+// fixpoint terminates on the finite state space.
+//
+// Under symmetry the graph stores canonical representatives; expansion must
+// continue from the *concrete* state that first reached an entry so the
+// recorded event chains stay concretely replayable. That concrete state is
+// recovered by inverting the recorded permutation (cfg.decanonicalize,
+// installed by the check facade next to canonicalize_perm) — the reason the
+// permutation is stored at all.
+void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
+                                          std::vector<Fingerprint>& terminals,
+                                          bool collect_terminals,
+                                          const std::function<bool()>& over_time) {
+  if (!scc_enabled_) return;
+  WorkerCtx& w = *workers_[0];
+  const ShardedVisited& graph = visited_.graph();
+
+  // Dense ids over every handle the recorded edges / full marks mention.
+  std::unordered_map<StateHandle, std::uint32_t> id;
+  std::vector<StateHandle> handle_of;
+  std::vector<char> full;
+  auto id_of = [&](StateHandle h) {
+    const auto [it, fresh] =
+        id.try_emplace(h, static_cast<std::uint32_t>(handle_of.size()));
+    if (fresh) {
+      handle_of.push_back(h);
+      full.push_back(0);
+    }
+    return it->second;
+  };
+
+  // Merge the per-worker recordings once; re-expansion appends to `edges`.
+  std::vector<GraphEdge> edges;
+  for (const auto& wk : workers_) {
+    for (const GraphEdge& e : wk->edges) {
+      id_of(e.from);
+      id_of(e.to);
+      edges.push_back(e);
+    }
+    for (StateHandle h : wk->full_handles) full[id_of(h)] = 1;
+    wk->edges.clear();
+    wk->full_handles.clear();
+  }
+
+  // The concrete state behind an interned entry: invert the recorded
+  // permutation when a symmetry reduction is installed (identity otherwise).
+  auto concrete_of = [&](StateHandle h) -> State {
+    const State* sp = graph.state_at(h);
+    const std::uint32_t perm = graph.perm_of(h);
+    if (perm != 0 && cfg_.decanonicalize) return cfg_.decanonicalize(perm, *sp);
+    return *sp;
+  };
+
+  bool truncated = false;
+  bool stop = false;
+
+  // Record a violation found along a repaired branch. `h` is the interned
+  // entry of the violating state, or the parent entry when the violating
+  // successor was never interned (assertion failures record before insert);
+  // `last` is then the final event. The trace is only constructed when the
+  // recorded chain is certifiably concrete: either no canonicalizer is
+  // installed, or the permutation-aware hooks are (so concrete_of really
+  // inverted every representative the pass expanded from). A plain
+  // `canonicalize` hook records no permutations — the verdict still stands,
+  // but a replayed chain could mix concrete and canonical states, so none
+  // is emitted (mirroring fingerprint mode).
+  auto record_violation = [&](const std::string& property, StateHandle h,
+                              const Event* last) {
+    if (result.verdict != Verdict::kViolated) {
+      result.verdict = Verdict::kViolated;
+      result.violated_property = property;
+      const bool have_canon = static_cast<bool>(cfg_.canonicalize) ||
+                              static_cast<bool>(cfg_.canonicalize_perm);
+      if (!have_canon || (cfg_.canonicalize_perm && cfg_.decanonicalize)) {
+        std::vector<Event> events = graph.path_from_root(h);
+        if (last != nullptr) events.push_back(*last);
+        result.counterexample = replay_trace(proto_, events, exec_opts_);
+      }
+    }
+    if (cfg_.on_violation) cfg_.on_violation(property);
+    if (cfg_.stop_at_first_violation) stop = true;
+  };
+
+  struct PassWork {
+    StateHandle h;
+    bool full_expand;
+  };
+  std::vector<PassWork> work;
+
+  // Expand the states queued in `work` (representatives fully, fallout with
+  // the normal reduced selection), recording edges and full marks.
+  auto drain_work = [&]() {
+    while (!work.empty() && !stop && !truncated) {
+      const PassWork pw = work.back();
+      work.pop_back();
+      Item* cur = w.alloc();
+      cur->s = concrete_of(pw.h);
+      ++result.stats.states_visited;
+      enumerate_events(proto_, cur->s, w.enabled);
+      result.stats.events_enabled += w.enabled.size();
+      if (w.enabled.empty()) {
+        ++result.stats.terminal_states;
+        if (collect_terminals) {
+          terminals.push_back(canonical_fingerprint(cur->s));
+        }
+        full[id_of(pw.h)] = 1;
+        w.release(cur);
+        continue;
+      }
+      bool reduced = false;
+      std::size_t k;
+      if (pw.full_expand) {
+        k = w.enabled.size();
+        result.stats.events_selected += k;
+      } else {
+        k = select(cur->s, w, result.stats, /*on_stack=*/{},
+                   /*stateless=*/false, &reduced);
+      }
+      if (k == w.enabled.size()) full[id_of(pw.h)] = 1;
+      for (std::size_t j = 0; j < k && !stop; ++j) {
+        const Event& e = w.enabled[reduced ? w.idx[j] : j];
+        Item* succ = w.alloc();
+        execute_into(proto_, cur->s, e, exec_opts_, &w.failed, succ->s);
+        ++result.stats.events_executed;
+        if (result.stats.events_executed > cfg_.max_events ||
+            (result.stats.events_executed % 1024 == 0 && over_time &&
+             over_time())) {
+          truncated = true;
+          w.release(succ);
+          break;
+        }
+        if (!w.failed.empty()) {
+          record_violation(w.failed, pw.h, &e);
+          if (stop) {
+            w.release(succ);
+            break;
+          }
+        }
+        Fingerprint canon_fp;
+        const VisitedInsert ins =
+            insert_canonical(succ->s, pw.h, &e, &canon_fp);
+        if (ins.handle != kNoHandle) {
+          id_of(ins.handle);
+          edges.push_back({pw.h, ins.handle});
+        }
+        if (ins.inserted) {
+          if (visited_.size() > cfg_.max_states) {
+            truncated = true;
+            w.release(succ);
+            break;
+          }
+          if (const Property* p = proto_.violated_property(succ->s)) {
+            record_violation(p->name, ins.handle, nullptr);
+            w.release(succ);
+            if (stop) break;
+            continue;
+          }
+          work.push_back({ins.handle, /*full_expand=*/false});
+        }
+        w.release(succ);
+      }
+      w.release(cur);
+    }
+  };
+
+  // Fixpoint: Tarjan, repair every ignored SCC, explore the fallout, repeat.
+  while (!stop && !truncated) {
+    if (over_time && over_time()) {
+      truncated = true;
+      break;
+    }
+    const std::size_t n = handle_of.size();
+    if (n == 0) break;
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    std::vector<char> self_loop(n, 0);
+    for (const GraphEdge& e : edges) {
+      const std::uint32_t a = id.at(e.from);
+      const std::uint32_t b = id.at(e.to);
+      if (a == b) {
+        self_loop[a] = 1;
+      } else {
+        adj[a].push_back(b);
+      }
+    }
+
+    // Iterative Tarjan: comp[v] = SCC id, assigned in reverse topological
+    // completion order.
+    constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+    std::vector<std::uint32_t> num(n, kUnvisited), low(n), comp(n, kUnvisited);
+    std::vector<char> on_stk(n, 0);
+    std::vector<std::uint32_t> stk;
+    std::uint32_t counter = 0, n_comps = 0;
+    struct TFrame {
+      std::uint32_t v;
+      std::size_t ei;
+    };
+    std::vector<TFrame> dfs;
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (num[root] != kUnvisited) continue;
+      dfs.push_back({root, 0});
+      num[root] = low[root] = counter++;
+      stk.push_back(root);
+      on_stk[root] = 1;
+      while (!dfs.empty()) {
+        TFrame& f = dfs.back();
+        if (f.ei < adj[f.v].size()) {
+          const std::uint32_t u = adj[f.v][f.ei++];
+          if (num[u] == kUnvisited) {
+            num[u] = low[u] = counter++;
+            stk.push_back(u);
+            on_stk[u] = 1;
+            dfs.push_back({u, 0});
+          } else if (on_stk[u]) {
+            low[f.v] = std::min(low[f.v], num[u]);
+          }
+        } else {
+          const std::uint32_t v = f.v;
+          dfs.pop_back();
+          if (!dfs.empty()) {
+            low[dfs.back().v] = std::min(low[dfs.back().v], low[v]);
+          }
+          if (low[v] == num[v]) {  // v roots an SCC
+            for (;;) {
+              const std::uint32_t u = stk.back();
+              stk.pop_back();
+              on_stk[u] = 0;
+              comp[u] = n_comps;
+              if (u == v) break;
+            }
+            ++n_comps;
+          }
+        }
+      }
+    }
+
+    // An SCC is *ignored* when it contains a cycle (size > 1 or a self
+    // loop) but no fully expanded member; its representative (the smallest
+    // handle, for determinism) gets re-expanded.
+    std::vector<std::uint32_t> comp_size(n_comps, 0);
+    std::vector<char> comp_cyclic(n_comps, 0), comp_full(n_comps, 0);
+    std::vector<StateHandle> comp_rep(n_comps, kNoHandle);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint32_t c = comp[v];
+      if (++comp_size[c] > 1) comp_cyclic[c] = 1;
+      if (self_loop[v]) comp_cyclic[c] = 1;
+      if (full[v]) comp_full[c] = 1;
+      if (comp_rep[c] == kNoHandle || handle_of[v] < comp_rep[c]) {
+        comp_rep[c] = handle_of[v];
+      }
+    }
+    work.clear();
+    for (std::uint32_t c = 0; c < n_comps; ++c) {
+      if (comp_cyclic[c] && !comp_full[c]) {
+        work.push_back({comp_rep[c], /*full_expand=*/true});
+        ++result.stats.scc_reexpansions;
+      }
+    }
+    if (work.empty()) break;  // no ignored SCC left: the reduction is sound
+    drain_work();
+  }
+
+  if (truncated && result.verdict != Verdict::kViolated) {
+    result.verdict = Verdict::kBudgetExceeded;
+  }
+}
+
+// --- SequentialDriver -------------------------------------------------------
+
+SequentialDriver::SequentialDriver(const Protocol& proto,
+                                   const ExploreConfig& cfg,
+                                   ReductionStrategy* strategy)
+    : core_(proto, cfg, strategy, cfg.visited, /*n_workers=*/1),
+      proto_(proto),
+      cfg_(cfg),
+      stateful_(cfg.mode == SearchMode::kStateful) {}
+
+ExploreResult SequentialDriver::run() {
+  start_ = std::chrono::steady_clock::now();
+  core_.begin_run();
+  WorkerCtx& w = core_.worker(0);
+
+  State init = proto_.initial();
+  if (check_violation(init)) {
+    finish();
+    return std::move(result_);
+  }
+  Item* root = w.alloc();
+  root->s = std::move(init);
+  root->handle = kNoHandle;
+  if (stateful_) {
+    Fingerprint canon_fp;
+    const VisitedInsert ins =
+        core_.insert_canonical(root->s, kNoHandle, nullptr, &canon_fp);
+    root->canon_fp = canon_fp;
+    root->handle = ins.handle;
+    push_frame(root, &canon_fp);
+  } else {
+    push_frame(root, nullptr);
+  }
+
+  while (depth_ > 0 && !done_) {
+    if (over_budget()) {
+      truncated_ = true;
+      break;
+    }
+    Frame& f = frames_[depth_ - 1];
+    if (f.next >= f.n_chosen) {
+      stack_set_.pop(f.item->s);
+      w.release(f.item);
+      f.item = nullptr;
+      --depth_;
+      continue;
+    }
+    const Event& e = f.chosen[f.next++];
+    Item* succ = w.alloc();
+    execute_into(proto_, f.item->s, e, core_.exec_opts(), &w.failed, succ->s);
+    ++result_.stats.events_executed;
+    maybe_progress();
+    if (!w.failed.empty()) {
+      result_.verdict = Verdict::kViolated;
+      result_.violated_property = w.failed;
+      if (cfg_.on_violation) cfg_.on_violation(w.failed);
+      record_counterexample(e);
+      if (cfg_.stop_at_first_violation) {
+        w.release(succ);
+        break;
+      }
+    }
+
+    Fingerprint canon_fp;
+    const Fingerprint* canon_fp_ptr = nullptr;
+    if (stateful_) {
+      // One canonicalization per successor, reused for the visited probe and
+      // (in push_frame) the terminal fingerprint. The insert threads the
+      // state graph: parent = the expanding frame's entry, via = the event.
+      const VisitedInsert ins =
+          core_.insert_canonical(succ->s, f.item->handle, &e, &canon_fp);
+      core_.record_edge(w, f.item->handle, ins.handle);
+      if (!ins.inserted) {
+        w.release(succ);
+        continue;
+      }
+      canon_fp_ptr = &canon_fp;
+      succ->canon_fp = canon_fp;
+      succ->handle = ins.handle;
+    } else {
+      if (stack_set_.contains(succ->s)) {  // cut cycles in stateless mode
+        w.release(succ);
+        continue;
+      }
+      if (depth_ >= cfg_.max_depth) {
+        truncated_ = true;
+        w.release(succ);
+        continue;
+      }
+      succ->handle = kNoHandle;
+    }
+
+    if (check_violation(succ->s)) {
+      record_counterexample(e);
+      w.release(succ);
+      if (cfg_.stop_at_first_violation) break;
+      continue;
+    }
+    push_frame(succ, canon_fp_ptr);
+  }
+
+  if (core_.scc_pass_enabled() && result_.verdict == Verdict::kHolds &&
+      !truncated_) {
+    core_.run_scc_ignoring_pass(
+        result_, result_.terminal_fingerprints, cfg_.collect_terminals,
+        [this] { return elapsed() > cfg_.max_seconds; });
+  }
+  finish();
+  return std::move(result_);
+}
+
+void SequentialDriver::push_frame(Item* it, const Fingerprint* canon_fp) {
+  WorkerCtx& w = core_.worker(0);
+  ++result_.stats.states_visited;
+  result_.stats.max_depth_seen = std::max(
+      result_.stats.max_depth_seen, static_cast<unsigned>(depth_) + 1);
+
+  enumerate_events(proto_, it->s, w.enabled);
+  result_.stats.events_enabled += w.enabled.size();
+  if (depth_ == frames_.size()) frames_.emplace_back();
+  Frame& f = frames_[depth_++];
+  f.item = it;
+  f.next = 0;
+
+  if (w.enabled.empty()) {
+    ++result_.stats.terminal_states;
+    if (cfg_.collect_terminals) {
+      result_.terminal_fingerprints.push_back(
+          canon_fp != nullptr ? *canon_fp
+                              : core_.canonical_fingerprint(it->s));
+    }
+    core_.record_full(w, it->handle);  // a terminal is trivially full
+    f.n_chosen = 0;
+    stack_set_.push(it->s);
+    return;
+  }
+
+  bool reduced = false;
+  const std::function<bool(const State&)> on_stack =
+      [this](const State& s) { return stack_set_.contains(s); };
+  const std::size_t k =
+      core_.select(it->s, w, result_.stats, on_stack, !stateful_, &reduced);
+  if (k == w.enabled.size()) core_.record_full(w, it->handle);
+  // Copy (not move) the chosen events into the recycled frame: assignment
+  // reuses both the frame slots' and the scratch events' buffer capacity.
+  if (f.chosen.size() < k) f.chosen.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    f.chosen[j] = w.enabled[reduced ? w.idx[j] : j];
+  }
+  f.n_chosen = k;
+  stack_set_.push(it->s);
+}
+
+bool SequentialDriver::check_violation(const State& s) {
+  const Property* p = proto_.violated_property(s);
+  if (p == nullptr) return false;
+  result_.verdict = Verdict::kViolated;
+  result_.violated_property = p->name;
+  if (cfg_.on_violation) cfg_.on_violation(p->name);
+  if (cfg_.stop_at_first_violation) done_ = true;
+  return true;
+}
+
+// The DFS stack is the parent chain of the violating state: gather its event
+// sequence and rebuild the trace through the shared replay helper (execute()
+// is deterministic, so the replayed states are the ones the search saw).
+void SequentialDriver::record_counterexample(const Event& last) {
+  std::vector<Event> events;
+  events.reserve(depth_);
+  for (std::size_t i = 0; i + 1 < depth_; ++i) {
+    const Frame& f = frames_[i];
+    events.push_back(f.chosen[f.next - 1]);
+  }
+  events.push_back(last);
+  result_.counterexample = replay_trace(proto_, events, core_.exec_opts());
+}
+
+void SequentialDriver::maybe_progress() {
+  if (!cfg_.on_progress || cfg_.progress_every_events == 0) return;
+  if (result_.stats.events_executed % cfg_.progress_every_events != 0) return;
+  ExploreStats snap = result_.stats;
+  snap.states_stored =
+      stateful_ ? core_.visited().size() : snap.states_visited;
+  snap.frontier = depth_;
+  snap.seconds = elapsed();
+  cfg_.on_progress(snap);
+}
+
+bool SequentialDriver::over_budget() {
+  if (result_.stats.events_executed > cfg_.max_events) return true;
+  const std::uint64_t stored =
+      stateful_ ? core_.visited().size() : result_.stats.states_visited;
+  if (stored > cfg_.max_states) return true;
+  if (++budget_tick_ % 1024 == 0) {
+    if (elapsed() > cfg_.max_seconds) return true;
+  }
+  return false;
+}
+
+double SequentialDriver::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void SequentialDriver::finish() {
+  result_.stats.seconds = elapsed();
+  result_.stats.states_stored =
+      stateful_ ? core_.visited().size() : result_.stats.states_visited;
+  core_.finish_stats(result_.stats);
+  if (result_.verdict != Verdict::kViolated && truncated_) {
+    result_.verdict = Verdict::kBudgetExceeded;
+  }
+  auto& tf = result_.terminal_fingerprints;
+  std::sort(tf.begin(), tf.end());
+  tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
+}
+
+// --- PoolDriver -------------------------------------------------------------
+//
+// Allocation: workers recycle Item objects (the State successor buffers)
+// through per-worker free lists, and execute_into() copy-assigns into the
+// recycled state so its locals/network vector capacity is reused. In steady
+// state an expansion touches the global allocator only to intern a genuinely
+// new state, not once per generated successor. Items are handed over by
+// pointer (push/steal transfer ownership); the memory itself is owned by the
+// per-worker backing stores, which outlive the pool.
+//
+// With a reduction strategy (SPOR under the visited-set or scc proviso), one
+// shared strategy object serves all workers — its select() must be
+// thread-safe (guaranteed by needs_dfs_stack() == false, see explorer.hpp).
+// The chosen sets then depend on visited-set contents at evaluation time, so
+// the reduced state count varies with the schedule; the verdict does not.
+//
+// Counterexamples: every insert records the successor's parent entry and
+// incoming event (and canonicalizing permutation) in the interned arena. The
+// first violation captures {parent handle, final event}; after the pool
+// drains, the parent walk (ShardedVisited::path_from_root) plus the final
+// event is replayed through execute() into a TraceStep path. The frontier
+// always carries concrete states, so the chain replays concretely even under
+// symmetry; only fingerprint mode (which stores no states) yields no trace.
+
+PoolDriver::PoolDriver(const Protocol& proto, const ExploreConfig& cfg,
+                       ReductionStrategy* strategy)
+    : core_(proto, cfg, strategy,
+            cfg.visited == VisitedMode::kExact ? VisitedMode::kInterned
+                                               : cfg.visited,
+            std::clamp(cfg.threads, 1u, 256u)),
+      proto_(proto),
+      cfg_(cfg),
+      threads_(std::clamp(cfg.threads, 1u, 256u)) {}
+
+ExploreResult PoolDriver::run() {
+  start_ = std::chrono::steady_clock::now();
+  core_.begin_run();
+
+  worker_stats_.assign(threads_, ExploreStats{});
+  worker_terminals_.assign(threads_, {});
+
+  State init = proto_.initial();
+  if (const Property* p = proto_.violated_property(init)) {
+    result_.verdict = Verdict::kViolated;
+    result_.violated_property = p->name;
+    if (cfg_.on_violation) cfg_.on_violation(p->name);
+  } else {
+    Fingerprint canon_fp;
+    const VisitedInsert root =
+        core_.insert_canonical(init, kNoHandle, nullptr, &canon_fp);
+    Item* root_item = core_.worker(0).alloc();
+    root_item->s = std::move(init);
+    root_item->canon_fp = canon_fp;
+    root_item->handle = root.handle;
+    root_item->depth = 0;
+    injector_.push_back(root_item);
+    outstanding_.store(1, std::memory_order_relaxed);
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w) {
+      pool.emplace_back([this, w] { worker(w); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Merge per-worker stats.
+  for (const ExploreStats& st : worker_stats_) {
+    result_.stats.states_visited += st.states_visited;
+    result_.stats.events_executed += st.events_executed;
+    result_.stats.events_selected += st.events_selected;
+    result_.stats.events_enabled += st.events_enabled;
+    result_.stats.terminal_states += st.terminal_states;
+    result_.stats.full_expansions += st.full_expansions;
+    result_.stats.max_depth_seen =
+        std::max(result_.stats.max_depth_seen, st.max_depth_seen);
+  }
+  auto& tf = result_.terminal_fingerprints;
+  for (auto& v : worker_terminals_) tf.insert(tf.end(), v.begin(), v.end());
+
+  if (result_.verdict == Verdict::kViolated && pending_.armed &&
+      core_.visited().mode() == VisitedMode::kInterned) {
+    std::vector<Event> events =
+        core_.visited().graph().path_from_root(pending_.parent);
+    events.push_back(pending_.last);
+    result_.counterexample = replay_trace(proto_, events, core_.exec_opts());
+  }
+
+  if (core_.scc_pass_enabled() && result_.verdict == Verdict::kHolds &&
+      !truncated_.load(std::memory_order_relaxed)) {
+    core_.run_scc_ignoring_pass(result_, tf, cfg_.collect_terminals,
+                                [this] { return over_time(); });
+  }
+  std::sort(tf.begin(), tf.end());
+  tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
+
+  result_.stats.states_stored = core_.visited().size();
+  result_.stats.threads_used = threads_;
+  result_.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  core_.finish_stats(result_.stats);
+  if (result_.verdict != Verdict::kViolated &&
+      truncated_.load(std::memory_order_relaxed)) {
+    result_.verdict = Verdict::kBudgetExceeded;
+  }
+  return std::move(result_);
+}
+
+void PoolDriver::worker(unsigned wid) {
+  WorkerCtx& me = core_.worker(wid);
+  ExploreStats& st = worker_stats_[wid];
+  std::uint64_t tick = 0;
+  unsigned idle = 0;
+  for (;;) {
+    if (stopped()) return;  // drop remaining work after a stop
+    Item* item = me.deque.pop();
+    if (item == nullptr) item = acquire_work(me, wid);
+    if (item == nullptr) {
+      if (outstanding_.load(std::memory_order_acquire) == 0) return;
+      backoff(idle);
+      continue;
+    }
+    idle = 0;
+    expand(*item, me, st, worker_terminals_[wid]);
+    me.release(item);
+    if (++tick % 256 == 0 && over_time()) signal_truncated();
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      return;  // last in-flight item: the search is exhausted
+    }
+  }
+}
+
+// Steal from random victims — one item normally, half a deep victim's deque
+// when steal-half batching is configured — then fall back to the injector.
+Item* PoolDriver::acquire_work(WorkerCtx& me, unsigned wid) {
+  if (threads_ > 1) {
+    const auto start = static_cast<unsigned>(me.next_rand() % threads_);
+    for (unsigned k = 0; k < threads_; ++k) {
+      const unsigned v = (start + k) % threads_;
+      if (v == wid) continue;
+      WorkerCtx& victim = core_.worker(v);
+      if (cfg_.steal_half_threshold != 0 &&
+          victim.deque.size_hint() >= cfg_.steal_half_threshold) {
+        me.steal_buf.resize(kMaxStealBatch);
+        const std::size_t got =
+            victim.deque.steal_batch(me.steal_buf.data(), kMaxStealBatch);
+        if (got > 0) {
+          // Keep one, queue the rest locally; they stay outstanding.
+          for (std::size_t i = 1; i < got; ++i) me.deque.push(me.steal_buf[i]);
+          return me.steal_buf[0];
+        }
+        continue;
+      }
+      if (Item* it = victim.deque.steal()) return it;
+    }
+  }
+  std::lock_guard<std::mutex> lk(inj_mu_);
+  if (injector_.empty()) return nullptr;
+  Item* it = injector_.back();
+  injector_.pop_back();
+  return it;
+}
+
+// Starvation backoff: yield first, then sleep in growing slices so an idle
+// worker on an oversubscribed box stops eating the expanding workers'
+// quanta. Termination latency is bounded by the longest slice (~1 ms).
+void PoolDriver::backoff(unsigned& idle) {
+  if (++idle < 16) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min(50u * (idle - 15), 1000u)));
+  }
+}
+
+void PoolDriver::push_work(WorkerCtx& me, Item* succ) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (me.deque.size_hint() >= kInjectorOverflow) {
+    std::lock_guard<std::mutex> lk(inj_mu_);
+    injector_.push_back(succ);
+  } else {
+    me.deque.push(succ);
+  }
+}
+
+void PoolDriver::expand(Item& item, WorkerCtx& me, ExploreStats& st,
+                        std::vector<Fingerprint>& terminals) {
+  ++st.states_visited;
+  st.max_depth_seen = std::max(st.max_depth_seen, item.depth + 1);
+
+  enumerate_events(proto_, item.s, me.enabled);
+  st.events_enabled += me.enabled.size();
+  if (me.enabled.empty()) {
+    ++st.terminal_states;
+    if (cfg_.collect_terminals) terminals.push_back(item.canon_fp);
+    core_.record_full(me, item.handle);  // a terminal is trivially full
+    return;
+  }
+
+  // The shared strategy evaluates its cycle proviso (if any) against the
+  // global visited set — no DFS stack exists here; see por/spor.cpp for why
+  // that probe is sound under concurrent inserts.
+  bool reduced = false;
+  const std::size_t n_selected =
+      core_.select(item.s, me, st, /*on_stack=*/{}, /*stateless=*/false,
+                   &reduced);
+  if (n_selected == me.enabled.size()) core_.record_full(me, item.handle);
+
+  for (std::size_t j = 0; j < n_selected; ++j) {
+    if (stopped()) return;
+    const Event& e = me.enabled[reduced ? me.idx[j] : j];
+    Item* succ = me.alloc();
+    execute_into(proto_, item.s, e, core_.exec_opts(), &me.failed, succ->s);
+    ++st.events_executed;
+    const std::uint64_t global_events =
+        events_budget_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (global_events > cfg_.max_events) {
+      me.release(succ);
+      signal_truncated();
+      return;
+    }
+    if (cfg_.on_progress && cfg_.progress_every_events != 0 &&
+        global_events % cfg_.progress_every_events == 0) {
+      emit_progress(global_events);
+    }
+    if (!me.failed.empty()) {
+      record_violation(me.failed, item.handle, e);
+      if (cfg_.stop_at_first_violation) {
+        me.release(succ);
+        return;
+      }
+    }
+
+    // One canonicalization per successor; its cached fingerprint feeds the
+    // visited probe and is carried along as the terminal fingerprint. The
+    // insert threads the state graph: parent = the expanded item's entry.
+    Fingerprint canon_fp;
+    const VisitedInsert ins =
+        core_.insert_canonical(succ->s, item.handle, &e, &canon_fp);
+    core_.record_edge(me, item.handle, ins.handle);
+    if (!ins.inserted) {
+      me.release(succ);
+      continue;
+    }
+    if (core_.visited().size() > cfg_.max_states) {
+      me.release(succ);
+      signal_truncated();
+      return;
+    }
+    if (const Property* p = proto_.violated_property(succ->s)) {
+      record_violation(p->name, item.handle, e);
+      me.release(succ);
+      if (cfg_.stop_at_first_violation) return;
+      continue;
+    }
+    succ->canon_fp = canon_fp;
+    succ->handle = ins.handle;
+    succ->depth = item.depth + 1;
+    push_work(me, succ);
+  }
+}
+
+void PoolDriver::record_violation(const std::string& property,
+                                  StateHandle parent, const Event& last) {
+  {
+    std::lock_guard<std::mutex> lk(result_mu_);
+    if (result_.verdict != Verdict::kViolated) {
+      result_.verdict = Verdict::kViolated;
+      result_.violated_property = property;
+      // Trace seed for the winning violation: the parent entry plus the
+      // final event; the violating endpoint is recomputed by the replay
+      // (it may never have been interned — an assertion failure records
+      // before any insert).
+      pending_.parent = parent;
+      pending_.last = last;
+      pending_.armed = true;
+    }
+  }
+  if (cfg_.on_violation) {
+    // hooks_mu_ (not result_mu_) serializes this with emit_progress, as
+    // the hook contract promises.
+    std::lock_guard<std::mutex> lk(hooks_mu_);
+    cfg_.on_violation(property);
+  }
+  if (cfg_.stop_at_first_violation) stop();
+}
+
+// Open items across the injector and every worker deque, computed on demand
+// from the deques' own bounds — an approximate but never-negative snapshot.
+std::uint64_t PoolDriver::frontier_size() const {
+  std::uint64_t n = 0;
+  {
+    std::lock_guard<std::mutex> lk(inj_mu_);
+    n = injector_.size();
+  }
+  for (unsigned i = 0; i < threads_; ++i) {
+    n += core_.worker(i).deque.size_hint();
+  }
+  return n;
+}
+
+// Parallel progress snapshot: exact visited-set size and global event count;
+// per-worker stats are not merged mid-run. hooks_mu_ serializes it against
+// itself and against the violation hook.
+void PoolDriver::emit_progress(std::uint64_t global_events) {
+  std::lock_guard<std::mutex> lk(hooks_mu_);
+  ExploreStats snap;
+  snap.states_stored = core_.visited().size();
+  snap.events_executed = global_events;
+  snap.frontier = frontier_size();
+  snap.threads_used = threads_;
+  snap.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  cfg_.on_progress(snap);
+}
+
+void PoolDriver::signal_truncated() {
+  truncated_.store(true, std::memory_order_relaxed);
+  stop();
+}
+
+bool PoolDriver::over_time() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+             .count() > cfg_.max_seconds;
+}
+
+// --- StackReplayDriver ------------------------------------------------------
+
+StackReplayDriver::StackReplayDriver(const Protocol& proto,
+                                     const ExploreConfig& cfg)
+    // Stateless searches keep no visited set; the core still provides the
+    // Item pool, scratch buffers and stats bookkeeping.
+    : core_(proto, cfg, nullptr, VisitedMode::kFingerprint, /*n_workers=*/1),
+      proto_(proto),
+      cfg_(cfg) {}
+
+void StackReplayDriver::start() {
+  start_ = std::chrono::steady_clock::now();
+  core_.begin_run();
+}
+
+bool StackReplayDriver::check_violation(const State& s) {
+  const Property* p = proto_.violated_property(s);
+  if (p == nullptr) return false;
+  result_.verdict = Verdict::kViolated;
+  result_.violated_property = p->name;
+  if (cfg_.on_violation) cfg_.on_violation(p->name);
+  if (cfg_.stop_at_first_violation) done_ = true;
+  return true;
+}
+
+void StackReplayDriver::record_assertion(const std::string& label) {
+  result_.verdict = Verdict::kViolated;
+  result_.violated_property = label;
+  if (cfg_.on_violation) cfg_.on_violation(label);
+}
+
+bool StackReplayDriver::over_budget(std::uint64_t frontier_states) {
+  if (result_.stats.events_executed > cfg_.max_events) return true;
+  if (frontier_states > cfg_.max_states) return true;
+  if (++budget_tick_ % 1024 == 0) {
+    if (elapsed() > cfg_.max_seconds) return true;
+  }
+  return false;
+}
+
+// Same progress-hook contract as the stateful drivers; a stateless search
+// has no visited set, so states_stored mirrors states_visited.
+void StackReplayDriver::maybe_progress(std::uint64_t frontier) {
+  if (!cfg_.on_progress || cfg_.progress_every_events == 0) return;
+  if (result_.stats.events_executed % cfg_.progress_every_events != 0) return;
+  ExploreStats snap = result_.stats;
+  snap.states_stored = snap.states_visited;
+  snap.frontier = frontier;
+  snap.seconds = elapsed();
+  cfg_.on_progress(snap);
+}
+
+void StackReplayDriver::record_counterexample(std::span<const Event> events) {
+  result_.counterexample = replay_trace(proto_, events, core_.exec_opts());
+}
+
+ExploreResult StackReplayDriver::finish() {
+  result_.stats.seconds = elapsed();
+  result_.stats.states_stored = result_.stats.states_visited;
+  core_.finish_stats(result_.stats);
+  if (result_.verdict != Verdict::kViolated && truncated_) {
+    result_.verdict = Verdict::kBudgetExceeded;
+  }
+  auto& tf = result_.terminal_fingerprints;
+  std::sort(tf.begin(), tf.end());
+  tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
+  return std::move(result_);
+}
+
+double StackReplayDriver::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+}  // namespace mpb::engine

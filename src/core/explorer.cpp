@@ -1,15 +1,13 @@
+// Dispatch and shared helpers only: every search loop lives in the unified
+// engine (core/engine.hpp) — explore() picks the driver, and the graph
+// walkers / trace replay below are the pieces all drivers share.
 #include "core/explorer.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <deque>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
 #include <unordered_set>
 
-#include "core/work_deque.hpp"
+#include "core/engine.hpp"
 
 namespace mpb {
 
@@ -43,780 +41,25 @@ std::vector<TraceStep> replay_trace(const Protocol& proto,
   return trace;
 }
 
-namespace {
-
-[[nodiscard]] unsigned auto_shards(const ExploreConfig& cfg) {
-  if (cfg.visited_shards != 0) return cfg.visited_shards;
-  return cfg.threads > 1 ? cfg.threads * 4 : 1;
-}
-
-// Canonicalize (when configured), fingerprint and insert a state, threading
-// the state-graph parent/via. The single implementation behind the root and
-// successor inserts of both search engines; `fp_out` receives the canonical
-// fingerprint (the visited key, reused as the terminal fingerprint).
-template <typename Set>
-VisitedInsert insert_canonical(Set& visited,
-                               const std::function<State(const State&)>& canonicalize,
-                               const State& s, StateHandle parent,
-                               const Event* via, Fingerprint* fp_out) {
-  if (canonicalize) {
-    const State canon = canonicalize(s);
-    *fp_out = canon.fingerprint();
-    return visited.insert(canon, *fp_out, parent, via);
-  }
-  *fp_out = s.fingerprint();
-  return visited.insert(s, *fp_out, parent, via);
-}
-
-// The matching membership probe (the visited-set cycle proviso's oracle).
-template <typename Set>
-bool contains_canonical(const Set& visited,
-                        const std::function<State(const State&)>& canonicalize,
-                        const State& s) {
-  if (canonicalize) {
-    const State canon = canonicalize(s);
-    return visited.contains(canon, canon.fingerprint());
-  }
-  return visited.contains(s, s.fingerprint());
-}
-
-// Visited-set abstraction over the three storage modes. kExact keeps the
-// seed's std::unordered_set of full State copies as the sequential reference
-// implementation; kFingerprint and kInterned share the sharded table, and
-// kInterned records the state graph (parent handle + incoming event per
-// entry). All search modes insert through this interface, so whichever mode
-// runs, the graph semantics are identical.
-class VisitedSet {
- public:
-  VisitedSet(VisitedMode mode, unsigned shards)
-      : mode_(mode),
-        sharded_(mode == VisitedMode::kExact ? VisitedMode::kInterned : mode,
-                 shards) {}
-
-  // `fp` must be s.fingerprint().
-  VisitedInsert insert(const State& s, const Fingerprint& fp,
-                       StateHandle parent, const Event* via) {
-    if (mode_ == VisitedMode::kExact) {
-      return {exact_.insert(s).second, kNoHandle};
-    }
-    return sharded_.insert(s, fp, parent, via);
-  }
-
-  [[nodiscard]] bool contains(const State& s, const Fingerprint& fp) const {
-    if (mode_ == VisitedMode::kExact) return exact_.contains(s);
-    return sharded_.contains(s, fp);
-  }
-
-  [[nodiscard]] std::uint64_t size() const noexcept {
-    return mode_ == VisitedMode::kExact ? exact_.size() : sharded_.size();
-  }
-
- private:
-  VisitedMode mode_;
-  std::unordered_set<State, StateHash> exact_;
-  ShardedVisited sharded_;
-};
-
-// Multiset of states on the current DFS stack, for the cycle proviso and for
-// stateless cycle cut-off. Fingerprint-based: a collision can only cause a
-// conservative (sound) full expansion or an early path cut. State fingerprints
-// are cached, so each probe is O(1) hash work.
-class StackSet {
- public:
-  void push(const State& s) { ++counts_[s.fingerprint()]; }
-  void pop(const State& s) {
-    auto it = counts_.find(s.fingerprint());
-    if (it != counts_.end() && --it->second == 0) counts_.erase(it);
-  }
-  [[nodiscard]] bool contains(const State& s) const {
-    return counts_.contains(s.fingerprint());
-  }
-
- private:
-  std::unordered_map<Fingerprint, std::uint32_t, FingerprintHash> counts_;
-};
-
-struct Frame {
-  State s;
-  std::vector<Event> chosen;
-  std::size_t next = 0;
-  // This state's entry in the interned state graph (kNoHandle in the exact /
-  // fingerprint modes and in stateless searches).
-  StateHandle handle = kNoHandle;
-};
-
-class Search {
- public:
-  Search(const Protocol& proto, const ExploreConfig& cfg, ReductionStrategy* strategy)
-      : proto_(proto),
-        cfg_(cfg),
-        strategy_(strategy),
-        visited_(cfg.visited, auto_shards(cfg)) {
-    exec_opts_.validate_annotations = cfg.validate_annotations;
-  }
-
-  ExploreResult run() {
-    start_ = std::chrono::steady_clock::now();
-    hash_passes_at_start_ = state_full_hash_passes();
-    hash_queries_at_start_ = state_hash_queries();
-    fallbacks_at_start_ = strategy_ ? strategy_->proviso_fallbacks() : 0;
-    State init = proto_.initial();
-    if (check_violation(init)) {
-      finish();
-      return std::move(result_);
-    }
-    if (cfg_.mode == SearchMode::kStateful) {
-      // Canonicalize once; the canonical fingerprint doubles as the terminal
-      // fingerprint below.
-      Fingerprint canon_fp;
-      const VisitedInsert root = insert_canonical(
-          visited_, cfg_.canonicalize, init, kNoHandle, nullptr, &canon_fp);
-      push_frame(std::move(init), &canon_fp, root.handle);
-    } else {
-      push_frame(std::move(init), nullptr, kNoHandle);
-    }
-
-    while (!frames_.empty() && !done_) {
-      if (over_budget()) {
-        truncated_ = true;
-        break;
-      }
-      Frame& f = frames_.back();
-      if (f.next >= f.chosen.size()) {
-        stack_set_.pop(f.s);
-        frames_.pop_back();
-        continue;
-      }
-      const Event& e = f.chosen[f.next++];
-      std::string failed;
-      State succ = execute(proto_, f.s, e, exec_opts_, &failed);
-      ++result_.stats.events_executed;
-      maybe_progress();
-      if (!failed.empty()) {
-        result_.verdict = Verdict::kViolated;
-        result_.violated_property = failed;
-        if (cfg_.on_violation) cfg_.on_violation(failed);
-        record_counterexample(e, succ);
-        if (cfg_.stop_at_first_violation) break;
-      }
-
-      Fingerprint canon_fp;
-      const Fingerprint* canon_fp_ptr = nullptr;
-      StateHandle succ_handle = kNoHandle;
-      if (cfg_.mode == SearchMode::kStateful) {
-        // One canonicalization per successor, reused for the visited probe
-        // and (below) the terminal fingerprint. The insert threads the state
-        // graph: parent = the expanding frame's entry, via = the event taken.
-        const VisitedInsert ins = insert_canonical(
-            visited_, cfg_.canonicalize, succ, f.handle, &e, &canon_fp);
-        if (!ins.inserted) continue;
-        canon_fp_ptr = &canon_fp;
-        succ_handle = ins.handle;
-      } else {
-        if (stack_set_.contains(succ)) continue;  // cut cycles in stateless mode
-        if (frames_.size() >= cfg_.max_depth) {
-          truncated_ = true;
-          continue;
-        }
-      }
-
-      if (check_violation(succ)) {
-        record_counterexample(e, succ);
-        if (cfg_.stop_at_first_violation) break;
-        continue;
-      }
-      push_frame(std::move(succ), canon_fp_ptr, succ_handle);
-    }
-    finish();
-    return std::move(result_);
-  }
-
- private:
-  // `canon_fp` is the fingerprint of the canonicalized state when the caller
-  // already computed it (stateful mode); nullptr means compute on demand.
-  void push_frame(State s, const Fingerprint* canon_fp, StateHandle handle) {
-    ++result_.stats.states_visited;
-    result_.stats.max_depth_seen =
-        std::max(result_.stats.max_depth_seen, static_cast<unsigned>(frames_.size()) + 1);
-
-    std::vector<Event> enabled = enumerate_events(proto_, s);
-    result_.stats.events_enabled += enabled.size();
-    if (enabled.empty()) {
-      ++result_.stats.terminal_states;
-      if (cfg_.collect_terminals) {
-        Fingerprint fp;
-        if (canon_fp != nullptr) {
-          fp = *canon_fp;
-        } else {
-          fp = cfg_.canonicalize ? cfg_.canonicalize(s).fingerprint()
-                                 : s.fingerprint();
-        }
-        result_.terminal_fingerprints.push_back(fp);
-      }
-      stack_set_.push(s);
-      frames_.push_back(Frame{std::move(s), {}, 0, handle});
-      return;
-    }
-
-    std::vector<Event> chosen;
-    if (strategy_ == nullptr) {
-      chosen = std::move(enabled);
-    } else {
-      StrategyContext ctx{
-          [&](const Event& e) { return execute(proto_, s, e, exec_opts_); },
-          [&](const State& st) { return stack_set_.contains(st); },
-          cfg_.mode == SearchMode::kStateful
-              ? std::function<bool(const State&)>([&](const State& st) {
-                  return contains_canonical(visited_, cfg_.canonicalize, st);
-                })
-              : std::function<bool(const State&)>{}};
-      std::vector<std::size_t> idx = strategy_->select(s, enabled, ctx);
-      if (idx.size() >= enabled.size()) ++result_.stats.full_expansions;
-      chosen.reserve(idx.size());
-      for (std::size_t i : idx) chosen.push_back(std::move(enabled[i]));
-    }
-    result_.stats.events_selected += chosen.size();
-    stack_set_.push(s);
-    frames_.push_back(Frame{std::move(s), std::move(chosen), 0, handle});
-  }
-
-  // Returns true (and records) if a property is violated in `s`.
-  bool check_violation(const State& s) {
-    const Property* p = proto_.violated_property(s);
-    if (p == nullptr) return false;
-    result_.verdict = Verdict::kViolated;
-    result_.violated_property = p->name;
-    if (cfg_.on_violation) cfg_.on_violation(p->name);
-    if (cfg_.stop_at_first_violation) done_ = true;
-    return true;
-  }
-
-  // Progress hook: fires every cfg_.progress_every_events executed events
-  // with a stats snapshot whose states_stored/seconds are current.
-  void maybe_progress() {
-    if (!cfg_.on_progress || cfg_.progress_every_events == 0) return;
-    if (result_.stats.events_executed % cfg_.progress_every_events != 0) return;
-    ExploreStats snap = result_.stats;
-    snap.states_stored = cfg_.mode == SearchMode::kStateful
-                             ? visited_.size()
-                             : snap.states_visited;
-    snap.frontier = frames_.size();
-    snap.seconds = elapsed();
-    cfg_.on_progress(snap);
-  }
-
-  // The DFS stack is the parent chain of the violating state: gather its
-  // event sequence and rebuild the trace through the shared replay helper
-  // (execute() is deterministic, so the replayed states are the ones seen).
-  void record_counterexample(const Event& last, const State&) {
-    std::vector<Event> events;
-    events.reserve(frames_.size());
-    for (std::size_t i = 0; i + 1 < frames_.size(); ++i) {
-      const Frame& f = frames_[i];
-      events.push_back(f.chosen[f.next - 1]);
-    }
-    events.push_back(last);
-    result_.counterexample = replay_trace(proto_, events, exec_opts_);
-  }
-
-  [[nodiscard]] bool over_budget() {
-    if (result_.stats.events_executed > cfg_.max_events) return true;
-    const std::uint64_t stored = cfg_.mode == SearchMode::kStateful
-                                     ? visited_.size()
-                                     : result_.stats.states_visited;
-    if (stored > cfg_.max_states) return true;
-    if (++budget_tick_ % 1024 == 0) {
-      if (elapsed() > cfg_.max_seconds) return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] double elapsed() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-        .count();
-  }
-
-  void finish() {
-    result_.stats.seconds = elapsed();
-    result_.stats.states_stored = cfg_.mode == SearchMode::kStateful
-                                      ? visited_.size()
-                                      : result_.stats.states_visited;
-    result_.stats.full_hash_passes =
-        state_full_hash_passes() - hash_passes_at_start_;
-    result_.stats.hash_queries = state_hash_queries() - hash_queries_at_start_;
-    if (strategy_ != nullptr) {
-      result_.stats.proviso_fallbacks =
-          strategy_->proviso_fallbacks() - fallbacks_at_start_;
-    }
-    if (result_.verdict != Verdict::kViolated && truncated_) {
-      result_.verdict = Verdict::kBudgetExceeded;
-    }
-    auto& tf = result_.terminal_fingerprints;
-    std::sort(tf.begin(), tf.end());
-    tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
-  }
-
-  const Protocol& proto_;
-  const ExploreConfig& cfg_;
-  ReductionStrategy* strategy_;
-  ExecuteOptions exec_opts_;
-  VisitedSet visited_;
-  StackSet stack_set_;
-  std::vector<Frame> frames_;
-  ExploreResult result_;
-  std::chrono::steady_clock::time_point start_;
-  std::uint64_t hash_passes_at_start_ = 0;
-  std::uint64_t hash_queries_at_start_ = 0;
-  std::uint64_t fallbacks_at_start_ = 0;
-  std::uint64_t budget_tick_ = 0;
-  bool truncated_ = false;
-  bool done_ = false;
-};
-
-// ---------------------------------------------------------------------------
-// Parallel stateful search: a fixed worker pool over per-worker work-stealing
-// deques. Each worker expands successors off the bottom of its own Chase-Lev
-// deque (LIFO — the search stays depth-first and cache-warm) and, when it
-// runs dry, steals from the top of a random victim's deque (FIFO — a steal
-// grabs the shallowest, i.e. largest, open subtree). A small mutex-guarded
-// global injector seeds the root and absorbs overflow from pathologically
-// wide expansions; it is not on the steady-state path, so expanding a state
-// takes no lock and wakes nobody. Termination is an atomic outstanding-work
-// counter: +1 per queued item, -1 when its expansion completes; a worker
-// that finds no work anywhere and reads 0 is done. The sharded visited
-// table admits each unique state exactly once, which (for the unreduced
-// search) makes states_stored / terminal_states / events_executed
-// independent of the schedule and equal to the sequential search's counts.
-//
-// Allocation: workers recycle Item objects (the State successor buffers)
-// through per-worker free lists, and execute_into() copy-assigns into the
-// recycled state so its locals/network vector capacity is reused. In steady
-// state an expansion touches the global allocator only to intern a genuinely
-// new state, not once per generated successor. Items are handed over by
-// pointer (push/steal transfer ownership); the memory itself is owned by the
-// per-worker backing stores, which outlive the pool.
-//
-// With a reduction strategy (SPOR under the visited-set cycle proviso), one
-// shared strategy object serves all workers — its select() must be
-// thread-safe (guaranteed by needs_dfs_stack() == false, see explorer.hpp).
-// The chosen sets then depend on visited-set contents at evaluation time, so
-// the reduced state count varies with the schedule; the verdict does not.
-//
-// Counterexamples: every insert records the successor's parent entry and
-// incoming event in the interned arena. The first violation captures
-// {parent handle, final event, violating state}; after the pool drains, the
-// parent walk (ShardedVisited::path_from_root) plus the final event is
-// replayed through execute() into a TraceStep path. Fingerprint mode stores
-// no states (no trace); a symmetry canonicalizer stores representative
-// states whose recorded events need not form a concrete run (no trace).
-class ParallelSearch {
- public:
-  ParallelSearch(const Protocol& proto, const ExploreConfig& cfg,
-                 ReductionStrategy* strategy)
-      : proto_(proto),
-        cfg_(cfg),
-        strategy_(strategy),
-        threads_(std::clamp(cfg.threads, 1u, 256u)),
-        visited_(cfg.visited == VisitedMode::kExact ? VisitedMode::kInterned
-                                                    : cfg.visited,
-                 auto_shards(cfg)) {
-    exec_opts_.validate_annotations = cfg.validate_annotations;
-  }
-
-  ExploreResult run() {
-    start_ = std::chrono::steady_clock::now();
-    const std::uint64_t passes0 = state_full_hash_passes();
-    const std::uint64_t queries0 = state_hash_queries();
-    const std::uint64_t fallbacks0 =
-        strategy_ ? strategy_->proviso_fallbacks() : 0;
-
-    worker_stats_.assign(threads_, ExploreStats{});
-    worker_terminals_.assign(threads_, {});
-    workers_.clear();
-    workers_.reserve(threads_);
-    for (unsigned w = 0; w < threads_; ++w) {
-      workers_.push_back(std::make_unique<Worker>(w));
-    }
-
-    State init = proto_.initial();
-    if (const Property* p = proto_.violated_property(init)) {
-      result_.verdict = Verdict::kViolated;
-      result_.violated_property = p->name;
-    } else {
-      Fingerprint canon_fp;
-      const VisitedInsert root = insert_canonical(
-          visited_, cfg_.canonicalize, init, kNoHandle, nullptr, &canon_fp);
-      Item* root_item = workers_[0]->alloc();
-      root_item->s = std::move(init);
-      root_item->canon_fp = canon_fp;
-      root_item->handle = root.handle;
-      root_item->depth = 0;
-      injector_.push_back(root_item);
-      outstanding_.store(1, std::memory_order_relaxed);
-
-      std::vector<std::thread> pool;
-      pool.reserve(threads_);
-      for (unsigned w = 0; w < threads_; ++w) {
-        pool.emplace_back([this, w] { worker(w); });
-      }
-      for (std::thread& t : pool) t.join();
-    }
-
-    // Merge per-worker stats.
-    for (const ExploreStats& st : worker_stats_) {
-      result_.stats.states_visited += st.states_visited;
-      result_.stats.events_executed += st.events_executed;
-      result_.stats.events_selected += st.events_selected;
-      result_.stats.events_enabled += st.events_enabled;
-      result_.stats.terminal_states += st.terminal_states;
-      result_.stats.full_expansions += st.full_expansions;
-      result_.stats.max_depth_seen =
-          std::max(result_.stats.max_depth_seen, st.max_depth_seen);
-    }
-    auto& tf = result_.terminal_fingerprints;
-    for (auto& v : worker_terminals_) tf.insert(tf.end(), v.begin(), v.end());
-    std::sort(tf.begin(), tf.end());
-    tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
-
-    if (result_.verdict == Verdict::kViolated && pending_.armed &&
-        visited_.mode() == VisitedMode::kInterned && !cfg_.canonicalize) {
-      std::vector<Event> events = visited_.path_from_root(pending_.parent);
-      events.push_back(pending_.last);
-      result_.counterexample = replay_trace(proto_, events, exec_opts_);
-    }
-
-    result_.stats.states_stored = visited_.size();
-    result_.stats.threads_used = threads_;
-    result_.stats.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-            .count();
-    result_.stats.full_hash_passes = state_full_hash_passes() - passes0;
-    result_.stats.hash_queries = state_hash_queries() - queries0;
-    if (strategy_ != nullptr) {
-      result_.stats.proviso_fallbacks =
-          strategy_->proviso_fallbacks() - fallbacks0;
-    }
-    if (result_.verdict != Verdict::kViolated &&
-        truncated_.load(std::memory_order_relaxed)) {
-      result_.verdict = Verdict::kBudgetExceeded;
-    }
-    return std::move(result_);
-  }
-
- private:
-  struct Item {
-    State s;
-    // Fingerprint of the canonicalized state, computed once at visited-insert
-    // time and reused as the terminal fingerprint.
-    Fingerprint canon_fp;
-    // This state's entry in the interned state graph (kNoHandle when the
-    // visited set is fingerprint-only).
-    StateHandle handle = kNoHandle;
-    unsigned depth = 0;
-  };
-
-  // A deque larger than this donates new items to the global injector instead
-  // of growing without bound; in practice only pathologically wide searches
-  // ever hit it.
-  static constexpr std::size_t kInjectorOverflow = 1u << 16;
-
-  // Per-worker machinery: the stealing deque, the Item pool (free list over a
-  // stable-address backing store — recycling keeps the State vector capacity
-  // hot), and the expansion scratch buffers. Everything here is touched by
-  // its owner only, except `deque` (thieves steal) and item memory itself
-  // (whoever extracts an item expands and then releases it into *their own*
-  // free list; the backing stores outlive the run, so cross-worker recycling
-  // is safe).
-  struct Worker {
-    explicit Worker(unsigned wid) : rng(0x9e3779b97f4a7c15ULL * (wid + 1) + 1) {}
-
-    Item* alloc() {
-      if (!free.empty()) {
-        Item* it = free.back();
-        free.pop_back();
-        return it;
-      }
-      storage.emplace_back();
-      return &storage.back();
-    }
-    void release(Item* it) { free.push_back(it); }
-
-    [[nodiscard]] std::uint64_t next_rand() {  // xorshift64
-      rng ^= rng << 13;
-      rng ^= rng >> 7;
-      rng ^= rng << 17;
-      return rng;
-    }
-
-    WorkStealingDeque<Item> deque;
-    std::deque<Item> storage;  // stable addresses; owns every Item's memory
-    std::vector<Item*> free;
-    std::vector<Event> enabled;      // enumerate_events scratch
-    std::vector<std::size_t> idx;    // strategy selection scratch
-    std::string failed;              // assertion-label scratch
-    std::uint64_t rng;
-  };
-
-  void worker(unsigned wid) {
-    Worker& me = *workers_[wid];
-    ExploreStats& st = worker_stats_[wid];
-    std::uint64_t tick = 0;
-    unsigned idle = 0;
-    for (;;) {
-      if (stopped()) return;  // drop remaining work after a stop
-      Item* item = me.deque.pop();
-      if (item == nullptr) item = acquire_work(me, wid);
-      if (item == nullptr) {
-        if (outstanding_.load(std::memory_order_acquire) == 0) return;
-        backoff(idle);
-        continue;
-      }
-      idle = 0;
-      expand(*item, me, st, worker_terminals_[wid]);
-      me.release(item);
-      if (++tick % 256 == 0 && over_time()) signal_truncated();
-      if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        return;  // last in-flight item: the search is exhausted
-      }
-    }
-  }
-
-  // Steal from random victims, then fall back to the injector.
-  Item* acquire_work(Worker& me, unsigned wid) {
-    if (threads_ > 1) {
-      const auto start = static_cast<unsigned>(me.next_rand() % threads_);
-      for (unsigned k = 0; k < threads_; ++k) {
-        const unsigned v = (start + k) % threads_;
-        if (v == wid) continue;
-        if (Item* it = workers_[v]->deque.steal()) return it;
-      }
-    }
-    std::lock_guard<std::mutex> lk(inj_mu_);
-    if (injector_.empty()) return nullptr;
-    Item* it = injector_.back();
-    injector_.pop_back();
-    return it;
-  }
-
-  // Starvation backoff: yield first, then sleep in growing slices so an idle
-  // worker on an oversubscribed box stops eating the expanding workers'
-  // quanta. Termination latency is bounded by the longest slice (~1 ms).
-  static void backoff(unsigned& idle) {
-    if (++idle < 16) {
-      std::this_thread::yield();
-    } else {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(std::min(50u * (idle - 15), 1000u)));
-    }
-  }
-
-  void push_work(Worker& me, Item* succ) {
-    outstanding_.fetch_add(1, std::memory_order_acq_rel);
-    if (me.deque.size_hint() >= kInjectorOverflow) {
-      std::lock_guard<std::mutex> lk(inj_mu_);
-      injector_.push_back(succ);
-    } else {
-      me.deque.push(succ);
-    }
-  }
-
-  void expand(Item& item, Worker& me, ExploreStats& st,
-              std::vector<Fingerprint>& terminals) {
-    ++st.states_visited;
-    st.max_depth_seen = std::max(st.max_depth_seen, item.depth + 1);
-
-    enumerate_events(proto_, item.s, me.enabled);
-    st.events_enabled += me.enabled.size();
-    if (me.enabled.empty()) {
-      ++st.terminal_states;
-      if (cfg_.collect_terminals) terminals.push_back(item.canon_fp);
-      return;
-    }
-
-    std::size_t n_selected = me.enabled.size();
-    const bool reduced = strategy_ != nullptr;
-    if (reduced) {
-      // The shared strategy evaluates its cycle proviso against the global
-      // visited set (no DFS stack exists here); see por/spor.cpp for why
-      // that probe is sound under concurrent inserts.
-      StrategyContext ctx{
-          [&](const Event& e) { return execute(proto_, item.s, e, exec_opts_); },
-          /*on_stack=*/{},
-          [&](const State& s) {
-            return contains_canonical(visited_, cfg_.canonicalize, s);
-          }};
-      me.idx = strategy_->select(item.s, me.enabled, ctx);
-      n_selected = me.idx.size();
-      if (n_selected >= me.enabled.size()) ++st.full_expansions;
-    }
-    st.events_selected += n_selected;
-
-    for (std::size_t j = 0; j < n_selected; ++j) {
-      if (stopped()) return;
-      const Event& e = me.enabled[reduced ? me.idx[j] : j];
-      Item* succ = me.alloc();
-      execute_into(proto_, item.s, e, exec_opts_, &me.failed, succ->s);
-      ++st.events_executed;
-      const std::uint64_t global_events =
-          events_budget_.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (global_events > cfg_.max_events) {
-        me.release(succ);
-        signal_truncated();
-        return;
-      }
-      if (cfg_.on_progress && cfg_.progress_every_events != 0 &&
-          global_events % cfg_.progress_every_events == 0) {
-        emit_progress(global_events);
-      }
-      if (!me.failed.empty()) {
-        record_violation(me.failed, item.handle, e);
-        if (cfg_.stop_at_first_violation) {
-          me.release(succ);
-          return;
-        }
-      }
-
-      // One canonicalization per successor; its cached fingerprint feeds the
-      // visited probe and is carried along as the terminal fingerprint. The
-      // insert threads the state graph: parent = the expanded item's entry.
-      Fingerprint canon_fp;
-      const VisitedInsert ins = insert_canonical(
-          visited_, cfg_.canonicalize, succ->s, item.handle, &e, &canon_fp);
-      if (!ins.inserted) {
-        me.release(succ);
-        continue;
-      }
-      if (visited_.size() > cfg_.max_states) {
-        me.release(succ);
-        signal_truncated();
-        return;
-      }
-      if (const Property* p = proto_.violated_property(succ->s)) {
-        record_violation(p->name, item.handle, e);
-        me.release(succ);
-        if (cfg_.stop_at_first_violation) return;
-        continue;
-      }
-      succ->canon_fp = canon_fp;
-      succ->handle = ins.handle;
-      succ->depth = item.depth + 1;
-      push_work(me, succ);
-    }
-  }
-
-  void record_violation(const std::string& property, StateHandle parent,
-                        const Event& last) {
-    {
-      std::lock_guard<std::mutex> lk(result_mu_);
-      if (result_.verdict != Verdict::kViolated) {
-        result_.verdict = Verdict::kViolated;
-        result_.violated_property = property;
-        // Trace seed for the winning violation: the parent entry plus the
-        // final event; the violating endpoint is recomputed by the replay
-        // (it may never have been interned — an assertion failure records
-        // before any insert).
-        pending_.parent = parent;
-        pending_.last = last;
-        pending_.armed = true;
-      }
-    }
-    if (cfg_.on_violation) {
-      // hooks_mu_ (not result_mu_) serializes this with emit_progress, as
-      // the hook contract promises.
-      std::lock_guard<std::mutex> lk(hooks_mu_);
-      cfg_.on_violation(property);
-    }
-    if (cfg_.stop_at_first_violation) stop();
-  }
-
-  // Open items across the injector and every worker deque, computed on
-  // demand from the deques' own bounds — an approximate but never-negative,
-  // never-stale snapshot (the old maintained counter could drift under
-  // donation races).
-  [[nodiscard]] std::uint64_t frontier_size() const {
-    std::uint64_t n = 0;
-    {
-      std::lock_guard<std::mutex> lk(inj_mu_);
-      n = injector_.size();
-    }
-    for (const auto& w : workers_) n += w->deque.size_hint();
-    return n;
-  }
-
-  // Parallel progress snapshot: exact visited-set size and global event
-  // count; per-worker stats are not merged mid-run. hooks_mu_ serializes it
-  // against itself and against the violation hook.
-  void emit_progress(std::uint64_t global_events) {
-    std::lock_guard<std::mutex> lk(hooks_mu_);
-    ExploreStats snap;
-    snap.states_stored = visited_.size();
-    snap.events_executed = global_events;
-    snap.frontier = frontier_size();
-    snap.threads_used = threads_;
-    snap.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-            .count();
-    cfg_.on_progress(snap);
-  }
-
-  void signal_truncated() {
-    truncated_.store(true, std::memory_order_relaxed);
-    stop();
-  }
-
-  void stop() { done_.store(true, std::memory_order_release); }
-
-  [[nodiscard]] bool stopped() const {
-    return done_.load(std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] bool over_time() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-               .count() > cfg_.max_seconds;
-  }
-
-  // First-violation trace seed; written once under result_mu_, read after
-  // the pool joins.
-  struct PendingTrace {
-    StateHandle parent = kNoHandle;
-    Event last;
-    bool armed = false;
-  };
-
-  const Protocol& proto_;
-  const ExploreConfig& cfg_;
-  ReductionStrategy* strategy_;
-  unsigned threads_;
-  ExecuteOptions exec_opts_;
-  ShardedVisited visited_;
-  PendingTrace pending_;
-
-  std::vector<std::unique_ptr<Worker>> workers_;
-  mutable std::mutex inj_mu_;
-  std::vector<Item*> injector_;  // root seed + overflow donations only
-  std::atomic<bool> done_{false};
-  std::atomic<std::int64_t> outstanding_{0};  // queued or in-expansion items
-  std::atomic<std::uint64_t> events_budget_{0};
-  std::atomic<bool> truncated_{false};
-
-  std::mutex result_mu_;
-  std::mutex hooks_mu_;  // serializes on_progress/on_violation invocations
-  ExploreResult result_;
-  std::vector<ExploreStats> worker_stats_;
-  std::vector<std::vector<Fingerprint>> worker_terminals_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace
-
 ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
                       ReductionStrategy* strategy) {
-  if (cfg.threads > 1 && cfg.mode == SearchMode::kStateful &&
-      (strategy == nullptr || !strategy->needs_dfs_stack())) {
-    return ParallelSearch(proto, cfg, strategy).run();
+  const bool stateful = cfg.mode == SearchMode::kStateful;
+  // The SCC ignoring fix walks the interned state graph; upgrade the
+  // visited mode so the graph exists (kExact -> kInterned preserves exact
+  // semantics; kFingerprint stores no states at all, so it upgrades too).
+  ExploreConfig adjusted;
+  const ExploreConfig* use = &cfg;
+  if (stateful && strategy != nullptr && strategy->wants_scc_ignoring_pass() &&
+      cfg.visited != VisitedMode::kInterned) {
+    adjusted = cfg;
+    adjusted.visited = VisitedMode::kInterned;
+    use = &adjusted;
   }
-  return Search(proto, cfg, strategy).run();
+  if (use->threads > 1 && stateful &&
+      (strategy == nullptr || !strategy->needs_dfs_stack())) {
+    return engine::PoolDriver(proto, *use, strategy).run();
+  }
+  return engine::SequentialDriver(proto, *use, strategy).run();
 }
 
 ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,

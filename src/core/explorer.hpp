@@ -11,22 +11,25 @@
 // enabled events to explore. FullExpansion is the unreduced baseline; the SPOR
 // stubborn-set strategy lives in src/por/spor.hpp.
 //
-// Parallelism: with cfg.threads > 1 every *stateful* search whose strategy
-// does not need the DFS stack (full expansion, and SPOR under the visited-set
-// cycle proviso — see por/spor.hpp) runs on a fixed worker pool: per-worker
-// work-stealing deques (core/work_deque.hpp) over the lock-free sharded
-// visited set (core/visited.hpp), with per-worker state pools feeding
-// execute_into. Stateless / DPOR searches are inherently sequential and
-// ignore cfg.threads; see docs/ARCHITECTURE.md for the parallel-safety
-// matrix. Unreduced parallel runs report the same verdict and the same
-// states_stored / terminal_states as the sequential search; reduced parallel
-// runs report the same verdict (the reduction itself is schedule-dependent).
-// Parallel runs reconstruct counterexample traces by walking the interned
-// state graph's parent handles back to the root and replaying the events
-// through execute() — available whenever the visited set is interned (the
-// default `exact` mode upgrades to interned in parallel runs) and no symmetry
-// canonicalizer is installed (canonical entries record representative states,
-// whose events need not be enabled along any concrete path).
+// All searches run on the unified engine (core/engine.hpp): one pooled
+// ExpansionCore under three drivers. explore() dispatches — SequentialDriver
+// for t1 / stack-proviso / stateless searches, PoolDriver (per-worker
+// Chase-Lev stealing deques over the lock-free sharded visited set,
+// core/visited.hpp) for stateful searches with cfg.threads > 1 whose
+// strategy does not need the DFS stack, and por/dpor.cpp's DPOR search rides
+// the engine's StackReplayDriver chassis. Stateless / DPOR searches are
+// inherently sequential and ignore cfg.threads; see docs/ARCHITECTURE.md for
+// the driver table and parallel-safety matrix. Unreduced parallel runs
+// report the same verdict and the same states_stored / terminal_states as
+// the sequential search; reduced parallel runs report the same verdict (the
+// reduction itself is schedule-dependent). Parallel runs reconstruct
+// counterexample traces by walking the interned state graph's parent handles
+// back to the root and replaying the events through execute() — available
+// whenever the visited set is interned (the default `exact` mode upgrades to
+// interned in parallel runs), including under a symmetry canonicalizer: the
+// frontier always carries concrete states, so the recorded event chain is a
+// genuine concrete run, and each interned entry additionally records the
+// permutation that mapped it onto its canonical representative.
 #pragma once
 
 #include <chrono>
@@ -82,6 +85,26 @@ struct ExploreConfig {
   // The search itself still walks concrete states, so counterexamples remain
   // genuine paths. Must be thread-safe (const) when threads > 1.
   std::function<State(const State&)> canonicalize;
+  // Permutation-aware variant, preferred by the engine when set: also
+  // reports the index of the permutation that produced the canonical state
+  // (SymmetryReducer::canonicalize_with_perm), which interned entries record
+  // so canonical representatives stay mappable back to the concrete states
+  // that reached them. The check facade installs this one; `canonicalize`
+  // remains for callers that don't track permutations (recorded as 0).
+  std::function<State(const State&, std::uint32_t&)> canonicalize_perm;
+  // Inverse of the canonicalizing permutation
+  // (SymmetryReducer::apply_inverse_perm): maps a stored canonical
+  // representative back to the concrete state its recorded permutation came
+  // from. Installed alongside canonicalize_perm; the engine's SCC ignoring
+  // pass continues exploration from concrete states with it, so recorded
+  // event chains stay replayable under symmetry.
+  std::function<State(std::uint32_t, const State&)> decanonicalize;
+  // Steal batching for the parallel pool: when a steal victim's deque holds
+  // at least this many items, the thief takes ~half of them (capped) in one
+  // visit instead of one item. 0 keeps the classic steal-one protocol (the
+  // default; each batched item is still claimed by its own top-CAS, so the
+  // memory-safety argument — and the TSan model — is unchanged).
+  unsigned steal_half_threshold = 0;
   // --- observer hooks (the check facade's progress reporting) ---
   // `on_progress` is invoked approximately every `progress_every_events`
   // executed events with a snapshot of the running stats. Sequential runs
@@ -113,6 +136,11 @@ struct ExploreStats {
   // Candidate reduced sets the strategy abandoned because of its cycle
   // proviso during this run (SPOR; see ReductionStrategy::proviso_fallbacks).
   std::uint64_t proviso_fallbacks = 0;
+  // States re-expanded by the SCC-based ignoring fix (CycleProviso::kScc):
+  // one per SCC of the reduced graph that contained a cycle but no fully
+  // expanded state. The price of recovering the reduction the in-search
+  // provisos would have lost; 0 under every other proviso.
+  std::uint64_t scc_reexpansions = 0;
   // Progress snapshots only: open frames (sequential DFS stack) or open
   // items across the injector and all stealing deques (parallel pool) at
   // snapshot time — computed from the deques' own bounds, so it cannot go
@@ -174,6 +202,13 @@ class ReductionStrategy {
   // proviso over this strategy object's lifetime; searches report the per-run
   // delta in ExploreStats::proviso_fallbacks.
   [[nodiscard]] virtual std::uint64_t proviso_fallbacks() const { return 0; }
+
+  // Whether the engine must run the SCC-based ignoring fix as a post-pass
+  // over the interned state graph (engine::ExpansionCore::
+  // run_scc_ignoring_pass): the strategy then applies no in-search cycle
+  // proviso and relies on the pass to re-expand one state per ignored SCC.
+  // Implies needs_dfs_stack() == false and forces an interned visited set.
+  [[nodiscard]] virtual bool wants_scc_ignoring_pass() const { return false; }
 };
 
 // The unreduced baseline: explore every enabled event.

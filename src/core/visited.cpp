@@ -126,7 +126,7 @@ std::uint64_t ShardedVisited::arena_alloc(Shard& sh) {
 ShardedVisited::TryInsert ShardedVisited::try_insert(
     Shard& sh, std::size_t shard_idx, Table& t, const State& s,
     std::uint64_t key, std::uint64_t fp_val, StateHandle parent,
-    const Event* via, VisitedInsert& out) {
+    const Event* via, std::uint32_t perm, VisitedInsert& out) {
   const std::size_t mask = t.mask;
   std::size_t i = static_cast<std::size_t>(key) & mask;
   // Every slot this probe visits resolves to published-or-frozen before we
@@ -165,6 +165,7 @@ ShardedVisited::TryInsert ShardedVisited::try_insert(
             n->s = s;
             if (via != nullptr) n->in_event = *via;
             n->parent = parent;
+            n->perm = perm;
             slot.val.store(index + 1, std::memory_order_release);
             out = {true, make_handle(shard_idx, index)};
           }
@@ -243,7 +244,8 @@ void ShardedVisited::grow(Shard& sh, Table* old) {
 }
 
 VisitedInsert ShardedVisited::insert(const State& s, const Fingerprint& fp,
-                                     StateHandle parent, const Event* via) {
+                                     StateHandle parent, const Event* via,
+                                     std::uint32_t perm) {
   const std::size_t shard_idx = fp.hi & (shards_.size() - 1);
   Shard& sh = shards_[shard_idx];
   const std::uint64_t key = fp.lo;
@@ -253,7 +255,7 @@ VisitedInsert ShardedVisited::insert(const State& s, const Fingerprint& fp,
   for (;;) {
     Table* t = sh.table.load(std::memory_order_acquire);
     const TryInsert r =
-        try_insert(sh, shard_idx, *t, s, key, fp_val, parent, via, out);
+        try_insert(sh, shard_idx, *t, s, key, fp_val, parent, via, perm, out);
     if (r == TryInsert::kDone) break;
     if (r == TryInsert::kTableFull) {
       // A claim burst outran the grow threshold and filled the table before
@@ -341,6 +343,11 @@ const State* ShardedVisited::state_at(StateHandle h) const {
 StateHandle ShardedVisited::parent_of(StateHandle h) const {
   const Node* n = node_at(h);
   return n != nullptr ? n->parent : kNoHandle;
+}
+
+std::uint32_t ShardedVisited::perm_of(StateHandle h) const {
+  const Node* n = node_at(h);
+  return n != nullptr ? n->perm : 0;
 }
 
 }  // namespace mpb

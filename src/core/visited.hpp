@@ -90,14 +90,17 @@ class ShardedVisited {
   ShardedVisited(const ShardedVisited&) = delete;
   ShardedVisited& operator=(const ShardedVisited&) = delete;
 
-  // Inserts `s` (whose fingerprint is `fp`), recording `parent` and `*via`
-  // (the event that produced `s` from the parent entry) when the entry is
-  // new. `via` may be null for the root. Returns whether the state was new
-  // and, in interned mode, the handle of its (new or pre-existing) entry.
+  // Inserts `s` (whose fingerprint is `fp`), recording `parent`, `*via`
+  // (the event that produced `s` from the parent entry) and `perm` (the
+  // index of the symmetry permutation that mapped the concrete successor
+  // onto the stored canonical state; 0 = identity) when the entry is new.
+  // `via` may be null for the root. Returns whether the state was new and,
+  // in interned mode, the handle of its (new or pre-existing) entry.
   // Thread-safe and lock-free (a racing table growth can briefly make an
   // insert wait for the migrated table).
   VisitedInsert insert(const State& s, const Fingerprint& fp,
-                       StateHandle parent, const Event* via);
+                       StateHandle parent, const Event* via,
+                       std::uint32_t perm = 0);
   bool insert(const State& s, const Fingerprint& fp) {
     return insert(s, fp, kNoHandle, nullptr).inserted;
   }
@@ -117,6 +120,11 @@ class ShardedVisited {
   // published), or nullptr for kNoHandle / non-interned modes.
   [[nodiscard]] const State* state_at(StateHandle h) const;
   [[nodiscard]] StateHandle parent_of(StateHandle h) const;
+  // The symmetry permutation recorded at insert time: the index (into the
+  // reducer's permutation table) that maps the concrete state which first
+  // reached this entry onto the stored canonical representative. 0 for
+  // identity / no symmetry / unknown handles.
+  [[nodiscard]] std::uint32_t perm_of(StateHandle h) const;
 
   [[nodiscard]] std::uint64_t size() const noexcept {
     return total_.load(std::memory_order_relaxed);
@@ -158,6 +166,8 @@ class ShardedVisited {
     State s;
     Event in_event;
     StateHandle parent = kNoHandle;
+    // Symmetry permutation applied by the canonicalizer (0 = identity).
+    std::uint32_t perm = 0;
   };
 
   // Lock-free chunked arena: chunk c holds kArenaFirstChunk << c nodes, so a
@@ -188,7 +198,7 @@ class ShardedVisited {
   enum class TryInsert { kDone, kRetryFrozen, kTableFull };
   TryInsert try_insert(Shard& sh, std::size_t shard_idx, Table& t,
                        const State& s, std::uint64_t key, std::uint64_t fp_val,
-                       StateHandle parent, const Event* via,
+                       StateHandle parent, const Event* via, std::uint32_t perm,
                        VisitedInsert& out);
   void grow(Shard& sh, Table* old);
 

@@ -20,6 +20,8 @@ BenchRecord make_record(std::string name, std::string strategy,
   rec.events_executed = r.stats.events_executed;
   rec.full_hash_passes = r.stats.full_hash_passes;
   rec.hash_queries = r.stats.hash_queries;
+  rec.proviso_fallbacks = r.stats.proviso_fallbacks;
+  rec.scc_reexpansions = r.stats.scc_reexpansions;
   rec.seconds = r.stats.seconds;
   const double secs = r.stats.seconds > 0.0 ? r.stats.seconds : 1e-9;
   rec.states_per_sec = static_cast<double>(r.stats.states_stored) / secs;
@@ -63,7 +65,9 @@ bool write_bench_json(const std::string& path,
        << "     \"states_stored\": " << r.states_stored
        << ", \"events_executed\": " << r.events_executed
        << ", \"full_hash_passes\": " << r.full_hash_passes
-       << ", \"hash_queries\": " << r.hash_queries << ",\n"
+       << ", \"hash_queries\": " << r.hash_queries
+       << ", \"proviso_fallbacks\": " << r.proviso_fallbacks
+       << ", \"scc_reexpansions\": " << r.scc_reexpansions << ",\n"
        << "     \"seconds\": " << r.seconds
        << ", \"states_per_sec\": " << r.states_per_sec
        << ", \"events_per_sec\": " << r.events_per_sec

@@ -32,6 +32,11 @@ struct BenchRecord {
   std::uint64_t events_executed = 0;
   std::uint64_t full_hash_passes = 0;
   std::uint64_t hash_queries = 0;
+  // Reduction-quality counters (SPOR runs; 0 otherwise): candidate sets the
+  // cycle proviso rejected, and states the SCC ignoring fix re-expanded.
+  // tools/bench_compare.py gates increases like throughput regressions.
+  std::uint64_t proviso_fallbacks = 0;
+  std::uint64_t scc_reexpansions = 0;
   double seconds = 0.0;
   double states_per_sec = 0.0;
   double events_per_sec = 0.0;

@@ -50,9 +50,18 @@ ExploreConfig budget_from_env() {
   if (const char* s = std::getenv("MPB_PROGRESS");
       s != nullptr && std::string_view(s) != "0") {
     cfg.progress_every_events = 1u << 14;
-    cfg.on_progress = make_progress_logger();
+    cfg.on_progress = make_progress_logger(progress_interval_from_env());
   }
   return cfg;
+}
+
+double progress_interval_from_env() {
+  if (const char* s = std::getenv("MPB_PROGRESS_INTERVAL")) {
+    char* end = nullptr;
+    const double ms = std::strtod(s, &end);
+    if (end != s) return std::clamp(ms, 0.0, 600'000.0) / 1000.0;
+  }
+  return 0.5;
 }
 
 std::optional<VisitedMode> visited_mode_from_env() {

@@ -42,8 +42,15 @@ struct RunSpec {
 //   MPB_VISITED        exact | fingerprint | interned (default fingerprint)
 //   MPB_PROGRESS       any value but "0": attach the rate-limited progress
 //                      logger below to on_progress (off by default)
+//   MPB_PROGRESS_INTERVAL  minimum milliseconds between progress lines
+//                      (default 500; also read by mpbcheck, whose
+//                      --progress-interval flag overrides it)
 // mirroring the paper's 48-hour time-out discipline at laptop scale.
 [[nodiscard]] ExploreConfig budget_from_env();
+
+// The MPB_PROGRESS_INTERVAL knob in *seconds*, clamped to [0, 600]; the
+// default logger interval (0.5 s) when unset or unparsable.
+[[nodiscard]] double progress_interval_from_env();
 
 // The MPB_VISITED knob, parsed; nullopt when unset or invalid. The single
 // reader of that variable — budget_from_env applies it, and front ends use

@@ -18,6 +18,7 @@ std::string_view to_string(CycleProviso p) noexcept {
     case CycleProviso::kAuto: return "auto";
     case CycleProviso::kStack: return "stack";
     case CycleProviso::kVisited: return "visited";
+    case CycleProviso::kScc: return "scc";
     case CycleProviso::kOff: return "off";
   }
   return "?";
@@ -199,7 +200,16 @@ std::vector<std::size_t> SporStrategy::select(const State& s,
                : ctx.in_visited ? CycleProviso::kVisited
                                 : CycleProviso::kOff)
             : opts_.proviso;
-    if (proviso != CycleProviso::kOff) {
+    // kScc applies no in-search proviso: the engine's SCC ignoring fix
+    // repairs the ignoring problem after the search (engine.hpp). That pass
+    // only runs over a stateful interned graph — exactly the searches that
+    // supply a visited probe — so when `in_visited` is absent (a stateless
+    // search) kScc must NOT silently drop the proviso: it degrades below to
+    // the sound fallback (the absent probe "always closes", forcing full
+    // expansion), like any proviso whose oracle the search cannot supply.
+    const bool scc_deferred =
+        proviso == CycleProviso::kScc && static_cast<bool>(ctx.in_visited);
+    if (proviso != CycleProviso::kOff && !scc_deferred) {
       const std::function<bool(const State&)>& probe =
           proviso == CycleProviso::kStack ? ctx.on_stack : ctx.in_visited;
       // A requested proviso whose probe the search cannot supply degrades to

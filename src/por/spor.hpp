@@ -23,7 +23,12 @@
 //      *visited-set* proviso — no chosen successor may land on an
 //      already-inserted state (see spor.cpp for the proof of why the visited
 //      set must reject *closed* states too). The visited-set proviso needs
-//      no DFS stack, so SPOR runs on the parallel worker pool with it.
+//      no DFS stack, so SPOR runs on the parallel worker pool with it. A
+//      third discharge defers the problem entirely: under CycleProviso::kScc
+//      the search applies no in-search cycle proviso and the engine repairs
+//      ignoring afterwards by re-expanding one state per ignored SCC of the
+//      interned graph (core/engine.hpp), trading a cheap post-pass for the
+//      reduction the visited probe loses to cross edges.
 //      A seed whose set fails a proviso or yields no reduction is abandoned
 //      and the next-best seed is tried; full expansion is the sound fallback.
 //
@@ -53,6 +58,11 @@ enum class CycleProviso {
   kAuto,     // stack when a DFS stack is available, visited-set otherwise
   kStack,    // classic DFS-stack proviso; sequential searches only
   kVisited,  // visited-set proviso; parallel-safe (see spor.cpp for soundness)
+  kScc,      // no in-search proviso; the engine's SCC-based ignoring fix
+             // re-expands one state per ignored SCC as a post-pass over the
+             // interned state graph (engine::ExpansionCore). Parallel-safe,
+             // and recovers the reduction the visited probe loses to cross
+             // edges; forces an interned visited set.
   kOff,      // no cycle proviso (unsound on cyclic graphs; ablations only)
 };
 
@@ -90,6 +100,12 @@ class SporStrategy final : public ReductionStrategy {
   // configuration can be driven by the parallel worker pool.
   [[nodiscard]] bool needs_dfs_stack() const override {
     return opts_.proviso == CycleProviso::kStack;
+  }
+
+  // The scc proviso applies no in-search cycle proviso and relies on the
+  // engine's post-pass (see CycleProviso::kScc).
+  [[nodiscard]] bool wants_scc_ignoring_pass() const override {
+    return opts_.proviso == CycleProviso::kScc;
   }
 
   [[nodiscard]] std::uint64_t proviso_fallbacks() const override {

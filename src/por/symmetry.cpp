@@ -94,35 +94,64 @@ SymmetryReducer::SymmetryReducer(const Protocol& proto,
   n_permutations_ = perms_.size();
 }
 
-State SymmetryReducer::canonicalize(const State& s) const {
+namespace {
+
+// Apply a full process map to a state: process p's local slice moves to slot
+// perm[p] (symmetric processes share a schema, so offsets line up) and
+// message endpoints are renamed; payloads must be identity-free (see header).
+State apply_process_map(const Protocol& proto, const std::vector<ProcessId>& perm,
+                        const State& s) {
+  std::vector<Value> locals(s.locals().size());
+  for (ProcessId p = 0; p < proto.n_procs(); ++p) {
+    const ProcessInfo& src = proto.proc(p);
+    const ProcessInfo& dst = proto.proc(perm[p]);
+    auto slice = s.local_slice(src.local_offset, src.local_len);
+    std::copy(slice.begin(), slice.end(),
+              locals.begin() + static_cast<std::ptrdiff_t>(dst.local_offset));
+  }
+  std::vector<Message> net;
+  net.reserve(s.network().size());
+  for (const Message& m : s.network()) {
+    net.push_back(m.with_endpoints(perm[m.sender()], perm[m.receiver()]));
+  }
+  return State(std::move(locals), std::move(net));
+}
+
+}  // namespace
+
+State SymmetryReducer::apply_perm(std::uint32_t k, const State& s) const {
+  if (k == 0 || k >= perms_.size()) return s;
+  return apply_process_map(proto_, perms_[k], s);
+}
+
+State SymmetryReducer::apply_inverse_perm(std::uint32_t k, const State& s) const {
+  if (k == 0 || k >= perms_.size()) return s;
+  const auto& perm = perms_[k];
+  std::vector<ProcessId> inv(perm.size());
+  for (ProcessId p = 0; p < static_cast<ProcessId>(perm.size()); ++p) {
+    inv[perm[p]] = p;
+  }
+  return apply_process_map(proto_, inv, s);
+}
+
+State SymmetryReducer::canonicalize_with_perm(const State& s,
+                                              std::uint32_t* perm_idx) const {
+  if (perm_idx != nullptr) *perm_idx = 0;
   if (perms_.size() <= 1) return s;
 
   State best = s;
   for (std::size_t k = 1; k < perms_.size(); ++k) {
-    const auto& perm = perms_[k];
-
-    // Permute locals: process p's slice moves to slot perm[p]. Symmetric
-    // processes share a schema, so offsets line up.
-    std::vector<Value> locals(s.locals().size());
-    for (ProcessId p = 0; p < proto_.n_procs(); ++p) {
-      const ProcessInfo& src = proto_.proc(p);
-      const ProcessInfo& dst = proto_.proc(perm[p]);
-      auto slice = s.local_slice(src.local_offset, src.local_len);
-      std::copy(slice.begin(), slice.end(),
-                locals.begin() + static_cast<std::ptrdiff_t>(dst.local_offset));
+    State candidate = apply_perm(static_cast<std::uint32_t>(k), s);
+    if (candidate < best) {
+      best = std::move(candidate);
+      if (perm_idx != nullptr) *perm_idx = static_cast<std::uint32_t>(k);
     }
-
-    // Permute message endpoints; payloads must be identity-free (see header).
-    std::vector<Message> net;
-    net.reserve(s.network().size());
-    for (const Message& m : s.network()) {
-      net.push_back(m.with_endpoints(perm[m.sender()], perm[m.receiver()]));
-    }
-
-    State candidate(std::move(locals), std::move(net));
-    if (candidate < best) best = std::move(candidate);
   }
   return best;
+}
+
+State SymmetryReducer::canonicalize(const State& s) const {
+  return canonicalize_with_perm(s, nullptr);
 }
 
 std::vector<std::vector<ProcessId>> SymmetryReducer::detect_roles(

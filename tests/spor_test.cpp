@@ -192,6 +192,7 @@ TEST(Spor, ProvisoNames) {
   EXPECT_EQ(to_string(CycleProviso::kAuto), "auto");
   EXPECT_EQ(to_string(CycleProviso::kStack), "stack");
   EXPECT_EQ(to_string(CycleProviso::kVisited), "visited");
+  EXPECT_EQ(to_string(CycleProviso::kScc), "scc");
   EXPECT_EQ(to_string(CycleProviso::kOff), "off");
 }
 

@@ -4,7 +4,7 @@ scaling (tN vs t1 speedup) regressions.
 
 Usage:
     bench_compare.py NEW.json [OLD.json] [--threshold 0.15]
-                     [--scaling-threshold 0.25]
+                     [--scaling-threshold 0.25] [--reduction-threshold 0.25]
 
 NEW.json is the freshly produced bench file (see the `bench-json` cmake
 target, bench/explore_throughput, or tools/run_bench.sh).  Without OLD.json
@@ -25,6 +25,13 @@ When OLD.json is given, two checks run and either can fail the script:
     quarter of one core) is a scaling regression.  This is what catches "t8
     still verifies but no longer scales" even when raw throughput moved
     within the noise threshold.
+
+Reduced (spor) records additionally gate on *reduction quality*: a relative
+increase in states_stored, proviso_fallbacks or scc_reexpansions beyond
+--reduction-threshold (default 25%, with a small absolute floor so tiny
+counters don't flap) fails the script just like a throughput regression —
+a POR change that silently loses reduction is caught even when raw
+throughput is unchanged.  Counters missing from an old baseline are skipped.
 """
 
 import argparse
@@ -83,6 +90,33 @@ def fmt_rate(rate):
     return f"{rate:,.0f}/s"
 
 
+# (metric, absolute floor below which deltas are noise, not regressions)
+REDUCTION_METRICS = (("states_stored", 64),
+                     ("proviso_fallbacks", 16),
+                     ("scc_reexpansions", 16))
+
+
+def reduction_regressions(new, old, threshold):
+    """Relative *increases* of the reduction-quality counters of reduced
+    records present in both files; [(key, metric, old, new, delta), ...]."""
+    out = []
+    for key, r in new.items():
+        if r.get("strategy") == "full" or key not in old:
+            continue
+        o = old[key]
+        for metric, floor in REDUCTION_METRICS:
+            if metric not in r or metric not in o:
+                continue  # old baselines predate the counter: skip
+            nv, ov = r[metric], o[metric]
+            if max(nv, ov) < floor:
+                continue
+            base = ov if ov > 0 else floor
+            delta = (nv - ov) / base
+            if delta > threshold:
+                out.append((key, metric, ov, nv, delta))
+    return out
+
+
 def print_speedup_table(new_speedups, old_speedups=None, threshold=None):
     """Render the per-workload scaling table; returns the list of scaling
     regressions (empty when old_speedups is None)."""
@@ -125,6 +159,10 @@ def main():
                     help="allowed fractional states/sec drop (default 0.15)")
     ap.add_argument("--scaling-threshold", type=float, default=0.25,
                     help="allowed absolute tN/t1 speedup drop (default 0.25)")
+    ap.add_argument("--reduction-threshold", type=float, default=0.25,
+                    help="allowed relative increase of states_stored / "
+                         "proviso_fallbacks / scc_reexpansions on reduced "
+                         "records (default 0.25)")
     args = ap.parse_args()
 
     new = load(args.new)
@@ -132,11 +170,14 @@ def main():
 
     if args.old is None:
         print(f"{'workload':<{width}}  {'verdict':>8}  {'states':>12}  "
-              f"{'states/s':>14}  {'events/s':>14}  {'rss_kb':>10}")
+              f"{'states/s':>14}  {'events/s':>14}  {'fallbk':>8}  "
+              f"{'sccre':>6}  {'rss_kb':>10}")
         for name, r in new.items():
             print(f"{name:<{width}}  {r['verdict']:>8}  {r['states_stored']:>12,}  "
                   f"{fmt_rate(r['states_per_sec']):>14}  "
-                  f"{fmt_rate(r['events_per_sec']):>14}  {r['peak_rss_kb']:>10,}")
+                  f"{fmt_rate(r['events_per_sec']):>14}  "
+                  f"{r.get('proviso_fallbacks', 0):>8,}  "
+                  f"{r.get('scc_reexpansions', 0):>6,}  {r['peak_rss_kb']:>10,}")
         print_speedup_table(speedups(new))
         return 0
 
@@ -158,6 +199,7 @@ def main():
 
     scaling_regressions = print_speedup_table(
         speedups(new), speedups(old), args.scaling_threshold)
+    red_regressions = reduction_regressions(new, old, args.reduction_threshold)
 
     failed = False
     if regressions:
@@ -171,6 +213,13 @@ def main():
         print(f"{len(scaling_regressions)} scaling regression(s) beyond "
               f"-{args.scaling_threshold:.2f} absolute speedup",
               file=sys.stderr)
+        failed = True
+    if red_regressions:
+        for key, metric, ov, nv, delta in red_regressions:
+            print(f"reduction regression: {key} {metric} {ov:,} -> {nv:,} "
+                  f"({delta:+.0%})", file=sys.stderr)
+        print(f"{len(red_regressions)} reduction regression(s) beyond "
+              f"+{args.reduction_threshold:.0%}", file=sys.stderr)
         failed = True
     if failed:
         return 1

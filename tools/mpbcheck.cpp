@@ -18,11 +18,14 @@
 //   --symmetry                role-based symmetry reduction
 //   --no-net                  plain LPOR NES (disable state-dependent NES)
 //   --exhaustive-seed         minimize the stubborn set over all seeds
-//   --proviso P               auto | stack | visited | off SPOR cycle proviso
+//   --proviso P               auto | stack | visited | scc | off  SPOR cycle
+//                             proviso (scc: no in-search proviso, SCC-based
+//                             ignoring fix over the interned graph)
 //   --threads N               worker threads (stateful strategies: full, spor)
 //   --visited V               exact | fingerprint | interned
 //   --max-states N / --max-seconds S      per-run budgets
 //   --progress                rate-limited progress lines on stderr
+//   --progress-interval MS    progress line rate limit (implies --progress)
 //   --trace                   print the counterexample (if any)
 //   --quiet                   only the verdict line
 #include <algorithm>
@@ -48,14 +51,18 @@ constexpr std::string_view kEngineHelp =
   --symmetry          role-based symmetry reduction
   --no-net            plain LPOR NES (disable state-dependent NES)
   --exhaustive-seed   minimize the stubborn set over all seeds
-  --proviso P         auto | stack | visited | off SPOR cycle proviso
-                      (auto: stack sequentially, visited with --threads > 1)
+  --proviso P         auto | stack | visited | scc | off  SPOR cycle proviso
+                      (auto: stack sequentially, visited with --threads > 1;
+                      scc: no in-search proviso, the SCC ignoring fix
+                      re-expands one state per ignored SCC afterwards)
   --threads N         worker threads (stateful strategies: full and spor)
   --visited V         exact | fingerprint | interned visited-set storage
   --max-states N      state budget   (default 3,000,000 or MPB_BUDGET_STATES)
   --max-seconds S     time budget    (default 120 or MPB_BUDGET_SECONDS)
   --repeat N          run N times, report the fastest (default 1 or MPB_REPEAT)
   --progress          rate-limited progress lines on stderr (or MPB_PROGRESS)
+  --progress-interval MS   min milliseconds between progress lines (implies
+                      --progress; default 500 or MPB_PROGRESS_INTERVAL)
   --trace             print the counterexample, if any
   --quiet             only the verdict line
 )";
@@ -113,6 +120,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool quiet = false;
   bool progress = false;
+  double progress_interval_s = harness::progress_interval_from_env();
   // A mode chosen by the user — the --visited flag or a valid MPB_VISITED
   // env value (already applied by budget_from_env) — is never overridden.
   bool visited_explicit = harness::visited_mode_from_env().has_value();
@@ -135,6 +143,11 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--progress-interval") {
+      progress = true;
+      progress_interval_s =
+          static_cast<double>(std::clamp(parse_long(arg, next()), 0L, 600000L)) /
+          1000.0;
     } else if (arg == "--symmetry") {
       req.symmetry = true;
     } else if (arg == "--no-net") {
@@ -160,7 +173,7 @@ int main(int argc, char** argv) {
         req.spor.proviso = *p;
       } else {
         std::cerr << "mpbcheck: unknown cycle proviso '" << name
-                  << "'; known: auto stack visited off\n";
+                  << "'; known: auto stack visited scc off\n";
         return 2;
       }
     } else if (arg == "--visited") {
@@ -217,9 +230,12 @@ int main(int argc, char** argv) {
 
   // Parallel trace reconstruction walks the interned state graph, which the
   // default (memory-flat fingerprint) visited mode does not record. Honour an
-  // explicit --visited choice; otherwise upgrade so --trace just works. Only
-  // the stateful strategies run on the pool — dpor/stateless reconstruct
-  // traces from their sequential DFS stack whatever the visited mode.
+  // explicit --visited choice; otherwise upgrade so --trace just works
+  // (including under --symmetry: entries record the canonicalizing
+  // permutation and the frontier carries concrete states, so the chain
+  // replays concretely). Only the stateful strategies run on the pool —
+  // dpor/stateless reconstruct traces from their sequential DFS stack
+  // whatever the visited mode.
   if (trace && req.explore.threads > 1 && !visited_explicit &&
       (req.strategy == "full" || req.strategy == "spor") &&
       req.explore.visited == VisitedMode::kFingerprint) {
@@ -232,7 +248,7 @@ int main(int argc, char** argv) {
 
   if (progress) {
     req.explore.progress_every_events = 1u << 14;
-    req.explore.on_progress = harness::make_progress_logger();
+    req.explore.on_progress = harness::make_progress_logger(progress_interval_s);
   }
 
   try {
@@ -259,6 +275,9 @@ int main(int argc, char** argv) {
     if (r.threads > 1) std::cout << "  threads=" << r.threads;
     if (r.repeats > 1) std::cout << "  best-of=" << r.repeats;
     if (r.proviso != "-") std::cout << "  proviso=" << r.proviso;
+    if (r.proviso == "scc") {
+      std::cout << "  scc-reexp=" << r.stats().scc_reexpansions;
+    }
     if (r.verdict() == Verdict::kViolated) {
       std::cout << "  property=" << r.result.violated_property;
     }
@@ -275,9 +294,8 @@ int main(int argc, char** argv) {
         print_state(std::cout, r.protocol, r.protocol.initial());
       } else if (r.result.counterexample.empty()) {
         std::cout << "(no trace: this run recorded no replayable path — the "
-                     "fingerprint visited mode stores no states and symmetry "
-                     "canonicalization breaks parallel replay; rerun with "
-                     "--visited interned, or with --threads 1)\n";
+                     "fingerprint visited mode stores no state graph; rerun "
+                     "with --visited interned, or with --threads 1)\n";
       } else {
         print_counterexample(std::cout, r.protocol, r.result);
         std::cout << "replay: "

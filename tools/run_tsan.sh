@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command ThreadSanitizer lane: configure + build the TSan tree
-# (build-tsan/, see CMakePresets.json) and run the `parallel`-labeled ctest
-# slice — the worker-pool explorer, parallel SPOR and parallel trace tests.
+# (build-tsan/, see CMakePresets.json) and run the `parallel` + `engine`
+# labeled ctest slices — the worker-pool explorer, parallel SPOR, parallel
+# trace, unified-engine driver and steal-half batching tests.
 #
 # Usage: tools/run_tsan.sh [extra ctest args...]
 set -euo pipefail
