@@ -188,8 +188,12 @@ CheckResult Checker::run() {
   // truncate (early, hence fast) while another completes.
   const unsigned repeats = std::max(req_.repeat, 1u);
   const auto better = [](const ExploreResult& a, const ExploreResult& b) {
-    const bool a_cut = a.verdict == Verdict::kBudgetExceeded;
-    const bool b_cut = b.verdict == Verdict::kBudgetExceeded;
+    const auto cut = [](const ExploreResult& r) {
+      return r.verdict == Verdict::kBudgetExceeded ||
+             r.verdict == Verdict::kResourceLimit;
+    };
+    const bool a_cut = cut(a);
+    const bool b_cut = cut(b);
     if (a_cut != b_cut) return !a_cut;
     return a.stats.seconds < b.stats.seconds;
   };

@@ -129,10 +129,9 @@ std::size_t ExpansionCore::select(const State& s, WorkerCtx& w, ExploreStats& st
 // recovered by inverting the recorded permutation (cfg.decanonicalize,
 // installed by the check facade next to canonicalize_perm) — the reason the
 // permutation is stored at all.
-void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
-                                          std::vector<Fingerprint>& terminals,
-                                          bool collect_terminals,
-                                          const std::function<bool()>& over_time) {
+void ExpansionCore::run_scc_ignoring_pass(
+    ExploreResult& result, std::vector<Fingerprint>& terminals,
+    bool collect_terminals, const std::function<LimitKind()>& over_time) {
   if (!scc_enabled_) return;
   WorkerCtx& w = *workers_[0];
   const ShardedVisited& graph = visited_.graph();
@@ -173,7 +172,7 @@ void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
     return *sp;
   };
 
-  bool truncated = false;
+  LimitKind trunc = LimitKind::kNone;
   bool stop = false;
 
   // Record a violation found along a repaired branch. `h` is the interned
@@ -212,7 +211,7 @@ void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
   // Expand the states queued in `work` (representatives fully, fallout with
   // the normal reduced selection), recording edges and full marks.
   auto drain_work = [&]() {
-    while (!work.empty() && !stop && !truncated) {
+    while (!work.empty() && !stop && trunc == LimitKind::kNone) {
       const PassWork pw = work.back();
       work.pop_back();
       Item* cur = w.alloc();
@@ -244,10 +243,16 @@ void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
         Item* succ = w.alloc();
         execute_into(proto_, cur->s, e, exec_opts_, &w.failed, succ->s);
         ++result.stats.events_executed;
-        if (result.stats.events_executed > cfg_.max_events ||
-            (result.stats.events_executed % 1024 == 0 && over_time &&
-             over_time())) {
-          truncated = true;
+        LimitKind lk = LimitKind::kNone;
+        if (result.stats.events_executed % 1024 == 0 && over_time) {
+          lk = over_time();
+        }
+        if (lk == LimitKind::kNone &&
+            result.stats.events_executed > cfg_.max_events) {
+          lk = LimitKind::kBudget;
+        }
+        if (lk != LimitKind::kNone) {
+          trunc = lk;
           w.release(succ);
           break;
         }
@@ -266,8 +271,17 @@ void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
           edges.push_back({pw.h, ins.handle});
         }
         if (ins.inserted) {
-          if (visited_.size() > cfg_.max_states) {
-            truncated = true;
+          const std::uint64_t stored = visited_.size();
+          LimitKind slk = LimitKind::kNone;
+          if ((cfg_.guard.max_states != 0 && stored > cfg_.guard.max_states) ||
+              (cfg_.guard.max_memory_bytes != 0 &&
+               visited_.approx_bytes() > cfg_.guard.max_memory_bytes)) {
+            slk = LimitKind::kResource;
+          } else if (stored > cfg_.max_states) {
+            slk = LimitKind::kBudget;
+          }
+          if (slk != LimitKind::kNone) {
+            trunc = slk;
             w.release(succ);
             break;
           }
@@ -286,10 +300,13 @@ void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
   };
 
   // Fixpoint: Tarjan, repair every ignored SCC, explore the fallout, repeat.
-  while (!stop && !truncated) {
-    if (over_time && over_time()) {
-      truncated = true;
-      break;
+  while (!stop && trunc == LimitKind::kNone) {
+    if (over_time) {
+      const LimitKind lk = over_time();
+      if (lk != LimitKind::kNone) {
+        trunc = lk;
+        break;
+      }
     }
     const std::size_t n = handle_of.size();
     if (n == 0) break;
@@ -381,8 +398,8 @@ void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
     drain_work();
   }
 
-  if (truncated && result.verdict != Verdict::kViolated) {
-    result.verdict = Verdict::kBudgetExceeded;
+  if (trunc != LimitKind::kNone && result.verdict != Verdict::kViolated) {
+    result.verdict = verdict_of(trunc);
   }
 }
 
@@ -391,20 +408,21 @@ void ExpansionCore::run_scc_ignoring_pass(ExploreResult& result,
 SequentialDriver::SequentialDriver(const Protocol& proto,
                                    const ExploreConfig& cfg,
                                    ReductionStrategy* strategy)
-    : core_(proto, cfg, strategy, cfg.visited, /*n_workers=*/1),
+    : drv_(proto, cfg, strategy, cfg.visited,
+           /*stateful=*/cfg.mode == SearchMode::kStateful),
       proto_(proto),
       cfg_(cfg),
       stateful_(cfg.mode == SearchMode::kStateful) {}
 
 ExploreResult SequentialDriver::run() {
-  start_ = std::chrono::steady_clock::now();
-  core_.begin_run();
-  WorkerCtx& w = core_.worker(0);
+  drv_.start();
+  ExpansionCore& core = drv_.core();
+  WorkerCtx& w = drv_.worker();
+  ExploreResult& result = drv_.result();
 
   State init = proto_.initial();
-  if (check_violation(init)) {
-    finish();
-    return std::move(result_);
+  if (drv_.check_violation(init)) {
+    return drv_.finish();
   }
   Item* root = w.alloc();
   root->s = std::move(init);
@@ -412,7 +430,7 @@ ExploreResult SequentialDriver::run() {
   if (stateful_) {
     Fingerprint canon_fp;
     const VisitedInsert ins =
-        core_.insert_canonical(root->s, kNoHandle, nullptr, &canon_fp);
+        core.insert_canonical(root->s, kNoHandle, nullptr, &canon_fp);
     root->canon_fp = canon_fp;
     root->handle = ins.handle;
     push_frame(root, &canon_fp);
@@ -420,9 +438,9 @@ ExploreResult SequentialDriver::run() {
     push_frame(root, nullptr);
   }
 
-  while (depth_ > 0 && !done_) {
-    if (over_budget()) {
-      truncated_ = true;
+  while (depth_ > 0 && !drv_.done()) {
+    if (const LimitKind lk = drv_.over_limit(); lk != LimitKind::kNone) {
+      drv_.mark_truncated(lk);
       break;
     }
     Frame& f = frames_[depth_ - 1];
@@ -435,13 +453,11 @@ ExploreResult SequentialDriver::run() {
     }
     const Event& e = f.chosen[f.next++];
     Item* succ = w.alloc();
-    execute_into(proto_, f.item->s, e, core_.exec_opts(), &w.failed, succ->s);
-    ++result_.stats.events_executed;
-    maybe_progress();
+    execute_into(proto_, f.item->s, e, drv_.exec_opts(), &w.failed, succ->s);
+    ++result.stats.events_executed;
+    drv_.maybe_progress(depth_);
     if (!w.failed.empty()) {
-      result_.verdict = Verdict::kViolated;
-      result_.violated_property = w.failed;
-      if (cfg_.on_violation) cfg_.on_violation(w.failed);
+      drv_.record_assertion(w.failed);
       record_counterexample(e);
       if (cfg_.stop_at_first_violation) {
         w.release(succ);
@@ -456,8 +472,8 @@ ExploreResult SequentialDriver::run() {
       // (in push_frame) the terminal fingerprint. The insert threads the
       // state graph: parent = the expanding frame's entry, via = the event.
       const VisitedInsert ins =
-          core_.insert_canonical(succ->s, f.item->handle, &e, &canon_fp);
-      core_.record_edge(w, f.item->handle, ins.handle);
+          core.insert_canonical(succ->s, f.item->handle, &e, &canon_fp);
+      core.record_edge(w, f.item->handle, ins.handle);
       if (!ins.inserted) {
         w.release(succ);
         continue;
@@ -471,14 +487,14 @@ ExploreResult SequentialDriver::run() {
         continue;
       }
       if (depth_ >= cfg_.max_depth) {
-        truncated_ = true;
+        drv_.mark_truncated(LimitKind::kBudget);
         w.release(succ);
         continue;
       }
       succ->handle = kNoHandle;
     }
 
-    if (check_violation(succ->s)) {
+    if (drv_.check_violation(succ->s)) {
       record_counterexample(e);
       w.release(succ);
       if (cfg_.stop_at_first_violation) break;
@@ -487,37 +503,38 @@ ExploreResult SequentialDriver::run() {
     push_frame(succ, canon_fp_ptr);
   }
 
-  if (core_.scc_pass_enabled() && result_.verdict == Verdict::kHolds &&
-      !truncated_) {
-    core_.run_scc_ignoring_pass(
-        result_, result_.terminal_fingerprints, cfg_.collect_terminals,
-        [this] { return elapsed() > cfg_.max_seconds; });
+  if (core.scc_pass_enabled() && result.verdict == Verdict::kHolds &&
+      !drv_.truncated()) {
+    core.run_scc_ignoring_pass(result, result.terminal_fingerprints,
+                               cfg_.collect_terminals,
+                               [this] { return drv_.time_limit_kind(); });
   }
-  finish();
-  return std::move(result_);
+  return drv_.finish();
 }
 
 void SequentialDriver::push_frame(Item* it, const Fingerprint* canon_fp) {
-  WorkerCtx& w = core_.worker(0);
-  ++result_.stats.states_visited;
-  result_.stats.max_depth_seen = std::max(
-      result_.stats.max_depth_seen, static_cast<unsigned>(depth_) + 1);
+  ExpansionCore& core = drv_.core();
+  WorkerCtx& w = drv_.worker();
+  ExploreResult& result = drv_.result();
+  ++result.stats.states_visited;
+  result.stats.max_depth_seen = std::max(
+      result.stats.max_depth_seen, static_cast<unsigned>(depth_) + 1);
 
   enumerate_events(proto_, it->s, w.enabled);
-  result_.stats.events_enabled += w.enabled.size();
+  result.stats.events_enabled += w.enabled.size();
   if (depth_ == frames_.size()) frames_.emplace_back();
   Frame& f = frames_[depth_++];
   f.item = it;
   f.next = 0;
 
   if (w.enabled.empty()) {
-    ++result_.stats.terminal_states;
+    ++result.stats.terminal_states;
     if (cfg_.collect_terminals) {
-      result_.terminal_fingerprints.push_back(
+      result.terminal_fingerprints.push_back(
           canon_fp != nullptr ? *canon_fp
-                              : core_.canonical_fingerprint(it->s));
+                              : core.canonical_fingerprint(it->s));
     }
-    core_.record_full(w, it->handle);  // a terminal is trivially full
+    core.record_full(w, it->handle);  // a terminal is trivially full
     f.n_chosen = 0;
     stack_set_.push(it->s);
     return;
@@ -527,8 +544,8 @@ void SequentialDriver::push_frame(Item* it, const Fingerprint* canon_fp) {
   const std::function<bool(const State&)> on_stack =
       [this](const State& s) { return stack_set_.contains(s); };
   const std::size_t k =
-      core_.select(it->s, w, result_.stats, on_stack, !stateful_, &reduced);
-  if (k == w.enabled.size()) core_.record_full(w, it->handle);
+      core.select(it->s, w, result.stats, on_stack, !stateful_, &reduced);
+  if (k == w.enabled.size()) core.record_full(w, it->handle);
   // Copy (not move) the chosen events into the recycled frame: assignment
   // reuses both the frame slots' and the scratch events' buffer capacity.
   if (f.chosen.size() < k) f.chosen.resize(k);
@@ -537,16 +554,6 @@ void SequentialDriver::push_frame(Item* it, const Fingerprint* canon_fp) {
   }
   f.n_chosen = k;
   stack_set_.push(it->s);
-}
-
-bool SequentialDriver::check_violation(const State& s) {
-  const Property* p = proto_.violated_property(s);
-  if (p == nullptr) return false;
-  result_.verdict = Verdict::kViolated;
-  result_.violated_property = p->name;
-  if (cfg_.on_violation) cfg_.on_violation(p->name);
-  if (cfg_.stop_at_first_violation) done_ = true;
-  return true;
 }
 
 // The DFS stack is the parent chain of the violating state: gather its event
@@ -560,47 +567,7 @@ void SequentialDriver::record_counterexample(const Event& last) {
     events.push_back(f.chosen[f.next - 1]);
   }
   events.push_back(last);
-  result_.counterexample = replay_trace(proto_, events, core_.exec_opts());
-}
-
-void SequentialDriver::maybe_progress() {
-  if (!cfg_.on_progress || cfg_.progress_every_events == 0) return;
-  if (result_.stats.events_executed % cfg_.progress_every_events != 0) return;
-  ExploreStats snap = result_.stats;
-  snap.states_stored =
-      stateful_ ? core_.visited().size() : snap.states_visited;
-  snap.frontier = depth_;
-  snap.seconds = elapsed();
-  cfg_.on_progress(snap);
-}
-
-bool SequentialDriver::over_budget() {
-  if (result_.stats.events_executed > cfg_.max_events) return true;
-  const std::uint64_t stored =
-      stateful_ ? core_.visited().size() : result_.stats.states_visited;
-  if (stored > cfg_.max_states) return true;
-  if (++budget_tick_ % 1024 == 0) {
-    if (elapsed() > cfg_.max_seconds) return true;
-  }
-  return false;
-}
-
-double SequentialDriver::elapsed() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-      .count();
-}
-
-void SequentialDriver::finish() {
-  result_.stats.seconds = elapsed();
-  result_.stats.states_stored =
-      stateful_ ? core_.visited().size() : result_.stats.states_visited;
-  core_.finish_stats(result_.stats);
-  if (result_.verdict != Verdict::kViolated && truncated_) {
-    result_.verdict = Verdict::kBudgetExceeded;
-  }
-  auto& tf = result_.terminal_fingerprints;
-  std::sort(tf.begin(), tf.end());
-  tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
+  drv_.record_counterexample(events);
 }
 
 // --- PoolDriver -------------------------------------------------------------
@@ -691,10 +658,12 @@ ExploreResult PoolDriver::run() {
     result_.counterexample = replay_trace(proto_, events, core_.exec_opts());
   }
 
+  const auto limit =
+      static_cast<LimitKind>(limit_.load(std::memory_order_relaxed));
   if (core_.scc_pass_enabled() && result_.verdict == Verdict::kHolds &&
-      !truncated_.load(std::memory_order_relaxed)) {
+      limit == LimitKind::kNone) {
     core_.run_scc_ignoring_pass(result_, tf, cfg_.collect_terminals,
-                                [this] { return over_time(); });
+                                [this] { return time_limit_kind(); });
   }
   std::sort(tf.begin(), tf.end());
   tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
@@ -705,9 +674,8 @@ ExploreResult PoolDriver::run() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   core_.finish_stats(result_.stats);
-  if (result_.verdict != Verdict::kViolated &&
-      truncated_.load(std::memory_order_relaxed)) {
-    result_.verdict = Verdict::kBudgetExceeded;
+  if (result_.verdict != Verdict::kViolated && limit != LimitKind::kNone) {
+    result_.verdict = verdict_of(limit);
   }
   return std::move(result_);
 }
@@ -729,7 +697,11 @@ void PoolDriver::worker(unsigned wid) {
     idle = 0;
     expand(*item, me, st, worker_terminals_[wid]);
     me.release(item);
-    if (++tick % 256 == 0 && over_time()) signal_truncated();
+    if (++tick % 256 == 0) {
+      if (const LimitKind lk = time_limit_kind(); lk != LimitKind::kNone) {
+        signal_limit(lk);
+      }
+    }
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       return;  // last in-flight item: the search is exhausted
     }
@@ -822,7 +794,7 @@ void PoolDriver::expand(Item& item, WorkerCtx& me, ExploreStats& st,
         events_budget_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (global_events > cfg_.max_events) {
       me.release(succ);
-      signal_truncated();
+      signal_limit(LimitKind::kBudget);
       return;
     }
     if (cfg_.on_progress && cfg_.progress_every_events != 0 &&
@@ -848,9 +820,9 @@ void PoolDriver::expand(Item& item, WorkerCtx& me, ExploreStats& st,
       me.release(succ);
       continue;
     }
-    if (core_.visited().size() > cfg_.max_states) {
+    if (const LimitKind lk = state_limit_kind(); lk != LimitKind::kNone) {
       me.release(succ);
-      signal_truncated();
+      signal_limit(lk);
       return;
     }
     if (const Property* p = proto_.violated_property(succ->s)) {
@@ -921,26 +893,50 @@ void PoolDriver::emit_progress(std::uint64_t global_events) {
   cfg_.on_progress(snap);
 }
 
-void PoolDriver::signal_truncated() {
-  truncated_.store(true, std::memory_order_relaxed);
+void PoolDriver::signal_limit(LimitKind k) {
+  std::uint8_t expected = 0;
+  limit_.compare_exchange_strong(expected, static_cast<std::uint8_t>(k),
+                                 std::memory_order_relaxed);
   stop();
 }
 
-bool PoolDriver::over_time() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start_)
-             .count() > cfg_.max_seconds;
+LimitKind PoolDriver::state_limit_kind() const {
+  const std::uint64_t stored = core_.visited().size();
+  if ((cfg_.guard.max_states != 0 && stored > cfg_.guard.max_states) ||
+      (cfg_.guard.max_memory_bytes != 0 &&
+       core_.visited().approx_bytes() > cfg_.guard.max_memory_bytes)) {
+    return LimitKind::kResource;
+  }
+  if (stored > cfg_.max_states) return LimitKind::kBudget;
+  return LimitKind::kNone;
+}
+
+LimitKind PoolDriver::time_limit_kind() const {
+  const double el = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  if (el > cfg_.guard.watchdog_seconds) return LimitKind::kResource;
+  if (el > cfg_.max_seconds) return LimitKind::kBudget;
+  return LimitKind::kNone;
 }
 
 // --- StackReplayDriver ------------------------------------------------------
 
 StackReplayDriver::StackReplayDriver(const Protocol& proto,
                                      const ExploreConfig& cfg)
-    // Stateless searches keep no visited set; the core still provides the
-    // Item pool, scratch buffers and stats bookkeeping.
-    : core_(proto, cfg, nullptr, VisitedMode::kFingerprint, /*n_workers=*/1),
+    // The DPOR form: stateless, so the core keeps no visited set — it still
+    // provides the Item pool, scratch buffers and stats bookkeeping.
+    : StackReplayDriver(proto, cfg, nullptr, VisitedMode::kFingerprint,
+                        /*stateful=*/false) {}
+
+StackReplayDriver::StackReplayDriver(const Protocol& proto,
+                                     const ExploreConfig& cfg,
+                                     ReductionStrategy* strategy,
+                                     VisitedMode visited_mode, bool stateful)
+    : core_(proto, cfg, strategy, visited_mode, /*n_workers=*/1),
       proto_(proto),
-      cfg_(cfg) {}
+      cfg_(cfg),
+      stateful_(stateful) {}
 
 void StackReplayDriver::start() {
   start_ = std::chrono::steady_clock::now();
@@ -963,22 +959,40 @@ void StackReplayDriver::record_assertion(const std::string& label) {
   if (cfg_.on_violation) cfg_.on_violation(label);
 }
 
-bool StackReplayDriver::over_budget(std::uint64_t frontier_states) {
-  if (result_.stats.events_executed > cfg_.max_events) return true;
-  if (frontier_states > cfg_.max_states) return true;
-  if (++budget_tick_ % 1024 == 0) {
-    if (elapsed() > cfg_.max_seconds) return true;
-  }
-  return false;
+// Stored-state count for budget/guard checks and stats: the visited set for
+// stateful riders, the visit counter for stateless ones (where every walked
+// node is "stored" only transiently on the stack).
+std::uint64_t StackReplayDriver::stored_states() const {
+  return stateful_ ? core_.visited().size() : result_.stats.states_visited;
 }
 
-// Same progress-hook contract as the stateful drivers; a stateless search
-// has no visited set, so states_stored mirrors states_visited.
+LimitKind StackReplayDriver::over_limit() {
+  const ResourceGuard& g = cfg_.guard;
+  const std::uint64_t stored = stored_states();
+  if (g.max_states != 0 && stored > g.max_states) return LimitKind::kResource;
+  if (g.max_memory_bytes != 0 &&
+      core_.visited().approx_bytes() > g.max_memory_bytes) {
+    return LimitKind::kResource;
+  }
+  if (result_.stats.events_executed > cfg_.max_events) return LimitKind::kBudget;
+  if (stored > cfg_.max_states) return LimitKind::kBudget;
+  if (++budget_tick_ % 1024 == 0) return time_limit_kind();
+  return LimitKind::kNone;
+}
+
+LimitKind StackReplayDriver::time_limit_kind() const {
+  const double el = elapsed();
+  if (el > cfg_.guard.watchdog_seconds) return LimitKind::kResource;
+  if (el > cfg_.max_seconds) return LimitKind::kBudget;
+  return LimitKind::kNone;
+}
+
+// Same progress-hook contract as the pool driver.
 void StackReplayDriver::maybe_progress(std::uint64_t frontier) {
   if (!cfg_.on_progress || cfg_.progress_every_events == 0) return;
   if (result_.stats.events_executed % cfg_.progress_every_events != 0) return;
   ExploreStats snap = result_.stats;
-  snap.states_stored = snap.states_visited;
+  snap.states_stored = stored_states();
   snap.frontier = frontier;
   snap.seconds = elapsed();
   cfg_.on_progress(snap);
@@ -990,10 +1004,10 @@ void StackReplayDriver::record_counterexample(std::span<const Event> events) {
 
 ExploreResult StackReplayDriver::finish() {
   result_.stats.seconds = elapsed();
-  result_.stats.states_stored = result_.stats.states_visited;
+  result_.stats.states_stored = stored_states();
   core_.finish_stats(result_.stats);
-  if (result_.verdict != Verdict::kViolated && truncated_) {
-    result_.verdict = Verdict::kBudgetExceeded;
+  if (result_.verdict != Verdict::kViolated && limit_ != LimitKind::kNone) {
+    result_.verdict = verdict_of(limit_);
   }
   auto& tf = result_.terminal_fingerprints;
   std::sort(tf.begin(), tf.end());

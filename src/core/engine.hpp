@@ -75,6 +75,17 @@
 
 namespace mpb::engine {
 
+// Which kind of limit stopped a search: a benchmarking budget
+// (cfg.max_states / max_events / max_seconds -> Verdict::kBudgetExceeded) or
+// a hard resource guard (cfg.guard -> Verdict::kResourceLimit). Guards are
+// checked first, so a guard that trips in the same tick as a budget wins.
+enum class LimitKind : std::uint8_t { kNone = 0, kBudget, kResource };
+
+[[nodiscard]] constexpr Verdict verdict_of(LimitKind k) noexcept {
+  return k == LimitKind::kResource ? Verdict::kResourceLimit
+                                   : Verdict::kBudgetExceeded;
+}
+
 // Visited-set abstraction over the three storage modes. kExact keeps the
 // seed's std::unordered_set of full State copies as the sequential reference
 // implementation; kFingerprint and kInterned share the sharded lock-free
@@ -94,7 +105,16 @@ class VisitedSet {
                        StateHandle parent, const Event* via,
                        std::uint32_t perm) {
     if (mode_ == VisitedMode::kExact) {
-      return {exact_.insert(s).second, kNoHandle};
+      const bool fresh = exact_.insert(s).second;
+      if (fresh) {
+        // Same lower-bound accounting as ShardedVisited: payload plus a
+        // nominal per-node overhead (kExact is sequential-only, so a plain
+        // counter suffices).
+        exact_bytes_ += sizeof(State) + 2 * sizeof(void*) +
+                        s.locals().size() * sizeof(Value) +
+                        s.network().size() * sizeof(Message);
+      }
+      return {fresh, kNoHandle};
     }
     return sharded_.insert(s, fp, parent, via, perm);
   }
@@ -108,6 +128,12 @@ class VisitedSet {
     return mode_ == VisitedMode::kExact ? exact_.size() : sharded_.size();
   }
 
+  // Approximate bytes of stored states, whatever the mode; the memory
+  // resource guard's oracle.
+  [[nodiscard]] std::uint64_t approx_bytes() const noexcept {
+    return mode_ == VisitedMode::kExact ? exact_bytes_ : sharded_.approx_bytes();
+  }
+
   [[nodiscard]] VisitedMode mode() const noexcept { return mode_; }
 
   // The interned state graph (meaningful when mode() == kInterned; the
@@ -117,6 +143,7 @@ class VisitedSet {
  private:
   VisitedMode mode_;
   std::unordered_set<State, StateHash> exact_;
+  std::uint64_t exact_bytes_ = 0;
   ShardedVisited sharded_;
 };
 
@@ -274,13 +301,15 @@ class ExpansionCore {
   // representatives) and may flip the verdict if a repaired branch reaches
   // a violation — the counterexample then replays through parent handles.
   // Sequential; drivers call it after their own loop has completed cleanly.
-  // `over_time` (may be empty) is the driver's time-budget oracle, polled
-  // periodically so the repair phase honours cfg.max_seconds like the main
-  // loops do.
+  // `over_time` (may be empty) is the driver's time oracle, polled
+  // periodically so the repair phase honours cfg.max_seconds and the
+  // wall-clock watchdog like the main loops do; state/memory guards and the
+  // event budget are checked inline. A tripped limit stamps the matching
+  // verdict (kBudgetExceeded / kResourceLimit) unless a violation won.
   void run_scc_ignoring_pass(ExploreResult& result,
                              std::vector<Fingerprint>& terminals,
                              bool collect_terminals,
-                             const std::function<bool()>& over_time);
+                             const std::function<LimitKind()>& over_time);
 
   // Per-run deltas of the process-wide hash counters and the strategy's
   // monotone proviso-fallback counter; begin_run() is called once by every
@@ -310,12 +339,89 @@ class ExpansionCore {
 
 // --- drivers ---------------------------------------------------------------
 
+// The shared sequential-driver chassis: pooled state storage, the
+// enumerate/execute scratch, budget *and* resource-guard checks, progress
+// snapshots, violation recording and the stats finish. Two riders share it —
+// SequentialDriver composes it for the stateful/stateless lazy DFS, and the
+// DPOR search in por/dpor.cpp rides it for its stateless replay loop — so
+// the limit semantics (kBudgetExceeded vs kResourceLimit, guard precedence)
+// live in exactly one place. A future replay-based search (e.g. a sleep-set
+// DPOR variant) starts from the same contract instead of re-growing its own
+// shell.
+class StackReplayDriver {
+ public:
+  // The DPOR form: stateless, no strategy, fingerprint-mode core (the core
+  // still provides the Item pool, scratch buffers and stats bookkeeping).
+  StackReplayDriver(const Protocol& proto, const ExploreConfig& cfg);
+  // The full-control form SequentialDriver rides: its own strategy, visited
+  // mode, and statefulness (which decides whether states_stored mirrors the
+  // visited set or the visit counter).
+  StackReplayDriver(const Protocol& proto, const ExploreConfig& cfg,
+                    ReductionStrategy* strategy, VisitedMode visited_mode,
+                    bool stateful);
+
+  [[nodiscard]] ExpansionCore& core() noexcept { return core_; }
+  [[nodiscard]] WorkerCtx& worker() { return core_.worker(0); }
+  [[nodiscard]] const ExecuteOptions& exec_opts() const noexcept {
+    return core_.exec_opts();
+  }
+  [[nodiscard]] ExploreResult& result() noexcept { return result_; }
+
+  // Begin timing; call once before touching any state.
+  void start();
+
+  // Property probe: records the verdict/hook and arms done() under
+  // stop-at-first semantics. Returns true iff `s` violates a property.
+  bool check_violation(const State& s);
+  // An in-transition assertion failed during execute().
+  void record_assertion(const std::string& label);
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+  // The per-iteration limit check: resource guards first (state cap, memory
+  // cap, then — rate-limited — the wall-clock watchdog), budgets second.
+  // kNone means keep searching.
+  [[nodiscard]] LimitKind over_limit();
+  // The time-only oracle (watchdog, then max_seconds), unratelimited; the
+  // SCC ignoring pass polls this between repair rounds.
+  [[nodiscard]] LimitKind time_limit_kind() const;
+  void mark_truncated(LimitKind k) noexcept {
+    if (limit_ == LimitKind::kNone) limit_ = k;
+  }
+  [[nodiscard]] bool truncated() const noexcept {
+    return limit_ != LimitKind::kNone;
+  }
+  void maybe_progress(std::uint64_t frontier);
+
+  // Rebuild the counterexample from the driver's event chain (the shared
+  // replay constructor every search mode uses).
+  void record_counterexample(std::span<const Event> events);
+
+  // Stamp seconds / states_stored / hash deltas / the limit verdict and
+  // sort-unique the terminal fingerprints; returns the finished result.
+  [[nodiscard]] ExploreResult finish();
+
+ private:
+  [[nodiscard]] double elapsed() const;
+  [[nodiscard]] std::uint64_t stored_states() const;
+
+  ExpansionCore core_;
+  const Protocol& proto_;
+  const ExploreConfig& cfg_;
+  const bool stateful_;
+  ExploreResult result_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t budget_tick_ = 0;
+  LimitKind limit_ = LimitKind::kNone;
+  bool done_ = false;
+};
+
 // Sequential lazy DFS (stateful and stateless): the frame stack *is* the
 // current path, which is what the classic stack cycle proviso, the stateless
 // cycle cut and stack-walk counterexamples need. Frames and their chosen
 // event lists are recycled by depth (the live prefix of a high-water vector),
 // and states live in the core's Item pool — steady-state expansion is
-// allocation-free, like the pool driver.
+// allocation-free, like the pool driver. The budget/guard/progress/finish
+// shell is the StackReplayDriver chassis; this class owns only the DFS loop.
 class SequentialDriver {
  public:
   SequentialDriver(const Protocol& proto, const ExploreConfig& cfg,
@@ -331,25 +437,15 @@ class SequentialDriver {
   };
 
   void push_frame(Item* it, const Fingerprint* canon_fp);
-  bool check_violation(const State& s);
   void record_counterexample(const Event& last);
-  void maybe_progress();
-  [[nodiscard]] bool over_budget();
-  [[nodiscard]] double elapsed() const;
-  void finish();
 
-  ExpansionCore core_;
+  StackReplayDriver drv_;
   const Protocol& proto_;
   const ExploreConfig& cfg_;
   const bool stateful_;
   StackSet stack_set_;
   std::vector<Frame> frames_;  // high-water storage; depth_ = live frames
   std::size_t depth_ = 0;
-  ExploreResult result_;
-  std::chrono::steady_clock::time_point start_;
-  std::uint64_t budget_tick_ = 0;
-  bool truncated_ = false;
-  bool done_ = false;
 };
 
 // Parallel stateful search: a fixed worker pool over per-worker work-stealing
@@ -385,12 +481,19 @@ class PoolDriver {
                         const Event& last);
   [[nodiscard]] std::uint64_t frontier_size() const;
   void emit_progress(std::uint64_t global_events);
-  void signal_truncated();
+  // First limit signal wins (guards are checked before budgets at every
+  // site, so precedence holds per worker; a cross-worker race between a
+  // guard and a budget tripping simultaneously is inherently unordered).
+  void signal_limit(LimitKind k);
   void stop() { done_.store(true, std::memory_order_release); }
   [[nodiscard]] bool stopped() const {
     return done_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] bool over_time() const;
+  // Resource guards on the stored-state side, then the state budget; called
+  // after each fresh insert.
+  [[nodiscard]] LimitKind state_limit_kind() const;
+  // Watchdog first, then the time budget; rate-limited by the caller.
+  [[nodiscard]] LimitKind time_limit_kind() const;
 
   // First-violation trace seed; written once under result_mu_, read after
   // the pool joins.
@@ -411,7 +514,7 @@ class PoolDriver {
   std::atomic<bool> done_{false};
   std::atomic<std::int64_t> outstanding_{0};  // queued or in-expansion items
   std::atomic<std::uint64_t> events_budget_{0};
-  std::atomic<bool> truncated_{false};
+  std::atomic<std::uint8_t> limit_{0};  // LimitKind; first signal wins
 
   std::mutex result_mu_;
   std::mutex hooks_mu_;  // serializes on_progress/on_violation invocations
@@ -419,59 +522,6 @@ class PoolDriver {
   std::vector<ExploreStats> worker_stats_;
   std::vector<std::vector<Fingerprint>> worker_terminals_;
   std::chrono::steady_clock::time_point start_;
-};
-
-// Chassis for sequential stateless replay searches: the DPOR driver in
-// por/dpor.cpp owns its frame stack and backtrack-set bookkeeping and rides
-// this class for everything the other drivers get from the engine — the
-// pooled state storage (frames hold core Items, released on pop), the
-// enumerate/execute scratch, budgets, progress snapshots, violation
-// recording and the shared stats finish. Keeping the chassis here means a
-// future replay-based search (e.g. a sleep-set DPOR variant) starts from
-// the same contract instead of re-growing its own shell.
-class StackReplayDriver {
- public:
-  StackReplayDriver(const Protocol& proto, const ExploreConfig& cfg);
-
-  [[nodiscard]] WorkerCtx& worker() { return core_.worker(0); }
-  [[nodiscard]] const ExecuteOptions& exec_opts() const noexcept {
-    return core_.exec_opts();
-  }
-  [[nodiscard]] ExploreResult& result() noexcept { return result_; }
-
-  // Begin timing; call once before touching any state.
-  void start();
-
-  // Property probe: records the verdict/hook and arms done() under
-  // stop-at-first semantics. Returns true iff `s` violates a property.
-  bool check_violation(const State& s);
-  // An in-transition assertion failed during execute().
-  void record_assertion(const std::string& label);
-  [[nodiscard]] bool done() const noexcept { return done_; }
-
-  [[nodiscard]] bool over_budget(std::uint64_t frontier_states);
-  void mark_truncated() noexcept { truncated_ = true; }
-  void maybe_progress(std::uint64_t frontier);
-
-  // Rebuild the counterexample from the driver's event chain (the shared
-  // replay constructor every search mode uses).
-  void record_counterexample(std::span<const Event> events);
-
-  // Stamp seconds / states_stored / hash deltas / the budget verdict and
-  // sort-unique the terminal fingerprints; returns the finished result.
-  [[nodiscard]] ExploreResult finish();
-
- private:
-  [[nodiscard]] double elapsed() const;
-
-  ExpansionCore core_;
-  const Protocol& proto_;
-  const ExploreConfig& cfg_;
-  ExploreResult result_;
-  std::chrono::steady_clock::time_point start_;
-  std::uint64_t budget_tick_ = 0;
-  bool truncated_ = false;
-  bool done_ = false;
 };
 
 }  // namespace mpb::engine

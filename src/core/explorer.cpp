@@ -16,6 +16,7 @@ std::string_view to_string(Verdict v) noexcept {
     case Verdict::kHolds: return "Verified";
     case Verdict::kViolated: return "CE";
     case Verdict::kBudgetExceeded: return ">budget";
+    case Verdict::kResourceLimit: return ">resource";
   }
   return "?";
 }

@@ -55,11 +55,36 @@ enum class Verdict {
   kHolds,           // every reachable state satisfies every property
   kViolated,        // a counterexample was found
   kBudgetExceeded,  // search stopped on a state/time/depth budget
+  kResourceLimit,   // a hard resource guard tripped (watchdog/memory/states)
 };
 
 [[nodiscard]] std::string_view to_string(Verdict v) noexcept;
 
 struct ExploreStats;  // declared below; the progress hook passes snapshots
+
+// Hard resource guards, distinct from the benchmarking budgets in
+// ExploreConfig (max_states / max_events / max_seconds, which report
+// kBudgetExceeded): a tripped guard aborts the search gracefully with
+// Verdict::kResourceLimit and partial stats instead of letting a pathological
+// protocol hang or OOM the process. Enforced uniformly by every driver
+// (SequentialDriver, PoolDriver, StackReplayDriver) and by the SCC ignoring
+// pass; guards take precedence over budgets when both trip in the same tick.
+// The fuzz campaigns (src/fuzz) run every generated protocol under these.
+struct ResourceGuard {
+  // Wall-clock watchdog; infinity = disabled.
+  double watchdog_seconds = std::numeric_limits<double>::infinity();
+  // Approximate bytes of state storage (visited set + interned arena);
+  // 0 = disabled.
+  std::uint64_t max_memory_bytes = 0;
+  // Hard cap on stored states (visited nodes in stateless searches);
+  // 0 = disabled.
+  std::uint64_t max_states = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return watchdog_seconds != std::numeric_limits<double>::infinity() ||
+           max_memory_bytes != 0 || max_states != 0;
+  }
+};
 
 struct ExploreConfig {
   SearchMode mode = SearchMode::kStateful;
@@ -75,6 +100,8 @@ struct ExploreConfig {
   std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max();
   double max_seconds = std::numeric_limits<double>::infinity();
   unsigned max_depth = 1u << 20;  // stateless safety net
+  // Hard resource guards (disabled by default); see ResourceGuard above.
+  ResourceGuard guard;
   bool stop_at_first_violation = true;
   bool validate_annotations = true;
   // Record the fingerprint of every terminal (deadlock) state reached; used

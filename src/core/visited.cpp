@@ -269,6 +269,16 @@ VisitedInsert ShardedVisited::insert(const State& s, const Fingerprint& fp,
   }
   if (out.inserted) {
     total_.fetch_add(1, std::memory_order_relaxed);
+    // Slot cost, plus the interned node's payload: each contribution is a
+    // lower bound of the real footprint (allocator slack and table growth
+    // headroom are not modelled), which is all a guard needs.
+    std::uint64_t b = sizeof(Slot);
+    if (mode_ == VisitedMode::kInterned) {
+      b += sizeof(Node) + s.locals().size() * sizeof(Value) +
+           s.network().size() * sizeof(Message);
+      if (via != nullptr) b += via->consumed.size() * sizeof(Message);
+    }
+    bytes_.fetch_add(b, std::memory_order_relaxed);
     Table* t = sh.table.load(std::memory_order_acquire);
     if ((t->count.load(std::memory_order_relaxed) + 1) * 10 >=
         (t->mask + 1) * 7) {

@@ -130,6 +130,14 @@ class ShardedVisited {
     return total_.load(std::memory_order_relaxed);
   }
 
+  // Approximate bytes of state storage: per-entry slot cost plus, in interned
+  // mode, the node (state locals + network + consumed messages of the
+  // incoming event). Maintained with one relaxed fetch_add per fresh insert;
+  // the resource-guard memory cap (ExploreConfig::guard) polls this.
+  [[nodiscard]] std::uint64_t approx_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] VisitedMode mode() const noexcept { return mode_; }
   [[nodiscard]] unsigned shard_count() const noexcept {
     return static_cast<unsigned>(shards_.size());
@@ -205,6 +213,7 @@ class ShardedVisited {
   VisitedMode mode_;
   mutable std::vector<Shard> shards_;
   std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace mpb

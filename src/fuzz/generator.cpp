@@ -1,0 +1,197 @@
+#include "fuzz/generator.hpp"
+
+#include <algorithm>
+
+namespace mpb::fuzz {
+
+namespace {
+
+GuardSpec random_guard(Rng& rng, unsigned n_vars) {
+  GuardSpec g;
+  if (rng.chance(40)) return g;  // kAlways
+  const std::uint64_t kind = 1 + rng.below(3);
+  g.kind = static_cast<GuardKind>(kind);
+  g.var = static_cast<unsigned>(rng.below(n_vars));
+  // kVarLt with value 0 is never true; keep the range useful per kind.
+  g.value = g.kind == GuardKind::kVarLt
+                ? static_cast<Value>(1 + rng.below(kMaxVarValue))
+                : static_cast<Value>(rng.below(kMaxVarValue + 1));
+  return g;
+}
+
+OpSpec random_op(Rng& rng, unsigned n_vars, bool consuming) {
+  OpSpec op;
+  const std::uint64_t kind = rng.below(consuming ? 3 : 2);
+  op.kind = static_cast<OpKind>(kind);
+  op.var = static_cast<unsigned>(rng.below(n_vars));
+  op.value = static_cast<Value>(rng.below(kMaxVarValue + 1));
+  return op;
+}
+
+SendSpec random_send(Rng& rng, const ProtocolSpec& spec, unsigned n_vars,
+                     bool can_reply) {
+  SendSpec s;
+  s.msg_type = static_cast<unsigned>(rng.below(spec.n_msg_types));
+  if (can_reply && rng.chance(30)) {
+    s.target = SendTarget::kSender;
+  } else {
+    s.target = SendTarget::kRole;
+    s.target_role = static_cast<unsigned>(rng.below(spec.roles.size()));
+  }
+  if (rng.chance(50)) {
+    s.payload = PayloadKind::kVar;
+    s.payload_var = static_cast<unsigned>(rng.below(n_vars));
+  } else {
+    s.payload = PayloadKind::kConst;
+    s.payload_value = static_cast<Value>(rng.below(kMaxVarValue + 1));
+  }
+  return s;
+}
+
+}  // namespace
+
+ProtocolSpec generate(std::uint64_t seed, const GeneratorConfig& cfg) {
+  Rng rng(seed);
+  ProtocolSpec spec;
+  spec.seed = seed;
+  spec.n_msg_types = static_cast<unsigned>(1 + rng.below(cfg.max_msg_types));
+
+  const auto n_roles = static_cast<unsigned>(1 + rng.below(cfg.max_roles));
+  unsigned remaining = std::max(cfg.max_total_procs, n_roles);
+  for (unsigned r = 0; r < n_roles; ++r) {
+    RoleSpec role;
+    // Leave at least one process for every role still to come.
+    const unsigned spare = remaining - (n_roles - r - 1);
+    role.n_procs = static_cast<unsigned>(
+        1 + rng.below(std::min(cfg.max_procs_per_role, std::max(spare, 1u))));
+    remaining -= role.n_procs;
+    role.n_vars = static_cast<unsigned>(1 + rng.below(cfg.max_vars));
+    spec.roles.push_back(role);
+  }
+
+  for (unsigned r = 0; r < n_roles; ++r) {
+    const unsigned n_vars = spec.roles[r].n_vars;
+    const auto n_trans =
+        static_cast<unsigned>(1 + rng.below(cfg.max_transitions_per_role));
+    for (unsigned k = 0; k < n_trans; ++k) {
+      TransitionSpec t;
+      t.role = r;
+      t.priority = static_cast<int>(rng.below(4));
+      // Role 0's first transition is always spontaneous so every generated
+      // protocol has at least one initially enabled event.
+      const bool spontaneous = (r == 0 && k == 0) || rng.chance(35);
+      if (spontaneous) {
+        t.in_msg = -1;
+        // Bounded firing: guard v < k with a forced increment of v, so a
+        // spontaneous source cannot by itself pump the state space.
+        const auto v = static_cast<unsigned>(rng.below(n_vars));
+        t.guard = GuardSpec{GuardKind::kVarLt, v,
+                            static_cast<Value>(1 + rng.below(2))};
+        t.ops.push_back(OpSpec{OpKind::kInc, v, 0});
+      } else {
+        t.in_msg = static_cast<int>(rng.below(spec.n_msg_types));
+        t.arity = 1;
+        if (rng.chance(cfg.quorum_pct)) t.arity = 2;
+        if (rng.chance(40)) {
+          t.from_role = static_cast<int>(rng.below(n_roles));
+        }
+        t.guard = random_guard(rng, n_vars);
+      }
+      const auto n_ops = static_cast<unsigned>(rng.below(cfg.max_ops + 1));
+      for (unsigned i = 0; i < n_ops; ++i) {
+        t.ops.push_back(random_op(rng, n_vars, t.in_msg >= 0));
+      }
+      // Bias the network growth factor down: consuming transitions mostly
+      // forward at most one message for the one they ate.
+      unsigned max_sends = cfg.max_sends;
+      if (t.in_msg >= 0 && rng.chance(80)) max_sends = std::min(max_sends, 1u);
+      const auto n_sends = static_cast<unsigned>(rng.below(max_sends + 1));
+      const bool can_reply = t.in_msg >= 0 && t.arity == 1;
+      for (unsigned i = 0; i < n_sends; ++i) {
+        t.sends.push_back(random_send(rng, spec, n_vars, can_reply));
+      }
+      spec.transitions.push_back(std::move(t));
+    }
+  }
+
+  if (rng.chance(cfg.property_pct)) {
+    PropertySpec p;
+    p.role = static_cast<unsigned>(rng.below(n_roles));
+    p.var = static_cast<unsigned>(rng.below(spec.roles[p.role].n_vars));
+    // Nonzero, so the all-zero initial state never trivially violates.
+    p.bad_value = static_cast<Value>(1 + rng.below(kMaxVarValue));
+    spec.properties.push_back(p);
+  }
+  return spec;
+}
+
+ProtocolSpec ignoring_trap_spec() {
+  // Role 0: an independent 2-state toggle (v: 0 -> 1 -> 0 -> ...), high
+  // priority so SPOR's seed heuristic latches onto it. Its singleton
+  // stubborn sets are sound per-state but close a cycle that ignores role 1
+  // forever — exactly the situation the cycle proviso exists to repair.
+  // Role 1: a single guarded step into the property's bad value.
+  ProtocolSpec spec;
+  spec.seed = 0;
+  spec.n_msg_types = 1;
+  spec.roles = {RoleSpec{1, 1}, RoleSpec{1, 1}};
+
+  TransitionSpec t0;  // r0t0: v==0 -> v:=1
+  t0.role = 0;
+  t0.in_msg = -1;
+  t0.guard = GuardSpec{GuardKind::kVarEq, 0, 0};
+  t0.ops.push_back(OpSpec{OpKind::kSet, 0, 1});
+  t0.priority = 3;
+  spec.transitions.push_back(t0);
+
+  TransitionSpec t1;  // r0t1: v==1 -> v:=0
+  t1.role = 0;
+  t1.in_msg = -1;
+  t1.guard = GuardSpec{GuardKind::kVarEq, 0, 1};
+  t1.ops.push_back(OpSpec{OpKind::kSet, 0, 0});
+  t1.priority = 3;
+  spec.transitions.push_back(t1);
+
+  TransitionSpec t2;  // r1t0: v==0 -> v:=1 (the violation)
+  t2.role = 1;
+  t2.in_msg = -1;
+  t2.guard = GuardSpec{GuardKind::kVarEq, 0, 0};
+  t2.ops.push_back(OpSpec{OpKind::kSet, 0, 1});
+  t2.priority = 0;
+  spec.transitions.push_back(t2);
+
+  spec.properties.push_back(PropertySpec{1, 0, 1});
+  return spec;
+}
+
+ProtocolSpec amplifier_spec() {
+  // Role 0 fires once, seeding one M0 into role 1; role 1 turns every M0 it
+  // consumes into two more. The local state space is tiny but the network
+  // multiset grows forever — only a resource guard stops this search.
+  ProtocolSpec spec;
+  spec.seed = 0;
+  spec.n_msg_types = 1;
+  spec.roles = {RoleSpec{1, 1}, RoleSpec{1, 1}};
+
+  TransitionSpec trigger;  // r0t0: fire once, send M0 to role 1
+  trigger.role = 0;
+  trigger.in_msg = -1;
+  trigger.guard = GuardSpec{GuardKind::kVarEq, 0, 0};
+  trigger.ops.push_back(OpSpec{OpKind::kSet, 0, 1});
+  trigger.sends.push_back(SendSpec{0, SendTarget::kRole, 1,
+                                   PayloadKind::kConst, 0, 0});
+  spec.transitions.push_back(trigger);
+
+  TransitionSpec amp;  // r1t0: consume M0, emit two M0 back at role 1
+  amp.role = 1;
+  amp.in_msg = 0;
+  amp.arity = 1;
+  amp.sends.push_back(SendSpec{0, SendTarget::kRole, 1,
+                               PayloadKind::kConst, 0, 0});
+  amp.sends.push_back(SendSpec{0, SendTarget::kRole, 1,
+                               PayloadKind::kConst, 0, 1});
+  spec.transitions.push_back(amp);
+  return spec;
+}
+
+}  // namespace mpb::fuzz

@@ -1,0 +1,67 @@
+// Seeded random protocol generation over the fuzz spec grammar. Fully
+// deterministic: the same 64-bit seed always yields the same ProtocolSpec
+// (SplitMix64, no std:: distributions — their outputs are implementation
+// defined), so every campaign finding is replayable from its seed alone.
+//
+// The generator biases toward terminating protocols — spontaneous
+// transitions are bounded by a fire-counter guard, consuming transitions
+// rarely send more than one message — but does not guarantee a finite
+// network: pathological seeds are expected, and the differential oracle
+// runs every protocol under hard resource guards that turn them into
+// cheap resource-skips instead of hangs.
+//
+// Two handcrafted corpus entries ride along:
+//  * ignoring_trap_spec() — a protocol whose only violation hides behind an
+//    independent spontaneous cycle. Any SPOR run whose cycle proviso is
+//    broken (the ignoring problem) reports kHolds while the full search
+//    reports kViolated — the oracle's canary for proviso bugs.
+//  * amplifier_spec() — a one-shot trigger into a self-amplifying consumer
+//    whose network grows without bound: the resource-guard tests' workload.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/spec.hpp"
+
+namespace mpb::fuzz {
+
+// SplitMix64 — tiny, well-mixed, and stable across platforms.
+struct Rng {
+  std::uint64_t s = 0;
+
+  explicit Rng(std::uint64_t seed) : s(seed) {}
+
+  std::uint64_t next() noexcept {
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  // Uniform-enough draw in [0, n); n == 0 returns 0.
+  std::uint64_t below(std::uint64_t n) noexcept { return n == 0 ? 0 : next() % n; }
+  bool chance(unsigned pct) noexcept { return below(100) < pct; }
+};
+
+struct GeneratorConfig {
+  unsigned max_roles = 3;
+  unsigned max_procs_per_role = 3;
+  unsigned max_total_procs = 6;
+  unsigned max_vars = 2;
+  unsigned max_msg_types = 4;
+  unsigned max_transitions_per_role = 3;
+  unsigned max_ops = 2;
+  unsigned max_sends = 2;
+  unsigned property_pct = 60;  // chance of emitting the (single) invariant
+  unsigned quorum_pct = 20;    // chance a consuming transition takes arity 2
+};
+
+// Deterministically synthesize a well-formed spec from the seed;
+// render(generate(seed)) never throws for any seed.
+[[nodiscard]] ProtocolSpec generate(std::uint64_t seed,
+                                    const GeneratorConfig& cfg = {});
+
+[[nodiscard]] ProtocolSpec ignoring_trap_spec();
+[[nodiscard]] ProtocolSpec amplifier_spec();
+
+}  // namespace mpb::fuzz

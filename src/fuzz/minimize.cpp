@@ -1,0 +1,191 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mpb::fuzz {
+
+namespace {
+
+ProtocolSpec drop_role(const ProtocolSpec& s, unsigned r) {
+  ProtocolSpec out = s;
+  out.roles.erase(out.roles.begin() + r);
+  out.transitions.clear();
+  for (const TransitionSpec& t : s.transitions) {
+    if (t.role == r) continue;
+    TransitionSpec c = t;
+    if (c.role > r) --c.role;
+    if (c.from_role == static_cast<int>(r)) {
+      c.from_role = -1;
+    } else if (c.from_role > static_cast<int>(r)) {
+      --c.from_role;
+    }
+    std::vector<SendSpec> keep;
+    for (const SendSpec& sd : c.sends) {
+      if (sd.target == SendTarget::kRole) {
+        if (sd.target_role == r) continue;  // its audience is gone
+        SendSpec s2 = sd;
+        if (s2.target_role > r) --s2.target_role;
+        keep.push_back(s2);
+      } else {
+        keep.push_back(sd);
+      }
+    }
+    c.sends = std::move(keep);
+    out.transitions.push_back(std::move(c));
+  }
+  out.properties.clear();
+  for (const PropertySpec& p : s.properties) {
+    if (p.role == r) continue;
+    PropertySpec q = p;
+    if (q.role > r) --q.role;
+    out.properties.push_back(q);
+  }
+  return out;
+}
+
+// Drop the highest-indexed variable of role r, rewriting every reference.
+ProtocolSpec drop_var(const ProtocolSpec& s, unsigned r) {
+  const unsigned dead = s.roles[r].n_vars - 1;
+  ProtocolSpec out = s;
+  --out.roles[r].n_vars;
+  for (TransitionSpec& t : out.transitions) {
+    if (t.role != r) continue;
+    if (t.guard.kind != GuardKind::kAlways && t.guard.var == dead) {
+      t.guard = GuardSpec{};
+    }
+    std::erase_if(t.ops, [dead](const OpSpec& op) { return op.var == dead; });
+    for (SendSpec& sd : t.sends) {
+      if (sd.payload == PayloadKind::kVar && sd.payload_var == dead) {
+        sd.payload = PayloadKind::kConst;
+        sd.payload_value = 0;
+      }
+    }
+  }
+  std::erase_if(out.properties, [r, dead](const PropertySpec& p) {
+    return p.role == r && p.var == dead;
+  });
+  return out;
+}
+
+// Renumber message types so only referenced ones remain (keeps at least one).
+ProtocolSpec compact_msg_types(const ProtocolSpec& s) {
+  std::vector<char> used(s.n_msg_types, 0);
+  for (const TransitionSpec& t : s.transitions) {
+    if (t.in_msg >= 0) used[static_cast<unsigned>(t.in_msg)] = 1;
+    for (const SendSpec& sd : t.sends) used[sd.msg_type] = 1;
+  }
+  std::vector<unsigned> remap(s.n_msg_types, 0);
+  unsigned next = 0;
+  for (unsigned k = 0; k < s.n_msg_types; ++k) {
+    if (used[k]) remap[k] = next++;
+  }
+  if (next == s.n_msg_types) return s;  // nothing to compact
+  ProtocolSpec out = s;
+  out.n_msg_types = std::max(next, 1u);
+  for (TransitionSpec& t : out.transitions) {
+    if (t.in_msg >= 0) t.in_msg = static_cast<int>(remap[static_cast<unsigned>(t.in_msg)]);
+    for (SendSpec& sd : t.sends) sd.msg_type = remap[sd.msg_type];
+  }
+  return out;
+}
+
+// Fixed-order shrink candidates; coarse cuts first so big specs collapse
+// fast, property removal last (it usually carries the divergence).
+std::vector<ProtocolSpec> candidates(const ProtocolSpec& s) {
+  std::vector<ProtocolSpec> out;
+  if (s.roles.size() > 1) {
+    for (unsigned r = 0; r < s.roles.size(); ++r) out.push_back(drop_role(s, r));
+  }
+  for (std::size_t i = 0; i < s.transitions.size(); ++i) {
+    ProtocolSpec c = s;
+    c.transitions.erase(c.transitions.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  for (unsigned r = 0; r < s.roles.size(); ++r) {
+    if (s.roles[r].n_procs > 1) {
+      ProtocolSpec c = s;
+      --c.roles[r].n_procs;
+      out.push_back(std::move(c));
+    }
+  }
+  for (unsigned r = 0; r < s.roles.size(); ++r) {
+    if (s.roles[r].n_vars > 1) out.push_back(drop_var(s, r));
+  }
+  for (std::size_t i = 0; i < s.transitions.size(); ++i) {
+    for (std::size_t j = 0; j < s.transitions[i].sends.size(); ++j) {
+      ProtocolSpec c = s;
+      auto& sends = c.transitions[i].sends;
+      sends.erase(sends.begin() + static_cast<std::ptrdiff_t>(j));
+      out.push_back(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < s.transitions.size(); ++i) {
+    for (std::size_t j = 0; j < s.transitions[i].ops.size(); ++j) {
+      ProtocolSpec c = s;
+      auto& ops = c.transitions[i].ops;
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(j));
+      out.push_back(std::move(c));
+    }
+  }
+  for (std::size_t i = 0; i < s.transitions.size(); ++i) {
+    if (s.transitions[i].guard.kind != GuardKind::kAlways) {
+      ProtocolSpec c = s;
+      c.transitions[i].guard = GuardSpec{};
+      out.push_back(std::move(c));
+    }
+    if (s.transitions[i].from_role >= 0) {
+      ProtocolSpec c = s;
+      c.transitions[i].from_role = -1;
+      out.push_back(std::move(c));
+    }
+  }
+  {
+    ProtocolSpec c = compact_msg_types(s);
+    if (c.n_msg_types != s.n_msg_types) out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < s.properties.size(); ++i) {
+    ProtocolSpec c = s;
+    c.properties.erase(c.properties.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ProtocolSpec minimize(const ProtocolSpec& spec, const OracleConfig& cfg,
+                      MinimizeStats* stats, unsigned max_attempts) {
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+
+  const auto diverges = [&](const ProtocolSpec& s) {
+    if (st.attempts >= max_attempts) return false;
+    ++st.attempts;
+    try {
+      return run_oracle(s, cfg).diverged();
+    } catch (const std::invalid_argument&) {
+      return false;  // shrink step produced a spec that doesn't render
+    }
+  };
+
+  if (!diverges(spec)) return spec;
+
+  ProtocolSpec cur = spec;
+  bool progress = true;
+  while (progress && st.attempts < max_attempts) {
+    progress = false;
+    for (ProtocolSpec& cand : candidates(cur)) {
+      if (st.attempts >= max_attempts) break;
+      if (diverges(cand)) {
+        cur = std::move(cand);
+        ++st.accepted;
+        progress = true;
+        break;  // restart the pass from the shrunken spec
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace mpb::fuzz

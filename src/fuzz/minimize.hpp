@@ -1,0 +1,28 @@
+// Greedy delta-debugging of a divergent spec: repeatedly try structural
+// shrink steps (drop a transition / send / op / property, weaken a guard,
+// remove a process or a role, drop a variable, compact unused message
+// types) and keep any candidate for which the differential oracle still
+// reports a divergence. Deterministic — candidates are tried in a fixed
+// order and the first accepted one restarts the pass — so a given
+// (spec, config) pair always minimizes to the same repro.
+#pragma once
+
+#include "fuzz/oracle.hpp"
+#include "fuzz/spec.hpp"
+
+namespace mpb::fuzz {
+
+struct MinimizeStats {
+  unsigned attempts = 0;  // oracle runs spent
+  unsigned accepted = 0;  // shrink steps that kept the divergence
+};
+
+// Returns the smallest still-diverging spec found within `max_attempts`
+// oracle runs. If the input itself does not diverge under `cfg`, it is
+// returned unchanged.
+[[nodiscard]] ProtocolSpec minimize(const ProtocolSpec& spec,
+                                    const OracleConfig& cfg,
+                                    MinimizeStats* stats = nullptr,
+                                    unsigned max_attempts = 400);
+
+}  // namespace mpb::fuzz

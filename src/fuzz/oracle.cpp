@@ -1,0 +1,237 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "check/check.hpp"
+#include "por/spor.hpp"
+
+namespace mpb::fuzz {
+
+namespace {
+
+[[nodiscard]] bool truncated(Verdict v) noexcept {
+  return v == Verdict::kBudgetExceeded || v == Verdict::kResourceLimit;
+}
+
+// Test-only fault injection: a SPOR whose cycle proviso never fires — the
+// ignoring problem reintroduced on purpose. The wrapper feeds the inner
+// strategy a StrategyContext whose stack/visited probes always answer
+// "no cycle", so reduced sets that close cycles are accepted unsoundly.
+class BrokenProvisoSpor final : public ReductionStrategy {
+ public:
+  BrokenProvisoSpor(const Protocol& proto, const SporOptions& opts)
+      : inner_(proto, opts) {}
+
+  std::vector<std::size_t> select(const State& s, std::span<const Event> events,
+                                  const StrategyContext& ctx) override {
+    StrategyContext broken;
+    broken.successor = ctx.successor;
+    broken.on_stack = [](const State&) { return false; };
+    broken.in_visited = [](const State&) { return false; };
+    return inner_.select(s, events, broken);
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return "spor-broken-proviso";
+  }
+  [[nodiscard]] bool needs_dfs_stack() const override { return true; }
+
+ private:
+  SporStrategy inner_;
+};
+
+struct Lane {
+  std::string name;
+  const char* strategy;
+  CycleProviso proviso;
+  unsigned threads;
+  bool symmetry;
+  bool broken_proviso = false;
+};
+
+ExploreConfig base_explore(const OracleConfig& cfg) {
+  ExploreConfig ec;
+  // Interned visited keeps parallel lanes able to reconstruct traces and
+  // gives the memory guard a real arena to meter.
+  ec.visited = VisitedMode::kInterned;
+  ec.collect_terminals = true;
+  ec.guard.watchdog_seconds = cfg.watchdog_seconds;
+  ec.guard.max_memory_bytes = cfg.guard_memory_bytes;
+  ec.guard.max_states = cfg.guard_states;
+  return ec;
+}
+
+ExploreResult run_lane(const RenderedModel& m, const OracleConfig& cfg,
+                       const Lane& lane) {
+  if (lane.broken_proviso) {
+    ExploreConfig ec = base_explore(cfg);
+    ec.mode = SearchMode::kStateful;
+    ec.threads = 1;
+    SporOptions so;
+    so.proviso = CycleProviso::kStack;
+    BrokenProvisoSpor broken(m.protocol, so);
+    return explore(m.protocol, ec, &broken);
+  }
+  check::CheckRequest req;
+  req.protocol = m.protocol;
+  req.symmetric_roles = m.symmetric_roles;
+  req.strategy = lane.strategy;
+  req.spor.proviso = lane.proviso;
+  req.symmetry = lane.symmetry;
+  req.explore = base_explore(cfg);
+  req.explore.threads = lane.threads;
+  req.record = false;  // fuzz lanes must not pollute the bench-JSON sink
+  return check::run_check(std::move(req)).result;
+}
+
+// A reported violation must be a genuine run: replay its event chain from
+// the initial state and confirm the final state violates a property. An
+// empty counterexample is legitimate only when the initial state itself
+// violates.
+[[nodiscard]] std::optional<std::string> replay_problem(
+    const Protocol& proto, const ExploreResult& r) {
+  if (r.counterexample.empty()) {
+    if (proto.violated_property(proto.initial()) == nullptr) {
+      return "empty counterexample but the initial state satisfies all properties";
+    }
+    return std::nullopt;
+  }
+  std::vector<Event> events;
+  events.reserve(r.counterexample.size());
+  for (const TraceStep& s : r.counterexample) events.push_back(s.event);
+  std::vector<TraceStep> replay;
+  try {
+    replay = replay_trace(proto, events);
+  } catch (const std::exception& e) {
+    return std::string("counterexample replay threw: ") + e.what();
+  }
+  if (replay.size() != events.size()) return "counterexample replay stopped early";
+  if (proto.violated_property(replay.back().after) == nullptr) {
+    return "replayed counterexample ends in a state that satisfies all properties";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+OracleReport run_oracle(const ProtocolSpec& spec, const OracleConfig& cfg) {
+  const RenderedModel m = render(spec);
+  const bool par = cfg.test_parallel && cfg.par_threads >= 2;
+  const unsigned tn = cfg.par_threads;
+  const bool sym = cfg.test_symmetry && !m.symmetric_roles.empty();
+
+  std::vector<Lane> lanes;
+  lanes.push_back({"full/t1", "full", CycleProviso::kAuto, 1, false});
+  if (par) lanes.push_back({"full/t" + std::to_string(tn), "full",
+                            CycleProviso::kAuto, tn, false});
+  lanes.push_back({"spor/stack/t1", "spor", CycleProviso::kStack, 1, false});
+  lanes.push_back({"spor/visited/t1", "spor", CycleProviso::kVisited, 1, false});
+  if (par) lanes.push_back({"spor/visited/t" + std::to_string(tn), "spor",
+                            CycleProviso::kVisited, tn, false});
+  lanes.push_back({"spor/scc/t1", "spor", CycleProviso::kScc, 1, false});
+  if (par) lanes.push_back({"spor/scc/t" + std::to_string(tn), "spor",
+                            CycleProviso::kScc, tn, false});
+  lanes.push_back({"dpor/t1", "dpor", CycleProviso::kAuto, 1, false});
+  if (sym) {
+    lanes.push_back({"full/t1/sym", "full", CycleProviso::kAuto, 1, true});
+    lanes.push_back({"spor/visited/t1/sym", "spor", CycleProviso::kVisited, 1,
+                     true});
+    if (par) lanes.push_back({"full/t" + std::to_string(tn) + "/sym", "full",
+                              CycleProviso::kAuto, tn, true});
+  }
+  if (cfg.inject_unsound_reduction) {
+    lanes.push_back({"spor/broken-proviso/t1", "spor", CycleProviso::kStack, 1,
+                     false, /*broken_proviso=*/true});
+  }
+
+  OracleReport rep;
+  std::vector<ExploreResult> results;
+  results.reserve(lanes.size());
+  for (const Lane& lane : lanes) {
+    ExploreResult r = run_lane(m, cfg, lane);
+    OracleRun run;
+    run.name = lane.name;
+    run.verdict = r.verdict;
+    run.states_stored = r.stats.states_stored;
+    run.terminals = r.terminal_fingerprints.size();
+    run.skipped = truncated(r.verdict);
+    rep.runs.push_back(std::move(run));
+    results.push_back(std::move(r));
+  }
+
+  const ExploreResult& ref = results[0];
+  if (truncated(ref.verdict)) {
+    rep.status = OracleStatus::kResourceSkip;
+    rep.detail = "reference lane " + lanes[0].name + " hit " +
+                 std::string(to_string(ref.verdict));
+    return rep;
+  }
+
+  std::ostringstream diverge;
+  const auto flag = [&](const std::string& msg) {
+    if (diverge.tellp() > 0) diverge << "; ";
+    diverge << msg;
+  };
+
+  // Symmetry lanes canonicalize their fingerprints, so their terminal sets
+  // are only comparable to each other; the first completed sym lane is the
+  // sym-side reference.
+  const ExploreResult* sym_ref = nullptr;
+  std::string sym_ref_name;
+
+  for (std::size_t i = 1; i < lanes.size(); ++i) {
+    const Lane& lane = lanes[i];
+    const ExploreResult& r = results[i];
+    if (rep.runs[i].skipped) continue;
+
+    if (r.verdict != ref.verdict) {
+      flag(lane.name + " reports " + std::string(to_string(r.verdict)) +
+           ", reference reports " + std::string(to_string(ref.verdict)));
+      continue;
+    }
+    if (r.verdict == Verdict::kViolated) {
+      if (auto why = replay_problem(m.protocol, r)) flag(lane.name + ": " + *why);
+      continue;
+    }
+    // kHolds: deadlock preservation — every lane must reach the same
+    // terminal set (canonical terminals compared within the symmetry side).
+    if (!lane.symmetry) {
+      if (r.terminal_fingerprints != ref.terminal_fingerprints) {
+        flag(lane.name + " terminal set differs from " + lanes[0].name + " (" +
+             std::to_string(r.terminal_fingerprints.size()) + " vs " +
+             std::to_string(ref.terminal_fingerprints.size()) + ")");
+      }
+      // Unreduced parallel search must store exactly the sequential count.
+      if (std::string_view(lane.strategy) == "full" &&
+          r.stats.states_stored != ref.stats.states_stored) {
+        flag(lane.name + " stores " + std::to_string(r.stats.states_stored) +
+             " states, reference stores " +
+             std::to_string(ref.stats.states_stored));
+      }
+    } else {
+      if (r.stats.states_stored > ref.stats.states_stored) {
+        flag(lane.name + " stores more states than the concrete reference");
+      }
+      if (sym_ref == nullptr) {
+        sym_ref = &r;
+        sym_ref_name = lane.name;
+      } else if (r.terminal_fingerprints != sym_ref->terminal_fingerprints) {
+        flag(lane.name + " canonical terminal set differs from " + sym_ref_name);
+      }
+    }
+  }
+  if (ref.verdict == Verdict::kViolated) {
+    if (auto why = replay_problem(m.protocol, ref)) flag(lanes[0].name + ": " + *why);
+  }
+
+  if (diverge.tellp() > 0) {
+    rep.status = OracleStatus::kDiverged;
+    rep.detail = diverge.str();
+  }
+  return rep;
+}
+
+}  // namespace mpb::fuzz

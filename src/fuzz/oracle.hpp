@@ -1,0 +1,72 @@
+// The differential oracle: run one spec'd protocol through the check facade
+// under every search configuration that must agree — {full, spor/stack,
+// spor/visited, spor/scc, dpor} x {1 thread, N threads} x {symmetry on/off}
+// — and cross-check the answers.
+//
+// Equivalence claims verified per seed (full/t1 is the reference):
+//  * every lane reports the same verdict;
+//  * when the protocol holds, every non-symmetry lane reports the same
+//    terminal (deadlock) fingerprint set — stubborn sets and DPOR preserve
+//    deadlocks — and the unreduced parallel search stores exactly the
+//    sequential state count;
+//  * symmetry lanes agree with each other on (canonical) terminals and
+//    never store more states than their concrete counterparts;
+//  * when the protocol is violated, every reported counterexample replays
+//    through execute() to a state that genuinely violates the property.
+//
+// Every lane runs under hard resource guards (core/explorer.hpp). A lane
+// that trips a guard is individually skipped; the whole seed is a
+// resource-skip only when the reference itself trips. Skips are not
+// divergences — a divergence means two completed searches disagree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "fuzz/spec.hpp"
+
+namespace mpb::fuzz {
+
+struct OracleConfig {
+  unsigned par_threads = 4;
+  bool test_parallel = true;
+  bool test_symmetry = true;
+  // Hard guards applied to every lane; pathological seeds become cheap
+  // skips instead of hangs.
+  std::uint64_t guard_states = std::uint64_t{1} << 14;
+  std::uint64_t guard_memory_bytes = std::uint64_t{256} << 20;
+  double watchdog_seconds = 5.0;
+  // Test-only fault injection: add a SPOR lane whose cycle proviso is
+  // disabled (the ignoring problem, re-introduced on purpose). Used to
+  // prove the oracle catches an unsound reduction as a divergence.
+  bool inject_unsound_reduction = false;
+};
+
+enum class OracleStatus : std::uint8_t { kAgree, kResourceSkip, kDiverged };
+
+struct OracleRun {
+  std::string name;           // lane, e.g. "spor/visited/t4"
+  Verdict verdict = Verdict::kHolds;
+  std::uint64_t states_stored = 0;
+  std::uint64_t terminals = 0;
+  bool skipped = false;       // hit a resource guard; excluded from checks
+};
+
+struct OracleReport {
+  OracleStatus status = OracleStatus::kAgree;
+  std::string detail;  // human-readable reason for skip/divergence
+  std::vector<OracleRun> runs;
+
+  [[nodiscard]] bool diverged() const noexcept {
+    return status == OracleStatus::kDiverged;
+  }
+};
+
+// Render the spec and run the full lane matrix. Propagates
+// std::invalid_argument if the spec itself does not render.
+[[nodiscard]] OracleReport run_oracle(const ProtocolSpec& spec,
+                                      const OracleConfig& cfg = {});
+
+}  // namespace mpb::fuzz

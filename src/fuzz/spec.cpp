@@ -1,0 +1,404 @@
+#include "fuzz/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "mp/builder.hpp"
+#include "util/bitmask.hpp"
+
+namespace mpb::fuzz {
+
+namespace {
+
+[[nodiscard]] Value clamp_value(Value v) noexcept {
+  return std::clamp<Value>(v, 0, kMaxVarValue);
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("fuzz spec: " + what);
+}
+
+// Structural validation before any builder call, so error messages point at
+// the spec rather than at the rendered protocol.
+void validate(const ProtocolSpec& spec) {
+  if (spec.roles.empty()) bad("no roles");
+  if (spec.n_msg_types == 0) bad("no message types");
+  unsigned total = 0;
+  for (std::size_t r = 0; r < spec.roles.size(); ++r) {
+    const RoleSpec& role = spec.roles[r];
+    if (role.n_procs == 0) bad("role " + std::to_string(r) + " has no processes");
+    if (role.n_vars == 0 || role.n_vars > 8) {
+      bad("role " + std::to_string(r) + " var count out of range");
+    }
+    total += role.n_procs;
+  }
+  if (total > kMaxProcesses) bad("more than 32 processes");
+  if (spec.properties.size() > 1) bad("more than one property");
+  for (const PropertySpec& p : spec.properties) {
+    if (p.role >= spec.roles.size()) bad("property role out of range");
+    if (p.var >= spec.roles[p.role].n_vars) bad("property var out of range");
+  }
+  for (std::size_t i = 0; i < spec.transitions.size(); ++i) {
+    const TransitionSpec& t = spec.transitions[i];
+    const std::string at = "transition " + std::to_string(i);
+    if (t.role >= spec.roles.size()) bad(at + ": role out of range");
+    const unsigned n_vars = spec.roles[t.role].n_vars;
+    if (t.in_msg >= static_cast<int>(spec.n_msg_types)) {
+      bad(at + ": consumed message type out of range");
+    }
+    if (t.in_msg >= 0 && t.arity < 1) bad(at + ": bad arity");
+    if (t.from_role >= static_cast<int>(spec.roles.size())) {
+      bad(at + ": sender role out of range");
+    }
+    if (t.guard.kind != GuardKind::kAlways && t.guard.var >= n_vars) {
+      bad(at + ": guard var out of range");
+    }
+    for (const OpSpec& op : t.ops) {
+      if (op.var >= n_vars) bad(at + ": op var out of range");
+    }
+    for (const SendSpec& s : t.sends) {
+      if (s.msg_type >= spec.n_msg_types) bad(at + ": sent message type out of range");
+      if (s.target == SendTarget::kRole && s.target_role >= spec.roles.size()) {
+        bad(at + ": send target role out of range");
+      }
+      if (s.target == SendTarget::kSender && (t.in_msg < 0 || t.arity != 1)) {
+        bad(at + ": reply send needs a single-message consuming transition");
+      }
+      if (s.payload == PayloadKind::kVar && s.payload_var >= n_vars) {
+        bad(at + ": payload var out of range");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RenderedModel render(const ProtocolSpec& spec) {
+  validate(spec);
+
+  mp::ProtocolBuilder b("fuzz-" + std::to_string(spec.seed));
+  for (unsigned k = 0; k < spec.n_msg_types; ++k) {
+    b.msg("M" + std::to_string(k));  // interned in index order: id == k
+  }
+
+  // Processes: role r occupies a contiguous ProcessId range.
+  std::vector<unsigned> role_base(spec.roles.size(), 0);
+  std::vector<ProcessMask> role_mask(spec.roles.size(), 0);
+  RenderedModel out;
+  unsigned next = 0;
+  for (std::size_t r = 0; r < spec.roles.size(); ++r) {
+    role_base[r] = next;
+    std::vector<ProcessId> members;
+    for (unsigned j = 0; j < spec.roles[r].n_procs; ++j) {
+      std::vector<std::pair<std::string, Value>> vars;
+      for (unsigned v = 0; v < spec.roles[r].n_vars; ++v) {
+        vars.emplace_back("v" + std::to_string(v), 0);
+      }
+      const ProcessId pid = b.process(
+          "r" + std::to_string(r) + "p" + std::to_string(j),
+          "Role" + std::to_string(r), std::move(vars));
+      role_mask[r] |= mask_of(pid);
+      members.push_back(pid);
+    }
+    next += spec.roles[r].n_procs;
+    if (members.size() >= 2) out.symmetric_roles.push_back(std::move(members));
+  }
+
+  // Per-role transition index, so names stay stable ("r1t0", "r1t1", ...)
+  // and identical across the role's instances (structural symmetry).
+  std::vector<unsigned> role_tix(spec.roles.size(), 0);
+  for (const TransitionSpec& t : spec.transitions) {
+    const unsigned r = t.role;
+    const std::string name =
+        "r" + std::to_string(r) + "t" + std::to_string(role_tix[r]++);
+    const std::string in_name = t.in_msg >= 0 ? "M" + std::to_string(t.in_msg) : "";
+
+    VarMask writes = 0;
+    for (const OpSpec& op : t.ops) writes |= VarMask{1} << op.var;
+    bool visible = false;
+    for (const PropertySpec& p : spec.properties) {
+      if (p.role == r && (writes & (VarMask{1} << p.var)) != 0) visible = true;
+    }
+    const bool all_replies =
+        !t.sends.empty() &&
+        std::all_of(t.sends.begin(), t.sends.end(), [](const SendSpec& s) {
+          return s.target == SendTarget::kSender;
+        });
+
+    const GuardSpec g = t.guard;
+    const std::vector<OpSpec> ops = t.ops;
+    const std::vector<SendSpec> sends = t.sends;
+    const std::vector<ProcessMask> masks = role_mask;
+
+    for (unsigned j = 0; j < spec.roles[r].n_procs; ++j) {
+      const auto pid = static_cast<ProcessId>(role_base[r] + j);
+      mp::TransitionBuilder& tb = b.transition(pid, name);
+      if (t.in_msg >= 0) {
+        tb.consumes(in_name, t.arity);
+      } else {
+        tb.spontaneous();
+      }
+      if (t.from_role >= 0) tb.from(role_mask[t.from_role]);
+
+      if (g.kind == GuardKind::kAlways) {
+        tb.reads_local(false);
+      } else {
+        tb.guard([g](const GuardView& v) {
+            const Value x = v.local[g.var];
+            switch (g.kind) {
+              case GuardKind::kVarEq: return x == g.value;
+              case GuardKind::kVarNe: return x != g.value;
+              case GuardKind::kVarLt: return x < g.value;
+              case GuardKind::kAlways: return true;
+            }
+            return true;
+          })
+          .reads(VarMask{1} << g.var);
+      }
+
+      if (ops.empty() && sends.empty()) {
+        tb.writes_local(false);
+      } else {
+        tb.effect([ops, sends, masks](EffectCtx& c) {
+          for (const OpSpec& op : ops) {
+            switch (op.kind) {
+              case OpKind::kSet:
+                c.set_local(op.var, clamp_value(op.value));
+                break;
+              case OpKind::kInc:
+                c.set_local(op.var,
+                            std::min<Value>(c.local(op.var) + 1, kMaxVarValue));
+                break;
+              case OpKind::kCopyPayload: {
+                Value v = 0;
+                if (!c.consumed().empty() && c.consumed()[0].payload_size() > 0) {
+                  v = c.consumed()[0][0];
+                }
+                c.set_local(op.var, clamp_value(v));
+                break;
+              }
+            }
+          }
+          for (const SendSpec& s : sends) {
+            const Value pay = s.payload == PayloadKind::kVar
+                                  ? c.local(s.payload_var)
+                                  : clamp_value(s.payload_value);
+            const auto mt = static_cast<MsgType>(s.msg_type);
+            if (s.target == SendTarget::kSender) {
+              c.send(c.consumed()[0].sender(), mt, {pay});
+            } else {
+              mask_for_each(masks[s.target_role], [&](unsigned to) {
+                c.send(static_cast<ProcessId>(to), mt, {pay});
+              });
+            }
+          }
+        });
+        if (writes != 0) {
+          tb.writes(writes);
+        } else {
+          tb.writes_local(false);
+        }
+      }
+
+      for (const SendSpec& s : sends) {
+        const ProcessMask to = s.target == SendTarget::kSender
+                                   ? (t.from_role >= 0 ? role_mask[t.from_role]
+                                                       : kAllProcesses)
+                                   : role_mask[s.target_role];
+        tb.sends("M" + std::to_string(s.msg_type), to);
+      }
+      if (all_replies && t.in_msg >= 0 && t.arity == 1) tb.reply();
+      if (visible) tb.visible();
+      tb.priority(t.priority);
+    }
+  }
+
+  for (const PropertySpec& p : spec.properties) {
+    std::vector<std::size_t> offsets;
+    for (unsigned j = 0; j < spec.roles[p.role].n_procs; ++j) {
+      offsets.push_back(0);  // filled below from the built process table
+    }
+    // Offsets are deterministic: every process of the role has n_vars slots
+    // and the roles were added in order.
+    std::size_t base = 0;
+    for (unsigned r = 0; r < p.role; ++r) {
+      base += static_cast<std::size_t>(spec.roles[r].n_procs) * spec.roles[r].n_vars;
+    }
+    for (unsigned j = 0; j < spec.roles[p.role].n_procs; ++j) {
+      offsets[j] = base + static_cast<std::size_t>(j) * spec.roles[p.role].n_vars;
+    }
+    const unsigned var = p.var;
+    const Value bad_value = p.bad_value;
+    b.property("r" + std::to_string(p.role) + "v" + std::to_string(p.var) +
+                   "_ne_" + std::to_string(p.bad_value),
+               [offsets, var, bad_value](const State& s, const Protocol&) {
+                 for (const std::size_t off : offsets) {
+                   if (s.locals()[off + var] == bad_value) return false;
+                 }
+                 return true;
+               });
+  }
+
+  out.protocol = b.build();
+  return out;
+}
+
+// --- .repro round-trip -------------------------------------------------------
+
+std::string serialize(const ProtocolSpec& spec) {
+  std::ostringstream os;
+  os << "mpb-fuzz-repro v1\n";
+  os << "seed " << spec.seed << "\n";
+  os << "msgtypes " << spec.n_msg_types << "\n";
+  os << "roles " << spec.roles.size() << "\n";
+  for (const RoleSpec& r : spec.roles) os << r.n_procs << " " << r.n_vars << "\n";
+  os << "transitions " << spec.transitions.size() << "\n";
+  for (const TransitionSpec& t : spec.transitions) {
+    os << "t " << t.role << " " << t.in_msg << " " << t.arity << " "
+       << t.from_role << " " << t.priority << " " << t.ops.size() << " "
+       << t.sends.size() << "\n";
+    os << "g " << static_cast<int>(t.guard.kind) << " " << t.guard.var << " "
+       << t.guard.value << "\n";
+    for (const OpSpec& op : t.ops) {
+      os << "o " << static_cast<int>(op.kind) << " " << op.var << " "
+         << op.value << "\n";
+    }
+    for (const SendSpec& s : t.sends) {
+      os << "s " << s.msg_type << " " << static_cast<int>(s.target) << " "
+         << s.target_role << " " << static_cast<int>(s.payload) << " "
+         << s.payload_var << " " << s.payload_value << "\n";
+    }
+  }
+  os << "properties " << spec.properties.size() << "\n";
+  for (const PropertySpec& p : spec.properties) {
+    os << "p " << p.role << " " << p.var << " " << p.bad_value << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : in_(text) {}
+
+  std::string word() {
+    std::string w;
+    if (!(in_ >> w)) bad("unexpected end of repro");
+    return w;
+  }
+  void expect(std::string_view kw) {
+    const std::string w = word();
+    if (w != kw) bad("expected '" + std::string(kw) + "', got '" + w + "'");
+  }
+  template <typename T>
+  T num() {
+    long long v = 0;
+    if (!(in_ >> v)) bad("expected a number");
+    return static_cast<T>(v);
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+}  // namespace
+
+ProtocolSpec parse_repro(const std::string& text) {
+  Parser p(text);
+  p.expect("mpb-fuzz-repro");
+  p.expect("v1");
+  ProtocolSpec spec;
+  p.expect("seed");
+  spec.seed = p.num<std::uint64_t>();
+  p.expect("msgtypes");
+  spec.n_msg_types = p.num<unsigned>();
+  p.expect("roles");
+  const auto n_roles = p.num<std::size_t>();
+  if (n_roles > kMaxProcesses) bad("too many roles");
+  for (std::size_t r = 0; r < n_roles; ++r) {
+    RoleSpec role;
+    role.n_procs = p.num<unsigned>();
+    role.n_vars = p.num<unsigned>();
+    spec.roles.push_back(role);
+  }
+  p.expect("transitions");
+  const auto n_trans = p.num<std::size_t>();
+  if (n_trans > 4096) bad("too many transitions");
+  for (std::size_t i = 0; i < n_trans; ++i) {
+    p.expect("t");
+    TransitionSpec t;
+    t.role = p.num<unsigned>();
+    t.in_msg = p.num<int>();
+    t.arity = p.num<int>();
+    t.from_role = p.num<int>();
+    t.priority = p.num<int>();
+    const auto n_ops = p.num<std::size_t>();
+    const auto n_sends = p.num<std::size_t>();
+    if (n_ops > 256 || n_sends > 256) bad("transition body too large");
+    p.expect("g");
+    const int gk = p.num<int>();
+    if (gk < 0 || gk > 3) bad("bad guard kind");
+    t.guard.kind = static_cast<GuardKind>(gk);
+    t.guard.var = p.num<unsigned>();
+    t.guard.value = p.num<Value>();
+    for (std::size_t k = 0; k < n_ops; ++k) {
+      p.expect("o");
+      OpSpec op;
+      const int ok = p.num<int>();
+      if (ok < 0 || ok > 2) bad("bad op kind");
+      op.kind = static_cast<OpKind>(ok);
+      op.var = p.num<unsigned>();
+      op.value = p.num<Value>();
+      t.ops.push_back(op);
+    }
+    for (std::size_t k = 0; k < n_sends; ++k) {
+      p.expect("s");
+      SendSpec s;
+      s.msg_type = p.num<unsigned>();
+      const int tk = p.num<int>();
+      if (tk < 0 || tk > 1) bad("bad send target kind");
+      s.target = static_cast<SendTarget>(tk);
+      s.target_role = p.num<unsigned>();
+      const int pk = p.num<int>();
+      if (pk < 0 || pk > 1) bad("bad payload kind");
+      s.payload = static_cast<PayloadKind>(pk);
+      s.payload_var = p.num<unsigned>();
+      s.payload_value = p.num<Value>();
+      t.sends.push_back(s);
+    }
+    spec.transitions.push_back(std::move(t));
+  }
+  p.expect("properties");
+  const auto n_props = p.num<std::size_t>();
+  if (n_props > 1) bad("more than one property");
+  for (std::size_t i = 0; i < n_props; ++i) {
+    p.expect("p");
+    PropertySpec prop;
+    prop.role = p.num<unsigned>();
+    prop.var = p.num<unsigned>();
+    prop.bad_value = p.num<Value>();
+    spec.properties.push_back(prop);
+  }
+  p.expect("end");
+  validate(spec);  // reject structurally broken repro files up front
+  return spec;
+}
+
+std::string describe(const ProtocolSpec& spec) {
+  unsigned procs = 0;
+  for (const RoleSpec& r : spec.roles) procs += r.n_procs;
+  std::ostringstream os;
+  os << "seed " << spec.seed << ": " << spec.roles.size() << " role"
+     << (spec.roles.size() == 1 ? "" : "s") << "/" << procs << " proc"
+     << (procs == 1 ? "" : "s") << ", " << spec.transitions.size()
+     << " transition" << (spec.transitions.size() == 1 ? "" : "s") << ", "
+     << spec.n_msg_types << " msg type" << (spec.n_msg_types == 1 ? "" : "s")
+     << ", " << spec.properties.size() << " propert"
+     << (spec.properties.size() == 1 ? "y" : "ies");
+  return os.str();
+}
+
+}  // namespace mpb::fuzz

@@ -1,0 +1,119 @@
+// The fuzzer's protocol grammar: a ProtocolSpec is a small plain-data
+// description of a message-passing protocol — roles with replicated
+// processes, guarded transitions over bounded local variables, role-mask or
+// reply sends, and at most one "no member of role R ever holds v == k"
+// invariant. render() turns a spec into a real Protocol through
+// mp::ProtocolBuilder, deriving every static POR annotation (reads/writes
+// masks, reply flags, visibility) exactly, so generated protocols exercise
+// the reduction machinery the same way the hand-written models do.
+//
+// Specs serialize to a line-based `.repro` format (serialize/parse_repro)
+// so a divergence found by the differential oracle (fuzz/oracle.hpp) can be
+// minimized (fuzz/minimize.hpp), written to disk, and replayed bit-for-bit
+// by `mpbfuzz --replay`.
+//
+// Symmetry soundness by construction: every process of a role gets the same
+// transitions (same names, priorities, annotations — only the executing
+// process differs), sends target whole role masks or reply to the sender,
+// and payloads never contain process ids, so the role partition reported by
+// render() is a true structural symmetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace mpb::fuzz {
+
+// Local variables range over [0, kMaxVarValue]; every write is clamped, so
+// the local-state part of the reachable space is finite by construction
+// (the network multiset may still grow without bound — that is what the
+// resource guards are for).
+inline constexpr Value kMaxVarValue = 3;
+
+struct RoleSpec {
+  unsigned n_procs = 1;
+  unsigned n_vars = 1;
+};
+
+enum class GuardKind : std::uint8_t { kAlways, kVarEq, kVarNe, kVarLt };
+
+struct GuardSpec {
+  GuardKind kind = GuardKind::kAlways;
+  unsigned var = 0;
+  Value value = 0;
+};
+
+enum class OpKind : std::uint8_t {
+  kSet,          // var := value
+  kInc,          // var := min(var + 1, kMaxVarValue)
+  kCopyPayload,  // var := first payload slot of the first consumed message
+};
+
+struct OpSpec {
+  OpKind kind = OpKind::kSet;
+  unsigned var = 0;
+  Value value = 0;
+};
+
+enum class SendTarget : std::uint8_t { kRole, kSender };
+enum class PayloadKind : std::uint8_t { kConst, kVar };
+
+struct SendSpec {
+  unsigned msg_type = 0;
+  SendTarget target = SendTarget::kRole;
+  unsigned target_role = 0;               // meaningful for kRole
+  PayloadKind payload = PayloadKind::kConst;
+  unsigned payload_var = 0;               // meaningful for kVar
+  Value payload_value = 0;                // meaningful for kConst
+};
+
+struct TransitionSpec {
+  unsigned role = 0;
+  int in_msg = -1;     // message type consumed; -1 = spontaneous
+  int arity = 1;       // messages consumed (quorum when > 1); ignored if spontaneous
+  int from_role = -1;  // restrict senders to one role; -1 = any process
+  GuardSpec guard;
+  std::vector<OpSpec> ops;
+  std::vector<SendSpec> sends;
+  int priority = 0;
+};
+
+// "No process of `role` ever reaches local[var] == bad_value."
+struct PropertySpec {
+  unsigned role = 0;
+  unsigned var = 0;
+  Value bad_value = 1;
+};
+
+struct ProtocolSpec {
+  std::uint64_t seed = 0;  // provenance only; does not affect render()
+  unsigned n_msg_types = 1;
+  std::vector<RoleSpec> roles;
+  std::vector<TransitionSpec> transitions;
+  std::vector<PropertySpec> properties;  // at most one (keeps verdicts comparable)
+};
+
+struct RenderedModel {
+  Protocol protocol{"fuzz"};
+  // Roles with >= 2 processes, in ProcessId terms — what the symmetry
+  // reducer consumes.
+  std::vector<std::vector<ProcessId>> symmetric_roles;
+};
+
+// Build the protocol. Throws std::invalid_argument on any structural error
+// (bad role/var/message index, reply send on a quorum transition, ...);
+// ProtocolBuilder::build() re-validates the result.
+[[nodiscard]] RenderedModel render(const ProtocolSpec& spec);
+
+// Line-based `.repro` round-trip. parse_repro throws std::invalid_argument
+// with a line-precise message on malformed input.
+[[nodiscard]] std::string serialize(const ProtocolSpec& spec);
+[[nodiscard]] ProtocolSpec parse_repro(const std::string& text);
+
+// One-line human summary ("seed 42: 2 roles/4 procs, 5 transitions, ...").
+[[nodiscard]] std::string describe(const ProtocolSpec& spec);
+
+}  // namespace mpb::fuzz

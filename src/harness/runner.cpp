@@ -150,6 +150,9 @@ std::string format_cell(const ExploreResult& r) {
   if (r.verdict == Verdict::kBudgetExceeded) {
     os << ">" << format_count(r.stats.states_stored) << " " << format_time(r.stats.seconds)
        << " (budget)";
+  } else if (r.verdict == Verdict::kResourceLimit) {
+    os << ">" << format_count(r.stats.states_stored) << " " << format_time(r.stats.seconds)
+       << " (resource)";
   } else {
     os << to_string(r.verdict) << " " << format_count(r.stats.states_stored) << " "
        << format_time(r.stats.seconds);

@@ -10,7 +10,7 @@
 // causally unordered; a detected race between an executed event and a
 // currently enabled one adds a backtrack point at the earlier frame.
 //
-// Two deviations from plain Flanagan-Godefroid keep the algorithm sound in
+// Three deviations from plain Flanagan-Godefroid keep the algorithm sound in
 // the guarded message-set setting:
 //  * whenever an event of a process is selected for exploration, every
 //    co-enabled event of that same process is scheduled at the same frame.
@@ -19,6 +19,12 @@
 //    event consumes the pool, a guard may lock out a sibling — so the usual
 //    "the race partner is still enabled later" assumption does not hold and
 //    per-process choices are expanded eagerly instead;
+//  * a consuming event additionally races with every producer of its input
+//    pool: executing the consume forecloses the message-choice alternatives
+//    (which copy an arity-1 event takes, which multiset a quorum takes) that
+//    the producer's sends would have opened. Producers co-enabled with the
+//    consume are scheduled eagerly at its frame; producers that only become
+//    enabled later backtrack to before the consume when they execute;
 //  * when a racing event was not enabled at the backtrack frame, the whole
 //    frame is re-expanded (the conservative fallback of [13]).
 //

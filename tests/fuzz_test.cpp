@@ -1,0 +1,267 @@
+// The fuzz subsystem (src/fuzz): generator determinism and validity, the
+// .repro round-trip, differential-oracle agreement, the injected-proviso-bug
+// divergence + minimization flow, and the resource guards (watchdog,
+// state and memory budgets) across the sequential, parallel and stateless
+// drivers. Fuzz* suites carry the `fuzz` ctest label.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/explorer.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/spec.hpp"
+#include "por/dpor.hpp"
+
+namespace mpb::fuzz {
+namespace {
+
+// Oracle config for tests: tight guards so pathological seeds abort in
+// milliseconds rather than eating the watchdog.
+OracleConfig test_oracle() {
+  OracleConfig cfg;
+  cfg.par_threads = 4;
+  cfg.guard_states = 1u << 13;
+  cfg.guard_memory_bytes = std::uint64_t{64} << 20;
+  cfg.watchdog_seconds = 10.0;
+  return cfg;
+}
+
+// --- generator ---------------------------------------------------------------
+
+TEST(FuzzGeneratorTest, SameSeedSameSpec) {
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(serialize(generate(seed)), serialize(generate(seed)))
+        << "seed " << seed;
+  }
+}
+
+TEST(FuzzGeneratorTest, DistinctSeedsDistinctSpecs) {
+  // Not a guarantee, but 0 and 1 colliding would mean the RNG is broken.
+  EXPECT_NE(serialize(generate(0)), serialize(generate(1)));
+}
+
+TEST(FuzzGeneratorTest, EverySeedRenders) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const ProtocolSpec spec = generate(seed);
+    RenderedModel m;
+    ASSERT_NO_THROW(m = render(spec)) << "seed " << seed;
+    EXPECT_GE(m.protocol.n_procs(), 1u);
+    EXPECT_GE(m.protocol.n_transitions(), 1u);
+    EXPECT_TRUE(m.protocol.validate().empty()) << m.protocol.validate();
+  }
+}
+
+// --- .repro round-trip -------------------------------------------------------
+
+TEST(FuzzReproTest, RoundTripsGeneratedSpecs) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const std::string text = serialize(generate(seed));
+    EXPECT_EQ(serialize(parse_repro(text)), text) << "seed " << seed;
+  }
+}
+
+TEST(FuzzReproTest, RoundTripsHandcraftedSpecs) {
+  for (const ProtocolSpec& spec : {ignoring_trap_spec(), amplifier_spec()}) {
+    const std::string text = serialize(spec);
+    EXPECT_EQ(serialize(parse_repro(text)), text);
+  }
+}
+
+TEST(FuzzReproTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_repro(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_repro("mpb-fuzz-repro v2\n"), std::invalid_argument);
+  std::string truncated = serialize(ignoring_trap_spec());
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)parse_repro(truncated), std::invalid_argument);
+  // Structural garbage behind a well-formed header.
+  EXPECT_THROW((void)parse_repro("mpb-fuzz-repro v1\nseed 0\nmsgtypes 1\n"
+                                 "roles 1\n1 99\ntransitions 0\n"
+                                 "properties 0\nend\n"),
+               std::invalid_argument);
+}
+
+// --- differential oracle -----------------------------------------------------
+
+TEST(FuzzOracleTest, GeneratedSeedsAgree) {
+  const OracleConfig cfg = test_oracle();
+  unsigned agreed = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const OracleReport rep = run_oracle(generate(seed), cfg);
+    EXPECT_NE(rep.status, OracleStatus::kDiverged)
+        << "seed " << seed << ": " << rep.detail;
+    if (rep.status == OracleStatus::kAgree) ++agreed;
+  }
+  // The generator is biased toward small terminating protocols; if most
+  // seeds resource-skip, the guards (or the bias) regressed.
+  EXPECT_GE(agreed, 20u);
+}
+
+TEST(FuzzOracleTest, TrapSpecAgreesWithSoundProvisos) {
+  const OracleReport rep = run_oracle(ignoring_trap_spec(), test_oracle());
+  EXPECT_EQ(rep.status, OracleStatus::kAgree) << rep.detail;
+  ASSERT_FALSE(rep.runs.empty());
+  // The violation hides behind an independent cycle, but every sound lane
+  // must still find it.
+  for (const OracleRun& r : rep.runs) {
+    if (!r.skipped) {
+      EXPECT_EQ(r.verdict, Verdict::kViolated) << r.name;
+    }
+  }
+}
+
+TEST(FuzzOracleTest, InjectedProvisoBugIsCaught) {
+  OracleConfig cfg = test_oracle();
+  cfg.inject_unsound_reduction = true;
+  const OracleReport rep = run_oracle(ignoring_trap_spec(), cfg);
+  ASSERT_TRUE(rep.diverged()) << rep.detail;
+  EXPECT_NE(rep.detail.find("broken-proviso"), std::string::npos) << rep.detail;
+}
+
+// --- minimizer ---------------------------------------------------------------
+
+TEST(FuzzMinimizeTest, ShrinksInjectedDivergenceToDeterministicRepro) {
+  OracleConfig cfg = test_oracle();
+  cfg.inject_unsound_reduction = true;
+
+  // Pad the trap with an irrelevant role the minimizer should shave off.
+  ProtocolSpec padded = ignoring_trap_spec();
+  padded.roles.push_back(RoleSpec{2, 1});
+  TransitionSpec noise;
+  noise.role = static_cast<unsigned>(padded.roles.size() - 1);
+  noise.in_msg = -1;
+  noise.guard = GuardSpec{GuardKind::kVarLt, 0, 1};
+  noise.ops.push_back(OpSpec{OpKind::kInc, 0, 0});
+  padded.transitions.push_back(noise);
+
+  ASSERT_TRUE(run_oracle(padded, cfg).diverged());
+
+  MinimizeStats stats;
+  const ProtocolSpec shrunk = minimize(padded, cfg, &stats);
+  EXPECT_GT(stats.accepted, 0u);
+  EXPECT_LT(shrunk.transitions.size(), padded.transitions.size());
+  EXPECT_TRUE(run_oracle(shrunk, cfg).diverged());
+
+  // The written repro replays to the same divergence, bit for bit.
+  const std::string repro = serialize(shrunk);
+  const ProtocolSpec reparsed = parse_repro(repro);
+  EXPECT_EQ(serialize(reparsed), repro);
+  EXPECT_TRUE(run_oracle(reparsed, cfg).diverged());
+  EXPECT_EQ(serialize(minimize(padded, cfg)), repro) << "minimizer not deterministic";
+}
+
+TEST(FuzzMinimizeTest, NonDivergentSpecReturnedUnchanged) {
+  const ProtocolSpec spec = generate(3);
+  const ProtocolSpec out = minimize(spec, test_oracle());
+  EXPECT_EQ(serialize(out), serialize(spec));
+}
+
+// --- resource guards ---------------------------------------------------------
+
+ExploreConfig guarded_config() {
+  ExploreConfig cfg;
+  cfg.mode = SearchMode::kStateful;
+  cfg.visited = VisitedMode::kInterned;
+  return cfg;
+}
+
+TEST(FuzzResourceLimitTest, WatchdogFiresOnUnboundedProtocol) {
+  const RenderedModel m = render(amplifier_spec());
+  ExploreConfig cfg = guarded_config();
+  cfg.guard.watchdog_seconds = 0.25;
+  const ExploreResult r = explore(m.protocol, cfg, nullptr);
+  EXPECT_EQ(r.verdict, Verdict::kResourceLimit);
+  EXPECT_GT(r.stats.events_executed, 0u);
+  EXPECT_GT(r.stats.states_stored, 0u);
+  EXPECT_LT(r.stats.seconds, 30.0);
+}
+
+TEST(FuzzResourceLimitTest, WatchdogFiresUnderDpor) {
+  const RenderedModel m = render(amplifier_spec());
+  ExploreConfig cfg;
+  cfg.mode = SearchMode::kStateless;
+  cfg.guard.watchdog_seconds = 0.25;
+  const ExploreResult r = explore_dpor(m.protocol, cfg, DporOptions{});
+  EXPECT_EQ(r.verdict, Verdict::kResourceLimit);
+  EXPECT_GT(r.stats.events_executed, 0u);
+}
+
+TEST(FuzzResourceLimitTest, StateGuardAbortsWithPartialStatsSequential) {
+  const RenderedModel m = render(amplifier_spec());
+  ExploreConfig cfg = guarded_config();
+  cfg.guard.max_states = 2000;
+  const ExploreResult r = explore(m.protocol, cfg, nullptr);
+  EXPECT_EQ(r.verdict, Verdict::kResourceLimit);
+  EXPECT_GE(r.stats.states_stored, 2000u);
+  EXPECT_LT(r.stats.states_stored, 4000u);  // bounded overshoot
+  EXPECT_GT(r.stats.events_executed, 0u);
+}
+
+TEST(FuzzResourceLimitTest, StateGuardAbortsWithPartialStatsParallel) {
+  const RenderedModel m = render(amplifier_spec());
+  ExploreConfig cfg = guarded_config();
+  cfg.threads = 8;
+  cfg.guard.max_states = 2000;
+  const ExploreResult r = explore(m.protocol, cfg, nullptr);
+  EXPECT_EQ(r.verdict, Verdict::kResourceLimit);
+  EXPECT_GE(r.stats.states_stored, 2000u);
+  // Each worker stops at its first post-insert check; generous slack for
+  // in-flight expansions.
+  EXPECT_LT(r.stats.states_stored, 12000u);
+  EXPECT_GT(r.stats.events_executed, 0u);
+}
+
+TEST(FuzzResourceLimitTest, MemoryGuardAborts) {
+  const RenderedModel m = render(amplifier_spec());
+  for (const unsigned threads : {1u, 8u}) {
+    ExploreConfig cfg = guarded_config();
+    cfg.threads = threads;
+    cfg.guard.max_memory_bytes = std::uint64_t{1} << 16;  // 64 KiB
+    const ExploreResult r = explore(m.protocol, cfg, nullptr);
+    EXPECT_EQ(r.verdict, Verdict::kResourceLimit) << threads << " threads";
+    EXPECT_GT(r.stats.states_stored, 0u);
+  }
+}
+
+TEST(FuzzResourceLimitTest, BudgetsStillReportBudgetExceeded) {
+  const RenderedModel m = render(amplifier_spec());
+  ExploreConfig cfg = guarded_config();
+  cfg.max_states = 2000;  // benchmarking budget, not a guard
+  const ExploreResult r = explore(m.protocol, cfg, nullptr);
+  EXPECT_EQ(r.verdict, Verdict::kBudgetExceeded);
+}
+
+TEST(FuzzResourceLimitTest, GuardWinsWhenGuardAndBudgetBothTrip) {
+  const RenderedModel m = render(amplifier_spec());
+  ExploreConfig cfg = guarded_config();
+  cfg.max_states = 2000;
+  cfg.guard.max_states = 1000;  // trips first, and takes precedence anyway
+  const ExploreResult r = explore(m.protocol, cfg, nullptr);
+  EXPECT_EQ(r.verdict, Verdict::kResourceLimit);
+}
+
+TEST(FuzzResourceLimitTest, GuardedBoundedProtocolStillCompletes) {
+  // Guards must be inert when nothing trips: the trap protocol has 8 states.
+  const RenderedModel m = render(ignoring_trap_spec());
+  ExploreConfig cfg = guarded_config();
+  cfg.guard.watchdog_seconds = 30.0;
+  cfg.guard.max_states = 1u << 16;
+  cfg.guard.max_memory_bytes = std::uint64_t{64} << 20;
+  const ExploreResult r = explore(m.protocol, cfg, nullptr);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+}
+
+// --- smoke sweep -------------------------------------------------------------
+
+TEST(FuzzSmokeTest, ShortCampaignIsClean) {
+  const OracleConfig cfg = test_oracle();
+  for (std::uint64_t seed = 100; seed < 125; ++seed) {
+    const OracleReport rep = run_oracle(generate(seed), cfg);
+    EXPECT_NE(rep.status, OracleStatus::kDiverged)
+        << "seed " << seed << ": " << rep.detail;
+  }
+}
+
+}  // namespace
+}  // namespace mpb::fuzz

@@ -56,13 +56,28 @@ def group_of(record):
     return f"{base}|{record.get('visited', '?')}"
 
 
+# Keys every comparison/pretty-print path reads; validated at load time so a
+# truncated or hand-edited file fails with a pointed message instead of a
+# KeyError traceback halfway through the diff.
+REQUIRED_KEYS = ("name", "verdict", "states_stored", "states_per_sec",
+                 "events_per_sec", "peak_rss_kb")
+
+
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     if data.get("schema") != "mpb-bench-v1":
         raise SystemExit(f"{path}: unexpected schema {data.get('schema')!r}")
+    records = data.get("records")
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: no 'records' array")
     out = {}
-    for r in data["records"]:
+    for i, r in enumerate(records):
+        missing = [k for k in REQUIRED_KEYS if k not in r]
+        if missing:
+            raise SystemExit(f"{path}: record {i} "
+                             f"({r.get('name', '<unnamed>')}) is missing "
+                             f"key(s): {', '.join(missing)}")
         k = key_of(r)
         if k in out:
             print(f"warning: {path}: duplicate record {k}; keeping the last",
@@ -182,12 +197,29 @@ def main():
         return 0
 
     old = load(args.old)
+
+    # A series present on one side only means the two files don't measure the
+    # same suite — a renamed workload, a stale baseline, or a truncated run.
+    # Diffing what remains would silently hide the drift, so say exactly what
+    # is missing on which side and fail.
+    only_old = sorted(k for k in old if k not in new)
+    only_new = sorted(k for k in new if k not in old)
+    if only_old or only_new:
+        for k in only_old:
+            print(f"series missing from {args.new}: {k} "
+                  f"(present in baseline {args.old})", file=sys.stderr)
+        for k in only_new:
+            print(f"series missing from baseline {args.old}: {k} "
+                  f"(present in {args.new})", file=sys.stderr)
+        print(f"\nthe two files measure different series "
+              f"({len(only_old)} baseline-only, {len(only_new)} new-only); "
+              f"regenerate both from the same suite, or refresh the baseline "
+              f"with: cp {args.new} {args.old}", file=sys.stderr)
+        return 1
+
     regressions = []
     print(f"{'workload':<{width}}  {'old states/s':>14}  {'new states/s':>14}  {'delta':>8}")
     for name, r in new.items():
-        if name not in old:
-            print(f"{name:<{width}}  {'(new)':>14}  {fmt_rate(r['states_per_sec']):>14}")
-            continue
         o, n = old[name]["states_per_sec"], r["states_per_sec"]
         delta = (n - o) / o if o > 0 else 0.0
         marker = ""

@@ -59,6 +59,11 @@ constexpr std::string_view kEngineHelp =
   --visited V         exact | fingerprint | interned visited-set storage
   --max-states N      state budget   (default 3,000,000 or MPB_BUDGET_STATES)
   --max-seconds S     time budget    (default 120 or MPB_BUDGET_SECONDS)
+  --watchdog S        wall-clock resource guard; aborts with verdict
+                      ">resource" and partial stats (unlike the budgets,
+                      which report ">budget")
+  --guard-states N    hard stored-state resource guard (0 = off)
+  --guard-mem-mb N    approximate state-storage memory guard in MiB (0 = off)
   --repeat N          run N times, report the fastest (default 1 or MPB_REPEAT)
   --progress          rate-limited progress lines on stderr (or MPB_PROGRESS)
   --progress-interval MS   min milliseconds between progress lines (implies
@@ -197,6 +202,15 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(parse_long(arg, next()));
     } else if (arg == "--max-seconds") {
       req.explore.max_seconds = static_cast<double>(parse_long(arg, next()));
+    } else if (arg == "--watchdog") {
+      req.explore.guard.watchdog_seconds =
+          static_cast<double>(parse_long(arg, next()));
+    } else if (arg == "--guard-states") {
+      req.explore.guard.max_states =
+          static_cast<std::uint64_t>(parse_long(arg, next()));
+    } else if (arg == "--guard-mem-mb") {
+      req.explore.guard.max_memory_bytes =
+          static_cast<std::uint64_t>(parse_long(arg, next())) << 20;
     } else if (arg.rfind("--", 0) == 0) {
       // Anything else is a model parameter: the schema says whether it is a
       // value-less flag (bool) or consumes the next argument (int).

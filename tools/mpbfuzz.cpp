@@ -1,0 +1,235 @@
+// mpbfuzz — differential fuzzing front end (src/fuzz).
+//
+// Campaign mode: generate a seeded random protocol per seed, run it through
+// the full differential-oracle lane matrix (full / spor stack / spor visited
+// / spor scc / dpor, sequential and parallel, with and without symmetry),
+// and on any divergence shrink the spec with the delta-debugging minimizer
+// and write a deterministic `.repro` file.
+//
+//   mpbfuzz --seeds 0..199                   campaign over a seed range
+//   mpbfuzz --seeds 50                       a single seed
+//   mpbfuzz --replay out/seed-7.repro        re-run a written repro
+//
+// Options:
+//   --seeds A..B | N    seed range (inclusive ends) or single seed (default 0..99)
+//   --threads N         parallel-lane worker threads (default 4; 1 disables)
+//   --no-parallel       drop the multi-threaded lanes
+//   --no-symmetry       drop the symmetry lanes
+//   --guard-states N    per-lane stored-state guard (default 16384)
+//   --guard-mem-mb N    per-lane memory guard in MiB (default 256)
+//   --watchdog S        per-lane wall-clock watchdog seconds (default 5)
+//   --out DIR           where .repro files go (default fuzz-out)
+//   --no-minimize       write the unshrunken spec on divergence
+//   --inject-proviso-bug  enable the broken-cycle-proviso lane (test only:
+//                       proves the oracle catches an unsound reduction)
+//   --replay FILE       parse FILE, run the oracle once, print every lane
+//   --quiet             only the summary line
+//
+// Exit status: 0 = no divergence, 1 = divergence found, 2 = usage error.
+#include <charconv>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/minimize.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/spec.hpp"
+
+using namespace mpb;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: mpbfuzz [--seeds A..B|N] [--threads N] [--no-parallel]\n"
+               "               [--no-symmetry] [--guard-states N] "
+               "[--guard-mem-mb N]\n"
+               "               [--watchdog S] [--out DIR] [--no-minimize]\n"
+               "               [--inject-proviso-bug] [--quiet]\n"
+               "       mpbfuzz --replay FILE [lane options]\n";
+  return 2;
+}
+
+long long parse_ll(const std::string& opt, const std::string& value) {
+  long long out = 0;
+  const char* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec != std::errc{} || ptr != end || out < 0) {
+    std::cerr << "mpbfuzz: " << opt << " expects a non-negative integer, got '"
+              << value << "'\n";
+    exit(2);
+  }
+  return out;
+}
+
+const char* status_name(fuzz::OracleStatus s) {
+  switch (s) {
+    case fuzz::OracleStatus::kAgree: return "agree";
+    case fuzz::OracleStatus::kResourceSkip: return "resource-skip";
+    case fuzz::OracleStatus::kDiverged: return "DIVERGED";
+  }
+  return "?";
+}
+
+void print_lanes(const fuzz::OracleReport& rep) {
+  for (const fuzz::OracleRun& r : rep.runs) {
+    std::cout << "  " << r.name << ": " << to_string(r.verdict) << ", "
+              << r.states_stored << " states, " << r.terminals << " terminals"
+              << (r.skipped ? " [skipped]" : "") << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  std::uint64_t seed_lo = 0;
+  std::uint64_t seed_hi = 99;
+  fuzz::OracleConfig oracle;
+  std::string out_dir = "fuzz-out";
+  std::string replay_file;
+  bool do_minimize = true;
+  bool quiet = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "mpbfuzz: " << arg << " needs a value\n";
+        exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--seeds") {
+      const std::string& v = next();
+      const auto dots = v.find("..");
+      if (dots == std::string::npos) {
+        seed_lo = seed_hi = static_cast<std::uint64_t>(parse_ll(arg, v));
+      } else {
+        seed_lo = static_cast<std::uint64_t>(parse_ll(arg, v.substr(0, dots)));
+        seed_hi = static_cast<std::uint64_t>(parse_ll(arg, v.substr(dots + 2)));
+        if (seed_hi < seed_lo) {
+          std::cerr << "mpbfuzz: empty seed range '" << v << "'\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--threads") {
+      oracle.par_threads = static_cast<unsigned>(parse_ll(arg, next()));
+      if (oracle.par_threads < 2) oracle.test_parallel = false;
+    } else if (arg == "--no-parallel") {
+      oracle.test_parallel = false;
+    } else if (arg == "--no-symmetry") {
+      oracle.test_symmetry = false;
+    } else if (arg == "--guard-states") {
+      oracle.guard_states = static_cast<std::uint64_t>(parse_ll(arg, next()));
+    } else if (arg == "--guard-mem-mb") {
+      oracle.guard_memory_bytes =
+          static_cast<std::uint64_t>(parse_ll(arg, next())) << 20;
+    } else if (arg == "--watchdog") {
+      oracle.watchdog_seconds = static_cast<double>(parse_ll(arg, next()));
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--no-minimize") {
+      do_minimize = false;
+    } else if (arg == "--inject-proviso-bug") {
+      oracle.inject_unsound_reduction = true;
+    } else if (arg == "--replay") {
+      replay_file = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "mpbfuzz: unknown option '" << arg << "'\n";
+      return usage();
+    }
+  }
+
+  // --- replay mode -----------------------------------------------------------
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
+    if (!in) {
+      std::cerr << "mpbfuzz: cannot open '" << replay_file << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    fuzz::ProtocolSpec spec;
+    try {
+      spec = fuzz::parse_repro(text.str());
+    } catch (const std::exception& e) {
+      std::cerr << "mpbfuzz: bad repro: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << fuzz::describe(spec) << "\n";
+    const fuzz::OracleReport rep = fuzz::run_oracle(spec, oracle);
+    print_lanes(rep);
+    std::cout << "status: " << status_name(rep.status);
+    if (!rep.detail.empty()) std::cout << " — " << rep.detail;
+    std::cout << "\n";
+    return rep.diverged() ? 1 : 0;
+  }
+
+  // --- campaign mode ---------------------------------------------------------
+  std::uint64_t agree = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t diverged = 0;
+  bool out_dir_ready = false;
+
+  for (std::uint64_t seed = seed_lo; seed <= seed_hi; ++seed) {
+    const fuzz::ProtocolSpec spec = fuzz::generate(seed);
+    fuzz::OracleReport rep;
+    try {
+      rep = fuzz::run_oracle(spec, oracle);
+    } catch (const std::exception& e) {
+      // A generated spec must always render and check; anything thrown here
+      // is itself a finding.
+      std::cerr << "seed " << seed << ": oracle threw: " << e.what() << "\n";
+      ++diverged;
+      continue;
+    }
+    switch (rep.status) {
+      case fuzz::OracleStatus::kAgree: ++agree; break;
+      case fuzz::OracleStatus::kResourceSkip:
+        ++skipped;
+        if (!quiet) std::cout << "seed " << seed << ": " << rep.detail << "\n";
+        break;
+      case fuzz::OracleStatus::kDiverged: {
+        ++diverged;
+        std::cout << "seed " << seed << ": DIVERGED — " << rep.detail << "\n";
+        if (!quiet) print_lanes(rep);
+
+        fuzz::ProtocolSpec repro = spec;
+        if (do_minimize) {
+          fuzz::MinimizeStats ms;
+          repro = fuzz::minimize(spec, oracle, &ms);
+          std::cout << "  minimized in " << ms.attempts << " oracle runs ("
+                    << ms.accepted << " shrink steps): "
+                    << fuzz::describe(repro) << "\n";
+        }
+        std::error_code ec;
+        if (!out_dir_ready) {
+          std::filesystem::create_directories(out_dir, ec);
+          out_dir_ready = true;
+        }
+        const std::string path =
+            out_dir + "/seed-" + std::to_string(seed) + ".repro";
+        std::ofstream out(path);
+        out << fuzz::serialize(repro);
+        std::cout << "  repro written to " << path << "\n";
+        break;
+      }
+    }
+  }
+
+  const std::uint64_t total = seed_hi - seed_lo + 1;
+  std::cout << "mpbfuzz: seeds=" << total << " agree=" << agree
+            << " resource-skip=" << skipped << " diverged=" << diverged << "\n";
+  return diverged > 0 ? 1 : 0;
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Long-running differential fuzz campaign: time-boxed, sharded over seed
+# ranges, repros collected in fuzz-out/. Each shard runs `mpbfuzz` over a
+# contiguous seed block; the campaign stops when the time box expires or a
+# divergence is found (whichever comes first).
+#
+# Usage: tools/run_fuzz.sh [mpbfuzz options...]
+#
+# Environment:
+#   MPB_FUZZ_SECONDS   time box in seconds            (default 300)
+#   MPB_FUZZ_SHARD     seeds per shard                (default 500)
+#   MPB_FUZZ_START     first seed of the campaign     (default 0)
+#   MPB_FUZZ_OUT       repro directory                (default fuzz-out)
+#
+# Exit status: 0 = time box expired with no divergence, 1 = divergence
+# found (repros in $MPB_FUZZ_OUT), 2 = build/usage error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECONDS_BOX="${MPB_FUZZ_SECONDS:-300}"
+SHARD="${MPB_FUZZ_SHARD:-500}"
+START="${MPB_FUZZ_START:-0}"
+OUT="${MPB_FUZZ_OUT:-fuzz-out}"
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j"$(nproc)" --target mpbfuzz >/dev/null
+FUZZ=build/mpbfuzz
+
+mkdir -p "$OUT"
+deadline=$((SECONDS + SECONDS_BOX))
+lo="$START"
+total_shards=0
+
+while [ "$SECONDS" -lt "$deadline" ]; do
+  hi=$((lo + SHARD - 1))
+  echo "shard: seeds ${lo}..${hi}"
+  if ! "$FUZZ" --seeds "${lo}..${hi}" --out "$OUT" --quiet "$@"; then
+    echo "run_fuzz: divergence found; repros in $OUT/"
+    exit 1
+  fi
+  lo=$((hi + 1))
+  total_shards=$((total_shards + 1))
+done
+
+echo "run_fuzz: clean campaign — $total_shards shard(s) of $SHARD seeds, no divergence"
