@@ -222,6 +222,7 @@ CheckResult Checker::run() {
   out.symmetry_orbit_bound = orbit_bound();
   out.threads = out.result.stats.threads_used;
   out.repeats = repeats;
+  out.peak_rss_kb = harness::peak_rss_kb();
 
   // Feed the process-global bench sink (flushed to $MPB_BENCH_JSON at exit),
   // so every facade front end is a machine-readable emitter for free.

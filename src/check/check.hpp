@@ -115,6 +115,10 @@ struct CheckResult {
   unsigned threads = 1;
   // How many runs the best-of-N timing kept (CheckRequest::repeat).
   unsigned repeats = 1;
+  // Peak RSS sampled once when the run finished. Serialization must use this
+  // instead of re-sampling, so a cached result dumps byte-identically no
+  // matter when it is re-sent.
+  long peak_rss_kb = 0;
 
   [[nodiscard]] Verdict verdict() const noexcept { return result.verdict; }
   [[nodiscard]] const ExploreStats& stats() const noexcept {

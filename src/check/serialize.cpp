@@ -1,0 +1,239 @@
+#include "check/serialize.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/trace.hpp"
+#include "harness/bench_json.hpp"
+
+namespace mpb::check {
+
+namespace {
+
+// The wire spelling of a seed heuristic: the same names seed_from_string
+// accepts ("opposite", not the display form "opposite-transaction").
+std::string_view seed_wire_name(SeedHeuristic h) noexcept {
+  switch (h) {
+    case SeedHeuristic::kOppositeTransaction: return "opposite";
+    case SeedHeuristic::kTransaction: return "transaction";
+    case SeedHeuristic::kFirst: return "first";
+  }
+  return "?";
+}
+
+// Reject unknown keys so a typo'd remote request fails loudly instead of
+// silently checking something else.
+void check_keys(const util::Json& obj, std::string_view what,
+                std::initializer_list<std::string_view> known) {
+  for (const auto& [key, value] : obj.as_object()) {
+    (void)value;
+    bool ok = false;
+    for (const std::string_view k : known) ok = ok || key == k;
+    if (!ok) {
+      throw CheckError("request: unknown " + std::string(what) + " field '" +
+                       key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+util::Json request_to_json(const CheckRequest& req) {
+  if (req.protocol.has_value()) {
+    throw CheckError(
+        "request: a prebuilt protocol is not serializable; submit a registry "
+        "(model, params) pair instead");
+  }
+  const CheckRequest def;  // field defaults; only deviations are emitted
+
+  util::Json j = util::Json::object();
+  j["model"] = req.model;
+  if (!req.params.empty()) {
+    util::Json p = util::Json::object();
+    for (const auto& [k, v] : req.params) p[k] = v;
+    j["params"] = std::move(p);
+  }
+  if (req.strategy != def.strategy) j["strategy"] = req.strategy;
+  if (req.split != def.split) j["split"] = req.split;
+  if (req.symmetry) j["symmetry"] = true;
+  if (req.repeat != def.repeat) j["repeat"] = req.repeat;
+
+  util::Json spor = util::Json::object();
+  if (req.spor.seed != def.spor.seed) {
+    spor["seed"] = seed_wire_name(req.spor.seed);
+  }
+  if (req.spor.proviso != def.spor.proviso) {
+    spor["proviso"] = to_string(req.spor.proviso);
+  }
+  if (req.spor.state_dependent_nes != def.spor.state_dependent_nes) {
+    spor["state_dependent_nes"] = req.spor.state_dependent_nes;
+  }
+  if (req.spor.visibility_proviso != def.spor.visibility_proviso) {
+    spor["visibility_proviso"] = req.spor.visibility_proviso;
+  }
+  if (req.spor.seed_retry != def.spor.seed_retry) {
+    spor["seed_retry"] = req.spor.seed_retry;
+  }
+  if (req.spor.exhaustive_seed != def.spor.exhaustive_seed) {
+    spor["exhaustive_seed"] = req.spor.exhaustive_seed;
+  }
+  if (!spor.as_object().empty()) j["spor"] = std::move(spor);
+
+  const ExploreConfig& e = req.explore;
+  const ExploreConfig ed;
+  util::Json ex = util::Json::object();
+  if (e.visited != ed.visited) ex["visited"] = to_string(e.visited);
+  if (e.threads != ed.threads) ex["threads"] = e.threads;
+  if (e.visited_shards != ed.visited_shards) {
+    ex["visited_shards"] = e.visited_shards;
+  }
+  if (e.steal_half_threshold != ed.steal_half_threshold) {
+    ex["steal_half_threshold"] = e.steal_half_threshold;
+  }
+  if (e.max_states != ed.max_states) ex["max_states"] = e.max_states;
+  if (e.max_events != ed.max_events) ex["max_events"] = e.max_events;
+  if (std::isfinite(e.max_seconds)) ex["max_seconds"] = e.max_seconds;
+  if (e.max_depth != ed.max_depth) ex["max_depth"] = e.max_depth;
+
+  util::Json guard = util::Json::object();
+  if (std::isfinite(e.guard.watchdog_seconds)) {
+    guard["watchdog_seconds"] = e.guard.watchdog_seconds;
+  }
+  if (e.guard.max_states != 0) guard["max_states"] = e.guard.max_states;
+  if (e.guard.max_memory_bytes != 0) {
+    guard["max_memory_bytes"] = e.guard.max_memory_bytes;
+  }
+  if (!guard.as_object().empty()) ex["guard"] = std::move(guard);
+  if (!ex.as_object().empty()) j["explore"] = std::move(ex);
+
+  return j;
+}
+
+CheckRequest request_from_json(const util::Json& j) {
+  if (!j.is_object()) throw CheckError("request: expected a JSON object");
+  check_keys(j, "request",
+             {"model", "params", "strategy", "split", "symmetry", "repeat",
+              "spor", "explore"});
+
+  CheckRequest req;
+  req.model = j.get_string("model", "");
+  if (req.model.empty()) throw CheckError("request: missing field 'model'");
+  if (const util::Json* p = j.find("params")) {
+    for (const auto& [k, v] : p->as_object()) {
+      // Accept bare JSON numbers/bools too: clients hand-writing requests
+      // shouldn't need to quote "3". RawParams is string-typed; normalize.
+      if (v.is_string()) req.params[k] = v.as_string();
+      else if (v.is_int()) req.params[k] = std::to_string(v.as_int());
+      else if (v.is_bool()) req.params[k] = v.as_bool() ? "1" : "0";
+      else throw CheckError("request: parameter '" + k +
+                            "' must be a string, integer or bool");
+    }
+  }
+  req.strategy = j.get_string("strategy", req.strategy);
+  req.split = j.get_string("split", req.split);
+  req.symmetry = j.get_bool("symmetry", req.symmetry);
+  req.repeat = static_cast<unsigned>(j.get_int("repeat", req.repeat));
+
+  if (const util::Json* s = j.find("spor")) {
+    check_keys(*s, "spor",
+               {"seed", "proviso", "state_dependent_nes", "visibility_proviso",
+                "seed_retry", "exhaustive_seed"});
+    if (const util::Json* v = s->find("seed")) {
+      const auto h = seed_from_string(v->as_string());
+      if (!h) {
+        throw CheckError("request: unknown seed heuristic '" + v->as_string() +
+                         "'; known: opposite transaction first");
+      }
+      req.spor.seed = *h;
+    }
+    if (const util::Json* v = s->find("proviso")) {
+      const auto p = proviso_from_string(v->as_string());
+      if (!p) {
+        throw CheckError("request: unknown cycle proviso '" + v->as_string() +
+                         "'; known: auto stack visited scc off");
+      }
+      req.spor.proviso = *p;
+    }
+    req.spor.state_dependent_nes =
+        s->get_bool("state_dependent_nes", req.spor.state_dependent_nes);
+    req.spor.visibility_proviso =
+        s->get_bool("visibility_proviso", req.spor.visibility_proviso);
+    req.spor.seed_retry = s->get_bool("seed_retry", req.spor.seed_retry);
+    req.spor.exhaustive_seed =
+        s->get_bool("exhaustive_seed", req.spor.exhaustive_seed);
+  }
+
+  if (const util::Json* e = j.find("explore")) {
+    check_keys(*e, "explore",
+               {"visited", "threads", "visited_shards", "steal_half_threshold",
+                "max_states", "max_events", "max_seconds", "max_depth",
+                "guard"});
+    ExploreConfig& cfg = req.explore;
+    if (const util::Json* v = e->find("visited")) {
+      const auto mode = visited_mode_from_string(v->as_string());
+      if (!mode) {
+        throw CheckError("request: unknown visited mode '" + v->as_string() +
+                         "'; known: exact fingerprint interned");
+      }
+      cfg.visited = *mode;
+    }
+    cfg.threads = static_cast<unsigned>(e->get_int("threads", cfg.threads));
+    cfg.visited_shards =
+        static_cast<unsigned>(e->get_int("visited_shards", cfg.visited_shards));
+    cfg.steal_half_threshold = static_cast<unsigned>(
+        e->get_int("steal_half_threshold", cfg.steal_half_threshold));
+    if (const util::Json* v = e->find("max_states")) {
+      cfg.max_states = v->as_uint();
+    }
+    if (const util::Json* v = e->find("max_events")) {
+      cfg.max_events = v->as_uint();
+    }
+    cfg.max_seconds = e->get_double("max_seconds", cfg.max_seconds);
+    cfg.max_depth =
+        static_cast<unsigned>(e->get_int("max_depth", cfg.max_depth));
+    if (const util::Json* g = e->find("guard")) {
+      check_keys(*g, "guard",
+                 {"watchdog_seconds", "max_states", "max_memory_bytes"});
+      cfg.guard.watchdog_seconds =
+          g->get_double("watchdog_seconds", cfg.guard.watchdog_seconds);
+      if (const util::Json* v = g->find("max_states")) {
+        cfg.guard.max_states = v->as_uint();
+      }
+      if (const util::Json* v = g->find("max_memory_bytes")) {
+        cfg.guard.max_memory_bytes = v->as_uint();
+      }
+    }
+  }
+  return req;
+}
+
+util::Json result_to_json(const CheckResult& r) {
+  util::Json j = util::Json::object();
+  j["model"] = r.model;
+  j["strategy"] = r.strategy;
+  j["split"] = r.split;
+  j["visited"] = r.visited;
+  j["proviso"] = r.proviso;
+  j["symmetry"] = r.symmetry;
+  j["threads"] = r.threads;
+  j["repeats"] = r.repeats;
+  j["verdict"] = to_string(r.verdict());
+  if (r.verdict() == Verdict::kViolated) {
+    j["property"] = r.result.violated_property;
+  }
+  j["record"] = harness::to_json_value(to_record(r));
+  // to_record samples the process RSS live; pin the value captured when the
+  // run finished so re-serializing a cached result is byte-identical.
+  j["record"]["peak_rss_kb"] = r.peak_rss_kb;
+  if (!r.result.counterexample.empty()) {
+    util::Json steps = util::Json::array();
+    for (const TraceStep& step : r.result.counterexample) {
+      steps.push_back(format_event(r.protocol, step.event));
+    }
+    j["trace"] = std::move(steps);
+    j["trace_replay_ok"] = replay_counterexample(r.protocol, r.result);
+  }
+  return j;
+}
+
+}  // namespace mpb::check

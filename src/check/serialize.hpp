@@ -1,0 +1,43 @@
+// JSON (de)serialization of the check facade's request/result pair — the
+// payload layer of the serve wire protocol (src/serve/wire.hpp), living next
+// to check::to_record so the two machine-readable surfaces (bench records and
+// service messages) stay in one subsystem.
+//
+// request_to_json emits a *normalized* object: only fields that differ from a
+// default-constructed CheckRequest appear, in canonical (sorted-key) order,
+// so equal requests serialize identically. request_from_json accepts the same
+// shape with any subset of fields and fills defaults — a client can send
+// {"model":"paxos"} and get the facade's defaults, exactly as the CLI does.
+// Unknown keys are rejected (CheckError naming the key): a typo in a remote
+// request must not silently check something else.
+//
+// Prebuilt protocols (CheckRequest::protocol) and the observer hooks are not
+// serializable; request_to_json throws on the former and silently drops the
+// latter (hooks are re-attached by the receiving side).
+#pragma once
+
+#include <string>
+
+#include "check/check.hpp"
+#include "util/json.hpp"
+
+namespace mpb::check {
+
+// CheckRequest -> normalized JSON object. Throws CheckError on a request
+// carrying a prebuilt protocol.
+[[nodiscard]] util::Json request_to_json(const CheckRequest& req);
+
+// JSON object -> CheckRequest with defaults filled. Validates field types,
+// enum spellings (strategy/split/visited/proviso/seed names) and key names;
+// throws CheckError (or util::JsonError for type mismatches) with a precise
+// message. Model/parameter existence is *not* checked here — the Checker
+// constructor owns that, so the error surface stays in one place.
+[[nodiscard]] CheckRequest request_from_json(const util::Json& j);
+
+// CheckResult -> JSON: verdict, run metadata, the bench-record stats block
+// (the same shape `mpbcheck --json` prints, so CLI and service output are
+// diffable), and — when a counterexample exists — the event trace as
+// human-readable step lines plus its replay certificate.
+[[nodiscard]] util::Json result_to_json(const CheckResult& r);
+
+}  // namespace mpb::check

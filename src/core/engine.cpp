@@ -901,6 +901,7 @@ void PoolDriver::signal_limit(LimitKind k) {
 }
 
 LimitKind PoolDriver::state_limit_kind() const {
+  if (cancel_requested(cfg_)) return LimitKind::kResource;
   const std::uint64_t stored = core_.visited().size();
   if ((cfg_.guard.max_states != 0 && stored > cfg_.guard.max_states) ||
       (cfg_.guard.max_memory_bytes != 0 &&
@@ -912,6 +913,7 @@ LimitKind PoolDriver::state_limit_kind() const {
 }
 
 LimitKind PoolDriver::time_limit_kind() const {
+  if (cancel_requested(cfg_)) return LimitKind::kResource;
   const double el = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start_)
                         .count();
@@ -967,6 +969,7 @@ std::uint64_t StackReplayDriver::stored_states() const {
 }
 
 LimitKind StackReplayDriver::over_limit() {
+  if (cancel_requested(cfg_)) return LimitKind::kResource;
   const ResourceGuard& g = cfg_.guard;
   const std::uint64_t stored = stored_states();
   if (g.max_states != 0 && stored > g.max_states) return LimitKind::kResource;
@@ -981,6 +984,7 @@ LimitKind StackReplayDriver::over_limit() {
 }
 
 LimitKind StackReplayDriver::time_limit_kind() const {
+  if (cancel_requested(cfg_)) return LimitKind::kResource;
   const double el = elapsed();
   if (el > cfg_.guard.watchdog_seconds) return LimitKind::kResource;
   if (el > cfg_.max_seconds) return LimitKind::kBudget;

@@ -86,6 +86,13 @@ enum class LimitKind : std::uint8_t { kNone = 0, kBudget, kResource };
                                    : Verdict::kBudgetExceeded;
 }
 
+// Cooperative cancellation (ExploreConfig::cancel): polled wherever the
+// resource guards are, and reported as a resource limit so a cancelled run
+// carries partial stats under Verdict::kResourceLimit.
+[[nodiscard]] inline bool cancel_requested(const ExploreConfig& cfg) noexcept {
+  return cfg.cancel && cfg.cancel->load(std::memory_order_relaxed);
+}
+
 // Visited-set abstraction over the three storage modes. kExact keeps the
 // seed's std::unordered_set of full State copies as the sequential reference
 // implementation; kFingerprint and kInterned share the sharded lock-free

@@ -32,6 +32,7 @@
 // permutation that mapped it onto its canonical representative.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -102,6 +103,13 @@ struct ExploreConfig {
   unsigned max_depth = 1u << 20;  // stateless safety net
   // Hard resource guards (disabled by default); see ResourceGuard above.
   ResourceGuard guard;
+  // Cooperative cancellation: when set and the pointee becomes true, the
+  // search aborts at the next guard poll with Verdict::kResourceLimit and
+  // partial stats — exactly like a tripped resource guard, and checked at the
+  // same sites (so a cancelled run can never outlive a guarded one). The
+  // owner (e.g. a serve-layer job) keeps the flag alive via the shared_ptr
+  // and may flip it from any thread.
+  std::shared_ptr<std::atomic<bool>> cancel;
   bool stop_at_first_violation = true;
   bool validate_annotations = true;
   // Record the fingerprint of every terminal (deadlock) state reached; used

@@ -36,16 +36,27 @@ long peak_rss_kb() noexcept {
   return ru.ru_maxrss;  // KiB on Linux
 }
 
-namespace {
-
-void escape_into(std::string& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
+util::Json to_json_value(const BenchRecord& r) {
+  util::Json j = util::Json::object();
+  j["name"] = r.name;
+  j["strategy"] = r.strategy;
+  j["visited"] = r.visited;
+  j["threads"] = r.threads;
+  j["verdict"] = r.verdict;
+  j["states_stored"] = r.states_stored;
+  j["events_executed"] = r.events_executed;
+  j["full_hash_passes"] = r.full_hash_passes;
+  j["hash_queries"] = r.hash_queries;
+  j["proviso_fallbacks"] = r.proviso_fallbacks;
+  j["scc_reexpansions"] = r.scc_reexpansions;
+  j["seconds"] = r.seconds;
+  j["states_per_sec"] = r.states_per_sec;
+  j["events_per_sec"] = r.events_per_sec;
+  j["peak_rss_kb"] = r.peak_rss_kb;
+  return j;
 }
 
-}  // namespace
+std::string to_json(const BenchRecord& r) { return to_json_value(r).dump(); }
 
 bool write_bench_json(const std::string& path,
                       std::span<const BenchRecord> records) {
@@ -53,25 +64,7 @@ bool write_bench_json(const std::string& path,
   if (!os) return false;
   os << "{\n  \"schema\": \"mpb-bench-v1\",\n  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
-    std::string name, strategy, visited, verdict;
-    escape_into(name, r.name);
-    escape_into(strategy, r.strategy);
-    escape_into(visited, r.visited);
-    escape_into(verdict, r.verdict);
-    os << "    {\"name\": \"" << name << "\", \"strategy\": \"" << strategy
-       << "\", \"visited\": \"" << visited << "\", \"threads\": " << r.threads
-       << ", \"verdict\": \"" << verdict << "\",\n"
-       << "     \"states_stored\": " << r.states_stored
-       << ", \"events_executed\": " << r.events_executed
-       << ", \"full_hash_passes\": " << r.full_hash_passes
-       << ", \"hash_queries\": " << r.hash_queries
-       << ", \"proviso_fallbacks\": " << r.proviso_fallbacks
-       << ", \"scc_reexpansions\": " << r.scc_reexpansions << ",\n"
-       << "     \"seconds\": " << r.seconds
-       << ", \"states_per_sec\": " << r.states_per_sec
-       << ", \"events_per_sec\": " << r.events_per_sec
-       << ", \"peak_rss_kb\": " << r.peak_rss_kb << "}"
+    os << "    " << to_json(records[i])
        << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/explorer.hpp"
+#include "util/json.hpp"
 
 namespace mpb::harness {
 
@@ -51,6 +52,13 @@ struct BenchRecord {
 [[nodiscard]] BenchRecord make_record(std::string name, std::string strategy,
                                       std::string visited,
                                       const ExploreResult& r);
+
+// One record as a JSON object / compact single-line text. The payload of
+// `mpbcheck --json`, of the serve result messages ("record" field) and of
+// every entry write_bench_json emits — one serializer, so the three
+// machine-readable surfaces cannot drift apart.
+[[nodiscard]] util::Json to_json_value(const BenchRecord& r);
+[[nodiscard]] std::string to_json(const BenchRecord& r);
 
 // Max resident set size of this process so far, in KiB (getrusage).
 [[nodiscard]] long peak_rss_kb() noexcept;

@@ -1,0 +1,139 @@
+#include "serve/cache.hpp"
+
+#include "por/spor.hpp"
+#include "util/json.hpp"
+
+namespace mpb::serve {
+
+namespace {
+
+// Approximate resident size of an entry. The dominant variable-size pieces
+// are the counterexample trace and the searched protocol's structure; the
+// fixed 1 KiB floor covers the scalar metadata and map/list bookkeeping.
+std::uint64_t entry_bytes(const std::string& key,
+                          const check::CheckResult& r) {
+  std::uint64_t n = 1024 + key.size();
+  n += r.result.counterexample.size() * sizeof(r.result.counterexample[0]);
+  n += r.result.violated_property.size();
+  n += 64 * (r.protocol.n_procs() + r.protocol.n_transitions());
+  return n;
+}
+
+}  // namespace
+
+std::optional<std::string> cache_key(const check::CheckRequest& req) {
+  // A prebuilt protocol has no name the cache could key on.
+  if (req.protocol.has_value()) return std::nullopt;
+
+  const check::ModelInfo* info =
+      check::ModelRegistry::global().find(req.model);
+  if (info == nullptr) return std::nullopt;
+
+  // Canonicalize params: validate against the schema and re-emit every
+  // parameter in schema order with defaults filled, so equivalent requests
+  // ({"acceptors":"3"} vs {} for a default of 3) key identically.
+  check::ParamMap parsed;
+  try {
+    parsed = check::parse_params(req.model, info->params, req.params);
+  } catch (const check::CheckError&) {
+    return std::nullopt;  // the Checker will report the precise error
+  }
+
+  std::string key;
+  key.reserve(128);
+  key += req.model;
+  key += '(';
+  for (const check::ParamSpec& spec : info->params) {
+    key += spec.name;
+    key += '=';
+    key += std::to_string(spec.type == check::ParamType::kBool
+                              ? (parsed.flag(spec.name) ? 1 : 0)
+                              : parsed.get(spec.name));
+    key += ',';
+  }
+  key += ")|";
+  key += req.strategy;
+
+  if (req.strategy == "spor") {
+    // The resolved cycle proviso changes the reduced state count; mirror the
+    // Checker's auto resolution (stack sequentially, visited on the pool).
+    CycleProviso proviso = req.spor.proviso;
+    if (proviso == CycleProviso::kAuto) {
+      proviso = req.explore.threads > 1 ? CycleProviso::kVisited
+                                        : CycleProviso::kStack;
+    }
+    key += '[';
+    key += to_string(proviso);
+    key += ",seed=";
+    key += std::to_string(static_cast<int>(req.spor.seed));
+    key += req.spor.state_dependent_nes ? ",sdnes" : "";
+    key += req.spor.visibility_proviso ? ",visprov" : "";
+    key += req.spor.seed_retry ? ",retry" : "";
+    key += req.spor.exhaustive_seed ? ",exhaustive" : "";
+    key += ']';
+  }
+  key += '|';
+  key += req.split;
+  key += req.symmetry ? "|sym" : "|nosym";
+  return key;
+}
+
+std::optional<check::CheckResult> ResultCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->result;
+}
+
+void ResultCache::put(const std::string& key, const check::CheckResult& r) {
+  const Verdict v = r.verdict();
+  if (v != Verdict::kHolds && v != Verdict::kViolated) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  const std::uint64_t cost = entry_bytes(key, r);
+  if (cost > budget_) return;
+  lru_.push_front(Entry{key, r, cost});
+  index_.emplace(key, lru_.begin());
+  bytes_ += cost;
+  evict_to_fit_locked();
+}
+
+void ResultCache::set_budget(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+  evict_to_fit_locked();
+}
+
+std::uint64_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+std::uint64_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ResultCache::evict_to_fit_locked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& cold = lru_.back();
+    bytes_ -= cold.bytes;
+    index_.erase(cold.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace mpb::serve

@@ -1,0 +1,81 @@
+// The result cache: completed CheckResults served to repeated requests
+// without re-exploration.
+//
+// Keying. A request is cacheable when its semantic inputs fully determine
+// the answer: the cache key is the canonical tuple
+//
+//   (model, canonical params, strategy [+ spor options, resolved proviso],
+//    split, symmetry)
+//
+// where "canonical params" means every schema parameter in schema order with
+// defaults filled and values normalized (so {"acceptors":"3"} and {} hash
+// alike for paxos), and the SPOR cycle proviso is resolved the way the
+// Checker resolves it (auto -> stack at t1, visited at tN) since the proviso
+// changes the reduced state count. Budgets, thread count and visited mode are
+// deliberately NOT keyed: they don't change the verdict, and only truncated
+// runs depend on budgets — which is why only *definitive* verdicts (kHolds /
+// kViolated) are admitted; a kBudgetExceeded or kResourceLimit result is
+// never cached. A reduced parallel run's state count is schedule-dependent,
+// so a hit may return a (valid) count from a different schedule than a fresh
+// run would have produced; the verdict is identical either way.
+//
+// Policy. LRU over a byte budget: entries are charged an approximation of
+// their resident size (key + protocol-independent result payload + the full
+// counterexample trace), and inserting past the budget evicts from the cold
+// end. Entries carry the complete CheckResult — including the trace — so a
+// hit can serve `--trace` output without touching the engine. Thread-safe
+// behind one mutex (probe + copy are far off the exploration hot path).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "check/check.hpp"
+
+namespace mpb::serve {
+
+// The canonical cache key of a request, or nullopt when the request is not
+// cacheable (prebuilt protocol, unknown model, or malformed parameter values
+// — those fail later in the Checker with a precise error).
+[[nodiscard]] std::optional<std::string> cache_key(
+    const check::CheckRequest& req);
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::uint64_t byte_budget) : budget_(byte_budget) {}
+
+  // Probe; a hit refreshes recency and returns a copy of the stored result.
+  [[nodiscard]] std::optional<check::CheckResult> get(const std::string& key);
+
+  // Admit a definitive result (no-op for truncated verdicts or when the
+  // entry alone exceeds the whole budget); evicts LRU entries to fit.
+  void put(const std::string& key, const check::CheckResult& r);
+
+  // SIGHUP reload: shrink (evicting) or grow the budget in place.
+  void set_budget(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t entries() const;
+  [[nodiscard]] std::uint64_t bytes() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    check::CheckResult result;
+    std::uint64_t bytes = 0;
+  };
+
+  void evict_to_fit_locked();
+
+  mutable std::mutex mu_;
+  std::uint64_t budget_;
+  std::uint64_t bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace mpb::serve

@@ -1,0 +1,50 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include "serve/wire.hpp"
+
+namespace mpb::serve {
+
+bool Client::connect_unix(const std::string& path) {
+  close();
+  fd_ = serve::connect_unix(path);
+  if (fd_ < 0) return false;
+  reader_ = std::make_unique<LineReader>(fd_);
+  return true;
+}
+
+bool Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = serve::connect_tcp(host, port);
+  if (fd_ < 0) return false;
+  reader_ = std::make_unique<LineReader>(fd_);
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_.reset();
+}
+
+bool Client::send(const util::Json& j) {
+  return fd_ >= 0 && send_line(fd_, j);
+}
+
+std::optional<util::Json> Client::read(int timeout_ms) {
+  if (!reader_) return std::nullopt;
+  std::string line;
+  if (reader_->read_line(&line, timeout_ms) != LineReader::Status::kLine) {
+    return std::nullopt;
+  }
+  try {
+    return util::Json::parse(line);
+  } catch (const util::JsonError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mpb::serve

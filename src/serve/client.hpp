@@ -1,0 +1,54 @@
+// A thin blocking client for the NDJSON protocol (wire.hpp / server.hpp):
+// connect, send one JSON object per line, read one back. mpbctl and the
+// serve tests are both built on it, so the tool exercises exactly the code
+// path the tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace mpb::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), reader_(std::move(other.reader_)) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      reader_ = std::move(other.reader_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool connect_unix(const std::string& path);
+  [[nodiscard]] bool connect_tcp(const std::string& host, std::uint16_t port);
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  // Send one message; false on a broken connection.
+  [[nodiscard]] bool send(const util::Json& j);
+
+  // Read the next message, blocking up to timeout_ms (-1 = forever).
+  // nullopt on timeout, EOF, socket error or malformed JSON.
+  [[nodiscard]] std::optional<util::Json> read(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<class LineReader> reader_;
+};
+
+}  // namespace mpb::serve

@@ -1,0 +1,307 @@
+#include "serve/jobs.hpp"
+
+#include <algorithm>
+
+namespace mpb::serve {
+
+namespace {
+
+// Keep this many finished jobs findable for late status queries.
+constexpr std::size_t kHistoryCap = 256;
+
+// How often running jobs publish progress (engine events between snapshots).
+constexpr std::uint64_t kProgressEveryEvents = 4096;
+
+}  // namespace
+
+std::string_view to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Job::Job(std::uint64_t id_in, check::CheckRequest req, std::string key)
+    : id(id_in),
+      model(req.model),
+      strategy(req.strategy),
+      cache_key(std::move(key)),
+      request_(std::move(req)),
+      cancel_(std::make_shared<std::atomic<bool>>(false)),
+      submitted_(std::chrono::steady_clock::now()) {}
+
+ProgressSnapshot Job::progress() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return progress_;
+}
+
+std::optional<check::CheckResult> Job::result() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_;
+}
+
+std::string Job::error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+double Job::queue_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_set_) return 0.0;
+  return std::chrono::duration<double>(started_ - submitted_).count();
+}
+
+JobQueue::JobQueue(unsigned workers, std::size_t queue_depth, JobLimits limits,
+                   ResultCache* cache, Metrics* metrics)
+    : workers_(std::max(1u, workers)),
+      queue_depth_(std::max<std::size_t>(1, queue_depth)),
+      cache_(cache),
+      metrics_(metrics),
+      limits_(limits) {
+  threads_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobQueue::~JobQueue() { close(/*drain=*/false); }
+
+std::shared_ptr<Job> JobQueue::submit(check::CheckRequest req) {
+  // Clamp against the server limits outside the lock (pure computation).
+  JobLimits lim = limits();
+  req.explore.threads = std::clamp(req.explore.threads, 1u, lim.max_threads);
+  if (lim.max_states != 0) {
+    req.explore.max_states = std::min(req.explore.max_states, lim.max_states);
+  }
+  req.explore.max_seconds = std::min(req.explore.max_seconds, lim.max_seconds);
+  req.explore.guard.watchdog_seconds =
+      std::min(req.explore.guard.watchdog_seconds, lim.watchdog_seconds);
+  if (lim.max_memory_bytes != 0) {
+    req.explore.guard.max_memory_bytes =
+        req.explore.guard.max_memory_bytes == 0
+            ? lim.max_memory_bytes
+            : std::min(req.explore.guard.max_memory_bytes,
+                       lim.max_memory_bytes);
+  }
+  // The daemon serializes results explicitly; keep the process-global bench
+  // sink out of the picture.
+  req.record = false;
+
+  std::string key = cache_key(req).value_or("");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_ || queue_.size() >= queue_depth_) {
+    if (metrics_ != nullptr) ++metrics_->jobs_rejected;
+    return nullptr;
+  }
+  auto job = std::make_shared<Job>(next_id_++, std::move(req), std::move(key));
+  if (metrics_ != nullptr) ++metrics_->jobs_submitted;
+
+  // Cache probe: a hit completes the job without ever queuing it.
+  if (!job->cache_key.empty() && cache_ != nullptr) {
+    if (auto hit = cache_->get(job->cache_key)) {
+      if (metrics_ != nullptr) {
+        ++metrics_->cache_hits;
+        if (hit->verdict() == Verdict::kViolated) ++metrics_->jobs_done_violated;
+        else ++metrics_->jobs_done_holds;
+      }
+      {
+        std::lock_guard<std::mutex> jlock(job->mu_);
+        job->result_ = std::move(*hit);
+      }
+      job->cached_ = true;
+      job->state_.store(JobState::kDone, std::memory_order_release);
+      history_.push_back(job);
+      while (history_.size() > kHistoryCap) history_.pop_front();
+      return job;
+    }
+    if (metrics_ != nullptr) ++metrics_->cache_misses;
+  }
+
+  queue_.push_back(job);
+  history_.push_back(job);
+  while (history_.size() > kHistoryCap) history_.pop_front();
+  lock.unlock();
+  cv_.notify_one();
+  return job;
+}
+
+std::shared_ptr<Job> JobQueue::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& job : history_) {
+    if (job->id == id) return job;
+  }
+  return nullptr;
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  std::shared_ptr<Job> job = find(id);
+  if (!job) return false;
+  job->request_cancel();
+  // A job still waiting in the queue is retired right here; the worker that
+  // eventually pops it skips cancelled jobs.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find(queue_.begin(), queue_.end(), job);
+  if (it != queue_.end()) {
+    queue_.erase(it);
+    job->state_.store(JobState::kCancelled, std::memory_order_release);
+    if (metrics_ != nullptr) ++metrics_->jobs_cancelled;
+  }
+  return true;
+}
+
+void JobQueue::set_limits(const JobLimits& limits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  limits_ = limits;
+}
+
+JobLimits JobQueue::limits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limits_;
+}
+
+void JobQueue::close(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ && threads_.empty()) return;
+    closed_ = true;
+    if (!drain) {
+      for (const auto& job : queue_) {
+        job->request_cancel();
+        job->state_.store(JobState::kCancelled, std::memory_order_release);
+        if (metrics_ != nullptr) ++metrics_->jobs_cancelled;
+      }
+      queue_.clear();
+      for (const auto& job : running_jobs_) job->request_cancel();
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+std::uint64_t JobQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t JobQueue::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_count_;
+}
+
+std::vector<RunningJobSample> JobQueue::running_samples() const {
+  std::vector<std::shared_ptr<Job>> running;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running = running_jobs_;
+  }
+  std::vector<RunningJobSample> out;
+  out.reserve(running.size());
+  for (const auto& job : running) {
+    const ProgressSnapshot p = job->progress();
+    RunningJobSample s;
+    s.id = job->id;
+    s.states_per_sec =
+        p.seconds > 0.0 ? static_cast<double>(p.states) / p.seconds : 0.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void JobQueue::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      if (job->state() != JobState::kQueued) continue;  // cancelled in queue
+      job->state_.store(JobState::kRunning, std::memory_order_release);
+      ++running_count_;
+      running_jobs_.push_back(job);
+    }
+    run_job(job);
+  }
+}
+
+void JobQueue::run_job(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> jlock(job->mu_);
+    job->started_ = std::chrono::steady_clock::now();
+    job->started_set_ = true;
+  }
+  if (metrics_ != nullptr) metrics_->add_queue_latency(job->queue_seconds());
+
+  // A cancel that raced the dequeue: don't bother starting the engine.
+  if (job->cancel_requested()) {
+    finish(job, JobState::kCancelled);
+    return;
+  }
+
+  check::CheckRequest req = std::move(job->request_);
+  req.explore.cancel = job->cancel_;
+  req.explore.progress_every_events = kProgressEveryEvents;
+  const std::shared_ptr<Job> observer = job;  // keep alive inside the hook
+  req.explore.on_progress = [observer](const ExploreStats& s) {
+    std::lock_guard<std::mutex> jlock(observer->mu_);
+    observer->progress_.states = s.states_stored;
+    observer->progress_.events = s.events_executed;
+    observer->progress_.frontier = s.frontier;
+    observer->progress_.seconds = s.seconds;
+    ++observer->progress_.seq;
+  };
+
+  try {
+    check::CheckResult result = check::run_check(std::move(req));
+    const Verdict verdict = result.verdict();
+    const bool cancelled =
+        job->cancel_requested() && verdict == Verdict::kResourceLimit;
+    {
+      std::lock_guard<std::mutex> jlock(job->mu_);
+      job->result_ = std::move(result);
+    }
+    if (cancelled) {
+      finish(job, JobState::kCancelled);
+      return;
+    }
+    if (!job->cache_key.empty() && cache_ != nullptr) {
+      if (const auto r = job->result()) cache_->put(job->cache_key, *r);
+    }
+    if (metrics_ != nullptr) {
+      if (verdict == Verdict::kViolated) ++metrics_->jobs_done_violated;
+      else if (verdict == Verdict::kHolds) ++metrics_->jobs_done_holds;
+      else ++metrics_->jobs_done_limit;
+    }
+    finish(job, JobState::kDone);
+  } catch (const check::CheckError& e) {
+    {
+      std::lock_guard<std::mutex> jlock(job->mu_);
+      job->error_ = e.what();
+    }
+    if (metrics_ != nullptr) ++metrics_->jobs_failed;
+    finish(job, JobState::kFailed);
+  }
+}
+
+void JobQueue::finish(const std::shared_ptr<Job>& job, JobState final_state) {
+  if (final_state == JobState::kCancelled && metrics_ != nullptr) {
+    ++metrics_->jobs_cancelled;
+  }
+  job->state_.store(final_state, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  --running_count_;
+  const auto it =
+      std::find(running_jobs_.begin(), running_jobs_.end(), job);
+  if (it != running_jobs_.end()) running_jobs_.erase(it);
+}
+
+}  // namespace mpb::serve

@@ -1,0 +1,178 @@
+// Jobs and the bounded worker queue: the daemon's execution core.
+//
+// A Job is one submitted CheckRequest with a lifecycle
+//
+//   kQueued -> kRunning -> kDone | kFailed | kCancelled
+//
+// (or born kDone when the result cache already holds the answer). The queue
+// runs jobs FIFO on a fixed pool of worker threads; submits beyond the
+// configured depth are rejected immediately rather than buffered without
+// bound, so a saturated daemon degrades by refusing work, not by growing.
+//
+// Per-job budgets. submit() clamps every request against the server's
+// JobLimits before it is admitted: thread count, state cap, wall-clock
+// budget, watchdog and memory guard. Client-supplied budgets tighter than
+// the limits survive; looser ones are clamped down. The limits are the
+// SIGHUP-reloadable knob (server.hpp::load_limits_file).
+//
+// Cancellation. Each job owns a shared cancel flag wired into
+// ExploreConfig::cancel; request_cancel() flips it and the engine aborts at
+// its next guard poll with kResourceLimit and partial stats. A cancelled
+// job lands in kCancelled (its partial result is kept for status queries but
+// never cached); a queued job that is cancelled never starts.
+//
+// Progress. Workers install an on_progress hook that publishes monotone
+// ProgressSnapshots (sequence-numbered, so pollers can cheaply detect "new
+// data since seq N"). Connection handlers poll snapshots; nothing in the
+// engine ever blocks on a slow client.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/check.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+
+namespace mpb::serve {
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+[[nodiscard]] std::string_view to_string(JobState s) noexcept;
+
+// Server-side ceilings applied to every submitted request (0 / inf where a
+// dimension is unlimited). Defaults keep a shared daemon responsive without
+// getting in the way of the paper's workloads.
+struct JobLimits {
+  unsigned max_threads = 8;
+  std::uint64_t max_states = 3'000'000;
+  double max_seconds = 120.0;
+  double watchdog_seconds = 600.0;
+  std::uint64_t max_memory_bytes = 0;  // 0 = no memory guard imposed
+};
+
+struct ProgressSnapshot {
+  std::uint64_t states = 0;
+  std::uint64_t events = 0;
+  std::uint64_t frontier = 0;
+  double seconds = 0.0;
+  std::uint64_t seq = 0;  // 0 = no snapshot published yet
+};
+
+class Job {
+ public:
+  Job(std::uint64_t id, check::CheckRequest req, std::string cache_key);
+
+  const std::uint64_t id;
+  const std::string model;
+  const std::string strategy;
+  const std::string cache_key;  // empty when the request is uncacheable
+
+  [[nodiscard]] JobState state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  // Done without running: the submit was answered from the result cache.
+  [[nodiscard]] bool cached() const noexcept { return cached_; }
+
+  void request_cancel() noexcept {
+    cancel_->store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancel_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ProgressSnapshot progress() const;
+  // The final result; engaged once state() is kDone or kCancelled (partial
+  // stats in the latter case).
+  [[nodiscard]] std::optional<check::CheckResult> result() const;
+  // The CheckError message of a kFailed job.
+  [[nodiscard]] std::string error() const;
+  // Seconds the job waited between submit and start (0 while still queued).
+  [[nodiscard]] double queue_seconds() const;
+
+ private:
+  friend class JobQueue;
+
+  check::CheckRequest request_;  // consumed by the worker that runs the job
+  std::atomic<JobState> state_{JobState::kQueued};
+  bool cached_ = false;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+
+  mutable std::mutex mu_;
+  ProgressSnapshot progress_;
+  std::optional<check::CheckResult> result_;
+  std::string error_;
+  std::chrono::steady_clock::time_point submitted_;
+  std::chrono::steady_clock::time_point started_;
+  bool started_set_ = false;
+};
+
+class JobQueue {
+ public:
+  // `cache` and `metrics` must outlive the queue; either may be shared with
+  // the rest of the server.
+  JobQueue(unsigned workers, std::size_t queue_depth, JobLimits limits,
+           ResultCache* cache, Metrics* metrics);
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // Admit a request: clamp it against the limits, probe the cache (a hit
+  // returns a job already in kDone with cached() == true), else enqueue.
+  // Returns nullptr when the queue is full or closed (the caller reports
+  // the rejection to the client).
+  std::shared_ptr<Job> submit(check::CheckRequest req);
+
+  [[nodiscard]] std::shared_ptr<Job> find(std::uint64_t id) const;
+  // Cancel by id: flips the job's flag; a still-queued job is completed as
+  // kCancelled immediately. Returns false for unknown ids.
+  bool cancel(std::uint64_t id);
+
+  // Replace the limits applied to future submits (SIGHUP reload).
+  void set_limits(const JobLimits& limits);
+  [[nodiscard]] JobLimits limits() const;
+
+  // Stop accepting work. With drain, workers finish everything already
+  // queued; without, queued jobs are cancelled and running jobs get their
+  // cancel flag flipped. Joins the workers; idempotent.
+  void close(bool drain);
+
+  [[nodiscard]] std::uint64_t queued() const;
+  [[nodiscard]] std::uint64_t running() const;
+  // Live throughput samples of the running jobs, for /metrics gauges.
+  [[nodiscard]] std::vector<RunningJobSample> running_samples() const;
+
+ private:
+  void worker_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+  void finish(const std::shared_ptr<Job>& job, JobState final_state);
+
+  const unsigned workers_;
+  const std::size_t queue_depth_;
+  ResultCache* const cache_;
+  Metrics* const metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  JobLimits limits_;
+  bool closed_ = false;
+  std::uint64_t next_id_ = 1;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::uint64_t running_count_ = 0;
+  std::vector<std::shared_ptr<Job>> running_jobs_;
+  // Every job ever admitted, for status lookups; pruned FIFO past a bound.
+  std::deque<std::shared_ptr<Job>> history_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mpb::serve

@@ -1,0 +1,116 @@
+#include "serve/metrics.hpp"
+
+#include <cstdio>
+
+#include "harness/bench_json.hpp"
+
+namespace mpb::serve {
+
+namespace {
+
+void counter(std::string& out, const char* name, const char* help,
+             std::uint64_t value) {
+  out += "# HELP mpb_";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE mpb_";
+  out += name;
+  out += " counter\nmpb_";
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void gauge(std::string& out, const char* name, const char* help,
+           std::uint64_t value) {
+  out += "# HELP mpb_";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE mpb_";
+  out += name;
+  out += " gauge\nmpb_";
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Metrics& m, const GaugeSample& g) {
+  std::string out;
+  out.reserve(2048);
+
+  counter(out, "jobs_submitted_total", "check requests accepted",
+          m.jobs_submitted.load(std::memory_order_relaxed));
+  counter(out, "jobs_rejected_total",
+          "check requests rejected (queue full or shutting down)",
+          m.jobs_rejected.load(std::memory_order_relaxed));
+  counter(out, "jobs_failed_total", "jobs that ended in an error",
+          m.jobs_failed.load(std::memory_order_relaxed));
+  counter(out, "jobs_cancelled_total", "jobs cancelled by client or shutdown",
+          m.jobs_cancelled.load(std::memory_order_relaxed));
+
+  out +=
+      "# HELP mpb_jobs_completed_total jobs finished, by verdict\n"
+      "# TYPE mpb_jobs_completed_total counter\n";
+  out += "mpb_jobs_completed_total{verdict=\"holds\"} " +
+         std::to_string(m.jobs_done_holds.load(std::memory_order_relaxed)) +
+         '\n';
+  out += "mpb_jobs_completed_total{verdict=\"violated\"} " +
+         std::to_string(m.jobs_done_violated.load(std::memory_order_relaxed)) +
+         '\n';
+  out += "mpb_jobs_completed_total{verdict=\"limit\"} " +
+         std::to_string(m.jobs_done_limit.load(std::memory_order_relaxed)) +
+         '\n';
+
+  counter(out, "cache_hits_total", "submits served from the result cache",
+          m.cache_hits.load(std::memory_order_relaxed));
+  counter(out, "cache_misses_total",
+          "cacheable submits that had to run the search",
+          m.cache_misses.load(std::memory_order_relaxed));
+
+  double lat_sum = 0.0;
+  std::uint64_t lat_count = 0;
+  m.latency(&lat_sum, &lat_count);
+  out +=
+      "# HELP mpb_queue_latency_seconds submit-to-start latency of started "
+      "jobs\n# TYPE mpb_queue_latency_seconds summary\n"
+      "mpb_queue_latency_seconds_sum ";
+  append_double(out, lat_sum);
+  out += "\nmpb_queue_latency_seconds_count " + std::to_string(lat_count) + '\n';
+
+  gauge(out, "jobs_queued", "jobs waiting in the queue", g.jobs_queued);
+  gauge(out, "jobs_running", "jobs currently exploring", g.jobs_running);
+  gauge(out, "cache_entries", "results held by the cache", g.cache_entries);
+  gauge(out, "cache_bytes", "approximate bytes held by the cache",
+        g.cache_bytes);
+
+  out +=
+      "# HELP mpb_job_states_per_sec live per-job exploration throughput\n"
+      "# TYPE mpb_job_states_per_sec gauge\n";
+  for (const RunningJobSample& r : g.running) {
+    out += "mpb_job_states_per_sec{job=\"" + std::to_string(r.id) + "\"} ";
+    append_double(out, r.states_per_sec);
+    out += '\n';
+  }
+
+  gauge(out, "process_peak_rss_bytes", "peak resident set size (ru_maxrss)",
+        static_cast<std::uint64_t>(harness::peak_rss_kb()) * 1024);
+  out += "# HELP mpb_uptime_seconds time since the server started\n# TYPE "
+         "mpb_uptime_seconds gauge\nmpb_uptime_seconds ";
+  append_double(out, g.uptime_seconds);
+  out += '\n';
+  return out;
+}
+
+}  // namespace mpb::serve

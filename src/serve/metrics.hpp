@@ -1,0 +1,81 @@
+// Service metrics in Prometheus text exposition format.
+//
+// The daemon's components bump the monotone counters below as events happen
+// (submit, reject, finish, cache probe); the point-in-time gauges (queue
+// depth, running jobs, cache occupancy, per-job throughput) are *sampled* at
+// render time from the live queue and cache, so they can never drift from
+// the structures they describe. render_prometheus() is the single place the
+// metric names live — the `metrics` wire command and any future HTTP
+// /metrics endpoint both serve its output verbatim.
+//
+// Inventory (all prefixed mpb_):
+//   counters  jobs_submitted_total, jobs_rejected_total, jobs_failed_total,
+//             jobs_cancelled_total, jobs_completed_total{verdict=...},
+//             cache_hits_total, cache_misses_total,
+//             queue_latency_seconds_{sum,count} (a Prometheus summary pair:
+//             submit -> start latency over all started jobs)
+//   gauges    jobs_queued, jobs_running, cache_entries, cache_bytes,
+//             job_states_per_sec{job="N"} (one series per *running* job —
+//             cardinality is bounded by the worker count),
+//             process_peak_rss_bytes, uptime_seconds
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpb::serve {
+
+class Metrics {
+ public:
+  std::atomic<std::uint64_t> jobs_submitted{0};
+  std::atomic<std::uint64_t> jobs_rejected{0};
+  std::atomic<std::uint64_t> jobs_failed{0};
+  std::atomic<std::uint64_t> jobs_cancelled{0};
+  // Completed jobs by verdict (definitive and truncated alike).
+  std::atomic<std::uint64_t> jobs_done_holds{0};
+  std::atomic<std::uint64_t> jobs_done_violated{0};
+  std::atomic<std::uint64_t> jobs_done_limit{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+
+  void add_queue_latency(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    latency_sum_ += seconds;
+    ++latency_count_;
+  }
+
+  void latency(double* sum, std::uint64_t* count) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    *sum = latency_sum_;
+    *count = latency_count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double latency_sum_ = 0.0;
+  std::uint64_t latency_count_ = 0;
+};
+
+// One running job's live throughput, sampled from its progress snapshot.
+struct RunningJobSample {
+  std::uint64_t id = 0;
+  double states_per_sec = 0.0;
+};
+
+// The point-in-time state render_prometheus reports as gauges.
+struct GaugeSample {
+  std::uint64_t jobs_queued = 0;
+  std::uint64_t jobs_running = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  std::vector<RunningJobSample> running;
+  double uptime_seconds = 0.0;
+};
+
+[[nodiscard]] std::string render_prometheus(const Metrics& m,
+                                            const GaugeSample& g);
+
+}  // namespace mpb::serve

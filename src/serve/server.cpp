@@ -1,0 +1,468 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "check/serialize.hpp"
+
+namespace mpb::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Minimum gap between progress pushes to one client (~5/s).
+constexpr auto kProgressInterval = std::chrono::milliseconds(200);
+
+util::Json error_json(std::string message) {
+  util::Json j = util::Json::object();
+  j["ok"] = false;
+  j["error"] = std::move(message);
+  return j;
+}
+
+util::Json status_json(const Job& job) {
+  util::Json j = util::Json::object();
+  j["ok"] = true;
+  j["type"] = "status";
+  j["job"] = job.id;
+  j["state"] = std::string(to_string(job.state()));
+  j["model"] = job.model;
+  j["strategy"] = job.strategy;
+  j["cached"] = job.cached();
+  const ProgressSnapshot p = job.progress();
+  if (p.seq != 0) {
+    j["states"] = p.states;
+    j["events"] = p.events;
+    j["seconds"] = p.seconds;
+  }
+  switch (job.state()) {
+    case JobState::kDone:
+    case JobState::kCancelled:
+      if (const auto r = job.result()) {
+        j["result"] = check::result_to_json(*r);
+      }
+      break;
+    case JobState::kFailed:
+      j["error"] = job.error();
+      break;
+    default:
+      break;
+  }
+  return j;
+}
+
+util::Json progress_json(const Job& job, const ProgressSnapshot& p) {
+  util::Json j = util::Json::object();
+  j["type"] = "progress";
+  j["job"] = job.id;
+  j["states"] = p.states;
+  j["events"] = p.events;
+  j["frontier"] = p.frontier;
+  j["seconds"] = p.seconds;
+  return j;
+}
+
+util::Json result_json(const Job& job) {
+  util::Json j = util::Json::object();
+  j["type"] = "result";
+  j["job"] = job.id;
+  j["state"] = std::string(to_string(job.state()));
+  if (job.state() == JobState::kFailed) {
+    j["error"] = job.error();
+  } else if (const auto r = job.result()) {
+    j["result"] = check::result_to_json(*r);
+  }
+  return j;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<LimitsFile> load_limits_file(const std::string& path,
+                                           std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open limits file '" + path + "'";
+    return std::nullopt;
+  }
+  LimitsFile out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    // Trim; blank lines are fine.
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto eq = line.find('=');
+    auto fail = [&](std::string_view why) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) + ": " + std::string(why);
+      }
+      return std::nullopt;
+    };
+    if (eq == std::string::npos) return fail("expected 'key = value'");
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      if (b == std::string::npos) return std::string();
+      const auto e = s.find_last_not_of(" \t");
+      return s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    std::uint64_t u = 0;
+    double d = 0.0;
+    if (key == "max_threads") {
+      if (!parse_u64(value, &u) || u == 0) return fail("bad max_threads");
+      out.limits.max_threads = static_cast<unsigned>(u);
+    } else if (key == "max_states") {
+      if (!parse_u64(value, &u)) return fail("bad max_states");
+      out.limits.max_states = u;
+    } else if (key == "max_seconds") {
+      if (!parse_double(value, &d) || d <= 0) return fail("bad max_seconds");
+      out.limits.max_seconds = d;
+    } else if (key == "watchdog_seconds") {
+      if (!parse_double(value, &d) || d <= 0) {
+        return fail("bad watchdog_seconds");
+      }
+      out.limits.watchdog_seconds = d;
+    } else if (key == "max_memory_mb") {
+      if (!parse_u64(value, &u)) return fail("bad max_memory_mb");
+      out.limits.max_memory_bytes = u << 20;
+    } else if (key == "cache_mb") {
+      if (!parse_u64(value, &u)) return fail("bad cache_mb");
+      out.cache_bytes = u << 20;
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_bytes),
+      queue_(std::make_unique<JobQueue>(cfg_.workers, cfg_.queue_depth,
+                                        cfg_.limits, &cache_, &metrics_)),
+      started_(Clock::now()) {}
+
+Server::~Server() {
+  begin_shutdown(/*drain=*/false);
+  wait();
+}
+
+void Server::logf(std::string_view msg) {
+  if (cfg_.log) cfg_.log(msg);
+}
+
+bool Server::start() {
+  listen_fd_ = listen_unix(cfg_.socket_path);
+  if (listen_fd_ < 0) {
+    logf("cannot listen on unix socket '" + cfg_.socket_path +
+         "': " + std::strerror(errno));
+    return false;
+  }
+  if (cfg_.tcp_port != 0) {
+    tcp_fd_ = listen_tcp(cfg_.tcp_port);
+    if (tcp_fd_ < 0) {
+      logf("cannot listen on 127.0.0.1:" + std::to_string(cfg_.tcp_port) +
+           ": " + std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  logf("listening on " + cfg_.socket_path);
+  return true;
+}
+
+void Server::begin_shutdown(bool drain) {
+  bool expected = false;
+  if (shutdown_requested_.compare_exchange_strong(expected, true)) {
+    drain_.store(drain, std::memory_order_relaxed);
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::reload_limits() {
+  if (cfg_.limits_path.empty()) return;
+  std::string err;
+  const auto loaded = load_limits_file(cfg_.limits_path, &err);
+  if (!loaded) {
+    logf("limits reload failed, keeping previous limits: " + err);
+    return;
+  }
+  queue_->set_limits(loaded->limits);
+  if (loaded->cache_bytes) cache_.set_budget(*loaded->cache_bytes);
+  logf("limits reloaded from " + cfg_.limits_path);
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.wait(lock, [this] {
+      return shutdown_requested_.load(std::memory_order_relaxed);
+    });
+    if (torn_down_) return;  // a second wait() (e.g. the destructor's) is a no-op
+    torn_down_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(cfg_.socket_path.c_str());
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  // With drain this blocks until every admitted job has finished; handlers
+  // are still streaming while it runs, so attached clients see their final
+  // results before we stop them below.
+  queue_->close(drain_.load(std::memory_order_relaxed));
+  stop_handlers_.store(true, std::memory_order_relaxed);
+  reap_handlers(/*join_all=*/true);
+  logf("shutdown complete");
+}
+
+std::string Server::metrics_text() {
+  GaugeSample g;
+  g.jobs_queued = queue_->queued();
+  g.jobs_running = queue_->running();
+  g.cache_entries = cache_.entries();
+  g.cache_bytes = cache_.bytes();
+  g.running = queue_->running_samples();
+  g.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  return render_prometheus(metrics_, g);
+}
+
+void Server::accept_loop() {
+  while (!shutdown_requested_.load(std::memory_order_relaxed)) {
+    struct pollfd pfds[2];
+    nfds_t n = 0;
+    pfds[n++] = {listen_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) pfds[n++] = {tcp_fd_, POLLIN, 0};
+    const int pr = ::poll(pfds, n, 200);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) {
+      reap_handlers(/*join_all=*/false);
+      continue;
+    }
+    for (nfds_t i = 0; i < n; ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(pfds[i].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      auto done = std::make_shared<std::atomic<bool>>(false);
+      std::thread t([this, fd, done] {
+        handle_connection(fd);
+        done->store(true, std::memory_order_release);
+      });
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      handlers_.push_back(Handler{std::move(t), std::move(done)});
+    }
+    reap_handlers(/*join_all=*/false);
+  }
+}
+
+void Server::reap_handlers(bool join_all) {
+  std::vector<Handler> finished;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    for (auto it = handlers_.begin(); it != handlers_.end();) {
+      if (join_all || it->done->load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = handlers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (Handler& h : finished) {
+    if (h.thread.joinable()) h.thread.join();
+  }
+}
+
+void Server::handle_connection(int fd) {
+  LineReader reader(fd);
+  // Jobs this connection submitted in attached mode: cancelled if the client
+  // disconnects before they finish.
+  std::vector<std::shared_ptr<Job>> owned;
+  std::shared_ptr<Job> attached;
+  std::uint64_t attached_seq = 0;
+  Clock::time_point last_push = Clock::now() - kProgressInterval;
+  bool alive = true;
+
+  while (alive) {
+    if (stop_handlers_.load(std::memory_order_relaxed)) {
+      // Final flush: a drained shutdown finished the attached job; deliver
+      // its result before closing.
+      if (attached && attached->state() != JobState::kQueued &&
+          attached->state() != JobState::kRunning) {
+        send_line(fd, result_json(*attached));
+        attached.reset();
+      }
+      break;
+    }
+
+    std::string line;
+    const int timeout_ms = attached ? 50 : 200;
+    const LineReader::Status st = reader.read_line(&line, timeout_ms);
+    if (st == LineReader::Status::kClosed ||
+        st == LineReader::Status::kError) {
+      break;
+    }
+
+    if (st == LineReader::Status::kLine) {
+      util::Json msg;
+      bool parsed = true;
+      try {
+        msg = util::Json::parse(line);
+      } catch (const util::JsonError& e) {
+        parsed = false;
+        alive = send_line(fd, error_json(e.what()));
+      }
+      if (parsed) {
+        try {
+          const std::string cmd =
+              msg.is_object() ? msg.get_string("cmd", "") : "";
+          if (cmd == "ping") {
+            util::Json j = util::Json::object();
+            j["ok"] = true;
+            j["type"] = "pong";
+            j["version"] = std::string(kProtocolVersion);
+            alive = send_line(fd, j);
+          } else if (cmd == "submit") {
+            const util::Json* r = msg.find("request");
+            if (r == nullptr) {
+              alive = send_line(fd, error_json("submit: missing 'request'"));
+            } else {
+              check::CheckRequest req = check::request_from_json(*r);
+              const bool detach = msg.get_bool("detach", false);
+              std::shared_ptr<Job> job = queue_->submit(std::move(req));
+              if (!job) {
+                alive = send_line(
+                    fd, error_json("queue full or shutting down"));
+              } else {
+                util::Json j = util::Json::object();
+                j["ok"] = true;
+                j["type"] = "accepted";
+                j["job"] = job->id;
+                j["cached"] = job->cached();
+                alive = send_line(fd, j);
+                if (!detach) {
+                  owned.push_back(job);
+                  attached = job;
+                  attached_seq = 0;
+                }
+              }
+            }
+          } else if (cmd == "status" || cmd == "attach" || cmd == "cancel") {
+            const auto id =
+                static_cast<std::uint64_t>(msg.get_int("job", 0));
+            std::shared_ptr<Job> job = queue_->find(id);
+            if (!job) {
+              alive = send_line(
+                  fd, error_json("unknown job " + std::to_string(id)));
+            } else if (cmd == "cancel") {
+              queue_->cancel(id);
+              util::Json j = util::Json::object();
+              j["ok"] = true;
+              j["type"] = "cancelled";
+              j["job"] = id;
+              alive = send_line(fd, j);
+            } else {
+              alive = send_line(fd, status_json(*job));
+              if (cmd == "attach" && (job->state() == JobState::kQueued ||
+                                      job->state() == JobState::kRunning)) {
+                attached = job;
+                attached_seq = job->progress().seq;
+              }
+            }
+          } else if (cmd == "metrics") {
+            util::Json j = util::Json::object();
+            j["ok"] = true;
+            j["type"] = "metrics";
+            j["text"] = metrics_text();
+            alive = send_line(fd, j);
+          } else if (cmd == "shutdown") {
+            const bool drain = msg.get_bool("drain", true);
+            util::Json j = util::Json::object();
+            j["ok"] = true;
+            j["type"] = "shutting_down";
+            j["drain"] = drain;
+            alive = send_line(fd, j);
+            begin_shutdown(drain);
+          } else {
+            alive = send_line(
+                fd, error_json(cmd.empty() ? "missing 'cmd'"
+                                           : "unknown command '" + cmd + "'"));
+          }
+        } catch (const util::JsonError& e) {
+          alive = send_line(fd, error_json(e.what()));
+        } catch (const check::CheckError& e) {
+          alive = send_line(fd, error_json(e.what()));
+        }
+      }
+    }
+
+    // Streaming tick for the attached job (runs after commands and after
+    // read timeouts alike).
+    if (alive && attached) {
+      const JobState s = attached->state();
+      if (s == JobState::kQueued || s == JobState::kRunning) {
+        const ProgressSnapshot p = attached->progress();
+        const Clock::time_point now = Clock::now();
+        if (p.seq != 0 && p.seq != attached_seq &&
+            now - last_push >= kProgressInterval) {
+          alive = send_line(fd, progress_json(*attached, p));
+          attached_seq = p.seq;
+          last_push = now;
+        }
+      } else {
+        alive = send_line(fd, result_json(*attached));
+        attached.reset();
+      }
+    }
+  }
+
+  // Disconnect semantics: dead clients don't keep burning worker time.
+  for (const auto& job : owned) {
+    const JobState s = job->state();
+    if (s == JobState::kQueued || s == JobState::kRunning) {
+      queue_->cancel(job->id);
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace mpb::serve

@@ -1,0 +1,153 @@
+// mpbserved's core: the multi-tenant checking service.
+//
+// One Server owns the listening sockets (Unix-domain always, TCP loopback
+// optionally), a bounded JobQueue of worker threads, the ResultCache and the
+// Metrics registry. An accept loop hands each connection to its own handler
+// thread; handlers speak the NDJSON protocol (wire.hpp) and never touch the
+// engine directly — they only submit to / poll the queue, so a slow or
+// hostile client cannot stall a search.
+//
+// Command set (one JSON object per line; responses carry "ok"):
+//   {"cmd":"ping"}                       -> {"ok":true,"type":"pong",
+//                                            "version":"mpb-serve-v1"}
+//   {"cmd":"submit","request":{...},     -> {"ok":true,"type":"accepted",
+//    "detach":false}                         "job":N,"cached":b}, then a
+//                                            stream of progress lines and a
+//                                            final result line (unless
+//                                            detach, which answers accepted
+//                                            and leaves the job running)
+//   {"cmd":"status","job":N}             -> {"ok":true,"type":"status",...}
+//   {"cmd":"attach","job":N}             -> status now + the progress/result
+//                                            stream of a running job
+//   {"cmd":"cancel","job":N}             -> {"ok":true,"type":"cancelled"}
+//   {"cmd":"metrics"}                    -> {"ok":true,"type":"metrics",
+//                                            "text":"<Prometheus text>"}
+//   {"cmd":"shutdown","drain":true}      -> {"ok":true,"type":"shutting_down"}
+// Any error: {"ok":false,"error":"<message>"}.
+//
+// Streamed lines while attached to a job:
+//   {"type":"progress","job":N,"states":...,"events":...,"frontier":...,
+//    "seconds":...}                      (rate-limited, ~5/s)
+//   {"type":"result","job":N,"state":"done|failed|cancelled", "result":{...}
+//    or "error":"..."}
+//
+// Lifecycle. SIGTERM -> begin_shutdown(drain=true): the listener stops
+// accepting, queued and running jobs finish, handlers flush final results,
+// then wait() returns. A non-drain shutdown cancels everything in flight
+// (running jobs stop at their next guard poll with partial stats). SIGHUP ->
+// reload_limits(): re-reads the limits file into the queue's clamp and the
+// cache budget without dropping a single connection. Signal handlers
+// themselves live in tools/mpbserved.cpp (they only set flags; the main
+// thread calls these methods).
+//
+// Client disconnect cancels the jobs that connection submitted in attached
+// (non-detach) mode and had not yet completed — dead clients don't keep
+// burning worker time. Detached jobs survive their submitter.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/jobs.hpp"
+#include "serve/metrics.hpp"
+#include "serve/wire.hpp"
+
+namespace mpb::serve {
+
+struct ServerConfig {
+  std::string socket_path;        // Unix-domain listening socket (required)
+  std::uint16_t tcp_port = 0;     // optional loopback TCP listener; 0 = off
+  unsigned workers = 2;           // concurrent jobs
+  std::size_t queue_depth = 64;   // queued (not yet running) jobs
+  std::uint64_t cache_bytes = 64ull << 20;
+  JobLimits limits;
+  std::string limits_path;        // re-read on reload_limits(); "" = none
+  std::function<void(std::string_view)> log;  // nullptr = silent
+};
+
+// A parsed limits file: `key = value` lines, '#' comments. Keys:
+// max_threads, max_states, max_seconds, watchdog_seconds, max_memory_mb,
+// cache_mb. Unknown keys or malformed values fail the whole file (the
+// previous limits stay in force).
+struct LimitsFile {
+  JobLimits limits;  // defaults overlaid with the file's assignments
+  std::optional<std::uint64_t> cache_bytes;
+};
+[[nodiscard]] std::optional<LimitsFile> load_limits_file(
+    const std::string& path, std::string* error);
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind the sockets and start the accept loop + workers. Returns false
+  // (with a logged reason) when a socket cannot be bound.
+  [[nodiscard]] bool start();
+
+  // Request shutdown; thread-safe, idempotent, returns immediately. With
+  // drain, everything already admitted completes first.
+  void begin_shutdown(bool drain);
+
+  // Re-read cfg.limits_path into the queue limits and cache budget.
+  void reload_limits();
+
+  // Whether a shutdown was requested (signal loop / `shutdown` command).
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  // Block until shutdown is requested, then tear everything down: stop the
+  // listener, join handlers (draining their final writes), close the queue
+  // and remove the socket file.
+  void wait();
+
+  [[nodiscard]] JobQueue& jobs() noexcept { return *queue_; }
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] std::string metrics_text();
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void reap_handlers(bool join_all);
+  void logf(std::string_view msg);
+
+  ServerConfig cfg_;
+  Metrics metrics_;
+  ResultCache cache_;
+  std::unique_ptr<JobQueue> queue_;
+  std::chrono::steady_clock::time_point started_;
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> drain_{true};
+  std::atomic<bool> stop_handlers_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool torn_down_ = false;  // guarded by shutdown_mu_
+
+  int listen_fd_ = -1;
+  int tcp_fd_ = -1;
+  std::thread accept_thread_;
+
+  struct Handler {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex handlers_mu_;
+  std::vector<Handler> handlers_;
+};
+
+}  // namespace mpb::serve

@@ -1,0 +1,60 @@
+// The wire layer: newline-delimited JSON over stream sockets.
+//
+// Grammar. Every message — request or response — is one JSON object on one
+// line, terminated by '\n'. A connection carries a sequence of independent
+// commands; the server answers each with one response object, optionally
+// followed by a stream of progress/result objects for an attached job (see
+// server.hpp for the command set). Lines are capped at kMaxLineBytes; a
+// longer line is a protocol error and the connection is dropped. The
+// protocol identifies itself as kProtocolVersion in every `ping` response,
+// so clients can detect a mismatched daemon before submitting anything.
+//
+// This file holds the socket plumbing shared by the server, the client
+// library and the tests: connect/listen helpers for Unix-domain and TCP
+// sockets, a buffered poll()-based line reader (so reads can time out
+// without committing the whole thread), and a full-write send_line that
+// never raises SIGPIPE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace mpb::serve {
+
+inline constexpr std::size_t kMaxLineBytes = 1u << 20;
+inline constexpr std::string_view kProtocolVersion = "mpb-serve-v1";
+
+// Serialize `j` compactly, append '\n', write it fully (retrying short
+// writes, MSG_NOSIGNAL). Returns false on any socket error.
+bool send_line(int fd, const util::Json& j);
+
+// Buffered line reader over a socket fd (not owned).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  enum class Status { kLine, kTimeout, kClosed, kError };
+
+  // Block up to `timeout_ms` for the next complete line (-1 = forever).
+  // kLine fills `out` (without the terminator); kClosed means orderly EOF
+  // with no buffered partial line; kError covers socket errors, oversized
+  // lines and EOF mid-line.
+  Status read_line(std::string* out, int timeout_ms);
+
+ private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+// Socket constructors; every function returns the fd or -1 on error (with
+// errno left for the caller's message).
+[[nodiscard]] int listen_unix(const std::string& path, int backlog = 16);
+[[nodiscard]] int connect_unix(const std::string& path);
+[[nodiscard]] int listen_tcp(std::uint16_t port, int backlog = 16);
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port);
+
+}  // namespace mpb::serve

@@ -1,0 +1,429 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <utility>
+
+namespace mpb::util {
+
+namespace {
+
+[[noreturn]] void type_error(std::string_view want, Json::Kind got) {
+  static constexpr std::string_view kNames[] = {
+      "null", "bool", "int", "double", "string", "array", "object"};
+  throw JsonError("json: expected " + std::string(want) + ", have " +
+                  std::string(kNames[static_cast<std::size_t>(got)]));
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) type_error("bool", kind_);
+  return bool_;
+}
+
+std::int64_t Json::as_int() const {
+  if (kind_ != Kind::kInt) type_error("int", kind_);
+  return int_;
+}
+
+std::uint64_t Json::as_uint() const {
+  if (kind_ != Kind::kInt || int_ < 0) type_error("non-negative int", kind_);
+  return static_cast<std::uint64_t>(int_);
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) type_error("number", kind_);
+  return dbl_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) type_error("string", kind_);
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  return obj_;
+}
+
+Json::Array& Json::as_array() {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  return arr_;
+}
+
+Json::Object& Json::as_object() {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  return obj_;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  const auto it = obj_.find(key);
+  if (it != obj_.end()) return it->second;
+  return obj_.emplace(std::string(key), Json()).first->second;
+}
+
+const Json& Json::operator[](std::string_view key) const {
+  if (kind_ != Kind::kObject) type_error("object", kind_);
+  const auto it = obj_.find(key);
+  if (it == obj_.end()) {
+    throw JsonError("json: no field '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+const Json& Json::operator[](std::size_t index) const {
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  if (index >= arr_.size()) {
+    throw JsonError("json: array index " + std::to_string(index) +
+                    " out of range (size " + std::to_string(arr_.size()) + ")");
+  }
+  return arr_[index];
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::string Json::get_string(std::string_view key,
+                             std::string_view fallback) const {
+  const Json* v = find(key);
+  return v == nullptr ? std::string(fallback) : v->as_string();
+}
+
+std::int64_t Json::get_int(std::string_view key, std::int64_t fallback) const {
+  const Json* v = find(key);
+  return v == nullptr ? fallback : v->as_int();
+}
+
+double Json::get_double(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  return v == nullptr ? fallback : v->as_double();
+}
+
+bool Json::get_bool(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) type_error("array", kind_);
+  arr_.push_back(std::move(v));
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) {
+    // kInt vs kDouble with equal numeric value still counts as equal.
+    if (a.is_number() && b.is_number()) return a.as_double() == b.as_double();
+    return false;
+  }
+  switch (a.kind_) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.bool_ == b.bool_;
+    case Json::Kind::kInt: return a.int_ == b.int_;
+    case Json::Kind::kDouble: return a.dbl_ == b.dbl_;
+    case Json::Kind::kString: return a.str_ == b.str_;
+    case Json::Kind::kArray: return a.arr_ == b.arr_;
+    case Json::Kind::kObject: return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+// --- writer -----------------------------------------------------------------
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::dump_into(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.10g", dbl_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      append_json_string(out, str_);
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : arr_) {
+        if (!std::exchange(first, false)) out += ',';
+        v.dump_into(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!std::exchange(first, false)) out += ',';
+        append_json_string(out, k);
+        out += ':';
+        v.dump_into(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_into(out);
+  return out;
+}
+
+// --- parser -----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(std::string_view what) const {
+    throw JsonError("json: " + std::string(what) + " at offset " +
+                    std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    // Depth guard: the serve layer feeds untrusted socket bytes through this
+    // parser, and the recursive descent must not let "[[[[..." smash the
+    // stack before a length limit elsewhere kicks in.
+    if (depth_ > 256) fail("nesting too deep");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    ++depth_;
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out.as_object().insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    --depth_;
+    return out;
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    ++depth_;
+    for (;;) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    --depth_;
+    return out;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Surrogate pairs are passed through as two 3-byte sequences (the
+          // protocol never emits astral-plane text; decoding pairs would be
+          // dead weight here).
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string_view lit = text_.substr(start, pos_ - start);
+    if (lit.empty() || lit == "-") fail("invalid number");
+    if (integral) {
+      std::int64_t v = 0;
+      const auto [ptr, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), v);
+      if (ec == std::errc{} && ptr == lit.data() + lit.size()) return Json(v);
+      // Falls through for out-of-int64-range literals.
+    }
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), d);
+    if (ec != std::errc{} || ptr != lit.data() + lit.size()) fail("invalid number");
+    return Json(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  unsigned depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace mpb::util

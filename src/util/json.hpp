@@ -1,0 +1,135 @@
+// A minimal JSON value with a strict parser and a canonical writer — the
+// data layer of the serve wire protocol (src/serve) and of the check-request
+// serialization (src/check/serialize.hpp).
+//
+// Deliberately small: null / bool / integer / double / string / array /
+// object, no comments, no trailing commas, UTF-8 passed through verbatim
+// (\uXXXX escapes are decoded to UTF-8 on parse). Objects keep their keys in
+// a sorted map, so dump() is *canonical*: two structurally equal values
+// serialize to byte-identical text — which is what makes golden wire-protocol
+// tests and dedup-by-serialization (result-cache keys) trivially stable.
+//
+// Numbers: integral literals (no '.', 'e', 'E') parse as kInt (int64) and
+// print without a fraction; everything else is kDouble printed with "%.10g"
+// (enough for the stats the protocol carries — wall-clock seconds and rates).
+// as_double() accepts kInt values, so readers need not care which way a
+// number arrived.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpb::util {
+
+// Any malformed input or type-confused access; carries a byte offset for
+// parse errors ("json: expected ':' at offset 17").
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kInt, kDouble, kString, kArray, kObject
+  };
+
+  using Array = std::vector<Json>;
+  // Sorted keys: the canonical-dump property depends on this.
+  using Object = std::map<std::string, Json, std::less<>>;
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(long v) : kind_(Kind::kInt), int_(v) {}
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned long v) : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(unsigned long long v)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : kind_(Kind::kDouble), dbl_(v) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : kind_(Kind::kString), str_(s) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_int() const noexcept { return kind_ == Kind::kInt; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  // Typed accessors; throw JsonError naming the expected kind on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;   // kInt only
+  [[nodiscard]] std::uint64_t as_uint() const; // kInt >= 0
+  [[nodiscard]] double as_double() const;      // kInt or kDouble
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  // Object field access. The mutable operator[] creates (on a non-object it
+  // first becomes an empty object — build syntax: j["k"] = v); the const
+  // overloads throw JsonError on a missing field / out-of-range index; find()
+  // returns nullptr when absent or when *this is not an object.
+  Json& operator[](std::string_view key);
+  const Json& operator[](std::string_view key) const;
+  const Json& operator[](std::size_t index) const;  // array element
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  // find() + type check in one step for the common reader patterns; each
+  // returns `fallback` when the key is absent, and throws JsonError when the
+  // key is present with the wrong type (a malformed message, not a default).
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  void push_back(Json v);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+  // Canonical compact serialization (sorted object keys, no whitespace).
+  [[nodiscard]] std::string dump() const;
+  void dump_into(std::string& out) const;
+
+  // Strict parse of exactly one JSON value spanning all of `text` (trailing
+  // whitespace allowed); throws JsonError with a byte offset otherwise.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+// Append `s` JSON-escaped (quotes included) to `out`; shared with the bench
+// record writer.
+void append_json_string(std::string& out, std::string_view s);
+
+}  // namespace mpb::util

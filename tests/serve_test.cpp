@@ -1,0 +1,822 @@
+// The checking service (src/serve): JSON wire format, request/result
+// serialization, the result cache, the bounded job queue with cancellation,
+// and the NDJSON server end to end over real Unix-domain sockets.
+//
+// Suites are named Serve* so the `serve` ctest label (CMakeLists.txt) picks
+// them up in the default, TSan and ASan lanes alike.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/serialize.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/jobs.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "util/json.hpp"
+
+namespace mpb {
+namespace {
+
+using check::CheckRequest;
+using check::CheckResult;
+using serve::Job;
+using serve::JobLimits;
+using serve::JobQueue;
+using serve::JobState;
+using serve::Metrics;
+using serve::ResultCache;
+using util::Json;
+
+// Poll until `pred` holds; fails the test (returns false) after `seconds`.
+// Generous default so the sanitizer lanes never flake on timing.
+template <typename Pred>
+bool wait_for(Pred&& pred, double seconds = 60.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+std::string test_socket(const std::string& name) {
+  return "/tmp/mpb-serve-" + std::to_string(::getpid()) + "-" + name + ".sock";
+}
+
+// The small instant workload (65 states) and the big slow one (~1.1M).
+CheckRequest echo_request() {
+  CheckRequest req;
+  req.model = "echo";
+  req.strategy = "full";
+  return req;
+}
+
+CheckRequest paxos_small_request() {
+  CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}};
+  req.strategy = "full";
+  return req;
+}
+
+CheckRequest paxos_big_request() {
+  CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"proposers", "3"}, {"acceptors", "3"}, {"learners", "1"}};
+  req.strategy = "full";
+  return req;
+}
+
+// --- the JSON value (util/json) ---------------------------------------------
+
+TEST(ServeJson, RoundTripsScalarsArraysObjects) {
+  const std::string text =
+      R"({"a":[1,2.5,true,false,null],"b":{"nested":"x"},"c":-7,"s":"q\"\\\n"})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j["a"].as_array().size(), 5u);
+  EXPECT_EQ(j["a"][0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(j["a"][1].as_double(), 2.5);
+  EXPECT_TRUE(j["a"][2].as_bool());
+  EXPECT_TRUE(j["a"][4].is_null());
+  EXPECT_EQ(j["b"]["nested"].as_string(), "x");
+  EXPECT_EQ(j["c"].as_int(), -7);
+  EXPECT_EQ(j["s"].as_string(), "q\"\\\n");
+  // dump -> parse -> dump is a fixed point (canonical form).
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(ServeJson, DumpSortsObjectKeysCanonically) {
+  Json j = Json::object();
+  j["zulu"] = 1;
+  j["alpha"] = 2;
+  j["mike"] = 3;
+  EXPECT_EQ(j.dump(), R"({"alpha":2,"mike":3,"zulu":1})");
+}
+
+TEST(ServeJson, ParseErrorsCarryByteOffsets) {
+  EXPECT_THROW((void)Json::parse("{\"a\":}"), util::JsonError);
+  EXPECT_THROW((void)Json::parse("[1,2"), util::JsonError);
+  EXPECT_THROW((void)Json::parse("tru"), util::JsonError);
+  EXPECT_THROW((void)Json::parse("{} trailing"), util::JsonError);
+  try {
+    (void)Json::parse("[1, nope]");
+    FAIL() << "expected JsonError";
+  } catch (const util::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(ServeJson, UnicodeEscapesDecodeToUtf8) {
+  const Json j = Json::parse(R"("A\u00e9\u4e2d")");
+  EXPECT_EQ(j.as_string(), "A\xc3\xa9\xe4\xb8\xad");
+}
+
+// --- request / result serialization (check/serialize) -----------------------
+
+TEST(ServeSerialize, DefaultRequestSerializesMinimally) {
+  CheckRequest req;
+  req.model = "echo";
+  EXPECT_EQ(check::request_to_json(req).dump(), R"({"model":"echo"})");
+}
+
+TEST(ServeSerialize, RoundTripPreservesEveryField) {
+  CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"proposers", "3"}, {"acceptors", "3"}};
+  req.strategy = "spor";
+  req.split = "quorum";
+  req.symmetry = true;
+  req.repeat = 3;
+  req.spor.seed = SeedHeuristic::kTransaction;
+  req.spor.proviso = CycleProviso::kScc;
+  req.spor.state_dependent_nes = false;
+  req.spor.exhaustive_seed = true;
+  req.explore.visited = VisitedMode::kInterned;
+  req.explore.threads = 4;
+  req.explore.max_states = 12345;
+  req.explore.max_seconds = 9.5;
+  req.explore.guard.watchdog_seconds = 30.0;
+  req.explore.guard.max_states = 99999;
+  req.explore.guard.max_memory_bytes = 1u << 20;
+
+  const CheckRequest back =
+      check::request_from_json(check::request_to_json(req));
+  EXPECT_EQ(back.model, req.model);
+  EXPECT_EQ(back.params, req.params);
+  EXPECT_EQ(back.strategy, req.strategy);
+  EXPECT_EQ(back.split, req.split);
+  EXPECT_EQ(back.symmetry, req.symmetry);
+  EXPECT_EQ(back.repeat, req.repeat);
+  EXPECT_EQ(back.spor.seed, req.spor.seed);
+  EXPECT_EQ(back.spor.proviso, req.spor.proviso);
+  EXPECT_EQ(back.spor.state_dependent_nes, req.spor.state_dependent_nes);
+  EXPECT_EQ(back.spor.exhaustive_seed, req.spor.exhaustive_seed);
+  EXPECT_EQ(back.explore.visited, req.explore.visited);
+  EXPECT_EQ(back.explore.threads, req.explore.threads);
+  EXPECT_EQ(back.explore.max_states, req.explore.max_states);
+  EXPECT_DOUBLE_EQ(back.explore.max_seconds, req.explore.max_seconds);
+  EXPECT_DOUBLE_EQ(back.explore.guard.watchdog_seconds,
+                   req.explore.guard.watchdog_seconds);
+  EXPECT_EQ(back.explore.guard.max_states, req.explore.guard.max_states);
+  EXPECT_EQ(back.explore.guard.max_memory_bytes,
+            req.explore.guard.max_memory_bytes);
+}
+
+TEST(ServeSerialize, UnknownFieldsAreRejectedLoudly) {
+  EXPECT_THROW(
+      (void)check::request_from_json(
+          Json::parse(R"({"model":"echo","strahtegy":"full"})")),
+      check::CheckError);
+  EXPECT_THROW((void)check::request_from_json(
+                   Json::parse(R"({"model":"echo","spor":{"sede":"first"}})")),
+               check::CheckError);
+  EXPECT_THROW((void)check::request_from_json(Json::parse(R"({})")),
+               check::CheckError);
+}
+
+TEST(ServeSerialize, ParamsAcceptBareNumbersAndBools) {
+  const CheckRequest req = check::request_from_json(Json::parse(
+      R"({"model":"paxos","params":{"proposers":2,"acceptors":"3"}})"));
+  EXPECT_EQ(req.params.at("proposers"), "2");
+  EXPECT_EQ(req.params.at("acceptors"), "3");
+}
+
+TEST(ServeSerialize, ResultCarriesVerdictAndBenchRecord) {
+  const CheckResult r = check::run_check(echo_request());
+  const Json j = check::result_to_json(r);
+  EXPECT_EQ(j["verdict"].as_string(), "Verified");
+  EXPECT_EQ(j["model"].as_string(), "echo");
+  EXPECT_EQ(j["record"]["states_stored"].as_int(), 65);
+  EXPECT_EQ(j["record"]["verdict"].as_string(), "Verified");
+  EXPECT_EQ(j.find("trace"), nullptr);  // no counterexample, no trace key
+}
+
+// --- the result cache --------------------------------------------------------
+
+TEST(ServeCache, KeyCanonicalizesParamsAndResolvesProviso) {
+  CheckRequest a = paxos_small_request();
+  CheckRequest b = paxos_small_request();
+  // Schema defaults filled: spelling a default explicitly changes nothing.
+  b.params.erase("learners");
+  const auto ka = serve::cache_key(a);
+  const auto kb = serve::cache_key(b);
+  ASSERT_TRUE(ka.has_value());
+  EXPECT_EQ(*ka, *kb);
+
+  // Different parameters and different strategies key differently.
+  CheckRequest c = paxos_big_request();
+  EXPECT_NE(*serve::cache_key(c), *ka);
+  CheckRequest d = paxos_small_request();
+  d.strategy = "spor";
+  EXPECT_NE(*serve::cache_key(d), *ka);
+
+  // The auto proviso resolves by thread count, exactly like the Checker —
+  // a sequential spor run and a pooled spor run must not share an entry.
+  CheckRequest e = paxos_small_request();
+  e.strategy = "spor";
+  CheckRequest f = paxos_small_request();
+  f.strategy = "spor";
+  f.explore.threads = 4;
+  EXPECT_NE(*serve::cache_key(e), *serve::cache_key(f));
+
+  // Unknown models and prebuilt protocols are not cacheable.
+  CheckRequest g;
+  g.model = "no-such-model";
+  EXPECT_FALSE(serve::cache_key(g).has_value());
+}
+
+TEST(ServeCache, HitReturnsTheStoredResult) {
+  ResultCache cache(1u << 20);
+  const CheckResult r = check::run_check(echo_request());
+  const std::string key = *serve::cache_key(echo_request());
+  EXPECT_FALSE(cache.get(key).has_value());
+  cache.put(key, r);
+  const auto hit = cache.get(key);
+  ASSERT_TRUE(hit.has_value());
+  // The cached copy is byte-for-byte the same result document.
+  EXPECT_EQ(check::result_to_json(*hit).dump(),
+            check::result_to_json(r).dump());
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ServeCache, TruncatedVerdictsAreNeverCached) {
+  ResultCache cache(1u << 20);
+  CheckRequest req = paxos_small_request();
+  req.explore.max_states = 100;  // force kBudgetExceeded
+  const CheckResult r = check::run_check(std::move(req));
+  ASSERT_EQ(r.verdict(), Verdict::kBudgetExceeded);
+  cache.put("some-key", r);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ServeCache, LruEvictsColdEntriesUnderByteBudget) {
+  const CheckResult r = check::run_check(echo_request());
+  ResultCache cache(1u << 20);
+  cache.put("k1", r);
+  const std::uint64_t per_entry = cache.bytes();  // keys are all 2 bytes
+  cache.set_budget(2 * per_entry + per_entry / 2);  // room for exactly two
+  cache.put("k2", r);
+  (void)cache.get("k1");  // refresh k1; k2 is now the cold end
+  cache.put("k3", r);
+  EXPECT_TRUE(cache.get("k1").has_value());
+  EXPECT_FALSE(cache.get("k2").has_value());
+  EXPECT_TRUE(cache.get("k3").has_value());
+
+  cache.set_budget(0);  // shrink-in-place evicts everything
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+// --- engine-level cancellation ----------------------------------------------
+
+TEST(ServeCancel, PreSetFlagAbortsImmediatelyWithPartialStats) {
+  const check::Model model =
+      check::ModelRegistry::global().build("paxos", {{"proposers", "2"},
+                                                     {"acceptors", "3"},
+                                                     {"learners", "1"}});
+  ExploreConfig cfg;
+  cfg.cancel = std::make_shared<std::atomic<bool>>(true);
+  const ExploreResult r = explore(model.protocol, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kResourceLimit);
+  EXPECT_LT(r.stats.states_stored, 9945u);
+}
+
+TEST(ServeCancel, FlagFlippedMidRunStopsTheSearch) {
+  const check::Model model =
+      check::ModelRegistry::global().build("paxos", {{"proposers", "2"},
+                                                     {"acceptors", "3"},
+                                                     {"learners", "1"}});
+  ExploreConfig cfg;
+  cfg.cancel = std::make_shared<std::atomic<bool>>(false);
+  cfg.progress_every_events = 512;
+  auto flag = cfg.cancel;
+  cfg.on_progress = [flag](const ExploreStats&) {
+    flag->store(true, std::memory_order_relaxed);
+  };
+  const ExploreResult r = explore(model.protocol, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kResourceLimit);
+  EXPECT_GT(r.stats.events_executed, 0u);
+  EXPECT_LT(r.stats.states_stored, 9945u);
+}
+
+// --- the job queue -----------------------------------------------------------
+
+TEST(ServeQueue, RunsAJobToCompletion) {
+  Metrics metrics;
+  ResultCache cache(1u << 20);
+  JobQueue queue(/*workers=*/1, /*queue_depth=*/4, JobLimits{}, &cache,
+                 &metrics);
+  auto job = queue.submit(paxos_small_request());
+  ASSERT_NE(job, nullptr);
+  ASSERT_TRUE(wait_for([&] { return job->state() == JobState::kDone; }));
+  const auto r = job->result();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->verdict(), Verdict::kHolds);
+  EXPECT_EQ(r->stats().states_stored, 9945u);
+  EXPECT_EQ(metrics.jobs_done_holds.load(), 1u);
+  queue.close(/*drain=*/true);
+}
+
+TEST(ServeQueue, SaturationRejectsAndFifoOrderSurvives) {
+  Metrics metrics;
+  ResultCache cache(0);  // cache off: every echo submit must really queue
+  JobQueue queue(/*workers=*/1, /*queue_depth=*/2, JobLimits{}, &cache,
+                 &metrics);
+  // A long-running blocker pins the single worker...
+  auto blocker = queue.submit(paxos_big_request());
+  ASSERT_NE(blocker, nullptr);
+  ASSERT_TRUE(
+      wait_for([&] { return blocker->state() == JobState::kRunning; }));
+  // ...two jobs fill the queue; the third is rejected, not buffered.
+  auto e1 = queue.submit(echo_request());
+  auto e2 = queue.submit(echo_request());
+  ASSERT_NE(e1, nullptr);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(queue.queued(), 2u);
+  EXPECT_EQ(queue.submit(echo_request()), nullptr);
+  EXPECT_EQ(metrics.jobs_rejected.load(), 1u);
+
+  // Unblock; both queued jobs must finish, and in submission order: with one
+  // worker, FIFO means e1 starts strictly before e2, so its submit-to-start
+  // latency is strictly smaller.
+  EXPECT_TRUE(queue.cancel(blocker->id));
+  ASSERT_TRUE(wait_for([&] {
+    return e1->state() == JobState::kDone && e2->state() == JobState::kDone;
+  }));
+  EXPECT_LT(e1->queue_seconds(), e2->queue_seconds());
+  queue.close(/*drain=*/true);
+}
+
+TEST(ServeQueue, CancelQueuedJobNeverRuns) {
+  Metrics metrics;
+  ResultCache cache(0);
+  JobQueue queue(/*workers=*/1, /*queue_depth=*/4, JobLimits{}, &cache,
+                 &metrics);
+  auto blocker = queue.submit(paxos_big_request());
+  ASSERT_NE(blocker, nullptr);
+  ASSERT_TRUE(
+      wait_for([&] { return blocker->state() == JobState::kRunning; }));
+  auto queued = queue.submit(echo_request());
+  ASSERT_NE(queued, nullptr);
+  EXPECT_TRUE(queue.cancel(queued->id));
+  EXPECT_EQ(queued->state(), JobState::kCancelled);
+  EXPECT_FALSE(queued->result().has_value());  // never started, no stats
+  EXPECT_TRUE(queue.cancel(blocker->id));
+  ASSERT_TRUE(
+      wait_for([&] { return blocker->state() == JobState::kCancelled; }));
+  queue.close(/*drain=*/true);
+}
+
+TEST(ServeQueue, CancelMidRunKeepsPartialStats) {
+  Metrics metrics;
+  ResultCache cache(1u << 20);
+  JobQueue queue(/*workers=*/1, /*queue_depth=*/4, JobLimits{}, &cache,
+                 &metrics);
+  auto job = queue.submit(paxos_big_request());
+  ASSERT_NE(job, nullptr);
+  // Wait for real progress so the cancel lands mid-search.
+  ASSERT_TRUE(wait_for([&] { return job->progress().seq > 0; }));
+  EXPECT_TRUE(queue.cancel(job->id));
+  ASSERT_TRUE(wait_for([&] { return job->state() == JobState::kCancelled; }));
+  const auto r = job->result();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->verdict(), Verdict::kResourceLimit);
+  EXPECT_GT(r->stats().states_stored, 0u);
+  EXPECT_LT(r->stats().states_stored, 1'119'285u);
+  EXPECT_EQ(metrics.jobs_cancelled.load(), 1u);
+  // A cancelled run is partial: it must never poison the cache.
+  EXPECT_EQ(cache.entries(), 0u);
+  queue.close(/*drain=*/true);
+}
+
+TEST(ServeQueue, CacheHitCompletesWithoutRunning) {
+  Metrics metrics;
+  ResultCache cache(1u << 20);
+  JobQueue queue(/*workers=*/1, /*queue_depth=*/4, JobLimits{}, &cache,
+                 &metrics);
+  auto first = queue.submit(echo_request());
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(wait_for([&] { return first->state() == JobState::kDone; }));
+  EXPECT_FALSE(first->cached());
+  EXPECT_EQ(metrics.cache_misses.load(), 1u);
+
+  auto second = queue.submit(echo_request());
+  ASSERT_NE(second, nullptr);
+  // Born done: no queue trip, no worker involvement.
+  EXPECT_EQ(second->state(), JobState::kDone);
+  EXPECT_TRUE(second->cached());
+  EXPECT_EQ(metrics.cache_hits.load(), 1u);
+  // The identical CheckResult, byte for byte.
+  EXPECT_EQ(check::result_to_json(*second->result()).dump(),
+            check::result_to_json(*first->result()).dump());
+  queue.close(/*drain=*/true);
+}
+
+TEST(ServeQueue, DrainClosesAfterFinishingQueuedWork) {
+  Metrics metrics;
+  ResultCache cache(0);
+  JobQueue queue(/*workers=*/2, /*queue_depth=*/8, JobLimits{}, &cache,
+                 &metrics);
+  std::vector<std::shared_ptr<Job>> jobs;
+  for (int i = 0; i < 6; ++i) {
+    auto job = queue.submit(paxos_small_request());
+    ASSERT_NE(job, nullptr);
+    jobs.push_back(std::move(job));
+  }
+  queue.close(/*drain=*/true);  // returns only after everything ran
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job->state(), JobState::kDone);
+    EXPECT_EQ(job->result()->stats().states_stored, 9945u);
+  }
+}
+
+TEST(ServeQueue, NonDrainCloseCancelsEverything) {
+  Metrics metrics;
+  ResultCache cache(0);
+  JobQueue queue(/*workers=*/1, /*queue_depth=*/8, JobLimits{}, &cache,
+                 &metrics);
+  auto running = queue.submit(paxos_big_request());
+  ASSERT_NE(running, nullptr);
+  ASSERT_TRUE(wait_for([&] { return running->progress().seq > 0; }));
+  auto queued = queue.submit(echo_request());
+  ASSERT_NE(queued, nullptr);
+  queue.close(/*drain=*/false);
+  EXPECT_EQ(queued->state(), JobState::kCancelled);
+  EXPECT_EQ(running->state(), JobState::kCancelled);
+  const auto r = running->result();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->verdict(), Verdict::kResourceLimit);
+  EXPECT_GT(r->stats().states_stored, 0u);  // partial stats survive
+}
+
+TEST(ServeQueue, SubmitClampsRequestsAgainstLimits) {
+  Metrics metrics;
+  ResultCache cache(0);
+  JobLimits limits;
+  limits.max_states = 100;  // far below paxos(2,3,1)'s 9,945 states
+  JobQueue queue(/*workers=*/1, /*queue_depth=*/4, limits, &cache, &metrics);
+  auto job = queue.submit(paxos_small_request());
+  ASSERT_NE(job, nullptr);
+  ASSERT_TRUE(wait_for([&] { return job->state() == JobState::kDone; }));
+  // The server-side state cap turned the run into a budget truncation.
+  EXPECT_EQ(job->result()->verdict(), Verdict::kBudgetExceeded);
+  EXPECT_EQ(metrics.jobs_done_limit.load(), 1u);
+  queue.close(/*drain=*/true);
+}
+
+// --- the wire ----------------------------------------------------------------
+
+TEST(ServeWire, LineReaderFramesAcrossChunksAndDetectsOversize) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  serve::LineReader reader(fds[0]);
+
+  // Two lines and a partial third arrive in one chunk.
+  const std::string chunk = "{\"a\":1}\n{\"b\":2}\n{\"c\"";
+  ASSERT_EQ(::send(fds[1], chunk.data(), chunk.size(), 0),
+            static_cast<ssize_t>(chunk.size()));
+  std::string line;
+  ASSERT_EQ(reader.read_line(&line, 1000), serve::LineReader::Status::kLine);
+  EXPECT_EQ(line, "{\"a\":1}");
+  ASSERT_EQ(reader.read_line(&line, 1000), serve::LineReader::Status::kLine);
+  EXPECT_EQ(line, "{\"b\":2}");
+  // The partial line is not a message yet.
+  EXPECT_EQ(reader.read_line(&line, 10), serve::LineReader::Status::kTimeout);
+  const std::string rest = ":3}\n";
+  ASSERT_EQ(::send(fds[1], rest.data(), rest.size(), 0),
+            static_cast<ssize_t>(rest.size()));
+  ASSERT_EQ(reader.read_line(&line, 1000), serve::LineReader::Status::kLine);
+  EXPECT_EQ(line, "{\"c\":3}");
+
+  // EOF mid-line is a protocol error, not a silent truncation.
+  const std::string partial = "{\"d\":";
+  ASSERT_EQ(::send(fds[1], partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  ::close(fds[1]);
+  EXPECT_EQ(reader.read_line(&line, 1000), serve::LineReader::Status::kError);
+  ::close(fds[0]);
+}
+
+// One running server per test; raw sockets pin exact wire bytes.
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void StartServer(unsigned workers = 2, std::size_t queue_depth = 8) {
+    serve::ServerConfig cfg;
+    cfg.socket_path = test_socket(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    cfg.workers = workers;
+    cfg.queue_depth = queue_depth;
+    socket_path_ = cfg.socket_path;
+    server_ = std::make_unique<serve::Server>(std::move(cfg));
+    ASSERT_TRUE(server_->start());
+  }
+
+  void TearDown() override {
+    if (server_) {
+      server_->begin_shutdown(/*drain=*/false);
+      server_->wait();
+    }
+    ::unlink(socket_path_.c_str());
+  }
+
+  serve::Client Connect() {
+    serve::Client client;
+    EXPECT_TRUE(client.connect_unix(socket_path_));
+    return client;
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(ServeServerTest, GoldenWireProtocol) {
+  StartServer();
+  const int fd = serve::connect_unix(socket_path_);
+  ASSERT_GE(fd, 0);
+  serve::LineReader reader(fd);
+  std::string line;
+
+  // The exact bytes of the core exchanges are part of the protocol: clients
+  // written against these strings must keep working.
+  ASSERT_TRUE(serve::send_line(fd, Json::parse(R"({"cmd":"ping"})")));
+  ASSERT_EQ(reader.read_line(&line, 30000), serve::LineReader::Status::kLine);
+  EXPECT_EQ(line, R"({"ok":true,"type":"pong","version":"mpb-serve-v1"})");
+
+  ASSERT_TRUE(serve::send_line(fd, Json::parse(R"({"cmd":"bogus"})")));
+  ASSERT_EQ(reader.read_line(&line, 30000), serve::LineReader::Status::kLine);
+  EXPECT_EQ(line, R"({"error":"unknown command 'bogus'","ok":false})");
+
+  ASSERT_TRUE(serve::send_line(fd, Json::parse(R"({"cmd":"status","job":99})")));
+  ASSERT_EQ(reader.read_line(&line, 30000), serve::LineReader::Status::kLine);
+  EXPECT_EQ(line, R"({"error":"unknown job 99","ok":false})");
+
+  // First submit on a fresh server: job id 1, not cached, detached.
+  ASSERT_TRUE(serve::send_line(
+      fd,
+      Json::parse(
+          R"({"cmd":"submit","detach":true,"request":{"model":"echo"}})")));
+  ASSERT_EQ(reader.read_line(&line, 30000), serve::LineReader::Status::kLine);
+  EXPECT_EQ(line, R"({"cached":false,"job":1,"ok":true,"type":"accepted"})");
+
+  ::close(fd);
+}
+
+TEST_F(ServeServerTest, SubmitStreamsProgressThenResult) {
+  StartServer();
+  serve::Client client = Connect();
+  Json msg = Json::object();
+  msg["cmd"] = "submit";
+  msg["request"] = check::request_to_json(paxos_big_request());
+  ASSERT_TRUE(client.send(msg));
+
+  const auto accepted = client.read(30000);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_TRUE(accepted->get_bool("ok", false));
+  EXPECT_EQ(accepted->get_string("type", ""), "accepted");
+
+  bool saw_progress = false;
+  for (;;) {
+    const auto line = client.read(/*timeout_ms=*/120'000);
+    ASSERT_TRUE(line.has_value()) << "stream ended early";
+    const std::string type = line->get_string("type", "");
+    if (type == "progress") {
+      saw_progress = true;
+      EXPECT_GT(line->get_int("states", 0), 0);
+      continue;
+    }
+    ASSERT_EQ(type, "result");
+    EXPECT_EQ(line->get_string("state", ""), "done");
+    const util::Json* result = line->find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ((*result)["verdict"].as_string(), "Verified");
+    EXPECT_EQ((*result)["record"]["states_stored"].as_int(), 1'119'285);
+    break;
+  }
+  EXPECT_TRUE(saw_progress) << "a multi-second job must stream progress";
+}
+
+TEST_F(ServeServerTest, SecondSubmitIsServedFromTheCache) {
+  StartServer();
+  serve::Client client = Connect();
+  Json msg = Json::object();
+  msg["cmd"] = "submit";
+  msg["request"] = check::request_to_json(paxos_small_request());
+
+  auto run_one = [&](bool* cached) -> std::string {
+    EXPECT_TRUE(client.send(msg));
+    const auto accepted = client.read(30000);
+    EXPECT_TRUE(accepted.has_value());
+    *cached = accepted->get_bool("cached", false);
+    for (;;) {
+      const auto line = client.read(120'000);
+      EXPECT_TRUE(line.has_value());
+      if (!line) return "";
+      if (line->get_string("type", "") != "result") continue;
+      const util::Json* result = line->find("result");
+      EXPECT_NE(result, nullptr);
+      return result != nullptr ? result->dump() : "";
+    }
+  };
+
+  bool cached1 = true;
+  const std::string r1 = run_one(&cached1);
+  EXPECT_FALSE(cached1);
+  bool cached2 = false;
+  const std::string r2 = run_one(&cached2);
+  EXPECT_TRUE(cached2) << "identical request must hit the cache";
+  EXPECT_EQ(r1, r2) << "a cache hit returns the identical CheckResult";
+
+  // The hit is visible in the metrics text.
+  Json mreq = Json::object();
+  mreq["cmd"] = "metrics";
+  ASSERT_TRUE(client.send(mreq));
+  const auto metrics = client.read(30000);
+  ASSERT_TRUE(metrics.has_value());
+  const std::string text = metrics->get_string("text", "");
+  EXPECT_NE(text.find("mpb_cache_hits_total 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("mpb_cache_misses_total 1"), std::string::npos);
+  EXPECT_NE(text.find("mpb_jobs_submitted_total 2"), std::string::npos);
+}
+
+TEST_F(ServeServerTest, CancelMidRunOverTheWire) {
+  StartServer();
+  serve::Client submitter = Connect();
+  Json msg = Json::object();
+  msg["cmd"] = "submit";
+  msg["request"] = check::request_to_json(paxos_big_request());
+  ASSERT_TRUE(submitter.send(msg));
+  const auto accepted = submitter.read(30000);
+  ASSERT_TRUE(accepted.has_value());
+  const auto job_id = accepted->get_int("job", 0);
+
+  // Wait until the job is demonstrably mid-search (first progress push),
+  // then cancel from a second connection.
+  const auto progress = submitter.read(120'000);
+  ASSERT_TRUE(progress.has_value());
+  ASSERT_EQ(progress->get_string("type", ""), "progress");
+
+  serve::Client canceller = Connect();
+  Json cancel = Json::object();
+  cancel["cmd"] = "cancel";
+  cancel["job"] = job_id;
+  ASSERT_TRUE(canceller.send(cancel));
+  const auto ack = canceller.read(30000);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->get_bool("ok", false));
+
+  // The submitter's stream ends in a cancelled result with partial stats.
+  for (;;) {
+    const auto line = submitter.read(120'000);
+    ASSERT_TRUE(line.has_value());
+    if (line->get_string("type", "") != "result") continue;
+    EXPECT_EQ(line->get_string("state", ""), "cancelled");
+    const util::Json* result = line->find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ((*result)["verdict"].as_string(), ">resource");
+    const auto states = (*result)["record"]["states_stored"].as_int();
+    EXPECT_GT(states, 0);
+    EXPECT_LT(states, 1'119'285);
+    break;
+  }
+}
+
+TEST_F(ServeServerTest, EightConcurrentClientsAllGetAnswers) {
+  StartServer(/*workers=*/4, /*queue_depth=*/16);
+  std::atomic<int> verified{0};
+  std::vector<std::thread> clients;
+  clients.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([this, &verified] {
+      serve::Client client;
+      if (!client.connect_unix(socket_path_)) return;
+      Json msg = Json::object();
+      msg["cmd"] = "submit";
+      msg["request"] = check::request_to_json(echo_request());
+      if (!client.send(msg)) return;
+      for (;;) {
+        const auto line = client.read(120'000);
+        if (!line) return;
+        if (line->get_string("type", "") != "result") continue;
+        const util::Json* result = line->find("result");
+        if (result != nullptr &&
+            (*result)["verdict"].as_string() == "Verified" &&
+            (*result)["record"]["states_stored"].as_int() == 65) {
+          ++verified;
+        }
+        return;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(verified.load(), 8);
+}
+
+TEST_F(ServeServerTest, DrainShutdownFinishesRunningJobs) {
+  StartServer(/*workers=*/1);
+  serve::Client client = Connect();
+  Json msg = Json::object();
+  msg["cmd"] = "submit";
+  msg["request"] = check::request_to_json(paxos_small_request());
+  ASSERT_TRUE(client.send(msg));
+  const auto accepted = client.read(30000);
+  ASSERT_TRUE(accepted.has_value());
+
+  // SIGTERM equivalent: drain while the job runs. The attached client still
+  // receives the complete final result before the server lets go.
+  server_->begin_shutdown(/*drain=*/true);
+  for (;;) {
+    const auto line = client.read(120'000);
+    ASSERT_TRUE(line.has_value()) << "connection dropped before the result";
+    if (line->get_string("type", "") != "result") continue;
+    EXPECT_EQ(line->get_string("state", ""), "done");
+    const util::Json* result = line->find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ((*result)["record"]["states_stored"].as_int(), 9945);
+    break;
+  }
+  server_->wait();
+  // The socket is gone: new connections must fail.
+  serve::Client late;
+  EXPECT_FALSE(late.connect_unix(socket_path_));
+  server_.reset();
+}
+
+TEST_F(ServeServerTest, DisconnectCancelsTheClientsRunningJob) {
+  StartServer(/*workers=*/1);
+  std::uint64_t job_id = 0;
+  {
+    serve::Client client = Connect();
+    Json msg = Json::object();
+    msg["cmd"] = "submit";
+    msg["request"] = check::request_to_json(paxos_big_request());
+    ASSERT_TRUE(client.send(msg));
+    const auto accepted = client.read(30000);
+    ASSERT_TRUE(accepted.has_value());
+    job_id = static_cast<std::uint64_t>(accepted->get_int("job", 0));
+    // Ensure it is really running before we vanish.
+    const auto progress = client.read(120'000);
+    ASSERT_TRUE(progress.has_value());
+  }  // client destroyed: EOF on the connection
+
+  // The handler cancels the orphaned job; it ends cancelled, not done.
+  ASSERT_TRUE(wait_for([&] {
+    const auto job = server_->jobs().find(job_id);
+    return job != nullptr && job->state() == JobState::kCancelled;
+  }));
+}
+
+// --- limits file -------------------------------------------------------------
+
+TEST(ServeLimits, ParsesTheFullKeySetAndRejectsUnknownKeys) {
+  const std::string path =
+      "/tmp/mpb-serve-limits-" + std::to_string(::getpid()) + ".conf";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(
+        "# ceilings for the shared daemon\n"
+        "max_threads = 4\n"
+        "max_states = 500000\n"
+        "max_seconds = 30\n"
+        "watchdog_seconds = 60  # hard stop\n"
+        "max_memory_mb = 256\n"
+        "cache_mb = 16\n",
+        f);
+    std::fclose(f);
+  }
+  std::string err;
+  const auto loaded = serve::load_limits_file(path, &err);
+  ASSERT_TRUE(loaded.has_value()) << err;
+  EXPECT_EQ(loaded->limits.max_threads, 4u);
+  EXPECT_EQ(loaded->limits.max_states, 500000u);
+  EXPECT_DOUBLE_EQ(loaded->limits.max_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(loaded->limits.watchdog_seconds, 60.0);
+  EXPECT_EQ(loaded->limits.max_memory_bytes, 256u << 20);
+  EXPECT_EQ(loaded->cache_bytes, std::optional<std::uint64_t>(16u << 20));
+
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("max_treads = 4\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(serve::load_limits_file(path, &err).has_value());
+  EXPECT_NE(err.find("unknown key"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpb

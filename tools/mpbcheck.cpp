@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "check/serialize.hpp"
 #include "core/trace.hpp"
 #include "harness/runner.hpp"
 
@@ -70,6 +71,9 @@ constexpr std::string_view kEngineHelp =
                       --progress; default 500 or MPB_PROGRESS_INTERVAL)
   --trace             print the counterexample, if any
   --quiet             only the verdict line
+  --json              print the run as one JSON object on stdout (the same
+                      document mpbserved streams as a result payload, so a
+                      CLI run and a daemon run diff cleanly) and nothing else
 )";
 
 int usage() {
@@ -124,6 +128,7 @@ int main(int argc, char** argv) {
   req.repeat = harness::repeat_from_env();
   bool trace = false;
   bool quiet = false;
+  bool json = false;
   bool progress = false;
   double progress_interval_s = harness::progress_interval_from_env();
   // A mode chosen by the user — the --visited flag or a valid MPB_VISITED
@@ -146,6 +151,9 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+      quiet = true;  // the JSON document is the only stdout output
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--progress-interval") {
@@ -281,6 +289,11 @@ int main(int argc, char** argv) {
     }
 
     const check::CheckResult r = checker.run();
+
+    if (json) {
+      std::cout << check::result_to_json(r).dump() << "\n";
+      return r.verdict() == Verdict::kViolated ? 1 : 0;
+    }
 
     std::cout << to_string(r.verdict())
               << "  states=" << harness::format_count(r.stats().states_stored)

@@ -1,0 +1,282 @@
+// mpbctl — command-line client for mpbserved (src/serve).
+//
+// Usage:
+//   mpbctl --socket PATH submit <model> [--param value ...] [engine options]
+//   mpbctl --socket PATH status <job-id>
+//   mpbctl --socket PATH cancel <job-id>
+//   mpbctl --socket PATH metrics
+//   mpbctl --socket PATH ping
+//   mpbctl --socket PATH shutdown [--no-drain]
+//
+// submit blocks by default: it streams the daemon's progress lines to stderr
+// and prints the final result document (the same JSON `mpbcheck --json`
+// prints) to stdout, so a daemon run and a CLI run diff cleanly:
+//
+//   mpbctl --socket /run/mpb.sock submit paxos --proposers 2 | jq .verdict
+//
+// submit options (besides the mpbcheck-style engine options forwarded in the
+// request): --detach returns the job id immediately and leaves the job
+// running; --quiet suppresses the progress stream. Exit codes follow
+// mpbcheck: 0 verified, 1 violated, 2 error (plus 3 for a cancelled or
+// failed job).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/serialize.hpp"
+#include "serve/client.hpp"
+#include "serve/wire.hpp"
+#include "util/json.hpp"
+
+using namespace mpb;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: mpbctl --socket PATH <command>\n"
+         "  submit <model> [--param value ...] [engine options] [--detach]\n"
+         "  status <job-id>\n"
+         "  cancel <job-id>\n"
+         "  metrics\n"
+         "  ping\n"
+         "  shutdown [--no-drain]\n"
+         "engine options: --strategy --split --seed --proviso --symmetry\n"
+         "  --threads --visited --max-states --max-seconds --watchdog\n";
+  return 2;
+}
+
+long parse_long(const std::string& opt, const std::string& value) {
+  char* end = nullptr;
+  const long out = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    std::cerr << "mpbctl: " << opt << " expects an integer, got '" << value
+              << "'\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+// Build a CheckRequest from mpbcheck-style arguments, then serialize it —
+// request_to_json re-validates and emits only non-default fields, so the
+// wire request stays minimal and canonical.
+util::Json build_request(const std::vector<std::string>& args,
+                         std::size_t begin, bool* detach, bool* quiet) {
+  check::CheckRequest req;
+  req.model = args[begin];
+  const check::ModelInfo* info =
+      check::ModelRegistry::global().find(req.model);
+  if (info == nullptr) {
+    throw check::CheckError("unknown model '" + req.model + "'");
+  }
+  for (std::size_t i = begin + 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw check::CheckError(arg + " needs a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--detach") {
+      *detach = true;
+    } else if (arg == "--quiet") {
+      *quiet = true;
+    } else if (arg == "--strategy") {
+      req.strategy = next();
+    } else if (arg == "--split") {
+      req.split = next();
+    } else if (arg == "--symmetry") {
+      req.symmetry = true;
+    } else if (arg == "--seed") {
+      const std::string& name = next();
+      const auto h = check::seed_from_string(name);
+      if (!h) throw check::CheckError("unknown seed heuristic '" + name + "'");
+      req.spor.seed = *h;
+    } else if (arg == "--proviso") {
+      const std::string& name = next();
+      const auto p = check::proviso_from_string(name);
+      if (!p) throw check::CheckError("unknown cycle proviso '" + name + "'");
+      req.spor.proviso = *p;
+    } else if (arg == "--visited") {
+      const std::string& name = next();
+      const auto mode = visited_mode_from_string(name);
+      if (!mode) throw check::CheckError("unknown visited mode '" + name + "'");
+      req.explore.visited = *mode;
+    } else if (arg == "--threads") {
+      req.explore.threads = static_cast<unsigned>(parse_long(arg, next()));
+    } else if (arg == "--max-states") {
+      req.explore.max_states =
+          static_cast<std::uint64_t>(parse_long(arg, next()));
+    } else if (arg == "--max-seconds") {
+      req.explore.max_seconds = static_cast<double>(parse_long(arg, next()));
+    } else if (arg == "--watchdog") {
+      req.explore.guard.watchdog_seconds =
+          static_cast<double>(parse_long(arg, next()));
+    } else if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      const check::ParamSpec* spec = nullptr;
+      for (const check::ParamSpec& candidate : info->params) {
+        if (candidate.name == key) {
+          spec = &candidate;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        throw check::CheckError("model '" + req.model + "' has no option '" +
+                                arg + "'");
+      }
+      req.params[key] = spec->type == check::ParamType::kBool ? "" : next();
+    } else {
+      throw check::CheckError("unknown argument: " + arg);
+    }
+  }
+  return check::request_to_json(req);
+}
+
+// One response with ok checking; exits on transport or server errors.
+util::Json expect_reply(serve::Client& client) {
+  const auto reply = client.read(/*timeout_ms=*/30'000);
+  if (!reply) {
+    std::cerr << "mpbctl: no response from server\n";
+    std::exit(2);
+  }
+  if (reply->is_object() && !reply->get_bool("ok", true)) {
+    std::cerr << "mpbctl: server: " << reply->get_string("error", "error")
+              << "\n";
+    std::exit(2);
+  }
+  return *reply;
+}
+
+int run_submit(serve::Client& client, const std::vector<std::string>& args,
+               std::size_t begin) {
+  bool detach = false;
+  bool quiet = false;
+  util::Json request = build_request(args, begin, &detach, &quiet);
+  util::Json msg = util::Json::object();
+  msg["cmd"] = "submit";
+  msg["request"] = std::move(request);
+  if (detach) msg["detach"] = true;
+  if (!client.send(msg)) {
+    std::cerr << "mpbctl: cannot send request\n";
+    return 2;
+  }
+  const util::Json accepted = expect_reply(client);
+  const auto job = accepted.get_int("job", 0);
+  if (detach) {
+    std::cout << "job " << job << " accepted"
+              << (accepted.get_bool("cached", false) ? " (cached)" : "")
+              << "\n";
+    return 0;
+  }
+  // Stream until the final result line.
+  for (;;) {
+    const auto line = client.read(/*timeout_ms=*/-1);
+    if (!line) {
+      std::cerr << "mpbctl: connection lost while waiting for job " << job
+                << "\n";
+      return 2;
+    }
+    const std::string type = line->get_string("type", "");
+    if (type == "progress") {
+      if (!quiet) {
+        std::cerr << "progress: states=" << line->get_int("states", 0)
+                  << " events=" << line->get_int("events", 0)
+                  << " frontier=" << line->get_int("frontier", 0)
+                  << " t=" << line->get_double("seconds", 0.0) << "s\n";
+      }
+      continue;
+    }
+    if (type != "result") continue;
+    const std::string state = line->get_string("state", "");
+    if (state == "failed") {
+      std::cerr << "mpbctl: job failed: " << line->get_string("error", "?")
+                << "\n";
+      return 3;
+    }
+    if (const util::Json* result = line->find("result")) {
+      std::cout << result->dump() << "\n";
+      const std::string verdict =
+          result->is_object() ? result->get_string("verdict", "") : "";
+      if (state == "cancelled") return 3;
+      return verdict == "CE" ? 1 : 0;
+    }
+    return state == "done" ? 0 : 3;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string socket_path;
+  std::size_t i = 0;
+  for (; i < args.size(); ++i) {
+    if (args[i] == "--socket") {
+      if (i + 1 >= args.size()) return usage();
+      socket_path = args[++i];
+    } else if (args[i] == "--help" || args[i] == "-h") {
+      usage();
+      return 0;
+    } else {
+      break;
+    }
+  }
+  if (socket_path.empty() || i >= args.size()) return usage();
+  const std::string cmd = args[i++];
+
+  serve::Client client;
+  if (!client.connect_unix(socket_path)) {
+    std::cerr << "mpbctl: cannot connect to " << socket_path << "\n";
+    return 2;
+  }
+
+  try {
+    if (cmd == "submit") {
+      if (i >= args.size()) return usage();
+      return run_submit(client, args, i);
+    }
+    util::Json msg = util::Json::object();
+    if (cmd == "ping") {
+      msg["cmd"] = "ping";
+      if (!client.send(msg)) return 2;
+      const util::Json reply = expect_reply(client);
+      std::cout << reply.get_string("version", "?") << "\n";
+      return 0;
+    }
+    if (cmd == "metrics") {
+      msg["cmd"] = "metrics";
+      if (!client.send(msg)) return 2;
+      const util::Json reply = expect_reply(client);
+      std::cout << reply.get_string("text", "");
+      return 0;
+    }
+    if (cmd == "status" || cmd == "cancel") {
+      if (i >= args.size()) return usage();
+      msg["cmd"] = cmd;
+      msg["job"] = parse_long(cmd, args[i]);
+      if (!client.send(msg)) return 2;
+      const util::Json reply = expect_reply(client);
+      std::cout << reply.dump() << "\n";
+      return 0;
+    }
+    if (cmd == "shutdown") {
+      msg["cmd"] = "shutdown";
+      if (i < args.size() && args[i] == "--no-drain") msg["drain"] = false;
+      if (!client.send(msg)) return 2;
+      (void)expect_reply(client);
+      std::cout << "shutting down\n";
+      return 0;
+    }
+    std::cerr << "mpbctl: unknown command '" << cmd << "'\n";
+    return usage();
+  } catch (const check::CheckError& e) {
+    std::cerr << "mpbctl: " << e.what() << "\n";
+    return 2;
+  } catch (const util::JsonError& e) {
+    std::cerr << "mpbctl: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,146 @@
+// mpbserved — the long-running model-checking service (src/serve).
+//
+// Usage:
+//   mpbserved --socket /run/mpb.sock [options]
+//
+// Options:
+//   --socket PATH        Unix-domain listening socket (required)
+//   --tcp PORT           also listen on 127.0.0.1:PORT
+//   --workers N          concurrent jobs (default 2)
+//   --queue-depth N      queued-job bound; excess submits are rejected
+//                        (default 64)
+//   --cache-mb N         result-cache byte budget (default 64)
+//   --limits FILE       `key = value` ceilings applied to every submit:
+//                        max_threads, max_states, max_seconds,
+//                        watchdog_seconds, max_memory_mb, cache_mb;
+//                        re-read on SIGHUP
+//   --quiet              no log lines on stderr
+//
+// Signals: SIGTERM / SIGINT drain the queue (running and queued jobs finish,
+// attached clients get their final results) and exit; SIGHUP re-reads
+// --limits without dropping a connection. The wire protocol and command set
+// are documented in src/serve/server.hpp and docs/SERVICE.md; mpbctl is the
+// matching client.
+#include <csignal>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_term = 0;
+volatile std::sig_atomic_t g_hup = 0;
+
+void on_term(int) { g_term = 1; }
+void on_hup(int) { g_hup = 1; }
+
+int usage() {
+  std::cerr << "usage: mpbserved --socket PATH [--tcp PORT] [--workers N]\n"
+               "                 [--queue-depth N] [--cache-mb N] "
+               "[--limits FILE] [--quiet]\n";
+  return 2;
+}
+
+long parse_long(const std::string& opt, const std::string& value) {
+  char* end = nullptr;
+  const long out = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    std::cerr << "mpbserved: " << opt << " expects an integer, got '" << value
+              << "'\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  mpb::serve::ServerConfig cfg;
+  bool quiet = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "mpbserved: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--socket") {
+      cfg.socket_path = next();
+    } else if (arg == "--tcp") {
+      cfg.tcp_port = static_cast<std::uint16_t>(parse_long(arg, next()));
+    } else if (arg == "--workers") {
+      cfg.workers = static_cast<unsigned>(parse_long(arg, next()));
+    } else if (arg == "--queue-depth") {
+      cfg.queue_depth = static_cast<std::size_t>(parse_long(arg, next()));
+    } else if (arg == "--cache-mb") {
+      cfg.cache_bytes = static_cast<std::uint64_t>(parse_long(arg, next()))
+                        << 20;
+    } else if (arg == "--limits") {
+      cfg.limits_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "mpbserved: unknown argument: " << arg << "\n";
+      return usage();
+    }
+  }
+  if (cfg.socket_path.empty()) return usage();
+  if (!quiet) {
+    cfg.log = [](std::string_view msg) {
+      std::cerr << "mpbserved: " << msg << "\n";
+    };
+  }
+
+  // Apply the limits file at startup too, so SIGHUP and boot agree.
+  if (!cfg.limits_path.empty()) {
+    std::string err;
+    const auto loaded = mpb::serve::load_limits_file(cfg.limits_path, &err);
+    if (!loaded) {
+      std::cerr << "mpbserved: " << err << "\n";
+      return 2;
+    }
+    cfg.limits = loaded->limits;
+    if (loaded->cache_bytes) cfg.cache_bytes = *loaded->cache_bytes;
+  }
+
+  mpb::serve::Server server(std::move(cfg));
+  if (!server.start()) return 1;
+
+  struct sigaction sa{};
+  sa.sa_handler = on_term;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = on_hup;
+  sigaction(SIGHUP, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  // The handlers only set flags; this loop turns them into server calls.
+  // A `shutdown` wire command also flips the server's internal flag, which
+  // wait() observes — poll both.
+  for (;;) {
+    if (g_term != 0) {
+      server.begin_shutdown(/*drain=*/true);
+      break;
+    }
+    if (g_hup != 0) {
+      g_hup = 0;
+      server.reload_limits();
+    }
+    struct timespec ts{0, 100'000'000};  // 100ms
+    nanosleep(&ts, nullptr);
+    if (server.shutdown_requested()) break;
+  }
+  server.wait();
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-command Address+UBSan lane: configure + build the ASan tree
-# (build-asan/, see CMakePresets.json) and run the `unit`, `soundness` and
-# `fuzz` labeled ctest slices — everything except the thread-pool timing
-# tests, which belong to the TSan lane (tools/run_tsan.sh).
+# (build-asan/, see CMakePresets.json) and run the `unit`, `soundness`,
+# `fuzz` and `serve` labeled ctest slices — everything except the
+# thread-pool timing tests, which belong to the TSan lane
+# (tools/run_tsan.sh).
 #
 # Usage: tools/run_asan.sh [extra ctest args...]
 set -euo pipefail

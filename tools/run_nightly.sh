@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Nightly CI lane: everything too slow for the per-commit lanes.
+#
+#   1. the default test suite (all labels, including the 200-seed
+#      mpbfuzz_smoke that stays in the per-commit `fuzz` label),
+#   2. a long time-boxed differential fuzz campaign via tools/run_fuzz.sh
+#      (default 30 minutes vs. the script's usual 5 — override with
+#      MPB_FUZZ_SECONDS),
+#   3. the TSan lane (parallel|engine|serve),
+#   4. the ASan lane (unit|soundness|fuzz|serve).
+#
+# Usage: tools/run_nightly.sh
+# Exit status: non-zero as soon as any stage fails.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== nightly: default suite =="
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default
+
+echo "== nightly: long fuzz campaign =="
+MPB_FUZZ_SECONDS="${MPB_FUZZ_SECONDS:-1800}" tools/run_fuzz.sh
+
+echo "== nightly: TSan lane =="
+tools/run_tsan.sh
+
+echo "== nightly: ASan lane =="
+tools/run_asan.sh
+
+echo "run_nightly: all stages clean"

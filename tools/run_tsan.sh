@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-command ThreadSanitizer lane: configure + build the TSan tree
-# (build-tsan/, see CMakePresets.json) and run the `parallel` + `engine`
-# labeled ctest slices — the worker-pool explorer, parallel SPOR, parallel
-# trace, unified-engine driver and steal-half batching tests.
+# (build-tsan/, see CMakePresets.json) and run the `parallel` + `engine` +
+# `serve` labeled ctest slices — the worker-pool explorer, parallel SPOR,
+# parallel trace, unified-engine driver and steal-half batching tests, plus
+# the mpbserved job queue / result cache / wire protocol under contention.
 #
 # Usage: tools/run_tsan.sh [extra ctest args...]
 set -euo pipefail
