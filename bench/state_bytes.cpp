@@ -1,0 +1,195 @@
+// Bytes-per-state bench: the memory trajectory of the visited set.
+//
+// Runs each workload family once per accounting visited mode — full-copy
+// interning ("interned") and COLLAPSE-style component compression
+// ("collapse") — and reports the exact visited-set footprint divided by
+// states stored. Both modes account their footprint exactly
+// (ExploreStats::visited_bytes: slot tables + node arena + interned heap
+// payload), so the bytes/state column measures the representation, not
+// allocator noise or process-lifetime RSS.
+//
+// Families mirror the throughput bench: paxos, storage and collector, each
+// in a small (~10k states) tier that CI can afford and a large
+// (~0.5M–1.3M states) tier where the compression claim is actually judged
+// (the acceptance bar for collapse is >=10x fewer bytes/state than interned
+// on the large tier; on ~10k-state runs the fixed slot tables dilute the
+// ratio). Skip the large tier with --small.
+//
+// Series land in the same mpb-bench-v1 JSON the throughput bench emits
+// (default BENCH_state_bytes.json) with names "state_bytes/<family>/<mode>",
+// so tools/bench_compare.py gates them like any other series — in
+// particular with --rss-threshold for the memory dimension.
+//
+// Usage: state_bytes [--out FILE] [--small] [--repeat N]
+// Budgets honour MPB_BUDGET_STATES / MPB_BUDGET_SECONDS (defaults 3M / 120s).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/runner.hpp"
+
+using namespace mpb;
+
+namespace {
+
+struct Workload {
+  std::string name;    // family segment of the series name
+  std::string model;   // registry name (check/registry.hpp)
+  check::RawParams params;
+  bool large = false;  // seconds-scale; skipped by --small
+};
+
+std::vector<Workload> make_workloads() {
+  return {
+      // Small tier: the soundness-pinned settings (paxos stores 9,945
+      // states under full exploration), cheap enough for CI.
+      {"paxos",
+       "paxos",
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
+      {"storage",
+       "storage",
+       {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}}},
+      {"collector",
+       "collector",
+       {{"senders", "8"}, {"quorum", "4"}, {"noise", "2"}}},
+      // Large tier: where per-state payload dominates the fixed tables and
+      // the compression ratio is meaningful.
+      {"paxos_big",  // ~1.12M states
+       "paxos",
+       {{"proposers", "3"}, {"acceptors", "3"}, {"learners", "1"}},
+       /*large=*/true},
+      {"storage_scaled",  // ~1.30M states
+       "storage",
+       {{"bases", "3"}, {"readers", "2"}, {"writes", "2"}},
+       /*large=*/true},
+      {"collector_wide",  // ~506k states
+       "collector",
+       {{"senders", "12"}, {"quorum", "6"}, {"noise", "3"}},
+       /*large=*/true},
+  };
+}
+
+double bytes_per_state(const harness::BenchRecord& rec) {
+  if (rec.states_stored == 0) return 0.0;
+  return static_cast<double>(rec.visited_bytes) /
+         static_cast<double>(rec.states_stored);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_state_bytes.json";
+  unsigned repeat = harness::repeat_from_env();
+  bool small_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out = argv[++i];
+    else if (arg == "--small") small_only = true;
+    else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = static_cast<unsigned>(
+          std::clamp(std::strtol(argv[++i], nullptr, 10), 1L, 64L));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const VisitedMode modes[] = {VisitedMode::kInterned, VisitedMode::kCollapse};
+  std::vector<harness::BenchRecord> records;
+  int exit_code = 0;
+  for (Workload& w : make_workloads()) {
+    if (small_only && w.large) continue;
+    double per_mode[2] = {0.0, 0.0};
+    for (std::size_t m = 0; m < 2; ++m) {
+      check::CheckRequest req;
+      req.model = w.model;
+      req.params = w.params;
+      req.strategy = "full";
+      req.explore = harness::budget_from_env();
+      req.explore.visited = modes[m];
+      req.explore.threads = 1;
+      req.repeat = repeat;
+      req.record = false;  // this bench writes its own JSON below
+      const std::string cell =
+          "state_bytes/" + w.name + "/" + std::string(to_string(modes[m]));
+      const check::CheckResult r = check::run_check(std::move(req));
+      harness::BenchRecord rec = check::to_record(r, cell);
+      per_mode[m] = bytes_per_state(rec);
+      records.push_back(std::move(rec));
+      std::cout << cell << ": "
+                << harness::format_count(r.stats().states_stored)
+                << " states  " << r.stats().visited_bytes << " bytes  "
+                << per_mode[m] << " bytes/state\n";
+      if (r.stats().visited_bytes == 0) {
+        std::cerr << cell << ": visited set reported zero bytes — the "
+                  << "accounting is broken for this mode\n";
+        exit_code = 1;
+      }
+    }
+    if (per_mode[1] > 0.0) {
+      std::cout << "  " << w.name << " compression: " << per_mode[0] << " -> "
+                << per_mode[1] << " bytes/state ("
+                << per_mode[0] / per_mode[1] << "x)\n";
+    }
+    // Spill series, large tier only: same collapse run with an 8 MiB hot
+    // window over the spillable chunks. visited_bytes then reports the
+    // *resident* footprint (spilled chunks are excluded by the accounting),
+    // so this series measures bytes/state of the hot set — the figure that
+    // matters once the arena overflows RAM. The backing file is unlinked at
+    // creation, so removing the scratch dir afterwards is enough cleanup.
+    if (w.large) {
+      char tmpl[] = "/tmp/mpb_state_bytes_XXXXXX";
+      char* dir = mkdtemp(tmpl);
+      if (dir == nullptr) {
+        std::cerr << "mkdtemp failed: " << std::strerror(errno) << "\n";
+        return 1;
+      }
+      check::CheckRequest req;
+      req.model = w.model;
+      req.params = w.params;
+      req.strategy = "full";
+      req.explore = harness::budget_from_env();
+      req.explore.visited = VisitedMode::kCollapse;
+      req.explore.threads = 1;
+      req.explore.spill_dir = dir;
+      req.explore.spill_mb = 8;
+      req.repeat = repeat;
+      req.record = false;
+      const std::string cell = "state_bytes/" + w.name + "/collapse-spill";
+      const check::CheckResult r = check::run_check(std::move(req));
+      harness::BenchRecord rec = check::to_record(r, cell);
+      const double resident = bytes_per_state(rec);
+      records.push_back(std::move(rec));
+      rmdir(dir);
+      std::cout << cell << ": "
+                << harness::format_count(r.stats().states_stored)
+                << " states  " << r.stats().visited_bytes
+                << " resident bytes  " << resident << " bytes/state\n";
+      if (resident > 0.0 && per_mode[0] > 0.0) {
+        std::cout << "  " << w.name << " resident vs interned: " << per_mode[0]
+                  << " -> " << resident << " bytes/state ("
+                  << per_mode[0] / resident << "x)\n";
+      }
+      if (r.stats().visited_bytes == 0) {
+        std::cerr << cell << ": zero resident bytes reported\n";
+        exit_code = 1;
+      }
+    }
+  }
+
+  if (!harness::write_bench_json(out, records)) {
+    std::cerr << "failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << " (" << records.size() << " records)\n";
+  return exit_code;
+}

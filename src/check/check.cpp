@@ -124,6 +124,12 @@ Checker::Checker(CheckRequest req) : req_(std::move(req)), proto_("unset") {
         "the stack cycle proviso needs a single sequential DFS; use "
         "--threads 1 or the visited-set proviso (--proviso visited or auto)");
   }
+  if (!req_.explore.spill_dir.empty() &&
+      req_.explore.visited != VisitedMode::kCollapse) {
+    throw CheckError(
+        "--spill-dir requires the collapse visited mode (--visited collapse): "
+        "only the component-compressed arena can spill");
+  }
 
   // --- model ---
   std::vector<std::vector<ProcessId>> roles;
@@ -173,9 +179,11 @@ CheckResult Checker::run() {
       spor.proviso = cfg.threads > 1 ? CycleProviso::kVisited
                                      : CycleProviso::kStack;
     }
-    if (spor.proviso == CycleProviso::kScc) {
-      // The SCC ignoring fix walks the interned state graph; reflect the
-      // engine's visited-mode upgrade in the reported metadata.
+    if (spor.proviso == CycleProviso::kScc &&
+        !visited_stores_graph(cfg.visited)) {
+      // The SCC ignoring fix walks the stored state graph; reflect the
+      // engine's visited-mode upgrade in the reported metadata. Collapse
+      // mode already records the graph and is kept as requested.
       cfg.visited = VisitedMode::kInterned;
     }
     proviso = std::string(to_string(spor.proviso));

@@ -94,6 +94,8 @@ util::Json request_to_json(const CheckRequest& req) {
   if (e.max_events != ed.max_events) ex["max_events"] = e.max_events;
   if (std::isfinite(e.max_seconds)) ex["max_seconds"] = e.max_seconds;
   if (e.max_depth != ed.max_depth) ex["max_depth"] = e.max_depth;
+  if (e.spill_dir != ed.spill_dir) ex["spill_dir"] = e.spill_dir;
+  if (e.spill_mb != ed.spill_mb) ex["spill_mb"] = e.spill_mb;
 
   util::Json guard = util::Json::object();
   if (std::isfinite(e.guard.watchdog_seconds)) {
@@ -167,13 +169,13 @@ CheckRequest request_from_json(const util::Json& j) {
     check_keys(*e, "explore",
                {"visited", "threads", "visited_shards", "steal_half_threshold",
                 "max_states", "max_events", "max_seconds", "max_depth",
-                "guard"});
+                "spill_dir", "spill_mb", "guard"});
     ExploreConfig& cfg = req.explore;
     if (const util::Json* v = e->find("visited")) {
       const auto mode = visited_mode_from_string(v->as_string());
       if (!mode) {
         throw CheckError("request: unknown visited mode '" + v->as_string() +
-                         "'; known: exact fingerprint interned");
+                         "'; known: exact fingerprint interned collapse");
       }
       cfg.visited = *mode;
     }
@@ -191,6 +193,10 @@ CheckRequest request_from_json(const util::Json& j) {
     cfg.max_seconds = e->get_double("max_seconds", cfg.max_seconds);
     cfg.max_depth =
         static_cast<unsigned>(e->get_int("max_depth", cfg.max_depth));
+    cfg.spill_dir = e->get_string("spill_dir", cfg.spill_dir);
+    if (const util::Json* v = e->find("spill_mb")) {
+      cfg.spill_mb = v->as_uint();
+    }
     if (const util::Json* g = e->find("guard")) {
       check_keys(*g, "guard",
                  {"watchdog_seconds", "max_states", "max_memory_bytes"});

@@ -1,0 +1,363 @@
+#include "core/collapse.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "core/protocol.hpp"
+#include "util/hash.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace mpb {
+
+namespace {
+
+// Slot value sentinels; published entries store index+1, so any value in
+// (0, kFrozen) is a published entry.
+constexpr std::uint64_t kClaimed = ~std::uint64_t{0};
+constexpr std::uint64_t kFrozen = ~std::uint64_t{0} - 1;
+
+constexpr std::size_t kInitialSlots = 64;
+
+inline void spin_pause(unsigned spins) noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (spins < 64) {
+    _mm_pause();
+    return;
+  }
+#endif
+  if (spins >= 64) std::this_thread::yield();
+}
+
+}  // namespace
+
+CollapseLayout CollapseLayout::from(const Protocol& proto) {
+  CollapseLayout lay;
+  lay.locals.reserve(proto.n_procs());
+  for (unsigned i = 0; i < proto.n_procs(); ++i) {
+    const ProcessInfo& p = proto.proc(static_cast<ProcessId>(i));
+    lay.locals.emplace_back(static_cast<std::uint32_t>(p.local_offset),
+                            static_cast<std::uint32_t>(p.local_len));
+  }
+  lay.n_receivers = proto.n_procs();
+  return lay;
+}
+
+// --- BlobStore ---------------------------------------------------------------
+
+BlobStore::BlobStore(ChunkStore& chunks) : chunks_(chunks) {
+  table_.store(new Table(kInitialSlots), std::memory_order_release);
+  heap_bytes_.fetch_add(kInitialSlots * sizeof(Slot), std::memory_order_relaxed);
+}
+
+BlobStore::~BlobStore() {
+  delete table_.load(std::memory_order_relaxed);
+  for (Table* t : retired_) delete t;
+  // Entry and payload chunks are owned by the ChunkStore.
+}
+
+const BlobStore::Entry* BlobStore::entry_at(std::uint32_t idx) const {
+  // Chunk c holds kFirstEntryChunk << c entries (geometric, like the visited
+  // arenas): q = idx/first + 1, chunk = bit_width(q) - 1.
+  const std::size_t q = idx / kFirstEntryChunk + 1;
+  const std::size_t chunk = std::bit_width(q) - 1;
+  const std::size_t start = kFirstEntryChunk * ((std::size_t{1} << chunk) - 1);
+  const Entry* base = entry_chunks_[chunk].load(std::memory_order_acquire);
+  return base + (idx - start);
+}
+
+std::uint32_t BlobStore::alloc_entry() {
+  const std::uint64_t idx = entry_next_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t q = idx / kFirstEntryChunk + 1;
+  const std::size_t chunk = std::bit_width(q) - 1;
+  if (chunk >= kMaxChunks) throw std::runtime_error("collapse: entry arena full");
+  if (entry_chunks_[chunk].load(std::memory_order_acquire) == nullptr) {
+    std::lock_guard<std::mutex> lock(chunk_mu_);
+    if (entry_chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+      const std::size_t n = kFirstEntryChunk << chunk;
+      auto* base = reinterpret_cast<Entry*>(
+          chunks_.alloc_chunk(n * sizeof(Entry), /*spillable=*/false));
+      entry_chunks_[chunk].store(base, std::memory_order_release);
+    }
+  }
+  return static_cast<std::uint32_t>(idx);
+}
+
+std::uint64_t BlobStore::alloc_payload(std::uint32_t len) {
+  if (len > kPayloadChunkBytes) {
+    throw std::runtime_error("collapse: component blob exceeds payload chunk");
+  }
+  for (;;) {
+    std::uint64_t old = payload_next_.load(std::memory_order_relaxed);
+    const std::uint64_t chunk = old / kPayloadChunkBytes;
+    const std::uint64_t off = old % kPayloadChunkBytes;
+    if (off + len > kPayloadChunkBytes) {
+      // Skip the tail of this chunk; the gap is wasted but bounded.
+      payload_next_.compare_exchange_weak(old, (chunk + 1) * kPayloadChunkBytes,
+                                          std::memory_order_relaxed);
+      continue;
+    }
+    if (!payload_next_.compare_exchange_weak(old, old + len,
+                                             std::memory_order_relaxed)) {
+      continue;
+    }
+    if (chunk >= kMaxPayloadChunks) {
+      throw std::runtime_error("collapse: payload pool full");
+    }
+    if (payload_chunks_[chunk].load(std::memory_order_acquire) == nullptr) {
+      std::lock_guard<std::mutex> lock(chunk_mu_);
+      if (payload_chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+        payload_chunks_[chunk].store(
+            chunks_.alloc_chunk(kPayloadChunkBytes, /*spillable=*/false),
+            std::memory_order_release);
+      }
+    }
+    return old;
+  }
+}
+
+const std::byte* BlobStore::payload_at(std::uint64_t off) const {
+  const std::byte* base =
+      payload_chunks_[off / kPayloadChunkBytes].load(std::memory_order_acquire);
+  return base + off % kPayloadChunkBytes;
+}
+
+std::span<const std::byte> BlobStore::get(std::uint32_t idx) const {
+  const Entry* e = entry_at(idx);
+  return {payload_at(e->off), e->len};
+}
+
+BlobStore::TryIntern BlobStore::try_intern(Table& t, const std::byte* data,
+                                           std::uint32_t len, std::uint64_t key,
+                                           std::uint32_t& out) {
+  std::size_t i = key & t.mask;
+  for (std::size_t probes = 0;; ++probes) {
+    if (probes > t.mask) return TryIntern::kTableFull;
+    Slot& slot = t.slots[i];
+    for (unsigned spins = 0;; ++spins) {
+      std::uint64_t v = slot.val.load(std::memory_order_acquire);
+      if (v == kFrozen) return TryIntern::kRetryFrozen;
+      if (v == kClaimed) {
+        spin_pause(spins);
+        continue;
+      }
+      if (v == 0) {
+        std::uint64_t expected = 0;
+        if (!slot.val.compare_exchange_strong(expected, kClaimed,
+                                              std::memory_order_acquire)) {
+          continue;  // lost the claim race; re-resolve this slot
+        }
+        slot.key.store(key, std::memory_order_relaxed);
+        const std::uint64_t off = alloc_payload(len);
+        if (len != 0) {
+          std::memcpy(const_cast<std::byte*>(payload_at(off)), data, len);
+        }
+        const std::uint32_t idx = alloc_entry();
+        Entry* e = const_cast<Entry*>(entry_at(idx));
+        e->off = off;
+        e->len = len;
+        slot.val.store(std::uint64_t{idx} + 1, std::memory_order_release);
+        t.count.fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        out = idx;
+        return TryIntern::kDone;
+      }
+      // Published entry.
+      if (slot.key.load(std::memory_order_relaxed) == key) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(v - 1);
+        const std::span<const std::byte> stored = get(idx);
+        if (stored.size() == len &&
+            (len == 0 || std::memcmp(stored.data(), data, len) == 0)) {
+          out = idx;
+          return TryIntern::kDone;
+        }
+      }
+      break;  // different blob in this slot: advance the probe
+    }
+    i = (i + 1) & t.mask;
+  }
+}
+
+void BlobStore::grow(Table* old) {
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  if (table_.load(std::memory_order_relaxed) != old) return;  // someone grew already
+  const std::size_t cap = (old->mask + 1) * 2;
+  auto* fresh = new Table(cap);
+  heap_bytes_.fetch_add(cap * sizeof(Slot), std::memory_order_relaxed);
+  std::size_t copied = 0;
+  for (std::size_t i = 0; i <= old->mask; ++i) {
+    Slot& slot = old->slots[i];
+    for (unsigned spins = 0;; ++spins) {
+      std::uint64_t v = slot.val.load(std::memory_order_acquire);
+      if (v == 0) {
+        // Seal the empty slot so in-flight inserters retry on the new table.
+        if (slot.val.compare_exchange_strong(v, kFrozen,
+                                             std::memory_order_acq_rel)) {
+          break;
+        }
+        continue;
+      }
+      if (v == kClaimed) {
+        spin_pause(spins);
+        continue;
+      }
+      const std::uint64_t key = slot.key.load(std::memory_order_relaxed);
+      std::size_t j = key & fresh->mask;
+      while (fresh->slots[j].val.load(std::memory_order_relaxed) != 0) {
+        j = (j + 1) & fresh->mask;
+      }
+      fresh->slots[j].key.store(key, std::memory_order_relaxed);
+      fresh->slots[j].val.store(v, std::memory_order_relaxed);
+      ++copied;
+      break;
+    }
+  }
+  fresh->count.store(copied, std::memory_order_relaxed);
+  retired_.push_back(old);
+  table_.store(fresh, std::memory_order_release);
+}
+
+std::uint32_t BlobStore::intern(const std::byte* data, std::uint32_t len) {
+  const std::uint64_t key = blob_hash(data, len);
+  for (unsigned spins = 0;; ++spins) {
+    Table* t = table_.load(std::memory_order_acquire);
+    std::uint32_t out = 0;
+    switch (try_intern(*t, data, len, key, out)) {
+      case TryIntern::kDone: {
+        const std::size_t c = t->count.load(std::memory_order_relaxed);
+        if ((c + 1) * 10 >= (t->mask + 1) * 7) grow(t);
+        return out;
+      }
+      case TryIntern::kTableFull:
+        grow(t);
+        break;
+      case TryIntern::kRetryFrozen:
+        spin_pause(spins);
+        break;
+    }
+  }
+}
+
+std::uint32_t BlobStore::find(const std::byte* data, std::uint32_t len) const {
+  const std::uint64_t key = blob_hash(data, len);
+  for (;;) {
+    const Table* t = table_.load(std::memory_order_acquire);
+    std::size_t i = key & t->mask;
+    bool retry = false;
+    for (std::size_t probes = 0; probes <= t->mask && !retry; ++probes) {
+      const Slot& slot = t->slots[i];
+      for (unsigned spins = 0;; ++spins) {
+        const std::uint64_t v = slot.val.load(std::memory_order_acquire);
+        if (v == 0) return kNoBlob;
+        if (v == kFrozen) {
+          // Table retired mid-probe; restart on the current one.
+          retry = true;
+          break;
+        }
+        if (v == kClaimed) {
+          spin_pause(spins);
+          continue;
+        }
+        if (slot.key.load(std::memory_order_relaxed) == key) {
+          const std::uint32_t idx = static_cast<std::uint32_t>(v - 1);
+          const std::span<const std::byte> stored = get(idx);
+          if (stored.size() == len &&
+              (len == 0 || std::memcmp(stored.data(), data, len) == 0)) {
+            return idx;
+          }
+        }
+        break;
+      }
+      i = (i + 1) & t->mask;
+    }
+    if (!retry) return kNoBlob;
+  }
+}
+
+// --- component serialization -------------------------------------------------
+
+namespace {
+
+inline void put_u16(std::uint16_t v, std::vector<std::byte>& out) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>(v >> 8));
+}
+
+inline void put_u32(std::uint32_t v, std::vector<std::byte>& out) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 24) & 0xff));
+}
+
+inline std::uint16_t get_u16(std::span<const std::byte> b, std::size_t& pos) {
+  const auto lo = static_cast<std::uint16_t>(b[pos]);
+  const auto hi = static_cast<std::uint16_t>(b[pos + 1]);
+  pos += 2;
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+inline std::uint32_t get_u32(std::span<const std::byte> b, std::size_t& pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(b[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 4;
+  return v;
+}
+
+}  // namespace
+
+void encode_message(const Message& m, std::vector<std::byte>& out) {
+  put_u16(m.type(), out);
+  out.push_back(static_cast<std::byte>(m.sender()));
+  out.push_back(static_cast<std::byte>(m.receiver()));
+  out.push_back(static_cast<std::byte>(m.payload_size()));
+  for (const Value v : m.payload()) {
+    put_u32(static_cast<std::uint32_t>(v), out);
+  }
+}
+
+Message decode_message(std::span<const std::byte> bytes, std::size_t& pos) {
+  const MsgType type = get_u16(bytes, pos);
+  const auto sender = static_cast<ProcessId>(bytes[pos++]);
+  const auto receiver = static_cast<ProcessId>(bytes[pos++]);
+  const auto size = static_cast<unsigned>(bytes[pos++]);
+  std::array<Value, Message::kMaxPayload> p{};
+  for (unsigned i = 0; i < size; ++i) {
+    p[i] = static_cast<Value>(get_u32(bytes, pos));
+  }
+  switch (size) {
+    case 0: return Message(type, sender, receiver, {});
+    case 1: return Message(type, sender, receiver, {p[0]});
+    case 2: return Message(type, sender, receiver, {p[0], p[1]});
+    case 3: return Message(type, sender, receiver, {p[0], p[1], p[2]});
+    default: return Message(type, sender, receiver, {p[0], p[1], p[2], p[3]});
+  }
+}
+
+void encode_event(const Event& e, std::vector<std::byte>& out) {
+  put_u16(e.tid, out);
+  for (const Message& m : e.consumed) encode_message(m, out);
+}
+
+Event decode_event(std::span<const std::byte> bytes) {
+  Event e;
+  std::size_t pos = 0;
+  e.tid = get_u16(bytes, pos);
+  while (pos < bytes.size()) e.consumed.push_back(decode_message(bytes, pos));
+  return e;
+}
+
+std::uint64_t blob_hash(const std::byte* data, std::uint32_t len) noexcept {
+  Hasher64 h(0x6d70625f636f6c6cULL);  // "mpb_coll"
+  h.add_bytes({data, len});
+  return h.digest();
+}
+
+}  // namespace mpb

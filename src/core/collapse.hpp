@@ -1,0 +1,177 @@
+// COLLAPSE-style structural state compression (Holzmann): the component
+// tables behind VisitedMode::kCollapse.
+//
+// Instead of interning every visited state as a full in-arena copy, collapse
+// mode interns each state *component* — one process's locals block, one
+// receiver's channel multiset, one incoming event — exactly once in a
+// dedicated lock-free BlobStore, and stores a state as a fixed-width tuple
+// of small component indices. Components repeat massively across states
+// (most transitions touch one process and one channel), so the per-state
+// footprint collapses from hundreds of bytes to the tuple plus a constant
+// node header, while component storage is amortized across the whole run.
+//
+// Exactness: BlobStore::intern compares full blob contents on a key match,
+// so equal indices <=> equal bytes. A state's tuple is built
+// deterministically from its canonical form (locals slices in process
+// order, then the per-receiver runs of the sorted network multiset), so
+// tuple equality <=> state equality — collapse mode keeps the interned
+// mode's exact semantics, not fingerprint mode's probabilistic ones. The
+// visited table still probes by the state's 128-bit fingerprint (fp.lo is
+// the slot key, unchanged contract); the tuple comparison replaces the full
+// state comparison on a key match.
+//
+// BlobStore reuses the ShardedVisited claim/publish slot protocol: a slot is
+// {hash key, value} of atomics, insertion CASes an empty slot's value to a
+// claim sentinel, copies the payload bytes into the append-only pool, writes
+// the entry, then release-stores the entry index; growth freezes the old
+// table's empty slots and migrates published entries under a mutex. Entry
+// records and payload bytes live in chunks from a ChunkStore (core/
+// spill.hpp), allocated *pinned*: the component working set is small and
+// probed for every generated successor, so it always stays resident — the
+// spill tier applies to the state-node arena, not here.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/spill.hpp"
+#include "core/transition.hpp"
+
+namespace mpb {
+
+class Protocol;
+class State;
+
+// How a state splits into components. Derived from the Protocol for real
+// runs; the default (empty) layout uses one locals component and one channel
+// component, which keeps ShardedVisited usable standalone in tests.
+struct CollapseLayout {
+  // Per-process {offset, len} into State::locals, in process order.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> locals;
+  // Per-receiver channel components: messages to receiver r form component r.
+  // 0 = a single component holding the whole network multiset.
+  std::uint32_t n_receivers = 0;
+
+  [[nodiscard]] static CollapseLayout from(const Protocol& proto);
+
+  // Tuple width: one index per locals component plus one per channel run.
+  [[nodiscard]] std::uint32_t width() const noexcept {
+    const auto l = locals.empty() ? 1u : static_cast<std::uint32_t>(locals.size());
+    const auto c = n_receivers == 0 ? 1u : n_receivers;
+    return l + c;
+  }
+};
+
+// A lock-free content-interning table: blob bytes in, small dense index out,
+// with exactly-once semantics under arbitrary thread contention. Indices are
+// assigned in insertion order and never change; blobs are immutable.
+class BlobStore {
+ public:
+  static constexpr std::uint32_t kNoBlob = ~std::uint32_t{0};
+
+  // `chunks` outlives the store and backs the entry records and payload
+  // bytes (allocated pinned).
+  explicit BlobStore(ChunkStore& chunks);
+  ~BlobStore();
+
+  BlobStore(const BlobStore&) = delete;
+  BlobStore& operator=(const BlobStore&) = delete;
+
+  // Index of the blob equal to [data, data+len), interning it if absent.
+  // Thread-safe and lock-free on the hit path.
+  std::uint32_t intern(const std::byte* data, std::uint32_t len);
+
+  // Lookup-only probe: the index, or kNoBlob when no equal blob is interned.
+  [[nodiscard]] std::uint32_t find(const std::byte* data,
+                                   std::uint32_t len) const;
+
+  // The interned bytes behind `idx` (stable address, immutable).
+  [[nodiscard]] std::span<const std::byte> get(std::uint32_t idx) const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  // Heap bytes of the slot tables (live + retired); the chunk-backed entry
+  // records and payload bytes are accounted by the ChunkStore.
+  [[nodiscard]] std::uint64_t heap_bytes() const noexcept {
+    return heap_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> key{0};
+    std::atomic<std::uint64_t> val{0};
+  };
+
+  struct Table {
+    explicit Table(std::size_t capacity)
+        : mask(capacity - 1), slots(new Slot[capacity]) {}
+    const std::size_t mask;
+    std::atomic<std::size_t> count{0};
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  // One interned blob: offset/length into the payload pool. Entry chunks are
+  // published with release stores, like the arenas in core/visited.cpp.
+  struct Entry {
+    std::uint64_t off = 0;
+    std::uint32_t len = 0;
+  };
+
+  static constexpr std::size_t kFirstEntryChunk = 256;
+  static constexpr std::size_t kMaxChunks = 32;
+  static constexpr std::size_t kPayloadChunkBytes = std::size_t{1} << 20;
+  static constexpr std::size_t kMaxPayloadChunks = 4096;  // 4 GiB of payload
+
+  enum class TryIntern { kDone, kRetryFrozen, kTableFull };
+  TryIntern try_intern(Table& t, const std::byte* data, std::uint32_t len,
+                       std::uint64_t key, std::uint32_t& out);
+  void grow(Table* old);
+  [[nodiscard]] const Entry* entry_at(std::uint32_t idx) const;
+  std::uint32_t alloc_entry();
+  std::uint64_t alloc_payload(std::uint32_t len);
+  [[nodiscard]] const std::byte* payload_at(std::uint64_t off) const;
+
+  ChunkStore& chunks_;
+  std::atomic<Table*> table_{nullptr};
+  std::mutex grow_mu_;            // table growth only; never on the hot path
+  std::vector<Table*> retired_;   // guarded by grow_mu_
+  std::mutex chunk_mu_;           // entry/payload chunk creation only
+  std::array<std::atomic<Entry*>, kMaxChunks> entry_chunks_{};
+  std::atomic<std::uint64_t> entry_next_{0};
+  // Payload pool: fixed-size byte chunks, bump-allocated; an allocation that
+  // would straddle a chunk boundary skips to the next chunk (the gap is
+  // wasted, bounded by one max-blob per chunk).
+  std::array<std::atomic<std::byte*>, kMaxPayloadChunks> payload_chunks_{};
+  std::atomic<std::uint64_t> payload_next_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> heap_bytes_{0};
+};
+
+// --- component serialization -------------------------------------------------
+// Canonical byte encodings of the three component kinds. Locals slices are
+// raw Value arrays. Messages are encoded field-by-field (5 header bytes +
+// payload) — never memcpy'd whole, so struct padding can't leak into blob
+// identity. Events are the transition id plus the consumed messages.
+
+// Append the encoding of `m` to `out`.
+void encode_message(const Message& m, std::vector<std::byte>& out);
+// Decode one message starting at out[pos]; advances pos.
+[[nodiscard]] Message decode_message(std::span<const std::byte> bytes,
+                                     std::size_t& pos);
+
+void encode_event(const Event& e, std::vector<std::byte>& out);
+[[nodiscard]] Event decode_event(std::span<const std::byte> bytes);
+
+// 64-bit content hash for blob table keys.
+[[nodiscard]] std::uint64_t blob_hash(const std::byte* data,
+                                      std::uint32_t len) noexcept;
+
+}  // namespace mpb

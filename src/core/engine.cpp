@@ -22,8 +22,15 @@ ExpansionCore::ExpansionCore(const Protocol& proto, const ExploreConfig& cfg,
     : proto_(proto),
       cfg_(cfg),
       strategy_(strategy),
-      visited_(visited_mode, auto_shards(cfg)) {
+      visited_(visited_mode, auto_shards(cfg),
+               visited_mode == VisitedMode::kCollapse ? CollapseLayout::from(proto)
+                                                      : CollapseLayout{},
+               SpillConfig{cfg.spill_dir, cfg.spill_mb << 20}) {
   exec_opts_.validate_annotations = cfg.validate_annotations;
+  // One worker means at most one thread ever probes the visited set at a
+  // time (the pool's main thread only touches it before workers start and
+  // after they join), so table growth may free old tables immediately.
+  if (n_workers <= 1) visited_.set_serial(true);
   if (cfg.canonicalize_perm) {
     canon_ = cfg.canonicalize_perm;
   } else if (cfg.canonicalize) {
@@ -34,7 +41,7 @@ ExpansionCore::ExpansionCore(const Protocol& proto, const ExploreConfig& cfg,
   }
   scc_enabled_ = strategy != nullptr && strategy->wants_scc_ignoring_pass() &&
                  cfg.mode == SearchMode::kStateful &&
-                 visited_mode == VisitedMode::kInterned;
+                 visited_stores_graph(visited_mode);
   workers_.reserve(n_workers);
   for (unsigned w = 0; w < n_workers; ++w) {
     workers_.push_back(std::make_unique<WorkerCtx>(w));
@@ -166,10 +173,12 @@ void ExpansionCore::run_scc_ignoring_pass(
   // The concrete state behind an interned entry: invert the recorded
   // permutation when a symmetry reduction is installed (identity otherwise).
   auto concrete_of = [&](StateHandle h) -> State {
-    const State* sp = graph.state_at(h);
+    // materialize() copies in interned mode and reconstructs from the
+    // component tables in collapse mode.
+    State s = *graph.materialize(h);
     const std::uint32_t perm = graph.perm_of(h);
-    if (perm != 0 && cfg_.decanonicalize) return cfg_.decanonicalize(perm, *sp);
-    return *sp;
+    if (perm != 0 && cfg_.decanonicalize) return cfg_.decanonicalize(perm, s);
+    return s;
   };
 
   LimitKind trunc = LimitKind::kNone;
@@ -651,7 +660,7 @@ ExploreResult PoolDriver::run() {
   for (auto& v : worker_terminals_) tf.insert(tf.end(), v.begin(), v.end());
 
   if (result_.verdict == Verdict::kViolated && pending_.armed &&
-      core_.visited().mode() == VisitedMode::kInterned) {
+      visited_stores_graph(core_.visited().mode())) {
     std::vector<Event> events =
         core_.visited().graph().path_from_root(pending_.parent);
     events.push_back(pending_.last);
@@ -669,6 +678,7 @@ ExploreResult PoolDriver::run() {
   tf.erase(std::unique(tf.begin(), tf.end()), tf.end());
 
   result_.stats.states_stored = core_.visited().size();
+  result_.stats.visited_bytes = core_.visited().approx_bytes();
   result_.stats.threads_used = threads_;
   result_.stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -1009,6 +1019,7 @@ void StackReplayDriver::record_counterexample(std::span<const Event> events) {
 ExploreResult StackReplayDriver::finish() {
   result_.stats.seconds = elapsed();
   result_.stats.states_stored = stored_states();
+  if (stateful_) result_.stats.visited_bytes = core_.visited().approx_bytes();
   core_.finish_stats(result_.stats);
   if (result_.verdict != Verdict::kViolated && limit_ != LimitKind::kNone) {
     result_.verdict = verdict_of(limit_);

@@ -101,10 +101,13 @@ enum class LimitKind : std::uint8_t { kNone = 0, kBudget, kResource };
 // so whichever mode runs, the graph semantics are identical.
 class VisitedSet {
  public:
-  VisitedSet(VisitedMode mode, unsigned shards)
+  // `layout` and `spill` configure collapse mode (component split + optional
+  // mmap spill tier); both are ignored by the other modes.
+  VisitedSet(VisitedMode mode, unsigned shards, CollapseLayout layout = {},
+             SpillConfig spill = {})
       : mode_(mode),
         sharded_(mode == VisitedMode::kExact ? VisitedMode::kInterned : mode,
-                 shards) {}
+                 shards, std::move(layout), std::move(spill)) {}
 
   // `fp` must be s.fingerprint(). `perm` is the index of the symmetry
   // permutation that produced `s` from the concrete state (0 = identity).
@@ -142,6 +145,10 @@ class VisitedSet {
   }
 
   [[nodiscard]] VisitedMode mode() const noexcept { return mode_; }
+
+  // Serial-search declaration (see ShardedVisited::set_serial): lets table
+  // growth free old tables immediately when at most one thread ever probes.
+  void set_serial(bool on) noexcept { sharded_.set_serial(on); }
 
   // The interned state graph (meaningful when mode() == kInterned; the
   // other modes hand out no handles, so every walk is trivially empty).

@@ -45,13 +45,14 @@ std::vector<TraceStep> replay_trace(const Protocol& proto,
 ExploreResult explore(const Protocol& proto, const ExploreConfig& cfg,
                       ReductionStrategy* strategy) {
   const bool stateful = cfg.mode == SearchMode::kStateful;
-  // The SCC ignoring fix walks the interned state graph; upgrade the
-  // visited mode so the graph exists (kExact -> kInterned preserves exact
-  // semantics; kFingerprint stores no states at all, so it upgrades too).
+  // The SCC ignoring fix walks the stored state graph; upgrade the visited
+  // mode so the graph exists (kExact -> kInterned preserves exact semantics;
+  // kFingerprint stores no states at all, so it upgrades too). kCollapse
+  // already records the graph and is left alone.
   ExploreConfig adjusted;
   const ExploreConfig* use = &cfg;
   if (stateful && strategy != nullptr && strategy->wants_scc_ignoring_pass() &&
-      cfg.visited != VisitedMode::kInterned) {
+      !visited_stores_graph(cfg.visited)) {
     adjusted = cfg;
     adjusted.visited = VisitedMode::kInterned;
     use = &adjusted;

@@ -140,6 +140,13 @@ struct ExploreConfig {
   // default; each batched item is still claimed by its own top-CAS, so the
   // memory-safety argument — and the TSan model — is unchanged).
   unsigned steal_half_threshold = 0;
+  // --- collapse-mode spill tier (visited == kCollapse only) ---
+  // Directory for the visited set's mmap spill file; empty = no spilling.
+  // When set, cold state-node chunks beyond the resident budget are advised
+  // out of RAM and stop counting against guard.max_memory_bytes.
+  std::string spill_dir;
+  // Resident budget for spillable chunks, in MiB; 0 = keep all resident.
+  std::uint64_t spill_mb = 0;
   // --- observer hooks (the check facade's progress reporting) ---
   // `on_progress` is invoked approximately every `progress_every_events`
   // executed events with a snapshot of the running stats. Sequential runs
@@ -187,6 +194,11 @@ struct ExploreStats {
   // query; the cached scheme keeps passes near states_stored.
   std::uint64_t full_hash_passes = 0;
   std::uint64_t hash_queries = 0;
+  // Exact bytes the visited set holds resident at the end of the run (slot
+  // tables, arenas, interned payloads; spilled chunks excluded). 0 for
+  // stateless searches. visited_bytes / states_stored is the bytes-per-state
+  // figure the state_bytes bench reports.
+  std::uint64_t visited_bytes = 0;
   unsigned max_depth_seen = 0;
   unsigned threads_used = 1;
   double seconds = 0.0;

@@ -1,0 +1,113 @@
+#include "core/spill.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace mpb {
+
+namespace {
+
+[[nodiscard]] std::size_t page_size() noexcept {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+[[nodiscard]] std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) / align * align;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("spill: " + what + ": " + std::strerror(errno));
+}
+
+// An anonymous (unlinked) temporary file in `dir`: O_TMPFILE never has a
+// name at all; the mkstemp fallback unlinks immediately, so either way the
+// kernel reclaims the space when the store (or a crashed process) goes away.
+[[nodiscard]] int open_spill_file(const std::string& dir) {
+#ifdef O_TMPFILE
+  const int fd = ::open(dir.c_str(), O_TMPFILE | O_RDWR | O_EXCL, 0600);
+  if (fd >= 0) return fd;
+  // EOPNOTSUPP/EISDIR: filesystem without O_TMPFILE; fall through.
+#endif
+  std::string tmpl = dir + "/mpb-spill-XXXXXX";
+  const int fd2 = ::mkstemp(tmpl.data());
+  if (fd2 < 0) fail("cannot create spill file in '" + dir + "'");
+  ::unlink(tmpl.c_str());
+  return fd2;
+}
+
+}  // namespace
+
+ChunkStore::ChunkStore(SpillConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.enabled()) fd_ = open_spill_file(cfg_.dir);
+}
+
+ChunkStore::~ChunkStore() {
+  for (Chunk& c : chunks_) {
+    if (fd_ >= 0) {
+      ::munmap(c.base, c.size);
+    } else {
+      delete[] c.base;
+    }
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::byte* ChunkStore::alloc_chunk(std::size_t bytes, bool spillable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Chunk c;
+  if (fd_ >= 0) {
+    c.size = round_up(bytes, page_size());
+    const std::uint64_t off = file_size_;
+    if (::ftruncate(fd_, static_cast<off_t>(off + c.size)) != 0) {
+      fail("ftruncate");
+    }
+    void* p = ::mmap(nullptr, c.size, PROT_READ | PROT_WRITE, MAP_SHARED, fd_,
+                     static_cast<off_t>(off));
+    if (p == MAP_FAILED) fail("mmap");
+    file_size_ = off + c.size;
+    c.base = static_cast<std::byte*>(p);  // file pages read back as zeros
+  } else {
+    c.size = bytes;
+    c.base = new std::byte[bytes]();  // value-init: zero-filled
+  }
+  c.spillable = spillable && fd_ >= 0 && cfg_.resident_bytes != 0;
+  c.resident = true;
+  allocated_.fetch_add(c.size, std::memory_order_relaxed);
+  resident_.fetch_add(c.size, std::memory_order_relaxed);
+  chunks_.push_back(c);
+  evict_locked();
+  return c.base;
+}
+
+// Enforce the resident budget over the spillable chunks, oldest first; the
+// just-allocated (newest) chunk is never evicted in its own round, so the
+// caller's initial writes always hit resident pages. Cold chunks are
+// re-advised every round: duplicate probes fault cold pages back in behind
+// the accounting's back, and the periodic re-advise bounds that drift.
+void ChunkStore::evict_locked() {
+  if (fd_ < 0 || cfg_.resident_bytes == 0) return;
+  for (std::size_t i = 0; i + 1 < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    if (!c.spillable) continue;
+    if (c.resident &&
+        resident_.load(std::memory_order_relaxed) <= cfg_.resident_bytes) {
+      continue;
+    }
+    if (c.resident) {
+      c.resident = false;
+      resident_.fetch_sub(c.size, std::memory_order_relaxed);
+    }
+    // MADV_DONTNEED on a MAP_SHARED file mapping drops the PTEs (and RSS);
+    // dirty pages live on in the page cache / backing file, so the data
+    // survives and later reads just refault.
+    ::madvise(c.base, c.size, MADV_DONTNEED);
+  }
+}
+
+}  // namespace mpb

@@ -1,0 +1,109 @@
+// Chunk allocator with an optional mmap-backed spill tier.
+//
+// The collapse-mode visited set (core/visited.hpp) stores its big arenas —
+// the compressed state nodes and the component blob pools — as append-only
+// chunks whose addresses never move. This allocator hands out those chunks
+// from one of two backings:
+//
+//  * heap (SpillConfig::dir empty): plain zero-initialized new[] chunks, all
+//    permanently resident. The default, and the only mode the hot probe path
+//    ever needs.
+//  * spill (dir set): one unlinked temporary file in `dir` (O_TMPFILE when
+//    the filesystem supports it, mkstemp+unlink otherwise), grown with
+//    ftruncate and mapped chunk-by-chunk with mmap(MAP_SHARED). When the
+//    resident budget is exceeded, *spillable* chunks are advised out oldest
+//    first with madvise(MADV_DONTNEED) — for a shared file mapping that drops
+//    the PTEs (and the RSS) while the data stays safe in the page cache and
+//    the backing file, so a later read simply faults the pages back in.
+//
+// Hot/cold policy: callers mark each chunk spillable or pinned at allocation.
+// The component blob pools are pinned (they are the small, constantly probed
+// working set — the whole point of COLLAPSE is that components are few and
+// shared), while the state-node arena is spillable (written once at insert,
+// read again only to confirm a duplicate or materialize a trace). Within the
+// spillable set the newest chunks stay hot; every eviction round re-advises
+// all cold chunks so pages faulted back by duplicate probes cannot
+// accumulate unaccounted.
+//
+// resident_bytes() is the allocator's contribution to the visited set's
+// exact memory accounting: pinned chunks plus hot spillable chunks. Advised-
+// out chunks cost file/page-cache space, not the RAM budget the resource
+// guard (ExploreConfig::guard.max_memory_bytes) meters — which is exactly
+// what lets a spill-enabled run keep growing states past a guard that would
+// stop the same run without spilling.
+//
+// Thread-safety: alloc_chunk is serialized by an internal mutex (chunk
+// allocation is rare — geometric growth); the returned memory is plain bytes
+// the caller synchronizes itself (the visited set publishes chunk base
+// pointers with release stores).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mpb {
+
+struct SpillConfig {
+  // Directory for the backing file; empty = heap chunks, no spilling.
+  std::string dir;
+  // Resident budget for spillable chunks, in bytes; 0 = keep everything
+  // resident (the file backing still exists, nothing is ever advised out).
+  std::uint64_t resident_bytes = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+};
+
+class ChunkStore {
+ public:
+  explicit ChunkStore(SpillConfig cfg = {});
+  ~ChunkStore();
+
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+
+  // A zero-filled chunk of at least `bytes` bytes at a stable address, valid
+  // until destruction. `spillable` chunks participate in the hot/cold policy;
+  // pinned chunks always stay resident. Throws std::runtime_error if the
+  // spill file cannot be created or mapped.
+  std::byte* alloc_chunk(std::size_t bytes, bool spillable = true);
+
+  // Total bytes ever allocated (hot + cold + pinned). Lock-free: the memory
+  // resource guard polls these on the insert path.
+  [[nodiscard]] std::uint64_t allocated_bytes() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  // Bytes currently counted against RAM: pinned + hot spillable chunks.
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+    return resident_.load(std::memory_order_relaxed);
+  }
+  // Bytes advised out to the backing file.
+  [[nodiscard]] std::uint64_t spilled_bytes() const noexcept {
+    return allocated_bytes() - resident_bytes();
+  }
+
+  [[nodiscard]] bool spilling() const noexcept { return fd_ >= 0; }
+
+ private:
+  struct Chunk {
+    std::byte* base = nullptr;
+    std::size_t size = 0;     // mapped/allocated size (page-rounded in spill mode)
+    bool spillable = false;
+    bool resident = true;
+  };
+
+  void evict_locked();  // enforce the resident budget (mu_ held)
+
+  SpillConfig cfg_;
+  int fd_ = -1;                 // spill backing file; -1 = heap mode
+  std::uint64_t file_size_ = 0; // next chunk's file offset (page aligned)
+  std::mutex mu_;  // guards chunks_/file growth; counters are read lock-free
+  std::vector<Chunk> chunks_;
+  std::atomic<std::uint64_t> allocated_{0};
+  std::atomic<std::uint64_t> resident_{0};
+};
+
+}  // namespace mpb

@@ -50,6 +50,7 @@ struct Lane {
   unsigned threads;
   bool symmetry;
   bool broken_proviso = false;
+  VisitedMode visited = VisitedMode::kInterned;
 };
 
 ExploreConfig base_explore(const OracleConfig& cfg) {
@@ -83,6 +84,7 @@ ExploreResult run_lane(const RenderedModel& m, const OracleConfig& cfg,
   req.symmetry = lane.symmetry;
   req.explore = base_explore(cfg);
   req.explore.threads = lane.threads;
+  req.explore.visited = lane.visited;
   req.record = false;  // fuzz lanes must not pollute the bench-JSON sink
   return check::run_check(std::move(req)).result;
 }
@@ -135,6 +137,13 @@ OracleReport run_oracle(const ProtocolSpec& spec, const OracleConfig& cfg) {
   if (par) lanes.push_back({"spor/scc/t" + std::to_string(tn), "spor",
                             CycleProviso::kScc, tn, false});
   lanes.push_back({"dpor/t1", "dpor", CycleProviso::kAuto, 1, false});
+  // Collapse-compression lanes: the component-interned visited set must
+  // agree with full-copy interning on verdicts, state counts, and terminal
+  // sets — a tuple-equality bug would surface here as divergence.
+  lanes.push_back({"full/t1/collapse", "full", CycleProviso::kAuto, 1, false,
+                   /*broken_proviso=*/false, VisitedMode::kCollapse});
+  lanes.push_back({"spor/stack/t1/collapse", "spor", CycleProviso::kStack, 1,
+                   false, /*broken_proviso=*/false, VisitedMode::kCollapse});
   if (sym) {
     lanes.push_back({"full/t1/sym", "full", CycleProviso::kAuto, 1, true});
     lanes.push_back({"spor/visited/t1/sym", "spor", CycleProviso::kVisited, 1,
@@ -225,6 +234,26 @@ OracleReport run_oracle(const ProtocolSpec& spec, const OracleConfig& cfg) {
   }
   if (ref.verdict == Verdict::kViolated) {
     if (auto why = replay_problem(m.protocol, ref)) flag(lanes[0].name + ": " + *why);
+  }
+
+  // Collapse lanes run the same search as their interned twin, so they must
+  // store exactly the same state count — tuple-compression is lossless or
+  // it is broken.
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i].visited != VisitedMode::kCollapse || rep.runs[i].skipped) {
+      continue;
+    }
+    const std::string twin =
+        lanes[i].name.substr(0, lanes[i].name.size() - sizeof("/collapse") + 1);
+    for (std::size_t j = 0; j < lanes.size(); ++j) {
+      if (lanes[j].name != twin || rep.runs[j].skipped) continue;
+      if (results[i].stats.states_stored != results[j].stats.states_stored) {
+        flag(lanes[i].name + " stores " +
+             std::to_string(results[i].stats.states_stored) + " states, " +
+             twin + " stores " +
+             std::to_string(results[j].stats.states_stored));
+      }
+    }
   }
 
   if (diverge.tellp() > 0) {

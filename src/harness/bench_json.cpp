@@ -27,6 +27,7 @@ BenchRecord make_record(std::string name, std::string strategy,
   rec.states_per_sec = static_cast<double>(r.stats.states_stored) / secs;
   rec.events_per_sec = static_cast<double>(r.stats.events_executed) / secs;
   rec.peak_rss_kb = peak_rss_kb();
+  rec.visited_bytes = r.stats.visited_bytes;
   return rec;
 }
 
@@ -53,6 +54,7 @@ util::Json to_json_value(const BenchRecord& r) {
   j["states_per_sec"] = r.states_per_sec;
   j["events_per_sec"] = r.events_per_sec;
   j["peak_rss_kb"] = r.peak_rss_kb;
+  j["visited_bytes"] = r.visited_bytes;
   return j;
 }
 

@@ -46,6 +46,11 @@ struct BenchRecord {
   // hungriest workload inherits its peak. Compare like-positioned records
   // across files, not workloads within one file.
   long peak_rss_kb = 0;
+  // Exact visited-set footprint at the end of the run (0 for exact /
+  // fingerprint modes, which do not account). Per-workload, unlike
+  // peak_rss_kb; bench/state_bytes divides this by states_stored to get the
+  // bytes/state series bench_compare.py tracks.
+  std::uint64_t visited_bytes = 0;
 };
 
 // Build a record from an explore result; fills rates and current peak RSS.

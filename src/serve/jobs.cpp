@@ -87,6 +87,21 @@ std::shared_ptr<Job> JobQueue::submit(check::CheckRequest req) {
             : std::min(req.explore.guard.max_memory_bytes,
                        lim.max_memory_bytes);
   }
+  // Spill tier: the client only opts in (collapse mode + any spill field);
+  // the directory is always the server's. Without a server-side spill_dir
+  // the tier is off regardless of what the request asked for.
+  if (req.explore.visited == VisitedMode::kCollapse && !lim.spill_dir.empty() &&
+      (!req.explore.spill_dir.empty() || req.explore.spill_mb != 0)) {
+    req.explore.spill_dir = lim.spill_dir;
+    if (lim.spill_mb != 0) {
+      req.explore.spill_mb = req.explore.spill_mb == 0
+                                 ? lim.spill_mb
+                                 : std::min(req.explore.spill_mb, lim.spill_mb);
+    }
+  } else {
+    req.explore.spill_dir.clear();
+    req.explore.spill_mb = 0;
+  }
   // The daemon serializes results explicitly; keep the process-global bench
   // sink out of the picture.
   req.record = false;

@@ -57,6 +57,13 @@ struct JobLimits {
   double max_seconds = 120.0;
   double watchdog_seconds = 600.0;
   std::uint64_t max_memory_bytes = 0;  // 0 = no memory guard imposed
+  // Spill tier for collapse-mode jobs. The *server* owns the directory
+  // choice: a client-supplied spill_dir is never trusted (it names a path on
+  // the daemon's filesystem) — it is replaced by spill_dir here, or cleared
+  // when the server configures none. spill_mb caps the client's resident
+  // budget; 0 = leave the client's value alone.
+  std::string spill_dir;
+  std::uint64_t spill_mb = 0;
 };
 
 struct ProgressSnapshot {

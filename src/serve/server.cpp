@@ -157,6 +157,12 @@ std::optional<LimitsFile> load_limits_file(const std::string& path,
     } else if (key == "max_memory_mb") {
       if (!parse_u64(value, &u)) return fail("bad max_memory_mb");
       out.limits.max_memory_bytes = u << 20;
+    } else if (key == "spill_dir") {
+      if (value.empty()) return fail("bad spill_dir");
+      out.limits.spill_dir = value;
+    } else if (key == "spill_mb") {
+      if (!parse_u64(value, &u)) return fail("bad spill_mb");
+      out.limits.spill_mb = u;
     } else if (key == "cache_mb") {
       if (!parse_u64(value, &u)) return fail("bad cache_mb");
       out.cache_bytes = u << 20;

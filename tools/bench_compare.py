@@ -5,6 +5,7 @@ scaling (tN vs t1 speedup) regressions.
 Usage:
     bench_compare.py NEW.json [OLD.json] [--threshold 0.15]
                      [--scaling-threshold 0.25] [--reduction-threshold 0.25]
+                     [--rss-threshold 0.30]
 
 NEW.json is the freshly produced bench file (see the `bench-json` cmake
 target, bench/explore_throughput, or tools/run_bench.sh).  Without OLD.json
@@ -32,6 +33,14 @@ increase in states_stored, proviso_fallbacks or scc_reexpansions beyond
 counters don't flap) fails the script just like a throughput regression —
 a POR change that silently loses reduction is caught even when raw
 throughput is unchanged.  Counters missing from an old baseline are skipped.
+
+--rss-threshold (opt-in: off by default because peak_rss_kb is a
+process-lifetime high-water mark, so multi-workload sweeps only compare
+meaningfully like-positioned record against like-positioned record) gates
+relative peak_rss_kb growth per series the same way --threshold gates
+throughput.  Unlike the reduction counters, a record without a usable RSS
+sample is an error, not a skip: gating memory against a file that never
+measured it would pass vacuously, so the script fails and names the record.
 """
 
 import argparse
@@ -132,6 +141,26 @@ def reduction_regressions(new, old, threshold):
     return out
 
 
+def rss_regressions(new, old, threshold):
+    """Relative peak_rss_kb increases of records present in both files.
+    Returns (regressions, unusable): regressions are
+    [(key, old_kb, new_kb, delta), ...]; unusable lists records where either
+    side has no positive RSS sample — those fail the gate outright."""
+    out, unusable = [], []
+    for key, r in new.items():
+        if key not in old:
+            continue
+        nv = r.get("peak_rss_kb", 0)
+        ov = old[key].get("peak_rss_kb", 0)
+        if nv <= 0 or ov <= 0:
+            unusable.append((key, ov, nv))
+            continue
+        delta = (nv - ov) / ov
+        if delta > threshold:
+            out.append((key, ov, nv, delta))
+    return out, unusable
+
+
 def print_speedup_table(new_speedups, old_speedups=None, threshold=None):
     """Render the per-workload scaling table; returns the list of scaling
     regressions (empty when old_speedups is None)."""
@@ -178,6 +207,10 @@ def main():
                     help="allowed relative increase of states_stored / "
                          "proviso_fallbacks / scc_reexpansions on reduced "
                          "records (default 0.25)")
+    ap.add_argument("--rss-threshold", type=float, default=None,
+                    help="gate relative peak_rss_kb growth per series "
+                         "(off unless given; records without a positive "
+                         "RSS sample fail the gate)")
     args = ap.parse_args()
 
     new = load(args.new)
@@ -233,6 +266,11 @@ def main():
         speedups(new), speedups(old), args.scaling_threshold)
     red_regressions = reduction_regressions(new, old, args.reduction_threshold)
 
+    mem_regressions, mem_unusable = ([], [])
+    if args.rss_threshold is not None:
+        mem_regressions, mem_unusable = rss_regressions(
+            new, old, args.rss_threshold)
+
     failed = False
     if regressions:
         print(f"\n{len(regressions)} throughput regression(s) beyond "
@@ -252,6 +290,20 @@ def main():
                   f"({delta:+.0%})", file=sys.stderr)
         print(f"{len(red_regressions)} reduction regression(s) beyond "
               f"+{args.reduction_threshold:.0%}", file=sys.stderr)
+        failed = True
+    if mem_unusable:
+        for key, ov, nv in mem_unusable:
+            print(f"cannot gate memory: {key} has no usable peak_rss_kb "
+                  f"(baseline={ov}, new={nv}); the producing bench predates "
+                  f"RSS recording — regenerate both files from the current "
+                  f"suite before using --rss-threshold", file=sys.stderr)
+        failed = True
+    if mem_regressions:
+        for key, ov, nv, delta in mem_regressions:
+            print(f"memory regression: {key} peak_rss_kb {ov:,} -> {nv:,} "
+                  f"({delta:+.0%})", file=sys.stderr)
+        print(f"{len(mem_regressions)} memory regression(s) beyond "
+              f"+{args.rss_threshold:.0%}", file=sys.stderr)
         failed = True
     if failed:
         return 1

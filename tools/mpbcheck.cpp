@@ -22,7 +22,8 @@
 //                             proviso (scc: no in-search proviso, SCC-based
 //                             ignoring fix over the interned graph)
 //   --threads N               worker threads (stateful strategies: full, spor)
-//   --visited V               exact | fingerprint | interned
+//   --visited V               exact | fingerprint | interned | collapse
+//   --spill-dir D / --spill-mb N           collapse-mode mmap spill tier
 //   --max-states N / --max-seconds S      per-run budgets
 //   --progress                rate-limited progress lines on stderr
 //   --progress-interval MS    progress line rate limit (implies --progress)
@@ -57,7 +58,13 @@ constexpr std::string_view kEngineHelp =
                       scc: no in-search proviso, the SCC ignoring fix
                       re-expands one state per ignored SCC afterwards)
   --threads N         worker threads (stateful strategies: full and spor)
-  --visited V         exact | fingerprint | interned visited-set storage
+  --visited V         exact | fingerprint | interned | collapse visited-set
+                      storage (collapse: exact component-interned compression,
+                      ~10x fewer bytes per state than interned)
+  --spill-dir D       collapse only: back the state-node arena with an mmap
+                      file in D and advise cold chunks out of RAM
+  --spill-mb N        resident budget for spillable chunks in MiB (0 = keep
+                      all resident; needs --spill-dir)
   --max-states N      state budget   (default 3,000,000 or MPB_BUDGET_STATES)
   --max-seconds S     time budget    (default 120 or MPB_BUDGET_SECONDS)
   --watchdog S        wall-clock resource guard; aborts with verdict
@@ -196,9 +203,14 @@ int main(int argc, char** argv) {
         visited_explicit = true;
       } else {
         std::cerr << "mpbcheck: unknown visited mode '" << name
-                  << "'; known: exact fingerprint interned\n";
+                  << "'; known: exact fingerprint interned collapse\n";
         return 2;
       }
+    } else if (arg == "--spill-dir") {
+      req.explore.spill_dir = next();
+    } else if (arg == "--spill-mb") {
+      req.explore.spill_mb =
+          static_cast<std::uint64_t>(parse_long(arg, next()));
     } else if (arg == "--threads") {
       req.explore.threads = static_cast<unsigned>(
           std::clamp(parse_long(arg, next()), 1L, 256L));

@@ -44,7 +44,9 @@ int usage() {
          "  ping\n"
          "  shutdown [--no-drain]\n"
          "engine options: --strategy --split --seed --proviso --symmetry\n"
-         "  --threads --visited --max-states --max-seconds --watchdog\n";
+         "  --threads --visited --max-states --max-seconds --watchdog\n"
+         "  --spill-mb (collapse mode: ask the server for its spill tier;\n"
+         "  the spill directory is always the server's own)\n";
   return 2;
 }
 
@@ -104,6 +106,11 @@ util::Json build_request(const std::vector<std::string>& args,
       const auto mode = visited_mode_from_string(name);
       if (!mode) throw check::CheckError("unknown visited mode '" + name + "'");
       req.explore.visited = *mode;
+    } else if (arg == "--spill-mb") {
+      // Opt into the server's spill tier; the daemon substitutes its own
+      // configured directory (a client path on the server fs is never used).
+      req.explore.spill_mb =
+          static_cast<std::uint64_t>(parse_long(arg, next()));
     } else if (arg == "--threads") {
       req.explore.threads = static_cast<unsigned>(parse_long(arg, next()));
     } else if (arg == "--max-states") {

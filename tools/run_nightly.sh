@@ -6,8 +6,12 @@
 #   2. a long time-boxed differential fuzz campaign via tools/run_fuzz.sh
 #      (default 30 minutes vs. the script's usual 5 — override with
 #      MPB_FUZZ_SECONDS),
-#   3. the TSan lane (parallel|engine|serve),
-#   4. the ASan lane (unit|soundness|fuzz|serve).
+#   3. a bounded spill-tier soak: a ~1.1M-state search under the collapse
+#      visited mode with an 8 MiB resident budget over an mmap-backed
+#      arena, pinned to the committed state count (override the model size
+#      with MPB_SOAK_PARAMS / expected count with MPB_SOAK_STATES),
+#   4. the TSan lane (parallel|engine|serve|memory),
+#   5. the ASan lane (unit|soundness|fuzz|serve|memory).
 #
 # Usage: tools/run_nightly.sh
 # Exit status: non-zero as soon as any stage fails.
@@ -21,6 +25,24 @@ ctest --preset default
 
 echo "== nightly: long fuzz campaign =="
 MPB_FUZZ_SECONDS="${MPB_FUZZ_SECONDS:-1800}" tools/run_fuzz.sh
+
+echo "== nightly: spill-tier soak =="
+# A long collapse+spill run that actually cycles chunks through the
+# madvise-out/fault-back path for minutes, which the unit tests are too
+# short to exercise. The run must still land exactly on the committed
+# state count — spilling is storage policy, never search behaviour.
+spill_dir="$(mktemp -d)"
+trap 'rm -rf "$spill_dir"' EXIT
+soak_states="${MPB_SOAK_STATES:-1119285}"
+# shellcheck disable=SC2086  # MPB_SOAK_PARAMS is a flag list on purpose
+soak_out="$(build/mpbcheck paxos ${MPB_SOAK_PARAMS:---proposers 3 --acceptors 3 --learners 1} \
+    --strategy full --visited collapse \
+    --spill-dir "$spill_dir" --spill-mb 8 --json)"
+echo "$soak_out"
+echo "$soak_out" | grep -q "\"states_stored\":[[:space:]]*${soak_states}\b" || {
+  echo "run_nightly: spill soak missed the pinned state count (${soak_states})" >&2
+  exit 1
+}
 
 echo "== nightly: TSan lane =="
 tools/run_tsan.sh
