@@ -1,8 +1,11 @@
 // Exploration-throughput bench: the perf trajectory of the exploration core.
 //
 // Runs two tiers of workloads in stateful mode — unreduced ("full"),
-// SPOR-reduced under the visited-set cycle proviso ("spor"), and on the
-// paxos/storage families SPOR under the SCC ignoring fix ("spor-scc") —
+// SPOR-reduced under the visited-set cycle proviso ("spor"), on the
+// paxos/storage families SPOR under the SCC ignoring fix ("spor-scc"), and
+// on the cells whose stateless trees fit the CI budget (storage_audit and
+// the single-message paxos_1msg) the DPOR backtrack search with and
+// without sleep sets ("dpor" / "dpor-nosleep") —
 // sequentially (the baseline, with the cached-fingerprint hash counters) and
 // on the parallel work-stealing explorer at increasing thread counts — and
 // writes every cell to a machine-readable JSON file (default
@@ -49,18 +52,38 @@ struct Workload {
   std::string model;       // registry name (check/registry.hpp)
   check::RawParams params;
   bool large = false;      // seconds-scale; skipped by --small
+  // DPOR series membership. The stateless backtrack search re-executes
+  // trace prefixes, so only cells whose DPOR tree fits the CI budget run
+  // the dpor/dpor-nosleep A/B pair; dpor_only cells exist purely for that
+  // pair (the stateful series already cover the family elsewhere).
+  bool dpor = false;
+  bool dpor_only = false;
 };
 
 std::vector<Workload> make_workloads() {
   return {
       // The paper's Table I Paxos setting: big enough that the visited set
-      // and hash path dominate, small enough for a CI-sized budget.
+      // and hash path dominate, small enough for a CI-sized budget. No dpor
+      // series: stateless DPOR on the quorum model reduces little (eager
+      // quorum expansion) and blows any CI budget.
       {"paxos_explore",
        "paxos",
        {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
       {"storage_audit",
        "storage",
-       {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}}},
+       {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}},
+       /*large=*/false, /*dpor=*/true},
+      // The paper's DPOR domain (Table I "No quorum (DPOR)"): the
+      // per-message counting model. (1,3,1) is the acceptor-race setting
+      // whose tree both completes in CI and shows a measurable sleep-set
+      // win; single-message (2,3,1) needs >40M event executions even with
+      // sleep sets, and (2,2,1)'s race structure gives sleep nothing to
+      // prune (every skipped candidate is re-added by the eager expansion).
+      {"paxos_1msg",
+       "paxos",
+       {{"proposers", "1"}, {"acceptors", "3"}, {"learners", "1"},
+        {"single-message", "true"}},
+       /*large=*/false, /*dpor=*/true, /*dpor_only=*/true},
       // The large tier: the workloads the t1/t2/t8 speedup curve is judged
       // on (each runs for seconds at t1, so per-state costs dominate).
       {"paxos_big",  // ~1.12M states
@@ -132,14 +155,26 @@ int main(int argc, char** argv) {
     std::string label;     // cell-name segment
     std::string strategy;  // facade strategy
     CycleProviso proviso = CycleProviso::kVisited;
+    bool sleep_sets = true;  // dpor cells only
   };
   std::vector<harness::BenchRecord> records;
   for (Workload& w : make_workloads()) {
     if (small_only && w.large) continue;
-    std::vector<Series> series{{"full", "full"},
-                               {"spor", "spor", CycleProviso::kVisited}};
-    if (w.model == "paxos" || w.model == "storage") {
-      series.push_back({"spor-scc", "spor", CycleProviso::kScc});
+    std::vector<Series> series;
+    if (!w.dpor_only) {
+      series.push_back({"full", "full"});
+      series.push_back({"spor", "spor", CycleProviso::kVisited});
+      if (w.model == "paxos" || w.model == "storage") {
+        series.push_back({"spor-scc", "spor", CycleProviso::kScc});
+      }
+    }
+    // The with/without-sleep dpor pair quantifies the sleep-set win
+    // (sleep_blocked > 0, events_executed strictly below the nosleep cell);
+    // bench_compare.py gates both like the other reduction counters.
+    if (w.dpor) {
+      series.push_back({"dpor", "dpor"});
+      series.push_back(
+          {"dpor-nosleep", "dpor", CycleProviso::kVisited, /*sleep_sets=*/false});
     }
     for (const Series& sr : series) {
       const std::string& strategy = sr.strategy;
@@ -152,6 +187,7 @@ int main(int argc, char** argv) {
         // stack proviso), so the thread-scaling row compares runs with
         // identical reduction semantics.
         if (strategy == "spor") req.spor.proviso = sr.proviso;
+        if (strategy == "dpor") req.dpor_sleep_sets = sr.sleep_sets;
         req.explore = harness::budget_from_env();
         req.explore.visited = visited;
         req.explore.threads = threads;

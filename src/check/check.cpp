@@ -27,7 +27,9 @@ constexpr std::array<StrategyInfo, 4> kStrategies{{
      "stubborn-set static POR, stateful (the paper's MP-LPOR; parallelizable "
      "via --threads under the visited-set cycle proviso)",
      /*stateful=*/true, /*reduced=*/true, &make_spor},
-    {"dpor", "Flanagan-Godefroid dynamic POR, stateless (Basset's baseline)",
+    {"dpor",
+     "Flanagan-Godefroid dynamic POR with sleep sets, stateless (Basset's "
+     "baseline; parallelizable via --threads)",
      /*stateful=*/false, /*reduced=*/true, nullptr},
     {"stateless", "unreduced stateless search (every path walked)",
      /*stateful=*/false, /*reduced=*/false, nullptr},
@@ -212,8 +214,9 @@ CheckResult Checker::run() {
       attempt = explore(proto_, cfg,
                         strategy_->make ? strategy_->make(proto_, spor) : nullptr);
     } else {
-      attempt =
-          explore_dpor(proto_, cfg, DporOptions{.reduce = strategy_->reduced});
+      attempt = explore_dpor(proto_, cfg,
+                             DporOptions{.reduce = strategy_->reduced,
+                                         .sleep_sets = req_.dpor_sleep_sets});
     }
     if (i == 0 || better(attempt, r)) r = std::move(attempt);
   }

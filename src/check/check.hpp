@@ -79,6 +79,10 @@ struct CheckRequest {
 
   std::string strategy = "spor";  // strategy_info() name
   SporOptions spor;               // applies to "spor"
+  // Sleep sets on top of the dpor backtrack search (por/dpor.hpp). On by
+  // default; the off switch exists for the bench series quantifying the win
+  // and the fuzz oracle's on/off cross-check. Applies to "dpor" only.
+  bool dpor_sleep_sets = true;
   std::string split = "none";     // split_from_string() name
   bool symmetry = false;          // canonicalize states by role permutation
   // Budgets, threads, visited mode and the observer hooks (on_progress /

@@ -78,6 +78,9 @@ util::Json request_to_json(const CheckRequest& req) {
     spor["exhaustive_seed"] = req.spor.exhaustive_seed;
   }
   if (!spor.as_object().empty()) j["spor"] = std::move(spor);
+  if (req.dpor_sleep_sets != def.dpor_sleep_sets) {
+    j["dpor_sleep_sets"] = req.dpor_sleep_sets;
+  }
 
   const ExploreConfig& e = req.explore;
   const ExploreConfig ed;
@@ -115,7 +118,7 @@ CheckRequest request_from_json(const util::Json& j) {
   if (!j.is_object()) throw CheckError("request: expected a JSON object");
   check_keys(j, "request",
              {"model", "params", "strategy", "split", "symmetry", "repeat",
-              "spor", "explore"});
+              "spor", "dpor_sleep_sets", "explore"});
 
   CheckRequest req;
   req.model = j.get_string("model", "");
@@ -135,6 +138,7 @@ CheckRequest request_from_json(const util::Json& j) {
   req.split = j.get_string("split", req.split);
   req.symmetry = j.get_bool("symmetry", req.symmetry);
   req.repeat = static_cast<unsigned>(j.get_int("repeat", req.repeat));
+  req.dpor_sleep_sets = j.get_bool("dpor_sleep_sets", req.dpor_sleep_sets);
 
   if (const util::Json* s = j.find("spor")) {
     check_keys(*s, "spor",

@@ -1,6 +1,10 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <numeric>
 #include <thread>
 
 namespace mpb::engine {
@@ -10,6 +14,201 @@ namespace {
 [[nodiscard]] unsigned auto_shards(const ExploreConfig& cfg) {
   if (cfg.visited_shards != 0) return cfg.visited_shards;
   return cfg.threads > 1 ? cfg.threads * 4 : 1;
+}
+
+inline constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+
+// Iterative Tarjan over `adj`, rooted at each vertex of `seeds` not yet
+// numbered, assigning component ids from `next_comp` up; returns the next
+// free id. The scratch arrays (num/low/on_stk/comp) may be shared between
+// concurrent calls as long as the vertex sets reachable from different
+// calls' seeds are disjoint — the sharded pass guarantees that by seeding
+// each shard with whole weakly connected components.
+std::uint32_t tarjan_over(const std::vector<std::vector<std::uint32_t>>& adj,
+                          const std::vector<std::uint32_t>& seeds,
+                          std::vector<std::uint32_t>& num,
+                          std::vector<std::uint32_t>& low,
+                          std::vector<char>& on_stk,
+                          std::vector<std::uint32_t>& comp,
+                          std::uint32_t next_comp) {
+  std::uint32_t counter = 0;
+  std::vector<std::uint32_t> stk;
+  struct TFrame {
+    std::uint32_t v;
+    std::size_t ei;
+  };
+  std::vector<TFrame> dfs;
+  for (const std::uint32_t root : seeds) {
+    if (num[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    num[root] = low[root] = counter++;
+    stk.push_back(root);
+    on_stk[root] = 1;
+    while (!dfs.empty()) {
+      TFrame& f = dfs.back();
+      if (f.ei < adj[f.v].size()) {
+        const std::uint32_t u = adj[f.v][f.ei++];
+        if (num[u] == kUnvisited) {
+          num[u] = low[u] = counter++;
+          stk.push_back(u);
+          on_stk[u] = 1;
+          dfs.push_back({u, 0});
+        } else if (on_stk[u]) {
+          low[f.v] = std::min(low[f.v], num[u]);
+        }
+      } else {
+        const std::uint32_t v = f.v;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          low[dfs.back().v] = std::min(low[dfs.back().v], low[v]);
+        }
+        if (low[v] == num[v]) {  // v roots an SCC
+          for (;;) {
+            const std::uint32_t u = stk.back();
+            stk.pop_back();
+            on_stk[u] = 0;
+            comp[u] = next_comp;
+            if (u == v) break;
+          }
+          ++next_comp;
+        }
+      }
+    }
+  }
+  return next_comp;
+}
+
+// Sharded SCC computation for multi-threaded runs. An SCC never spans two
+// weakly connected components, so a cheap WCC pre-partition makes Tarjan
+// embarrassingly parallel: (1) a lock-free union-find over the edges,
+// processed by all threads concurrently, labels every vertex with its WCC;
+// (2) the WCCs are dealt onto `threads` weight-balanced shards; (3) each
+// shard runs an independent Tarjan over its components with local ids;
+// (4) the per-shard counts are stitched into one id space by prefix-sum
+// offset. Every step is deterministic regardless of thread interleaving:
+// union-by-smaller-index makes each WCC's root its minimum vertex, the deal
+// iterates WCCs largest-first in first-vertex order, and each shard numbers
+// its components in seed order — so comp ids depend only on the graph.
+std::uint32_t sccs_sharded(const std::vector<std::vector<std::uint32_t>>& adj,
+                           std::vector<std::uint32_t>& comp,
+                           unsigned threads) {
+  const std::size_t n = adj.size();
+
+  // Parallel WCC union-find. parent chains are strictly decreasing (larger
+  // roots attach under smaller, path-halving only shortcuts), so the
+  // structure is acyclic under any interleaving and every WCC converges on
+  // its minimum vertex as root.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> parent(
+      new std::atomic<std::uint32_t>[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    parent[v].store(static_cast<std::uint32_t>(v), std::memory_order_relaxed);
+  }
+  auto find = [&](std::uint32_t x) {
+    for (;;) {
+      std::uint32_t p = parent[x].load(std::memory_order_relaxed);
+      if (p == x) return x;
+      const std::uint32_t gp = parent[p].load(std::memory_order_relaxed);
+      if (gp == p) return p;
+      parent[x].compare_exchange_weak(p, gp, std::memory_order_relaxed);
+      x = gp;
+    }
+  };
+  auto unite = [&](std::uint32_t a, std::uint32_t b) {
+    for (;;) {
+      a = find(a);
+      b = find(b);
+      if (a == b) return;
+      if (a > b) std::swap(a, b);
+      std::uint32_t expect = b;
+      if (parent[b].compare_exchange_strong(expect, a,
+                                            std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  };
+  {
+    std::vector<std::thread> pool;
+    const std::size_t chunk = (n + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      const std::size_t lo = t * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      if (lo >= hi) break;
+      pool.emplace_back([&adj, &unite, lo, hi] {
+        for (std::size_t v = lo; v < hi; ++v) {
+          for (const std::uint32_t u : adj[v]) {
+            unite(static_cast<std::uint32_t>(v), u);
+          }
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Enumerate WCCs in ascending-minimum-vertex order (deterministic).
+  std::vector<std::uint32_t> wcc_of(n);
+  std::vector<std::uint32_t> wcc_size;
+  std::vector<std::uint32_t> index_of_root(n, kUnvisited);
+  for (std::uint32_t v = 0; v < static_cast<std::uint32_t>(n); ++v) {
+    const std::uint32_t r = find(v);
+    if (index_of_root[r] == kUnvisited) {
+      index_of_root[r] = static_cast<std::uint32_t>(wcc_size.size());
+      wcc_size.push_back(0);
+    }
+    wcc_of[v] = index_of_root[r];
+    ++wcc_size[wcc_of[v]];
+  }
+
+  // Deal WCCs onto shards, largest first, each to the least-loaded shard
+  // (ties break toward the lower id — deterministic).
+  std::vector<std::uint32_t> order(wcc_size.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return wcc_size[a] > wcc_size[b];
+                   });
+  std::vector<std::uint64_t> load(threads, 0);
+  std::vector<std::uint32_t> shard_of_wcc(wcc_size.size(), 0);
+  for (const std::uint32_t wi : order) {
+    unsigned best = 0;
+    for (unsigned s = 1; s < threads; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    shard_of_wcc[wi] = best;
+    load[best] += wcc_size[wi];
+  }
+  std::vector<std::vector<std::uint32_t>> seeds(threads);
+  for (std::uint32_t v = 0; v < static_cast<std::uint32_t>(n); ++v) {
+    seeds[shard_of_wcc[wcc_of[v]]].push_back(v);
+  }
+
+  // Per-shard Tarjan with shard-local ids. The scratch arrays are shared but
+  // every vertex belongs to exactly one shard, so writes are disjoint.
+  std::vector<std::uint32_t> num(n, kUnvisited), low(n);
+  std::vector<char> on_stk(n, 0);
+  std::vector<std::uint32_t> shard_comps(threads, 0);
+  {
+    std::vector<std::thread> pool;
+    for (unsigned s = 0; s < threads; ++s) {
+      if (seeds[s].empty()) continue;
+      pool.emplace_back([&, s] {
+        shard_comps[s] =
+            tarjan_over(adj, seeds[s], num, low, on_stk, comp, 0);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Condensation stitch: offset each shard's local ids into one id space.
+  std::vector<std::uint32_t> offset(threads, 0);
+  std::uint32_t total = 0;
+  for (unsigned s = 0; s < threads; ++s) {
+    offset[s] = total;
+    total += shard_comps[s];
+  }
+  for (std::uint32_t v = 0; v < static_cast<std::uint32_t>(n); ++v) {
+    comp[v] += offset[shard_of_wcc[wcc_of[v]]];
+  }
+  return total;
 }
 
 }  // namespace
@@ -140,6 +339,7 @@ void ExpansionCore::run_scc_ignoring_pass(
     ExploreResult& result, std::vector<Fingerprint>& terminals,
     bool collect_terminals, const std::function<LimitKind()>& over_time) {
   if (!scc_enabled_) return;
+  const auto pass_start = std::chrono::steady_clock::now();
   WorkerCtx& w = *workers_[0];
   const ShardedVisited& graph = visited_.graph();
 
@@ -331,54 +531,22 @@ void ExpansionCore::run_scc_ignoring_pass(
       }
     }
 
-    // Iterative Tarjan: comp[v] = SCC id, assigned in reverse topological
-    // completion order.
-    constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
-    std::vector<std::uint32_t> num(n, kUnvisited), low(n), comp(n, kUnvisited);
-    std::vector<char> on_stk(n, 0);
-    std::vector<std::uint32_t> stk;
-    std::uint32_t counter = 0, n_comps = 0;
-    struct TFrame {
-      std::uint32_t v;
-      std::size_t ei;
-    };
-    std::vector<TFrame> dfs;
-    for (std::uint32_t root = 0; root < n; ++root) {
-      if (num[root] != kUnvisited) continue;
-      dfs.push_back({root, 0});
-      num[root] = low[root] = counter++;
-      stk.push_back(root);
-      on_stk[root] = 1;
-      while (!dfs.empty()) {
-        TFrame& f = dfs.back();
-        if (f.ei < adj[f.v].size()) {
-          const std::uint32_t u = adj[f.v][f.ei++];
-          if (num[u] == kUnvisited) {
-            num[u] = low[u] = counter++;
-            stk.push_back(u);
-            on_stk[u] = 1;
-            dfs.push_back({u, 0});
-          } else if (on_stk[u]) {
-            low[f.v] = std::min(low[f.v], num[u]);
-          }
-        } else {
-          const std::uint32_t v = f.v;
-          dfs.pop_back();
-          if (!dfs.empty()) {
-            low[dfs.back().v] = std::min(low[dfs.back().v], low[v]);
-          }
-          if (low[v] == num[v]) {  // v roots an SCC
-            for (;;) {
-              const std::uint32_t u = stk.back();
-              stk.pop_back();
-              on_stk[u] = 0;
-              comp[u] = n_comps;
-              if (u == v) break;
-            }
-            ++n_comps;
-          }
-        }
-      }
+    // SCC ids: one Tarjan over the whole graph sequentially, or — when the
+    // run has a worker pool — the WCC-sharded variant (sccs_sharded above),
+    // so the pass stops serializing multi-threaded runs. Both assign ids
+    // deterministically; everything below depends only on the component
+    // *partition*, so t1 and tN reach identical re-expansion sets.
+    std::vector<std::uint32_t> comp(n, kUnvisited);
+    std::uint32_t n_comps = 0;
+    if (workers_.size() > 1 && n > 1) {
+      n_comps = sccs_sharded(adj, comp,
+                             static_cast<unsigned>(workers_.size()));
+    } else {
+      std::vector<std::uint32_t> all(n);
+      std::iota(all.begin(), all.end(), 0);
+      std::vector<std::uint32_t> num(n, kUnvisited), low(n);
+      std::vector<char> on_stk(n, 0);
+      n_comps = tarjan_over(adj, all, num, low, on_stk, comp, 0);
     }
 
     // An SCC is *ignored* when it contains a cycle (size > 1 or a self
@@ -410,6 +578,10 @@ void ExpansionCore::run_scc_ignoring_pass(
   if (trunc != LimitKind::kNone && result.verdict != Verdict::kViolated) {
     result.verdict = verdict_of(trunc);
   }
+  result.stats.scc_pass_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                pass_start)
+          .count();
 }
 
 // --- SequentialDriver -------------------------------------------------------

@@ -17,9 +17,11 @@
 // Chase-Lev stealing deques over the lock-free sharded visited set,
 // core/visited.hpp) for stateful searches with cfg.threads > 1 whose
 // strategy does not need the DFS stack, and por/dpor.cpp's DPOR search rides
-// the engine's StackReplayDriver chassis. Stateless / DPOR searches are
-// inherently sequential and ignore cfg.threads; see docs/ARCHITECTURE.md for
-// the driver table and parallel-safety matrix. Unreduced parallel runs
+// the engine's StackReplayDriver chassis at t1 or distributes backtrack
+// points as replayable work items over the same Chase-Lev pool machinery at
+// cfg.threads > 1. Only the unreduced stateless DFS is inherently sequential
+// and ignores cfg.threads; see docs/ARCHITECTURE.md for the driver table and
+// parallel-safety matrix. Unreduced parallel runs
 // report the same verdict and the same states_stored / terminal_states as
 // the sequential search; reduced parallel runs report the same verdict (the
 // reduction itself is schedule-dependent). Parallel runs reconstruct
@@ -90,10 +92,12 @@ struct ResourceGuard {
 struct ExploreConfig {
   SearchMode mode = SearchMode::kStateful;
   VisitedMode visited = VisitedMode::kExact;
-  // Worker threads for stateful searches; 1 = sequential. The sequential
-  // path is taken (and `threads` ignored) for stateless mode and for
-  // strategies that need the DFS stack (ReductionStrategy::needs_dfs_stack,
-  // e.g. SPOR under the stack cycle proviso).
+  // Worker threads; 1 = sequential. Stateful searches scale through the
+  // pool driver, DPOR through its backtrack-point work-item pool
+  // (por/dpor.cpp). The sequential path is taken (and `threads` ignored)
+  // for unreduced stateless mode and for strategies that need the DFS
+  // stack (ReductionStrategy::needs_dfs_stack, e.g. SPOR under the stack
+  // cycle proviso).
   unsigned threads = 1;
   // Shard count for the sharded visited table; 0 = auto (4x threads).
   unsigned visited_shards = 0;
@@ -183,6 +187,18 @@ struct ExploreStats {
   // expanded state. The price of recovering the reduction the in-search
   // provisos would have lost; 0 under every other proviso.
   std::uint64_t scc_reexpansions = 0;
+  // DPOR picks suppressed by the sleep set (por/dpor.cpp): backtrack points
+  // whose subtree was provably covered by an already-explored sibling branch
+  // and therefore never executed: picks found asleep at execution time plus
+  // asleep candidates passed over during a frame's representative selection.
+  // Nonzero only for strategy `dpor` with DporOptions::sleep_sets on; the
+  // counter that quantifies how much of the feed-race re-exploration the
+  // sleep layer claws back.
+  std::uint64_t sleep_blocked = 0;
+  // Wall-clock milliseconds spent in the SCC ignoring pass (Tarjan +
+  // repair rounds), 0 when the pass did not run. Separated from `seconds`
+  // so the post-pass cost stays visible as reduced graphs grow.
+  double scc_pass_ms = 0.0;
   // Progress snapshots only: open frames (sequential DFS stack) or open
   // items across the injector and all stealing deques (parallel pool) at
   // snapshot time — computed from the deques' own bounds, so it cannot go

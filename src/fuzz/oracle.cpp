@@ -51,6 +51,7 @@ struct Lane {
   bool symmetry;
   bool broken_proviso = false;
   VisitedMode visited = VisitedMode::kInterned;
+  bool dpor_sleep = true;  // dpor lanes: sleep-set layer on/off
 };
 
 ExploreConfig base_explore(const OracleConfig& cfg) {
@@ -81,6 +82,7 @@ ExploreResult run_lane(const RenderedModel& m, const OracleConfig& cfg,
   req.symmetric_roles = m.symmetric_roles;
   req.strategy = lane.strategy;
   req.spor.proviso = lane.proviso;
+  req.dpor_sleep_sets = lane.dpor_sleep;
   req.symmetry = lane.symmetry;
   req.explore = base_explore(cfg);
   req.explore.threads = lane.threads;
@@ -136,7 +138,17 @@ OracleReport run_oracle(const ProtocolSpec& spec, const OracleConfig& cfg) {
   lanes.push_back({"spor/scc/t1", "spor", CycleProviso::kScc, 1, false});
   if (par) lanes.push_back({"spor/scc/t" + std::to_string(tn), "spor",
                             CycleProviso::kScc, tn, false});
+  // DPOR lanes: sleep sets on (the default), the sleep-set layer switched
+  // off (on/off cross-check: both must reach the reference terminal set, so
+  // a sleep-set covering bug diverges here), and the parallel driver at tN
+  // (backtrack points distributed over the work-stealing pool; exactly-once
+  // claiming bugs show up as lost terminals or dup verdict flips).
   lanes.push_back({"dpor/t1", "dpor", CycleProviso::kAuto, 1, false});
+  lanes.push_back({"dpor/t1/nosleep", "dpor", CycleProviso::kAuto, 1, false,
+                   /*broken_proviso=*/false, VisitedMode::kInterned,
+                   /*dpor_sleep=*/false});
+  if (par) lanes.push_back({"dpor/t" + std::to_string(tn), "dpor",
+                            CycleProviso::kAuto, tn, false});
   // Collapse-compression lanes: the component-interned visited set must
   // agree with full-copy interning on verdicts, state counts, and terminal
   // sets — a tuple-equality bug would surface here as divergence.

@@ -1,7 +1,10 @@
 // The differential oracle: run one spec'd protocol through the check facade
 // under every search configuration that must agree — {full, spor/stack,
 // spor/visited, spor/scc, dpor} x {1 thread, N threads} x {symmetry on/off}
-// — and cross-check the answers.
+// — and cross-check the answers. The dpor column runs three ways: sleep
+// sets on (default), sleep sets off (the on/off cross-check pins the
+// sleep-set covering argument), and on the parallel backtrack-distributing
+// driver at N threads (pins the exactly-once claim protocol).
 //
 // Equivalence claims verified per seed (full/t1 is the reference):
 //  * every lane reports the same verdict;

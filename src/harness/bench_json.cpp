@@ -22,6 +22,8 @@ BenchRecord make_record(std::string name, std::string strategy,
   rec.hash_queries = r.stats.hash_queries;
   rec.proviso_fallbacks = r.stats.proviso_fallbacks;
   rec.scc_reexpansions = r.stats.scc_reexpansions;
+  rec.sleep_blocked = r.stats.sleep_blocked;
+  rec.scc_pass_ms = r.stats.scc_pass_ms;
   rec.seconds = r.stats.seconds;
   const double secs = r.stats.seconds > 0.0 ? r.stats.seconds : 1e-9;
   rec.states_per_sec = static_cast<double>(r.stats.states_stored) / secs;
@@ -50,6 +52,8 @@ util::Json to_json_value(const BenchRecord& r) {
   j["hash_queries"] = r.hash_queries;
   j["proviso_fallbacks"] = r.proviso_fallbacks;
   j["scc_reexpansions"] = r.scc_reexpansions;
+  j["sleep_blocked"] = r.sleep_blocked;
+  j["scc_pass_ms"] = r.scc_pass_ms;
   j["seconds"] = r.seconds;
   j["states_per_sec"] = r.states_per_sec;
   j["events_per_sec"] = r.events_per_sec;

@@ -38,6 +38,12 @@ struct BenchRecord {
   // tools/bench_compare.py gates increases like throughput regressions.
   std::uint64_t proviso_fallbacks = 0;
   std::uint64_t scc_reexpansions = 0;
+  // DPOR runs: picks the sleep sets skipped without executing (0 elsewhere);
+  // a drop means the reduction re-explores more — gated like the counters
+  // above. scc_pass_ms is the wall-clock of the SCC ignoring pass (SPOR
+  // --proviso scc runs; 0 elsewhere).
+  std::uint64_t sleep_blocked = 0;
+  double scc_pass_ms = 0.0;
   double seconds = 0.0;
   double states_per_sec = 0.0;
   double events_per_sec = 0.0;

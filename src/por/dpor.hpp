@@ -31,6 +31,28 @@
 // Like the paper's experiments, the intended use is single-message models
 // (Table I's "No quorum (DPOR)" column); quorum models are handled soundly
 // but reduce little because quorum alternatives are eagerly expanded.
+//
+// Two performance layers sit on top of the base algorithm:
+//
+//  * Sleep sets (Godefroid). Each frame carries the set of events whose
+//    subtrees were already fully explored from this state along an earlier
+//    sibling branch; a pick found sleeping is marked done without executing
+//    (ExploreStats::sleep_blocked counts them). Children inherit the
+//    parent's sleep filtered to events *independent* of the executed event,
+//    where dependence is exactly the relation the backtrack search uses —
+//    same process, ghost-peek conflict, or the feeds relation in either
+//    direction. Because the feed relation is part of dependence, a producer
+//    never stays asleep across the consume it feeds, so the PR 6 feed-race
+//    fix is preserved (see docs/ARCHITECTURE.md, "Sleep sets").
+//
+//  * A parallel driver (cfg.threads > 1, reduce on). Backtrack points are
+//    distributed as work items {path prefix, seed events} over per-worker
+//    Chase-Lev stealing deques; a worker replays the frozen prefix through
+//    its pooled ExpansionCore lane, then runs an independent sub-exploration
+//    with its own sleep/backtrack sets. Every pick of every walker goes
+//    through a global lock-free claim set keyed on (path hash, event hash) —
+//    the same CAS claim/publish slot protocol as the sharded visited set —
+//    so each (path, event) pair is executed exactly once across the pool.
 #pragma once
 
 #include "core/explorer.hpp"
@@ -39,8 +61,13 @@ namespace mpb {
 
 struct DporOptions {
   // When false the search is plain stateless DFS without reduction —
-  // the unreduced stateless baseline.
+  // the unreduced stateless baseline (always sequential).
   bool reduce = true;
+  // Sleep sets on top of the backtrack search (see header comment). Purely
+  // an optimization: off explores a superset of the on-traces. The off
+  // switch exists for the bench series quantifying the win and for the fuzz
+  // oracle's on/off cross-check.
+  bool sleep_sets = true;
 };
 
 [[nodiscard]] ExploreResult explore_dpor(const Protocol& proto,

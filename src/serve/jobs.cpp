@@ -225,6 +225,7 @@ std::vector<RunningJobSample> JobQueue::running_samples() const {
     s.id = job->id;
     s.states_per_sec =
         p.seconds > 0.0 ? static_cast<double>(p.states) / p.seconds : 0.0;
+    s.sleep_blocked = p.sleep_blocked;
     out.push_back(s);
   }
   return out;
@@ -271,6 +272,7 @@ void JobQueue::run_job(const std::shared_ptr<Job>& job) {
     observer->progress_.states = s.states_stored;
     observer->progress_.events = s.events_executed;
     observer->progress_.frontier = s.frontier;
+    observer->progress_.sleep_blocked = s.sleep_blocked;
     observer->progress_.seconds = s.seconds;
     ++observer->progress_.seq;
   };

@@ -70,6 +70,9 @@ struct ProgressSnapshot {
   std::uint64_t states = 0;
   std::uint64_t events = 0;
   std::uint64_t frontier = 0;
+  // Picks the dpor sleep sets skipped so far (0 for the other strategies) —
+  // live reduction-quality signal, mirrored into the per-job metrics gauge.
+  std::uint64_t sleep_blocked = 0;
   double seconds = 0.0;
   std::uint64_t seq = 0;  // 0 = no snapshot published yet
 };

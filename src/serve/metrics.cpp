@@ -104,6 +104,14 @@ std::string render_prometheus(const Metrics& m, const GaugeSample& g) {
     out += '\n';
   }
 
+  out +=
+      "# HELP mpb_job_sleep_blocked picks the dpor sleep sets skipped so far\n"
+      "# TYPE mpb_job_sleep_blocked gauge\n";
+  for (const RunningJobSample& r : g.running) {
+    out += "mpb_job_sleep_blocked{job=\"" + std::to_string(r.id) + "\"} " +
+           std::to_string(r.sleep_blocked) + '\n';
+  }
+
   gauge(out, "process_peak_rss_bytes", "peak resident set size (ru_maxrss)",
         static_cast<std::uint64_t>(harness::peak_rss_kb()) * 1024);
   out += "# HELP mpb_uptime_seconds time since the server started\n# TYPE "

@@ -15,8 +15,9 @@
 //             queue_latency_seconds_{sum,count} (a Prometheus summary pair:
 //             submit -> start latency over all started jobs)
 //   gauges    jobs_queued, jobs_running, cache_entries, cache_bytes,
-//             job_states_per_sec{job="N"} (one series per *running* job —
-//             cardinality is bounded by the worker count),
+//             job_states_per_sec{job="N"} and job_sleep_blocked{job="N"}
+//             (one series per *running* job — cardinality is bounded by the
+//             worker count),
 //             process_peak_rss_bytes, uptime_seconds
 #pragma once
 
@@ -63,6 +64,8 @@ class Metrics {
 struct RunningJobSample {
   std::uint64_t id = 0;
   double states_per_sec = 0.0;
+  // Sleep-set skips so far (dpor jobs; 0 for other strategies).
+  std::uint64_t sleep_blocked = 0;
 };
 
 // The point-in-time state render_prometheus reports as gauges.

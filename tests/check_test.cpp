@@ -242,6 +242,34 @@ TEST(Checker, ResultSerializesIntoBenchRecord) {
   EXPECT_EQ(check::to_record(r).name, r.protocol.name());
 }
 
+TEST(Checker, ReductionCountersReachTheBenchRecordAndJson) {
+  // The two PR-gated counters introduced by the sleep-set / parallel-scc
+  // work must flow end-to-end: stats -> BenchRecord -> JSON. A dpor run with
+  // real races produces sleep blocks; an spor/scc run times its SCC pass.
+  CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"proposers", "2"}, {"acceptors", "2"}};
+  req.strategy = "dpor";
+  const CheckResult dpor = check::run_check(std::move(req));
+  const harness::BenchRecord drec = check::to_record(dpor);
+  EXPECT_GT(drec.sleep_blocked, 0u);
+  EXPECT_EQ(drec.sleep_blocked, dpor.stats().sleep_blocked);
+  EXPECT_EQ(harness::to_json_value(drec)["sleep_blocked"].as_int(),
+            static_cast<std::int64_t>(drec.sleep_blocked));
+
+  CheckRequest sreq;
+  sreq.model = "paxos";
+  sreq.params = {{"proposers", "2"}, {"acceptors", "2"}};
+  sreq.strategy = "spor";
+  sreq.spor.proviso = CycleProviso::kScc;
+  const CheckResult spor = check::run_check(std::move(sreq));
+  const harness::BenchRecord srec = check::to_record(spor);
+  EXPECT_GT(srec.scc_pass_ms, 0.0);
+  EXPECT_DOUBLE_EQ(srec.scc_pass_ms, spor.stats().scc_pass_ms);
+  EXPECT_EQ(srec.sleep_blocked, 0u);  // spor runs do not sleep-block
+  EXPECT_NE(harness::to_json_value(srec).find("scc_pass_ms"), nullptr);
+}
+
 // --- explore() strategy ownership -------------------------------------------
 
 TEST(ExploreOwnership, OwnedAndRawStrategyOverloadsAgree) {

@@ -1,0 +1,156 @@
+// The parallel DPOR driver: backtrack points travel as {prefix, seeds} work
+// items over the Chase-Lev stealing pool, and a global lock-free claim set
+// keyed on (path hash, event hash) guarantees each pick is executed exactly
+// once across the workers. None of that may change the answer: the parallel
+// search must reach exactly the sequential verdict and terminal set on every
+// model, at every thread count, on every run — a claim protocol bug shows up
+// here as a lost subtree (missing terminal) or a duplicated verdict flip.
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "core/trace.hpp"
+#include "por/dpor.hpp"
+#include "protocols/collector/collector.hpp"
+#include "protocols/paxos/paxos.hpp"
+#include "protocols/storage/storage.hpp"
+#include "test_protocols.hpp"
+
+namespace mpb {
+namespace {
+
+using namespace protocols;
+
+struct NamedCase {
+  std::string label;
+  Protocol proto;
+};
+
+// Single-message (non-quorum) models — the paper's intended DPOR domain —
+// plus quorum models to keep the eager per-process expansion path hot.
+std::vector<NamedCase> dpor_cases() {
+  std::vector<NamedCase> cases;
+  auto add = [&](std::string label, Protocol p) {
+    cases.push_back({std::move(label), std::move(p)});
+  };
+  add("collector_s_44",
+      make_collector({.senders = 4, .quorum = 4, .quorum_model = false}));
+  add("collector_s_43",
+      make_collector({.senders = 4, .quorum = 3, .quorum_model = false}));
+  add("paxos_s_131", make_paxos({.proposers = 1, .acceptors = 3, .learners = 1,
+                                 .quorum_model = false}));
+  add("paxos_q_221", make_paxos({.proposers = 2, .acceptors = 2, .learners = 1}));
+  add("storage_q_31w1",
+      make_regular_storage({.bases = 3, .readers = 1, .writes = 1}));
+  return cases;
+}
+
+ExploreResult run_dpor_at(const Protocol& proto, unsigned threads,
+                          bool sleep_sets = true) {
+  ExploreConfig cfg;
+  cfg.mode = SearchMode::kStateless;
+  cfg.collect_terminals = true;
+  cfg.threads = threads;
+  return explore_dpor(proto, cfg,
+                      DporOptions{.reduce = true, .sleep_sets = sleep_sets});
+}
+
+TEST(ParallelDpor, MatchesSequentialVerdictAndTerminalsEverywhere) {
+  for (const NamedCase& c : dpor_cases()) {
+    const ExploreResult seq = run_dpor_at(c.proto, 1);
+    for (unsigned threads : {2u, 8u}) {
+      SCOPED_TRACE(c.label + " @ " + std::to_string(threads) + " threads");
+      const ExploreResult par = run_dpor_at(c.proto, threads);
+      EXPECT_EQ(par.verdict, seq.verdict);
+      EXPECT_EQ(par.stats.threads_used, threads);
+      if (seq.verdict == Verdict::kHolds) {
+        // DPOR preserves deadlocks; a lost or duplicated work item would
+        // drop or double a terminal, and the merged set is sorted+unique so
+        // duplication cannot hide.
+        EXPECT_EQ(par.terminal_fingerprints, seq.terminal_fingerprints);
+      }
+    }
+  }
+}
+
+TEST(ParallelDpor, ExactlyOnceClaimsAreStableUnderContention) {
+  // The race-heaviest holding model in the list: every run at 8 threads puts
+  // the claim protocol under real contention (workers steal seeds and race
+  // to claim overlapping (path, event) pairs). Any run disagreeing with the
+  // sequential answer is an exactly-once violation.
+  const Protocol proto =
+      make_regular_storage({.bases = 3, .readers = 1, .writes = 1});
+  const ExploreResult seq = run_dpor_at(proto, 1);
+  ASSERT_EQ(seq.verdict, Verdict::kHolds);
+  for (int run = 0; run < 6; ++run) {
+    SCOPED_TRACE("run " + std::to_string(run));
+    const ExploreResult par = run_dpor_at(proto, 8);
+    EXPECT_EQ(par.verdict, Verdict::kHolds);
+    EXPECT_EQ(par.terminal_fingerprints, seq.terminal_fingerprints);
+  }
+}
+
+TEST(ParallelDpor, SleepSetsStaySoundOnThePool) {
+  // Sleep sets and the claim protocol compose: each worker prunes with its
+  // own per-frame sleep sets while claims dedupe across workers. On/off must
+  // land on the same terminals as the sequential reference.
+  const Protocol proto =
+      make_paxos({.proposers = 2, .acceptors = 2, .learners = 1});
+  const ExploreResult seq = run_dpor_at(proto, 1);
+  const ExploreResult on = run_dpor_at(proto, 8, /*sleep_sets=*/true);
+  const ExploreResult off = run_dpor_at(proto, 8, /*sleep_sets=*/false);
+  EXPECT_EQ(on.verdict, seq.verdict);
+  EXPECT_EQ(off.verdict, seq.verdict);
+  EXPECT_EQ(on.terminal_fingerprints, seq.terminal_fingerprints);
+  EXPECT_EQ(off.terminal_fingerprints, seq.terminal_fingerprints);
+  EXPECT_GT(on.stats.sleep_blocked, 0u);
+  EXPECT_EQ(off.stats.sleep_blocked, 0u);
+}
+
+TEST(ParallelDpor, ViolationIsFoundAndReplaysAtEightThreads) {
+  const Protocol proto =
+      make_paxos({.proposers = 2, .acceptors = 3, .learners = 1,
+                  .quorum_model = false, .faulty_learner = true});
+  const ExploreResult r = run_dpor_at(proto, 8);
+  ASSERT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_EQ(r.violated_property, "consensus");
+  ASSERT_FALSE(r.counterexample.empty());
+  // The trace is rebuilt from the winning worker's frozen path prefix plus
+  // its local frames; it must replay step-by-step through execute().
+  State s = proto.initial();
+  for (const TraceStep& step : r.counterexample) {
+    s = execute(proto, s, step.event);
+    ASSERT_EQ(s, step.after);
+  }
+  EXPECT_NE(proto.violated_property(s), nullptr);
+  EXPECT_TRUE(replay_counterexample(proto, r));
+}
+
+TEST(ParallelDpor, FacadeRoutesDporOntoThePool) {
+  // `mpbcheck --strategy dpor --threads 8` must actually run on the pool —
+  // threads_used is the no-silent-fallback witness the acceptance criteria
+  // pin.
+  check::CheckRequest req;
+  req.model = "paxos";
+  req.params = {{"proposers", "2"}, {"acceptors", "2"}, {"learners", "1"}};
+  req.strategy = "dpor";
+  req.explore.threads = 8;
+  const check::CheckResult r = check::run_check(std::move(req));
+  EXPECT_EQ(r.verdict(), Verdict::kHolds);
+  EXPECT_EQ(r.threads, 8u);
+  EXPECT_EQ(r.result.stats.threads_used, 8u);
+}
+
+TEST(ParallelDpor, BudgetStopsThePool) {
+  // Guards fire across workers, not just on thread 0.
+  const Protocol proto =
+      make_collector({.senders = 6, .quorum = 6, .quorum_model = false});
+  ExploreConfig cfg;
+  cfg.mode = SearchMode::kStateless;
+  cfg.threads = 8;
+  cfg.max_events = 200;
+  const ExploreResult r = explore_dpor(proto, cfg);
+  EXPECT_EQ(r.verdict, Verdict::kBudgetExceeded);
+}
+
+}  // namespace
+}  // namespace mpb

@@ -144,6 +144,7 @@ TEST(ServeSerialize, RoundTripPreservesEveryField) {
   req.spor.proviso = CycleProviso::kScc;
   req.spor.state_dependent_nes = false;
   req.spor.exhaustive_seed = true;
+  req.dpor_sleep_sets = false;
   req.explore.visited = VisitedMode::kInterned;
   req.explore.threads = 4;
   req.explore.max_states = 12345;
@@ -164,6 +165,7 @@ TEST(ServeSerialize, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.spor.proviso, req.spor.proviso);
   EXPECT_EQ(back.spor.state_dependent_nes, req.spor.state_dependent_nes);
   EXPECT_EQ(back.spor.exhaustive_seed, req.spor.exhaustive_seed);
+  EXPECT_EQ(back.dpor_sleep_sets, req.dpor_sleep_sets);
   EXPECT_EQ(back.explore.visited, req.explore.visited);
   EXPECT_EQ(back.explore.threads, req.explore.threads);
   EXPECT_EQ(back.explore.max_states, req.explore.max_states);
@@ -202,6 +204,24 @@ TEST(ServeSerialize, ResultCarriesVerdictAndBenchRecord) {
   EXPECT_EQ(j["record"]["states_stored"].as_int(), 65);
   EXPECT_EQ(j["record"]["verdict"].as_string(), "Verified");
   EXPECT_EQ(j.find("trace"), nullptr);  // no counterexample, no trace key
+}
+
+// --- metrics rendering -------------------------------------------------------
+
+TEST(ServeMetrics, RendersPerJobGaugesIncludingSleepBlocked) {
+  Metrics metrics;
+  serve::GaugeSample g;
+  g.jobs_running = 1;
+  serve::RunningJobSample job;
+  job.id = 7;
+  job.states_per_sec = 1234.5;
+  job.sleep_blocked = 42;  // a dpor job mid-run
+  g.running.push_back(job);
+  const std::string text = serve::render_prometheus(metrics, g);
+  EXPECT_NE(text.find("mpb_job_states_per_sec{job=\"7\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mpb_job_sleep_blocked{job=\"7\"} 42"), std::string::npos)
+      << text;
 }
 
 // --- the result cache --------------------------------------------------------

@@ -21,7 +21,8 @@
 //   --proviso P               auto | stack | visited | scc | off  SPOR cycle
 //                             proviso (scc: no in-search proviso, SCC-based
 //                             ignoring fix over the interned graph)
-//   --threads N               worker threads (stateful strategies: full, spor)
+//   --threads N               worker threads (full, spor and dpor)
+//   --no-sleep-sets           dpor: disable the sleep-set layer
 //   --visited V               exact | fingerprint | interned | collapse
 //   --spill-dir D / --spill-mb N           collapse-mode mmap spill tier
 //   --max-states N / --max-seconds S      per-run budgets
@@ -57,7 +58,10 @@ constexpr std::string_view kEngineHelp =
                       (auto: stack sequentially, visited with --threads > 1;
                       scc: no in-search proviso, the SCC ignoring fix
                       re-expands one state per ignored SCC afterwards)
-  --threads N         worker threads (stateful strategies: full and spor)
+  --threads N         worker threads (full, spor and dpor; dpor distributes
+                      backtrack points over the same work-stealing pool)
+  --no-sleep-sets     dpor: disable the sleep-set layer (explores a superset
+                      of the same traces; exists for A/B measurement)
   --visited V         exact | fingerprint | interned | collapse visited-set
                       storage (collapse: exact component-interned compression,
                       ~10x fewer bytes per state than interned)
@@ -214,6 +218,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       req.explore.threads = static_cast<unsigned>(
           std::clamp(parse_long(arg, next()), 1L, 256L));
+    } else if (arg == "--no-sleep-sets") {
+      req.dpor_sleep_sets = false;
     } else if (arg == "--repeat") {
       req.repeat = static_cast<unsigned>(
           std::clamp(parse_long(arg, next()), 1L, 64L));
@@ -256,10 +262,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (req.explore.threads > 1 && !quiet &&
-      (req.strategy == "dpor" || req.strategy == "stateless")) {
-    std::cerr << "note: --threads applies to the stateful strategies (full, "
-                 "spor) only; running sequentially\n";
+  if (req.explore.threads > 1 && !quiet && req.strategy == "stateless") {
+    std::cerr << "note: --threads applies to full, spor and dpor only; the "
+                 "unreduced stateless walk runs sequentially\n";
   }
 
   // Parallel trace reconstruction walks the interned state graph, which the
@@ -315,7 +320,13 @@ int main(int argc, char** argv) {
     if (r.repeats > 1) std::cout << "  best-of=" << r.repeats;
     if (r.proviso != "-") std::cout << "  proviso=" << r.proviso;
     if (r.proviso == "scc") {
-      std::cout << "  scc-reexp=" << r.stats().scc_reexpansions;
+      std::cout << "  scc-reexp=" << r.stats().scc_reexpansions
+                << "  scc-pass=" << harness::format_time(
+                       r.stats().scc_pass_ms / 1000.0);
+    }
+    if (strategy == "dpor" && r.stats().sleep_blocked > 0) {
+      std::cout << "  sleep-blocked="
+                << harness::format_count(r.stats().sleep_blocked);
     }
     if (r.verdict() == Verdict::kViolated) {
       std::cout << "  property=" << r.result.violated_property;

@@ -2,7 +2,9 @@
 # Long-running differential fuzz campaign: time-boxed, sharded over seed
 # ranges, repros collected in fuzz-out/. Each shard runs `mpbfuzz` over a
 # contiguous seed block; the campaign stops when the time box expires or a
-# divergence is found (whichever comes first).
+# divergence is found (whichever comes first). The lane matrix includes the
+# dpor lanes (t1, t1/nosleep, tN parallel driver) next to full/spor — see
+# src/fuzz/oracle.cpp.
 #
 # Usage: tools/run_fuzz.sh [mpbfuzz options...]
 #

@@ -5,7 +5,8 @@
 #      mpbfuzz_smoke that stays in the per-commit `fuzz` label),
 #   2. a long time-boxed differential fuzz campaign via tools/run_fuzz.sh
 #      (default 30 minutes vs. the script's usual 5 — override with
-#      MPB_FUZZ_SECONDS),
+#      MPB_FUZZ_SECONDS; the lane matrix covers dpor t1 / t1-nosleep / tN
+#      alongside full and spor),
 #   3. a bounded spill-tier soak: a ~1.1M-state search under the collapse
 #      visited mode with an 8 MiB resident budget over an mmap-backed
 #      arena, pinned to the committed state count (override the model size
