@@ -58,6 +58,11 @@ struct Workload {
   // pair (the stateful series already cover the family elsewhere).
   bool dpor = false;
   bool dpor_only = false;
+  // Distributed series membership: runs full-strategy dist/r1, r2 and r4
+  // cells (rank processes instead of threads), recording the forwarding
+  // overhead (forwarded_states, forward_batches, wire_bytes). dist/r1 is
+  // the no-peer baseline tools/bench_compare.py gates against full/t1.
+  bool dist = false;
 };
 
 std::vector<Workload> make_workloads() {
@@ -68,7 +73,8 @@ std::vector<Workload> make_workloads() {
       // quorum expansion) and blows any CI budget.
       {"paxos_explore",
        "paxos",
-       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}}},
+       {{"proposers", "2"}, {"acceptors", "3"}, {"learners", "1"}},
+       /*large=*/false, /*dpor=*/false, /*dpor_only=*/false, /*dist=*/true},
       {"storage_audit",
        "storage",
        {{"bases", "3"}, {"readers", "1"}, {"writes", "2"}},
@@ -89,7 +95,7 @@ std::vector<Workload> make_workloads() {
       {"paxos_big",  // ~1.12M states
        "paxos",
        {{"proposers", "3"}, {"acceptors", "3"}, {"learners", "1"}},
-       /*large=*/true},
+       /*large=*/true, /*dpor=*/false, /*dpor_only=*/false, /*dist=*/true},
       {"paxos_wide",  // ~313k states, wider quorums
        "paxos",
        {{"proposers", "2"}, {"acceptors", "4"}, {"learners", "2"}},
@@ -97,7 +103,7 @@ std::vector<Workload> make_workloads() {
       {"storage_scaled",  // ~1.30M states
        "storage",
        {{"bases", "3"}, {"readers", "2"}, {"writes", "2"}},
-       /*large=*/true},
+       /*large=*/true, /*dpor=*/false, /*dpor_only=*/false, /*dist=*/true},
       {"collector_wide",  // ~506k states, quorum-heavy enabled sets
        "collector",
        {{"senders", "12"}, {"quorum", "6"}, {"noise", "3"}},
@@ -207,6 +213,33 @@ int main(int argc, char** argv) {
                   << "  " << static_cast<std::uint64_t>(rec.states_per_sec)
                   << " states/s  hash passes/queries " << rec.full_hash_passes
                   << "/" << rec.hash_queries << "\n";
+      }
+    }
+    // The distributed series: ranks are the axis instead of threads. r1 is
+    // a real distributed run with no peers — pure partition overhead, what
+    // the bench_compare.py dist gate holds against full/t1.
+    if (w.dist) {
+      for (unsigned ranks : {1u, 2u, 4u}) {
+        check::CheckRequest req;
+        req.model = w.model;
+        req.params = w.params;
+        req.strategy = "full";
+        req.explore = harness::budget_from_env();
+        req.explore.visited = visited;
+        req.dist_ranks = ranks;
+        req.repeat = repeat;
+        req.record = false;
+        reset_state_hash_counters();
+        const std::string cell = w.name + "/dist/r" + std::to_string(ranks);
+        const check::CheckResult r = check::run_check(std::move(req));
+        harness::BenchRecord rec = check::to_record(r, cell);
+        records.push_back(rec);
+        std::cout << cell << ": " << to_string(r.verdict()) << "  "
+                  << harness::format_count(r.stats().states_stored)
+                  << " states  " << harness::format_time(r.stats().seconds)
+                  << "  " << static_cast<std::uint64_t>(rec.states_per_sec)
+                  << " states/s  forwarded " << rec.forwarded_states
+                  << "  wire " << rec.wire_bytes << "B\n";
       }
     }
   }

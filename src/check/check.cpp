@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "dist/dist.hpp"
 #include "por/dpor.hpp"
 #include "refine/refine.hpp"
 
@@ -132,6 +133,36 @@ Checker::Checker(CheckRequest req) : req_(std::move(req)), proto_("unset") {
         "--spill-dir requires the collapse visited mode (--visited collapse): "
         "only the component-compressed arena can spill");
   }
+  if (req_.dist_ranks > 0) {
+    if (!strategy_->stateful) {
+      throw CheckError(
+          "--dist-ranks requires a stateful strategy (full or spor): the "
+          "stateless searches keep no fingerprint space to partition");
+    }
+    if (req_.dist_ranks > dist::kMaxRanks) {
+      throw CheckError("--dist-ranks exceeds the maximum of " +
+                       std::to_string(dist::kMaxRanks) + " ranks");
+    }
+    if (req_.explore.threads > 1) {
+      throw CheckError(
+          "--dist-ranks and --threads are mutually exclusive: every rank is "
+          "its own single-threaded process");
+    }
+    if (!req_.explore.spill_dir.empty()) {
+      throw CheckError(
+          "--dist-ranks with --spill-dir is unsupported: the spill file is "
+          "one per process and the ranks would race on it");
+    }
+    if (strategy_->name == "spor" &&
+        req_.spor.proviso != CycleProviso::kAuto &&
+        req_.spor.proviso != CycleProviso::kScc) {
+      throw CheckError(
+          "--dist-ranks supports spor only under the SCC ignoring proviso "
+          "(--proviso scc or auto): the stack proviso needs one DFS stack "
+          "and the visited-set proviso would treat remotely-owned states as "
+          "unvisited, which is unsound");
+    }
+  }
 
   // --- model ---
   std::vector<std::vector<ProcessId>> roles;
@@ -178,8 +209,9 @@ CheckResult Checker::run() {
   std::string proviso = "-";
   if (strategy_->name == "spor") {
     if (spor.proviso == CycleProviso::kAuto) {
-      spor.proviso = cfg.threads > 1 ? CycleProviso::kVisited
-                                     : CycleProviso::kStack;
+      spor.proviso = req_.dist_ranks > 0 ? CycleProviso::kScc
+                     : cfg.threads > 1   ? CycleProviso::kVisited
+                                         : CycleProviso::kStack;
     }
     if (spor.proviso == CycleProviso::kScc &&
         !visited_stores_graph(cfg.visited)) {
@@ -207,10 +239,31 @@ CheckResult Checker::run() {
     if (a_cut != b_cut) return !a_cut;
     return a.stats.seconds < b.stats.seconds;
   };
+  // The distributed ranks intern parent links for the cross-process trace
+  // walk, so a graph-storing visited mode is mandatory (mirrors the kScc
+  // upgrade above).
+  if (req_.dist_ranks > 0 && !visited_stores_graph(cfg.visited)) {
+    cfg.visited = VisitedMode::kInterned;
+  }
+
   ExploreResult r;
   for (unsigned i = 0; i < repeats; ++i) {
     ExploreResult attempt;
-    if (strategy_->stateful) {
+    if (req_.dist_ranks > 0) {
+      dist::DistConfig dc;
+      dc.ranks = req_.dist_ranks;
+      dist::StrategyFactory factory;
+      if (strategy_->make != nullptr) {
+        auto* const make = strategy_->make;
+        const Protocol* proto = &proto_;
+        factory = [make, proto, spor]() { return make(*proto, spor); };
+      }
+      try {
+        attempt = dist::run_distributed(proto_, cfg, dc, factory);
+      } catch (const dist::DistError& e) {
+        throw CheckError(e.what());
+      }
+    } else if (strategy_->stateful) {
       attempt = explore(proto_, cfg,
                         strategy_->make ? strategy_->make(proto_, spor) : nullptr);
     } else {

@@ -85,6 +85,12 @@ struct CheckRequest {
   bool dpor_sleep_sets = true;
   std::string split = "none";     // split_from_string() name
   bool symmetry = false;          // canonicalize states by role permutation
+  // Distributed search (src/dist): fork this many single-threaded rank
+  // processes partitioning the state space by fingerprint owner; 0 = off.
+  // Stateful strategies only — "full", or "spor" under the SCC ignoring
+  // proviso (the other provisos are unsound across ranks). Mutually
+  // exclusive with --threads; budgets and guards apply per rank.
+  unsigned dist_ranks = 0;
   // Budgets, threads, visited mode and the observer hooks (on_progress /
   // on_violation, see core/explorer.hpp). `mode` is set by the strategy.
   ExploreConfig explore;

@@ -57,6 +57,7 @@ util::Json request_to_json(const CheckRequest& req) {
   if (req.split != def.split) j["split"] = req.split;
   if (req.symmetry) j["symmetry"] = true;
   if (req.repeat != def.repeat) j["repeat"] = req.repeat;
+  if (req.dist_ranks != def.dist_ranks) j["dist_ranks"] = req.dist_ranks;
 
   util::Json spor = util::Json::object();
   if (req.spor.seed != def.spor.seed) {
@@ -118,7 +119,7 @@ CheckRequest request_from_json(const util::Json& j) {
   if (!j.is_object()) throw CheckError("request: expected a JSON object");
   check_keys(j, "request",
              {"model", "params", "strategy", "split", "symmetry", "repeat",
-              "spor", "dpor_sleep_sets", "explore"});
+              "dist_ranks", "spor", "dpor_sleep_sets", "explore"});
 
   CheckRequest req;
   req.model = j.get_string("model", "");
@@ -138,6 +139,8 @@ CheckRequest request_from_json(const util::Json& j) {
   req.split = j.get_string("split", req.split);
   req.symmetry = j.get_bool("symmetry", req.symmetry);
   req.repeat = static_cast<unsigned>(j.get_int("repeat", req.repeat));
+  req.dist_ranks =
+      static_cast<unsigned>(j.get_int("dist_ranks", req.dist_ranks));
   req.dpor_sleep_sets = j.get_bool("dpor_sleep_sets", req.dpor_sleep_sets);
 
   if (const util::Json* s = j.find("spor")) {

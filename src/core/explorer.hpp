@@ -199,6 +199,15 @@ struct ExploreStats {
   // repair rounds), 0 when the pass did not run. Separated from `seconds`
   // so the post-pass cost stays visible as reduced graphs grow.
   double scc_pass_ms = 0.0;
+  // Distributed search only (src/dist): successors whose fingerprint-owner
+  // was another rank and that were therefore shipped over the peer mesh
+  // instead of inserted locally, the batch frames that carried them
+  // (forwarded_states / forward_batches = achieved batching factor), and the
+  // total framed payload bytes put on the wire (all frame types, both
+  // directions summed across ranks). 0 for every single-process driver.
+  std::uint64_t forwarded_states = 0;
+  std::uint64_t forward_batches = 0;
+  std::uint64_t wire_bytes = 0;
   // Progress snapshots only: open frames (sequential DFS stack) or open
   // items across the injector and all stealing deques (parallel pool) at
   // snapshot time — computed from the deques' own bounds, so it cannot go

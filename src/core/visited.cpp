@@ -895,6 +895,26 @@ std::optional<State> ShardedVisited::materialize(StateHandle h) const {
   return State(std::move(locals), std::move(net));
 }
 
+bool ShardedVisited::parent_link(StateHandle h, StateHandle* parent,
+                                 Event* ev) const {
+  *parent = kNoHandle;
+  *ev = Event{};
+  if (mode_ == VisitedMode::kCollapse) {
+    const CNodeView v = cview_at(h);
+    if (v.tuple == nullptr) return false;
+    *parent = v.parent;
+    if (v.parent != kNoHandle && v.event != 0) {
+      *ev = decode_event(event_blobs_->get(v.event - 1));
+    }
+    return true;
+  }
+  const Node* n = node_at(h);
+  if (n == nullptr) return false;
+  *parent = n->parent;
+  if (n->parent != kNoHandle) *ev = n->in_event;
+  return true;
+}
+
 StateHandle ShardedVisited::parent_of(StateHandle h) const {
   if (mode_ == VisitedMode::kCollapse) {
     return cview_at(h).parent;  // default view carries kNoHandle

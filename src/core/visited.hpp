@@ -154,6 +154,14 @@ class ShardedVisited {
   // kNoHandle / fingerprint mode.
   [[nodiscard]] std::optional<State> materialize(StateHandle h) const;
   [[nodiscard]] StateHandle parent_of(StateHandle h) const;
+  // One step of the parent walk: the parent handle and incoming event of
+  // entry `h`, exactly as recorded at insert time. Parents are returned
+  // verbatim — a caller that stored a foreign-shard handle (the distributed
+  // driver's cross-rank links) gets it back unmodified and must resolve it
+  // itself, which is what path_from_root cannot do. Returns false for
+  // kNoHandle / unknown handles / non-graph modes; for the root `ev` is left
+  // empty and `parent` is kNoHandle (the root contributes no event).
+  bool parent_link(StateHandle h, StateHandle* parent, Event* ev) const;
   // The symmetry permutation recorded at insert time: the index (into the
   // reducer's permutation table) that maps the concrete state which first
   // reached this entry onto the stored canonical representative. 0 for

@@ -1,0 +1,70 @@
+#include "dist/frame.hpp"
+
+namespace mpb::dist {
+
+void FrameWriter::message(const Message& m) {
+  u16(m.type());
+  u8(m.sender());
+  u8(m.receiver());
+  u8(static_cast<std::uint8_t>(m.payload_size()));
+  for (const Value v : m.payload()) u32(static_cast<std::uint32_t>(v));
+}
+
+void FrameWriter::event(const Event& e) {
+  u16(e.tid);
+  u16(static_cast<std::uint16_t>(e.consumed.size()));
+  for (const Message& m : e.consumed) message(m);
+}
+
+void FrameWriter::state(const State& s) {
+  u32(static_cast<std::uint32_t>(s.locals().size()));
+  for (const Value v : s.locals()) u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(s.network().size()));
+  for (const Message& m : s.network()) message(m);
+}
+
+Message FrameCursor::message() {
+  const MsgType t = u16();
+  const ProcessId sender = u8();
+  const ProcessId receiver = u8();
+  const unsigned n = u8();
+  Value p[Message::kMaxPayload] = {};
+  if (n > Message::kMaxPayload) throw DistError("dist: oversized payload");
+  for (unsigned i = 0; i < n; ++i) p[i] = static_cast<Value>(u32());
+  // Message only constructs from an initializer list; spell out the arities.
+  switch (n) {
+    case 0: return {t, sender, receiver, {}};
+    case 1: return {t, sender, receiver, {p[0]}};
+    case 2: return {t, sender, receiver, {p[0], p[1]}};
+    case 3: return {t, sender, receiver, {p[0], p[1], p[2]}};
+    default: return {t, sender, receiver, {p[0], p[1], p[2], p[3]}};
+  }
+}
+
+Event FrameCursor::event() {
+  Event e;
+  e.tid = u16();
+  const unsigned n = u16();
+  if (remaining() < n * 5u) throw DistError("dist: oversized event");
+  e.consumed.reserve(n);
+  for (unsigned i = 0; i < n; ++i) e.consumed.push_back(message());
+  return e;
+}
+
+State FrameCursor::state() {
+  const std::uint32_t nl = u32();
+  if (remaining() < nl * 4u) throw DistError("dist: oversized state");
+  std::vector<Value> locals;
+  locals.reserve(nl);
+  for (std::uint32_t i = 0; i < nl; ++i) {
+    locals.push_back(static_cast<Value>(u32()));
+  }
+  const std::uint32_t nm = u32();
+  if (remaining() < nm * 5u) throw DistError("dist: oversized state");
+  std::vector<Message> net;
+  net.reserve(nm);
+  for (std::uint32_t i = 0; i < nm; ++i) net.push_back(message());
+  return State(std::move(locals), std::move(net));
+}
+
+}  // namespace mpb::dist

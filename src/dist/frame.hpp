@@ -1,0 +1,211 @@
+// Binary framing for the distributed driver's peer mesh (src/dist).
+//
+// Every message on a mesh or control socket is one frame:
+//
+//   u32 payload_len | u8 type | payload bytes
+//
+// riding the same fd conventions as the serve/wire NDJSON layer but binary:
+// forwarded successors carry full State payloads, and a text encoding would
+// triple the bytes on the hot path. All integers are little-endian fixed
+// width (the mesh never crosses a machine boundary today, but the format is
+// pinned so it can).
+//
+// The codec is deliberately dumb: append-only writer, bounds-checked cursor
+// reader that throws DistError on any truncation or overrun, and explicit
+// encode/decode pairs for the composite types (Message, Event, State,
+// Fingerprint). No reflection, no varints — successor forwarding is
+// throughput-bound, not bandwidth-bound, on one box.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/state.hpp"
+#include "core/transition.hpp"
+#include "core/visited.hpp"
+#include "util/hash.hpp"
+
+namespace mpb::dist {
+
+// Any malformed frame (truncated payload, oversized counts, unknown type in
+// a context that admits none) is a protocol bug or a dead peer mid-write;
+// both are fatal to the run and surface as a clean error, never a hang.
+class DistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FrameType : std::uint8_t {
+  // peer mesh
+  kBatch = 1,       // u32 count, count * ForwardEntry
+  kCredit = 2,      // u32 batches consumed (receiver -> sender, backpressure)
+  kToken = 3,       // i64 q, u8 black (Safra/Mattern termination token)
+  kStop = 4,        // u8 cause (StopCause), string property
+  kLookupReq = 5,   // u64 handle, u64 req id (parent_lookup RPC)
+  kLookupResp = 6,  // u64 req id, u64 parent, u8 has_event, [Event]
+  kSccCollect = 7,  // empty (rank 0 -> all: ship your new edges/full marks)
+  kSccEdges = 8,    // u32 n_edges, n*(u64,u64), u32 n_full, n*u64
+  kSccExpand = 9,   // u32 n, n*u64 handles to re-expand fully
+  kDone = 10,       // empty (rank 0 -> all: search complete, report)
+  // control channel (rank <-> launcher)
+  kFinal = 20,      // per-rank result: verdict, stats, terminals, trace
+  kExit = 21,       // launcher -> rank: tear down now
+  kProgress = 22,   // periodic per-rank counters for the progress hook
+  kCancel = 23,     // launcher -> rank: cooperative cancel (resource stop)
+  kPeerDead = 24,   // rank -> launcher: u32 peer whose socket hit EOF
+};
+
+// Why a rank told its peers to stop expanding.
+enum class StopCause : std::uint8_t {
+  kViolated = 1,
+  kBudget = 2,
+  kResource = 3,
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+// A batch of forwarded states is bounded by flush triggers long before this,
+// and no other frame grows past a trace; anything larger is a framing bug.
+inline constexpr std::uint32_t kMaxFramePayload = 256u << 20;
+
+class FrameWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { append(&v, sizeof v); }
+  void f64(double v) { append(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+  void fingerprint(const Fingerprint& fp) {
+    u64(fp.hi);
+    u64(fp.lo);
+  }
+  void message(const Message& m);
+  void event(const Event& e);
+  void state(const State& s);
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  void clear() { buf_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  // resize + memcpy rather than a range insert: GCC 12 misdiagnoses the
+  // inlined insert-reallocation path of vector<byte> as a stringop-overflow
+  // under -Werror.
+  void append(const void* p, std::size_t n) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    if (n != 0) std::memcpy(buf_.data() + old, p, n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+class FrameCursor {
+ public:
+  explicit FrameCursor(std::span<const std::byte> in) : in_(in) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+  [[nodiscard]] std::uint16_t u16() { return take<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return take<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return take<std::uint64_t>(); }
+  [[nodiscard]] std::int64_t i64() { return take<std::int64_t>(); }
+  [[nodiscard]] double f64() { return take<double>(); }
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] Fingerprint fingerprint() {
+    Fingerprint fp;
+    fp.hi = u64();
+    fp.lo = u64();
+    return fp;
+  }
+  [[nodiscard]] Message message();
+  [[nodiscard]] Event event();
+  [[nodiscard]] State state();
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == in_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return in_.size() - pos_;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] T take() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) const {
+    if (in_.size() - pos_ < n) {
+      throw DistError("dist: truncated frame payload");
+    }
+  }
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+// --- cross-rank state handles ----------------------------------------------
+//
+// StateHandle packs {shard : 16 | arena index : 48}. A rank's local visited
+// set uses at most kLocalShardBits of the shard field (ShardedVisited clamps
+// shard counts to 1024), so the global form reuses the upper shard bits for
+// the owning rank:
+//
+//   global shard field = rank << kLocalShardBits | local shard
+//
+// giving 64 ranks x 1024 shards. Every handle that leaves the insert call is
+// converted to global form immediately (including the parents threaded into
+// the graph), so cross-rank parent links are plain u64s and the trace walk
+// only has to ask "is this mine?" before each step.
+
+inline constexpr unsigned kHandleIndexBits = 48;
+inline constexpr unsigned kLocalShardBits = 10;
+inline constexpr unsigned kMaxRanks = 64;
+
+[[nodiscard]] inline StateHandle to_global(StateHandle local, unsigned rank) {
+  if (local == kNoHandle) return kNoHandle;
+  return local + (static_cast<StateHandle>(rank)
+                  << (kHandleIndexBits + kLocalShardBits));
+}
+
+[[nodiscard]] inline StateHandle to_local(StateHandle global) {
+  if (global == kNoHandle) return kNoHandle;
+  constexpr StateHandle rank_mask =
+      ~StateHandle{0} << (kHandleIndexBits + kLocalShardBits);
+  return global & ~rank_mask;
+}
+
+[[nodiscard]] inline unsigned rank_of(StateHandle global) {
+  return static_cast<unsigned>(global >>
+                               (kHandleIndexBits + kLocalShardBits));
+}
+
+// Fingerprint-owner partition: the canonical fingerprint's high bits pick
+// the owning rank, so the same state lands on the same rank whatever path
+// produced it (the low bits of fp.hi index the owner's local shards — the
+// two selectors never alias).
+[[nodiscard]] inline unsigned owner_of(const Fingerprint& fp,
+                                       unsigned nranks) {
+  return static_cast<unsigned>((fp.hi >> 56) % nranks);
+}
+
+}  // namespace mpb::dist

@@ -1,0 +1,99 @@
+#include "dist/mesh.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace mpb::dist {
+
+FrameConn::FrameConn(int fd) : fd_(fd) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+void FrameConn::send(FrameType t, std::span<const std::byte> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw DistError("dist: frame payload exceeds the framing cap");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::byte hdr[kFrameHeaderBytes];
+  std::memcpy(hdr, &len, sizeof len);
+  hdr[4] = static_cast<std::byte>(t);
+  // Compact the drained prefix occasionally so the outbox doesn't grow
+  // monotonically across a long run.
+  if (out_pos_ > 0 && out_pos_ == outbox_.size()) {
+    outbox_.clear();
+    out_pos_ = 0;
+  } else if (out_pos_ > (1u << 20)) {
+    outbox_.erase(outbox_.begin(),
+                  outbox_.begin() + static_cast<std::ptrdiff_t>(out_pos_));
+    out_pos_ = 0;
+  }
+  outbox_.insert(outbox_.end(), hdr, hdr + kFrameHeaderBytes);
+  outbox_.insert(outbox_.end(), payload.begin(), payload.end());
+  bytes_queued_ += kFrameHeaderBytes + payload.size();
+  (void)flush();
+}
+
+bool FrameConn::flush() {
+  if (dead_) return false;
+  while (out_pos_ < outbox_.size()) {
+    const ssize_t n = ::send(fd_, outbox_.data() + out_pos_,
+                             outbox_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    dead_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool FrameConn::drain(std::vector<Frame>* out) {
+  if (dead_) return false;
+  for (;;) {
+    std::byte chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    dead_ = true;  // EOF (n == 0) or a hard error: the peer is gone
+    break;
+  }
+  // Slice complete frames off the front.
+  std::size_t pos = 0;
+  while (inbuf_.size() - pos >= kFrameHeaderBytes) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, inbuf_.data() + pos, sizeof len);
+    if (len > kMaxFramePayload) {
+      dead_ = true;
+      break;
+    }
+    if (inbuf_.size() - pos - kFrameHeaderBytes < len) break;
+    Frame f;
+    f.type = static_cast<FrameType>(inbuf_[pos + 4]);
+    f.payload.assign(inbuf_.begin() + static_cast<std::ptrdiff_t>(
+                                          pos + kFrameHeaderBytes),
+                     inbuf_.begin() + static_cast<std::ptrdiff_t>(
+                                          pos + kFrameHeaderBytes + len));
+    out->push_back(std::move(f));
+    pos += kFrameHeaderBytes + len;
+  }
+  if (pos > 0) {
+    inbuf_.erase(inbuf_.begin(), inbuf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  // Frames sliced before the EOF are already in `out`; the caller should
+  // process them and then notice the dead connection.
+  return !dead_;
+}
+
+}  // namespace mpb::dist

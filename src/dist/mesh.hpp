@@ -1,0 +1,207 @@
+// Mesh primitives for the distributed driver: one nonblocking framed
+// connection per peer, a size/time-triggered send batcher, credit-based
+// backpressure, and the Safra/Mattern termination token.
+//
+// Everything here is a small, separately testable state machine; the rank
+// loop in rank.cpp only composes them. Two design rules keep the mesh
+// hang-free and TSan-friendly:
+//
+//  * No blocking I/O anywhere. Sends append to a per-connection outbox and
+//    flush() writes as much as the socket accepts (EAGAIN keeps the rest);
+//    drain() assembles whatever complete frames have arrived. A rank can
+//    therefore always keep receiving while its own sends are stalled —
+//    which is exactly what makes credit exhaustion a stall, not a deadlock.
+//  * Backpressure is explicit. A batch frame costs one credit at the
+//    receiving peer; credits come back (kCredit) only after the receiver
+//    processed the batch. With zero credits the sender parks the batch and
+//    keeps draining; the rank loop additionally stops expanding local work
+//    when any peer's parked backlog passes its cap, so memory stays bounded
+//    end to end.
+//
+// Termination detection is Safra's algorithm with Mattern's message
+// counting: each rank keeps c = (entries sent) - (entries received) and a
+// colour that turns black on any receive. The token circulates the ring
+// 0 -> 1 -> ... -> N-1 -> 0, only ever forwarded by a locally idle rank,
+// accumulating q += c and the colour. Rank 0 declares termination when the
+// token returns white to a white rank 0 with q + c_0 == 0: the count proves
+// no forwarded entry is in flight, the colour proves no rank received one
+// after contributing its count — together, every rank was idle at its
+// recording instant and nothing that could wake one exists anywhere.
+// SCC re-expansion requests ride the same counters (a kSccExpand entry
+// counts as sent/received), so a token round cannot complete "under" an
+// in-flight repair round.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "dist/frame.hpp"
+
+namespace mpb::dist {
+
+struct Frame {
+  FrameType type;
+  std::vector<std::byte> payload;
+};
+
+// One framed, nonblocking, bidirectional connection (a socketpair end).
+class FrameConn {
+ public:
+  FrameConn() = default;
+  explicit FrameConn(int fd);  // sets O_NONBLOCK; does not own closure order
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+  FrameConn(FrameConn&&) = default;
+  FrameConn& operator=(FrameConn&&) = default;
+
+  // Append one frame to the outbox (header + payload) and try to flush.
+  void send(FrameType t, std::span<const std::byte> payload);
+  // Write as much pending outbox as the socket accepts. Returns false once
+  // the peer is dead (EPIPE/ECONNRESET); spurious wakeups are fine.
+  bool flush();
+  // Read whatever is available and append every complete frame to `out`.
+  // Returns false on EOF/error — the peer is gone.
+  bool drain(std::vector<Frame>* out);
+
+  [[nodiscard]] bool outbox_empty() const noexcept {
+    return out_pos_ == outbox_.size();
+  }
+  [[nodiscard]] bool dead() const noexcept { return dead_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  // Total framed bytes queued for sending (headers + payloads): the
+  // wire_bytes counter's source.
+  [[nodiscard]] std::uint64_t bytes_queued() const noexcept {
+    return bytes_queued_;
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<std::byte> outbox_;
+  std::size_t out_pos_ = 0;
+  std::vector<std::byte> inbuf_;
+  std::uint64_t bytes_queued_ = 0;
+  bool dead_ = false;
+};
+
+// Size- and age-triggered batching of forward entries for one peer. Callers
+// pass timestamps in explicitly (microseconds, any monotonic origin), which
+// is what makes the flush triggers unit-testable without sleeping.
+class Batcher {
+ public:
+  Batcher(unsigned max_entries, std::uint64_t max_age_us)
+      : max_entries_(max_entries), max_age_us_(max_age_us) {}
+
+  // Append one already-encoded ForwardEntry. (resize + memcpy rather than a
+  // range insert: GCC 12 misdiagnoses the inlined insert-reallocation path
+  // of vector<byte> as a stringop-overflow under -Werror.)
+  void add(const FrameWriter& entry, std::uint64_t now_us) {
+    if (count_ == 0) oldest_us_ = now_us;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + entry.size());
+    if (entry.size() != 0) {
+      std::memcpy(buf_.data() + old, entry.bytes().data(), entry.size());
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] unsigned entries() const noexcept { return count_; }
+
+  // Size trigger: the batch reached its target. Age trigger: the oldest
+  // entry has waited long enough that latency beats amortization.
+  [[nodiscard]] bool should_flush(std::uint64_t now_us) const noexcept {
+    if (count_ == 0) return false;
+    return count_ >= max_entries_ || now_us - oldest_us_ >= max_age_us_;
+  }
+
+  // The kBatch payload: u32 count followed by the packed entries.
+  // (resize + memcpy for the same GCC 12 -Werror reason as add().)
+  [[nodiscard]] std::vector<std::byte> take() {
+    FrameWriter w;
+    w.u32(count_);
+    std::vector<std::byte> payload = w.take();
+    const std::size_t old = payload.size();
+    payload.resize(old + buf_.size());
+    if (!buf_.empty()) {
+      std::memcpy(payload.data() + old, buf_.data(), buf_.size());
+    }
+    buf_.clear();
+    count_ = 0;
+    return payload;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+  unsigned count_ = 0;
+  std::uint64_t oldest_us_ = 0;
+  unsigned max_entries_;
+  std::uint64_t max_age_us_;
+};
+
+// Safra's termination-detection token with Mattern counting, as seen from
+// one rank. The rank loop reports sends/receives and idleness; this class
+// answers "forward the token now" / "the whole mesh is quiescent".
+class SafraToken {
+ public:
+  SafraToken(unsigned rank, unsigned nranks) : rank_(rank), nranks_(nranks) {
+    have_token_ = (rank == 0);  // rank 0 owns the token between rounds
+  }
+
+  void on_sent(std::uint64_t n) noexcept {
+    c_ += static_cast<std::int64_t>(n);
+  }
+  void on_received(std::uint64_t n) noexcept {
+    c_ -= static_cast<std::int64_t>(n);
+    black_ = true;
+  }
+  void on_token(std::int64_t q, bool black) noexcept {
+    have_token_ = true;
+    tq_ = q;
+    tblack_ = black;
+  }
+
+  struct TokenOut {
+    unsigned to;      // successor rank on the ring
+    std::int64_t q;
+    bool black;
+  };
+  enum class Action : std::uint8_t { kNone, kForward, kTerminate };
+
+  // Call only when the rank is locally idle (no work, batches flushed).
+  // kForward: send `out` as a kToken frame to out->to. kTerminate (rank 0
+  // only): the mesh is quiescent.
+  Action poll_idle(TokenOut* out) noexcept {
+    if (nranks_ == 1) return Action::kTerminate;
+    if (!have_token_) return Action::kNone;
+    if (rank_ == 0) {
+      // A completed round terminates iff the token and this rank are white
+      // and the global count balances; otherwise start a fresh round.
+      if (round_done_ && !tblack_ && !black_ && tq_ + c_ == 0) {
+        return Action::kTerminate;
+      }
+      round_done_ = true;  // the next on_token() ends the round we start now
+      have_token_ = false;
+      black_ = false;
+      *out = {1, 0, false};
+      return Action::kForward;
+    }
+    have_token_ = false;
+    *out = {(rank_ + 1) % nranks_, tq_ + c_, tblack_ || black_};
+    black_ = false;
+    return Action::kForward;
+  }
+
+ private:
+  unsigned rank_;
+  unsigned nranks_;
+  std::int64_t c_ = 0;
+  bool black_ = false;
+  bool have_token_ = false;
+  std::int64_t tq_ = 0;
+  bool tblack_ = false;
+  bool round_done_ = false;  // rank 0: a full round's token has returned
+};
+
+}  // namespace mpb::dist

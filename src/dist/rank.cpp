@@ -1,0 +1,1035 @@
+// One rank of the distributed search (see dist.hpp for the architecture).
+//
+// The loop composes the mesh primitives around the same ExpansionCore the
+// in-process drivers run: poll the peer + control sockets, drain and handle
+// every complete frame, expand a chunk of owned work, flush due batches,
+// and — when locally idle — drive the Safra token. A rank moves through
+// three phases:
+//
+//   kSearch   expanding its owned frontier (or waiting for more of it)
+//   kFinished assembling the final report (incl. the cross-rank trace walk)
+//   kServe    answering parent_lookup RPCs for peers still assembling
+//             theirs, until the launcher's kExit
+//
+// The serve phase is what makes cross-process trace reconstruction safe:
+// the launcher releases ranks only after *all* finals arrived, so a
+// violator can always walk its counterexample's parent chain through
+// foreign ranks that finished earlier.
+#include "dist/rank.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/enabled.hpp"
+#include "core/engine.hpp"
+#include "core/execute.hpp"
+#include "dist/mesh.hpp"
+
+namespace mpb::dist {
+
+using engine::ExpansionCore;
+using engine::GraphEdge;
+using engine::Item;
+using engine::LimitKind;
+using engine::WorkerCtx;
+
+namespace {
+
+[[nodiscard]] std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void encode_stats(FrameWriter& w, const ExploreStats& s) {
+  w.u64(s.states_stored);
+  w.u64(s.states_visited);
+  w.u64(s.events_executed);
+  w.u64(s.events_selected);
+  w.u64(s.events_enabled);
+  w.u64(s.terminal_states);
+  w.u64(s.full_expansions);
+  w.u64(s.proviso_fallbacks);
+  w.u64(s.scc_reexpansions);
+  w.u64(s.sleep_blocked);
+  w.f64(s.scc_pass_ms);
+  w.u64(s.forwarded_states);
+  w.u64(s.forward_batches);
+  w.u64(s.wire_bytes);
+  w.u64(s.full_hash_passes);
+  w.u64(s.hash_queries);
+  w.u64(s.visited_bytes);
+  w.u32(s.max_depth_seen);
+  w.f64(s.seconds);
+}
+
+[[nodiscard]] ExploreStats decode_stats(FrameCursor& c) {
+  ExploreStats s;
+  s.states_stored = c.u64();
+  s.states_visited = c.u64();
+  s.events_executed = c.u64();
+  s.events_selected = c.u64();
+  s.events_enabled = c.u64();
+  s.terminal_states = c.u64();
+  s.full_expansions = c.u64();
+  s.proviso_fallbacks = c.u64();
+  s.scc_reexpansions = c.u64();
+  s.sleep_blocked = c.u64();
+  s.scc_pass_ms = c.f64();
+  s.forwarded_states = c.u64();
+  s.forward_batches = c.u64();
+  s.wire_bytes = c.u64();
+  s.full_hash_passes = c.u64();
+  s.hash_queries = c.u64();
+  s.visited_bytes = c.u64();
+  s.max_depth_seen = c.u32();
+  s.seconds = c.f64();
+  return s;
+}
+
+}  // namespace
+
+void encode_final(FrameWriter& w, const RankFinal& f) {
+  w.u8(static_cast<std::uint8_t>(f.verdict));
+  w.str(f.violated_property);
+  w.u8(f.limit);
+  encode_stats(w, f.stats);
+  w.u32(static_cast<std::uint32_t>(f.terminals.size()));
+  for (const Fingerprint& fp : f.terminals) w.fingerprint(fp);
+  w.u8(f.has_trace ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(f.trace_events.size()));
+  for (const Event& e : f.trace_events) w.event(e);
+}
+
+RankFinal decode_final(FrameCursor& c) {
+  RankFinal f;
+  f.verdict = static_cast<Verdict>(c.u8());
+  f.violated_property = c.str();
+  f.limit = c.u8();
+  f.stats = decode_stats(c);
+  const std::uint32_t nt = c.u32();
+  if (c.remaining() < std::uint64_t{nt} * 16) {
+    throw DistError("dist: oversized final");
+  }
+  f.terminals.reserve(nt);
+  for (std::uint32_t i = 0; i < nt; ++i) f.terminals.push_back(c.fingerprint());
+  f.has_trace = c.u8() != 0;
+  const std::uint32_t ne = c.u32();
+  if (c.remaining() < std::uint64_t{ne} * 4) {
+    throw DistError("dist: oversized final");
+  }
+  f.trace_events.reserve(ne);
+  for (std::uint32_t i = 0; i < ne; ++i) f.trace_events.push_back(c.event());
+  return f;
+}
+
+void encode_progress(FrameWriter& w, const RankProgress& p) {
+  w.u64(p.states_stored);
+  w.u64(p.events_executed);
+  w.u64(p.frontier);
+  w.u64(p.forwarded_states);
+  w.u64(p.wire_bytes);
+}
+
+RankProgress decode_progress(FrameCursor& c) {
+  RankProgress p;
+  p.states_stored = c.u64();
+  p.events_executed = c.u64();
+  p.frontier = c.u64();
+  p.forwarded_states = c.u64();
+  p.wire_bytes = c.u64();
+  return p;
+}
+
+namespace {
+
+// States expanded between poll rounds: large enough to amortize the poll
+// syscall to noise (the dist/r1 overhead gate lives on this), small enough
+// that batches flush and credits turn around promptly.
+constexpr unsigned kExpandChunk = 128;
+
+class RankLoop {
+ public:
+  RankLoop(const Protocol& proto, const ExploreConfig& cfg,
+           const DistConfig& dc, ReductionStrategy* strategy,
+           const RankWiring& wiring)
+      : proto_(proto),
+        cfg_(cfg),
+        dc_(dc),
+        rank_(wiring.rank),
+        nranks_(wiring.nranks),
+        core_(proto, cfg_, strategy,
+              cfg.visited == VisitedMode::kExact ? VisitedMode::kInterned
+                                                 : cfg.visited,
+              1),
+        control_(wiring.control_fd),
+        token_(wiring.rank, wiring.nranks) {
+    conns_.reserve(nranks_);
+    for (unsigned p = 0; p < nranks_; ++p) {
+      conns_.emplace_back(p == rank_ ? FrameConn{} : FrameConn{wiring.peer_fds[p]});
+      batchers_.emplace_back(dc_.batch_entries, dc_.flush_us);
+      credits_.push_back(dc_.credits);
+    }
+  }
+
+  int run() {
+    start_us_ = now_us();
+    core_.begin_run();
+    core_.visited().set_serial(true);  // one worker per rank process
+    seed_root();
+    std::vector<Frame> frames;
+    while (phase_ != Phase::kExit) {
+      const bool eager = phase_ == Phase::kSearch && !stopped_ &&
+                         !work_.empty() && !backpressured();
+      poll_io(eager ? 0 : 5);
+      for (unsigned p = 0; p < nranks_; ++p) {
+        if (p == rank_ || conns_[p].fd() < 0) continue;
+        frames.clear();
+        const bool alive = conns_[p].drain(&frames);
+        for (Frame& f : frames) handle_peer_frame(p, f);
+        if (!alive) peer_died(p);
+      }
+      frames.clear();
+      const bool launcher_alive = control_.drain(&frames);
+      for (Frame& f : frames) handle_control_frame(f);
+      if (!launcher_alive) return 1;  // the launcher is gone: just die
+      if (phase_ == Phase::kExit) break;
+      flush_conns();
+
+      if (phase_ == Phase::kSearch && !stopped_) {
+        expand_chunk();
+        check_time_limits();
+        flush_due(work_.empty());
+        if (!stopped_ && !awaiting_edges_ && work_.empty() &&
+            batchers_empty()) {
+          SafraToken::TokenOut t;
+          switch (token_.poll_idle(&t)) {
+            case SafraToken::Action::kForward: {
+              FrameWriter w;
+              w.i64(t.q);
+              w.u8(t.black ? 1 : 0);
+              conns_[t.to].send(FrameType::kToken, w.bytes());
+              break;
+            }
+            case SafraToken::Action::kTerminate:
+              on_quiescence();
+              break;
+            case SafraToken::Action::kNone:
+              break;
+          }
+        }
+      }
+      if (phase_ == Phase::kSearch && stopped_) phase_ = Phase::kFinished;
+      if (phase_ == Phase::kFinished) {
+        send_final();
+        phase_ = Phase::kServe;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kSearch, kFinished, kServe, kExit };
+
+  struct WorkItem {
+    Item* item;
+    bool full;  // SCC repair: expand the whole enabled set
+  };
+
+  // --- I/O plumbing --------------------------------------------------------
+
+  void poll_io(int timeout_ms) {
+    pollfds_.clear();
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (p == rank_ || conns_[p].fd() < 0) continue;
+      short ev = POLLIN;
+      if (!conns_[p].outbox_empty()) ev |= POLLOUT;
+      pollfds_.push_back({conns_[p].fd(), ev, 0});
+    }
+    short cev = POLLIN;
+    if (!control_.outbox_empty()) cev |= POLLOUT;
+    pollfds_.push_back({control_.fd(), cev, 0});
+    (void)::poll(pollfds_.data(), static_cast<nfds_t>(pollfds_.size()),
+                 timeout_ms);
+  }
+
+  void flush_conns() {
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (p == rank_ || conns_[p].fd() < 0) continue;
+      if (!conns_[p].flush()) peer_died(p);
+    }
+    (void)control_.flush();
+  }
+
+  [[nodiscard]] bool batchers_empty() const {
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (!batchers_[p].empty()) return false;
+      if (p != rank_ && conns_[p].fd() >= 0 && !conns_[p].outbox_empty()) {
+        return false;  // queued bytes are still "in flight" locally
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool backpressured() const {
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (batchers_[p].entries() >= dc_.stall_entries) return true;
+    }
+    return false;
+  }
+
+  void peer_died(unsigned p) {
+    if (peer_dead_[p]) return;
+    peer_dead_[p] = true;
+    if (phase_ == Phase::kServe) return;  // normal teardown race on kExit
+    FrameWriter w;
+    w.u32(p);
+    control_.send(FrameType::kPeerDead, w.bytes());
+    (void)control_.flush();
+    // The search result is unsalvageable; park and wait for kExit.
+    stopped_ = true;
+    pending_.armed = false;
+    phase_ = Phase::kFinished;
+  }
+
+  // --- frame handlers ------------------------------------------------------
+
+  void handle_peer_frame(unsigned from, const Frame& f) {
+    FrameCursor c(f.payload);
+    switch (f.type) {
+      case FrameType::kBatch:
+        handle_batch(from, c);
+        break;
+      case FrameType::kCredit:
+        credits_[from] += c.u32();
+        break;
+      case FrameType::kToken: {
+        const std::int64_t q = c.i64();
+        const bool black = c.u8() != 0;
+        token_.on_token(q, black);
+        break;
+      }
+      case FrameType::kStop: {
+        (void)c.u8();
+        (void)c.str();
+        stopped_ = true;
+        break;
+      }
+      case FrameType::kLookupReq:
+        handle_lookup_req(from, c);
+        break;
+      case FrameType::kLookupResp: {
+        const std::uint64_t id = c.u64();
+        lookup_resps_[id] = f.payload;
+        break;
+      }
+      case FrameType::kSccCollect:
+        if (!stopped_) send_scc_edges();
+        break;
+      case FrameType::kSccEdges:
+        handle_scc_edges(c);
+        break;
+      case FrameType::kSccExpand:
+        handle_scc_expand(c);
+        break;
+      case FrameType::kDone:
+        stopped_ = true;
+        break;
+      default:
+        throw DistError("dist: unexpected mesh frame type");
+    }
+  }
+
+  void handle_control_frame(const Frame& f) {
+    switch (f.type) {
+      case FrameType::kExit:
+        phase_ = Phase::kExit;
+        break;
+      case FrameType::kCancel:
+        if (phase_ == Phase::kSearch) local_limit(LimitKind::kResource);
+        break;
+      default:
+        break;  // tolerate future control frames
+    }
+  }
+
+  void handle_batch(unsigned from, FrameCursor& c) {
+    const std::uint32_t n = c.u32();
+    token_.on_received(n);
+    WorkerCtx& me = core_.worker(0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const StateHandle parent = c.u64();
+      const unsigned depth = c.u32();
+      Event via = c.event();
+      State s = c.state();
+      if (stopped_ || phase_ != Phase::kSearch) continue;  // drain & discard
+      Item* it = me.alloc();
+      it->s = std::move(s);
+      if (!insert_local(it, parent, &via, depth)) me.release(it);
+    }
+    // Credit returns only after the batch is processed — that delay is the
+    // backpressure.
+    FrameWriter w;
+    w.u32(1);
+    conns_[from].send(FrameType::kCredit, w.bytes());
+  }
+
+  void handle_lookup_req(unsigned from, FrameCursor& c) {
+    const StateHandle h = c.u64();
+    const std::uint64_t id = c.u64();
+    StateHandle parent = kNoHandle;
+    Event ev;
+    const bool ok =
+        core_.visited().graph().parent_link(to_local(h), &parent, &ev);
+    FrameWriter w;
+    w.u64(id);
+    w.u64(parent);  // global form already (parents are stored global)
+    const bool has_ev = ok && parent != kNoHandle;
+    w.u8(has_ev ? 1 : 0);
+    if (has_ev) w.event(ev);
+    conns_[from].send(FrameType::kLookupResp, w.bytes());
+  }
+
+  // --- seeding and expansion ----------------------------------------------
+
+  void seed_root() {
+    State init = proto_.initial();
+    const Fingerprint fp = core_.canonical_fingerprint(init);
+    if (owner_of(fp, nranks_) != rank_) return;
+    if (const Property* p = proto_.violated_property(init)) {
+      record_violation(p->name, kNoHandle, nullptr);
+      return;
+    }
+    WorkerCtx& me = core_.worker(0);
+    Item* root = me.alloc();
+    root->s = std::move(init);
+    if (!insert_local(root, kNoHandle, nullptr, 0)) me.release(root);
+  }
+
+  // Insert a state this rank owns (root, local successor, or a received
+  // forward). `parent` is in global handle form. Returns true when the item
+  // was filled in and queued (fresh, unviolated, within limits).
+  bool insert_local(Item* it, StateHandle parent, const Event* via,
+                    unsigned depth) {
+    WorkerCtx& me = core_.worker(0);
+    Fingerprint canon_fp;
+    const VisitedInsert ins =
+        core_.insert_canonical(it->s, parent, via, &canon_fp);
+    const StateHandle gh = to_global(ins.handle, rank_);
+    core_.record_edge(me, parent, gh);
+    if (!ins.inserted) return false;
+    if (const LimitKind k = state_limit_kind(); k != LimitKind::kNone) {
+      local_limit(k);
+      return false;
+    }
+    if (const Property* p = proto_.violated_property(it->s)) {
+      record_violation(p->name, parent, via);
+      return false;
+    }
+    it->canon_fp = canon_fp;
+    it->handle = gh;
+    it->depth = depth;
+    work_.push_back({it, false});
+    return true;
+  }
+
+  [[nodiscard]] LimitKind state_limit_kind() {
+    const std::uint64_t stored = core_.visited().size();
+    if (cfg_.guard.max_states != 0 && stored > cfg_.guard.max_states) {
+      return LimitKind::kResource;
+    }
+    if (cfg_.guard.max_memory_bytes != 0 &&
+        core_.visited().approx_bytes() > cfg_.guard.max_memory_bytes) {
+      return LimitKind::kResource;
+    }
+    if (stored > cfg_.max_states) return LimitKind::kBudget;
+    return LimitKind::kNone;
+  }
+
+  void expand_chunk() {
+    WorkerCtx& me = core_.worker(0);
+    unsigned n = 0;
+    while (n < kExpandChunk && !work_.empty() && !stopped_ &&
+           !backpressured()) {
+      const WorkItem wi = work_.back();
+      work_.pop_back();
+      expand_item(*wi.item, wi.full);
+      me.release(wi.item);
+      ++n;
+      if (rank_ == dc_.fault_rank && dc_.fault_after_states != 0 &&
+          st_.states_visited >= dc_.fault_after_states) {
+        ::_exit(3);  // injected rank death (DistRankDeath tests)
+      }
+    }
+  }
+
+  void expand_item(Item& item, bool full_expand) {
+    WorkerCtx& me = core_.worker(0);
+    ++st_.states_visited;
+    st_.max_depth_seen = std::max(st_.max_depth_seen, item.depth + 1);
+    enumerate_events(proto_, item.s, me.enabled);
+    st_.events_enabled += me.enabled.size();
+    if (me.enabled.empty()) {
+      ++st_.terminal_states;
+      if (cfg_.collect_terminals) terminals_.push_back(item.canon_fp);
+      core_.record_full(me, item.handle);
+      return;
+    }
+    std::size_t k = 0;
+    bool reduced = false;
+    if (full_expand) {
+      k = me.enabled.size();
+      st_.events_selected += k;
+    } else {
+      k = core_.select(item.s, me, st_, {}, false, &reduced);
+    }
+    if (k == me.enabled.size()) core_.record_full(me, item.handle);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (stopped_) return;
+      const Event& e = me.enabled[reduced ? me.idx[j] : j];
+      Item* succ = me.alloc();
+      execute_into(proto_, item.s, e, core_.exec_opts(), &me.failed, succ->s);
+      ++st_.events_executed;
+      if (st_.events_executed > cfg_.max_events) {
+        me.release(succ);
+        local_limit(LimitKind::kBudget);
+        return;
+      }
+      if (!me.failed.empty()) {
+        record_violation(me.failed, item.handle, &e);
+        if (cfg_.stop_at_first_violation) {
+          me.release(succ);
+          return;
+        }
+        // Mirror the in-process drivers: the assertion-failing successor is
+        // still a reachable state and gets inserted/routed like any other.
+      }
+      const Fingerprint fp = core_.canonical_fingerprint(succ->s);
+      const unsigned owner = owner_of(fp, nranks_);
+      if (owner != rank_) {
+        forward(owner, succ->s, e, item.handle, item.depth + 1);
+        me.release(succ);
+        continue;
+      }
+      if (!insert_local(succ, item.handle, &e, item.depth + 1)) {
+        me.release(succ);
+        if (stopped_) return;
+      }
+    }
+  }
+
+  // --- forwarding ----------------------------------------------------------
+
+  void forward(unsigned owner, const State& s, const Event& via,
+               StateHandle parent_global, unsigned depth) {
+    FrameWriter w;
+    w.u64(parent_global);
+    w.u32(depth);
+    w.event(via);
+    w.state(s);
+    batchers_[owner].add(w, now_us());
+    ++st_.forwarded_states;
+    token_.on_sent(1);
+    maybe_flush(owner, false);
+  }
+
+  void maybe_flush(unsigned p, bool force) {
+    if (batchers_[p].empty() || credits_[p] == 0) return;
+    if (!force && !batchers_[p].should_flush(now_us())) return;
+    --credits_[p];
+    ++st_.forward_batches;
+    conns_[p].send(FrameType::kBatch, batchers_[p].take());
+  }
+
+  void flush_due(bool force) {
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (p != rank_) maybe_flush(p, force);
+    }
+    maybe_progress();
+  }
+
+  // --- stopping ------------------------------------------------------------
+
+  void record_violation(const std::string& property, StateHandle parent,
+                        const Event* last) {
+    if (local_verdict_ != Verdict::kViolated) {
+      local_verdict_ = Verdict::kViolated;
+      violated_property_ = property;
+      pending_.parent = parent;
+      pending_.has_last = last != nullptr;
+      if (last != nullptr) pending_.last = *last;
+      pending_.armed = true;
+    }
+    if (cfg_.stop_at_first_violation) local_stop(StopCause::kViolated);
+  }
+
+  void local_limit(LimitKind k) {
+    if (limit_ == LimitKind::kNone) limit_ = k;
+    local_stop(k == LimitKind::kResource ? StopCause::kResource
+                                         : StopCause::kBudget);
+  }
+
+  void local_stop(StopCause cause) {
+    if (stopped_) return;
+    stopped_ = true;
+    FrameWriter w;
+    w.u8(static_cast<std::uint8_t>(cause));
+    w.str(violated_property_);
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (p != rank_ && conns_[p].fd() >= 0 && !peer_dead_[p]) {
+        conns_[p].send(FrameType::kStop, w.bytes());
+      }
+    }
+  }
+
+  void check_time_limits() {
+    const double elapsed =
+        static_cast<double>(now_us() - start_us_) / 1e6;
+    if (elapsed > cfg_.guard.watchdog_seconds) {
+      local_limit(LimitKind::kResource);
+    } else if (elapsed > cfg_.max_seconds) {
+      local_limit(LimitKind::kBudget);
+    }
+  }
+
+  void maybe_progress() {
+    if (cfg_.progress_every_events == 0) return;
+    if (st_.events_executed - progress_mark_ < cfg_.progress_every_events) {
+      return;
+    }
+    progress_mark_ = st_.events_executed;
+    RankProgress p;
+    p.states_stored = core_.visited().size();
+    p.events_executed = st_.events_executed;
+    p.frontier = work_.size();
+    p.forwarded_states = st_.forwarded_states;
+    p.wire_bytes = mesh_bytes();
+    FrameWriter w;
+    encode_progress(w, p);
+    control_.send(FrameType::kProgress, w.bytes());
+  }
+
+  // --- SCC ignoring pass, rank-0 coordinated ------------------------------
+  //
+  // At every global quiescence rank 0 runs one repair round: collect each
+  // rank's newly recorded reduced-graph edges and full-expansion marks
+  // (global handles, so they concatenate into one graph), Tarjan the
+  // cumulative graph, and ship each ignored SCC's representative back to
+  // its owner for a full re-expansion. Re-expansion wakes the search, the
+  // token eventually proves quiescence again, and the next round runs on
+  // the grown graph — a fixpoint exactly like the in-process pass, arriving
+  // at "no ignored SCC" with kDone. Repair requests ride the Mattern
+  // counters, so a token round can never complete under an in-flight one.
+
+  void on_quiescence() {
+    if (!core_.scc_pass_enabled()) {
+      broadcast_done();
+      return;
+    }
+    collect_own_edges();
+    if (nranks_ == 1) {
+      finish_scc_round();
+      return;
+    }
+    awaiting_edges_ = true;
+    scc_waiting_ = nranks_ - 1;
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (p != rank_) conns_[p].send(FrameType::kSccCollect, {});
+    }
+  }
+
+  void collect_own_edges() {
+    WorkerCtx& me = core_.worker(0);
+    for (const GraphEdge& e : me.edges) scc_edges_.emplace_back(e.from, e.to);
+    for (const StateHandle h : me.full_handles) scc_full_.insert(h);
+    me.edges.clear();
+    me.full_handles.clear();
+  }
+
+  void send_scc_edges() {
+    WorkerCtx& me = core_.worker(0);
+    FrameWriter w;
+    w.u32(static_cast<std::uint32_t>(me.edges.size()));
+    for (const GraphEdge& e : me.edges) {
+      w.u64(e.from);
+      w.u64(e.to);
+    }
+    w.u32(static_cast<std::uint32_t>(me.full_handles.size()));
+    for (const StateHandle h : me.full_handles) w.u64(h);
+    me.edges.clear();
+    me.full_handles.clear();
+    conns_[0].send(FrameType::kSccEdges, w.bytes());
+  }
+
+  void handle_scc_edges(FrameCursor& c) {
+    const std::uint32_t ne = c.u32();
+    if (c.remaining() < ne * 16u) throw DistError("dist: oversized edges");
+    for (std::uint32_t i = 0; i < ne; ++i) {
+      const std::uint64_t from = c.u64();
+      const std::uint64_t to = c.u64();
+      scc_edges_.emplace_back(from, to);
+    }
+    const std::uint32_t nf = c.u32();
+    if (c.remaining() < nf * 8u) throw DistError("dist: oversized edges");
+    for (std::uint32_t i = 0; i < nf; ++i) scc_full_.insert(c.u64());
+    if (awaiting_edges_ && --scc_waiting_ == 0) {
+      awaiting_edges_ = false;
+      finish_scc_round();
+    }
+  }
+
+  void handle_scc_expand(FrameCursor& c) {
+    const std::uint32_t n = c.u32();
+    token_.on_received(n);
+    if (c.remaining() < n * 8u) throw DistError("dist: oversized expand");
+    for (std::uint32_t i = 0; i < n; ++i) enqueue_reexpand(c.u64());
+  }
+
+  // Tarjan over the cumulative global reduced graph; returns the ignored
+  // SCCs' representatives (smallest handle each, for determinism).
+  std::vector<StateHandle> ignored_reps() {
+    std::unordered_map<StateHandle, std::size_t> id_of;
+    std::vector<StateHandle> handle_of;
+    const auto id = [&](StateHandle h) {
+      const auto [it, fresh] = id_of.try_emplace(h, handle_of.size());
+      if (fresh) handle_of.push_back(h);
+      return it->second;
+    };
+    std::vector<std::vector<std::size_t>> adj;
+    std::vector<bool> self_loop;
+    const auto grow = [&](std::size_t n) {
+      if (adj.size() < n) {
+        adj.resize(n);
+        self_loop.resize(n, false);
+      }
+    };
+    for (const auto& [from, to] : scc_edges_) {
+      const std::size_t a = id(from);
+      const std::size_t b = id(to);
+      grow(handle_of.size());
+      if (a == b) {
+        self_loop[a] = true;
+      } else {
+        adj[a].push_back(b);
+      }
+    }
+    for (const StateHandle h : scc_full_) {
+      (void)id(h);
+    }
+    grow(handle_of.size());
+    const std::size_t n = handle_of.size();
+
+    // Iterative Tarjan.
+    std::vector<std::uint32_t> index(n, 0), low(n, 0);
+    std::vector<bool> on_stack(n, false), visited(n, false);
+    std::vector<std::size_t> stack, comp_of(n, 0);
+    std::uint32_t next_index = 1;
+    std::size_t n_comps = 0;
+    struct VisitFrame {
+      std::size_t v;
+      std::size_t next_child;
+    };
+    std::vector<VisitFrame> call;
+    for (std::size_t root = 0; root < n; ++root) {
+      if (visited[root]) continue;
+      call.push_back({root, 0});
+      while (!call.empty()) {
+        auto& fr = call.back();
+        const std::size_t v = fr.v;
+        if (fr.next_child == 0) {
+          visited[v] = true;
+          index[v] = low[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+        }
+        bool descended = false;
+        while (fr.next_child < adj[v].size()) {
+          const std::size_t w = adj[v][fr.next_child++];
+          if (!visited[w]) {
+            call.push_back({w, 0});
+            descended = true;
+            break;
+          }
+          if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+        }
+        if (descended) continue;
+        if (low[v] == index[v]) {
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp_of[w] = n_comps;
+            if (w == v) break;
+          }
+          ++n_comps;
+        }
+        call.pop_back();
+        if (!call.empty()) {
+          low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+      }
+    }
+
+    std::vector<std::uint32_t> comp_size(n_comps, 0);
+    std::vector<bool> comp_cyclic(n_comps, false), comp_full(n_comps, false);
+    std::vector<StateHandle> comp_rep(n_comps, kNoHandle);
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::size_t cc = comp_of[v];
+      ++comp_size[cc];
+      if (self_loop[v]) comp_cyclic[cc] = true;
+      if (scc_full_.contains(handle_of[v])) comp_full[cc] = true;
+      if (comp_rep[cc] == kNoHandle || handle_of[v] < comp_rep[cc]) {
+        comp_rep[cc] = handle_of[v];
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (comp_size[comp_of[v]] > 1) comp_cyclic[comp_of[v]] = true;
+    }
+    std::vector<StateHandle> reps;
+    for (std::size_t cc = 0; cc < n_comps; ++cc) {
+      if (comp_cyclic[cc] && !comp_full[cc]) reps.push_back(comp_rep[cc]);
+    }
+    std::sort(reps.begin(), reps.end());
+    return reps;
+  }
+
+  void finish_scc_round() {
+    const std::uint64_t t0 = now_us();
+    std::vector<StateHandle> reps = ignored_reps();
+    st_.scc_pass_ms += static_cast<double>(now_us() - t0) / 1e3;
+    if (reps.empty()) {
+      broadcast_done();
+      return;
+    }
+    st_.scc_reexpansions += reps.size();
+    std::vector<std::vector<StateHandle>> by_rank(nranks_);
+    for (const StateHandle h : reps) by_rank[rank_of(h)].push_back(h);
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (by_rank[p].empty()) continue;
+      if (p == rank_) {
+        for (const StateHandle h : by_rank[p]) enqueue_reexpand(h);
+        continue;
+      }
+      FrameWriter w;
+      w.u32(static_cast<std::uint32_t>(by_rank[p].size()));
+      for (const StateHandle h : by_rank[p]) w.u64(h);
+      token_.on_sent(by_rank[p].size());
+      conns_[p].send(FrameType::kSccExpand, w.bytes());
+    }
+  }
+
+  // Re-queue an owned state for a full expansion: materialize the stored
+  // canonical representative and map it back to the concrete state its
+  // recorded permutation came from, exactly like the in-process pass.
+  void enqueue_reexpand(StateHandle global) {
+    WorkerCtx& me = core_.worker(0);
+    const StateHandle local = to_local(global);
+    const ShardedVisited& g = core_.visited().graph();
+    std::optional<State> s = g.materialize(local);
+    if (!s.has_value()) return;
+    Item* it = me.alloc();
+    it->s = std::move(*s);
+    if (cfg_.decanonicalize) {
+      it->s = cfg_.decanonicalize(g.perm_of(local), it->s);
+    }
+    it->canon_fp = core_.canonical_fingerprint(it->s);
+    it->handle = global;
+    it->depth = 0;
+    work_.push_back({it, true});
+  }
+
+  void broadcast_done() {
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (p != rank_ && conns_[p].fd() >= 0 && !peer_dead_[p]) {
+        conns_[p].send(FrameType::kDone, {});
+      }
+    }
+    stopped_ = true;
+  }
+
+  // --- final report --------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t mesh_bytes() const {
+    std::uint64_t b = 0;
+    for (unsigned p = 0; p < nranks_; ++p) {
+      if (p != rank_ && conns_[p].fd() >= 0) b += conns_[p].bytes_queued();
+    }
+    return b;
+  }
+
+  void send_final() {
+    RankFinal f;
+    f.verdict = local_verdict_;
+    f.violated_property = violated_property_;
+    f.limit = static_cast<std::uint8_t>(limit_);
+    if (pending_.armed) {
+      f.has_trace = walk_trace(&f.trace_events);
+    }
+    st_.states_stored = core_.visited().size();
+    st_.visited_bytes = core_.visited().approx_bytes();
+    st_.wire_bytes = mesh_bytes();
+    st_.seconds = static_cast<double>(now_us() - start_us_) / 1e6;
+    core_.finish_stats(st_);
+    f.stats = st_;
+    std::sort(terminals_.begin(), terminals_.end());
+    terminals_.erase(std::unique(terminals_.begin(), terminals_.end()),
+                     terminals_.end());
+    f.terminals = std::move(terminals_);
+    FrameWriter w;
+    encode_final(w, f);
+    control_.send(FrameType::kFinal, w.bytes());
+    (void)control_.flush();
+  }
+
+  // Walk the violation's parent chain back to the root, resolving foreign
+  // handles through the owners' parent_lookup RPC (they are in kServe,
+  // answering until the launcher releases everyone). Returns false when the
+  // walk had to be abandoned (dead peer / timeout) — the verdict stands,
+  // only the concrete counterexample is lost.
+  bool walk_trace(std::vector<Event>* out) {
+    // The engine replays traces only when the recorded chain is certifiably
+    // concrete (see record_violation in engine.cpp): either no canonicalizer
+    // ran, or the permutation-aware pair is installed so stored canonical
+    // states map back. Match that rule.
+    const bool have_canon = static_cast<bool>(cfg_.canonicalize) ||
+                            static_cast<bool>(cfg_.canonicalize_perm);
+    if (have_canon && !(cfg_.canonicalize_perm && cfg_.decanonicalize)) {
+      return false;
+    }
+    std::vector<Event> rev;
+    if (pending_.has_last) rev.push_back(pending_.last);
+    StateHandle h = pending_.parent;
+    while (h != kNoHandle) {
+      StateHandle parent = kNoHandle;
+      Event ev;
+      if (rank_of(h) == rank_) {
+        if (!core_.visited().graph().parent_link(to_local(h), &parent, &ev)) {
+          return false;
+        }
+        if (parent == kNoHandle) break;  // root: contributes no event
+      } else {
+        if (!remote_parent_link(h, &parent, &ev)) return false;
+        if (parent == kNoHandle) break;
+      }
+      rev.push_back(ev);
+      h = parent;
+    }
+    out->assign(rev.rbegin(), rev.rend());
+    return true;
+  }
+
+  bool remote_parent_link(StateHandle h, StateHandle* parent, Event* ev) {
+    const unsigned owner = rank_of(h);
+    if (owner >= nranks_ || peer_dead_[owner]) return false;
+    const std::uint64_t id = ++lookup_seq_;
+    FrameWriter w;
+    w.u64(h);
+    w.u64(id);
+    conns_[owner].send(FrameType::kLookupReq, w.bytes());
+    const std::uint64_t deadline = now_us() + 30'000'000;  // 30s backstop
+    std::vector<Frame> frames;
+    while (now_us() < deadline) {
+      poll_io(5);
+      for (unsigned p = 0; p < nranks_; ++p) {
+        if (p == rank_ || conns_[p].fd() < 0) continue;
+        frames.clear();
+        const bool alive = conns_[p].drain(&frames);
+        for (Frame& f : frames) handle_peer_frame(p, f);
+        if (!alive) peer_dead_[p] = true;
+      }
+      frames.clear();
+      if (!control_.drain(&frames)) ::_exit(1);
+      for (Frame& f : frames) handle_control_frame(f);
+      if (phase_ == Phase::kExit) ::_exit(0);  // launcher gave up on us
+      flush_conns();
+      const auto it = lookup_resps_.find(id);
+      if (it != lookup_resps_.end()) {
+        FrameCursor c(it->second);
+        (void)c.u64();  // id
+        *parent = c.u64();
+        const bool has_ev = c.u8() != 0;
+        if (has_ev) {
+          *ev = c.event();
+        } else if (*parent != kNoHandle) {
+          lookup_resps_.erase(it);
+          return false;  // non-root without an event: broken link
+        }
+        lookup_resps_.erase(it);
+        return true;
+      }
+      if (peer_dead_[owner]) return false;
+    }
+    return false;
+  }
+
+  // --- members -------------------------------------------------------------
+
+  const Protocol& proto_;
+  ExploreConfig cfg_;
+  DistConfig dc_;
+  unsigned rank_;
+  unsigned nranks_;
+  ExpansionCore core_;
+  std::vector<FrameConn> conns_;  // indexed by rank; self slot default/-1
+  FrameConn control_;
+  std::vector<Batcher> batchers_;
+  std::vector<unsigned> credits_;
+  std::vector<bool> peer_dead_ = std::vector<bool>(kMaxRanks, false);
+  SafraToken token_;
+  std::vector<pollfd> pollfds_;
+
+  Phase phase_ = Phase::kSearch;
+  bool stopped_ = false;
+  bool awaiting_edges_ = false;
+  unsigned scc_waiting_ = 0;
+
+  std::vector<WorkItem> work_;
+  ExploreStats st_;
+  std::vector<Fingerprint> terminals_;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t progress_mark_ = 0;
+
+  Verdict local_verdict_ = Verdict::kHolds;
+  std::string violated_property_;
+  LimitKind limit_ = LimitKind::kNone;
+  struct PendingTrace {
+    StateHandle parent = kNoHandle;
+    Event last;
+    bool has_last = false;
+    bool armed = false;
+  } pending_;
+
+  std::uint64_t lookup_seq_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> lookup_resps_;
+
+  // Rank 0's cumulative global reduced graph (SCC coordination).
+  std::vector<std::pair<StateHandle, StateHandle>> scc_edges_;
+  std::unordered_set<StateHandle> scc_full_;
+};
+
+}  // namespace
+
+int run_rank(const Protocol& proto, const ExploreConfig& cfg,
+             const DistConfig& dc, ReductionStrategy* strategy,
+             const RankWiring& wiring) noexcept {
+  try {
+    // Strip everything launcher-side from the child's view of the config:
+    // hooks must not fire in the child, and each rank is single-threaded.
+    ExploreConfig child = cfg;
+    child.threads = 1;
+    child.on_violation = nullptr;
+    child.cancel = nullptr;  // the launcher forwards cancels as kCancel
+    RankLoop loop(proto, child, dc, strategy, wiring);
+    return loop.run();
+  } catch (...) {
+    return 2;  // the launcher sees the control socket close -> DistError
+  }
+}
+
+}  // namespace mpb::dist

@@ -1,0 +1,57 @@
+// Internal seam between the launcher (driver.cpp) and the per-rank search
+// loop (rank.cpp). Not part of the public dist API.
+#pragma once
+
+#include <vector>
+
+#include "core/explorer.hpp"
+#include "core/protocol.hpp"
+#include "dist/dist.hpp"
+
+namespace mpb::dist {
+
+struct RankWiring {
+  unsigned rank = 0;
+  unsigned nranks = 1;
+  // One mesh fd per peer rank, indexed by rank; the self slot is -1.
+  std::vector<int> peer_fds;
+  // The control socket to the launcher.
+  int control_fd = -1;
+};
+
+// The child-process entry point: runs the rank's search to completion
+// (final report sent, kExit received) and returns the process exit code.
+// Never throws — every failure path reports to the launcher or exits.
+int run_rank(const Protocol& proto, const ExploreConfig& cfg,
+             const DistConfig& dc, ReductionStrategy* strategy,
+             const RankWiring& wiring) noexcept;
+
+// One rank's end-of-run report (the kFinal control frame). The launcher
+// merges these: counters sum, depths max, verdicts take the worst, and the
+// winning violator's event chain is replayed into the counterexample.
+struct RankFinal {
+  Verdict verdict = Verdict::kHolds;
+  std::string violated_property;
+  std::uint8_t limit = 0;  // engine::LimitKind the rank tripped, as u8
+  ExploreStats stats;
+  std::vector<Fingerprint> terminals;
+  bool has_trace = false;
+  std::vector<Event> trace_events;  // root -> violation, execution order
+};
+
+void encode_final(FrameWriter& w, const RankFinal& f);
+[[nodiscard]] RankFinal decode_final(FrameCursor& c);
+
+// The kProgress control frame payload.
+struct RankProgress {
+  std::uint64_t states_stored = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t frontier = 0;
+  std::uint64_t forwarded_states = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+void encode_progress(FrameWriter& w, const RankProgress& p);
+[[nodiscard]] RankProgress decode_progress(FrameCursor& c);
+
+}  // namespace mpb::dist

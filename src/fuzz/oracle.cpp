@@ -52,6 +52,7 @@ struct Lane {
   bool broken_proviso = false;
   VisitedMode visited = VisitedMode::kInterned;
   bool dpor_sleep = true;  // dpor lanes: sleep-set layer on/off
+  unsigned dist_ranks = 0;  // >0: fingerprint-sharded multi-process driver
 };
 
 ExploreConfig base_explore(const OracleConfig& cfg) {
@@ -87,6 +88,7 @@ ExploreResult run_lane(const RenderedModel& m, const OracleConfig& cfg,
   req.explore = base_explore(cfg);
   req.explore.threads = lane.threads;
   req.explore.visited = lane.visited;
+  req.dist_ranks = lane.dist_ranks;
   req.record = false;  // fuzz lanes must not pollute the bench-JSON sink
   return check::run_check(std::move(req)).result;
 }
@@ -152,6 +154,18 @@ OracleReport run_oracle(const ProtocolSpec& spec, const OracleConfig& cfg) {
   // Collapse-compression lanes: the component-interned visited set must
   // agree with full-copy interning on verdicts, state counts, and terminal
   // sets — a tuple-equality bug would surface here as divergence.
+  // The distributed lane: the unreduced search on the fingerprint-sharded
+  // multi-process driver at two ranks. The full-strategy checks below then
+  // pin the partition/forwarding/termination machinery to the sequential
+  // reference on every seed — same verdict, same terminal set, and exactly
+  // the same stored-state count (a state forwarded twice or dropped at a
+  // shard boundary shows up as a count mismatch). Resource guards apply per
+  // rank, so a guard-tripped dist lane is an individual skip like any other.
+  if (cfg.test_dist) {
+    lanes.push_back({"dist/r2", "full", CycleProviso::kAuto, 1, false,
+                     /*broken_proviso=*/false, VisitedMode::kInterned,
+                     /*dpor_sleep=*/true, /*dist_ranks=*/2});
+  }
   lanes.push_back({"full/t1/collapse", "full", CycleProviso::kAuto, 1, false,
                    /*broken_proviso=*/false, VisitedMode::kCollapse});
   lanes.push_back({"spor/stack/t1/collapse", "spor", CycleProviso::kStack, 1,

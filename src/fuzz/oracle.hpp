@@ -4,7 +4,11 @@
 // — and cross-check the answers. The dpor column runs three ways: sleep
 // sets on (default), sleep sets off (the on/off cross-check pins the
 // sleep-set covering argument), and on the parallel backtrack-distributing
-// driver at N threads (pins the exactly-once claim protocol).
+// driver at N threads (pins the exactly-once claim protocol). A dist/r2
+// lane runs the unreduced search on the fingerprint-sharded multi-process
+// driver, so the partition/forwarding/termination machinery is pinned to
+// the sequential reference on every seed: same verdict, same terminal set,
+// exactly the same stored-state count.
 //
 // Equivalence claims verified per seed (full/t1 is the reference):
 //  * every lane reports the same verdict;
@@ -36,6 +40,10 @@ struct OracleConfig {
   unsigned par_threads = 4;
   bool test_parallel = true;
   bool test_symmetry = true;
+  // Run the unreduced search on the multi-process distributed driver at two
+  // ranks. Lanes run sequentially and worker pools are joined between lanes,
+  // so the fork() inside the driver happens in a single-threaded process.
+  bool test_dist = true;
   // Hard guards applied to every lane; pathological seeds become cheap
   // skips instead of hangs.
   std::uint64_t guard_states = std::uint64_t{1} << 14;

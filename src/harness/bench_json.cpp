@@ -24,6 +24,9 @@ BenchRecord make_record(std::string name, std::string strategy,
   rec.scc_reexpansions = r.stats.scc_reexpansions;
   rec.sleep_blocked = r.stats.sleep_blocked;
   rec.scc_pass_ms = r.stats.scc_pass_ms;
+  rec.forwarded_states = r.stats.forwarded_states;
+  rec.forward_batches = r.stats.forward_batches;
+  rec.wire_bytes = r.stats.wire_bytes;
   rec.seconds = r.stats.seconds;
   const double secs = r.stats.seconds > 0.0 ? r.stats.seconds : 1e-9;
   rec.states_per_sec = static_cast<double>(r.stats.states_stored) / secs;
@@ -54,6 +57,9 @@ util::Json to_json_value(const BenchRecord& r) {
   j["scc_reexpansions"] = r.scc_reexpansions;
   j["sleep_blocked"] = r.sleep_blocked;
   j["scc_pass_ms"] = r.scc_pass_ms;
+  j["forwarded_states"] = r.forwarded_states;
+  j["forward_batches"] = r.forward_batches;
+  j["wire_bytes"] = r.wire_bytes;
   j["seconds"] = r.seconds;
   j["states_per_sec"] = r.states_per_sec;
   j["events_per_sec"] = r.events_per_sec;

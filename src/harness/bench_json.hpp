@@ -44,6 +44,13 @@ struct BenchRecord {
   // --proviso scc runs; 0 elsewhere).
   std::uint64_t sleep_blocked = 0;
   double scc_pass_ms = 0.0;
+  // Distributed runs (dist/rN cells; 0 elsewhere): successors forwarded to
+  // their owning rank, kBatch frames carrying them, and total framed bytes
+  // queued on the mesh — the forwarding-overhead columns bench_compare.py
+  // prints next to the dist/r1-vs-full/t1 wall-clock gate.
+  std::uint64_t forwarded_states = 0;
+  std::uint64_t forward_batches = 0;
+  std::uint64_t wire_bytes = 0;
   double seconds = 0.0;
   double states_per_sec = 0.0;
   double events_per_sec = 0.0;

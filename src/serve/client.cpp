@@ -10,7 +10,9 @@ bool Client::connect_unix(const std::string& path) {
   close();
   fd_ = serve::connect_unix(path);
   if (fd_ < 0) return false;
-  reader_ = std::make_unique<LineReader>(fd_);
+  // Responses carry whole results — a counterexample trace alone can cross
+  // the default request cap — so the client reads under the large cap.
+  reader_ = std::make_unique<LineReader>(fd_, kMaxResultLineBytes);
   return true;
 }
 
@@ -18,7 +20,9 @@ bool Client::connect_tcp(const std::string& host, std::uint16_t port) {
   close();
   fd_ = serve::connect_tcp(host, port);
   if (fd_ < 0) return false;
-  reader_ = std::make_unique<LineReader>(fd_);
+  // Responses carry whole results — a counterexample trace alone can cross
+  // the default request cap — so the client reads under the large cap.
+  reader_ = std::make_unique<LineReader>(fd_, kMaxResultLineBytes);
   return true;
 }
 

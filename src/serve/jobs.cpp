@@ -74,6 +74,11 @@ std::shared_ptr<Job> JobQueue::submit(check::CheckRequest req) {
   // Clamp against the server limits outside the lock (pure computation).
   JobLimits lim = limits();
   req.explore.threads = std::clamp(req.explore.threads, 1u, lim.max_threads);
+  // Distributed ranks compete for the same CPUs as worker threads, so they
+  // share the max_threads ceiling. The budget/guard clamps below apply *per
+  // rank* — each rank is its own process with its own clock and RSS (see
+  // docs/SERVICE.md).
+  req.dist_ranks = std::min(req.dist_ranks, lim.max_threads);
   if (lim.max_states != 0) {
     req.explore.max_states = std::min(req.explore.max_states, lim.max_states);
   }
@@ -226,6 +231,7 @@ std::vector<RunningJobSample> JobQueue::running_samples() const {
     s.states_per_sec =
         p.seconds > 0.0 ? static_cast<double>(p.states) / p.seconds : 0.0;
     s.sleep_blocked = p.sleep_blocked;
+    s.forwarded_states = p.forwarded_states;
     out.push_back(s);
   }
   return out;
@@ -273,6 +279,7 @@ void JobQueue::run_job(const std::shared_ptr<Job>& job) {
     observer->progress_.events = s.events_executed;
     observer->progress_.frontier = s.frontier;
     observer->progress_.sleep_blocked = s.sleep_blocked;
+    observer->progress_.forwarded_states = s.forwarded_states;
     observer->progress_.seconds = s.seconds;
     ++observer->progress_.seq;
   };

@@ -73,6 +73,9 @@ struct ProgressSnapshot {
   // Picks the dpor sleep sets skipped so far (0 for the other strategies) —
   // live reduction-quality signal, mirrored into the per-job metrics gauge.
   std::uint64_t sleep_blocked = 0;
+  // States forwarded across the rank mesh so far (0 unless the job runs
+  // distributed) — live partition-overhead signal, mirrored like the above.
+  std::uint64_t forwarded_states = 0;
   double seconds = 0.0;
   std::uint64_t seq = 0;  // 0 = no snapshot published yet
 };

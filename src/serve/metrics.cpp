@@ -112,6 +112,15 @@ std::string render_prometheus(const Metrics& m, const GaugeSample& g) {
            std::to_string(r.sleep_blocked) + '\n';
   }
 
+  out +=
+      "# HELP mpb_job_forwarded_states states forwarded across the rank mesh "
+      "so far\n"
+      "# TYPE mpb_job_forwarded_states gauge\n";
+  for (const RunningJobSample& r : g.running) {
+    out += "mpb_job_forwarded_states{job=\"" + std::to_string(r.id) + "\"} " +
+           std::to_string(r.forwarded_states) + '\n';
+  }
+
   gauge(out, "process_peak_rss_bytes", "peak resident set size (ru_maxrss)",
         static_cast<std::uint64_t>(harness::peak_rss_kb()) * 1024);
   out += "# HELP mpb_uptime_seconds time since the server started\n# TYPE "

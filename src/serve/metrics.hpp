@@ -66,6 +66,8 @@ struct RunningJobSample {
   double states_per_sec = 0.0;
   // Sleep-set skips so far (dpor jobs; 0 for other strategies).
   std::uint64_t sleep_blocked = 0;
+  // Cross-rank forwarded states so far (distributed jobs; 0 otherwise).
+  std::uint64_t forwarded_states = 0;
 };
 
 // The point-in-time state render_prometheus reports as gauges.

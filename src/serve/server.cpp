@@ -66,6 +66,7 @@ util::Json progress_json(const Job& job, const ProgressSnapshot& p) {
   j["states"] = p.states;
   j["events"] = p.events;
   j["frontier"] = p.frontier;
+  if (p.forwarded_states != 0) j["forwarded_states"] = p.forwarded_states;
   j["seconds"] = p.seconds;
   return j;
 }
@@ -344,7 +345,10 @@ void Server::handle_connection(int fd) {
     const int timeout_ms = attached ? 50 : 200;
     const LineReader::Status st = reader.read_line(&line, timeout_ms);
     if (st == LineReader::Status::kClosed ||
-        st == LineReader::Status::kError) {
+        st == LineReader::Status::kError ||
+        st == LineReader::Status::kOversized) {
+      // An oversized *request* is a protocol violation: drop the connection
+      // (responses are the big direction, and they go the other way).
       break;
     }
 

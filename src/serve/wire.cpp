@@ -38,7 +38,7 @@ LineReader::Status LineReader::read_line(std::string* out, int timeout_ms) {
       buf_.erase(0, nl + 1);
       return Status::kLine;
     }
-    if (buf_.size() > kMaxLineBytes) return Status::kError;
+    if (buf_.size() > max_) return Status::kOversized;
     if (eof_) return buf_.empty() ? Status::kClosed : Status::kError;
 
     struct pollfd pfd{};

@@ -4,8 +4,13 @@
 // line, terminated by '\n'. A connection carries a sequence of independent
 // commands; the server answers each with one response object, optionally
 // followed by a stream of progress/result objects for an attached job (see
-// server.hpp for the command set). Lines are capped at kMaxLineBytes; a
-// longer line is a protocol error and the connection is dropped. The
+// server.hpp for the command set). Inbound lines are capped per reader: the
+// server keeps the default kMaxLineBytes for requests (clients have no
+// business sending a megabyte of command), while the client library reads
+// responses under the larger kMaxResultLineBytes, because a result object
+// carrying a long counterexample trace routinely crosses 1 MiB. A line over
+// the reader's cap is reported as its own status (kOversized) so callers
+// can distinguish "peer is misbehaving" from real socket errors. The
 // protocol identifies itself as kProtocolVersion in every `ping` response,
 // so clients can detect a mismatched daemon before submitting anything.
 //
@@ -25,6 +30,9 @@
 namespace mpb::serve {
 
 inline constexpr std::size_t kMaxLineBytes = 1u << 20;
+// Response cap for the client side: big enough for a multi-megabyte trace in
+// a result object, small enough to still bound a runaway peer.
+inline constexpr std::size_t kMaxResultLineBytes = 64u << 20;
 inline constexpr std::string_view kProtocolVersion = "mpb-serve-v1";
 
 // Serialize `j` compactly, append '\n', write it fully (retrying short
@@ -34,18 +42,20 @@ bool send_line(int fd, const util::Json& j);
 // Buffered line reader over a socket fd (not owned).
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  explicit LineReader(int fd, std::size_t max_line_bytes = kMaxLineBytes)
+      : fd_(fd), max_(max_line_bytes) {}
 
-  enum class Status { kLine, kTimeout, kClosed, kError };
+  enum class Status { kLine, kTimeout, kClosed, kError, kOversized };
 
   // Block up to `timeout_ms` for the next complete line (-1 = forever).
   // kLine fills `out` (without the terminator); kClosed means orderly EOF
-  // with no buffered partial line; kError covers socket errors, oversized
-  // lines and EOF mid-line.
+  // with no buffered partial line; kOversized means the peer exceeded this
+  // reader's line cap; kError covers socket errors and EOF mid-line.
   Status read_line(std::string* out, int timeout_ms);
 
  private:
   int fd_;
+  std::size_t max_;
   std::string buf_;
   bool eof_ = false;
 };

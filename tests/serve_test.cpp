@@ -530,6 +530,62 @@ TEST(ServeWire, LineReaderFramesAcrossChunksAndDetectsOversize) {
   ::close(fds[0]);
 }
 
+// Regression for the 1 MiB line cap: a result object carrying a long trace
+// is a multi-megabyte single line. The client-side cap must pass it through
+// intact, while the default (request-side) cap reports it as kOversized —
+// a distinct status, not a generic socket error.
+TEST(ServeWire, MultiMegabyteResultLinePassesClientCap) {
+  // ~5 MiB of valid JSON on one line, well past kMaxLineBytes.
+  std::string big = "{\"trace\":\"";
+  big.append(5u << 20, 'x');
+  big += "\"}";
+  ASSERT_GT(big.size(), serve::kMaxLineBytes);
+
+  const auto send_all = [](int fd, const std::string& s) {
+    const char* p = s.data();
+    std::size_t left = s.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  };
+
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    serve::LineReader reader(fds[0], serve::kMaxResultLineBytes);
+    // The socketpair buffer is far smaller than the line, so the writer has
+    // to run concurrently with the reader.
+    std::thread writer([&] {
+      send_all(fds[1], big + "\n");
+      ::close(fds[1]);
+    });
+    std::string line;
+    ASSERT_EQ(reader.read_line(&line, 30000), serve::LineReader::Status::kLine);
+    EXPECT_EQ(line.size(), big.size());
+    EXPECT_EQ(line, big);
+    writer.join();
+    ::close(fds[0]);
+  }
+
+  {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    serve::LineReader reader(fds[0]);  // default request-side cap
+    std::thread writer([&] {
+      send_all(fds[1], big + "\n");
+      ::close(fds[1]);
+    });
+    std::string line;
+    EXPECT_EQ(reader.read_line(&line, 30000),
+              serve::LineReader::Status::kOversized);
+    ::close(fds[0]);  // unblocks the writer via EPIPE
+    writer.join();
+  }
+}
+
 // One running server per test; raw sockets pin exact wire bytes.
 class ServeServerTest : public ::testing::Test {
  protected:

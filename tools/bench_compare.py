@@ -44,6 +44,14 @@ relative peak_rss_kb growth per series the same way --threshold gates
 throughput.  Unlike the reduction counters, a record without a usable RSS
 sample is an error, not a skip: gating memory against a file that never
 measured it would pass vacuously, so the script fails and names the record.
+
+Distributed cells (<workload>/dist/rN) get their own absolute gate: the
+wall-clock of dist/r1 — one rank, no peers, pure partition overhead — must
+stay within --dist-overhead-threshold (default 1.15x) of the same
+workload's full/t1 cell *in the new file*.  The forwarding-overhead columns
+(forwarded_states, avg batch size, wire_bytes) are printed for every dist
+cell.  On a single-core host the gate is skipped with a printed marker,
+like the scaling gate: the extra launcher process time-slices the rank.
 """
 
 import argparse
@@ -173,6 +181,44 @@ def rss_regressions(new, old, threshold):
     return out, unusable
 
 
+def dist_overhead(records):
+    """[(workload, ratio)] — dist/r1 wall-clock over full/t1 wall-clock for
+    every workload carrying both cells in the same file."""
+    full_t1 = {}
+    for r in records.values():
+        m = re.match(r"^(.*)/full/t1$", r["name"])
+        if m and r.get("threads", 1) == 1:
+            full_t1[m.group(1)] = r.get("seconds", 0.0)
+    out = []
+    for r in records.values():
+        m = re.match(r"^(.*)/dist/r1$", r["name"])
+        if not m:
+            continue
+        base = full_t1.get(m.group(1), 0.0)
+        if base > 0 and r.get("seconds", 0.0) > 0:
+            out.append((m.group(1), r["seconds"] / base))
+    return sorted(out)
+
+
+def print_dist_table(records):
+    """Forwarding-overhead columns for every <workload>/dist/rN cell."""
+    rows = sorted((r for r in records.values() if "/dist/r" in r["name"]),
+                  key=lambda r: r["name"])
+    if not rows:
+        return
+    width = max(len(r["name"]) for r in rows)
+    print("\ndistributed cells (forwarding overhead):")
+    print(f"{'cell':<{width}}  {'states':>12}  {'seconds':>8}  "
+          f"{'forwarded':>10}  {'avg_batch':>9}  {'wire_bytes':>13}")
+    for r in rows:
+        fwd = r.get("forwarded_states", 0)
+        batches = r.get("forward_batches", 0)
+        avg = fwd // batches if batches else 0
+        print(f"{r['name']:<{width}}  {r['states_stored']:>12,}  "
+              f"{r.get('seconds', 0.0):>8.2f}  {fwd:>10,}  {avg:>9,}  "
+              f"{r.get('wire_bytes', 0):>13,}")
+
+
 def print_speedup_table(new_speedups, old_speedups=None, threshold=None):
     """Render the per-workload scaling table; returns the list of scaling
     regressions (empty when old_speedups is None)."""
@@ -223,6 +269,9 @@ def main():
                     help="gate relative peak_rss_kb growth per series "
                          "(off unless given; records without a positive "
                          "RSS sample fail the gate)")
+    ap.add_argument("--dist-overhead-threshold", type=float, default=1.15,
+                    help="allowed dist/r1 over full/t1 wall-clock ratio "
+                         "(default 1.15; skipped on a single-core host)")
     args = ap.parse_args()
 
     new = load(args.new)
@@ -239,6 +288,7 @@ def main():
                   f"{r.get('proviso_fallbacks', 0):>8,}  "
                   f"{r.get('scc_reexpansions', 0):>6,}  {r['peak_rss_kb']:>10,}")
         print_speedup_table(speedups(new))
+        print_dist_table(new)
         return 0
 
     old = load(args.old)
@@ -286,6 +336,24 @@ def main():
         print("single-core host, scaling gate skipped")
     red_regressions = reduction_regressions(new, old, args.reduction_threshold)
 
+    # The dist overhead gate is absolute within the new file: dist/r1 is the
+    # same search as full/t1 plus the mesh machinery, so their wall-clock
+    # ratio is the partition overhead whatever the host.
+    print_dist_table(new)
+    dist_regressions = []
+    dist_ratios = dist_overhead(new)
+    if dist_ratios:
+        if single_core:
+            print("single-core host, dist overhead gate skipped")
+        else:
+            for wl, ratio in dist_ratios:
+                marker = ""
+                if ratio > args.dist_overhead_threshold:
+                    dist_regressions.append((wl, ratio))
+                    marker = "  << OVERHEAD"
+                print(f"dist overhead: {wl} dist/r1 = {ratio:.2f}x "
+                      f"full/t1{marker}")
+
     mem_regressions, mem_unusable = ([], [])
     if args.rss_threshold is not None:
         mem_regressions, mem_unusable = rss_regressions(
@@ -324,6 +392,12 @@ def main():
                   f"({delta:+.0%})", file=sys.stderr)
         print(f"{len(mem_regressions)} memory regression(s) beyond "
               f"+{args.rss_threshold:.0%}", file=sys.stderr)
+        failed = True
+    if dist_regressions:
+        for wl, ratio in dist_regressions:
+            print(f"dist overhead regression: {wl} dist/r1 runs {ratio:.2f}x "
+                  f"the full/t1 wall-clock (limit "
+                  f"{args.dist_overhead_threshold:.2f}x)", file=sys.stderr)
         failed = True
     if failed:
         return 1

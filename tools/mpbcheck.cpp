@@ -58,6 +58,10 @@ constexpr std::string_view kEngineHelp =
                       (auto: stack sequentially, visited with --threads > 1;
                       scc: no in-search proviso, the SCC ignoring fix
                       re-expands one state per ignored SCC afterwards)
+  --dist-ranks N      fork N single-threaded rank processes that partition
+                      the state space by fingerprint owner (full, or spor
+                      under --proviso scc/auto; excludes --threads; budgets
+                      and guards apply per rank)
   --threads N         worker threads (full, spor and dpor; dpor distributes
                       backtrack points over the same work-stealing pool)
   --no-sleep-sets     dpor: disable the sleep-set layer (explores a superset
@@ -218,6 +222,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       req.explore.threads = static_cast<unsigned>(
           std::clamp(parse_long(arg, next()), 1L, 256L));
+    } else if (arg == "--dist-ranks") {
+      req.dist_ranks = static_cast<unsigned>(
+          std::clamp(parse_long(arg, next()), 0L, 64L));
     } else if (arg == "--no-sleep-sets") {
       req.dpor_sleep_sets = false;
     } else if (arg == "--repeat") {
@@ -294,6 +301,7 @@ int main(int argc, char** argv) {
     const std::string strategy = req.strategy;
     const std::string split = req.split;
     const bool symmetry = req.symmetry;
+    const unsigned dist_ranks = req.dist_ranks;
     check::Checker checker(std::move(req));
 
     if (!quiet) {
@@ -316,7 +324,19 @@ int main(int argc, char** argv) {
               << "  states=" << harness::format_count(r.stats().states_stored)
               << "  events=" << harness::format_count(r.stats().events_executed)
               << "  time=" << harness::format_time(r.stats().seconds);
-    if (r.threads > 1) std::cout << "  threads=" << r.threads;
+    if (dist_ranks > 0) {
+      std::cout << "  ranks=" << r.threads
+                << "  forwarded=" << harness::format_count(
+                       r.stats().forwarded_states);
+      if (r.stats().forward_batches > 0) {
+        std::cout << "  avg-batch="
+                  << r.stats().forwarded_states / r.stats().forward_batches
+                  << "  wire=" << harness::format_count(r.stats().wire_bytes)
+                  << "B";
+      }
+    } else if (r.threads > 1) {
+      std::cout << "  threads=" << r.threads;
+    }
     if (r.repeats > 1) std::cout << "  best-of=" << r.repeats;
     if (r.proviso != "-") std::cout << "  proviso=" << r.proviso;
     if (r.proviso == "scc") {

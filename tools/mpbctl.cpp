@@ -44,7 +44,8 @@ int usage() {
          "  ping\n"
          "  shutdown [--no-drain]\n"
          "engine options: --strategy --split --seed --proviso --symmetry\n"
-         "  --threads --visited --max-states --max-seconds --watchdog\n"
+         "  --threads --dist-ranks --visited --max-states --max-seconds\n"
+         "  --watchdog\n"
          "  --spill-mb (collapse mode: ask the server for its spill tier;\n"
          "  the spill directory is always the server's own)\n";
   return 2;
@@ -113,6 +114,10 @@ util::Json build_request(const std::vector<std::string>& args,
           static_cast<std::uint64_t>(parse_long(arg, next()));
     } else if (arg == "--threads") {
       req.explore.threads = static_cast<unsigned>(parse_long(arg, next()));
+    } else if (arg == "--dist-ranks") {
+      // The daemon clamps this to its max_threads limit and runs the rank
+      // guards per process (docs/SERVICE.md "Limits file").
+      req.dist_ranks = static_cast<unsigned>(parse_long(arg, next()));
     } else if (arg == "--max-states") {
       req.explore.max_states =
           static_cast<std::uint64_t>(parse_long(arg, next()));

@@ -1,0 +1,203 @@
+// mpbdist — thin launcher for the distributed (multi-process) search.
+//
+// Usage:
+//   mpbdist <model> [--param value ...] [options]
+//
+// Everything resolves through the same check facade as mpbcheck (this is
+// `mpbcheck <model> --dist-ranks N` with distribution-first defaults and a
+// forwarding-focused report line); it exists so scripts and the nightly
+// lanes have a stable, single-purpose entry point for rank sweeps.
+//
+// Options:
+//   --ranks N          rank processes to fork            (default 2, max 64)
+//   --strategy S       full | spor                       (default full)
+//   --proviso P        auto | scc   (spor only; both resolve to scc)
+//   --max-states N / --max-seconds S / --watchdog S   per-rank budgets/guards
+//   --trace            print the counterexample (if any)
+//   --json             print the run as one JSON object and nothing else
+//   --quiet            only the verdict line
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/serialize.hpp"
+#include "core/trace.hpp"
+#include "harness/runner.hpp"
+
+using namespace mpb;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: mpbdist <model> [--param value ...] [options]\n"
+               "  --ranks N        rank processes to fork (default 2, max 64)\n"
+               "  --strategy S     full | spor (default full)\n"
+               "  --proviso P      auto | scc (spor only)\n"
+               "  --max-states N   per-rank state budget\n"
+               "  --max-seconds S  per-rank time budget\n"
+               "  --watchdog S     per-rank wall-clock resource guard\n"
+               "  --trace          print the counterexample, if any\n"
+               "  --json           JSON result document only\n"
+               "  --quiet          only the verdict line\n"
+               "run `mpbcheck --list` for the model registry\n";
+  return 2;
+}
+
+long parse_long(const std::string& opt, const std::string& value) {
+  long out = 0;
+  const char* end = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), end, out);
+  if (ec != std::errc{} || ptr != end) {
+    std::cerr << "mpbdist: " << opt << " expects an integer, got '" << value
+              << "'\n";
+    exit(2);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") return usage();
+
+  const std::string model = args[0];
+  const check::ModelInfo* info = check::ModelRegistry::global().find(model);
+  if (info == nullptr) {
+    std::cerr << "mpbdist: unknown model '" << model << "'\n\n"
+              << check::describe_models();
+    return 2;
+  }
+
+  check::CheckRequest req;
+  req.model = model;
+  req.explore = harness::budget_from_env();
+  req.strategy = "full";
+  req.dist_ranks = 2;
+  bool trace = false;
+  bool quiet = false;
+  bool json = false;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "mpbdist: " << arg << " needs a value\n";
+        exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::cout << check::describe_model(model);
+      return usage();
+    } else if (arg == "--ranks") {
+      req.dist_ranks =
+          static_cast<unsigned>(std::clamp(parse_long(arg, next()), 1L, 64L));
+    } else if (arg == "--strategy") {
+      req.strategy = next();
+    } else if (arg == "--proviso") {
+      const std::string& name = next();
+      if (const auto p = check::proviso_from_string(name)) {
+        req.spor.proviso = *p;
+      } else {
+        std::cerr << "mpbdist: unknown cycle proviso '" << name
+                  << "'; distributed runs take auto or scc\n";
+        return 2;
+      }
+    } else if (arg == "--max-states") {
+      req.explore.max_states =
+          static_cast<std::uint64_t>(parse_long(arg, next()));
+    } else if (arg == "--max-seconds") {
+      req.explore.max_seconds = static_cast<double>(parse_long(arg, next()));
+    } else if (arg == "--watchdog") {
+      req.explore.guard.watchdog_seconds =
+          static_cast<double>(parse_long(arg, next()));
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--json") {
+      json = true;
+      quiet = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      const check::ParamSpec* spec = nullptr;
+      for (const check::ParamSpec& candidate : info->params) {
+        if (candidate.name == key) {
+          spec = &candidate;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        std::cerr << "mpbdist: model '" << model << "' has no option '" << arg
+                  << "'\n\n"
+                  << check::describe_model(model);
+        return 2;
+      }
+      req.params[key] = spec->type == check::ParamType::kBool ? "" : next();
+    } else {
+      std::cerr << "mpbdist: unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    const std::string strategy = req.strategy;
+    const unsigned ranks = req.dist_ranks;
+    check::Checker checker(std::move(req));
+
+    if (!quiet) {
+      std::cout << "model: " << checker.protocol().name() << " ("
+                << checker.protocol().n_procs() << " processes, "
+                << checker.protocol().n_transitions() << " transitions)\n"
+                << "strategy: " << strategy << ", ranks: " << ranks << "\n";
+    }
+
+    const check::CheckResult r = checker.run();
+
+    if (json) {
+      std::cout << check::result_to_json(r).dump() << "\n";
+      return r.verdict() == Verdict::kViolated ? 1 : 0;
+    }
+
+    std::cout << to_string(r.verdict())
+              << "  states=" << harness::format_count(r.stats().states_stored)
+              << "  events=" << harness::format_count(r.stats().events_executed)
+              << "  time=" << harness::format_time(r.stats().seconds)
+              << "  ranks=" << r.threads << "  forwarded="
+              << harness::format_count(r.stats().forwarded_states);
+    if (r.stats().forward_batches > 0) {
+      std::cout << "  avg-batch="
+                << r.stats().forwarded_states / r.stats().forward_batches
+                << "  wire=" << harness::format_count(r.stats().wire_bytes)
+                << "B";
+    }
+    if (r.proviso == "scc") {
+      std::cout << "  scc-reexp=" << r.stats().scc_reexpansions;
+    }
+    if (r.verdict() == Verdict::kViolated) {
+      std::cout << "  property=" << r.result.violated_property;
+    }
+    std::cout << "\n";
+
+    if (trace && r.verdict() == Verdict::kViolated) {
+      if (r.result.counterexample.empty()) {
+        std::cout << "(no replayable trace recorded)\n";
+      } else {
+        print_counterexample(std::cout, r.protocol, r.result);
+        std::cout << "replay: "
+                  << (replay_counterexample(r.protocol, r.result) ? "ok"
+                                                                  : "FAILED")
+                  << "\n";
+      }
+    }
+    return r.verdict() == Verdict::kViolated ? 1 : 0;
+  } catch (const check::CheckError& e) {
+    std::cerr << "mpbdist: " << e.what() << "\n";
+    return 2;
+  }
+}

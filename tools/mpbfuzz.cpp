@@ -15,6 +15,7 @@
 //   --threads N         parallel-lane worker threads (default 4; 1 disables)
 //   --no-parallel       drop the multi-threaded lanes
 //   --no-symmetry       drop the symmetry lanes
+//   --no-dist           drop the multi-process dist/r2 lane
 //   --guard-states N    per-lane stored-state guard (default 16384)
 //   --guard-mem-mb N    per-lane memory guard in MiB (default 256)
 //   --watchdog S        per-lane wall-clock watchdog seconds (default 5)
@@ -46,7 +47,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: mpbfuzz [--seeds A..B|N] [--threads N] [--no-parallel]\n"
-               "               [--no-symmetry] [--guard-states N] "
+               "               [--no-symmetry] [--no-dist] [--guard-states N] "
                "[--guard-mem-mb N]\n"
                "               [--watchdog S] [--out DIR] [--no-minimize]\n"
                "               [--inject-proviso-bug] [--quiet]\n"
@@ -125,6 +126,8 @@ int main(int argc, char** argv) {
       oracle.test_parallel = false;
     } else if (arg == "--no-symmetry") {
       oracle.test_symmetry = false;
+    } else if (arg == "--no-dist") {
+      oracle.test_dist = false;
     } else if (arg == "--guard-states") {
       oracle.guard_states = static_cast<std::uint64_t>(parse_ll(arg, next()));
     } else if (arg == "--guard-mem-mb") {

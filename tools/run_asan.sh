@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # One-command Address+UBSan lane: configure + build the ASan tree
 # (build-asan/, see CMakePresets.json) and run the `unit`, `soundness`,
-# `fuzz` and `serve` labeled ctest slices — everything except the
-# thread-pool timing tests, which belong to the TSan lane
+# `fuzz`, `serve`, `memory` and `dist` labeled ctest slices — everything
+# except the thread-pool timing tests, which belong to the TSan lane
 # (tools/run_tsan.sh).
 #
 # Usage: tools/run_asan.sh [extra ctest args...]

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # One-command bench lane: build the `bench` preset (Release, -O3), run the
-# throughput sweep (small + large tiers, best-of-N timing) and diff the fresh
-# BENCH_explore.json against the committed bench/baseline.json — including
-# the tN/t1 parallel-speedup comparison, so "t8 stopped scaling" fails the
-# lane even when raw throughput stays within the noise threshold.
+# throughput sweep (small + large tiers, best-of-N timing, including the
+# dist/rN rank series) plus the small-tier bytes/state sweep, merge both
+# record sets, and diff against the committed bench/baseline.json —
+# including the tN/t1 parallel-speedup and dist/r1-vs-full/t1 overhead
+# comparisons, so "t8 stopped scaling" or "the partition got expensive"
+# fails the lane even when raw throughput stays within the noise threshold.
+# (The baseline carries both suites' records; comparing either file alone
+# would trip bench_compare's series-mismatch check.)
 #
 # Usage: tools/run_bench.sh [extra explore_throughput args...]
 #   MPB_REPEAT   best-of-N per cell (default 3 here; explore_throughput
@@ -11,7 +15,7 @@
 #   MPB_BENCH_THREADS  thread list for the sweep (default 1,2,8)
 #
 # To re-baseline after an intentional change:
-#   cp build-bench/BENCH_explore.json bench/baseline.json
+#   cp build-bench/BENCH_merged.json bench/baseline.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,4 +29,17 @@ cmake --build --preset bench -j "$(nproc)"
   --out build-bench/BENCH_explore.json \
   --threads "$THREADS" --repeat "$REPEAT" "$@"
 
-python3 tools/bench_compare.py build-bench/BENCH_explore.json bench/baseline.json
+./build-bench/state_bytes --small --repeat "$REPEAT" \
+  --out build-bench/BENCH_state_bytes.json
+
+python3 - <<'EOF'
+import json
+exp = json.load(open("build-bench/BENCH_explore.json"))
+sb = json.load(open("build-bench/BENCH_state_bytes.json"))
+recs = [dict(sorted(r.items())) for r in exp["records"] + sb["records"]]
+with open("build-bench/BENCH_merged.json", "w") as f:
+    json.dump({"schema": "mpb-bench-v1", "records": recs}, f, indent=1)
+    f.write("\n")
+EOF
+
+python3 tools/bench_compare.py build-bench/BENCH_merged.json bench/baseline.json

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-command distributed smoke lane: build the default tree and pin the
+# paxos(2,3,1) state counts at 1, 2 and 4 ranks under both searches the
+# distributed driver supports — `full` and `spor --proviso scc`. The
+# fingerprint partition must not change what is explored: every rank count
+# has to land on exactly the sequential count (9,945 unreduced, 9,867
+# SPOR+SCC), and a multi-rank run must actually forward states (a zero
+# forward count at r2/r4 means the partition silently collapsed to one
+# owner). Any mismatch exits non-zero.
+#
+# Usage: tools/run_dist.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j"$(nproc)" --target mpbdist
+
+expect_full=9945
+expect_scc=9867
+
+run_cell() { # strategy ranks expected_states
+  local strategy="$1" ranks="$2" expected="$3"
+  local args=(paxos --proposers 2 --acceptors 3 --learners 1
+              --ranks "$ranks" --strategy "$strategy" --json)
+  [[ "$strategy" == spor ]] && args+=(--proviso scc)
+  local out
+  out="$(build/mpbdist "${args[@]}")"
+  echo "$out" | grep -q "\"states_stored\":[[:space:]]*${expected}\b" || {
+    echo "run_dist: ${strategy}/r${ranks} missed the pinned state count" \
+         "(want ${expected}): ${out}" >&2
+    exit 1
+  }
+  if [[ "$ranks" -gt 1 ]]; then
+    echo "$out" | grep -q "\"forwarded_states\":[[:space:]]*0\b" && {
+      echo "run_dist: ${strategy}/r${ranks} forwarded nothing —" \
+           "the partition degenerated: ${out}" >&2
+      exit 1
+    }
+  fi
+  echo "run_dist: ${strategy}/r${ranks} ok (states=${expected})"
+}
+
+for ranks in 1 2 4; do
+  run_cell full "$ranks" "$expect_full"
+  run_cell spor "$ranks" "$expect_scc"
+done
+
+echo "run_dist: all rank-count pins hold"

@@ -3,8 +3,8 @@
 # ranges, repros collected in fuzz-out/. Each shard runs `mpbfuzz` over a
 # contiguous seed block; the campaign stops when the time box expires or a
 # divergence is found (whichever comes first). The lane matrix includes the
-# dpor lanes (t1, t1/nosleep, tN parallel driver) next to full/spor — see
-# src/fuzz/oracle.cpp.
+# dpor lanes (t1, t1/nosleep, tN parallel driver) and the multi-process
+# dist/r2 lane next to full/spor — see src/fuzz/oracle.cpp.
 #
 # Usage: tools/run_fuzz.sh [mpbfuzz options...]
 #

@@ -11,8 +11,10 @@
 #      visited mode with an 8 MiB resident budget over an mmap-backed
 #      arena, pinned to the committed state count (override the model size
 #      with MPB_SOAK_PARAMS / expected count with MPB_SOAK_STATES),
-#   4. the TSan lane (parallel|engine|serve|memory),
-#   5. the ASan lane (unit|soundness|fuzz|serve|memory).
+#   4. the distributed smoke lane (tools/run_dist.sh): the multi-process
+#      driver's state-count pins at 1/2/4 ranks under full and spor-scc,
+#   5. the TSan lane (parallel|engine|serve|memory|dist),
+#   6. the ASan lane (unit|soundness|fuzz|serve|memory|dist).
 #
 # Usage: tools/run_nightly.sh
 # Exit status: non-zero as soon as any stage fails.
@@ -44,6 +46,9 @@ echo "$soak_out" | grep -q "\"states_stored\":[[:space:]]*${soak_states}\b" || {
   echo "run_nightly: spill soak missed the pinned state count (${soak_states})" >&2
   exit 1
 }
+
+echo "== nightly: distributed smoke lane =="
+tools/run_dist.sh
 
 echo "== nightly: TSan lane =="
 tools/run_tsan.sh

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # One-command ThreadSanitizer lane: configure + build the TSan tree
 # (build-tsan/, see CMakePresets.json) and run the `parallel` + `engine` +
-# `serve` labeled ctest slices — the worker-pool explorer, parallel SPOR,
-# parallel trace, unified-engine driver and steal-half batching tests, plus
-# the mpbserved job queue / result cache / wire protocol under contention.
+# `serve` + `memory` + `dist` labeled ctest slices — the worker-pool
+# explorer, parallel SPOR, parallel trace, unified-engine driver and
+# steal-half batching tests, the mpbserved job queue / result cache / wire
+# protocol under contention, and the distributed mesh/rank machinery.
 #
 # Usage: tools/run_tsan.sh [extra ctest args...]
 set -euo pipefail
